@@ -1,0 +1,116 @@
+//! DSMS substrate throughput: the value of shared operator processing.
+//!
+//! Two workloads over the same stream volume: `shared` registers 32
+//! *identical* selections (one physical operator, 32 sinks), `distinct`
+//! registers 32 different-threshold selections (32 physical operators).
+//! The shared network processes each tuple once — the premise that makes
+//! the paper's auction problem combinatorially hard is also what makes the
+//! engine fast.
+
+use cqac_dsms::engine::DsmsEngine;
+use cqac_dsms::expr::Expr;
+use cqac_dsms::plan::{AggFunc, LogicalPlan};
+use cqac_dsms::streams::{news_schema, quote_schema, NewsStream, StockStream};
+use cqac_dsms::types::{Tuple, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const SYMBOLS: [&str; 8] = ["IBM", "AAPL", "MSFT", "ORCL", "SAP", "TSM", "AMD", "NVDA"];
+
+fn quotes(n: usize) -> Vec<(String, Tuple)> {
+    StockStream::new(&SYMBOLS, 1, 42)
+        .next_batch(n)
+        .into_iter()
+        .map(|t| ("quotes".to_string(), t))
+        .collect()
+}
+
+fn engine_with(plans: impl IntoIterator<Item = LogicalPlan>) -> DsmsEngine {
+    let mut e = DsmsEngine::new();
+    e.register_stream("quotes", quote_schema());
+    e.register_stream("news", news_schema());
+    for p in plans {
+        e.add_query(p).expect("valid plan");
+    }
+    e
+}
+
+fn bench_sharing(c: &mut Criterion) {
+    let batch = quotes(5_000);
+    let mut group = c.benchmark_group("engine_sharing");
+    group.sample_size(20);
+
+    group.bench_function("32_shared_filters", |b| {
+        b.iter(|| {
+            let mut e = engine_with((0..32).map(|_| {
+                LogicalPlan::source("quotes")
+                    .filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))))
+            }));
+            e.push_batch(batch.iter().cloned());
+            black_box(e.tuples_processed())
+        })
+    });
+
+    group.bench_function("32_distinct_filters", |b| {
+        b.iter(|| {
+            let mut e = engine_with((0..32).map(|i| {
+                LogicalPlan::source("quotes")
+                    .filter(Expr::col(1).gt(Expr::lit(Value::Float(80.0 + i as f64))))
+            }));
+            e.push_batch(batch.iter().cloned());
+            black_box(e.tuples_processed())
+        })
+    });
+    group.finish();
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let batch = quotes(5_000);
+    let news: Vec<(String, Tuple)> = NewsStream::new(&SYMBOLS, 2, 43)
+        .next_batch(2_500)
+        .into_iter()
+        .map(|t| ("news".to_string(), t))
+        .collect();
+    let mut group = c.benchmark_group("engine_operators");
+    group.sample_size(20);
+
+    group.bench_function("filter_5k", |b| {
+        b.iter(|| {
+            let mut e = engine_with([LogicalPlan::source("quotes")
+                .filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))))]);
+            e.push_batch(batch.iter().cloned());
+            black_box(e.tuples_processed())
+        })
+    });
+
+    group.bench_function("aggregate_5k", |b| {
+        b.iter(|| {
+            let mut e = engine_with([LogicalPlan::source("quotes").aggregate(
+                Some(0),
+                AggFunc::Avg,
+                1,
+                100,
+            )]);
+            e.push_batch(batch.iter().cloned());
+            black_box(e.tuples_processed())
+        })
+    });
+
+    group.bench_function("join_5k_x_2k5", |b| {
+        b.iter(|| {
+            let mut e = engine_with([LogicalPlan::source("quotes").join(
+                LogicalPlan::source("news"),
+                0,
+                0,
+                50,
+            )]);
+            e.push_batch(batch.iter().cloned());
+            e.push_batch(news.iter().cloned());
+            black_box(e.tuples_processed())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharing, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Scaling of the auction mechanisms with the number of submitted queries —
+//! the dimension along which Table IV's conclusion ("the more aggressive
+//! mechanisms cannot scale") plays out.
+
+use cqac_core::mechanisms::MechanismKind;
+use cqac_core::units::Load;
+use cqac_workload::{WorkloadGenerator, WorkloadParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanism_scaling");
+    group.sample_size(10);
+    for n in [250usize, 500, 1000, 2000] {
+        let params = WorkloadParams::scaled(n);
+        let generator = WorkloadGenerator::new(params, 42);
+        // Capacity proportional to size keeps contention comparable.
+        let capacity = Load::from_units(7.5 * n as f64);
+        let inst = generator
+            .sharing_sweep_at(0, capacity, &[30])
+            .into_iter()
+            .next()
+            .expect("degree 30")
+            .1;
+        for kind in [
+            MechanismKind::Gv,
+            MechanismKind::Caf,
+            MechanismKind::Cat,
+            MechanismKind::CatPlus,
+            MechanismKind::Car,
+        ] {
+            let mech = kind.build();
+            group.bench_with_input(BenchmarkId::new(kind.label(), n), &n, |b, _| {
+                b.iter(|| black_box(mech.run_seeded(black_box(&inst), 7)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

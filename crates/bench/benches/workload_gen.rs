@@ -1,0 +1,37 @@
+//! Workload generation costs: the Table III base instance and the full
+//! degree-splitting sweep that derives all 60 sharing levels.
+
+use cqac_core::units::Load;
+use cqac_workload::{WorkloadGenerator, WorkloadParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let generator = WorkloadGenerator::new(WorkloadParams::paper(), 42);
+    let mut group = c.benchmark_group("workload_gen");
+    group.sample_size(10);
+
+    group.bench_function("base_2000q", |b| {
+        b.iter(|| black_box(generator.base_workload(black_box(0))))
+    });
+
+    group.bench_function("full_sweep_60_degrees", |b| {
+        b.iter(|| {
+            black_box(generator.sharing_sweep(black_box(0), Load::from_units(15_000.0)))
+        })
+    });
+
+    group.bench_function("sweep_at_4_degrees", |b| {
+        b.iter(|| {
+            black_box(generator.sharing_sweep_at(
+                black_box(0),
+                Load::from_units(15_000.0),
+                &[1, 20, 40, 60],
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

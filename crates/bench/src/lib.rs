@@ -1,0 +1,1 @@
+//! Bench-only crate; see `benches/`.

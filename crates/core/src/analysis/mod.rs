@@ -1,0 +1,24 @@
+//! Game-theoretic analysis harness: empirical checks of the paper's
+//! theorems (§III characterizations, §V sybil attacks).
+//!
+//! The paper *proves* its mechanisms (bid-)strategyproof and classifies
+//! their sybil immunity; this module provides the machinery to *audit* those
+//! claims on concrete instances — deviation testing, monotonicity probes,
+//! critical-value payment checks, and constructive sybil attacks. The
+//! `table1` experiment in `cqac-sim` aggregates these audits into the
+//! reproduction of Table I / Table V.
+
+pub mod examples;
+pub mod strategyproof;
+pub mod sybil;
+pub mod welfare;
+
+pub use strategyproof::{
+    audit_critical_values, audit_operator_monotonicity, best_bid_deviation,
+    best_operator_padding, check_monotonicity, DeviationReport,
+};
+pub use sybil::{
+    attacker_payoff, fair_share_attack, random_sybil_attack, table2_attack, AttackOutcome,
+    SybilAttack,
+};
+pub use welfare::{optimal_welfare, welfare_of, WelfareOptimum};

@@ -1,0 +1,301 @@
+//! Empirical (bid-)strategyproofness audits.
+//!
+//! §III: in a single-parameter setting, a mechanism is bid-strategyproof iff
+//! its allocation is *monotone* (raising a winner's bid keeps her winning)
+//! and every winner pays her *critical value* (the bid threshold between
+//! losing and winning). These functions probe exactly those two conditions,
+//! plus direct payoff-deviation search, on concrete instances.
+
+use crate::mechanisms::Mechanism;
+use crate::model::{AuctionInstance, QueryId};
+use crate::units::Money;
+
+/// Outcome of a bid-deviation search for one user.
+#[derive(Clone, Debug)]
+pub struct DeviationReport {
+    /// The audited query.
+    pub query: QueryId,
+    /// The user's payoff when bidding her true valuation.
+    pub truthful_payoff: Money,
+    /// The best payoff found over all candidate deviations.
+    pub best_payoff: Money,
+    /// A deviation bid achieving `best_payoff` (equals the valuation when no
+    /// profitable deviation exists).
+    pub best_bid: Money,
+}
+
+impl DeviationReport {
+    /// True when some deviation strictly beats truthful bidding — i.e. a
+    /// counterexample to bid-strategyproofness.
+    pub fn profitable(&self) -> bool {
+        self.best_payoff > self.truthful_payoff
+    }
+}
+
+/// Searches candidate deviations for `query`, whose true valuation is its
+/// current bid, and reports the best one.
+///
+/// `candidates` should bracket interesting thresholds (other bids, densities
+/// scaled by the query's load, ±ε around the truthful payment). For
+/// randomized mechanisms, fix the seed per run: the audit then checks
+/// per-coin-flip strategyproofness, which is what Theorem 10's proof gives.
+pub fn best_bid_deviation(
+    mech: &dyn Mechanism,
+    inst: &AuctionInstance,
+    query: QueryId,
+    candidates: &[Money],
+    seed: u64,
+) -> DeviationReport {
+    let valuation = inst.bid(query);
+    let truthful = mech.run_seeded(inst, seed);
+    let truthful_payoff = truthful.payoff(query, valuation);
+
+    let mut best_payoff = truthful_payoff;
+    let mut best_bid = valuation;
+    for &bid in candidates {
+        if bid == valuation {
+            continue;
+        }
+        let deviated = inst.with_bid(query, bid);
+        let out = mech.run_seeded(&deviated, seed);
+        let payoff = out.payoff(query, valuation);
+        if payoff > best_payoff {
+            best_payoff = payoff;
+            best_bid = bid;
+        }
+    }
+    DeviationReport {
+        query,
+        truthful_payoff,
+        best_payoff,
+        best_bid,
+    }
+}
+
+/// Default candidate bids for a deviation search on `query`: every other
+/// query's bid (the places where priorities reorder), the truthful payment
+/// ±2 µ$, half and double the valuation, and a near-zero bid.
+pub fn default_candidates(
+    inst: &AuctionInstance,
+    query: QueryId,
+    truthful_payment: Money,
+) -> Vec<Money> {
+    let mut c: Vec<Money> = inst.queries().iter().map(|q| q.bid).collect();
+    let v = inst.bid(query);
+    c.push(Money::from_micro(1));
+    c.push(v.saturating_sub(Money::from_micro(2)));
+    c.push(v + Money::from_micro(2));
+    c.push(Money::from_micro(v.micro() / 2));
+    c.push(v + v);
+    if !truthful_payment.is_zero() {
+        c.push(truthful_payment.saturating_sub(Money::from_micro(2)));
+        c.push(truthful_payment + Money::from_micro(2));
+    }
+    c.sort_unstable();
+    c.dedup();
+    c
+}
+
+/// Checks allocation monotonicity for one winner: raising her bid to each of
+/// the given higher bids must keep her winning. Returns the first violating
+/// bid, if any.
+pub fn check_monotonicity(
+    mech: &dyn Mechanism,
+    inst: &AuctionInstance,
+    winner: QueryId,
+    raises: &[Money],
+    seed: u64,
+) -> Option<Money> {
+    debug_assert!(mech.run_seeded(inst, seed).is_winner(winner));
+    for &bid in raises {
+        if bid <= inst.bid(winner) {
+            continue;
+        }
+        let out = mech.run_seeded(&inst.with_bid(winner, bid), seed);
+        if !out.is_winner(winner) {
+            return Some(bid);
+        }
+    }
+    None
+}
+
+/// Audits critical-value payments for every winner: bidding 2 µ$ above the
+/// charged payment must win; bidding 2 µ$ below must lose (payments are
+/// floored to the micro-dollar, hence the 2 µ$ guard band). Returns the
+/// queries that violate either direction.
+///
+/// Winners charged zero are only audited upward (they may win at any bid).
+pub fn audit_critical_values(
+    mech: &dyn Mechanism,
+    inst: &AuctionInstance,
+    seed: u64,
+) -> Vec<QueryId> {
+    let out = mech.run_seeded(inst, seed);
+    let mut violations = Vec::new();
+    for &w in &out.winners {
+        let p = out.payment(w);
+        let above = p + Money::from_micro(2);
+        let probe = mech.run_seeded(&inst.with_bid(w, above), seed);
+        if !probe.is_winner(w) {
+            violations.push(w);
+            continue;
+        }
+        if !p.is_zero() {
+            let below = p.saturating_sub(Money::from_micro(2));
+            let probe = mech.run_seeded(&inst.with_bid(w, below), seed);
+            if probe.is_winner(w) {
+                violations.push(w);
+            }
+        }
+    }
+    violations
+}
+
+/// Audits the single-minded-bidder monotonicity of §III (after Lehmann et
+/// al.): every winner who re-submits a *strict subset* of her operators must
+/// remain a winner. Returns `(query, dropped_operator)` pairs that violate
+/// it.
+///
+/// This is the "not only bid-strategyproof but strategyproof" condition the
+/// paper claims for CAF/CAF+/CAT/CAT+: misreporting the operator set
+/// (beyond the bid) must not help either.
+pub fn audit_operator_monotonicity(
+    mech: &dyn Mechanism,
+    inst: &AuctionInstance,
+    seed: u64,
+) -> Vec<(QueryId, crate::model::OperatorId)> {
+    let out = mech.run_seeded(inst, seed);
+    let mut violations = Vec::new();
+    for &w in &out.winners {
+        let ops = inst.query(w).operators.clone();
+        if ops.len() < 2 {
+            continue;
+        }
+        for drop in &ops {
+            let subset: Vec<_> = ops.iter().copied().filter(|o| o != drop).collect();
+            let probe_inst = inst.with_query_operators(w, &subset);
+            let probe = mech.run_seeded(&probe_inst, seed);
+            if !probe.is_winner(w) {
+                violations.push((w, *drop));
+            }
+        }
+    }
+    violations
+}
+
+/// Audits operator-set *inflation*: can a user gain by padding her query
+/// with extra operators she does not need (the §III "adding additional
+/// operators that are not part of the query she actually desires")? Returns
+/// the best payoff improvement found, if any, as
+/// `(query, added_operator, gain)`.
+pub fn best_operator_padding(
+    mech: &dyn Mechanism,
+    inst: &AuctionInstance,
+    query: QueryId,
+    seed: u64,
+) -> Option<(QueryId, crate::model::OperatorId, Money)> {
+    let valuation = inst.bid(query);
+    let truthful = mech.run_seeded(inst, seed).payoff(query, valuation);
+    let own: Vec<_> = inst.query(query).operators.clone();
+    let mut best: Option<(QueryId, crate::model::OperatorId, Money)> = None;
+    for op in inst.operators() {
+        if own.contains(&op.id) {
+            continue;
+        }
+        let mut padded = own.clone();
+        padded.push(op.id);
+        let probe_inst = inst.with_query_operators(query, &padded);
+        let payoff = mech.run_seeded(&probe_inst, seed).payoff(query, valuation);
+        if payoff > truthful {
+            let gain = payoff - truthful;
+            if best.as_ref().is_none_or(|(_, _, g)| gain > *g) {
+                best = Some((query, op.id, gain));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::examples::example1;
+    use crate::mechanisms::{Caf, Car, Cat, Gv};
+    use crate::units::Money;
+
+    #[test]
+    fn car_has_a_profitable_deviation_in_example1() {
+        let inst = example1();
+        let q2 = QueryId(1);
+        let candidates = default_candidates(&inst, q2, Money::from_dollars(60.0));
+        let report = best_bid_deviation(&Car::default(), &inst, q2, &candidates, 0);
+        assert!(report.profitable(), "CAR must be manipulable (§IV-A)");
+    }
+
+    #[test]
+    fn caf_cat_gv_have_no_profitable_deviation_in_example1() {
+        let inst = example1();
+        for mech in [&Caf as &dyn Mechanism, &Cat, &Gv] {
+            for q in inst.query_ids() {
+                let truthful = mech.run_seeded(&inst, 0);
+                let candidates = default_candidates(&inst, q, truthful.payment(q));
+                let report = best_bid_deviation(mech, &inst, q, &candidates, 0);
+                assert!(
+                    !report.profitable(),
+                    "{} manipulable by {q}: bid {} gains {} over {}",
+                    mech.name(),
+                    report.best_bid,
+                    report.best_payoff,
+                    report.truthful_payoff
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cat_payments_are_critical_values_in_example1() {
+        let inst = example1();
+        assert!(audit_critical_values(&Cat, &inst, 0).is_empty());
+        assert!(audit_critical_values(&Caf, &inst, 0).is_empty());
+    }
+
+    #[test]
+    fn cat_is_monotone_in_example1() {
+        let inst = example1();
+        let raises: Vec<Money> = (1..=20).map(|i| Money::from_dollars(10.0 * i as f64)).collect();
+        for w in [QueryId(0), QueryId(1)] {
+            assert_eq!(check_monotonicity(&Cat, &inst, w, &raises, 0), None);
+        }
+    }
+
+    #[test]
+    fn smb_monotonicity_holds_in_example1() {
+        // §III: winners re-submitting operator subsets must keep winning —
+        // the condition that upgrades bid-strategyproofness to full
+        // strategyproofness for CAF and CAT.
+        let inst = example1();
+        for mech in [&Caf as &dyn Mechanism, &Cat, &Gv] {
+            assert!(
+                audit_operator_monotonicity(mech, &inst, 0).is_empty(),
+                "{} violated operator-subset monotonicity",
+                mech.name()
+            );
+        }
+    }
+
+    #[test]
+    fn padding_does_not_pay_in_example1() {
+        // Lying upward about the operator set (adding operators) must not
+        // improve any user's payoff under the strategyproof mechanisms.
+        let inst = example1();
+        for mech in [&Caf as &dyn Mechanism, &Cat, &Gv] {
+            for q in inst.query_ids() {
+                assert!(
+                    best_operator_padding(mech, &inst, q, 0).is_none(),
+                    "{}: {q} gains by padding its operator set",
+                    mech.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Sybil attacks (§V): forging extra no-value queries to manipulate the
+//! mechanism, and the bookkeeping to decide whether an attack paid off.
+//!
+//! The attacker's payoff aggregates over all her identities: she keeps her
+//! real query's payoff (valuation − payment if admitted) but must pay the
+//! charges of any *fake* query the mechanism admits (the fakes have zero
+//! value to her).
+
+use crate::mechanisms::Mechanism;
+use crate::model::{AuctionInstance, OperatorId, QueryId, UserId};
+use crate::units::{Load, Money};
+use rand::{Rng, RngExt};
+
+/// A prepared sybil attack: the attacked instance plus the id mapping.
+#[derive(Clone, Debug)]
+pub struct SybilAttack {
+    /// The instance including the fake queries.
+    pub attacked: AuctionInstance,
+    /// The attacker's real query (same id in both instances — fakes are
+    /// appended after all original queries).
+    pub attacker: QueryId,
+    /// Ids of the fake queries within [`SybilAttack::attacked`].
+    pub fakes: Vec<QueryId>,
+}
+
+/// The attacker's position before and after an attack.
+#[derive(Clone, Debug)]
+pub struct AttackOutcome {
+    /// Aggregate payoff without attacking (her true valuation is her
+    /// original bid).
+    pub baseline_payoff: Money,
+    /// Aggregate payoff with the fakes present: real-query payoff minus the
+    /// sum of admitted fakes' payments. Saturates at zero from below — see
+    /// [`AttackOutcome::fake_charges`] for the raw numbers.
+    pub attack_payoff: Money,
+    /// What the fakes cost the attacker.
+    pub fake_charges: Money,
+    /// Whether the real query was admitted under attack.
+    pub attacker_won: bool,
+}
+
+impl AttackOutcome {
+    /// True when the attack strictly increased the attacker's payoff —
+    /// i.e. the mechanism is *vulnerable* on this instance (Definition 13).
+    pub fn succeeded(&self) -> bool {
+        self.attack_payoff > self.baseline_payoff
+    }
+}
+
+/// Runs `mech` with and without the attack and accounts the attacker's
+/// aggregate payoff (Definition 16's accounting).
+pub fn attacker_payoff(
+    mech: &dyn Mechanism,
+    original: &AuctionInstance,
+    attack: &SybilAttack,
+    seed: u64,
+) -> AttackOutcome {
+    let valuation = original.bid(attack.attacker);
+
+    let baseline = mech.run_seeded(original, seed);
+    let baseline_payoff = baseline.payoff(attack.attacker, valuation);
+
+    let attacked = mech.run_seeded(&attack.attacked, seed);
+    let real_payoff = attacked.payoff(attack.attacker, valuation);
+    let fake_charges: Money = attack.fakes.iter().map(|&f| attacked.payment(f)).sum();
+
+    AttackOutcome {
+        baseline_payoff,
+        attack_payoff: real_payoff.saturating_sub(fake_charges),
+        fake_charges,
+        attacker_won: attacked.is_winner(attack.attacker),
+    }
+}
+
+/// The Theorem 15 construction against the fair-share mechanisms: fake
+/// users with negligible bids whose queries share (all of) the attacker's
+/// operators. Each fake inflates every shared operator's degree, deflating
+/// the attacker's static fair-share load — raising her priority and cutting
+/// her payment — while the fakes' own priorities are negligible.
+pub fn fair_share_attack(
+    inst: &AuctionInstance,
+    attacker: QueryId,
+    num_fakes: usize,
+) -> SybilAttack {
+    let ops: Vec<OperatorId> = inst.query(attacker).operators.clone();
+    let user = inst.query(attacker).user;
+    let fake_bid = Money::from_micro(1);
+    let first_fake = inst.num_queries() as u32;
+    let new_queries = (0..num_fakes)
+        .map(|_| (user, fake_bid, ops.clone()))
+        .collect();
+    let attacked = inst.with_extra_queries(Vec::new(), new_queries);
+    SybilAttack {
+        attacked,
+        attacker,
+        fakes: (0..num_fakes as u32)
+            .map(|k| QueryId(first_fake + k))
+            .collect(),
+    }
+}
+
+/// The paper's Table II instance: user 2 beats CAT+ by forging "user 3".
+///
+/// Capacity 1. Real queries: `q0` (v=100, load 1), `q1` (v=89, load 0.9).
+/// The fake `q2` (v=100ε+ε, load ε) outranks `q0` in density, crowds it out
+/// of the skip-fill, and lets `q1` in — for a fake charge of only `100ε`.
+/// Returns `(instance_without_fake, attack)` with ε = 0.01.
+pub fn table2_attack() -> (AuctionInstance, SybilAttack) {
+    use crate::model::InstanceBuilder;
+    let eps = 0.01;
+    let mut b = InstanceBuilder::new(Load::from_units(1.0));
+    let x = b.operator(Load::from_units(1.0));
+    let y = b.operator(Load::from_units(0.9));
+    b.query(Money::from_dollars(100.0), &[x]);
+    b.query(Money::from_dollars(89.0), &[y]);
+    let original = b.build().unwrap();
+
+    let attacker = QueryId(1);
+    let user = original.query(attacker).user;
+    let attacked = original.with_extra_queries(
+        vec![Load::from_units(eps)],
+        vec![(
+            user,
+            Money::from_dollars(100.0 * eps + eps),
+            vec![OperatorId(2)],
+        )],
+    );
+    (
+        original,
+        SybilAttack {
+            attacked,
+            attacker,
+            fakes: vec![QueryId(2)],
+        },
+    )
+}
+
+/// A randomized attack for immunity testing: `num_fakes` fake queries with
+/// near-zero bids, each using a random non-empty subset of the attacker's
+/// operators and (optionally) a fresh private operator of tiny load.
+pub fn random_sybil_attack(
+    inst: &AuctionInstance,
+    attacker: QueryId,
+    num_fakes: usize,
+    rng: &mut dyn Rng,
+) -> SybilAttack {
+    let ops = &inst.query(attacker).operators;
+    let user = inst.query(attacker).user;
+    let mut new_operators = Vec::new();
+    let mut new_queries = Vec::new();
+    let next_op = inst.num_operators() as u32;
+    for _ in 0..num_fakes {
+        let mut fake_ops: Vec<OperatorId> = ops
+            .iter()
+            .copied()
+            .filter(|_| rng.random_bool(0.5))
+            .collect();
+        if fake_ops.is_empty() {
+            fake_ops.push(ops[rng.random_range(0..ops.len())]);
+        }
+        if rng.random_bool(0.3) {
+            let id = OperatorId(next_op + new_operators.len() as u32);
+            new_operators.push(Load::from_micro(rng.random_range(1..10_000)));
+            fake_ops.push(id);
+        }
+        let bid = Money::from_micro(rng.random_range(1..100));
+        new_queries.push((user, bid, fake_ops));
+    }
+    let first_fake = inst.num_queries() as u32;
+    let attacked = inst.with_extra_queries(new_operators, new_queries);
+    SybilAttack {
+        attacked,
+        attacker,
+        fakes: (0..num_fakes as u32)
+            .map(|k| QueryId(first_fake + k))
+            .collect(),
+    }
+}
+
+/// Builds a `UserId`-keyed aggregate payoff for arbitrary multi-identity
+/// accounting: sums `valuation − payment` over every winning query the user
+/// owns, where each query's valuation is supplied by the caller (zero for
+/// fakes).
+pub fn user_aggregate_payoff(
+    inst: &AuctionInstance,
+    outcome: &crate::outcome::Outcome,
+    user: UserId,
+    valuations: &[Money],
+) -> (Money, Money) {
+    let mut gain = Money::ZERO;
+    let mut charges = Money::ZERO;
+    for q in inst.query_ids() {
+        if inst.query(q).user == user && outcome.is_winner(q) {
+            gain += valuations[q.index()];
+            charges += outcome.payment(q);
+        }
+    }
+    (gain, charges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::examples::example1;
+    use crate::mechanisms::{Caf, Cat, CatPlus, Mechanism};
+
+    #[test]
+    fn table2_attack_beats_cat_plus() {
+        let (original, attack) = table2_attack();
+        let out = attacker_payoff(&CatPlus::default(), &original, &attack, 0);
+        assert!(!mech_wins_baseline(&CatPlus::default(), &original, attack.attacker));
+        assert!(out.attacker_won, "the fake must crowd q0 out");
+        assert!(out.succeeded(), "Theorem 17: CAT+ is vulnerable");
+        // The fake pays 100ε = $1, far less than the $89 payoff gained.
+        assert_eq!(out.fake_charges, Money::from_dollars(1.0));
+        assert_eq!(out.attack_payoff, Money::from_dollars(88.0));
+    }
+
+    fn mech_wins_baseline(
+        mech: &dyn Mechanism,
+        inst: &AuctionInstance,
+        q: QueryId,
+    ) -> bool {
+        mech.run_seeded(inst, 0).is_winner(q)
+    }
+
+    #[test]
+    fn fair_share_attack_cuts_caf_payment() {
+        // Theorem 15: in Example 1, q2 truthfully pays $40 under CAF; with
+        // fakes sharing her operators her fair share shrinks and so does her
+        // payment.
+        let inst = example1();
+        let attack = fair_share_attack(&inst, QueryId(1), 8);
+        let out = attacker_payoff(&Caf, &inst, &attack, 0);
+        assert!(out.attacker_won);
+        assert!(out.succeeded(), "CAF must be sybil-vulnerable");
+    }
+
+    #[test]
+    fn cat_resists_the_fair_share_attack() {
+        // Theorem 19: total loads ignore sharing degrees, so the same attack
+        // gains nothing under CAT.
+        let inst = example1();
+        for fakes in [1, 4, 8] {
+            let attack = fair_share_attack(&inst, QueryId(1), fakes);
+            let out = attacker_payoff(&Cat, &inst, &attack, 0);
+            assert!(!out.succeeded(), "CAT must be sybil-immune");
+        }
+    }
+
+    #[test]
+    fn random_attacks_never_beat_cat_in_example1() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let inst = example1();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            for q in inst.query_ids() {
+                let attack = random_sybil_attack(&inst, q, 1 + (q.index() % 3), &mut rng);
+                let out = attacker_payoff(&Cat, &inst, &attack, 0);
+                assert!(
+                    !out.succeeded(),
+                    "random sybil attack on {q} beat CAT: {out:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Exact optimal winner determination — the welfare benchmark.
+//!
+//! §III notes that selecting the value-maximal feasible query set under
+//! shared operators generalizes the densest-subgraph problem and is hard to
+//! approximate; the greedy mechanisms make no welfare guarantee. For small
+//! instances we can still compute the optimum exactly by branch-and-bound
+//! and *measure* the greedy mechanisms' efficiency loss ("price of
+//! greedy"). Used by tests and ablation reports; exponential in the worst
+//! case, so guarded by a size limit.
+
+use crate::model::{AdmittedSet, AuctionInstance, QueryId};
+use crate::units::Money;
+
+/// The exact welfare optimum: the feasible winner set maximizing the sum of
+/// (truthful) bids.
+#[derive(Clone, Debug)]
+pub struct WelfareOptimum {
+    /// A value-maximal feasible winner set (ties broken arbitrarily).
+    pub winners: Vec<QueryId>,
+    /// Its total value.
+    pub welfare: Money,
+}
+
+/// Total bid value of a winner set.
+pub fn welfare_of(inst: &AuctionInstance, winners: &[QueryId]) -> Money {
+    winners.iter().map(|&q| inst.bid(q)).sum()
+}
+
+/// Computes the exact optimum by depth-first branch-and-bound over queries
+/// sorted by descending bid (bound: accepted value + all remaining bids).
+/// Returns `None` when the instance exceeds `max_queries` (the search is
+/// exponential in the worst case).
+pub fn optimal_welfare(inst: &AuctionInstance, max_queries: usize) -> Option<WelfareOptimum> {
+    let n = inst.num_queries();
+    if n > max_queries {
+        return None;
+    }
+    // Order by descending bid so the additive bound tightens fast.
+    let mut order: Vec<QueryId> = inst.query_ids().collect();
+    order.sort_by(|&a, &b| inst.bid(b).cmp(&inst.bid(a)).then_with(|| a.cmp(&b)));
+    // suffix_value[i] = total value of order[i..].
+    let mut suffix_value = vec![Money::ZERO; n + 1];
+    for i in (0..n).rev() {
+        suffix_value[i] = suffix_value[i + 1] + inst.bid(order[i]);
+    }
+
+    struct Search<'a> {
+        inst: &'a AuctionInstance,
+        order: &'a [QueryId],
+        suffix_value: &'a [Money],
+        state: AdmittedSet<'a>,
+        chosen: Vec<QueryId>,
+        best: Vec<QueryId>,
+        best_value: Money,
+        current_value: Money,
+    }
+
+    impl Search<'_> {
+        fn run(&mut self, depth: usize) {
+            if self.current_value > self.best_value {
+                self.best_value = self.current_value;
+                self.best = self.chosen.clone();
+            }
+            if depth == self.order.len() {
+                return;
+            }
+            // Bound: even taking everything left cannot beat the best.
+            if self.current_value + self.suffix_value[depth] <= self.best_value {
+                return;
+            }
+            let q = self.order[depth];
+            // Branch 1: take q if it fits.
+            if self.state.fits(q) {
+                self.state.admit(q);
+                self.chosen.push(q);
+                self.current_value += self.inst.bid(q);
+                self.run(depth + 1);
+                self.current_value -= self.inst.bid(q);
+                self.chosen.pop();
+                self.state.withdraw(q);
+            }
+            // Branch 2: skip q.
+            self.run(depth + 1);
+        }
+    }
+
+    let mut search = Search {
+        inst,
+        order: &order,
+        suffix_value: &suffix_value,
+        state: AdmittedSet::new(inst),
+        chosen: Vec::new(),
+        best: Vec::new(),
+        best_value: Money::ZERO,
+        current_value: Money::ZERO,
+    };
+    search.run(0);
+    let mut winners = search.best;
+    winners.sort_unstable();
+    Some(WelfareOptimum {
+        winners,
+        welfare: search.best_value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::examples::example1;
+    use crate::mechanisms::{Cat, Mechanism};
+    use crate::model::InstanceBuilder;
+    use crate::units::Load;
+
+    #[test]
+    fn example1_optimum_is_q1_q2() {
+        let inst = example1();
+        let opt = optimal_welfare(&inst, 16).unwrap();
+        assert_eq!(opt.winners, vec![QueryId(0), QueryId(1)]);
+        assert_eq!(opt.welfare, Money::from_dollars(127.0));
+        // CAT happens to find the optimum here.
+        let cat = Cat.run_seeded(&inst, 0);
+        assert_eq!(welfare_of(&inst, &cat.winners), opt.welfare);
+    }
+
+    #[test]
+    fn sharing_can_beat_the_obvious_pick() {
+        // Capacity 10. One heavy shared operator S (load 9) carried by three
+        // $40 queries; one independent $100 query of load 10. Optimal:
+        // 3 × $40 = $120 > $100 — the optimum *requires* exploiting sharing.
+        let mut b = InstanceBuilder::new(Load::from_units(10.0));
+        let s = b.operator(Load::from_units(9.0));
+        for _ in 0..3 {
+            b.query(Money::from_dollars(40.0), &[s]);
+        }
+        let big = b.operator(Load::from_units(10.0));
+        b.query(Money::from_dollars(100.0), &[big]);
+        let inst = b.build().unwrap();
+        let opt = optimal_welfare(&inst, 16).unwrap();
+        assert_eq!(opt.welfare, Money::from_dollars(120.0));
+        assert_eq!(opt.winners.len(), 3);
+    }
+
+    #[test]
+    fn size_limit_guards_exponential_blowup() {
+        let inst = example1();
+        assert!(optimal_welfare(&inst, 2).is_none());
+    }
+
+    #[test]
+    fn greedy_never_beats_the_optimum() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let n_ops = rng.random_range(2..8);
+            let mut b = InstanceBuilder::new(Load::from_units(rng.random_range(5.0..20.0)));
+            let ops: Vec<_> = (0..n_ops)
+                .map(|_| b.operator(Load::from_units(rng.random_range(1.0..6.0))))
+                .collect();
+            for _ in 0..rng.random_range(2..10) {
+                let k = rng.random_range(1..=2.min(n_ops));
+                let set: Vec<_> = (0..k).map(|_| ops[rng.random_range(0..n_ops)]).collect();
+                b.query(Money::from_dollars(rng.random_range(1.0..50.0)), &set);
+            }
+            let inst = b.build().unwrap();
+            let opt = optimal_welfare(&inst, 12).unwrap();
+            for mech in crate::mechanisms::all_mechanisms() {
+                let out = mech.run_seeded(&inst, 1);
+                assert!(
+                    welfare_of(&inst, &out.winners) <= opt.welfare,
+                    "{} exceeded the optimum?!",
+                    mech.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! # cqac-core — auction-based admission control for continuous queries
+//!
+//! This crate implements the primary contribution of *"Admission Control
+//! Mechanisms for Continuous Queries in the Cloud"* (Al Moakar, Chrysanthis,
+//! Chung, Guirguis, Labrinidis, Neophytou, Pruhs — ICDE 2010): a family of
+//! auction mechanisms that decide, once per subscription period, which
+//! continuous queries (CQs) a for-profit DSMS center admits and how much each
+//! admitted user pays.
+//!
+//! ## Model
+//!
+//! * A CQ is a set of operators. Each operator has a *load* — the fraction of
+//!   server capacity it consumes per time unit ([`model::OperatorDef`]).
+//! * Operators may be **shared** between CQs (Aurora-style shared
+//!   processing), so the marginal load of admitting a query depends on what
+//!   was already admitted ([`model::AdmittedSet`]).
+//! * Each user submits a bid for her query; the mechanism selects winners
+//!   whose *distinct-union* operator load fits within system capacity and
+//!   charges each winner a payment ([`Outcome`]).
+//!
+//! ## Mechanisms
+//!
+//! | Mechanism | Sort key | Fill | Payments | Properties |
+//! |-----------|----------|------|----------|------------|
+//! | [`mechanisms::Car`] | bid / *remaining* load (recomputed) | stop at first reject | admission-time remaining load × first-loser density | **not** strategyproof |
+//! | [`mechanisms::Caf`] | bid / static fair-share load | stop at first reject | fair-share load × first-loser density | strategyproof |
+//! | [`mechanisms::CafPlus`] | bid / static fair-share load | skip overloaded | movement-window critical values | strategyproof |
+//! | [`mechanisms::Cat`] | bid / total load | stop at first reject | total load × first-loser density | strategyproof **and sybil-immune** |
+//! | [`mechanisms::CatPlus`] | bid / total load | skip overloaded | movement-window critical values | strategyproof |
+//! | [`mechanisms::Gv`] | bid | stop at first reject | first loser's bid (constant) | strategyproof |
+//! | [`mechanisms::TwoPrice`] | valuation | prefix + duplicate repair | random-sampling cross prices | strategyproof, profit ≥ OPT_C − 2h |
+//! | [`mechanisms::RandomAdmission`] | random | stop at first reject | none | baseline |
+//! | [`mechanisms::OptConstantPricing`] | — | — | optimal constant price | profit benchmark |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cqac_core::prelude::*;
+//!
+//! // The paper's Example 1: three queries, operator A shared by q1 and q2.
+//! let mut b = InstanceBuilder::new(Load::from_units(10.0));
+//! let a = b.operator(Load::from_units(4.0));
+//! let op_b = b.operator(Load::from_units(1.0));
+//! let c = b.operator(Load::from_units(2.0));
+//! let d = b.operator(Load::from_units(7.0));
+//! let e = b.operator(Load::from_units(3.0));
+//! b.query(Money::from_dollars(55.0), &[a, op_b]);
+//! b.query(Money::from_dollars(72.0), &[a, c]);
+//! b.query(Money::from_dollars(100.0), &[d, e]);
+//! let inst = b.build().unwrap();
+//!
+//! let outcome = Cat::default().run_seeded(&inst, 0);
+//! assert_eq!(outcome.profit(), Money::from_dollars(110.0)); // $50 + $60
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod mechanisms;
+pub mod metrics;
+pub mod model;
+pub mod outcome;
+pub mod units;
+
+pub use mechanisms::{Mechanism, MechanismKind};
+pub use metrics::Metrics;
+pub use model::{AdmittedSet, AuctionInstance, InstanceBuilder, OperatorId, QueryDef, QueryId, UserId};
+pub use outcome::Outcome;
+pub use units::{Load, Money};
+
+/// Convenience re-exports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::mechanisms::{
+        Caf, CafPlus, Car, Cat, CatPlus, Gv, Mechanism, MechanismKind, OptConstantPricing,
+        RandomAdmission, TwoPrice,
+    };
+    pub use crate::metrics::Metrics;
+    pub use crate::model::{
+        AdmittedSet, AuctionInstance, InstanceBuilder, OperatorDef, OperatorId, QueryDef, QueryId,
+        UserId,
+    };
+    pub use crate::outcome::Outcome;
+    pub use crate::units::{Load, Money};
+}

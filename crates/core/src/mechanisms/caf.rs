@@ -1,0 +1,127 @@
+//! CAF and CAF+ — CQ Admission based on static Fair-share load (§IV-B).
+
+use super::greedy::{FillPolicy, LoadModel};
+use super::movement::{run_density_auction, MovementWindowMode};
+use super::Mechanism;
+use crate::model::AuctionInstance;
+use crate::outcome::Outcome;
+use rand::Rng;
+
+/// **CAF** (Algorithm 1): sort by `Pr_i = b_i / C^SF_i`, admit the maximal
+/// prefix that fits (actual marginal loads), stop at the first reject, and
+/// charge each winner `C^SF_i · b_lost / C^SF_lost` where `lost` is the first
+/// losing query.
+///
+/// Bid-strategyproof and strategyproof (Theorem 4), but *universally
+/// vulnerable* to sybil attacks (Theorem 15): fake low-bid queries sharing a
+/// user's operators shrink her fair-share load, boosting her priority and
+/// shrinking her payment.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Caf;
+
+impl Mechanism for Caf {
+    fn name(&self) -> &'static str {
+        "CAF"
+    }
+
+    fn run(&self, inst: &AuctionInstance, _rng: &mut dyn Rng) -> Outcome {
+        run_density_auction(
+            self.name(),
+            inst,
+            LoadModel::FairShare,
+            FillPolicy::StopAtFirstReject,
+            MovementWindowMode::default(),
+        )
+    }
+}
+
+/// **CAF+** (Algorithm 2): like [`Caf`] but skips queries that do not fit and
+/// keeps filling; winners pay their movement-window critical value
+/// (Definitions 5–6).
+///
+/// Strategyproof (Theorem 7); universally sybil-vulnerable (Theorem 15);
+/// the movement-window computation dominates its runtime (Table IV).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CafPlus {
+    /// How `last(i)` is computed; semantics are identical, costs are not.
+    pub window_mode: MovementWindowMode,
+}
+
+impl CafPlus {
+    /// CAF+ with an explicit movement-window implementation.
+    pub fn with_mode(window_mode: MovementWindowMode) -> Self {
+        Self { window_mode }
+    }
+}
+
+impl Mechanism for CafPlus {
+    fn name(&self) -> &'static str {
+        "CAF+"
+    }
+
+    fn run(&self, inst: &AuctionInstance, _rng: &mut dyn Rng) -> Outcome {
+        run_density_auction(
+            self.name(),
+            inst,
+            LoadModel::FairShare,
+            FillPolicy::SkipOverloaded,
+            self.window_mode,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{InstanceBuilder, QueryId};
+    use crate::units::{Load, Money};
+
+    fn example1() -> AuctionInstance {
+        let mut b = InstanceBuilder::new(Load::from_units(10.0));
+        let a = b.operator(Load::from_units(4.0));
+        let ob = b.operator(Load::from_units(1.0));
+        let c = b.operator(Load::from_units(2.0));
+        let d = b.operator(Load::from_units(7.0));
+        let e = b.operator(Load::from_units(3.0));
+        b.query(Money::from_dollars(55.0), &[a, ob]);
+        b.query(Money::from_dollars(72.0), &[a, c]);
+        b.query(Money::from_dollars(100.0), &[d, e]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn caf_reproduces_paper_example1() {
+        // "Thus the payments for q1 and q2 are $10 per unit load, which
+        // amount to respective payments of $30 and $40."
+        let out = Caf.run_seeded(&example1(), 0);
+        assert_eq!(out.winners, vec![QueryId(0), QueryId(1)]);
+        assert_eq!(out.payment(QueryId(0)), Money::from_dollars(30.0));
+        assert_eq!(out.payment(QueryId(1)), Money::from_dollars(40.0));
+        assert_eq!(out.payment(QueryId(2)), Money::ZERO);
+        assert_eq!(out.profit(), Money::from_dollars(70.0));
+        out.validate(&example1()).unwrap();
+    }
+
+    #[test]
+    fn caf_plus_admits_at_least_what_caf_admits() {
+        let inst = example1();
+        let caf = Caf.run_seeded(&inst, 0);
+        let cafp = CafPlus::default().run_seeded(&inst, 0);
+        for w in &caf.winners {
+            assert!(cafp.is_winner(*w));
+        }
+        cafp.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn caf_charges_zero_when_everyone_fits() {
+        let mut b = InstanceBuilder::new(Load::from_units(100.0));
+        let a = b.operator(Load::from_units(4.0));
+        b.query(Money::from_dollars(55.0), &[a]);
+        b.query(Money::from_dollars(72.0), &[a]);
+        let inst = b.build().unwrap();
+        let out = Caf.run_seeded(&inst, 0);
+        assert_eq!(out.winners.len(), 2);
+        assert_eq!(out.profit(), Money::ZERO);
+    }
+}

@@ -1,0 +1,298 @@
+//! CAR — CQ Admission based on Remaining load (§IV-A).
+//!
+//! The paper's deliberately naïve starting point: it prioritises queries by
+//! bid per unit of **remaining** load (Definition 2), which accurately
+//! captures each query's true marginal cost but makes payments depend on the
+//! user's own bid — breaking strategyproofness. A user who shares operators
+//! with other winners gains by *underbidding*: chosen later, her remaining
+//! load (and hence payment) shrinks. Figure 5 measures the profit damage.
+//!
+//! Two implementations share the same semantics (property-tested equal):
+//!
+//! * [`CarImpl::Naive`] re-scans every remaining query per round, exactly
+//!   as §IV-A is written — `O(n² · |ops|)`.
+//! * [`CarImpl::Indexed`] (default) exploits that a query's remaining load
+//!   only changes when an admission *first* covers one of its operators:
+//!   each admission re-prioritises only the queries sharing its
+//!   newly-covered operators, tracked through a versioned max-heap —
+//!   near-linear on the paper's workloads, making the Figure 5 experiment
+//!   (CAR on 2000 queries × 60 degrees × 50 sets) tractable.
+
+use super::Mechanism;
+use crate::model::{AdmittedSet, AuctionInstance, QueryId};
+use crate::outcome::Outcome;
+use crate::units::{price_from_density, Density, Load, Money};
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which CAR engine to run (identical results).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CarImpl {
+    /// Literal per-round rescan (quadratic).
+    Naive,
+    /// Versioned-heap incremental re-prioritisation.
+    #[default]
+    Indexed,
+}
+
+/// The CAR mechanism (see module docs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Car {
+    /// Engine selection; semantics are identical.
+    pub implementation: CarImpl,
+}
+
+impl Car {
+    /// The literal quadratic implementation (test oracle).
+    pub fn naive() -> Self {
+        Self {
+            implementation: CarImpl::Naive,
+        }
+    }
+}
+
+/// Selection result shared by both engines.
+struct CarSelection {
+    admitted: Vec<QueryId>,
+    /// Remaining load of each winner at the moment it was admitted.
+    admission_cr: Vec<Load>,
+    /// The first query that no longer fits, with its remaining load then.
+    lost: Option<(QueryId, Load)>,
+}
+
+fn select_naive(inst: &AuctionInstance) -> CarSelection {
+    let mut admitted_set = AdmittedSet::new(inst);
+    let mut remaining: Vec<QueryId> = inst.query_ids().collect();
+    let mut admitted = Vec::new();
+    let mut admission_cr = vec![Load::ZERO; inst.num_queries()];
+    let mut lost = None;
+
+    while !remaining.is_empty() {
+        let (pos, cr) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &q)| (pos, admitted_set.marginal_load(q)))
+            .max_by(|(pa, ca), (pb, cb)| {
+                let qa = remaining[*pa];
+                let qb = remaining[*pb];
+                Density::new(inst.bid(qa), *ca)
+                    .cmp(&Density::new(inst.bid(qb), *cb))
+                    .then_with(|| qb.cmp(&qa)) // smaller id wins ties
+            })
+            .expect("non-empty remaining list");
+        let q = remaining.swap_remove(pos);
+        if cr <= admitted_set.remaining() {
+            admitted_set.admit(q);
+            admission_cr[q.index()] = cr;
+            admitted.push(q);
+        } else {
+            lost = Some((q, cr));
+            break;
+        }
+    }
+    CarSelection {
+        admitted,
+        admission_cr,
+        lost,
+    }
+}
+
+fn select_indexed(inst: &AuctionInstance) -> CarSelection {
+    let n = inst.num_queries();
+    let mut admitted_set = AdmittedSet::new(inst);
+    let mut admitted = Vec::new();
+    let mut admission_cr = vec![Load::ZERO; n];
+    let mut lost = None;
+
+    // Heap entries carry the version at push time; stale entries are
+    // discarded on pop. A query's remaining load never grows, so its
+    // freshest entry dominates its stale ones and pops first.
+    let mut version = vec![0u32; n];
+    let mut done = vec![false; n];
+    let mut heap: BinaryHeap<(Density, Reverse<u32>, u32)> = BinaryHeap::with_capacity(n);
+    for q in inst.query_ids() {
+        heap.push((
+            Density::new(inst.bid(q), inst.total_load(q)),
+            Reverse(q.0),
+            0,
+        ));
+    }
+
+    while let Some((_, Reverse(qraw), v)) = heap.pop() {
+        let q = QueryId(qraw);
+        if done[q.index()] || v != version[q.index()] {
+            continue;
+        }
+        let cr = admitted_set.marginal_load(q);
+        if cr <= admitted_set.remaining() {
+            done[q.index()] = true;
+            // Which operators become newly covered by this admission?
+            let newly_covered: Vec<_> = inst
+                .query(q)
+                .operators
+                .iter()
+                .copied()
+                .filter(|&op| {
+                    inst.queries_sharing(op)
+                        .iter()
+                        .all(|&other| !admitted_set.contains(other))
+                })
+                .collect();
+            admitted_set.admit(q);
+            admission_cr[q.index()] = cr;
+            admitted.push(q);
+            // Re-prioritise queries whose remaining load just shrank.
+            for op in newly_covered {
+                for &other in inst.queries_sharing(op) {
+                    if done[other.index()] {
+                        continue;
+                    }
+                    version[other.index()] += 1;
+                    let new_cr = admitted_set.marginal_load(other);
+                    heap.push((
+                        Density::new(inst.bid(other), new_cr),
+                        Reverse(other.0),
+                        version[other.index()],
+                    ));
+                }
+            }
+        } else {
+            lost = Some((q, cr));
+            break;
+        }
+    }
+    CarSelection {
+        admitted,
+        admission_cr,
+        lost,
+    }
+}
+
+impl Mechanism for Car {
+    fn name(&self) -> &'static str {
+        "CAR"
+    }
+
+    fn run(&self, inst: &AuctionInstance, _rng: &mut dyn Rng) -> Outcome {
+        let selection = match self.implementation {
+            CarImpl::Naive => select_naive(inst),
+            CarImpl::Indexed => select_indexed(inst),
+        };
+        let mut payments = vec![Money::ZERO; inst.num_queries()];
+        if let Some((lost_q, lost_cr)) = selection.lost {
+            for &q in &selection.admitted {
+                payments[q.index()] = price_from_density(
+                    selection.admission_cr[q.index()],
+                    inst.bid(lost_q),
+                    lost_cr,
+                );
+            }
+        }
+        let mut winners = selection.admitted;
+        winners.sort_unstable();
+        Outcome::new(self.name(), inst, winners, payments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::InstanceBuilder;
+    use crate::units::{Load, Money};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn example1() -> AuctionInstance {
+        let mut b = InstanceBuilder::new(Load::from_units(10.0));
+        let a = b.operator(Load::from_units(4.0));
+        let ob = b.operator(Load::from_units(1.0));
+        let c = b.operator(Load::from_units(2.0));
+        let d = b.operator(Load::from_units(7.0));
+        let e = b.operator(Load::from_units(3.0));
+        b.query(Money::from_dollars(55.0), &[a, ob]);
+        b.query(Money::from_dollars(72.0), &[a, c]);
+        b.query(Money::from_dollars(100.0), &[d, e]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn car_reproduces_paper_example1() {
+        // §IV-A: q2 chosen first (priority 12), then q1's remaining load
+        // drops to 1 (priority 55); q3 (10 units) no longer fits and becomes
+        // qlost with price $10 per unit: payments $10 (q1) and $60 (q2).
+        for car in [Car::default(), Car::naive()] {
+            let inst = example1();
+            let out = car.run_seeded(&inst, 0);
+            assert_eq!(out.winners, vec![QueryId(0), QueryId(1)]);
+            assert_eq!(out.payment(QueryId(0)), Money::from_dollars(10.0));
+            assert_eq!(out.payment(QueryId(1)), Money::from_dollars(60.0));
+            assert_eq!(out.profit(), Money::from_dollars(70.0));
+            out.validate(&inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn car_is_not_bid_strategyproof() {
+        // The §IV-A manipulation: a winner who shares operators can gain by
+        // underbidding, because being chosen later shrinks her remaining
+        // load and hence her payment. In Example 1, q2 truthfully pays $60;
+        // bidding $21 still wins but pays only for operator C.
+        let inst = example1();
+        let truthful = Car::default().run_seeded(&inst, 0);
+        let v2 = inst.bid(QueryId(1));
+        let truthful_payoff = truthful.payoff(QueryId(1), v2);
+
+        let lie = inst.with_bid(QueryId(1), Money::from_dollars(21.0));
+        let strategic = Car::default().run_seeded(&lie, 0);
+        assert!(strategic.is_winner(QueryId(1)));
+        let strategic_payoff = strategic.payoff(QueryId(1), v2);
+        assert!(
+            strategic_payoff > truthful_payoff,
+            "underbidding must strictly improve the payoff ({strategic_payoff} vs {truthful_payoff})"
+        );
+    }
+
+    #[test]
+    fn car_zero_marginal_queries_always_fit() {
+        // A query whose operators are all admitted has remaining load 0 and
+        // infinite priority: it must be admitted even when capacity is full.
+        let mut b = InstanceBuilder::new(Load::from_units(4.0));
+        let a = b.operator(Load::from_units(4.0));
+        b.query(Money::from_dollars(100.0), &[a]);
+        b.query(Money::from_dollars(0.000001), &[a]);
+        let inst = b.build().unwrap();
+        for car in [Car::default(), Car::naive()] {
+            let out = car.run_seeded(&inst, 0);
+            assert_eq!(out.winners.len(), 2);
+        }
+    }
+
+    /// Random small instances with heavy sharing: the two engines must be
+    /// byte-identical.
+    #[test]
+    fn indexed_matches_naive_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for trial in 0..200 {
+            let n_ops = rng.random_range(2..12);
+            let n_queries = rng.random_range(2..15);
+            let mut b = InstanceBuilder::new(Load::from_units(rng.random_range(5.0..30.0)));
+            let ops: Vec<_> = (0..n_ops)
+                .map(|_| b.operator(Load::from_units(rng.random_range(1.0..8.0))))
+                .collect();
+            for _ in 0..n_queries {
+                let k = rng.random_range(1..=3.min(n_ops));
+                let mut set = Vec::new();
+                for _ in 0..k {
+                    set.push(ops[rng.random_range(0..n_ops)]);
+                }
+                b.query(Money::from_dollars(rng.random_range(1.0..100.0)), &set);
+            }
+            let inst = b.build().unwrap();
+            let naive = Car::naive().run_seeded(&inst, 0);
+            let indexed = Car::default().run_seeded(&inst, 0);
+            assert_eq!(naive.winners, indexed.winners, "trial {trial}");
+            assert_eq!(naive.payments, indexed.payments, "trial {trial}");
+        }
+    }
+}

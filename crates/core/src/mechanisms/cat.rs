@@ -1,0 +1,122 @@
+//! CAT and CAT+ — CQ Admission based on Total load (§IV-C).
+
+use super::greedy::{FillPolicy, LoadModel};
+use super::movement::{run_density_auction, MovementWindowMode};
+use super::Mechanism;
+use crate::model::AuctionInstance;
+use crate::outcome::Outcome;
+use rand::Rng;
+
+/// **CAT**: exactly [`super::Caf`] with the static fair-share load replaced
+/// by the total load `C^T_i = Σ_{o_j ∈ q_i} c_j`.
+///
+/// Bid-strategyproof (Theorem 8) and — uniquely among the paper's
+/// mechanisms — **sybil-strategyproof** (Theorem 19): because a user's total
+/// load ignores how many others share her operators, fake queries can
+/// neither promote her in the priority list nor cut her payment by more
+/// than they cost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Cat;
+
+impl Mechanism for Cat {
+    fn name(&self) -> &'static str {
+        "CAT"
+    }
+
+    fn run(&self, inst: &AuctionInstance, _rng: &mut dyn Rng) -> Outcome {
+        run_density_auction(
+            self.name(),
+            inst,
+            LoadModel::Total,
+            FillPolicy::StopAtFirstReject,
+            MovementWindowMode::default(),
+        )
+    }
+}
+
+/// **CAT+**: [`super::CafPlus`] on total load — skip-fill allocation with
+/// movement-window payments.
+///
+/// Bid-strategyproof (Theorem 9) but *vulnerable* to sybil attack
+/// (Theorem 17): the Table II construction lets an attacker insert a cheap
+/// fake query that crowds a rival out of the prefix, flipping herself from
+/// loser to winner for less than the fake's payment.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CatPlus {
+    /// How `last(i)` is computed; semantics are identical, costs are not.
+    pub window_mode: MovementWindowMode,
+}
+
+impl CatPlus {
+    /// CAT+ with an explicit movement-window implementation.
+    pub fn with_mode(window_mode: MovementWindowMode) -> Self {
+        Self { window_mode }
+    }
+}
+
+impl Mechanism for CatPlus {
+    fn name(&self) -> &'static str {
+        "CAT+"
+    }
+
+    fn run(&self, inst: &AuctionInstance, _rng: &mut dyn Rng) -> Outcome {
+        run_density_auction(
+            self.name(),
+            inst,
+            LoadModel::Total,
+            FillPolicy::SkipOverloaded,
+            self.window_mode,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{InstanceBuilder, QueryId};
+    use crate::units::{Load, Money};
+
+    fn example1() -> AuctionInstance {
+        let mut b = InstanceBuilder::new(Load::from_units(10.0));
+        let a = b.operator(Load::from_units(4.0));
+        let ob = b.operator(Load::from_units(1.0));
+        let c = b.operator(Load::from_units(2.0));
+        let d = b.operator(Load::from_units(7.0));
+        let e = b.operator(Load::from_units(3.0));
+        b.query(Money::from_dollars(55.0), &[a, ob]);
+        b.query(Money::from_dollars(72.0), &[a, c]);
+        b.query(Money::from_dollars(100.0), &[d, e]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cat_reproduces_paper_example1() {
+        // "The payments for q1 and q2 are $10 per unit load, which amount to
+        // respective payments of $50 and $60."
+        let inst = example1();
+        let out = Cat.run_seeded(&inst, 0);
+        assert_eq!(out.winners, vec![QueryId(0), QueryId(1)]);
+        assert_eq!(out.payment(QueryId(0)), Money::from_dollars(50.0));
+        assert_eq!(out.payment(QueryId(1)), Money::from_dollars(60.0));
+        assert_eq!(out.profit(), Money::from_dollars(110.0));
+        out.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn cat_plus_matches_cat_when_no_skip_helps(
+    ) {
+        let inst = example1();
+        let cat = Cat.run_seeded(&inst, 0);
+        let catp = CatPlus::default().run_seeded(&inst, 0);
+        assert_eq!(cat.winners, catp.winners);
+    }
+
+    #[test]
+    fn cat_plus_naive_and_snapshot_agree() {
+        let inst = example1();
+        let a = CatPlus::with_mode(MovementWindowMode::Naive).run_seeded(&inst, 0);
+        let b = CatPlus::with_mode(MovementWindowMode::Snapshot).run_seeded(&inst, 0);
+        assert_eq!(a.winners, b.winners);
+        assert_eq!(a.payments, b.payments);
+    }
+}

@@ -1,0 +1,230 @@
+//! The shared greedy engine behind CAF, CAF+, CAT, and CAT+ (§IV preamble):
+//!
+//! 1. sort queries in decreasing profit density (bid per unit of *model*
+//!    load), then
+//! 2. admit queries until the server is full,
+//!
+//! where the four mechanisms differ only in the **load model** used for the
+//! density (fair share vs total) and the **fill policy** (stop at the first
+//! query that does not fit vs skip it and keep going).
+//!
+//! Capacity checks always use the *actual* marginal (remaining) load — the
+//! distinct-union accounting of [`AdmittedSet`] — never the model load
+//! (Algorithm 1, step 3 note).
+
+use crate::model::{AdmittedSet, AuctionInstance, QueryId};
+use crate::units::{Density, Load};
+
+/// Which per-query load enters the density priority `Pr_i = b_i / C_i`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadModel {
+    /// Static fair-share load `C^SF_i = Σ c_j / l_j` (Definition 3) — CAF,
+    /// CAF+.
+    FairShare,
+    /// Total load `C^T_i = Σ c_j` (§IV-C) — CAT, CAT+.
+    Total,
+}
+
+impl LoadModel {
+    /// The model load of `q` under this model.
+    #[inline]
+    pub fn load(self, inst: &AuctionInstance, q: QueryId) -> Load {
+        match self {
+            LoadModel::FairShare => inst.fair_share_load(q),
+            LoadModel::Total => inst.total_load(q),
+        }
+    }
+}
+
+/// How the greedy fill treats a query that does not fit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FillPolicy {
+    /// Stop at the first query that does not fit (CAF, CAT, GV, Two-price's
+    /// prefix `H`, Random).
+    StopAtFirstReject,
+    /// Skip it and continue down the list (CAF+, CAT+).
+    SkipOverloaded,
+}
+
+/// Result of a greedy fill over a fixed priority order.
+#[derive(Clone, Debug)]
+pub struct FillResult {
+    /// The priority order that was filled (query ids, best first).
+    pub order: Vec<QueryId>,
+    /// Positions in `order` that were admitted.
+    pub admitted_ranks: Vec<usize>,
+    /// Rank (in `order`) of the first query that failed the capacity check,
+    /// if any — the paper's `qlost` for first-loser pricing.
+    pub first_reject: Option<usize>,
+    /// Distinct-union load of the admitted queries.
+    pub used: Load,
+}
+
+impl FillResult {
+    /// Admitted query ids, ascending.
+    pub fn winners(&self) -> Vec<QueryId> {
+        let mut w: Vec<QueryId> = self.admitted_ranks.iter().map(|&r| self.order[r]).collect();
+        w.sort_unstable();
+        w
+    }
+
+    /// The first rejected query (`qlost`), if any.
+    pub fn first_loser(&self) -> Option<QueryId> {
+        self.first_reject.map(|r| self.order[r])
+    }
+}
+
+/// Sorts all queries by decreasing density `b_i / C_i` under `model`.
+///
+/// Ties break by query id (ascending) so the order — and therefore every
+/// mechanism built on it — is deterministic. The paper breaks ties
+/// arbitrarily; a fixed tie-break is one valid choice and makes the
+/// theorem-shaped tests reproducible.
+pub fn priority_order(inst: &AuctionInstance, model: LoadModel) -> Vec<QueryId> {
+    let mut order: Vec<QueryId> = inst.query_ids().collect();
+    sort_by_density(inst, model, &mut order);
+    order
+}
+
+/// Sorts an arbitrary id slice by decreasing density under `model`.
+pub(crate) fn sort_by_density(inst: &AuctionInstance, model: LoadModel, ids: &mut [QueryId]) {
+    ids.sort_by(|&a, &b| {
+        let da = Density::new(inst.bid(a), model.load(inst, a));
+        let db = Density::new(inst.bid(b), model.load(inst, b));
+        db.cmp(&da).then_with(|| a.cmp(&b))
+    });
+}
+
+/// Greedily fills server capacity following `order` under `policy`,
+/// checking the *marginal* load of each candidate against remaining
+/// capacity.
+pub fn greedy_fill(inst: &AuctionInstance, order: &[QueryId], policy: FillPolicy) -> FillResult {
+    let mut admitted = AdmittedSet::new(inst);
+    fill_into(&mut admitted, order, policy)
+}
+
+/// Same as [`greedy_fill`], but reuses (and mutates) a caller-provided
+/// admitted set — useful when the caller wants the final set state.
+pub fn fill_into(
+    admitted: &mut AdmittedSet<'_>,
+    order: &[QueryId],
+    policy: FillPolicy,
+) -> FillResult {
+    let mut admitted_ranks = Vec::with_capacity(order.len());
+    let mut first_reject = None;
+    for (rank, &q) in order.iter().enumerate() {
+        if admitted.fits(q) {
+            admitted.admit(q);
+            admitted_ranks.push(rank);
+        } else {
+            if first_reject.is_none() {
+                first_reject = Some(rank);
+            }
+            match policy {
+                FillPolicy::StopAtFirstReject => break,
+                FillPolicy::SkipOverloaded => continue,
+            }
+        }
+    }
+    FillResult {
+        order: order.to_vec(),
+        admitted_ranks,
+        first_reject,
+        used: admitted.used(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::InstanceBuilder;
+    use crate::units::Money;
+
+    fn example1() -> AuctionInstance {
+        let mut b = InstanceBuilder::new(Load::from_units(10.0));
+        let a = b.operator(Load::from_units(4.0));
+        let ob = b.operator(Load::from_units(1.0));
+        let c = b.operator(Load::from_units(2.0));
+        let d = b.operator(Load::from_units(7.0));
+        let e = b.operator(Load::from_units(3.0));
+        b.query(Money::from_dollars(55.0), &[a, ob]);
+        b.query(Money::from_dollars(72.0), &[a, c]);
+        b.query(Money::from_dollars(100.0), &[d, e]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fair_share_order_matches_paper() {
+        // Priorities 18.33, 18, 10 → q1, q2, q3.
+        let inst = example1();
+        let order = priority_order(&inst, LoadModel::FairShare);
+        assert_eq!(order, vec![QueryId(0), QueryId(1), QueryId(2)]);
+    }
+
+    #[test]
+    fn total_load_order_matches_paper() {
+        // Priorities 11, 12, 10 → q2, q1, q3.
+        let inst = example1();
+        let order = priority_order(&inst, LoadModel::Total);
+        assert_eq!(order, vec![QueryId(1), QueryId(0), QueryId(2)]);
+    }
+
+    #[test]
+    fn fill_stops_at_first_reject() {
+        let inst = example1();
+        let order = priority_order(&inst, LoadModel::Total);
+        let fill = greedy_fill(&inst, &order, FillPolicy::StopAtFirstReject);
+        assert_eq!(fill.winners(), vec![QueryId(0), QueryId(1)]);
+        assert_eq!(fill.first_loser(), Some(QueryId(2)));
+        assert_eq!(fill.used, Load::from_units(7.0));
+    }
+
+    #[test]
+    fn skip_policy_keeps_scanning() {
+        // Capacity 6: big query (load 5) first by density, middle query
+        // doesn't fit, small one does.
+        let mut b = InstanceBuilder::new(Load::from_units(6.0));
+        let x = b.operator(Load::from_units(5.0));
+        let y = b.operator(Load::from_units(4.0));
+        let z = b.operator(Load::from_units(1.0));
+        b.query(Money::from_dollars(50.0), &[x]); // density 10
+        b.query(Money::from_dollars(20.0), &[y]); // density 5, won't fit
+        b.query(Money::from_dollars(1.0), &[z]); // density 1, fits
+        let inst = b.build().unwrap();
+        let order = priority_order(&inst, LoadModel::Total);
+
+        let stop = greedy_fill(&inst, &order, FillPolicy::StopAtFirstReject);
+        assert_eq!(stop.winners(), vec![QueryId(0)]);
+
+        let skip = greedy_fill(&inst, &order, FillPolicy::SkipOverloaded);
+        assert_eq!(skip.winners(), vec![QueryId(0), QueryId(2)]);
+        assert_eq!(skip.first_loser(), Some(QueryId(1)));
+    }
+
+    #[test]
+    fn ties_break_by_query_id() {
+        let mut b = InstanceBuilder::new(Load::from_units(10.0));
+        let x = b.operator(Load::from_units(1.0));
+        let y = b.operator(Load::from_units(1.0));
+        b.query(Money::from_dollars(5.0), &[x]);
+        b.query(Money::from_dollars(5.0), &[y]);
+        let inst = b.build().unwrap();
+        let order = priority_order(&inst, LoadModel::Total);
+        assert_eq!(order, vec![QueryId(0), QueryId(1)]);
+    }
+
+    #[test]
+    fn marginal_load_lets_shared_query_fit() {
+        // q2 alone would not fit, but sharing with admitted q1 it does.
+        let mut b = InstanceBuilder::new(Load::from_units(10.0));
+        let big = b.operator(Load::from_units(8.0));
+        let small = b.operator(Load::from_units(1.5));
+        b.query(Money::from_dollars(100.0), &[big]); // density 12.5
+        b.query(Money::from_dollars(50.0), &[big, small]); // density ~5.3, CR = 1.5
+        let inst = b.build().unwrap();
+        let order = priority_order(&inst, LoadModel::Total);
+        let fill = greedy_fill(&inst, &order, FillPolicy::StopAtFirstReject);
+        assert_eq!(fill.winners(), vec![QueryId(0), QueryId(1)]);
+        assert_eq!(fill.used, Load::from_units(9.5));
+    }
+}

@@ -1,0 +1,97 @@
+//! GV — Greedy by Valuation (§IV-D).
+//!
+//! Sort by bid (ignoring loads entirely), admit the maximal fitting prefix,
+//! and charge every winner the bid of the first losing query — a constant
+//! price. Strategyproof, but like the density mechanisms it admits no
+//! reasonable provable profit guarantee; it exists as the deterministic core
+//! that the randomized Two-price mechanism builds on.
+
+use super::Mechanism;
+use crate::model::{AuctionInstance, QueryId};
+use crate::outcome::Outcome;
+use crate::units::Money;
+use rand::Rng;
+
+/// The GV mechanism (see module docs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Gv;
+
+/// Sorts query ids by decreasing bid, breaking ties by ascending id.
+pub(crate) fn bid_order(inst: &AuctionInstance) -> Vec<QueryId> {
+    let mut order: Vec<QueryId> = inst.query_ids().collect();
+    order.sort_by(|&a, &b| inst.bid(b).cmp(&inst.bid(a)).then_with(|| a.cmp(&b)));
+    order
+}
+
+impl Mechanism for Gv {
+    fn name(&self) -> &'static str {
+        "GV"
+    }
+
+    fn run(&self, inst: &AuctionInstance, _rng: &mut dyn Rng) -> Outcome {
+        let order = bid_order(inst);
+        let fill = super::greedy::greedy_fill(
+            inst,
+            &order,
+            super::greedy::FillPolicy::StopAtFirstReject,
+        );
+        let mut payments = vec![Money::ZERO; inst.num_queries()];
+        if let Some(lost) = fill.first_loser() {
+            let price = inst.bid(lost);
+            for &r in &fill.admitted_ranks {
+                payments[fill.order[r].index()] = price;
+            }
+        }
+        Outcome::new(self.name(), inst, fill.winners(), payments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::InstanceBuilder;
+    use crate::units::Load;
+
+    #[test]
+    fn gv_charges_first_loser_bid() {
+        let mut b = InstanceBuilder::new(Load::from_units(10.0));
+        let x = b.operator(Load::from_units(6.0));
+        let y = b.operator(Load::from_units(4.0));
+        let z = b.operator(Load::from_units(5.0));
+        b.query(Money::from_dollars(100.0), &[x]);
+        b.query(Money::from_dollars(80.0), &[y]);
+        b.query(Money::from_dollars(60.0), &[z]); // does not fit
+        let inst = b.build().unwrap();
+        let out = Gv.run_seeded(&inst, 0);
+        assert_eq!(out.winners, vec![QueryId(0), QueryId(1)]);
+        assert_eq!(out.payment(QueryId(0)), Money::from_dollars(60.0));
+        assert_eq!(out.payment(QueryId(1)), Money::from_dollars(60.0));
+        out.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn gv_everyone_fits_pays_zero() {
+        let mut b = InstanceBuilder::new(Load::from_units(100.0));
+        let x = b.operator(Load::from_units(6.0));
+        b.query(Money::from_dollars(100.0), &[x]);
+        b.query(Money::from_dollars(80.0), &[x]);
+        let inst = b.build().unwrap();
+        let out = Gv.run_seeded(&inst, 0);
+        assert_eq!(out.winners.len(), 2);
+        assert_eq!(out.profit(), Money::ZERO);
+    }
+
+    #[test]
+    fn gv_ignores_loads_when_sorting() {
+        // A huge-load, high-bid query is taken first even though its
+        // density is terrible.
+        let mut b = InstanceBuilder::new(Load::from_units(10.0));
+        let x = b.operator(Load::from_units(10.0));
+        let y = b.operator(Load::from_units(1.0));
+        b.query(Money::from_dollars(100.0), &[x]);
+        b.query(Money::from_dollars(99.0), &[y]);
+        let inst = b.build().unwrap();
+        let out = Gv.run_seeded(&inst, 0);
+        assert_eq!(out.winners, vec![QueryId(0)]);
+    }
+}

@@ -1,0 +1,176 @@
+//! The paper's auction mechanisms (§IV) plus the baselines of §VI.
+//!
+//! All mechanisms implement [`Mechanism`]; deterministic ones ignore the RNG.
+//! [`all_mechanisms`] returns the evaluation line-up of §VI.
+
+mod car;
+mod caf;
+mod cat;
+mod greedy;
+mod gv;
+mod movement;
+mod optc;
+mod random;
+mod two_price;
+
+pub use car::Car;
+pub use caf::{Caf, CafPlus};
+pub use cat::{Cat, CatPlus};
+pub use greedy::{greedy_fill, priority_order, FillPolicy, FillResult, LoadModel};
+pub use gv::Gv;
+pub use movement::{movement_window_payments, MovementWindowMode};
+pub use optc::{optimal_constant_price, OptConstantPricing, OptcResult};
+pub use random::RandomAdmission;
+pub use two_price::{TwoPrice, TwoPriceConfig};
+
+use crate::model::AuctionInstance;
+use crate::outcome::Outcome;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// An admission-control auction mechanism: selects winners and payments.
+pub trait Mechanism {
+    /// Stable human-readable name (matches the paper's labels).
+    fn name(&self) -> &'static str;
+
+    /// Runs the auction. Deterministic mechanisms ignore `rng`; randomized
+    /// ones ([`TwoPrice`], [`RandomAdmission`]) draw from it.
+    fn run(&self, inst: &AuctionInstance, rng: &mut dyn Rng) -> Outcome;
+
+    /// Runs with a seeded RNG (convenience for tests and experiments).
+    fn run_seeded(&self, inst: &AuctionInstance, seed: u64) -> Outcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.run(inst, &mut rng)
+    }
+}
+
+/// Enumerates the mechanisms for configuration files and reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MechanismKind {
+    /// CQ Admission based on Remaining load (§IV-A) — not strategyproof.
+    Car,
+    /// CQ Admission based on Fair share (§IV-B, Algorithm 1).
+    Caf,
+    /// Aggressive fair-share variant (§IV-B, Algorithm 2).
+    CafPlus,
+    /// CQ Admission based on Total load (§IV-C) — sybil-strategyproof.
+    Cat,
+    /// Aggressive total-load variant (§IV-C).
+    CatPlus,
+    /// Greedy by Valuation (§IV-D).
+    Gv,
+    /// Randomized Two-price mechanism (§IV-D, Algorithm 3).
+    TwoPrice,
+    /// Random admission baseline (§VI, Table IV).
+    Random,
+}
+
+impl MechanismKind {
+    /// Instantiates the mechanism with default configuration.
+    pub fn build(self) -> Box<dyn Mechanism> {
+        match self {
+            MechanismKind::Car => Box::new(Car::default()),
+            MechanismKind::Caf => Box::new(Caf),
+            MechanismKind::CafPlus => Box::new(CafPlus::default()),
+            MechanismKind::Cat => Box::new(Cat),
+            MechanismKind::CatPlus => Box::new(CatPlus::default()),
+            MechanismKind::Gv => Box::new(Gv),
+            MechanismKind::TwoPrice => Box::new(TwoPrice::default()),
+            MechanismKind::Random => Box::new(RandomAdmission),
+        }
+    }
+
+    /// The paper's label for the mechanism.
+    pub fn label(self) -> &'static str {
+        match self {
+            MechanismKind::Car => "CAR",
+            MechanismKind::Caf => "CAF",
+            MechanismKind::CafPlus => "CAF+",
+            MechanismKind::Cat => "CAT",
+            MechanismKind::CatPlus => "CAT+",
+            MechanismKind::Gv => "GV",
+            MechanismKind::TwoPrice => "Two-price",
+            MechanismKind::Random => "Random",
+        }
+    }
+
+    /// Whether the paper proves the mechanism (bid-)strategyproof (Table I).
+    pub fn is_strategyproof(self) -> bool {
+        !matches!(self, MechanismKind::Car | MechanismKind::Random)
+    }
+
+    /// Whether the paper proves the mechanism sybil-immune (Table I): only
+    /// CAT.
+    pub fn is_sybil_immune(self) -> bool {
+        matches!(self, MechanismKind::Cat)
+    }
+
+    /// Whether the mechanism has a provable profit guarantee (Table I): only
+    /// Two-price.
+    pub fn has_profit_guarantee(self) -> bool {
+        matches!(self, MechanismKind::TwoPrice)
+    }
+
+    /// The density-based greedy mechanisms plotted in Figure 4.
+    pub fn density_mechanisms() -> [MechanismKind; 4] {
+        [
+            MechanismKind::Caf,
+            MechanismKind::CafPlus,
+            MechanismKind::Cat,
+            MechanismKind::CatPlus,
+        ]
+    }
+
+    /// The full §VI evaluation line-up (Table IV order).
+    pub fn evaluation_lineup() -> [MechanismKind; 7] {
+        [
+            MechanismKind::Random,
+            MechanismKind::Gv,
+            MechanismKind::TwoPrice,
+            MechanismKind::Caf,
+            MechanismKind::CafPlus,
+            MechanismKind::Cat,
+            MechanismKind::CatPlus,
+        ]
+    }
+}
+
+impl std::fmt::Display for MechanismKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Instantiates every mechanism of the §VI evaluation with defaults.
+pub fn all_mechanisms() -> Vec<Box<dyn Mechanism>> {
+    MechanismKind::evaluation_lineup()
+        .into_iter()
+        .map(MechanismKind::build)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels_and_properties_match_table1() {
+        assert_eq!(MechanismKind::Caf.label(), "CAF");
+        assert!(MechanismKind::Caf.is_strategyproof());
+        assert!(!MechanismKind::Caf.is_sybil_immune());
+        assert!(MechanismKind::Cat.is_sybil_immune());
+        assert!(!MechanismKind::CatPlus.is_sybil_immune());
+        assert!(!MechanismKind::Car.is_strategyproof());
+        assert!(MechanismKind::TwoPrice.has_profit_guarantee());
+        assert!(!MechanismKind::Cat.has_profit_guarantee());
+    }
+
+    #[test]
+    fn build_round_trips_names() {
+        for kind in MechanismKind::evaluation_lineup() {
+            let m = kind.build();
+            assert_eq!(m.name(), kind.label());
+        }
+    }
+}

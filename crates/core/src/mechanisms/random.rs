@@ -1,0 +1,65 @@
+//! The random-admission baseline of §VI (Table IV): pick queries uniformly
+//! at random and stop at the first that does not fit. It charges nothing —
+//! the paper uses it purely as a runtime floor for the greedy mechanisms.
+
+use super::greedy::{greedy_fill, FillPolicy};
+use super::Mechanism;
+use crate::model::{AuctionInstance, QueryId};
+use crate::outcome::Outcome;
+use crate::units::Money;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The random-admission baseline (see module docs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RandomAdmission;
+
+impl Mechanism for RandomAdmission {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn run(&self, inst: &AuctionInstance, rng: &mut dyn Rng) -> Outcome {
+        let mut order: Vec<QueryId> = inst.query_ids().collect();
+        order.shuffle(rng);
+        let fill = greedy_fill(inst, &order, FillPolicy::StopAtFirstReject);
+        let payments = vec![Money::ZERO; inst.num_queries()];
+        Outcome::new(self.name(), inst, fill.winners(), payments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::InstanceBuilder;
+    use crate::units::Load;
+
+    #[test]
+    fn random_is_feasible_and_free() {
+        let mut b = InstanceBuilder::new(Load::from_units(5.0));
+        for i in 0..20 {
+            let op = b.operator(Load::from_units(1.0 + (i % 3) as f64));
+            b.query(Money::from_dollars(10.0), &[op]);
+        }
+        let inst = b.build().unwrap();
+        for seed in 0..10 {
+            let out = RandomAdmission.run_seeded(&inst, seed);
+            out.validate(&inst).unwrap();
+            assert_eq!(out.profit(), Money::ZERO);
+            assert!(!out.winners.is_empty());
+        }
+    }
+
+    #[test]
+    fn different_seeds_reach_different_winner_sets() {
+        let mut b = InstanceBuilder::new(Load::from_units(3.0));
+        for _ in 0..30 {
+            let op = b.operator(Load::from_units(1.0));
+            b.query(Money::from_dollars(1.0), &[op]);
+        }
+        let inst = b.build().unwrap();
+        let a = RandomAdmission.run_seeded(&inst, 1);
+        let b2 = RandomAdmission.run_seeded(&inst, 2);
+        assert_ne!(a.winners, b2.winners);
+    }
+}

@@ -1,0 +1,407 @@
+//! The randomized **Two-price** mechanism (§IV-D, Algorithm 3).
+//!
+//! Phase 1 (greedy): sort by valuation, take the maximal fitting prefix `H`.
+//! Phase 2 (repair): if the boundary valuation is duplicated, rebuild the
+//! tail of `H` from the duplicate set `D` so that membership of `H` cannot
+//! depend on tie-breaking — this is the step that is exponential in `|D|`.
+//! Phase 3 (random sampling, after Goldberg et al.): split `H` uniformly
+//! into `A` and `B`, compute each half's optimal single price, and charge
+//! each half the *other* half's price.
+//!
+//! Bid-strategyproof (Theorem 10) and load-oblivious, hence fully
+//! strategyproof; expected profit ≥ `OPT_C − 2h` (Theorem 11), or
+//! ≥ `OPT_C − d·h` for the polynomial variant without the repair step
+//! (Theorem 12). Not sybil-immune (Theorem 20).
+
+use super::gv::bid_order;
+use super::Mechanism;
+use crate::model::{AdmittedSet, AuctionInstance, QueryId};
+use crate::outcome::Outcome;
+use crate::units::Money;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// How Step 4 partitions `H` into the two sample halves.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PartitionMode {
+    /// Shuffle `H` and split it in half — the paper's "partition evenly,
+    /// uniformly at random".
+    #[default]
+    EvenShuffle,
+    /// Assign each query by an independent fair coin derived from
+    /// `(seed, query id)` — the variant discussed at the end of §V ("each
+    /// query is placed in set A or B based on independent coin flips").
+    /// Because a query's side does not depend on any bid, this mode is
+    /// *deviation-stable*: re-running with one bid changed keeps everyone
+    /// else's coin, which is what a per-coin-flip strategyproofness audit
+    /// needs.
+    PerQueryCoin,
+}
+
+/// Tuning knobs for [`TwoPrice`].
+#[derive(Clone, Copy, Debug)]
+pub struct TwoPriceConfig {
+    /// Run the exact exponential duplicate repair only when `|D|` is at most
+    /// this; beyond it, fall back to a greedy largest-cardinality packing
+    /// (ascending marginal load). The paper's Step 3 is exponential in the
+    /// number of duplicates; Theorem 12 covers omitting it entirely.
+    pub exhaustive_limit: usize,
+    /// Skip the repair step altogether — the polynomial-time variant of
+    /// Theorem 12.
+    pub skip_repair: bool,
+    /// How `H` is split into the two halves.
+    pub partition: PartitionMode,
+}
+
+impl Default for TwoPriceConfig {
+    fn default() -> Self {
+        Self {
+            exhaustive_limit: 12,
+            skip_repair: false,
+            partition: PartitionMode::EvenShuffle,
+        }
+    }
+}
+
+/// The Two-price mechanism (see module docs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TwoPrice {
+    /// Configuration (duplicate-repair behaviour).
+    pub config: TwoPriceConfig,
+}
+
+impl TwoPrice {
+    /// The polynomial variant that omits the duplicate-repair step
+    /// (Theorem 12).
+    pub fn polynomial() -> Self {
+        Self {
+            config: TwoPriceConfig {
+                skip_repair: true,
+                ..TwoPriceConfig::default()
+            },
+        }
+    }
+
+    /// The independent-coin-flip partition variant (end of §V), which is
+    /// deviation-stable for per-realization strategyproofness audits.
+    pub fn per_query_coin() -> Self {
+        Self {
+            config: TwoPriceConfig {
+                partition: PartitionMode::PerQueryCoin,
+                ..TwoPriceConfig::default()
+            },
+        }
+    }
+}
+
+/// A deterministic fair coin for `(seed, query)` (SplitMix64 finalizer).
+fn query_coin(seed: u64, q: QueryId) -> bool {
+    let mut z = seed ^ (u64::from(q.0).wrapping_add(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = z ^ (z >> 31);
+    z & 1 == 0
+}
+
+/// The optimal single-price sale for one half: maximize `rank × v_rank` over
+/// the descending valuations. Returns the maximizing price (highest price on
+/// ties) or `None` for an empty set.
+fn optimal_half_price(inst: &AuctionInstance, half_sorted_desc: &[QueryId]) -> Option<Money> {
+    let mut best: Option<(Money, Money)> = None; // (profit, price)
+    for (idx, &q) in half_sorted_desc.iter().enumerate() {
+        let price = inst.bid(q);
+        let profit = price.mul_count(idx as u64 + 1);
+        match best {
+            Some((bp, _)) if bp >= profit => {}
+            _ => best = Some((profit, price)),
+        }
+    }
+    best.map(|(_, price)| price)
+}
+
+/// The largest-cardinality subset of `dupes` that fits alongside the already
+/// admitted queries in `state`. Exact (size-descending subset enumeration)
+/// for `|dupes| ≤ limit`; greedy by ascending marginal load otherwise.
+fn largest_fitting_subset(
+    state: &mut AdmittedSet<'_>,
+    dupes: &[QueryId],
+    limit: usize,
+) -> Vec<QueryId> {
+    let d = dupes.len();
+    if d == 0 {
+        return Vec::new();
+    }
+    if d <= limit.min(24) {
+        // Enumerate subsets grouped by descending popcount; first fit wins.
+        let mut masks: Vec<u32> = (1..(1u32 << d)).collect();
+        masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
+        for mask in masks {
+            let members: Vec<QueryId> = (0..d)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| dupes[i])
+                .collect();
+            let mut ok = true;
+            let mut admitted_here = Vec::new();
+            for &q in &members {
+                if state.fits(q) {
+                    state.admit(q);
+                    admitted_here.push(q);
+                } else {
+                    ok = false;
+                    break;
+                }
+            }
+            for &q in admitted_here.iter().rev() {
+                state.withdraw(q);
+            }
+            if ok {
+                return members;
+            }
+        }
+        Vec::new()
+    } else {
+        // Greedy: repeatedly admit the duplicate with the smallest marginal
+        // load that still fits.
+        let mut rest: Vec<QueryId> = dupes.to_vec();
+        let mut chosen = Vec::new();
+        loop {
+            let pick = rest
+                .iter()
+                .enumerate()
+                .map(|(i, &q)| (i, state.marginal_load(q)))
+                .min_by(|(ia, la), (ib, lb)| la.cmp(lb).then_with(|| ia.cmp(ib)));
+            match pick {
+                Some((i, load)) if load <= state.remaining() => {
+                    let q = rest.swap_remove(i);
+                    state.admit(q);
+                    chosen.push(q);
+                }
+                _ => break,
+            }
+        }
+        for &q in chosen.iter().rev() {
+            state.withdraw(q);
+        }
+        chosen
+    }
+}
+
+impl Mechanism for TwoPrice {
+    fn name(&self) -> &'static str {
+        "Two-price"
+    }
+
+    fn run(&self, inst: &AuctionInstance, rng: &mut dyn Rng) -> Outcome {
+        let order = bid_order(inst);
+
+        // Step 2: maximal fitting prefix H; L is everything after it.
+        let mut state = AdmittedSet::new(inst);
+        let mut h: Vec<QueryId> = Vec::new();
+        let mut first_loser: Option<QueryId> = None;
+        for &q in &order {
+            if first_loser.is_none() && state.fits(q) {
+                state.admit(q);
+                h.push(q);
+            } else if first_loser.is_none() {
+                first_loser = Some(q);
+            }
+        }
+
+        // Step 3: duplicate repair at the H/L boundary.
+        if !self.config.skip_repair {
+            if let (Some(lost), Some(&h_last)) = (first_loser, h.last()) {
+                let v_l = inst.bid(lost);
+                if inst.bid(h_last) == v_l {
+                    let dupes: Vec<QueryId> = order
+                        .iter()
+                        .copied()
+                        .filter(|&q| inst.bid(q) == v_l)
+                        .collect();
+                    // H' = H − D (note: every member of D∩H sits at H's tail).
+                    for &q in h.iter().rev() {
+                        if inst.bid(q) == v_l {
+                            state.withdraw(q);
+                        }
+                    }
+                    h.retain(|&q| inst.bid(q) != v_l);
+                    let chosen =
+                        largest_fitting_subset(&mut state, &dupes, self.config.exhaustive_limit);
+                    for &q in &chosen {
+                        state.admit(q);
+                        h.push(q);
+                    }
+                }
+            }
+        }
+
+        // Step 4: split H uniformly at random into two halves.
+        let (mut half_a, mut half_b): (Vec<QueryId>, Vec<QueryId>) = match self.config.partition {
+            PartitionMode::EvenShuffle => {
+                let mut shuffled = h.clone();
+                shuffled.shuffle(rng);
+                let mid = shuffled.len() / 2;
+                (shuffled[..mid].to_vec(), shuffled[mid..].to_vec())
+            }
+            PartitionMode::PerQueryCoin => {
+                let coin_seed = rng.next_u64();
+                h.iter().partition(|&&q| query_coin(coin_seed, q))
+            }
+        };
+        let desc = |inst: &AuctionInstance, ids: &mut Vec<QueryId>| {
+            ids.sort_by(|&x, &y| inst.bid(y).cmp(&inst.bid(x)).then_with(|| x.cmp(&y)));
+        };
+        desc(inst, &mut half_a);
+        desc(inst, &mut half_b);
+
+        // Step 5: optimal single price of each half.
+        let p_a = optimal_half_price(inst, &half_a);
+        let p_b = optimal_half_price(inst, &half_b);
+
+        // Step 6: cross-apply. Winners from B bid strictly above A's price
+        // and pay it, and vice versa. An empty half offers no price, so the
+        // other half sells nothing.
+        let mut winners: Vec<QueryId> = Vec::new();
+        let mut payments = vec![Money::ZERO; inst.num_queries()];
+        if let Some(p) = p_a {
+            for &q in &half_b {
+                if inst.bid(q) > p {
+                    winners.push(q);
+                    payments[q.index()] = p;
+                }
+            }
+        }
+        if let Some(p) = p_b {
+            for &q in &half_a {
+                if inst.bid(q) > p {
+                    winners.push(q);
+                    payments[q.index()] = p;
+                }
+            }
+        }
+        winners.sort_unstable();
+        Outcome::new(self.name(), inst, winners, payments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::InstanceBuilder;
+    use crate::units::Load;
+
+    fn uniform_instance(n: usize, capacity: f64) -> AuctionInstance {
+        let mut b = InstanceBuilder::new(Load::from_units(capacity));
+        for i in 0..n {
+            let op = b.operator(Load::from_units(1.0));
+            b.query(Money::from_dollars(10.0 + i as f64), &[op]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn winners_pay_below_bid_and_fit() {
+        let inst = uniform_instance(40, 25.0);
+        for seed in 0..20 {
+            let out = TwoPrice::default().run_seeded(&inst, seed);
+            out.validate(&inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_half_sells_nothing() {
+        // A single query: one half is empty, so nobody can win.
+        let inst = uniform_instance(1, 100.0);
+        let out = TwoPrice::default().run_seeded(&inst, 3);
+        assert!(out.winners.is_empty());
+        assert_eq!(out.profit(), Money::ZERO);
+    }
+
+    #[test]
+    fn profit_respects_the_theorem11_bound_on_distinct_valuations() {
+        // Theorem 11 (E[profit] ≥ OPT_C − 2h) assumes distinct valuations.
+        // 100 queries with valuations $1..$100, room for the top 50.
+        let mut b = InstanceBuilder::new(Load::from_units(50.0));
+        for i in 0..100 {
+            let op = b.operator(Load::from_units(1.0));
+            b.query(Money::from_dollars(1.0 + i as f64), &[op]);
+        }
+        let inst = b.build().unwrap();
+        let optc = super::super::optc::optimal_constant_price(&inst);
+        let h = inst.max_bid();
+        let bound = optc.profit.as_f64() - 2.0 * h.as_f64();
+        let mut total = 0.0;
+        let runs = 200;
+        for seed in 0..runs {
+            let out = TwoPrice::default().run_seeded(&inst, seed);
+            out.validate(&inst).unwrap();
+            total += out.profit().as_f64();
+        }
+        let mean = total / runs as f64;
+        // Sample mean of 200 runs; allow 5% sampling slack below the
+        // expectation bound.
+        assert!(
+            mean >= bound * 0.95,
+            "mean profit {mean} far below OPT_C − 2h = {bound}"
+        );
+    }
+
+    #[test]
+    fn identical_valuations_sell_nothing() {
+        // With all valuations equal, both halves quote that common value and
+        // "strictly above" admits nobody — the paper's distinct-valuations
+        // assumption is load-bearing.
+        let mut b = InstanceBuilder::new(Load::from_units(50.0));
+        for _ in 0..100 {
+            let op = b.operator(Load::from_units(1.0));
+            b.query(Money::from_dollars(10.0), &[op]);
+        }
+        let inst = b.build().unwrap();
+        let out = TwoPrice::default().run_seeded(&inst, 11);
+        assert_eq!(out.profit(), Money::ZERO);
+    }
+
+    #[test]
+    fn duplicate_repair_is_tie_break_independent() {
+        // Capacity 3, valuations [10, 5, 5, 5]: H would be {10, 5, 5} with
+        // the boundary valuation duplicated. After repair, H = {10} ∪ D*
+        // where D* is a largest fitting subset of all three 5s — still two
+        // of them, but chosen canonically rather than by sort order.
+        let mut b = InstanceBuilder::new(Load::from_units(3.0));
+        for bid in [10.0, 5.0, 5.0, 5.0] {
+            let op = b.operator(Load::from_units(1.0));
+            b.query(Money::from_dollars(bid), &[op]);
+        }
+        let inst = b.build().unwrap();
+        let out = TwoPrice::default().run_seeded(&inst, 0);
+        out.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn polynomial_variant_runs() {
+        let inst = uniform_instance(30, 10.0);
+        let out = TwoPrice::polynomial().run_seeded(&inst, 7);
+        out.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn largest_fitting_subset_exact_beats_nothing() {
+        // Two duplicates of load 2 and one of load 1 against remaining
+        // capacity 3: exact search must find {2,1} (cardinality 2).
+        let mut b = InstanceBuilder::new(Load::from_units(3.0));
+        let x = b.operator(Load::from_units(2.0));
+        let y = b.operator(Load::from_units(2.0));
+        let z = b.operator(Load::from_units(1.0));
+        b.query(Money::from_dollars(5.0), &[x]);
+        b.query(Money::from_dollars(5.0), &[y]);
+        b.query(Money::from_dollars(5.0), &[z]);
+        let inst = b.build().unwrap();
+        let mut state = AdmittedSet::new(&inst);
+        let chosen = largest_fitting_subset(
+            &mut state,
+            &[QueryId(0), QueryId(1), QueryId(2)],
+            12,
+        );
+        assert_eq!(chosen.len(), 2);
+        assert!(state.is_empty(), "search must leave the state untouched");
+    }
+}

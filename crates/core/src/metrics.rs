@@ -1,0 +1,166 @@
+//! The performance metrics of §VI-A, bundled for the experiment harness.
+
+use crate::model::AuctionInstance;
+use crate::outcome::Outcome;
+use crate::units::Money;
+use serde::{Deserialize, Serialize};
+
+/// One mechanism's measured behaviour on one instance — the five metrics the
+/// paper reports (runtime is measured by the caller, since only it knows what
+/// to time).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Sum of payments of admitted queries (dollars).
+    pub profit: f64,
+    /// Percentage of queries admitted.
+    pub admission_rate: f64,
+    /// Sum of winner valuations minus payments (dollars).
+    pub total_payoff: f64,
+    /// Used capacity / system capacity, in `[0, 1]`.
+    pub utilization: f64,
+    /// Number of winners.
+    pub winners: usize,
+    /// Number of submitted queries.
+    pub queries: usize,
+}
+
+impl Metrics {
+    /// Computes metrics under truthful bidding (valuations = bids).
+    pub fn truthful(inst: &AuctionInstance, outcome: &Outcome) -> Self {
+        let valuations: Vec<Money> = inst.queries().iter().map(|q| q.bid).collect();
+        Self::with_valuations(inst, outcome, &valuations)
+    }
+
+    /// Computes metrics against explicit true valuations (which differ from
+    /// bids in the strategic-lying experiments of §VI-B).
+    pub fn with_valuations(
+        inst: &AuctionInstance,
+        outcome: &Outcome,
+        valuations: &[Money],
+    ) -> Self {
+        Self {
+            mechanism: outcome.mechanism.clone(),
+            profit: outcome.profit().as_f64(),
+            admission_rate: outcome.admission_rate(),
+            total_payoff: outcome.total_payoff(valuations).as_f64(),
+            utilization: outcome.utilization(inst),
+            winners: outcome.winners.len(),
+            queries: outcome.num_queries,
+        }
+    }
+}
+
+/// Mean of a metric across repeated runs (the paper averages 50 workload
+/// sets per point).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MetricsAccumulator {
+    n: usize,
+    profit: f64,
+    admission_rate: f64,
+    total_payoff: f64,
+    utilization: f64,
+}
+
+impl MetricsAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one run's metrics.
+    pub fn add(&mut self, m: &Metrics) {
+        self.n += 1;
+        self.profit += m.profit;
+        self.admission_rate += m.admission_rate;
+        self.total_payoff += m.total_payoff;
+        self.utilization += m.utilization;
+    }
+
+    /// Number of accumulated runs.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if nothing was accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Mean profit.
+    pub fn mean_profit(&self) -> f64 {
+        self.mean(self.profit)
+    }
+
+    /// Mean admission rate (percent).
+    pub fn mean_admission_rate(&self) -> f64 {
+        self.mean(self.admission_rate)
+    }
+
+    /// Mean total user payoff.
+    pub fn mean_total_payoff(&self) -> f64 {
+        self.mean(self.total_payoff)
+    }
+
+    /// Mean utilization in `[0, 1]`.
+    pub fn mean_utilization(&self) -> f64 {
+        self.mean(self.utilization)
+    }
+
+    fn mean(&self, sum: f64) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            sum / self.n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{InstanceBuilder, QueryId};
+    use crate::units::Load;
+
+    #[test]
+    fn accumulator_means() {
+        let mut b = InstanceBuilder::new(Load::from_units(10.0));
+        let a = b.operator(Load::from_units(2.0));
+        b.query(Money::from_dollars(10.0), &[a]);
+        let inst = b.build().unwrap();
+        let out = Outcome::new(
+            "m",
+            &inst,
+            vec![QueryId(0)],
+            vec![Money::from_dollars(4.0)],
+        );
+        let m = Metrics::truthful(&inst, &out);
+        assert_eq!(m.profit, 4.0);
+        assert_eq!(m.total_payoff, 6.0);
+
+        let mut acc = MetricsAccumulator::new();
+        acc.add(&m);
+        acc.add(&m);
+        assert_eq!(acc.len(), 2);
+        assert_eq!(acc.mean_profit(), 4.0);
+        assert_eq!(acc.mean_admission_rate(), 100.0);
+    }
+
+    #[test]
+    fn lying_valuations_change_payoff_only() {
+        let mut b = InstanceBuilder::new(Load::from_units(10.0));
+        let a = b.operator(Load::from_units(2.0));
+        b.query(Money::from_dollars(5.0), &[a]); // bid 5, true value 10
+        let inst = b.build().unwrap();
+        let out = Outcome::new(
+            "m",
+            &inst,
+            vec![QueryId(0)],
+            vec![Money::from_dollars(4.0)],
+        );
+        let m = Metrics::with_valuations(&inst, &out, &[Money::from_dollars(10.0)]);
+        assert_eq!(m.total_payoff, 6.0);
+        assert_eq!(m.profit, 4.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Refcounted shared-load accounting.
+//!
+//! With operator sharing, the load consumed by a set of admitted queries is
+//! the sum of loads of the **distinct** operators in their union (§II). Every
+//! mechanism therefore needs an efficient way to ask "what additional load
+//! would admitting `q` cost right now?" — the *remaining load* `CR_i` of
+//! Definition 2 — and to admit/withdraw queries incrementally.
+
+use super::{AuctionInstance, QueryId};
+use crate::units::Load;
+
+/// A mutable set of admitted queries over one [`AuctionInstance`], tracking
+/// per-operator reference counts and the total distinct-union load.
+///
+/// All operations are `O(|ops(q)|)`; withdrawal is exact rollback.
+#[derive(Clone, Debug)]
+pub struct AdmittedSet<'a> {
+    inst: &'a AuctionInstance,
+    /// Reference count per operator: number of *admitted* queries using it.
+    refcount: Vec<u32>,
+    /// Membership flags per query.
+    admitted: Vec<bool>,
+    /// Total load of distinct admitted operators.
+    used: Load,
+    /// Number of admitted queries.
+    count: usize,
+}
+
+impl<'a> AdmittedSet<'a> {
+    /// An empty admitted set over `inst`.
+    pub fn new(inst: &'a AuctionInstance) -> Self {
+        Self {
+            inst,
+            refcount: vec![0; inst.num_operators()],
+            admitted: vec![false; inst.num_queries()],
+            used: Load::ZERO,
+            count: 0,
+        }
+    }
+
+    /// The underlying instance.
+    #[inline]
+    pub fn instance(&self) -> &'a AuctionInstance {
+        self.inst
+    }
+
+    /// Total distinct-union load of the admitted queries.
+    #[inline]
+    pub fn used(&self) -> Load {
+        self.used
+    }
+
+    /// Remaining capacity (`capacity − used`).
+    #[inline]
+    pub fn remaining(&self) -> Load {
+        self.inst.capacity().saturating_sub(self.used)
+    }
+
+    /// Number of admitted queries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when no query is admitted.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether `q` is currently admitted.
+    #[inline]
+    pub fn contains(&self, q: QueryId) -> bool {
+        self.admitted[q.index()]
+    }
+
+    /// The *remaining load* `CR_q` (Definition 2): the total load of `q`'s
+    /// operators excluding those already provided by admitted queries.
+    pub fn marginal_load(&self, q: QueryId) -> Load {
+        debug_assert!(!self.contains(q), "marginal load of an admitted query");
+        let mut load = Load::ZERO;
+        for &op in &self.inst.query(q).operators {
+            if self.refcount[op.index()] == 0 {
+                load += self.inst.operator_load(op);
+            }
+        }
+        load
+    }
+
+    /// Whether admitting `q` keeps the total load within capacity.
+    #[inline]
+    pub fn fits(&self, q: QueryId) -> bool {
+        self.marginal_load(q) <= self.remaining()
+    }
+
+    /// Admits `q`, returning the marginal load it actually added.
+    ///
+    /// # Panics
+    /// Panics (debug) if `q` was already admitted.
+    pub fn admit(&mut self, q: QueryId) -> Load {
+        debug_assert!(!self.contains(q), "double admission of {q}");
+        let mut added = Load::ZERO;
+        for &op in &self.inst.query(q).operators {
+            let rc = &mut self.refcount[op.index()];
+            if *rc == 0 {
+                added += self.inst.operator_load(op);
+            }
+            *rc += 1;
+        }
+        self.admitted[q.index()] = true;
+        self.used += added;
+        self.count += 1;
+        added
+    }
+
+    /// Withdraws `q`, returning the load that was released.
+    ///
+    /// # Panics
+    /// Panics (debug) if `q` was not admitted.
+    pub fn withdraw(&mut self, q: QueryId) -> Load {
+        debug_assert!(self.contains(q), "withdrawing non-admitted {q}");
+        let mut released = Load::ZERO;
+        for &op in &self.inst.query(q).operators {
+            let rc = &mut self.refcount[op.index()];
+            *rc -= 1;
+            if *rc == 0 {
+                released += self.inst.operator_load(op);
+            }
+        }
+        self.admitted[q.index()] = false;
+        self.used -= released;
+        self.count -= 1;
+        released
+    }
+
+    /// Admits every query in `qs` (in order); convenience for feasibility
+    /// checks of whole sets (the union load is order-independent).
+    pub fn admit_all<I: IntoIterator<Item = QueryId>>(&mut self, qs: I) {
+        for q in qs {
+            self.admit(q);
+        }
+    }
+
+    /// Resets to the empty set without reallocating.
+    pub fn clear(&mut self) {
+        self.refcount.fill(0);
+        self.admitted.fill(false);
+        self.used = Load::ZERO;
+        self.count = 0;
+    }
+
+    /// Ids of the admitted queries, ascending.
+    pub fn winners(&self) -> Vec<QueryId> {
+        self.admitted
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| a.then_some(QueryId(i as u32)))
+            .collect()
+    }
+}
+
+/// Computes the distinct-union load of an arbitrary query set without
+/// mutating an [`AdmittedSet`] — used by OPT_C and Two-price feasibility
+/// checks over candidate sets.
+pub(crate) fn union_load(inst: &AuctionInstance, qs: &[QueryId]) -> Load {
+    let mut seen = vec![false; inst.num_operators()];
+    let mut load = Load::ZERO;
+    for &q in qs {
+        for &op in &inst.query(q).operators {
+            if !seen[op.index()] {
+                seen[op.index()] = true;
+                load += inst.operator_load(op);
+            }
+        }
+    }
+    load
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::InstanceBuilder;
+    use crate::units::Money;
+
+    fn example1() -> AuctionInstance {
+        let mut b = InstanceBuilder::new(Load::from_units(10.0));
+        let a = b.operator(Load::from_units(4.0));
+        let ob = b.operator(Load::from_units(1.0));
+        let c = b.operator(Load::from_units(2.0));
+        let d = b.operator(Load::from_units(7.0));
+        let e = b.operator(Load::from_units(3.0));
+        b.query(Money::from_dollars(55.0), &[a, ob]);
+        b.query(Money::from_dollars(72.0), &[a, c]);
+        b.query(Money::from_dollars(100.0), &[d, e]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn marginal_load_reflects_sharing() {
+        let inst = example1();
+        let mut set = AdmittedSet::new(&inst);
+        // Initially CR equals total load.
+        assert_eq!(set.marginal_load(QueryId(0)), Load::from_units(5.0));
+        assert_eq!(set.marginal_load(QueryId(1)), Load::from_units(6.0));
+        // After admitting q2 (ops A,C), q1's remaining load is just B = 1.
+        set.admit(QueryId(1));
+        assert_eq!(set.marginal_load(QueryId(0)), Load::from_units(1.0));
+        assert_eq!(set.used(), Load::from_units(6.0));
+        set.admit(QueryId(0));
+        assert_eq!(set.used(), Load::from_units(7.0));
+        assert_eq!(set.remaining(), Load::from_units(3.0));
+        // q3 needs 10 more units: does not fit.
+        assert!(!set.fits(QueryId(2)));
+    }
+
+    #[test]
+    fn withdraw_is_exact_rollback() {
+        let inst = example1();
+        let mut set = AdmittedSet::new(&inst);
+        set.admit(QueryId(1));
+        set.admit(QueryId(0));
+        let before = set.used();
+        set.withdraw(QueryId(1));
+        // Operator A is still referenced by q1, so only C (2.0) is released.
+        assert_eq!(before - set.used(), Load::from_units(2.0));
+        set.withdraw(QueryId(0));
+        assert_eq!(set.used(), Load::ZERO);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn union_load_is_order_independent() {
+        let inst = example1();
+        let l1 = union_load(&inst, &[QueryId(0), QueryId(1)]);
+        let l2 = union_load(&inst, &[QueryId(1), QueryId(0)]);
+        assert_eq!(l1, l2);
+        assert_eq!(l1, Load::from_units(7.0));
+    }
+
+    #[test]
+    fn winners_sorted() {
+        let inst = example1();
+        let mut set = AdmittedSet::new(&inst);
+        set.admit(QueryId(2));
+        set.admit(QueryId(0));
+        assert_eq!(set.winners(), vec![QueryId(0), QueryId(2)]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let inst = example1();
+        let mut set = AdmittedSet::new(&inst);
+        set.admit_all([QueryId(0), QueryId(1)]);
+        set.clear();
+        assert!(set.is_empty());
+        assert_eq!(set.used(), Load::ZERO);
+        assert_eq!(set.marginal_load(QueryId(0)), Load::from_units(5.0));
+    }
+}

@@ -1,0 +1,198 @@
+//! Validated construction of [`AuctionInstance`]s.
+
+use super::{AuctionInstance, OperatorDef, OperatorId, QueryDef, QueryId, UserId};
+use crate::units::{Load, Money};
+use std::fmt;
+
+/// Errors rejected by [`InstanceBuilder::build`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// A query referenced an operator id that was never declared.
+    UnknownOperator {
+        /// The offending query.
+        query: QueryId,
+        /// The dangling operator reference.
+        operator: OperatorId,
+    },
+    /// A query has an empty operator set; such a query has no load and the
+    /// paper's density priorities are undefined for it.
+    EmptyQuery {
+        /// The offending query.
+        query: QueryId,
+    },
+    /// Capacity must be positive for the auction to be meaningful.
+    ZeroCapacity,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownOperator { query, operator } => {
+                write!(f, "query {query} references unknown operator {operator}")
+            }
+            BuildError::EmptyQuery { query } => {
+                write!(f, "query {query} has an empty operator set")
+            }
+            BuildError::ZeroCapacity => write!(f, "system capacity must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incrementally assembles an [`AuctionInstance`].
+///
+/// ```
+/// use cqac_core::model::InstanceBuilder;
+/// use cqac_core::units::{Load, Money};
+///
+/// let mut b = InstanceBuilder::new(Load::from_units(10.0));
+/// let a = b.operator(Load::from_units(4.0));
+/// let c = b.operator(Load::from_units(2.0));
+/// b.query(Money::from_dollars(72.0), &[a, c]);
+/// let inst = b.build().unwrap();
+/// assert_eq!(inst.num_queries(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct InstanceBuilder {
+    capacity: Load,
+    operators: Vec<OperatorDef>,
+    queries: Vec<QueryDef>,
+}
+
+impl InstanceBuilder {
+    /// Starts an instance with the given system capacity.
+    pub fn new(capacity: Load) -> Self {
+        Self {
+            capacity,
+            operators: Vec::new(),
+            queries: Vec::new(),
+        }
+    }
+
+    /// Pre-allocates for the expected number of operators and queries.
+    pub fn with_capacity_hint(mut self, operators: usize, queries: usize) -> Self {
+        self.operators.reserve(operators);
+        self.queries.reserve(queries);
+        self
+    }
+
+    /// Declares an operator with load `c_j` and returns its id.
+    pub fn operator(&mut self, load: Load) -> OperatorId {
+        let id = OperatorId(self.operators.len() as u32);
+        self.operators.push(OperatorDef { id, load });
+        id
+    }
+
+    /// Submits a query for a fresh single-query user (user id = query id),
+    /// which is the common case in the paper's experiments.
+    pub fn query(&mut self, bid: Money, operators: &[OperatorId]) -> QueryId {
+        let user = UserId(self.queries.len() as u32);
+        self.query_for_user(user, bid, operators)
+    }
+
+    /// Submits a query on behalf of an explicit user (needed to model sybil
+    /// attackers who control several identities).
+    pub fn query_for_user(
+        &mut self,
+        user: UserId,
+        bid: Money,
+        operators: &[OperatorId],
+    ) -> QueryId {
+        let id = QueryId(self.queries.len() as u32);
+        let mut ops = operators.to_vec();
+        ops.sort_unstable();
+        ops.dedup();
+        self.queries.push(QueryDef {
+            id,
+            user,
+            bid,
+            operators: ops,
+        });
+        id
+    }
+
+    /// Number of queries added so far.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Number of operators added so far.
+    pub fn num_operators(&self) -> usize {
+        self.operators.len()
+    }
+
+    /// Validates and finalizes the instance.
+    pub fn build(self) -> Result<AuctionInstance, BuildError> {
+        if self.capacity.is_zero() {
+            return Err(BuildError::ZeroCapacity);
+        }
+        for q in &self.queries {
+            if q.operators.is_empty() {
+                return Err(BuildError::EmptyQuery { query: q.id });
+            }
+            for &op in &q.operators {
+                if op.index() >= self.operators.len() {
+                    return Err(BuildError::UnknownOperator {
+                        query: q.id,
+                        operator: op,
+                    });
+                }
+            }
+        }
+        Ok(AuctionInstance::from_parts(
+            self.capacity,
+            self.operators,
+            self.queries,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_capacity() {
+        let b = InstanceBuilder::new(Load::ZERO);
+        assert_eq!(b.build().unwrap_err(), BuildError::ZeroCapacity);
+    }
+
+    #[test]
+    fn rejects_empty_query() {
+        let mut b = InstanceBuilder::new(Load::ONE);
+        b.query(Money::from_dollars(1.0), &[]);
+        assert!(matches!(b.build().unwrap_err(), BuildError::EmptyQuery { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_operator() {
+        let mut b = InstanceBuilder::new(Load::ONE);
+        b.query(Money::from_dollars(1.0), &[OperatorId(7)]);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::UnknownOperator { operator: OperatorId(7), .. }
+        ));
+    }
+
+    #[test]
+    fn dedupes_operator_lists() {
+        let mut b = InstanceBuilder::new(Load::from_units(10.0));
+        let a = b.operator(Load::ONE);
+        let q = b.query(Money::from_dollars(1.0), &[a, a, a]);
+        let inst = b.build().unwrap();
+        assert_eq!(inst.query(q).operators, vec![a]);
+        assert_eq!(inst.total_load(q), Load::ONE);
+    }
+
+    #[test]
+    fn users_default_to_query_ids() {
+        let mut b = InstanceBuilder::new(Load::from_units(10.0));
+        let a = b.operator(Load::ONE);
+        b.query(Money::from_dollars(1.0), &[a]);
+        b.query_for_user(UserId(0), Money::from_dollars(2.0), &[a]);
+        let inst = b.build().unwrap();
+        assert_eq!(inst.query(QueryId(0)).user, UserId(0));
+        assert_eq!(inst.query(QueryId(1)).user, UserId(0)); // same owner
+    }
+}

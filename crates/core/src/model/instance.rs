@@ -1,0 +1,325 @@
+//! The immutable auction input: operators with loads, queries with bids and
+//! operator sets, and the derived per-query load statistics.
+
+use super::{OperatorId, QueryId, UserId};
+use crate::units::{Load, Money};
+use serde::{Deserialize, Serialize};
+
+/// An operator `o_j` with its load `c_j` — the fraction of system capacity it
+/// consumes per time unit (§II). Loads are assumed to be "reasonably
+/// approximated by the system"; the `cqac-dsms` crate provides one such
+/// approximation from measured per-tuple costs and input rates.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OperatorDef {
+    /// Dense id within the instance.
+    pub id: OperatorId,
+    /// The operator's load `c_j`.
+    pub load: Load,
+}
+
+/// A submitted continuous query: the user, her bid, and the set of operators
+/// the query consists of (deduplicated, sorted).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryDef {
+    /// Dense id within the instance.
+    pub id: QueryId,
+    /// The submitting user. Distinct queries may share a user.
+    pub user: UserId,
+    /// The declared bid `b_i` (under truthful bidding, the valuation `v_i`).
+    pub bid: Money,
+    /// Sorted, deduplicated operator ids comprising the query.
+    pub operators: Vec<OperatorId>,
+}
+
+/// A complete, validated auction input instance.
+///
+/// Construction goes through [`super::InstanceBuilder`], which validates
+/// operator references and precomputes:
+///
+/// * per-operator **sharing degree** `l_j` — how many queries contain `o_j`;
+/// * per-query **total load** `C^T_i = Σ_{o_j ∈ q_i} c_j` (§IV-C);
+/// * per-query **static fair-share load** `C^SF_i = Σ c_j / l_j` (Def. 3).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AuctionInstance {
+    capacity: Load,
+    operators: Vec<OperatorDef>,
+    queries: Vec<QueryDef>,
+    /// `sharers[j]` = number of queries containing operator `j` (its degree
+    /// of sharing).
+    sharers: Vec<u32>,
+    /// `queries_of[j]` = the queries containing operator `j`, ascending.
+    queries_of: Vec<Vec<QueryId>>,
+    /// `total_load[i]` = `C^T_i`.
+    total_load: Vec<Load>,
+    /// `fair_share_load[i]` = `C^SF_i`.
+    fair_share_load: Vec<Load>,
+}
+
+impl AuctionInstance {
+    pub(super) fn from_parts(
+        capacity: Load,
+        operators: Vec<OperatorDef>,
+        queries: Vec<QueryDef>,
+    ) -> Self {
+        let mut sharers = vec![0u32; operators.len()];
+        let mut queries_of: Vec<Vec<QueryId>> = vec![Vec::new(); operators.len()];
+        for q in &queries {
+            for &op in &q.operators {
+                sharers[op.index()] += 1;
+                queries_of[op.index()].push(q.id);
+            }
+        }
+        let total_load: Vec<Load> = queries
+            .iter()
+            .map(|q| q.operators.iter().map(|op| operators[op.index()].load).sum())
+            .collect();
+        let fair_share_load: Vec<Load> = queries
+            .iter()
+            .map(|q| {
+                q.operators
+                    .iter()
+                    .map(|op| {
+                        operators[op.index()]
+                            .load
+                            .div_count(u64::from(sharers[op.index()]))
+                    })
+                    .sum()
+            })
+            .collect();
+        Self {
+            capacity,
+            operators,
+            queries,
+            sharers,
+            queries_of,
+            total_load,
+            fair_share_load,
+        }
+    }
+
+    /// The system capacity: the admitted queries' distinct-union operator
+    /// load may not exceed it.
+    #[inline]
+    pub fn capacity(&self) -> Load {
+        self.capacity
+    }
+
+    /// All operators, indexed by [`OperatorId`].
+    #[inline]
+    pub fn operators(&self) -> &[OperatorDef] {
+        &self.operators
+    }
+
+    /// All queries, indexed by [`QueryId`].
+    #[inline]
+    pub fn queries(&self) -> &[QueryDef] {
+        &self.queries
+    }
+
+    /// Number of submitted queries.
+    #[inline]
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Number of distinct operators.
+    #[inline]
+    pub fn num_operators(&self) -> usize {
+        self.operators.len()
+    }
+
+    /// The query with the given id.
+    #[inline]
+    pub fn query(&self, id: QueryId) -> &QueryDef {
+        &self.queries[id.index()]
+    }
+
+    /// The load `c_j` of an operator.
+    #[inline]
+    pub fn operator_load(&self, id: OperatorId) -> Load {
+        self.operators[id.index()].load
+    }
+
+    /// The sharing degree `l_j` of operator `j` — how many queries contain it.
+    #[inline]
+    pub fn sharing_degree(&self, id: OperatorId) -> u32 {
+        self.sharers[id.index()]
+    }
+
+    /// The queries containing operator `j`, ascending.
+    #[inline]
+    pub fn queries_sharing(&self, id: OperatorId) -> &[QueryId] {
+        &self.queries_of[id.index()]
+    }
+
+    /// The maximum sharing degree over all operators (the x-axis of the
+    /// paper's Figure 4).
+    pub fn max_degree_of_sharing(&self) -> u32 {
+        self.sharers.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The query's total load `C^T_i` (§IV-C).
+    #[inline]
+    pub fn total_load(&self, id: QueryId) -> Load {
+        self.total_load[id.index()]
+    }
+
+    /// The query's static fair-share load `C^SF_i` (Definition 3).
+    #[inline]
+    pub fn fair_share_load(&self, id: QueryId) -> Load {
+        self.fair_share_load[id.index()]
+    }
+
+    /// The bid `b_i` of a query.
+    #[inline]
+    pub fn bid(&self, id: QueryId) -> Money {
+        self.queries[id.index()].bid
+    }
+
+    /// Iterator over all query ids in submission order.
+    pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        (0..self.queries.len() as u32).map(QueryId)
+    }
+
+    /// The highest bid `h` among all queries (the paper's profit-guarantee
+    /// parameter).
+    pub fn max_bid(&self) -> Money {
+        self.queries.iter().map(|q| q.bid).max().unwrap_or(Money::ZERO)
+    }
+
+    /// Sum of all distinct operator loads — the load of servicing *every*
+    /// query (the paper's "total query demand").
+    pub fn total_demand(&self) -> Load {
+        self.operators.iter().map(|o| o.load).sum()
+    }
+
+    /// Returns a copy of the instance with query `id`'s bid replaced — the
+    /// basic move of the strategyproofness deviation tests.
+    pub fn with_bid(&self, id: QueryId, bid: Money) -> Self {
+        let mut copy = self.clone();
+        copy.queries[id.index()].bid = bid;
+        copy
+    }
+
+    /// Returns a copy with query `id`'s *operator set* replaced — the move
+    /// of the single-minded-bidder monotonicity audits (§III): users might
+    /// misreport which operators their query contains. Derived statistics
+    /// (sharing degrees, fair shares) are recomputed.
+    ///
+    /// # Panics
+    /// Panics when `operators` is empty or references unknown ids.
+    pub fn with_query_operators(&self, id: QueryId, operators: &[OperatorId]) -> Self {
+        assert!(!operators.is_empty(), "a query needs at least one operator");
+        let mut ops = operators.to_vec();
+        ops.sort_unstable();
+        ops.dedup();
+        for op in &ops {
+            assert!(op.index() < self.operators.len(), "unknown operator {op}");
+        }
+        let mut queries = self.queries.clone();
+        queries[id.index()].operators = ops;
+        Self::from_parts(self.capacity, self.operators.clone(), queries)
+    }
+
+    /// Returns a copy of the instance with extra queries appended (a sybil
+    /// attack, §V). New queries may reference existing operators and/or the
+    /// `new_operators` appended after the existing ones. Derived statistics
+    /// (sharing degrees, fair shares) are recomputed — which is exactly how
+    /// fake queries manipulate CAF's fair-share loads.
+    pub fn with_extra_queries(
+        &self,
+        new_operators: Vec<Load>,
+        new_queries: Vec<(UserId, Money, Vec<OperatorId>)>,
+    ) -> Self {
+        let mut operators = self.operators.clone();
+        for load in new_operators {
+            let id = OperatorId(operators.len() as u32);
+            operators.push(OperatorDef { id, load });
+        }
+        let mut queries = self.queries.clone();
+        for (user, bid, ops) in new_queries {
+            let mut ops = ops;
+            ops.sort_unstable();
+            ops.dedup();
+            for op in &ops {
+                assert!(
+                    op.index() < operators.len(),
+                    "sybil query references unknown operator {op}"
+                );
+            }
+            let id = QueryId(queries.len() as u32);
+            queries.push(QueryDef {
+                id,
+                user,
+                bid,
+                operators: ops,
+            });
+        }
+        Self::from_parts(self.capacity, operators, queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::InstanceBuilder;
+    use crate::units::{Load, Money};
+
+    /// The paper's Example 1 (Figures 1–2): capacity 10, operators
+    /// A(4) B(1) C(2) D(7) E(3); q1={A,B} bid $55, q2={A,C} bid $72,
+    /// q3={D,E} bid $100.
+    pub(crate) fn example1() -> crate::model::AuctionInstance {
+        let mut b = InstanceBuilder::new(Load::from_units(10.0));
+        let a = b.operator(Load::from_units(4.0));
+        let ob = b.operator(Load::from_units(1.0));
+        let c = b.operator(Load::from_units(2.0));
+        let d = b.operator(Load::from_units(7.0));
+        let e = b.operator(Load::from_units(3.0));
+        b.query(Money::from_dollars(55.0), &[a, ob]);
+        b.query(Money::from_dollars(72.0), &[a, c]);
+        b.query(Money::from_dollars(100.0), &[d, e]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn example1_loads() {
+        use crate::model::QueryId;
+        let inst = example1();
+        assert_eq!(inst.total_load(QueryId(0)), Load::from_units(5.0));
+        assert_eq!(inst.total_load(QueryId(1)), Load::from_units(6.0));
+        assert_eq!(inst.total_load(QueryId(2)), Load::from_units(10.0));
+        // A is shared by q1 and q2: fair shares 4/2+1=3 and 4/2+2=4.
+        assert_eq!(inst.fair_share_load(QueryId(0)), Load::from_units(3.0));
+        assert_eq!(inst.fair_share_load(QueryId(1)), Load::from_units(4.0));
+        assert_eq!(inst.fair_share_load(QueryId(2)), Load::from_units(10.0));
+        assert_eq!(inst.max_degree_of_sharing(), 2);
+        assert_eq!(inst.total_demand(), Load::from_units(17.0));
+        assert_eq!(inst.max_bid(), Money::from_dollars(100.0));
+    }
+
+    #[test]
+    fn with_bid_only_changes_target() {
+        use crate::model::QueryId;
+        let inst = example1();
+        let changed = inst.with_bid(QueryId(1), Money::from_dollars(1.0));
+        assert_eq!(changed.bid(QueryId(1)), Money::from_dollars(1.0));
+        assert_eq!(changed.bid(QueryId(0)), inst.bid(QueryId(0)));
+        assert_eq!(changed.fair_share_load(QueryId(0)), inst.fair_share_load(QueryId(0)));
+    }
+
+    #[test]
+    fn with_extra_queries_recomputes_fair_share() {
+        use crate::model::{OperatorId, QueryId, UserId};
+        let inst = example1();
+        // A fake query sharing operator A lowers q1's and q2's fair share.
+        let attacked = inst.with_extra_queries(
+            vec![],
+            vec![(UserId(0), Money::from_micro(1), vec![OperatorId(0)])],
+        );
+        assert_eq!(attacked.sharing_degree(OperatorId(0)), 3);
+        // q1: 4/3 + 1; floor division in micro units.
+        assert_eq!(
+            attacked.fair_share_load(QueryId(0)).micro(),
+            4_000_000 / 3 + 1_000_000
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! The auction input model: operators, queries, instances, and the
+//! shared-load accounting used by every mechanism.
+//!
+//! The paper (§II) abstracts a continuous query to *the set of operators it
+//! contains*, ignoring dataflow order (Figure 2): the auction only needs each
+//! operator's load, which queries contain it, and the user bids. The
+//! dataflow-level substrate lives in the `cqac-dsms` crate, which lowers a
+//! real query network into an [`AuctionInstance`] through its cost model.
+
+mod admitted;
+mod builder;
+mod instance;
+
+pub use admitted::AdmittedSet;
+pub(crate) use admitted::union_load as union_load_of;
+pub use builder::{BuildError, InstanceBuilder};
+pub use instance::{AuctionInstance, OperatorDef, QueryDef};
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The id as a `usize` index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies an operator within one [`AuctionInstance`]; ids are dense
+    /// indices assigned by the [`InstanceBuilder`].
+    OperatorId,
+    "o"
+);
+
+id_type!(
+    /// Identifies a query within one [`AuctionInstance`]; ids are dense
+    /// indices in submission order.
+    QueryId,
+    "q"
+);
+
+id_type!(
+    /// Identifies the user who submitted a query. Several queries may belong
+    /// to one user (which is exactly what a sybil attacker exploits, §V).
+    UserId,
+    "u"
+);

@@ -1,0 +1,201 @@
+//! Auction outcomes: who won, what they pay, and derived aggregates.
+
+use crate::model::{AuctionInstance, QueryId};
+use crate::units::{Load, Money};
+use serde::{Deserialize, Serialize};
+
+/// The result of running a mechanism on an [`AuctionInstance`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Outcome {
+    /// Name of the mechanism that produced the outcome.
+    pub mechanism: String,
+    /// Admitted query ids, ascending.
+    pub winners: Vec<QueryId>,
+    /// Payment per query (indexed by [`QueryId`]); losers pay
+    /// [`Money::ZERO`].
+    pub payments: Vec<Money>,
+    /// Distinct-union load of the winners (used server capacity).
+    pub used_capacity: Load,
+    /// Total number of submitted queries.
+    pub num_queries: usize,
+}
+
+impl Outcome {
+    /// Builds an outcome, computing `used_capacity` from the winner set.
+    pub fn new(
+        mechanism: &str,
+        inst: &AuctionInstance,
+        winners: Vec<QueryId>,
+        payments: Vec<Money>,
+    ) -> Self {
+        debug_assert_eq!(payments.len(), inst.num_queries());
+        let used_capacity = crate::model::union_load_of(inst, &winners);
+        Self {
+            mechanism: mechanism.to_string(),
+            winners,
+            payments,
+            used_capacity,
+            num_queries: inst.num_queries(),
+        }
+    }
+
+    /// Whether query `q` was admitted.
+    pub fn is_winner(&self, q: QueryId) -> bool {
+        self.winners.binary_search(&q).is_ok()
+    }
+
+    /// Payment charged to `q` (zero for losers).
+    pub fn payment(&self, q: QueryId) -> Money {
+        self.payments.get(q.index()).copied().unwrap_or(Money::ZERO)
+    }
+
+    /// **Profit** — the sum of the payments of the admitted queries (§VI-A).
+    pub fn profit(&self) -> Money {
+        self.payments.iter().copied().sum()
+    }
+
+    /// **Admission rate** — the percentage of queries admitted (§VI-A).
+    pub fn admission_rate(&self) -> f64 {
+        if self.num_queries == 0 {
+            0.0
+        } else {
+            100.0 * self.winners.len() as f64 / self.num_queries as f64
+        }
+    }
+
+    /// The payoff `u_i = v_i − p_i` of one query given its true valuation
+    /// (`0` for losers).
+    pub fn payoff(&self, q: QueryId, valuation: Money) -> Money {
+        if self.is_winner(q) {
+            valuation.saturating_sub(self.payment(q))
+        } else {
+            Money::ZERO
+        }
+    }
+
+    /// **Total user payoff** — `Σ_{winners} (v_i − p_i)`, where `v_i` is
+    /// taken from `valuations` (indexed by query id). Under truthful bidding
+    /// pass the instance bids. The paper reads this as total user
+    /// satisfaction (§VI-A).
+    pub fn total_payoff(&self, valuations: &[Money]) -> Money {
+        self.winners
+            .iter()
+            .map(|&q| valuations[q.index()].saturating_sub(self.payment(q)))
+            .sum()
+    }
+
+    /// **Total user payoff** under truthful bidding (valuations = bids).
+    pub fn total_payoff_truthful(&self, inst: &AuctionInstance) -> Money {
+        let valuations: Vec<Money> = inst.queries().iter().map(|q| q.bid).collect();
+        self.total_payoff(&valuations)
+    }
+
+    /// **System utilization** — used capacity / total capacity, in `[0, 1]`
+    /// (§VI-A reports it as a percentage).
+    pub fn utilization(&self, inst: &AuctionInstance) -> f64 {
+        if inst.capacity().is_zero() {
+            0.0
+        } else {
+            self.used_capacity.as_f64() / inst.capacity().as_f64()
+        }
+    }
+
+    /// Consistency checks every mechanism must satisfy:
+    /// feasibility (winners fit in capacity), losers pay zero, payments are
+    /// individually rational (`p_i ≤ b_i`). Used by tests and debug builds.
+    pub fn validate(&self, inst: &AuctionInstance) -> Result<(), String> {
+        if self.used_capacity > inst.capacity() {
+            return Err(format!(
+                "infeasible: used {} exceeds capacity {}",
+                self.used_capacity,
+                inst.capacity()
+            ));
+        }
+        for q in inst.query_ids() {
+            let p = self.payment(q);
+            if self.is_winner(q) {
+                if p > inst.bid(q) {
+                    return Err(format!(
+                        "winner {q} charged {p} above its bid {}",
+                        inst.bid(q)
+                    ));
+                }
+            } else if !p.is_zero() {
+                return Err(format!("loser {q} charged {p}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::InstanceBuilder;
+
+    fn tiny() -> AuctionInstance {
+        let mut b = InstanceBuilder::new(Load::from_units(10.0));
+        let a = b.operator(Load::from_units(4.0));
+        let c = b.operator(Load::from_units(2.0));
+        b.query(Money::from_dollars(10.0), &[a]);
+        b.query(Money::from_dollars(20.0), &[a, c]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn aggregates() {
+        let inst = tiny();
+        let out = Outcome::new(
+            "test",
+            &inst,
+            vec![QueryId(0), QueryId(1)],
+            vec![Money::from_dollars(4.0), Money::from_dollars(6.0)],
+        );
+        assert_eq!(out.profit(), Money::from_dollars(10.0));
+        assert_eq!(out.admission_rate(), 100.0);
+        assert_eq!(out.used_capacity, Load::from_units(6.0)); // shared op A
+        assert_eq!(
+            out.total_payoff_truthful(&inst),
+            Money::from_dollars(6.0 + 14.0)
+        );
+        assert!((out.utilization(&inst) - 0.6).abs() < 1e-12);
+        out.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_loser_payment() {
+        let inst = tiny();
+        let out = Outcome::new(
+            "test",
+            &inst,
+            vec![QueryId(0)],
+            vec![Money::ZERO, Money::from_dollars(1.0)],
+        );
+        assert!(out.validate(&inst).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_overcharge() {
+        let inst = tiny();
+        let out = Outcome::new(
+            "test",
+            &inst,
+            vec![QueryId(0)],
+            vec![Money::from_dollars(11.0), Money::ZERO],
+        );
+        assert!(out.validate(&inst).is_err());
+    }
+
+    #[test]
+    fn payoff_of_loser_is_zero() {
+        let inst = tiny();
+        let out = Outcome::new(
+            "test",
+            &inst,
+            vec![QueryId(0)],
+            vec![Money::from_dollars(4.0), Money::ZERO],
+        );
+        assert_eq!(out.payoff(QueryId(1), Money::from_dollars(100.0)), Money::ZERO);
+        assert_eq!(out.payoff(QueryId(0), Money::from_dollars(10.0)), Money::from_dollars(6.0));
+    }
+}

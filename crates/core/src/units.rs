@@ -1,0 +1,412 @@
+//! Fixed-point quantities used throughout the auction.
+//!
+//! The paper works with real-valued operator loads (Zipf up to 10 capacity
+//! units) and dollar bids (Zipf up to $100). Floating point would make
+//! priority ordering (bid/load density comparisons) platform- and
+//! optimization-dependent, which in turn would make the theorem-shaped tests
+//! (monotonicity, critical-value payments, sybil immunity) flaky. Instead we
+//! store both loads and money as **u64 micro-units** (scale 10⁻⁶) and compare
+//! densities exactly with u128 cross-multiplication.
+//!
+//! Ranges (all far inside u64/u128):
+//! * operator load ≤ 10 units = 10⁷ micro; total workload load ≤ ~10¹¹ micro;
+//! * bids ≤ $100 = 10⁸ micro; total profit ≤ ~10¹¹ micro;
+//! * density cross products ≤ 10⁸ × 10¹¹ = 10¹⁹ < u128::MAX.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// Number of micro-units per whole unit.
+pub const MICRO: u64 = 1_000_000;
+
+macro_rules! fixed_point_type {
+    ($(#[$meta:meta])* $name:ident, $unit_name:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0);
+            /// The largest representable quantity.
+            pub const MAX: Self = Self(u64::MAX);
+            /// One whole unit.
+            pub const ONE: Self = Self(MICRO);
+            /// The smallest positive quantity (one micro-unit).
+            pub const EPSILON: Self = Self(1);
+
+            /// Builds a quantity from raw micro-units.
+            #[inline]
+            pub const fn from_micro(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Raw micro-unit value.
+            #[inline]
+            pub const fn micro(self) -> u64 {
+                self.0
+            }
+
+            /// Builds a quantity from a non-negative float number of whole
+            /// units, rounding to the nearest micro-unit.
+            ///
+            /// # Panics
+            /// Panics if `units` is negative, NaN, or too large for `u64`.
+            #[inline]
+            pub fn from_units(units: f64) -> Self {
+                assert!(
+                    units.is_finite() && units >= 0.0,
+                    concat!($unit_name, " must be a non-negative finite number, got {}"),
+                    units
+                );
+                let raw = units * MICRO as f64;
+                assert!(
+                    raw <= u64::MAX as f64,
+                    concat!($unit_name, " {} overflows the fixed-point range"),
+                    units
+                );
+                Self(raw.round() as u64)
+            }
+
+            /// The quantity as a float number of whole units.
+            #[inline]
+            pub fn as_f64(self) -> f64 {
+                self.0 as f64 / MICRO as f64
+            }
+
+            /// True when the quantity is exactly zero.
+            #[inline]
+            pub const fn is_zero(self) -> bool {
+                self.0 == 0
+            }
+
+            /// Checked addition; `None` on overflow.
+            #[inline]
+            pub fn checked_add(self, rhs: Self) -> Option<Self> {
+                self.0.checked_add(rhs.0).map(Self)
+            }
+
+            /// Checked subtraction; `None` if `rhs > self`.
+            #[inline]
+            pub fn checked_sub(self, rhs: Self) -> Option<Self> {
+                self.0.checked_sub(rhs.0).map(Self)
+            }
+
+            /// Saturating subtraction (floors at zero).
+            #[inline]
+            pub fn saturating_sub(self, rhs: Self) -> Self {
+                Self(self.0.saturating_sub(rhs.0))
+            }
+
+            /// Divides the quantity by an integer count, rounding down.
+            /// Used for fair-share loads (`c_j / l`).
+            ///
+            /// # Panics
+            /// Panics when `divisor == 0`.
+            #[inline]
+            pub fn div_count(self, divisor: u64) -> Self {
+                assert!(divisor != 0, "division of a fixed-point quantity by zero");
+                Self(self.0 / divisor)
+            }
+
+            /// Multiplies the quantity by an integer count, panicking on
+            /// overflow (quantities in this crate stay far below the limit).
+            #[inline]
+            pub fn mul_count(self, count: u64) -> Self {
+                Self(
+                    self.0
+                        .checked_mul(count)
+                        .expect("fixed-point multiplication overflow"),
+                )
+            }
+
+            /// Scales the quantity by the exact rational `num/den`, rounding
+            /// down, using u128 intermediate arithmetic.
+            ///
+            /// # Panics
+            /// Panics when `den == 0` or the result overflows `u64`.
+            #[inline]
+            pub fn mul_ratio(self, num: u64, den: u64) -> Self {
+                assert!(den != 0, "mul_ratio with zero denominator");
+                let wide = self.0 as u128 * num as u128 / den as u128;
+                assert!(wide <= u64::MAX as u128, "mul_ratio overflow");
+                Self(wide as u64)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(
+                    self.0
+                        .checked_add(rhs.0)
+                        .expect(concat!($unit_name, " addition overflow")),
+                )
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(
+                    self.0
+                        .checked_sub(rhs.0)
+                        .expect(concat!($unit_name, " subtraction underflow")),
+                )
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = *self - rhs;
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, |acc, x| acc + x)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($unit_name, "({})"), self.as_f64())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*}", prec, self.as_f64())
+                } else {
+                    write!(f, "{}", self.as_f64())
+                }
+            }
+        }
+    };
+}
+
+fixed_point_type!(
+    /// A processing load, in capacity units (micro-unit fixed point).
+    ///
+    /// The paper models system capacity as "the amount of work that can be
+    /// executed in a time unit"; each operator `o_j` consumes `c_j` of it.
+    Load,
+    "Load"
+);
+
+fixed_point_type!(
+    /// A monetary amount in dollars (micro-dollar fixed point): bids,
+    /// valuations, payments, profits.
+    Money,
+    "Money"
+);
+
+impl Money {
+    /// Builds a dollar amount from a float (alias of [`Money::from_units`]
+    /// that reads better at call sites).
+    #[inline]
+    pub fn from_dollars(d: f64) -> Self {
+        Self::from_units(d)
+    }
+}
+
+impl Load {
+    /// Builds a load from a float capacity-unit count (alias of
+    /// [`Load::from_units`]).
+    #[inline]
+    pub fn from_capacity_units(u: f64) -> Self {
+        Self::from_units(u)
+    }
+}
+
+/// A profit density (bid per unit of load), represented exactly as the
+/// rational `money / load` and compared via u128 cross-multiplication.
+///
+/// Zero-load densities compare as +∞ (they are ordered among themselves by
+/// their `money` numerator), which matches the greedy mechanisms' behaviour:
+/// a query whose model load is zero is maximally attractive.
+#[derive(Clone, Copy, Debug)]
+pub struct Density {
+    /// Numerator: the bid.
+    pub money: Money,
+    /// Denominator: the (model) load.
+    pub load: Load,
+}
+
+impl Density {
+    /// Creates a density `money / load`.
+    #[inline]
+    pub fn new(money: Money, load: Load) -> Self {
+        Self { money, load }
+    }
+
+    /// The density as a float dollars-per-unit-load value (for reporting).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        if self.load.is_zero() {
+            f64::INFINITY
+        } else {
+            self.money.as_f64() / self.load.as_f64()
+        }
+    }
+
+}
+
+impl PartialEq for Density {
+    fn eq(&self, other: &Self) -> bool {
+        Ord::cmp(self, other) == Ordering::Equal
+    }
+}
+
+impl Eq for Density {}
+
+impl PartialOrd for Density {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(Ord::cmp(self, other))
+    }
+}
+
+impl Ord for Density {
+    /// Exact comparison via u128 cross-multiplication.
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.load.is_zero(), other.load.is_zero()) {
+            (true, true) => self.money.cmp(&other.money),
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => {
+                let lhs = self.money.micro() as u128 * other.load.micro() as u128;
+                let rhs = other.money.micro() as u128 * self.load.micro() as u128;
+                lhs.cmp(&rhs)
+            }
+        }
+    }
+}
+
+/// Computes the payment `load_i × (money_l / load_l)` exactly in u128 and
+/// floors to a micro-dollar: the per-unit-load price quoted from a rejected
+/// query `l`, applied to winner `i`'s model load.
+///
+/// Returns [`Money::ZERO`] when `load_l` is zero (a zero-load loser quotes an
+/// infinite density, which cannot arise from a capacity rejection: zero
+/// marginal load always fits; defensively we charge nothing).
+#[inline]
+pub fn price_from_density(load_i: Load, money_l: Money, load_l: Load) -> Money {
+    if load_l.is_zero() {
+        return Money::ZERO;
+    }
+    let wide = load_i.micro() as u128 * money_l.micro() as u128 / load_l.micro() as u128;
+    debug_assert!(wide <= u64::MAX as u128, "payment overflow");
+    Money::from_micro(wide as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_round_trip() {
+        let l = Load::from_units(4.5);
+        assert_eq!(l.micro(), 4_500_000);
+        assert!((l.as_f64() - 4.5).abs() < 1e-12);
+        let m = Money::from_dollars(99.999999);
+        assert_eq!(m.micro(), 99_999_999);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Load::from_units(1.0);
+        let b = Load::from_units(2.5);
+        assert_eq!((a + b).as_f64(), 3.5);
+        assert_eq!((b - a).as_f64(), 1.5);
+        assert_eq!(b.saturating_sub(a + b), Load::ZERO);
+        assert_eq!(a.checked_sub(b), None);
+        assert_eq!(b.div_count(2).micro(), 1_250_000);
+        assert_eq!(a.mul_count(3).as_f64(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "subtraction underflow")]
+    fn sub_underflow_panics() {
+        let _ = Load::from_units(1.0) - Load::from_units(2.0);
+    }
+
+    #[test]
+    fn density_ordering_matches_floats() {
+        // 55/5 = 11, 72/6 = 12, 100/10 = 10 — the paper's Example 1 (CAT).
+        let d1 = Density::new(Money::from_dollars(55.0), Load::from_units(5.0));
+        let d2 = Density::new(Money::from_dollars(72.0), Load::from_units(6.0));
+        let d3 = Density::new(Money::from_dollars(100.0), Load::from_units(10.0));
+        assert!(d2 > d1 && d1 > d3);
+    }
+
+    #[test]
+    fn density_exact_ties() {
+        let a = Density::new(Money::from_dollars(10.0), Load::from_units(2.0));
+        let b = Density::new(Money::from_dollars(5.0), Load::from_units(1.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn density_zero_load_is_infinite() {
+        let inf = Density::new(Money::from_dollars(0.000001), Load::ZERO);
+        let big = Density::new(Money::from_dollars(100.0), Load::EPSILON);
+        assert!(inf > big);
+        // Among zero-load densities, richer wins.
+        let inf2 = Density::new(Money::from_dollars(2.0), Load::ZERO);
+        assert!(inf2 > inf);
+    }
+
+    #[test]
+    fn price_from_density_examples() {
+        // CAT on Example 1: q1 pays CT_1 × b3/CT_3 = 5 × 100/10 = $50.
+        let p = price_from_density(
+            Load::from_units(5.0),
+            Money::from_dollars(100.0),
+            Load::from_units(10.0),
+        );
+        assert_eq!(p, Money::from_dollars(50.0));
+        // CAF: q1 pays 3 × 100/10 = $30.
+        let p = price_from_density(
+            Load::from_units(3.0),
+            Money::from_dollars(100.0),
+            Load::from_units(10.0),
+        );
+        assert_eq!(p, Money::from_dollars(30.0));
+        // Zero-load loser charges nothing.
+        assert_eq!(
+            price_from_density(Load::ONE, Money::from_dollars(5.0), Load::ZERO),
+            Money::ZERO
+        );
+    }
+
+    #[test]
+    fn price_rounding_floors() {
+        // 1 × 1/3 dollars = 0.333333 floored at micro precision.
+        let p = price_from_density(Load::ONE, Money::from_dollars(1.0), Load::from_units(3.0));
+        assert_eq!(p.micro(), 333_333);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Money::from_dollars(12.5)), "12.5");
+        assert_eq!(format!("{:.2}", Money::from_dollars(12.5)), "12.50");
+        assert_eq!(format!("{:?}", Load::from_units(2.0)), "Load(2)");
+    }
+}

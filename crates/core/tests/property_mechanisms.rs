@@ -1,0 +1,336 @@
+//! Property-based tests over randomly generated shared-operator instances.
+//!
+//! Universal invariants (every mechanism, any instance):
+//! * feasibility — winners' distinct-union load fits in capacity;
+//! * losers pay zero; winners pay at most their bid (individual rationality).
+//!
+//! Knapsack-regime invariants (no sharing — the §III special case where the
+//! strategyproofness proofs are airtight): monotonicity, critical-value
+//! payments, no profitable bid deviation, CAF ≡ CAT.
+//!
+//! Implementation-equivalence invariants: movement-window Naive ≡ Snapshot,
+//! CAR Naive ≡ Indexed.
+//!
+//! Sybil invariants: CAT never loses to the Theorem 15 construction or to
+//! randomized attacks.
+
+use cqac_core::analysis::strategyproof::{best_bid_deviation, default_candidates};
+use cqac_core::analysis::sybil::{attacker_payoff, fair_share_attack, random_sybil_attack};
+use cqac_core::mechanisms::{
+    all_mechanisms, Caf, CafPlus, Car, Cat, CatPlus, Gv, Mechanism, MovementWindowMode,
+};
+use cqac_core::model::{AuctionInstance, InstanceBuilder, QueryId};
+use cqac_core::units::{Load, Money};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a shared-operator instance with `n_ops` operators of random
+/// loads and `n_queries` queries of 1..=3 random operators each.
+fn shared_instance() -> impl Strategy<Value = AuctionInstance> {
+    (2usize..10, 2usize..14, 4u32..40)
+        .prop_flat_map(|(n_ops, n_queries, capacity)| {
+            let loads = proptest::collection::vec(1u32..=8, n_ops);
+            let queries = proptest::collection::vec(
+                (
+                    proptest::collection::vec(0..n_ops, 1..=3),
+                    1u32..=100,
+                ),
+                n_queries,
+            );
+            (Just(capacity), loads, queries)
+        })
+        .prop_map(|(capacity, loads, queries)| {
+            let mut b = InstanceBuilder::new(Load::from_units(f64::from(capacity)));
+            let ops: Vec<_> = loads
+                .iter()
+                .map(|&l| b.operator(Load::from_units(f64::from(l))))
+                .collect();
+            for (op_idxs, bid) in queries {
+                let set: Vec<_> = op_idxs.iter().map(|&i| ops[i]).collect();
+                b.query(Money::from_dollars(f64::from(bid)), &set);
+            }
+            b.build().expect("generated instance is valid")
+        })
+}
+
+/// Strategy: a no-sharing (knapsack) instance.
+fn knapsack_instance() -> impl Strategy<Value = AuctionInstance> {
+    (2usize..14, 4u32..40)
+        .prop_flat_map(|(n, capacity)| {
+            let items = proptest::collection::vec((1u32..=8, 1u32..=100), n);
+            (Just(capacity), items)
+        })
+        .prop_map(|(capacity, items)| {
+            let mut b = InstanceBuilder::new(Load::from_units(f64::from(capacity)));
+            for (load, bid) in items {
+                let op = b.operator(Load::from_units(f64::from(load)));
+                b.query(Money::from_dollars(f64::from(bid)), &[op]);
+            }
+            b.build().expect("generated instance is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every mechanism produces a feasible, individually rational outcome.
+    #[test]
+    fn outcomes_are_valid(inst in shared_instance(), seed in 0u64..1000) {
+        for mech in all_mechanisms() {
+            let out = mech.run_seeded(&inst, seed);
+            prop_assert!(out.validate(&inst).is_ok(),
+                "{} produced an invalid outcome: {:?}",
+                mech.name(), out.validate(&inst));
+            prop_assert!(out.used_capacity <= inst.capacity());
+        }
+    }
+
+    /// Movement-window payments: the quadratic re-simulation and the
+    /// incremental snapshot compute identical results.
+    #[test]
+    fn movement_window_modes_agree(inst in shared_instance()) {
+        let naive_caf = CafPlus::with_mode(MovementWindowMode::Naive).run_seeded(&inst, 0);
+        let snap_caf = CafPlus::with_mode(MovementWindowMode::Snapshot).run_seeded(&inst, 0);
+        prop_assert_eq!(&naive_caf.winners, &snap_caf.winners);
+        prop_assert_eq!(&naive_caf.payments, &snap_caf.payments);
+
+        let naive_cat = CatPlus::with_mode(MovementWindowMode::Naive).run_seeded(&inst, 0);
+        let snap_cat = CatPlus::with_mode(MovementWindowMode::Snapshot).run_seeded(&inst, 0);
+        prop_assert_eq!(&naive_cat.winners, &snap_cat.winners);
+        prop_assert_eq!(&naive_cat.payments, &snap_cat.payments);
+    }
+
+    /// CAR's naive and indexed engines are byte-identical.
+    #[test]
+    fn car_engines_agree(inst in shared_instance()) {
+        let naive = Car::naive().run_seeded(&inst, 0);
+        let indexed = Car::default().run_seeded(&inst, 0);
+        prop_assert_eq!(&naive.winners, &indexed.winners);
+        prop_assert_eq!(&naive.payments, &indexed.payments);
+    }
+
+    /// In the knapsack regime the fair-share and total loads coincide, so
+    /// CAF and CAT must be identical mechanisms (and likewise CAF+/CAT+).
+    #[test]
+    fn caf_equals_cat_without_sharing(inst in knapsack_instance()) {
+        let caf = Caf.run_seeded(&inst, 0);
+        let cat = Cat.run_seeded(&inst, 0);
+        prop_assert_eq!(&caf.winners, &cat.winners);
+        prop_assert_eq!(&caf.payments, &cat.payments);
+        let cafp = CafPlus::default().run_seeded(&inst, 0);
+        let catp = CatPlus::default().run_seeded(&inst, 0);
+        prop_assert_eq!(&cafp.winners, &catp.winners);
+        prop_assert_eq!(&cafp.payments, &catp.payments);
+    }
+
+    /// Knapsack-regime bid-strategyproofness: no deviation beats truth for
+    /// the mechanisms the paper proves strategyproof.
+    #[test]
+    fn knapsack_strategyproofness(inst in knapsack_instance()) {
+        let mechanisms: Vec<Box<dyn Mechanism>> = vec![
+            Box::new(Caf),
+            Box::new(Cat),
+            Box::new(CafPlus::default()),
+            Box::new(CatPlus::default()),
+            Box::new(Gv),
+        ];
+        for mech in &mechanisms {
+            let truthful = mech.run_seeded(&inst, 0);
+            for q in inst.query_ids() {
+                let candidates = default_candidates(&inst, q, truthful.payment(q));
+                let report = best_bid_deviation(mech.as_ref(), &inst, q, &candidates, 0);
+                prop_assert!(
+                    !report.profitable(),
+                    "{}: query {q} gains {} over {} by bidding {}",
+                    mech.name(),
+                    report.best_payoff,
+                    report.truthful_payoff,
+                    report.best_bid
+                );
+            }
+        }
+    }
+
+    /// Knapsack-regime monotonicity: a winner who raises her bid stays a
+    /// winner.
+    #[test]
+    fn knapsack_monotonicity(inst in knapsack_instance(), raise in 1u32..=200) {
+        for mech in [&Caf as &dyn Mechanism, &Cat, &Gv] {
+            let out = mech.run_seeded(&inst, 0);
+            for &w in &out.winners {
+                let higher = inst.bid(w) + Money::from_dollars(f64::from(raise));
+                let probe = mech.run_seeded(&inst.with_bid(w, higher), 0);
+                prop_assert!(
+                    probe.is_winner(w),
+                    "{}: winner {w} lost by raising bid to {higher}",
+                    mech.name()
+                );
+            }
+        }
+    }
+
+    /// CAT survives the Theorem 15 construction and randomized sybil
+    /// attacks on arbitrary shared instances (Theorem 19).
+    #[test]
+    fn cat_is_sybil_immune(inst in shared_instance(), fakes in 1usize..6, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for q in inst.query_ids() {
+            let attack = fair_share_attack(&inst, q, fakes);
+            let out = attacker_payoff(&Cat, &inst, &attack, 0);
+            prop_assert!(!out.succeeded(),
+                "fair-share sybil attack on {q} beat CAT: {out:?}");
+
+            let attack = random_sybil_attack(&inst, q, fakes, &mut rng);
+            let out = attacker_payoff(&Cat, &inst, &attack, 0);
+            prop_assert!(!out.succeeded(),
+                "random sybil attack on {q} beat CAT: {out:?}");
+        }
+    }
+
+    /// GV charges a constant price: every winner pays the same amount (the
+    /// first loser's bid), or zero when everyone fits.
+    #[test]
+    fn gv_is_constant_priced(inst in shared_instance()) {
+        let out = Gv.run_seeded(&inst, 0);
+        let prices: Vec<Money> = out.winners.iter().map(|&w| out.payment(w)).collect();
+        if let Some(first) = prices.first() {
+            prop_assert!(prices.iter().all(|p| p == first));
+        }
+    }
+
+    /// The stop-fill mechanisms (CAF/CAT) never admit more *capacity* than
+    /// the skip-fill variants on the same load model.
+    #[test]
+    fn plus_variants_admit_supersets(inst in shared_instance()) {
+        let caf = Caf.run_seeded(&inst, 0);
+        let cafp = CafPlus::default().run_seeded(&inst, 0);
+        for w in &caf.winners {
+            prop_assert!(cafp.is_winner(*w), "CAF winner {w} missing from CAF+");
+        }
+        let cat = Cat.run_seeded(&inst, 0);
+        let catp = CatPlus::default().run_seeded(&inst, 0);
+        for w in &cat.winners {
+            prop_assert!(catp.is_winner(*w), "CAT winner {w} missing from CAT+");
+        }
+    }
+}
+
+/// Deterministic regression: a zero-bid query can never be charged.
+#[test]
+fn zero_bids_never_pay() {
+    let mut b = InstanceBuilder::new(Load::from_units(5.0));
+    let x = b.operator(Load::from_units(3.0));
+    let y = b.operator(Load::from_units(3.0));
+    b.query(Money::ZERO, &[x]);
+    b.query(Money::from_dollars(10.0), &[y]);
+    let inst = b.build().unwrap();
+    for mech in all_mechanisms() {
+        let out = mech.run_seeded(&inst, 0);
+        assert_eq!(out.payment(QueryId(0)), Money::ZERO, "{}", mech.name());
+        out.validate(&inst).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// OPT_C dominance: no single constant price (evaluated with the same
+    /// tie-resolution policy) yields more profit than the reported optimum.
+    #[test]
+    fn optc_dominates_every_candidate_price(inst in shared_instance()) {
+        use cqac_core::mechanisms::optimal_constant_price;
+        use cqac_core::model::AdmittedSet;
+
+        let opt = optimal_constant_price(&inst);
+        let mut candidates: Vec<Money> = inst.queries().iter().map(|q| q.bid).collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        for price in candidates {
+            if price.is_zero() {
+                continue;
+            }
+            // Mandatory winners (bid strictly above) must fit, else invalid.
+            let mut state = AdmittedSet::new(&inst);
+            let mut winners = 0u64;
+            let mut valid = true;
+            let mut order: Vec<_> = inst.query_ids().collect();
+            order.sort_by(|&a, &b| inst.bid(b).cmp(&inst.bid(a)).then_with(|| a.cmp(&b)));
+            for &q in &order {
+                if inst.bid(q) <= price {
+                    break;
+                }
+                if state.fits(q) {
+                    state.admit(q);
+                    winners += 1;
+                } else {
+                    valid = false;
+                    break;
+                }
+            }
+            if !valid {
+                continue;
+            }
+            // Tie group, cheapest marginal first (same policy as OPT_C).
+            let mut tied: Vec<_> = order
+                .iter()
+                .copied()
+                .filter(|&q| inst.bid(q) == price)
+                .collect();
+            loop {
+                let pick = tied
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &q)| (i, state.marginal_load(q)))
+                    .min_by(|(ia, la), (ib, lb)| la.cmp(lb).then_with(|| ia.cmp(ib)));
+                match pick {
+                    Some((i, load)) if load <= state.remaining() => {
+                        let q = tied.swap_remove(i);
+                        state.admit(q);
+                        winners += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let profit = price.mul_count(winners);
+            prop_assert!(
+                profit <= opt.profit,
+                "price {price} yields {profit} > OPT_C {}",
+                opt.profit
+            );
+        }
+    }
+
+    /// Every winner of the strategyproof stop-fill mechanisms pays the same
+    /// per-model-load unit price (the first loser's density) — Algorithm 1
+    /// step 5's structure.
+    #[test]
+    fn caf_cat_charge_uniform_unit_prices(inst in shared_instance()) {
+        use cqac_core::units::Density;
+        type LoadFn = fn(&AuctionInstance, QueryId) -> Load;
+        let variants: [(Box<dyn Mechanism>, LoadFn); 2] = [
+            (Box::new(Caf), |i, q| i.fair_share_load(q)),
+            (Box::new(Cat), |i, q| i.total_load(q)),
+        ];
+        for (mech, load_of) in variants {
+            let out = mech.run_seeded(&inst, 0);
+            let densities: Vec<Density> = out
+                .winners
+                .iter()
+                .filter(|&&w| !out.payment(w).is_zero())
+                .map(|&w| Density::new(out.payment(w), load_of(&inst, w)))
+                .collect();
+            for pair in densities.windows(2) {
+                // Allow one micro-dollar of flooring slack per payment by
+                // comparing cross products with tolerance via f64.
+                let a = pair[0].as_f64();
+                let b = pair[1].as_f64();
+                prop_assert!(
+                    (a - b).abs() <= 1e-3 * a.max(b).max(1.0),
+                    "{}: non-uniform unit prices {a} vs {b}",
+                    mech.name()
+                );
+            }
+        }
+    }
+}

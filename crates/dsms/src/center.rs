@@ -1,0 +1,396 @@
+//! The for-profit DSMS center: the business loop the paper's introduction
+//! sketches — collect bids once per subscription period, run the admission
+//! auction, transition the query network to the winner set, and bill.
+//!
+//! ```text
+//!        submissions (plan + bid)          streams
+//!              │                              │
+//!              ▼                              ▼
+//!  ┌─ auction day ───────────────┐   ┌─ serving ────────┐
+//!  │ shadow-calibrate loads c_j  │   │ engine.push(...) │
+//!  │ build AuctionInstance       │   │ outputs per CQ   │
+//!  │ run Mechanism (CAT, …)      │   └──────────────────┘
+//!  │ transition network          │
+//!  │ record ledger               │
+//!  └─────────────────────────────┘
+//! ```
+//!
+//! Continuing queries — winners on consecutive days with identical plans —
+//! keep their operator state across the day boundary via the engine's
+//! transition phase (§II).
+
+use crate::cost::{auction_instance, CostModel};
+use crate::engine::DsmsEngine;
+use crate::network::CqId;
+use crate::plan::{LogicalPlan, PlanError};
+use crate::types::{Schema, Tuple};
+use cqac_core::mechanisms::Mechanism;
+use cqac_core::model::{QueryId, UserId};
+use cqac_core::units::{Load, Money};
+use std::collections::HashMap;
+
+/// A user's daily submission: her continuous query and her bid for running
+/// it through the next subscription period.
+#[derive(Clone, Debug)]
+pub struct Submission {
+    /// The bidding user.
+    pub user: UserId,
+    /// The declared bid `b_i`.
+    pub bid: Money,
+    /// The continuous query.
+    pub plan: LogicalPlan,
+}
+
+/// The center's decision for one submission.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    /// Index into the day's submission list.
+    pub submission: usize,
+    /// The bidding user.
+    pub user: UserId,
+    /// Whether the query was admitted for the next period.
+    pub admitted: bool,
+    /// The payment charged (zero for rejected queries).
+    pub payment: Money,
+    /// The live query id, for admitted queries.
+    pub cq: Option<CqId>,
+}
+
+/// Ledger entry for one auction day.
+#[derive(Clone, Debug)]
+pub struct DayRecord {
+    /// Day counter (starts at 0).
+    pub day: u32,
+    /// Mechanism used.
+    pub mechanism: String,
+    /// Per-submission decisions.
+    pub decisions: Vec<Decision>,
+    /// Total revenue of the day's auction.
+    pub profit: Money,
+    /// Estimated load of the admitted set.
+    pub admitted_load: Load,
+    /// Fraction of capacity the admitted set uses (0..=1).
+    pub utilization: f64,
+}
+
+/// The DSMS cloud center (see module docs).
+pub struct DsmsCenter {
+    engine: DsmsEngine,
+    capacity: Load,
+    mechanism: Box<dyn Mechanism>,
+    cost_model: CostModel,
+    streams: Vec<(String, Schema)>,
+    /// Live queries from the latest auction, keyed by plan signature;
+    /// several identical plans map to several entries in the Vec.
+    active: HashMap<String, Vec<CqId>>,
+    ledger: Vec<DayRecord>,
+    day: u32,
+}
+
+impl std::fmt::Debug for DsmsCenter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DsmsCenter")
+            .field("capacity", &self.capacity)
+            .field("mechanism", &self.mechanism.name())
+            .field("day", &self.day)
+            .field("active_queries", &self.engine.network().num_queries())
+            .finish()
+    }
+}
+
+impl DsmsCenter {
+    /// A center with the given capacity and admission mechanism.
+    pub fn new(capacity: Load, mechanism: Box<dyn Mechanism>) -> Self {
+        Self {
+            engine: DsmsEngine::new(),
+            capacity,
+            mechanism,
+            cost_model: CostModel::default(),
+            streams: Vec::new(),
+            active: HashMap::new(),
+            ledger: Vec::new(),
+            day: 0,
+        }
+    }
+
+    /// Overrides the cost model used for load estimation.
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Registers an input stream (must precede submissions that read it).
+    pub fn register_stream(&mut self, name: impl Into<String>, schema: Schema) {
+        let name = name.into();
+        self.engine.register_stream(name.clone(), schema.clone());
+        self.streams.push((name, schema));
+    }
+
+    /// The serving engine (read access — e.g. for output inspection).
+    pub fn engine(&self) -> &DsmsEngine {
+        &self.engine
+    }
+
+    /// Billing history.
+    pub fn ledger(&self) -> &[DayRecord] {
+        &self.ledger
+    }
+
+    /// Runs one end-of-period auction:
+    ///
+    /// 1. builds a **shadow engine** with every submitted plan and replays
+    ///    `calibration` through it to measure operator loads;
+    /// 2. lowers the shadow network into an [`cqac_core::model::AuctionInstance`]
+    ///    (operators = shared nodes, loads = measured `c_j`);
+    /// 3. runs the configured mechanism;
+    /// 4. transitions the live network: admitted plans are added (or kept,
+    ///    preserving state, when an identical plan is already running) and
+    ///    non-admitted actives are removed;
+    /// 5. records payments in the ledger.
+    pub fn run_auction(
+        &mut self,
+        submissions: &[Submission],
+        calibration: &[(String, Tuple)],
+    ) -> Result<DayRecord, PlanError> {
+        // 1. Shadow calibration.
+        let mut shadow = DsmsEngine::new();
+        for (name, schema) in &self.streams {
+            shadow.register_stream(name.clone(), schema.clone());
+        }
+        let mut shadow_cqs = Vec::with_capacity(submissions.len());
+        for s in submissions {
+            shadow_cqs.push(shadow.add_query(s.plan.clone())?);
+        }
+        shadow.push_batch(calibration.iter().cloned());
+
+        // 2. The auction instance.
+        let bids: Vec<(CqId, UserId, Money)> = submissions
+            .iter()
+            .zip(&shadow_cqs)
+            .map(|(s, cq)| (*cq, s.user, s.bid))
+            .collect();
+        let (inst, mapping) = auction_instance(&shadow, &bids, self.capacity, &self.cost_model);
+
+        // 3. Run the mechanism, seeded by the day for reproducibility.
+        let outcome = self.mechanism.run_seeded(&inst, u64::from(self.day));
+        debug_assert!(outcome.validate(&inst).is_ok());
+
+        // 4. Transition the live network.
+        self.engine.begin_transition();
+        // Claimable continuing queries by plan signature.
+        let mut claimable: HashMap<String, Vec<CqId>> = self.active.clone();
+        let mut next_active: HashMap<String, Vec<CqId>> = HashMap::new();
+        let mut decisions = Vec::with_capacity(submissions.len());
+        for (idx, submission) in submissions.iter().enumerate() {
+            let auction_qid = QueryId(idx as u32);
+            debug_assert_eq!(mapping[idx], shadow_cqs[idx]);
+            let admitted = outcome.is_winner(auction_qid);
+            let payment = outcome.payment(auction_qid);
+            let cq = if admitted {
+                let signature = submission.plan.signature();
+                let reused = claimable.get_mut(&signature).and_then(Vec::pop);
+                let cq = match reused {
+                    Some(cq) => cq,
+                    None => self.engine.add_query(submission.plan.clone())?,
+                };
+                next_active.entry(signature).or_default().push(cq);
+                Some(cq)
+            } else {
+                None
+            };
+            decisions.push(Decision {
+                submission: idx,
+                user: submission.user,
+                admitted,
+                payment,
+                cq,
+            });
+        }
+        // Retire every active query that was not claimed by a winner.
+        for (_, leftovers) in claimable {
+            for cq in leftovers {
+                self.engine.remove_query(cq);
+            }
+        }
+        self.active = next_active;
+        self.engine.end_transition();
+
+        // 5. Ledger.
+        let record = DayRecord {
+            day: self.day,
+            mechanism: self.mechanism.name().to_string(),
+            decisions,
+            profit: outcome.profit(),
+            admitted_load: outcome.used_capacity,
+            utilization: outcome.utilization(&inst),
+        };
+        self.ledger.push(record.clone());
+        self.day += 1;
+        Ok(record)
+    }
+
+    /// Feeds stream data through the live network (the serving phase).
+    pub fn process(&mut self, stream: &str, tuples: Vec<Tuple>) {
+        for t in tuples {
+            self.engine.push(stream, t);
+        }
+        self.engine.run_until_quiescent();
+    }
+
+    /// Takes a live query's accumulated outputs.
+    pub fn take_outputs(&mut self, cq: CqId) -> Vec<Tuple> {
+        self.engine.take_outputs(cq)
+    }
+
+    /// Total revenue across all recorded days.
+    pub fn total_revenue(&self) -> Money {
+        self.ledger.iter().map(|r| r.profit).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::streams::{quote_schema, StockStream};
+    use crate::types::Value;
+    use cqac_core::mechanisms::Cat;
+
+    fn high_price(threshold: f64) -> LogicalPlan {
+        LogicalPlan::source("quotes")
+            .filter(Expr::col(1).gt(Expr::lit(Value::Float(threshold))))
+    }
+
+    fn calibration_sample(n: usize) -> Vec<(String, Tuple)> {
+        StockStream::new(&["IBM", "AAPL", "MSFT"], 1, 99)
+            .next_batch(n)
+            .into_iter()
+            .map(|t| ("quotes".to_string(), t))
+            .collect()
+    }
+
+    fn center(capacity: f64) -> DsmsCenter {
+        let mut c = DsmsCenter::new(Load::from_units(capacity), Box::new(Cat));
+        c.register_stream("quotes", quote_schema());
+        c
+    }
+
+    #[test]
+    fn auction_admits_within_capacity_and_bills() {
+        // Plenty of capacity: everyone gets in, nobody pays (no loser).
+        let mut c = center(1000.0);
+        let submissions = vec![
+            Submission {
+                user: UserId(0),
+                bid: Money::from_dollars(30.0),
+                plan: high_price(100.0),
+            },
+            Submission {
+                user: UserId(1),
+                bid: Money::from_dollars(20.0),
+                plan: high_price(150.0),
+            },
+        ];
+        let record = c.run_auction(&submissions, &calibration_sample(500)).unwrap();
+        assert!(record.decisions.iter().all(|d| d.admitted));
+        assert_eq!(record.profit, Money::ZERO);
+        assert_eq!(c.engine().network().num_queries(), 2);
+    }
+
+    #[test]
+    fn scarce_capacity_rejects_and_charges() {
+        // Capacity fits roughly one filter's load (rate ≈ 1 t/ms, unit cost
+        // 1.0 → load ≈ 1): two disjoint-threshold queries compete.
+        let mut c = center(1.2);
+        let submissions = vec![
+            Submission {
+                user: UserId(0),
+                bid: Money::from_dollars(90.0),
+                plan: high_price(100.0),
+            },
+            Submission {
+                user: UserId(1),
+                bid: Money::from_dollars(10.0),
+                plan: high_price(150.0),
+            },
+        ];
+        let record = c.run_auction(&submissions, &calibration_sample(2000)).unwrap();
+        let admitted: Vec<bool> = record.decisions.iter().map(|d| d.admitted).collect();
+        assert_eq!(admitted, vec![true, false]);
+        assert!(record.profit > Money::ZERO, "the winner pays a loser-quoted price");
+        assert_eq!(c.engine().network().num_queries(), 1);
+    }
+
+    #[test]
+    fn continuing_queries_keep_their_cq_across_days() {
+        let mut c = center(1000.0);
+        let submission = Submission {
+            user: UserId(0),
+            bid: Money::from_dollars(30.0),
+            plan: high_price(100.0),
+        };
+        let day0 = c.run_auction(std::slice::from_ref(&submission), &calibration_sample(300)).unwrap();
+        let cq0 = day0.decisions[0].cq.unwrap();
+        let day1 = c.run_auction(&[submission], &calibration_sample(300)).unwrap();
+        let cq1 = day1.decisions[0].cq.unwrap();
+        assert_eq!(cq0, cq1, "identical winning plan continues under the same id");
+    }
+
+    #[test]
+    fn losing_renewal_is_retired() {
+        let mut c = center(1000.0);
+        let sub = |bid: f64| Submission {
+            user: UserId(0),
+            bid: Money::from_dollars(bid),
+            plan: high_price(100.0),
+        };
+        c.run_auction(&[sub(30.0)], &calibration_sample(300)).unwrap();
+        assert_eq!(c.engine().network().num_queries(), 1);
+        // Next day the user does not resubmit; the query is retired.
+        let record = c.run_auction(&[], &calibration_sample(300)).unwrap();
+        assert!(record.decisions.is_empty());
+        assert_eq!(c.engine().network().num_queries(), 0);
+    }
+
+    #[test]
+    fn serving_after_admission_produces_outputs() {
+        let mut c = center(1000.0);
+        let record = c
+            .run_auction(
+                &[Submission {
+                    user: UserId(0),
+                    bid: Money::from_dollars(30.0),
+                    plan: high_price(50.0),
+                }],
+                &calibration_sample(300),
+            )
+            .unwrap();
+        let cq = record.decisions[0].cq.unwrap();
+        let mut feed = StockStream::new(&["IBM"], 1, 7);
+        c.process("quotes", feed.next_batch(200));
+        let outputs = c.take_outputs(cq);
+        assert!(!outputs.is_empty(), "admitted query must produce results");
+    }
+
+    #[test]
+    fn revenue_accumulates_across_days() {
+        let mut c = center(1.2);
+        let submissions = vec![
+            Submission {
+                user: UserId(0),
+                bid: Money::from_dollars(90.0),
+                plan: high_price(100.0),
+            },
+            Submission {
+                user: UserId(1),
+                bid: Money::from_dollars(10.0),
+                plan: high_price(150.0),
+            },
+        ];
+        c.run_auction(&submissions, &calibration_sample(2000)).unwrap();
+        c.run_auction(&submissions, &calibration_sample(2000)).unwrap();
+        assert_eq!(c.ledger().len(), 2);
+        assert!(c.total_revenue() > Money::ZERO);
+        assert_eq!(c.total_revenue(), c.ledger()[0].profit + c.ledger()[1].profit);
+    }
+}

@@ -1,0 +1,263 @@
+//! Operator load estimation — the bridge from the running substrate to the
+//! auction model.
+//!
+//! §II assumes "each operator `o_j` has an associated load `c_j` … and this
+//! load can at least be reasonably approximated by the system". Here the
+//! approximation is measured: after replaying a calibration sample through
+//! the (shadow) network, an operator's load is
+//!
+//! ```text
+//! c_j = input_rate_j (tuples/ms) × unit_cost_j × scale
+//! ```
+//!
+//! where `unit_cost_j` is the operator's analytic per-tuple work (joins >
+//! aggregates > filters) and `scale` converts abstract work per millisecond
+//! into the auction's capacity units.
+
+use crate::engine::DsmsEngine;
+use crate::network::{CqId, NodeId};
+use cqac_core::model::{AuctionInstance, InstanceBuilder, OperatorId, UserId};
+use cqac_core::units::{Load, Money};
+use std::collections::HashMap;
+
+/// Conversion parameters from measured work to auction capacity units.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Capacity units per (tuple/ms × unit-cost). Default 1.0.
+    pub scale: f64,
+    /// Load charged to a query that sinks a raw stream without any operator
+    /// (delivery cost per tuple/ms).
+    pub delivery_unit_cost: f64,
+    /// Minimum load assigned to any operator (avoids zero-load operators
+    /// when the calibration sample misses a path).
+    pub min_load: Load,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            scale: 1.0,
+            delivery_unit_cost: 0.2,
+            min_load: Load::from_micro(1_000), // 0.001 capacity units
+        }
+    }
+}
+
+/// One node's estimated load with its provenance.
+#[derive(Clone, Debug)]
+pub struct NodeLoadEstimate {
+    /// The node.
+    pub node: NodeId,
+    /// Operator kind label.
+    pub kind: &'static str,
+    /// Measured input rate in tuples per millisecond.
+    pub input_rate: f64,
+    /// The operator's per-tuple unit cost.
+    pub unit_cost: f64,
+    /// The resulting auction load `c_j`.
+    pub load: Load,
+}
+
+/// Measures every live node's load from the engine's accumulated statistics.
+///
+/// The observation window is the event-time span of all pushed streams; an
+/// engine that has seen no tuples yields `min_load` for every node.
+pub fn estimate_node_loads(engine: &DsmsEngine, model: &CostModel) -> Vec<NodeLoadEstimate> {
+    let duration_ms = observation_span_ms(engine).max(1);
+    engine
+        .network()
+        .node_ids()
+        .into_iter()
+        .map(|id| {
+            let node = engine.network().node(id).expect("live node");
+            let input_rate = node.in_count as f64 / duration_ms as f64;
+            let unit_cost = node.op.unit_cost();
+            let raw = Load::from_units(input_rate * unit_cost * model.scale);
+            let load = raw.max(model.min_load);
+            NodeLoadEstimate {
+                node: id,
+                kind: node.kind,
+                input_rate,
+                unit_cost,
+                load,
+            }
+        })
+        .collect()
+}
+
+fn observation_span_ms(engine: &DsmsEngine) -> u64 {
+    engine
+        .stream_stats()
+        .values()
+        .map(|s| s.max_ts.saturating_sub(s.min_ts) + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+/// The auction instance built from a calibrated engine: one auction
+/// operator per live network node (plus one synthetic *delivery* operator
+/// per node-less, source-only query), and one auction query per network
+/// query with the caller-provided user and bid.
+///
+/// Returns the instance together with the instance-index → [`CqId`]
+/// mapping.
+pub fn auction_instance(
+    engine: &DsmsEngine,
+    bids: &[(CqId, UserId, Money)],
+    capacity: Load,
+    model: &CostModel,
+) -> (AuctionInstance, Vec<CqId>) {
+    let estimates = estimate_node_loads(engine, model);
+    let mut builder = InstanceBuilder::new(capacity);
+    let mut op_of_node: HashMap<NodeId, OperatorId> = HashMap::new();
+    for est in &estimates {
+        let op = builder.operator(est.load);
+        op_of_node.insert(est.node, op);
+    }
+
+    let duration_ms = observation_span_ms(engine).max(1);
+    let mut mapping = Vec::with_capacity(bids.len());
+    for (cq, user, bid) in bids {
+        let info = engine
+            .network()
+            .query(*cq)
+            .unwrap_or_else(|| panic!("bid for unregistered query {cq}"));
+        let mut ops: Vec<OperatorId> = info
+            .nodes
+            .iter()
+            .map(|n| op_of_node[n])
+            .collect();
+        if ops.is_empty() {
+            // Source-only query: charge a private delivery operator sized by
+            // the stream's measured rate.
+            let rate: f64 = info
+                .plan
+                .input_streams()
+                .iter()
+                .filter_map(|s| engine.stream_stats().get(s))
+                .map(|s| s.count as f64 / duration_ms as f64)
+                .sum();
+            let load = Load::from_units(rate * model.delivery_unit_cost * model.scale)
+                .max(model.min_load);
+            ops.push(builder.operator(load));
+        }
+        builder.query_for_user(*user, *bid, &ops);
+        mapping.push(*cq);
+    }
+    let inst = builder.build().expect("engine-derived instance is valid");
+    (inst, mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::plan::LogicalPlan;
+    use crate::types::{DataType, Field, Schema, Tuple, Value};
+
+    fn quote(ts: u64, sym: &str, price: f64) -> Tuple {
+        Tuple::new(ts, vec![Value::str(sym), Value::Float(price)])
+    }
+
+    fn calibrated_engine() -> (DsmsEngine, CqId, CqId) {
+        let mut e = DsmsEngine::new();
+        e.register_stream(
+            "quotes",
+            Schema::new(vec![
+                Field::new("symbol", DataType::Str),
+                Field::new("price", DataType::Float),
+            ]),
+        );
+        let shared = LogicalPlan::source("quotes")
+            .filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))));
+        let q1 = e.add_query(shared.clone()).unwrap();
+        let q2 = e
+            .add_query(shared.filter(Expr::col(0).eq(Expr::lit(Value::str("IBM")))))
+            .unwrap();
+        // 100 tuples over 100 ms → 1 tuple/ms into the shared filter.
+        e.push_batch((0..100).map(|i| {
+            (
+                "quotes".to_string(),
+                quote(i, if i % 2 == 0 { "IBM" } else { "AAPL" }, 90.0 + (i % 20) as f64),
+            )
+        }));
+        (e, q1, q2)
+    }
+
+    #[test]
+    fn loads_scale_with_rate_and_unit_cost() {
+        let (e, _, _) = calibrated_engine();
+        let model = CostModel::default();
+        let estimates = estimate_node_loads(&e, &model);
+        assert_eq!(estimates.len(), 2);
+        let filter1 = &estimates[0]; // upstream shared filter
+        let filter2 = &estimates[1]; // downstream IBM filter
+        assert!(filter1.input_rate > filter2.input_rate);
+        assert!(filter1.load > filter2.load);
+        // 100 tuples over span 100ms → rate 1.0; unit cost 1.0 → load 1.0.
+        assert!((filter1.input_rate - 1.0).abs() < 0.02);
+        assert_eq!(filter1.load, Load::from_units(filter1.input_rate * 1.0));
+    }
+
+    #[test]
+    fn auction_instance_reflects_sharing() {
+        let (e, q1, q2) = calibrated_engine();
+        let bids = vec![
+            (q1, UserId(0), Money::from_dollars(10.0)),
+            (q2, UserId(1), Money::from_dollars(20.0)),
+        ];
+        let (inst, mapping) = auction_instance(&e, &bids, Load::from_units(100.0), &CostModel::default());
+        assert_eq!(mapping, vec![q1, q2]);
+        assert_eq!(inst.num_queries(), 2);
+        assert_eq!(inst.num_operators(), 2);
+        // The shared filter has sharing degree 2.
+        assert_eq!(inst.max_degree_of_sharing(), 2);
+        // q2's total load strictly exceeds q1's (superset of operators).
+        use cqac_core::model::QueryId;
+        assert!(inst.total_load(QueryId(1)) > inst.total_load(QueryId(0)));
+    }
+
+    #[test]
+    fn source_only_query_gets_delivery_operator() {
+        let mut e = DsmsEngine::new();
+        e.register_stream(
+            "quotes",
+            Schema::new(vec![
+                Field::new("symbol", DataType::Str),
+                Field::new("price", DataType::Float),
+            ]),
+        );
+        let cq = e.add_query(LogicalPlan::source("quotes")).unwrap();
+        e.push_batch((0..50).map(|i| ("quotes".to_string(), quote(i, "A", 1.0))));
+        let (inst, _) = auction_instance(
+            &e,
+            &[(cq, UserId(0), Money::from_dollars(5.0))],
+            Load::from_units(10.0),
+            &CostModel::default(),
+        );
+        assert_eq!(inst.num_operators(), 1);
+        use cqac_core::model::QueryId;
+        assert!(inst.total_load(QueryId(0)) > Load::ZERO);
+    }
+
+    #[test]
+    fn empty_engine_yields_min_loads() {
+        let mut e = DsmsEngine::new();
+        e.register_stream(
+            "quotes",
+            Schema::new(vec![
+                Field::new("symbol", DataType::Str),
+                Field::new("price", DataType::Float),
+            ]),
+        );
+        let _cq = e
+            .add_query(
+                LogicalPlan::source("quotes")
+                    .filter(Expr::col(1).gt(Expr::lit(Value::Float(1.0)))),
+            )
+            .unwrap();
+        let model = CostModel::default();
+        let estimates = estimate_node_loads(&e, &model);
+        assert_eq!(estimates[0].load, model.min_load);
+    }
+}

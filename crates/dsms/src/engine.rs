@@ -1,0 +1,482 @@
+//! The execution engine: deterministic push-based processing over the
+//! shared query network, with Aurora-style connection points and the
+//! end-of-subscription-day **transition phase** (§II of the paper).
+//!
+//! Determinism is a design requirement, not an optimization: the
+//! transition-correctness guarantee ("CQs that continue to execute for the
+//! next day produce correct results") is proved here *by test*, which needs
+//! replay-exact runs. The engine is single-threaded, processes nodes in
+//! ascending id order (a topological order — see `network.rs`), and uses
+//! event-time watermarks for all windowing.
+
+use crate::network::{CqId, NodeId, QueryNetwork, Target};
+use crate::plan::StreamCatalog;
+use crate::plan::{LogicalPlan, PlanError};
+use crate::types::{Schema, Tuple};
+use std::collections::{HashMap, VecDeque};
+
+/// Per-stream ingestion statistics (for cost estimation).
+#[derive(Clone, Debug, Default)]
+pub struct StreamStats {
+    /// Tuples pushed into the stream.
+    pub count: u64,
+    /// Smallest event timestamp seen.
+    pub min_ts: u64,
+    /// Largest event timestamp seen.
+    pub max_ts: u64,
+}
+
+/// The DSMS engine: a query network plus run state.
+#[derive(Debug)]
+pub struct DsmsEngine {
+    network: QueryNetwork,
+    /// Pending inputs per node (port, tuple), FIFO.
+    queues: HashMap<NodeId, VecDeque<(usize, Tuple)>>,
+    /// Collected outputs per query sink.
+    outputs: HashMap<CqId, Vec<Tuple>>,
+    /// Maximum event time pushed so far (the watermark).
+    watermark: u64,
+    /// When true, arriving tuples are held at the connection points.
+    holding: bool,
+    /// Tuples held during a transition, in arrival order.
+    held: VecDeque<(String, Tuple)>,
+    /// Per-stream ingestion stats.
+    stream_stats: HashMap<String, StreamStats>,
+    /// Total tuples processed by operators (work measure).
+    processed: u64,
+}
+
+impl Default for DsmsEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DsmsEngine {
+    /// An engine over an empty network.
+    pub fn new() -> Self {
+        Self {
+            network: QueryNetwork::new(),
+            queues: HashMap::new(),
+            outputs: HashMap::new(),
+            watermark: 0,
+            holding: false,
+            held: VecDeque::new(),
+            stream_stats: HashMap::new(),
+            processed: 0,
+        }
+    }
+
+    /// The underlying network (read-only).
+    pub fn network(&self) -> &QueryNetwork {
+        &self.network
+    }
+
+    /// Registers an input stream.
+    pub fn register_stream(&mut self, name: impl Into<String>, schema: Schema) {
+        self.network.register_stream(name, schema);
+    }
+
+    /// Adds a continuous query. If the engine is mid-stream (not in an
+    /// explicit transition), a mini transition runs automatically: hold,
+    /// drain, modify, release — so in-flight tuples of existing queries are
+    /// unaffected.
+    pub fn add_query(&mut self, plan: LogicalPlan) -> Result<CqId, PlanError> {
+        let auto = !self.holding;
+        if auto {
+            self.begin_transition();
+        }
+        let result = self.network.add_query(plan);
+        if let Ok(cq) = result {
+            self.outputs.entry(cq).or_default();
+        }
+        if auto {
+            self.end_transition();
+        }
+        result
+    }
+
+    /// Removes a query (auto-transition as in [`DsmsEngine::add_query`]),
+    /// discarding its undelivered outputs.
+    pub fn remove_query(&mut self, cq: CqId) {
+        let auto = !self.holding;
+        if auto {
+            self.begin_transition();
+        }
+        self.network.remove_query(cq);
+        self.outputs.remove(&cq);
+        if auto {
+            self.end_transition();
+        }
+    }
+
+    /// **Transition phase, step 1** (§II): upstream connection points start
+    /// holding arriving tuples, and the subnetwork queues are drained so
+    /// every in-flight tuple reaches its sinks.
+    pub fn begin_transition(&mut self) {
+        assert!(!self.holding, "transition already in progress");
+        self.run_until_quiescent();
+        self.holding = true;
+    }
+
+    /// **Transition phase, step 2**: after the query planner modified the
+    /// network, the held tuples are input *before* newly arriving ones.
+    pub fn end_transition(&mut self) {
+        assert!(self.holding, "no transition in progress");
+        self.holding = false;
+        while let Some((stream, tuple)) = self.held.pop_front() {
+            self.route_from_stream(&stream, tuple);
+        }
+        self.run_until_quiescent();
+    }
+
+    /// True while a transition is holding tuples.
+    pub fn in_transition(&self) -> bool {
+        self.holding
+    }
+
+    /// Number of tuples currently held at connection points.
+    pub fn held_tuples(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Pushes one tuple into a stream. During a transition it is held at
+    /// the stream's connection point; otherwise it is routed and processed
+    /// on the next [`DsmsEngine::run_until_quiescent`].
+    pub fn push(&mut self, stream: &str, tuple: Tuple) {
+        debug_assert!(
+            self.network
+                .stream_schema(stream)
+                .is_some_and(|s| tuple.conforms_to(s)),
+            "tuple does not conform to stream '{stream}'"
+        );
+        let stats = self.stream_stats.entry(stream.to_string()).or_default();
+        if stats.count == 0 {
+            stats.min_ts = tuple.ts;
+        }
+        stats.count += 1;
+        stats.max_ts = stats.max_ts.max(tuple.ts);
+        if self.holding {
+            self.held.push_back((stream.to_string(), tuple));
+        } else {
+            self.route_from_stream(stream, tuple);
+        }
+    }
+
+    /// Pushes a batch and processes to quiescence.
+    pub fn push_batch<I: IntoIterator<Item = (String, Tuple)>>(&mut self, tuples: I) {
+        for (stream, tuple) in tuples {
+            self.push(&stream, tuple);
+        }
+        if !self.holding {
+            self.run_until_quiescent();
+        }
+    }
+
+    fn route_from_stream(&mut self, stream: &str, tuple: Tuple) {
+        self.watermark = self.watermark.max(tuple.ts);
+        // Clone the subscriber list (tiny) to appease the borrow checker.
+        let subs: Vec<Target> = self.network.stream_subscribers(stream).to_vec();
+        for target in subs {
+            self.route(target, tuple.clone());
+        }
+    }
+
+    fn route(&mut self, target: Target, tuple: Tuple) {
+        match target {
+            Target::Node(id, port) => {
+                self.queues.entry(id).or_default().push_back((port, tuple));
+            }
+            Target::Sink(cq) => {
+                self.outputs.entry(cq).or_default().push(tuple);
+            }
+        }
+    }
+
+    /// Processes every queued tuple and propagates the watermark until the
+    /// network is quiescent.
+    pub fn run_until_quiescent(&mut self) {
+        let mut out_buf: Vec<Tuple> = Vec::new();
+        loop {
+            let mut any = false;
+            for id in self.network.node_ids() {
+                // Drain the node's input queue.
+                while let Some((port, tuple)) =
+                    self.queues.get_mut(&id).and_then(VecDeque::pop_front)
+                {
+                    any = true;
+                    self.processed += 1;
+                    out_buf.clear();
+                    {
+                        let node = self.network.node_mut(id).expect("live node");
+                        node.in_count += 1;
+                        node.op.process(port, &tuple, &mut out_buf);
+                        node.out_count += out_buf.len() as u64;
+                    }
+                    self.dispatch(id, &mut out_buf);
+                }
+                // Propagate the watermark once per value per node.
+                let needs_watermark = self
+                    .network
+                    .node(id)
+                    .is_some_and(|n| n.last_watermark < self.watermark);
+                if needs_watermark {
+                    out_buf.clear();
+                    {
+                        let node = self.network.node_mut(id).expect("live node");
+                        node.op.advance_watermark(self.watermark, &mut out_buf);
+                        node.last_watermark = self.watermark;
+                        node.out_count += out_buf.len() as u64;
+                    }
+                    if !out_buf.is_empty() {
+                        any = true;
+                    }
+                    self.dispatch(id, &mut out_buf);
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+    }
+
+    fn dispatch(&mut self, from: NodeId, out_buf: &mut Vec<Tuple>) {
+        if out_buf.is_empty() {
+            return;
+        }
+        let targets: Vec<Target> = self
+            .network
+            .node(from)
+            .expect("live node")
+            .downstream
+            .clone();
+        for tuple in out_buf.drain(..) {
+            for &target in &targets {
+                self.route(target, tuple.clone());
+            }
+        }
+    }
+
+    /// Force-closes all windowed state (the end of the *final* day) and
+    /// drains the resulting outputs.
+    pub fn finish(&mut self) {
+        self.run_until_quiescent();
+        let mut out_buf: Vec<Tuple> = Vec::new();
+        for id in self.network.node_ids() {
+            out_buf.clear();
+            {
+                let node = self.network.node_mut(id).expect("live node");
+                node.op.finish(&mut out_buf);
+                node.out_count += out_buf.len() as u64;
+            }
+            self.dispatch(id, &mut out_buf);
+        }
+        self.run_until_quiescent();
+    }
+
+    /// Takes (and clears) the collected outputs of a query.
+    pub fn take_outputs(&mut self, cq: CqId) -> Vec<Tuple> {
+        self.outputs.get_mut(&cq).map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Peeks at a query's collected outputs.
+    pub fn outputs(&self, cq: CqId) -> &[Tuple] {
+        self.outputs.get(&cq).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The current watermark (max event time pushed).
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Total operator invocations so far (a machine-independent work
+    /// measure).
+    pub fn tuples_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Ingestion statistics per stream.
+    pub fn stream_stats(&self) -> &HashMap<String, StreamStats> {
+        &self.stream_stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::plan::AggFunc;
+    use crate::types::{DataType, Field, Value};
+
+    fn quote_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("symbol", DataType::Str),
+            Field::new("price", DataType::Float),
+        ])
+    }
+
+    fn quote(ts: u64, sym: &str, price: f64) -> Tuple {
+        Tuple::new(ts, vec![Value::str(sym), Value::Float(price)])
+    }
+
+    fn engine_with_quotes() -> DsmsEngine {
+        let mut e = DsmsEngine::new();
+        e.register_stream("quotes", quote_schema());
+        e
+    }
+
+    fn high_filter() -> LogicalPlan {
+        LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))))
+    }
+
+    #[test]
+    fn filter_end_to_end() {
+        let mut e = engine_with_quotes();
+        let cq = e.add_query(high_filter()).unwrap();
+        e.push("quotes", quote(1, "IBM", 120.0));
+        e.push("quotes", quote(2, "IBM", 80.0));
+        e.push("quotes", quote(3, "AAPL", 130.0));
+        e.run_until_quiescent();
+        let out = e.take_outputs(cq);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].ts, 1);
+        assert_eq!(out[1].ts, 3);
+        assert!(e.take_outputs(cq).is_empty(), "take drains");
+    }
+
+    #[test]
+    fn shared_filter_feeds_both_sinks() {
+        let mut e = engine_with_quotes();
+        let q1 = e.add_query(high_filter()).unwrap();
+        let q2 = e.add_query(high_filter()).unwrap();
+        e.push("quotes", quote(1, "IBM", 120.0));
+        e.run_until_quiescent();
+        assert_eq!(e.outputs(q1).len(), 1);
+        assert_eq!(e.outputs(q2).len(), 1);
+        // The shared node processed the tuple once.
+        let node = e.network().query(q1).unwrap().nodes[0];
+        assert_eq!(e.network().node(node).unwrap().in_count, 1);
+    }
+
+    #[test]
+    fn aggregate_emits_on_watermark() {
+        let mut e = engine_with_quotes();
+        let cq = e
+            .add_query(LogicalPlan::source("quotes").aggregate(None, AggFunc::Count, 0, 100))
+            .unwrap();
+        e.push_batch([
+            ("quotes".to_string(), quote(10, "A", 1.0)),
+            ("quotes".to_string(), quote(20, "A", 1.0)),
+        ]);
+        assert!(e.outputs(cq).is_empty(), "window still open");
+        e.push_batch([("quotes".to_string(), quote(150, "A", 1.0))]);
+        let out = e.take_outputs(cq);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values[1], Value::Int(2));
+    }
+
+    #[test]
+    fn join_across_streams() {
+        let mut e = engine_with_quotes();
+        e.register_stream(
+            "news",
+            Schema::new(vec![
+                Field::new("symbol", DataType::Str),
+                Field::new("headline", DataType::Str),
+            ]),
+        );
+        let plan = high_filter().join(LogicalPlan::source("news"), 0, 0, 50);
+        let cq = e.add_query(plan).unwrap();
+        e.push("quotes", quote(100, "IBM", 150.0));
+        e.push(
+            "news",
+            Tuple::new(120, vec![Value::str("IBM"), Value::str("beats earnings")]),
+        );
+        e.run_until_quiescent();
+        let out = e.take_outputs(cq);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values.len(), 4);
+    }
+
+    #[test]
+    fn transition_holds_and_releases_in_order() {
+        let mut e = engine_with_quotes();
+        let cq = e.add_query(high_filter()).unwrap();
+        e.push("quotes", quote(1, "IBM", 120.0));
+        e.begin_transition();
+        e.push("quotes", quote(2, "IBM", 130.0));
+        e.push("quotes", quote(3, "IBM", 140.0));
+        assert_eq!(e.held_tuples(), 2);
+        assert_eq!(e.outputs(cq).len(), 1, "pre-transition tuple delivered");
+        e.end_transition();
+        let out = e.take_outputs(cq);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.iter().map(|t| t.ts).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn mid_stream_query_addition_does_not_disturb_existing() {
+        let mut reference = engine_with_quotes();
+        let ref_cq = reference.add_query(high_filter()).unwrap();
+
+        let mut e = engine_with_quotes();
+        let cq = e.add_query(high_filter()).unwrap();
+
+        let tuples: Vec<Tuple> = (0..20).map(|i| quote(i, "IBM", 90.0 + i as f64)).collect();
+        for (i, t) in tuples.iter().enumerate() {
+            reference.push("quotes", t.clone());
+            e.push("quotes", t.clone());
+            if i == 10 {
+                // Add an unrelated query mid-stream.
+                e.add_query(
+                    LogicalPlan::source("quotes")
+                        .filter(Expr::col(0).eq(Expr::lit(Value::str("AAPL")))),
+                )
+                .unwrap();
+            }
+        }
+        reference.run_until_quiescent();
+        e.run_until_quiescent();
+        assert_eq!(
+            reference.take_outputs(ref_cq),
+            e.take_outputs(cq),
+            "continuing query output must be unaffected by the transition"
+        );
+    }
+
+    #[test]
+    fn finish_flushes_open_windows() {
+        let mut e = engine_with_quotes();
+        let cq = e
+            .add_query(LogicalPlan::source("quotes").aggregate(None, AggFunc::Count, 0, 1000))
+            .unwrap();
+        e.push_batch([("quotes".to_string(), quote(10, "A", 1.0))]);
+        assert!(e.outputs(cq).is_empty());
+        e.finish();
+        assert_eq!(e.outputs(cq).len(), 1);
+    }
+
+    #[test]
+    fn stats_track_streams_and_work() {
+        let mut e = engine_with_quotes();
+        e.add_query(high_filter()).unwrap();
+        e.push_batch((0..5).map(|i| ("quotes".to_string(), quote(i, "A", 120.0))));
+        let stats = &e.stream_stats()["quotes"];
+        assert_eq!(stats.count, 5);
+        assert_eq!(stats.min_ts, 0);
+        assert_eq!(stats.max_ts, 4);
+        assert_eq!(e.tuples_processed(), 5);
+    }
+
+    #[test]
+    fn removed_query_stops_producing() {
+        let mut e = engine_with_quotes();
+        let q1 = e.add_query(high_filter()).unwrap();
+        let q2 = e.add_query(high_filter()).unwrap();
+        e.push_batch([("quotes".to_string(), quote(1, "A", 120.0))]);
+        e.remove_query(q1);
+        e.push_batch([("quotes".to_string(), quote(2, "A", 130.0))]);
+        assert_eq!(e.outputs(q2).len(), 2);
+        assert!(e.outputs(q1).is_empty());
+    }
+}

@@ -1,0 +1,396 @@
+//! A small expression language for predicates and projections.
+//!
+//! Filters, projections, and join/aggregate keys are all data — not Rust
+//! closures — so that two structurally identical operators submitted by
+//! different users hash to the same **signature** and get shared in the
+//! query network (the premise of the paper's operator sharing: "many of the
+//! CQs are similar, but not identical").
+
+use crate::types::{DataType, Schema, Tuple, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Binary comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Binary arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// An expression over one tuple.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// The value of column `i`.
+    Col(usize),
+    /// A literal.
+    Lit(Value),
+    /// Comparison of two sub-expressions.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic on two numeric sub-expressions (result: Float unless both
+    /// Int).
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+}
+
+/// Errors from evaluation or type checking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExprError {
+    /// Column index out of range for the schema.
+    UnknownColumn(usize),
+    /// Operand types don't match the operator.
+    TypeMismatch(String),
+    /// Division by zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::UnknownColumn(i) => write!(f, "unknown column {i}"),
+            ExprError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            ExprError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+impl Expr {
+    /// Column reference helper.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Literal helper.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// `self <op> rhs` comparison helper.
+    pub fn cmp(self, op: CmpOp, rhs: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self > rhs`.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Gt, rhs)
+    }
+
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Ge, rhs)
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Lt, rhs)
+    }
+
+    /// `self = rhs`.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.cmp(CmpOp::Eq, rhs)
+    }
+
+    /// `self AND rhs`.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self OR rhs`.
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Infers the expression's result type against `schema`, validating
+    /// column references and operand types.
+    pub fn infer_type(&self, schema: &Schema) -> Result<DataType, ExprError> {
+        match self {
+            Expr::Col(i) => {
+                if *i < schema.len() {
+                    Ok(schema.data_type(*i))
+                } else {
+                    Err(ExprError::UnknownColumn(*i))
+                }
+            }
+            Expr::Lit(v) => Ok(v.data_type()),
+            Expr::Cmp(_, l, r) => {
+                let lt = l.infer_type(schema)?;
+                let rt = r.infer_type(schema)?;
+                let comparable = lt == rt
+                    || (matches!(lt, DataType::Int | DataType::Float)
+                        && matches!(rt, DataType::Int | DataType::Float));
+                if comparable {
+                    Ok(DataType::Bool)
+                } else {
+                    Err(ExprError::TypeMismatch(format!(
+                        "cannot compare {lt:?} with {rt:?}"
+                    )))
+                }
+            }
+            Expr::Arith(_, l, r) => {
+                let lt = l.infer_type(schema)?;
+                let rt = r.infer_type(schema)?;
+                match (lt, rt) {
+                    (DataType::Int, DataType::Int) => Ok(DataType::Int),
+                    (DataType::Int | DataType::Float, DataType::Int | DataType::Float) => {
+                        Ok(DataType::Float)
+                    }
+                    _ => Err(ExprError::TypeMismatch(format!(
+                        "cannot do arithmetic on {lt:?} and {rt:?}"
+                    ))),
+                }
+            }
+            Expr::And(l, r) | Expr::Or(l, r) => {
+                for side in [l, r] {
+                    if side.infer_type(schema)? != DataType::Bool {
+                        return Err(ExprError::TypeMismatch(
+                            "logical operand must be boolean".into(),
+                        ));
+                    }
+                }
+                Ok(DataType::Bool)
+            }
+            Expr::Not(e) => {
+                if e.infer_type(schema)? == DataType::Bool {
+                    Ok(DataType::Bool)
+                } else {
+                    Err(ExprError::TypeMismatch("NOT operand must be boolean".into()))
+                }
+            }
+        }
+    }
+
+    /// Evaluates the expression on one tuple.
+    pub fn eval(&self, tuple: &Tuple) -> Result<Value, ExprError> {
+        match self {
+            Expr::Col(i) => tuple
+                .values
+                .get(*i)
+                .cloned()
+                .ok_or(ExprError::UnknownColumn(*i)),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Cmp(op, l, r) => {
+                let lv = l.eval(tuple)?;
+                let rv = r.eval(tuple)?;
+                compare(*op, &lv, &rv).map(Value::Bool)
+            }
+            Expr::Arith(op, l, r) => {
+                let lv = l.eval(tuple)?;
+                let rv = r.eval(tuple)?;
+                arith(*op, &lv, &rv)
+            }
+            Expr::And(l, r) => {
+                let lv = as_bool(&l.eval(tuple)?)?;
+                if !lv {
+                    return Ok(Value::Bool(false)); // short circuit
+                }
+                Ok(Value::Bool(as_bool(&r.eval(tuple)?)?))
+            }
+            Expr::Or(l, r) => {
+                let lv = as_bool(&l.eval(tuple)?)?;
+                if lv {
+                    return Ok(Value::Bool(true));
+                }
+                Ok(Value::Bool(as_bool(&r.eval(tuple)?)?))
+            }
+            Expr::Not(e) => Ok(Value::Bool(!as_bool(&e.eval(tuple)?)?)),
+        }
+    }
+
+    /// Evaluates a predicate, treating evaluation errors as `false` —
+    /// streaming engines drop malformed tuples rather than halt the network.
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        matches!(self.eval(tuple), Ok(Value::Bool(true)))
+    }
+}
+
+fn as_bool(v: &Value) -> Result<bool, ExprError> {
+    v.as_bool()
+        .ok_or_else(|| ExprError::TypeMismatch("expected boolean".into()))
+}
+
+fn compare(op: CmpOp, l: &Value, r: &Value) -> Result<bool, ExprError> {
+    use std::cmp::Ordering;
+    let ord: Ordering = match (l, r) {
+        (Value::Str(a), Value::Str(b)) => a.cmp(b),
+        (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+        (Value::Int(a), Value::Int(b)) => a.cmp(b),
+        _ => {
+            let (a, b) = (
+                l.as_f64()
+                    .ok_or_else(|| ExprError::TypeMismatch("non-numeric compare".into()))?,
+                r.as_f64()
+                    .ok_or_else(|| ExprError::TypeMismatch("non-numeric compare".into()))?,
+            );
+            a.partial_cmp(&b)
+                .ok_or_else(|| ExprError::TypeMismatch("NaN in comparison".into()))?
+        }
+    };
+    Ok(match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    })
+}
+
+fn arith(op: ArithOp, l: &Value, r: &Value) -> Result<Value, ExprError> {
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return Ok(match op {
+            ArithOp::Add => Value::Int(a.wrapping_add(*b)),
+            ArithOp::Sub => Value::Int(a.wrapping_sub(*b)),
+            ArithOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            ArithOp::Div => {
+                if *b == 0 {
+                    return Err(ExprError::DivisionByZero);
+                }
+                Value::Int(a / b)
+            }
+        });
+    }
+    let a = l
+        .as_f64()
+        .ok_or_else(|| ExprError::TypeMismatch("non-numeric arithmetic".into()))?;
+    let b = r
+        .as_f64()
+        .ok_or_else(|| ExprError::TypeMismatch("non-numeric arithmetic".into()))?;
+    Ok(match op {
+        ArithOp::Add => Value::Float(a + b),
+        ArithOp::Sub => Value::Float(a - b),
+        ArithOp::Mul => Value::Float(a * b),
+        ArithOp::Div => {
+            if b == 0.0 {
+                return Err(ExprError::DivisionByZero);
+            }
+            Value::Float(a / b)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Field;
+
+    fn quote_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("symbol", DataType::Str),
+            Field::new("price", DataType::Float),
+            Field::new("volume", DataType::Int),
+        ])
+    }
+
+    fn quote(sym: &str, price: f64, volume: i64) -> Tuple {
+        Tuple::new(0, vec![Value::str(sym), Value::Float(price), Value::Int(volume)])
+    }
+
+    #[test]
+    fn high_value_transaction_predicate() {
+        // The paper's intro example: select high value transactions.
+        let pred = Expr::col(1)
+            .gt(Expr::lit(Value::Float(100.0)))
+            .and(Expr::col(2).ge(Expr::lit(Value::Int(1000))));
+        assert!(pred.matches(&quote("IBM", 120.0, 5000)));
+        assert!(!pred.matches(&quote("IBM", 90.0, 5000)));
+        assert!(!pred.matches(&quote("IBM", 120.0, 10)));
+        assert_eq!(pred.infer_type(&quote_schema()), Ok(DataType::Bool));
+    }
+
+    #[test]
+    fn mixed_numeric_compare() {
+        let pred = Expr::col(2).gt(Expr::lit(Value::Float(10.5)));
+        assert!(pred.matches(&quote("A", 0.0, 11)));
+        assert!(!pred.matches(&quote("A", 0.0, 10)));
+    }
+
+    #[test]
+    fn string_equality() {
+        let pred = Expr::col(0).eq(Expr::lit(Value::str("IBM")));
+        assert!(pred.matches(&quote("IBM", 1.0, 1)));
+        assert!(!pred.matches(&quote("AAPL", 1.0, 1)));
+    }
+
+    #[test]
+    fn arithmetic_and_types() {
+        let notional = Expr::Arith(
+            ArithOp::Mul,
+            Box::new(Expr::col(1)),
+            Box::new(Expr::col(2)),
+        );
+        assert_eq!(notional.infer_type(&quote_schema()), Ok(DataType::Float));
+        let v = notional.eval(&quote("A", 2.0, 10)).unwrap();
+        assert_eq!(v, Value::Float(20.0));
+        let int_sum = Expr::Arith(
+            ArithOp::Add,
+            Box::new(Expr::col(2)),
+            Box::new(Expr::lit(Value::Int(1))),
+        );
+        assert_eq!(int_sum.infer_type(&quote_schema()), Ok(DataType::Int));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let e = Expr::Arith(
+            ArithOp::Div,
+            Box::new(Expr::lit(Value::Int(1))),
+            Box::new(Expr::lit(Value::Int(0))),
+        );
+        assert_eq!(e.eval(&quote("A", 0.0, 0)), Err(ExprError::DivisionByZero));
+    }
+
+    #[test]
+    fn type_errors_are_caught_statically() {
+        let bad = Expr::col(0).gt(Expr::lit(Value::Int(3)));
+        assert!(bad.infer_type(&quote_schema()).is_err());
+        let bad_col = Expr::col(9);
+        assert_eq!(
+            bad_col.infer_type(&quote_schema()),
+            Err(ExprError::UnknownColumn(9))
+        );
+    }
+
+    #[test]
+    fn matches_swallows_runtime_errors() {
+        let bad = Expr::col(9).gt(Expr::lit(Value::Int(3)));
+        assert!(!bad.matches(&quote("A", 0.0, 0)));
+    }
+
+    #[test]
+    fn short_circuit_logic() {
+        // Right side would error, but the left side decides.
+        let e = Expr::lit(Value::Bool(false)).and(Expr::col(9).eq(Expr::lit(Value::Int(1))));
+        assert_eq!(e.eval(&quote("A", 0.0, 0)), Ok(Value::Bool(false)));
+        let e = Expr::lit(Value::Bool(true)).or(Expr::col(9).eq(Expr::lit(Value::Int(1))));
+        assert_eq!(e.eval(&quote("A", 0.0, 0)), Ok(Value::Bool(true)));
+    }
+}

@@ -1,0 +1,66 @@
+//! # cqac-dsms — an Aurora-like stream-processing substrate
+//!
+//! The ICDE 2010 admission-control paper assumes "an underlying query model
+//! similar to the Aurora model": continuous queries compiled into a shared
+//! network of operators, connection points that can hold tuples while
+//! subnetworks are modified, and per-operator loads the system can
+//! approximate (§II). This crate *builds that substrate*:
+//!
+//! * [`types`] / [`expr`] — tuples, schemas, and a small expression language
+//!   (predicates are data, so structurally identical operators share).
+//! * [`plan`] — logical continuous-query plans with canonical sharing
+//!   signatures.
+//! * [`ops`] — physical operators: filter, project, windowed symmetric hash
+//!   join, tumbling aggregates, union.
+//! * [`network`] — the shared query network: one operator per distinct
+//!   signature, reference-counted across queries.
+//! * [`engine`] — deterministic push execution with event-time watermarks,
+//!   connection points, and the end-of-day **transition phase**.
+//! * [`cost`] — measured operator load estimation, lowering a live network
+//!   into a `cqac_core` [`cqac_core::model::AuctionInstance`].
+//! * [`center`] — the for-profit DSMS center: daily auctions, admission
+//!   transitions, billing.
+//! * [`streams`] — deterministic synthetic stock-quote and news feeds.
+//!
+//! ## Example: shared processing end to end
+//!
+//! ```
+//! use cqac_dsms::engine::DsmsEngine;
+//! use cqac_dsms::expr::Expr;
+//! use cqac_dsms::plan::LogicalPlan;
+//! use cqac_dsms::streams::{quote_schema, StockStream};
+//! use cqac_dsms::types::Value;
+//!
+//! let mut engine = DsmsEngine::new();
+//! engine.register_stream("quotes", quote_schema());
+//!
+//! // Two users register the same selection: one physical operator runs.
+//! let plan = LogicalPlan::source("quotes")
+//!     .filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))));
+//! let q1 = engine.add_query(plan.clone()).unwrap();
+//! let q2 = engine.add_query(plan).unwrap();
+//! assert_eq!(engine.network().num_nodes(), 1);
+//!
+//! let mut feed = StockStream::new(&["IBM", "AAPL"], 1, 42);
+//! engine.push_batch(feed.next_batch(100).into_iter().map(|t| ("quotes".into(), t)));
+//! assert_eq!(engine.outputs(q1), engine.outputs(q2));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod center;
+pub mod cost;
+pub mod engine;
+pub mod expr;
+pub mod network;
+pub mod ops;
+pub mod plan;
+pub mod streams;
+pub mod types;
+
+pub use center::{DsmsCenter, Submission};
+pub use engine::DsmsEngine;
+pub use network::{CqId, NodeId, QueryNetwork};
+pub use plan::{AggFunc, LogicalPlan};
+pub use types::{DataType, Field, Schema, Tuple, Value};

@@ -1,0 +1,605 @@
+//! The shared query network: one physical operator per distinct plan
+//! signature, reference-counted across the continuous queries that use it.
+//!
+//! This is the substrate property the whole paper builds on — "it is
+//! expected that many CQs may contain the same operator" (§II). Adding a
+//! query walks its logical plan bottom-up, reusing any node whose signature
+//! (operator kind + parameters + transitive inputs) already exists;
+//! removing a query decrements reference counts and garbage-collects
+//! orphaned operators.
+//!
+//! Invariant exploited by the engine: every edge points from a
+//! lower-numbered node to a higher-numbered node (children are always
+//! instantiated before parents, and reused parents already have their input
+//! edges), so ascending node id is a topological order.
+
+use crate::ops::{AggregateOp, FilterOp, JoinOp, Operator, ProjectOp, UnionOp};
+use crate::plan::{AggFunc, LogicalPlan, PlanError, StreamCatalog};
+use crate::types::{DataType, Schema};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a continuous query registered in a network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CqId(pub u32);
+
+impl fmt::Display for CqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cq{}", self.0)
+    }
+}
+
+/// Identifies a physical operator node within a network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Where an operator's (or stream's) output goes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// Input port `1` of node `0`.
+    Node(NodeId, usize),
+    /// The output sink of a continuous query.
+    Sink(CqId),
+}
+
+/// What produces a plan node's input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Producer {
+    /// A raw registered stream.
+    Stream(String),
+    /// Another operator node.
+    Node(NodeId),
+}
+
+/// A physical operator node.
+pub struct Node {
+    /// The executable operator.
+    pub op: Box<dyn Operator>,
+    /// The sharing signature that keyed this node.
+    pub signature: String,
+    /// Operator kind label (for reports).
+    pub kind: &'static str,
+    /// Downstream consumers.
+    pub downstream: Vec<Target>,
+    /// Number of registered queries whose plan contains this node.
+    pub refcount: u32,
+    /// Tuples consumed (all ports).
+    pub in_count: u64,
+    /// Tuples produced.
+    pub out_count: u64,
+    /// Watermark already propagated to this node.
+    pub last_watermark: u64,
+}
+
+impl fmt::Debug for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Node")
+            .field("kind", &self.kind)
+            .field("refcount", &self.refcount)
+            .field("in", &self.in_count)
+            .field("out", &self.out_count)
+            .finish()
+    }
+}
+
+/// Everything the network remembers about one registered query.
+#[derive(Clone, Debug)]
+pub struct QueryInfo {
+    /// The logical plan as submitted.
+    pub plan: LogicalPlan,
+    /// The distinct node ids the query's plan maps to.
+    pub nodes: Vec<NodeId>,
+    /// What feeds the query's sink.
+    pub top: Producer,
+    /// The query's output schema.
+    pub schema: Schema,
+}
+
+/// The shared operator network (see module docs).
+#[derive(Default)]
+pub struct QueryNetwork {
+    streams: HashMap<String, Schema>,
+    nodes: Vec<Option<Node>>,
+    by_signature: HashMap<String, NodeId>,
+    source_subs: HashMap<String, Vec<Target>>,
+    queries: HashMap<CqId, QueryInfo>,
+    next_cq: u32,
+}
+
+impl fmt::Debug for QueryNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryNetwork")
+            .field("streams", &self.streams.keys().collect::<Vec<_>>())
+            .field("nodes", &self.num_nodes())
+            .field("queries", &self.queries.len())
+            .finish()
+    }
+}
+
+impl StreamCatalog for QueryNetwork {
+    fn stream_schema(&self, name: &str) -> Option<&Schema> {
+        self.streams.get(name)
+    }
+}
+
+impl QueryNetwork {
+    /// An empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an input stream. Re-registering with the same schema is a
+    /// no-op; with a different schema it panics (streams are append-only
+    /// contracts).
+    pub fn register_stream(&mut self, name: impl Into<String>, schema: Schema) {
+        let name = name.into();
+        match self.streams.get(&name) {
+            Some(existing) => assert_eq!(
+                existing, &schema,
+                "stream '{name}' re-registered with a different schema"
+            ),
+            None => {
+                self.streams.insert(name.clone(), schema);
+                self.source_subs.entry(name).or_default();
+            }
+        }
+    }
+
+    /// Live (non-removed) node count.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The node with the given id, if live.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to a live node.
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut Node> {
+        self.nodes.get_mut(id.index()).and_then(Option::as_mut)
+    }
+
+    /// Ids of all live nodes, ascending (a valid topological order).
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|_| NodeId(i as u32)))
+            .collect()
+    }
+
+    /// Registered query ids, ascending.
+    pub fn query_ids(&self) -> Vec<CqId> {
+        let mut ids: Vec<CqId> = self.queries.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Info for a registered query.
+    pub fn query(&self, cq: CqId) -> Option<&QueryInfo> {
+        self.queries.get(&cq)
+    }
+
+    /// The subscribers of a raw stream.
+    pub fn stream_subscribers(&self, stream: &str) -> &[Target] {
+        self.source_subs
+            .get(stream)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The maximum number of queries sharing one node — the paper's "degree
+    /// of sharing" realized in the running system.
+    pub fn max_degree_of_sharing(&self) -> u32 {
+        self.nodes
+            .iter()
+            .flatten()
+            .map(|n| n.refcount)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Adds a continuous query, sharing operators with existing queries
+    /// wherever signatures match. Returns the new query's id.
+    pub fn add_query(&mut self, plan: LogicalPlan) -> Result<CqId, PlanError> {
+        // Validate fully before mutating.
+        let schema = plan.output_schema(self)?;
+        let mut new_nodes: Vec<NodeId> = Vec::new();
+        let top = self.instantiate(&plan, &mut new_nodes)?;
+
+        let cq = CqId(self.next_cq);
+        self.next_cq += 1;
+
+        // Collect the full node set of the plan (shared and new).
+        let mut node_set = Vec::new();
+        self.collect_plan_nodes(&plan, &mut node_set);
+        node_set.sort_unstable();
+        node_set.dedup();
+        for &n in &node_set {
+            self.nodes[n.index()]
+                .as_mut()
+                .expect("plan node is live")
+                .refcount += 1;
+        }
+
+        // Wire the sink.
+        self.connect(&top, Target::Sink(cq));
+
+        self.queries.insert(
+            cq,
+            QueryInfo {
+                plan,
+                nodes: node_set,
+                top,
+                schema,
+            },
+        );
+        Ok(cq)
+    }
+
+    /// Removes a query, garbage-collecting operators no longer referenced by
+    /// any registered query. Returns the info of the removed query.
+    ///
+    /// # Panics
+    /// Panics if the query does not exist.
+    pub fn remove_query(&mut self, cq: CqId) -> QueryInfo {
+        let info = self
+            .queries
+            .remove(&cq)
+            .unwrap_or_else(|| panic!("remove of unknown query {cq}"));
+        // Unwire the sink.
+        self.disconnect(&info.top, Target::Sink(cq));
+        // Drop references; collect orphans.
+        let mut orphans = Vec::new();
+        for &n in &info.nodes {
+            let node = self.nodes[n.index()].as_mut().expect("query node is live");
+            node.refcount -= 1;
+            if node.refcount == 0 {
+                orphans.push(n);
+            }
+        }
+        for n in orphans {
+            self.remove_node(n);
+        }
+        info
+    }
+
+    fn remove_node(&mut self, id: NodeId) {
+        let node = self.nodes[id.index()].take().expect("node is live");
+        self.by_signature.remove(&node.signature);
+        // Remove edges pointing at the node from streams and other nodes.
+        for subs in self.source_subs.values_mut() {
+            subs.retain(|t| !matches!(t, Target::Node(n, _) if *n == id));
+        }
+        for other in self.nodes.iter_mut().flatten() {
+            other
+                .downstream
+                .retain(|t| !matches!(t, Target::Node(n, _) if *n == id));
+        }
+    }
+
+    fn connect(&mut self, producer: &Producer, target: Target) {
+        match producer {
+            Producer::Stream(s) => {
+                let subs = self
+                    .source_subs
+                    .get_mut(s)
+                    .expect("stream registered before connect");
+                if !subs.contains(&target) {
+                    subs.push(target);
+                }
+            }
+            Producer::Node(id) => {
+                let node = self.nodes[id.index()].as_mut().expect("producer is live");
+                if !node.downstream.contains(&target) {
+                    node.downstream.push(target);
+                }
+            }
+        }
+    }
+
+    fn disconnect(&mut self, producer: &Producer, target: Target) {
+        match producer {
+            Producer::Stream(s) => {
+                if let Some(subs) = self.source_subs.get_mut(s) {
+                    subs.retain(|t| *t != target);
+                }
+            }
+            Producer::Node(id) => {
+                if let Some(node) = self.nodes[id.index()].as_mut() {
+                    node.downstream.retain(|t| *t != target);
+                }
+            }
+        }
+    }
+
+    fn new_node(&mut self, op: Box<dyn Operator>, signature: String, kind: &'static str) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.by_signature.insert(signature.clone(), id);
+        self.nodes.push(Some(Node {
+            op,
+            signature,
+            kind,
+            downstream: Vec::new(),
+            refcount: 0,
+            in_count: 0,
+            out_count: 0,
+            last_watermark: 0,
+        }));
+        id
+    }
+
+    /// Recursively instantiates a plan, reusing signature-identical nodes.
+    fn instantiate(
+        &mut self,
+        plan: &LogicalPlan,
+        created: &mut Vec<NodeId>,
+    ) -> Result<Producer, PlanError> {
+        if let LogicalPlan::Source { stream } = plan {
+            if !self.streams.contains_key(stream) {
+                return Err(PlanError::UnknownStream(stream.clone()));
+            }
+            return Ok(Producer::Stream(stream.clone()));
+        }
+        let signature = plan.signature();
+        if let Some(&existing) = self.by_signature.get(&signature) {
+            return Ok(Producer::Node(existing));
+        }
+        let producer = match plan {
+            LogicalPlan::Source { .. } => unreachable!("handled above"),
+            LogicalPlan::Filter { input, predicate } => {
+                let child = self.instantiate(input, created)?;
+                let schema = input.output_schema(self)?;
+                let id = self.new_node(
+                    Box::new(FilterOp::new(predicate.clone(), schema)),
+                    signature,
+                    "filter",
+                );
+                self.connect(&child, Target::Node(id, 0));
+                id
+            }
+            LogicalPlan::Project { input, columns } => {
+                let child = self.instantiate(input, created)?;
+                let schema = plan.output_schema(self)?;
+                let exprs = columns.iter().map(|(_, e)| e.clone()).collect();
+                let id = self.new_node(
+                    Box::new(ProjectOp::new(exprs, schema)),
+                    signature,
+                    "project",
+                );
+                self.connect(&child, Target::Node(id, 0));
+                id
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+                window_ms,
+            } => {
+                let lp = self.instantiate(left, created)?;
+                let rp = self.instantiate(right, created)?;
+                let schema = plan.output_schema(self)?;
+                let id = self.new_node(
+                    Box::new(JoinOp::new(*left_key, *right_key, *window_ms, schema)),
+                    signature,
+                    "join",
+                );
+                self.connect(&lp, Target::Node(id, 0));
+                self.connect(&rp, Target::Node(id, 1));
+                id
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                func,
+                column,
+                window_ms,
+                slide_ms,
+            } => {
+                let child = self.instantiate(input, created)?;
+                let in_schema = input.output_schema(self)?;
+                let schema = plan.output_schema(self)?;
+                let int_input = *func != AggFunc::Count
+                    && in_schema.data_type(*column) == DataType::Int;
+                let id = self.new_node(
+                    Box::new(AggregateOp::with_slide(
+                        *group_by, *func, *column, *window_ms, *slide_ms, schema, int_input,
+                    )),
+                    signature,
+                    "aggregate",
+                );
+                self.connect(&child, Target::Node(id, 0));
+                id
+            }
+            LogicalPlan::Union { left, right } => {
+                let lp = self.instantiate(left, created)?;
+                let rp = self.instantiate(right, created)?;
+                let schema = plan.output_schema(self)?;
+                let id = self.new_node(Box::new(UnionOp::new(schema)), signature, "union");
+                self.connect(&lp, Target::Node(id, 0));
+                self.connect(&rp, Target::Node(id, 1));
+                id
+            }
+        };
+        created.push(producer);
+        Ok(Producer::Node(producer))
+    }
+
+    /// Collects the node ids a (registered) plan maps to.
+    fn collect_plan_nodes(&self, plan: &LogicalPlan, out: &mut Vec<NodeId>) {
+        if let LogicalPlan::Source { .. } = plan {
+            return;
+        }
+        if let Some(&id) = self.by_signature.get(&plan.signature()) {
+            out.push(id);
+        }
+        match plan {
+            LogicalPlan::Source { .. } => {}
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. } => self.collect_plan_nodes(input, out),
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::Union { left, right } => {
+                self.collect_plan_nodes(left, out);
+                self.collect_plan_nodes(right, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::types::{Field, Value};
+
+    fn network_with_quotes() -> QueryNetwork {
+        let mut n = QueryNetwork::new();
+        n.register_stream(
+            "quotes",
+            Schema::new(vec![
+                Field::new("symbol", DataType::Str),
+                Field::new("price", DataType::Float),
+            ]),
+        );
+        n
+    }
+
+    fn high_price_filter() -> LogicalPlan {
+        LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))))
+    }
+
+    #[test]
+    fn identical_queries_share_all_nodes() {
+        let mut n = network_with_quotes();
+        let q1 = n.add_query(high_price_filter()).unwrap();
+        let q2 = n.add_query(high_price_filter()).unwrap();
+        assert_eq!(n.num_nodes(), 1, "one shared filter node");
+        assert_eq!(n.max_degree_of_sharing(), 2);
+        let filter = n.query(q1).unwrap().nodes[0];
+        assert_eq!(n.query(q2).unwrap().nodes, vec![filter]);
+        // Both sinks hang off the shared node.
+        let node = n.node(filter).unwrap();
+        assert_eq!(node.downstream.len(), 2);
+    }
+
+    #[test]
+    fn different_predicates_do_not_share() {
+        let mut n = network_with_quotes();
+        n.add_query(high_price_filter()).unwrap();
+        n.add_query(
+            LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(50.0)))),
+        )
+        .unwrap();
+        assert_eq!(n.num_nodes(), 2);
+        assert_eq!(n.max_degree_of_sharing(), 1);
+    }
+
+    #[test]
+    fn subplan_sharing_with_distinct_tops() {
+        // Both queries share the select; each has its own aggregate.
+        let mut n = network_with_quotes();
+        let base = high_price_filter();
+        n.add_query(base.clone().aggregate(Some(0), AggFunc::Count, 0, 1000))
+            .unwrap();
+        n.add_query(base.aggregate(Some(0), AggFunc::Avg, 1, 1000))
+            .unwrap();
+        assert_eq!(n.num_nodes(), 3, "filter + 2 aggregates");
+        assert_eq!(n.max_degree_of_sharing(), 2); // the shared filter
+    }
+
+    #[test]
+    fn remove_query_keeps_shared_nodes() {
+        let mut n = network_with_quotes();
+        let q1 = n.add_query(high_price_filter()).unwrap();
+        let q2 = n.add_query(high_price_filter()).unwrap();
+        n.remove_query(q1);
+        assert_eq!(n.num_nodes(), 1, "q2 still needs the filter");
+        n.remove_query(q2);
+        assert_eq!(n.num_nodes(), 0, "orphaned node collected");
+        assert!(n.stream_subscribers("quotes").is_empty());
+    }
+
+    #[test]
+    fn remove_query_cleans_sink_edges() {
+        let mut n = network_with_quotes();
+        let q1 = n.add_query(high_price_filter()).unwrap();
+        let q2 = n.add_query(high_price_filter()).unwrap();
+        let node = n.query(q1).unwrap().nodes[0];
+        n.remove_query(q2);
+        let targets = &n.node(node).unwrap().downstream;
+        assert_eq!(targets, &vec![Target::Sink(q1)]);
+    }
+
+    #[test]
+    fn source_only_query_sinks_from_stream() {
+        let mut n = network_with_quotes();
+        let q = n.add_query(LogicalPlan::source("quotes")).unwrap();
+        assert_eq!(n.num_nodes(), 0);
+        assert_eq!(n.stream_subscribers("quotes"), &[Target::Sink(q)]);
+        n.remove_query(q);
+        assert!(n.stream_subscribers("quotes").is_empty());
+    }
+
+    #[test]
+    fn unknown_stream_is_rejected_before_mutation() {
+        let mut n = network_with_quotes();
+        let err = n.add_query(LogicalPlan::source("nope")).unwrap_err();
+        assert_eq!(err, PlanError::UnknownStream("nope".into()));
+        assert_eq!(n.num_nodes(), 0);
+        assert_eq!(n.num_queries(), 0);
+    }
+
+    #[test]
+    fn edges_always_ascend() {
+        // The engine relies on ascending ids being a topo order.
+        let mut n = network_with_quotes();
+        n.register_stream(
+            "news",
+            Schema::new(vec![
+                Field::new("symbol", DataType::Str),
+                Field::new("headline", DataType::Str),
+            ]),
+        );
+        let select_quotes = high_price_filter();
+        let select_news = LogicalPlan::source("news")
+            .filter(Expr::col(1).eq(Expr::lit(Value::str("earnings"))));
+        n.add_query(select_quotes.clone()).unwrap();
+        n.add_query(select_quotes.clone().join(select_news, 0, 0, 1000))
+            .unwrap();
+        for id in n.node_ids() {
+            for t in &n.node(id).unwrap().downstream {
+                if let Target::Node(d, _) = t {
+                    assert!(d.0 > id.0, "edge {id} -> {d} must ascend");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different schema")]
+    fn stream_schema_conflict_panics() {
+        let mut n = network_with_quotes();
+        n.register_stream("quotes", Schema::new(vec![Field::new("x", DataType::Int)]));
+    }
+}

@@ -1,0 +1,646 @@
+//! Physical operators: the push-based execution units of the query network.
+//!
+//! Every operator consumes one tuple at a time on a numbered input port and
+//! appends zero or more output tuples. Operators also expose an analytic
+//! **unit cost** — the abstract work per input tuple used by the cost model
+//! (`cost.rs`) to derive the auction loads `c_j`; join and aggregate are
+//! costlier than stateless filters, matching the intuition of the paper's
+//! operator loads.
+
+use crate::expr::Expr;
+use crate::plan::AggFunc;
+use crate::types::{Schema, Tuple, Value};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// A hashable key for joins and group-by (floats are rejected at plan
+/// validation).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Key {
+    /// Boolean key.
+    Bool(bool),
+    /// Integer key.
+    Int(i64),
+    /// String key.
+    Str(Arc<str>),
+}
+
+impl Key {
+    /// Extracts a key from a value; `None` for unhashable types.
+    pub fn from_value(v: &Value) -> Option<Key> {
+        match v {
+            Value::Bool(b) => Some(Key::Bool(*b)),
+            Value::Int(i) => Some(Key::Int(*i)),
+            Value::Str(s) => Some(Key::Str(s.clone())),
+            Value::Float(_) => None,
+        }
+    }
+
+    /// The key as a [`Value`].
+    pub fn to_value(&self) -> Value {
+        match self {
+            Key::Bool(b) => Value::Bool(*b),
+            Key::Int(i) => Value::Int(*i),
+            Key::Str(s) => Value::Str(s.clone()),
+        }
+    }
+}
+
+/// A physical streaming operator.
+pub trait Operator: std::fmt::Debug + Send {
+    /// Processes one input tuple arriving on `port`, appending outputs.
+    fn process(&mut self, port: usize, tuple: &Tuple, out: &mut Vec<Tuple>);
+
+    /// Emits whatever windowed state is ready to close given the current
+    /// watermark (the maximum event time seen network-wide). Stateless
+    /// operators do nothing.
+    fn advance_watermark(&mut self, watermark: u64, out: &mut Vec<Tuple>) {
+        let _ = (watermark, out);
+    }
+
+    /// Force-emits all remaining state (end of the final subscription day).
+    fn finish(&mut self, out: &mut Vec<Tuple>) {
+        let _ = out;
+    }
+
+    /// The operator's output schema.
+    fn output_schema(&self) -> &Schema;
+
+    /// Abstract work per input tuple (cost-model input).
+    fn unit_cost(&self) -> f64;
+
+    /// Tuples currently buffered in operator state (joins/aggregates).
+    fn state_size(&self) -> usize {
+        0
+    }
+}
+
+/// Stateless selection.
+#[derive(Debug)]
+pub struct FilterOp {
+    predicate: Expr,
+    schema: Schema,
+}
+
+impl FilterOp {
+    /// A filter with the given predicate; `schema` is the (pass-through)
+    /// input schema.
+    pub fn new(predicate: Expr, schema: Schema) -> Self {
+        Self { predicate, schema }
+    }
+}
+
+impl Operator for FilterOp {
+    fn process(&mut self, _port: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
+        if self.predicate.matches(tuple) {
+            out.push(tuple.clone());
+        }
+    }
+
+    fn output_schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn unit_cost(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Stateless projection / mapping.
+#[derive(Debug)]
+pub struct ProjectOp {
+    exprs: Vec<Expr>,
+    schema: Schema,
+}
+
+impl ProjectOp {
+    /// A projection computing `exprs` into the given output schema.
+    pub fn new(exprs: Vec<Expr>, schema: Schema) -> Self {
+        Self { exprs, schema }
+    }
+}
+
+impl Operator for ProjectOp {
+    fn process(&mut self, _port: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
+        let mut values = Vec::with_capacity(self.exprs.len());
+        for e in &self.exprs {
+            match e.eval(tuple) {
+                Ok(v) => values.push(v),
+                Err(_) => return, // drop malformed tuples
+            }
+        }
+        out.push(Tuple::new(tuple.ts, values));
+    }
+
+    fn output_schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn unit_cost(&self) -> f64 {
+        1.2
+    }
+}
+
+/// Windowed symmetric hash equi-join.
+///
+/// Keeps a per-key FIFO of recent tuples on each side; a new tuple probes
+/// the opposite side for partners within `window_ms` of event time and
+/// appends `left ++ right` outputs. State is evicted lazily as the
+/// watermark advances past `ts + window_ms`.
+#[derive(Debug)]
+pub struct JoinOp {
+    left_key: usize,
+    right_key: usize,
+    window_ms: u64,
+    schema: Schema,
+    left_state: HashMap<Key, VecDeque<Tuple>>,
+    right_state: HashMap<Key, VecDeque<Tuple>>,
+    state_len: usize,
+}
+
+impl JoinOp {
+    /// A join with the given key columns, window, and output schema
+    /// (`left.join(&right)`).
+    pub fn new(left_key: usize, right_key: usize, window_ms: u64, schema: Schema) -> Self {
+        Self {
+            left_key,
+            right_key,
+            window_ms,
+            schema,
+            left_state: HashMap::new(),
+            right_state: HashMap::new(),
+            state_len: 0,
+        }
+    }
+
+    fn emit_match(left: &Tuple, right: &Tuple, out: &mut Vec<Tuple>) {
+        let mut values = left.values.clone();
+        values.extend(right.values.iter().cloned());
+        out.push(Tuple::new(left.ts.max(right.ts), values));
+    }
+}
+
+impl Operator for JoinOp {
+    fn process(&mut self, port: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
+        let (key_col, own_state, other_state, is_left) = match port {
+            0 => (self.left_key, &mut self.left_state, &self.right_state, true),
+            _ => (self.right_key, &mut self.right_state, &self.left_state, false),
+        };
+        let Some(key) = Key::from_value(tuple.value(key_col)) else {
+            return;
+        };
+        // Probe the opposite side.
+        if let Some(partners) = other_state.get(&key) {
+            for partner in partners {
+                if tuple.ts.abs_diff(partner.ts) <= self.window_ms {
+                    if is_left {
+                        Self::emit_match(tuple, partner, out);
+                    } else {
+                        Self::emit_match(partner, tuple, out);
+                    }
+                }
+            }
+        }
+        // Insert into own side.
+        own_state.entry(key).or_default().push_back(tuple.clone());
+        self.state_len += 1;
+    }
+
+    fn advance_watermark(&mut self, watermark: u64, _out: &mut Vec<Tuple>) {
+        let horizon = watermark.saturating_sub(self.window_ms);
+        let mut evicted = 0usize;
+        for state in [&mut self.left_state, &mut self.right_state] {
+            state.retain(|_, q| {
+                while q.front().is_some_and(|t| t.ts < horizon) {
+                    q.pop_front();
+                    evicted += 1;
+                }
+                !q.is_empty()
+            });
+        }
+        self.state_len -= evicted;
+    }
+
+    fn output_schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn unit_cost(&self) -> f64 {
+        3.0
+    }
+
+    fn state_size(&self) -> usize {
+        self.state_len
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct AggState {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl AggState {
+    fn update(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    fn result(&self, func: AggFunc, int_input: bool) -> Value {
+        match func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => {
+                if int_input {
+                    Value::Int(self.sum as i64)
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            AggFunc::Avg => Value::Float(if self.count == 0 {
+                0.0
+            } else {
+                self.sum / self.count as f64
+            }),
+            AggFunc::Min => {
+                if int_input {
+                    Value::Int(self.min as i64)
+                } else {
+                    Value::Float(self.min)
+                }
+            }
+            AggFunc::Max => {
+                if int_input {
+                    Value::Int(self.max as i64)
+                } else {
+                    Value::Float(self.max)
+                }
+            }
+        }
+    }
+}
+
+/// Windowed aggregate, optionally grouped by one column.
+///
+/// Window starts are aligned to multiples of `slide_ms` in event time; a
+/// tuple at `ts` belongs to every window `[start, start + window_ms)` with
+/// `start ≤ ts < start + window_ms` (one window when tumbling, i.e.
+/// `slide == window`). A window closes — and emits one tuple per group —
+/// when the watermark reaches its end. Output: `(window_end, [group], agg)`.
+#[derive(Debug)]
+pub struct AggregateOp {
+    group_by: Option<usize>,
+    func: AggFunc,
+    column: usize,
+    window_ms: u64,
+    slide_ms: u64,
+    schema: Schema,
+    int_input: bool,
+    /// (window_start, group) → running state.
+    state: HashMap<(u64, Option<Key>), AggState>,
+}
+
+impl AggregateOp {
+    /// A tumbling aggregate; `schema` is the output schema computed by plan
+    /// validation, `int_input` records whether the aggregated column was an
+    /// integer (Sum/Min/Max preserve integerness).
+    pub fn new(
+        group_by: Option<usize>,
+        func: AggFunc,
+        column: usize,
+        window_ms: u64,
+        schema: Schema,
+        int_input: bool,
+    ) -> Self {
+        Self::with_slide(group_by, func, column, window_ms, window_ms, schema, int_input)
+    }
+
+    /// A sliding aggregate (`slide_ms < window_ms` overlaps windows).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_slide(
+        group_by: Option<usize>,
+        func: AggFunc,
+        column: usize,
+        window_ms: u64,
+        slide_ms: u64,
+        schema: Schema,
+        int_input: bool,
+    ) -> Self {
+        assert!(window_ms > 0, "window width must be positive");
+        assert!(slide_ms > 0 && slide_ms <= window_ms, "invalid slide");
+        Self {
+            group_by,
+            func,
+            column,
+            window_ms,
+            slide_ms,
+            schema,
+            int_input,
+            state: HashMap::new(),
+        }
+    }
+
+    fn emit_window(
+        &self,
+        (start, group): &(u64, Option<Key>),
+        state: &AggState,
+        out: &mut Vec<Tuple>,
+    ) {
+        let end = start + self.window_ms;
+        let mut values = vec![Value::Int(end as i64)];
+        if let Some(k) = group {
+            values.push(k.to_value());
+        }
+        values.push(state.result(self.func, self.int_input));
+        out.push(Tuple::new(end, values));
+    }
+
+    fn emit_closed(&mut self, watermark: u64, out: &mut Vec<Tuple>) {
+        let window_ms = self.window_ms;
+        let mut ready: Vec<((u64, Option<Key>), AggState)> = Vec::new();
+        self.state.retain(|key, state| {
+            if key.0 + window_ms <= watermark {
+                ready.push((key.clone(), state.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        // Deterministic emission order: by window start, then group key.
+        ready.sort_by(|a, b| a.0 .0.cmp(&b.0 .0).then_with(|| format!("{:?}", a.0 .1).cmp(&format!("{:?}", b.0 .1))));
+        for (key, state) in ready {
+            self.emit_window(&key, &state, out);
+        }
+    }
+}
+
+impl Operator for AggregateOp {
+    fn process(&mut self, _port: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
+        let _ = out;
+        let group = match self.group_by {
+            Some(col) => match Key::from_value(tuple.value(col)) {
+                Some(k) => Some(k),
+                None => return,
+            },
+            None => None,
+        };
+        let v = if self.func == AggFunc::Count {
+            0.0
+        } else {
+            match tuple.value(self.column).as_f64() {
+                Some(v) => v,
+                None => return,
+            }
+        };
+        // Every window [start, start + window) with start ≤ ts < start +
+        // window and start ≡ 0 (mod slide) contains this tuple.
+        let last_start = tuple.ts - tuple.ts % self.slide_ms;
+        let mut start = last_start;
+        loop {
+            match self.state.entry((start, group.clone())) {
+                Entry::Occupied(mut e) => e.get_mut().update(v),
+                Entry::Vacant(e) => {
+                    let mut s = AggState::default();
+                    s.update(v);
+                    e.insert(s);
+                }
+            }
+            // Step back one slide while the window still covers `ts`.
+            let Some(prev) = start.checked_sub(self.slide_ms) else {
+                break;
+            };
+            if prev + self.window_ms <= tuple.ts {
+                break;
+            }
+            start = prev;
+        }
+    }
+
+    fn advance_watermark(&mut self, watermark: u64, out: &mut Vec<Tuple>) {
+        self.emit_closed(watermark, out);
+    }
+
+    fn finish(&mut self, out: &mut Vec<Tuple>) {
+        self.emit_closed(u64::MAX, out);
+    }
+
+    fn output_schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn unit_cost(&self) -> f64 {
+        2.0
+    }
+
+    fn state_size(&self) -> usize {
+        self.state.len()
+    }
+}
+
+/// Union of two schema-identical inputs.
+#[derive(Debug)]
+pub struct UnionOp {
+    schema: Schema,
+}
+
+impl UnionOp {
+    /// A union with the common schema.
+    pub fn new(schema: Schema) -> Self {
+        Self { schema }
+    }
+}
+
+impl Operator for UnionOp {
+    fn process(&mut self, _port: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
+        out.push(tuple.clone());
+    }
+
+    fn output_schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn unit_cost(&self) -> f64 {
+        0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{DataType, Field};
+
+    fn quote_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("symbol", DataType::Str),
+            Field::new("price", DataType::Float),
+        ])
+    }
+
+    fn quote(ts: u64, sym: &str, price: f64) -> Tuple {
+        Tuple::new(ts, vec![Value::str(sym), Value::Float(price)])
+    }
+
+    #[test]
+    fn filter_selects() {
+        let mut f = FilterOp::new(
+            Expr::col(1).gt(Expr::lit(Value::Float(100.0))),
+            quote_schema(),
+        );
+        let mut out = Vec::new();
+        f.process(0, &quote(1, "IBM", 120.0), &mut out);
+        f.process(0, &quote(2, "IBM", 80.0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].ts, 1);
+    }
+
+    #[test]
+    fn project_maps() {
+        let mut p = ProjectOp::new(
+            vec![Expr::col(0)],
+            Schema::new(vec![Field::new("symbol", DataType::Str)]),
+        );
+        let mut out = Vec::new();
+        p.process(0, &quote(5, "IBM", 1.0), &mut out);
+        assert_eq!(out, vec![Tuple::new(5, vec![Value::str("IBM")])]);
+    }
+
+    #[test]
+    fn join_matches_within_window() {
+        // quotes ⋈ news on symbol within 10ms.
+        let news_schema = Schema::new(vec![
+            Field::new("symbol", DataType::Str),
+            Field::new("headline", DataType::Str),
+        ]);
+        let schema = quote_schema().join(&news_schema);
+        let mut j = JoinOp::new(0, 0, 10, schema);
+        let mut out = Vec::new();
+        j.process(0, &quote(100, "IBM", 120.0), &mut out);
+        assert!(out.is_empty());
+        let news = Tuple::new(105, vec![Value::str("IBM"), Value::str("up")]);
+        j.process(1, &news, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values.len(), 4);
+        assert_eq!(out[0].ts, 105);
+        // Outside the window: no match.
+        let stale = Tuple::new(200, vec![Value::str("IBM"), Value::str("old")]);
+        out.clear();
+        j.process(1, &stale, &mut out);
+        assert!(out.is_empty());
+        // Different key: no match.
+        let other = Tuple::new(101, vec![Value::str("AAPL"), Value::str("x")]);
+        out.clear();
+        j.process(1, &other, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(j.state_size(), 4);
+    }
+
+    #[test]
+    fn join_eviction_respects_watermark() {
+        let schema = quote_schema().join(&quote_schema());
+        let mut j = JoinOp::new(0, 0, 10, schema);
+        let mut out = Vec::new();
+        j.process(0, &quote(100, "IBM", 1.0), &mut out);
+        j.process(0, &quote(200, "IBM", 2.0), &mut out);
+        assert_eq!(j.state_size(), 2);
+        j.advance_watermark(150, &mut out);
+        assert_eq!(j.state_size(), 1, "the ts=100 tuple must be evicted");
+        // The surviving tuple still joins.
+        j.process(1, &quote(205, "IBM", 3.0), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn join_symmetry() {
+        let schema = quote_schema().join(&quote_schema());
+        let mut j = JoinOp::new(0, 0, 50, schema.clone());
+        let mut out_lr = Vec::new();
+        j.process(0, &quote(1, "A", 1.0), &mut out_lr);
+        j.process(1, &quote(2, "A", 2.0), &mut out_lr);
+
+        let mut j2 = JoinOp::new(0, 0, 50, schema);
+        let mut out_rl = Vec::new();
+        j2.process(1, &quote(2, "A", 2.0), &mut out_rl);
+        j2.process(0, &quote(1, "A", 1.0), &mut out_rl);
+
+        assert_eq!(out_lr, out_rl, "arrival order must not change results");
+        // Left columns always precede right columns.
+        assert_eq!(out_lr[0].values[1], Value::Float(1.0));
+        assert_eq!(out_lr[0].values[3], Value::Float(2.0));
+    }
+
+    #[test]
+    fn tumbling_count_per_symbol() {
+        let schema = Schema::new(vec![
+            Field::new("window_end", DataType::Int),
+            Field::new("symbol", DataType::Str),
+            Field::new("count", DataType::Int),
+        ]);
+        let mut a = AggregateOp::new(Some(0), AggFunc::Count, 0, 100, schema, true);
+        let mut out = Vec::new();
+        a.process(0, &quote(10, "IBM", 1.0), &mut out);
+        a.process(0, &quote(20, "IBM", 1.0), &mut out);
+        a.process(0, &quote(30, "AAPL", 1.0), &mut out);
+        a.process(0, &quote(110, "IBM", 1.0), &mut out); // next window
+        assert!(out.is_empty(), "nothing closes before the watermark");
+        a.advance_watermark(100, &mut out);
+        assert_eq!(out.len(), 2); // IBM=2, AAPL=1 for window [0,100)
+        let counts: Vec<i64> = out.iter().map(|t| t.values[2].as_int().unwrap()).collect();
+        assert_eq!(counts.iter().sum::<i64>(), 3);
+        out.clear();
+        a.finish(&mut out);
+        assert_eq!(out.len(), 1); // the [100,200) window force-closed
+        assert_eq!(out[0].values[2], Value::Int(1));
+    }
+
+    #[test]
+    fn avg_and_minmax() {
+        let schema = Schema::new(vec![
+            Field::new("window_end", DataType::Int),
+            Field::new("avg", DataType::Float),
+        ]);
+        let mut a = AggregateOp::new(None, AggFunc::Avg, 1, 100, schema.clone(), false);
+        let mut out = Vec::new();
+        a.process(0, &quote(10, "X", 10.0), &mut out);
+        a.process(0, &quote(20, "X", 20.0), &mut out);
+        a.advance_watermark(100, &mut out);
+        assert_eq!(out[0].values[1], Value::Float(15.0));
+
+        let mut mx = AggregateOp::new(None, AggFunc::Max, 1, 100, schema, false);
+        out.clear();
+        mx.process(0, &quote(10, "X", 10.0), &mut out);
+        mx.process(0, &quote(20, "X", 20.0), &mut out);
+        mx.finish(&mut out);
+        assert_eq!(out[0].values[1], Value::Float(20.0));
+    }
+
+    #[test]
+    fn union_passes_everything() {
+        let mut u = UnionOp::new(quote_schema());
+        let mut out = Vec::new();
+        u.process(0, &quote(1, "A", 1.0), &mut out);
+        u.process(1, &quote(2, "B", 2.0), &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn unit_costs_rank_operators_sanely() {
+        let f = FilterOp::new(Expr::lit(Value::Bool(true)), quote_schema());
+        let j = JoinOp::new(0, 0, 1, quote_schema().join(&quote_schema()));
+        let schema = Schema::new(vec![
+            Field::new("window_end", DataType::Int),
+            Field::new("count", DataType::Int),
+        ]);
+        let a = AggregateOp::new(None, AggFunc::Count, 0, 1, schema, true);
+        assert!(j.unit_cost() > a.unit_cost());
+        assert!(a.unit_cost() > f.unit_cost());
+    }
+}

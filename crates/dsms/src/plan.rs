@@ -1,0 +1,571 @@
+//! Logical continuous-query plans and their sharing signatures.
+//!
+//! A [`LogicalPlan`] is the unit users submit. Plans are *data*; every node
+//! has a canonical [`LogicalPlan::signature`] derived from its structure and
+//! its inputs' signatures, and the query network instantiates **one physical
+//! operator per distinct signature** — Aurora-style shared operator
+//! processing, the mechanism-design crux of the paper ("many CQs are
+//! monitoring a few hot streams, and many of the CQs are similar").
+
+use crate::expr::Expr;
+use crate::types::{DataType, Field, Schema};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Supported aggregate functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// Number of tuples in the window.
+    Count,
+    /// Sum of a numeric column.
+    Sum,
+    /// Mean of a numeric column.
+    Avg,
+    /// Minimum of a numeric column.
+    Min,
+    /// Maximum of a numeric column.
+    Max,
+}
+
+impl AggFunc {
+    /// The result type given the aggregated column's type.
+    pub fn result_type(self, input: DataType) -> DataType {
+        match self {
+            AggFunc::Count => DataType::Int,
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => input,
+            AggFunc::Avg => DataType::Float,
+        }
+    }
+
+    /// Stable name used in signatures and output column names.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// A logical continuous query plan.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LogicalPlan {
+    /// Tuples of a named input stream.
+    Source {
+        /// The registered stream name.
+        stream: String,
+    },
+    /// Tuples satisfying a predicate.
+    Filter {
+        /// Upstream plan.
+        input: Box<LogicalPlan>,
+        /// Boolean predicate over the input schema.
+        predicate: Expr,
+    },
+    /// Computed columns.
+    Project {
+        /// Upstream plan.
+        input: Box<LogicalPlan>,
+        /// Output columns: name and defining expression.
+        columns: Vec<(String, Expr)>,
+    },
+    /// Windowed symmetric equi-join: matches left/right tuples whose key
+    /// columns are equal and whose event times differ by at most
+    /// `window_ms`.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Key column index on the left schema.
+        left_key: usize,
+        /// Key column index on the right schema.
+        right_key: usize,
+        /// Join window in milliseconds.
+        window_ms: u64,
+    },
+    /// Windowed aggregate, optionally grouped by one column. With
+    /// `slide_ms == window_ms` the windows tumble; with `slide_ms <
+    /// window_ms` they slide (each tuple contributes to
+    /// `⌈window/slide⌉` overlapping windows).
+    Aggregate {
+        /// Upstream plan.
+        input: Box<LogicalPlan>,
+        /// Optional group-by column index.
+        group_by: Option<usize>,
+        /// The aggregate function.
+        func: AggFunc,
+        /// The aggregated column index (ignored for `Count`).
+        column: usize,
+        /// Window width in milliseconds.
+        window_ms: u64,
+        /// Window slide in milliseconds (must divide into sensible window
+        /// starts; equals `window_ms` for tumbling windows).
+        slide_ms: u64,
+    },
+    /// Union of two inputs with identical schemas.
+    Union {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+    },
+}
+
+/// Plan validation errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanError {
+    /// A referenced stream is not registered.
+    UnknownStream(String),
+    /// An expression failed to type check.
+    Expr(String),
+    /// A column index is out of range.
+    ColumnOutOfRange {
+        /// Where the reference occurred.
+        context: &'static str,
+        /// The offending index.
+        index: usize,
+    },
+    /// Join keys must be hashable types (Int, Str, or Bool — not Float).
+    UnhashableJoinKey(DataType),
+    /// Union inputs must have identical schemas.
+    UnionSchemaMismatch,
+    /// Aggregate window width must be positive.
+    ZeroWindow,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::UnknownStream(s) => write!(f, "unknown stream '{s}'"),
+            PlanError::Expr(e) => write!(f, "expression error: {e}"),
+            PlanError::ColumnOutOfRange { context, index } => {
+                write!(f, "column {index} out of range in {context}")
+            }
+            PlanError::UnhashableJoinKey(t) => write!(f, "join key type {t:?} is not hashable"),
+            PlanError::UnionSchemaMismatch => write!(f, "union inputs have different schemas"),
+            PlanError::ZeroWindow => write!(f, "window width must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Resolves stream names to schemas during plan validation.
+pub trait StreamCatalog {
+    /// The schema of stream `name`, if registered.
+    fn stream_schema(&self, name: &str) -> Option<&Schema>;
+}
+
+impl LogicalPlan {
+    /// Convenience constructor: `Source`.
+    pub fn source(stream: impl Into<String>) -> Self {
+        LogicalPlan::Source {
+            stream: stream.into(),
+        }
+    }
+
+    /// Convenience constructor: `Filter` on `self`.
+    pub fn filter(self, predicate: Expr) -> Self {
+        LogicalPlan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Convenience constructor: `Project` on `self`.
+    pub fn project(self, columns: Vec<(String, Expr)>) -> Self {
+        LogicalPlan::Project {
+            input: Box::new(self),
+            columns,
+        }
+    }
+
+    /// Convenience constructor: windowed equi-join of `self` with `right`.
+    pub fn join(self, right: LogicalPlan, left_key: usize, right_key: usize, window_ms: u64) -> Self {
+        LogicalPlan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_key,
+            right_key,
+            window_ms,
+        }
+    }
+
+    /// Convenience constructor: tumbling aggregate on `self`.
+    pub fn aggregate(
+        self,
+        group_by: Option<usize>,
+        func: AggFunc,
+        column: usize,
+        window_ms: u64,
+    ) -> Self {
+        LogicalPlan::Aggregate {
+            input: Box::new(self),
+            group_by,
+            func,
+            column,
+            window_ms,
+            slide_ms: window_ms,
+        }
+    }
+
+    /// Convenience constructor: sliding-window aggregate on `self` (window
+    /// `window_ms`, advancing every `slide_ms`).
+    pub fn sliding_aggregate(
+        self,
+        group_by: Option<usize>,
+        func: AggFunc,
+        column: usize,
+        window_ms: u64,
+        slide_ms: u64,
+    ) -> Self {
+        LogicalPlan::Aggregate {
+            input: Box::new(self),
+            group_by,
+            func,
+            column,
+            window_ms,
+            slide_ms,
+        }
+    }
+
+    /// Convenience constructor: union of `self` with `right`.
+    pub fn union(self, right: LogicalPlan) -> Self {
+        LogicalPlan::Union {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// The canonical structural signature: two plans share physical
+    /// operators exactly when their signatures match. The signature covers
+    /// the operator kind, its parameters, and (recursively) its inputs.
+    pub fn signature(&self) -> String {
+        let mut s = String::new();
+        self.write_signature(&mut s);
+        s
+    }
+
+    fn write_signature(&self, out: &mut String) {
+        match self {
+            LogicalPlan::Source { stream } => {
+                let _ = write!(out, "src({stream})");
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                let _ = write!(out, "filter({predicate:?})<-");
+                input.write_signature(out);
+            }
+            LogicalPlan::Project { input, columns } => {
+                let _ = write!(out, "project({columns:?})<-");
+                input.write_signature(out);
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+                window_ms,
+            } => {
+                let _ = write!(out, "join(k{left_key},k{right_key},w{window_ms})<-[");
+                left.write_signature(out);
+                out.push(';');
+                right.write_signature(out);
+                out.push(']');
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                func,
+                column,
+                window_ms,
+                slide_ms,
+            } => {
+                let _ = write!(
+                    out,
+                    "agg({},g{group_by:?},c{column},w{window_ms},s{slide_ms})<-",
+                    func.name()
+                );
+                input.write_signature(out);
+            }
+            LogicalPlan::Union { left, right } => {
+                out.push_str("union<-[");
+                left.write_signature(out);
+                out.push(';');
+                right.write_signature(out);
+                out.push(']');
+            }
+        }
+    }
+
+    /// Type checks the plan against a catalog and computes its output
+    /// schema.
+    pub fn output_schema(&self, catalog: &dyn StreamCatalog) -> Result<Schema, PlanError> {
+        match self {
+            LogicalPlan::Source { stream } => catalog
+                .stream_schema(stream)
+                .cloned()
+                .ok_or_else(|| PlanError::UnknownStream(stream.clone())),
+            LogicalPlan::Filter { input, predicate } => {
+                let schema = input.output_schema(catalog)?;
+                let t = predicate
+                    .infer_type(&schema)
+                    .map_err(|e| PlanError::Expr(e.to_string()))?;
+                if t != DataType::Bool {
+                    return Err(PlanError::Expr("filter predicate must be boolean".into()));
+                }
+                Ok(schema)
+            }
+            LogicalPlan::Project { input, columns } => {
+                let schema = input.output_schema(catalog)?;
+                let mut fields = Vec::with_capacity(columns.len());
+                for (name, expr) in columns {
+                    let t = expr
+                        .infer_type(&schema)
+                        .map_err(|e| PlanError::Expr(e.to_string()))?;
+                    fields.push(Field::new(name.clone(), t));
+                }
+                Ok(Schema::new(fields))
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+                window_ms,
+            } => {
+                if *window_ms == 0 {
+                    return Err(PlanError::ZeroWindow);
+                }
+                let ls = left.output_schema(catalog)?;
+                let rs = right.output_schema(catalog)?;
+                let lk = ls.fields.get(*left_key).ok_or(PlanError::ColumnOutOfRange {
+                    context: "join left key",
+                    index: *left_key,
+                })?;
+                let rk = rs.fields.get(*right_key).ok_or(PlanError::ColumnOutOfRange {
+                    context: "join right key",
+                    index: *right_key,
+                })?;
+                for key_type in [lk.data_type, rk.data_type] {
+                    if key_type == DataType::Float {
+                        return Err(PlanError::UnhashableJoinKey(key_type));
+                    }
+                }
+                if lk.data_type != rk.data_type {
+                    return Err(PlanError::Expr(format!(
+                        "join key types differ: {:?} vs {:?}",
+                        lk.data_type, rk.data_type
+                    )));
+                }
+                Ok(ls.join(&rs))
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                func,
+                column,
+                window_ms,
+                slide_ms,
+            } => {
+                if *window_ms == 0 || *slide_ms == 0 {
+                    return Err(PlanError::ZeroWindow);
+                }
+                if *slide_ms > *window_ms {
+                    return Err(PlanError::Expr(
+                        "window slide must not exceed the window width".into(),
+                    ));
+                }
+                let schema = input.output_schema(catalog)?;
+                let mut fields = vec![Field::new("window_end", DataType::Int)];
+                if let Some(g) = group_by {
+                    let gf = schema.fields.get(*g).ok_or(PlanError::ColumnOutOfRange {
+                        context: "group by",
+                        index: *g,
+                    })?;
+                    if gf.data_type == DataType::Float {
+                        return Err(PlanError::UnhashableJoinKey(gf.data_type));
+                    }
+                    fields.push(gf.clone());
+                }
+                let in_type = if *func == AggFunc::Count {
+                    DataType::Int
+                } else {
+                    let cf = schema.fields.get(*column).ok_or(PlanError::ColumnOutOfRange {
+                        context: "aggregate column",
+                        index: *column,
+                    })?;
+                    if !matches!(cf.data_type, DataType::Int | DataType::Float) {
+                        return Err(PlanError::Expr(format!(
+                            "cannot aggregate non-numeric column {:?}",
+                            cf.data_type
+                        )));
+                    }
+                    cf.data_type
+                };
+                fields.push(Field::new(func.name(), func.result_type(in_type)));
+                Ok(Schema::new(fields))
+            }
+            LogicalPlan::Union { left, right } => {
+                let ls = left.output_schema(catalog)?;
+                let rs = right.output_schema(catalog)?;
+                if ls != rs {
+                    return Err(PlanError::UnionSchemaMismatch);
+                }
+                Ok(ls)
+            }
+        }
+    }
+
+    /// The set of stream names the plan reads.
+    pub fn input_streams(&self) -> Vec<String> {
+        let mut streams = Vec::new();
+        self.collect_streams(&mut streams);
+        streams.sort();
+        streams.dedup();
+        streams
+    }
+
+    fn collect_streams(&self, out: &mut Vec<String>) {
+        match self {
+            LogicalPlan::Source { stream } => out.push(stream.clone()),
+            LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
+                input.collect_streams(out)
+            }
+            LogicalPlan::Aggregate { input, .. } => input.collect_streams(out),
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::Union { left, right } => {
+                left.collect_streams(out);
+                right.collect_streams(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::types::Value;
+    use std::collections::HashMap;
+
+    struct MapCatalog(HashMap<String, Schema>);
+
+    impl StreamCatalog for MapCatalog {
+        fn stream_schema(&self, name: &str) -> Option<&Schema> {
+            self.0.get(name)
+        }
+    }
+
+    fn catalog() -> MapCatalog {
+        let mut m = HashMap::new();
+        m.insert(
+            "quotes".to_string(),
+            Schema::new(vec![
+                Field::new("symbol", DataType::Str),
+                Field::new("price", DataType::Float),
+                Field::new("volume", DataType::Int),
+            ]),
+        );
+        m.insert(
+            "news".to_string(),
+            Schema::new(vec![
+                Field::new("symbol", DataType::Str),
+                Field::new("headline", DataType::Str),
+            ]),
+        );
+        MapCatalog(m)
+    }
+
+    fn paper_example_plan() -> LogicalPlan {
+        // §II: select high-value transactions, select publicly-traded news,
+        // join on the company name.
+        let high_value = LogicalPlan::source("quotes")
+            .filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))));
+        let relevant_news = LogicalPlan::source("news")
+            .filter(Expr::col(1).eq(Expr::lit(Value::str("earnings"))));
+        high_value.join(relevant_news, 0, 0, 1000)
+    }
+
+    #[test]
+    fn identical_plans_share_signatures() {
+        assert_eq!(paper_example_plan().signature(), paper_example_plan().signature());
+    }
+
+    #[test]
+    fn different_parameters_split_signatures() {
+        let a = LogicalPlan::source("quotes")
+            .filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))));
+        let b = LogicalPlan::source("quotes")
+            .filter(Expr::col(1).gt(Expr::lit(Value::Float(200.0))));
+        assert_ne!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn shared_subplan_signature_is_embedded() {
+        let select = LogicalPlan::source("quotes")
+            .filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))));
+        let agg = select
+            .clone()
+            .aggregate(Some(0), AggFunc::Avg, 1, 60_000);
+        assert!(agg.signature().contains(&select.signature()));
+    }
+
+    #[test]
+    fn schema_of_paper_example() {
+        let schema = paper_example_plan().output_schema(&catalog()).unwrap();
+        assert_eq!(schema.len(), 5); // 3 quote cols + 2 news cols
+        assert_eq!(schema.fields[3].name, "right.symbol");
+    }
+
+    #[test]
+    fn join_on_float_key_rejected() {
+        let plan = LogicalPlan::source("quotes").join(LogicalPlan::source("quotes"), 1, 1, 10);
+        assert_eq!(
+            plan.output_schema(&catalog()),
+            Err(PlanError::UnhashableJoinKey(DataType::Float))
+        );
+    }
+
+    #[test]
+    fn unknown_stream_rejected() {
+        let plan = LogicalPlan::source("nope");
+        assert_eq!(
+            plan.output_schema(&catalog()),
+            Err(PlanError::UnknownStream("nope".into()))
+        );
+    }
+
+    #[test]
+    fn aggregate_schema() {
+        let plan = LogicalPlan::source("quotes").aggregate(Some(0), AggFunc::Avg, 1, 1000);
+        let schema = plan.output_schema(&catalog()).unwrap();
+        assert_eq!(schema.fields[0].name, "window_end");
+        assert_eq!(schema.fields[1].name, "symbol");
+        assert_eq!(schema.fields[2].name, "avg");
+        assert_eq!(schema.fields[2].data_type, DataType::Float);
+    }
+
+    #[test]
+    fn union_requires_identical_schemas() {
+        let ok = LogicalPlan::source("quotes").union(LogicalPlan::source("quotes"));
+        assert!(ok.output_schema(&catalog()).is_ok());
+        let bad = LogicalPlan::source("quotes").union(LogicalPlan::source("news"));
+        assert_eq!(bad.output_schema(&catalog()), Err(PlanError::UnionSchemaMismatch));
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        let agg = LogicalPlan::source("quotes").aggregate(None, AggFunc::Count, 0, 0);
+        assert_eq!(agg.output_schema(&catalog()), Err(PlanError::ZeroWindow));
+        let join = LogicalPlan::source("quotes").join(LogicalPlan::source("news"), 0, 0, 0);
+        assert_eq!(join.output_schema(&catalog()), Err(PlanError::ZeroWindow));
+    }
+
+    #[test]
+    fn input_streams_collects_unique_sorted() {
+        let plan = paper_example_plan();
+        assert_eq!(plan.input_streams(), vec!["news".to_string(), "quotes".to_string()]);
+    }
+}

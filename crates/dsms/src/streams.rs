@@ -1,0 +1,189 @@
+//! Synthetic input streams: the stock-quote and news-story feeds of the
+//! paper's motivating example (§II), generated deterministically from a
+//! seed.
+//!
+//! These stand in for the proprietary market feeds a real DSMS center would
+//! ingest (documented substitution in DESIGN.md): what matters to the
+//! admission-control experiments is the *rate* and *selectivity* profile,
+//! both of which are controlled here.
+
+use crate::types::{DataType, Field, Schema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// Schema of the `quotes` stream: `(symbol: Str, price: Float, volume: Int)`.
+pub fn quote_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("symbol", DataType::Str),
+        Field::new("price", DataType::Float),
+        Field::new("volume", DataType::Int),
+    ])
+}
+
+/// Schema of the `news` stream: `(symbol: Str, category: Str, relevance: Int)`.
+pub fn news_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("symbol", DataType::Str),
+        Field::new("category", DataType::Str),
+        Field::new("relevance", DataType::Int),
+    ])
+}
+
+/// News categories emitted by [`NewsStream`].
+pub const NEWS_CATEGORIES: [&str; 4] = ["earnings", "merger", "regulation", "market"];
+
+/// A deterministic random-walk stock quote generator.
+#[derive(Debug)]
+pub struct StockStream {
+    symbols: Vec<Arc<str>>,
+    prices: Vec<f64>,
+    rng: StdRng,
+    ts: u64,
+    interval_ms: u64,
+}
+
+impl StockStream {
+    /// A generator over `symbols` with one tuple per `interval_ms`.
+    pub fn new(symbols: &[&str], interval_ms: u64, seed: u64) -> Self {
+        assert!(!symbols.is_empty(), "need at least one symbol");
+        assert!(interval_ms > 0, "interval must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prices = symbols
+            .iter()
+            .map(|_| rng.random_range(20.0..200.0))
+            .collect();
+        Self {
+            symbols: symbols.iter().map(|s| Arc::from(*s)).collect(),
+            prices,
+            rng,
+            ts: 0,
+            interval_ms,
+        }
+    }
+
+    /// The tracked symbols.
+    pub fn symbols(&self) -> &[Arc<str>] {
+        &self.symbols
+    }
+
+    /// Generates the next `count` quote tuples (timestamps advance by the
+    /// configured interval).
+    pub fn next_batch(&mut self, count: usize) -> Vec<Tuple> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let idx = self.rng.random_range(0..self.symbols.len());
+            // Mean-reverting random walk keeps prices in a plausible band.
+            let drift = self.rng.random_range(-2.0..2.0);
+            let reversion = (100.0 - self.prices[idx]) * 0.01;
+            self.prices[idx] = (self.prices[idx] + drift + reversion).max(1.0);
+            let volume = self.rng.random_range(1i64..10_000);
+            out.push(Tuple::new(
+                self.ts,
+                vec![
+                    Value::Str(self.symbols[idx].clone()),
+                    Value::Float(self.prices[idx]),
+                    Value::Int(volume),
+                ],
+            ));
+            self.ts += self.interval_ms;
+        }
+        out
+    }
+}
+
+/// A deterministic news-story generator over the same symbol universe.
+#[derive(Debug)]
+pub struct NewsStream {
+    symbols: Vec<Arc<str>>,
+    rng: StdRng,
+    ts: u64,
+    interval_ms: u64,
+}
+
+impl NewsStream {
+    /// A generator over `symbols` with one story per `interval_ms`.
+    pub fn new(symbols: &[&str], interval_ms: u64, seed: u64) -> Self {
+        assert!(!symbols.is_empty(), "need at least one symbol");
+        assert!(interval_ms > 0, "interval must be positive");
+        Self {
+            symbols: symbols.iter().map(|s| Arc::from(*s)).collect(),
+            rng: StdRng::seed_from_u64(seed),
+            ts: 0,
+            interval_ms,
+        }
+    }
+
+    /// Generates the next `count` news tuples.
+    pub fn next_batch(&mut self, count: usize) -> Vec<Tuple> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let idx = self.rng.random_range(0..self.symbols.len());
+            let cat = NEWS_CATEGORIES[self.rng.random_range(0..NEWS_CATEGORIES.len())];
+            let relevance = self.rng.random_range(0i64..100);
+            out.push(Tuple::new(
+                self.ts,
+                vec![
+                    Value::Str(self.symbols[idx].clone()),
+                    Value::str(cat),
+                    Value::Int(relevance),
+                ],
+            ));
+            self.ts += self.interval_ms;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quotes_conform_to_schema() {
+        let mut g = StockStream::new(&["IBM", "AAPL"], 5, 1);
+        let schema = quote_schema();
+        for t in g.next_batch(100) {
+            assert!(t.conforms_to(&schema));
+        }
+    }
+
+    #[test]
+    fn quotes_are_deterministic_per_seed() {
+        let a: Vec<Tuple> = StockStream::new(&["IBM"], 1, 7).next_batch(50);
+        let b: Vec<Tuple> = StockStream::new(&["IBM"], 1, 7).next_batch(50);
+        assert_eq!(a, b);
+        let c: Vec<Tuple> = StockStream::new(&["IBM"], 1, 8).next_batch(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn timestamps_advance_by_interval() {
+        let mut g = StockStream::new(&["IBM"], 10, 0);
+        let batch = g.next_batch(3);
+        assert_eq!(batch.iter().map(|t| t.ts).collect::<Vec<_>>(), vec![0, 10, 20]);
+        let next = g.next_batch(1);
+        assert_eq!(next[0].ts, 30);
+    }
+
+    #[test]
+    fn news_conform_and_cover_categories() {
+        let mut g = NewsStream::new(&["IBM", "AAPL"], 20, 3);
+        let schema = news_schema();
+        let batch = g.next_batch(200);
+        let mut seen = std::collections::HashSet::new();
+        for t in &batch {
+            assert!(t.conforms_to(&schema));
+            seen.insert(t.values[1].as_str().unwrap().to_string());
+        }
+        assert_eq!(seen.len(), NEWS_CATEGORIES.len());
+    }
+
+    #[test]
+    fn prices_stay_positive() {
+        let mut g = StockStream::new(&["X"], 1, 42);
+        for t in g.next_batch(5000) {
+            assert!(t.values[1].as_f64().unwrap() >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Values, schemas, and tuples — the data plane of the DSMS substrate.
+//!
+//! The engine is deliberately simple: row-oriented tuples with a small
+//! dynamic value enum, because the auction paper needs a *realistic load
+//! profile* from the substrate (per-tuple operator costs, selectivities,
+//! shared processing), not columnar throughput records.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// The type of a column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string (cheaply clonable).
+    Str,
+}
+
+/// A runtime value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// A string value from anything string-like.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The value's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Bool(_) => DataType::Bool,
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Boolean content, if the value is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric content as f64 (ints widen), if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer content, if the value is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String content, if the value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A named, typed column.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Self {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Schema {
+    /// The fields, in column order.
+    pub fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Self { fields }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// The type of column `idx`.
+    pub fn data_type(&self, idx: usize) -> DataType {
+        self.fields[idx].data_type
+    }
+
+    /// Concatenates two schemas (for joins), prefixing duplicated names.
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        for f in &other.fields {
+            let name = if self.index_of(&f.name).is_some() {
+                format!("right.{}", f.name)
+            } else {
+                f.name.clone()
+            };
+            fields.push(Field::new(name, f.data_type));
+        }
+        Schema::new(fields)
+    }
+}
+
+/// A timestamped tuple. `ts` is event time in milliseconds; all engine
+/// windowing is event-time based for deterministic replay.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Tuple {
+    /// Event timestamp (ms).
+    pub ts: u64,
+    /// Column values, aligned to the stream's [`Schema`].
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple.
+    pub fn new(ts: u64, values: Vec<Value>) -> Self {
+        Self { ts, values }
+    }
+
+    /// The value in column `idx`.
+    pub fn value(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Validates the tuple against a schema.
+    pub fn conforms_to(&self, schema: &Schema) -> bool {
+        self.values.len() == schema.len()
+            && self
+                .values
+                .iter()
+                .zip(&schema.fields)
+                .all(|(v, f)| v.data_type() == f.data_type)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::str("abc").as_str(), Some("abc"));
+        assert_eq!(Value::str("abc").data_type(), DataType::Str);
+        assert_eq!(Value::Int(3).as_bool(), None);
+    }
+
+    #[test]
+    fn schema_lookup_and_join() {
+        let left = Schema::new(vec![
+            Field::new("symbol", DataType::Str),
+            Field::new("price", DataType::Float),
+        ]);
+        let right = Schema::new(vec![
+            Field::new("symbol", DataType::Str),
+            Field::new("headline", DataType::Str),
+        ]);
+        assert_eq!(left.index_of("price"), Some(1));
+        assert_eq!(left.index_of("nope"), None);
+        let joined = left.join(&right);
+        assert_eq!(joined.len(), 4);
+        assert_eq!(joined.fields[2].name, "right.symbol");
+        assert_eq!(joined.fields[3].name, "headline");
+    }
+
+    #[test]
+    fn tuple_conformance() {
+        let schema = Schema::new(vec![
+            Field::new("symbol", DataType::Str),
+            Field::new("price", DataType::Float),
+        ]);
+        let good = Tuple::new(1, vec![Value::str("IBM"), Value::Float(120.0)]);
+        let bad_type = Tuple::new(1, vec![Value::Float(120.0), Value::str("IBM")]);
+        let bad_len = Tuple::new(1, vec![Value::str("IBM")]);
+        assert!(good.conforms_to(&schema));
+        assert!(!bad_type.conforms_to(&schema));
+        assert!(!bad_len.conforms_to(&schema));
+    }
+}

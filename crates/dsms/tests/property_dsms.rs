@@ -1,0 +1,361 @@
+//! Property-based tests of the stream engine against reference
+//! implementations, plus the sharing- and transition-correctness
+//! guarantees the paper's system model assumes (§II).
+
+use cqac_dsms::engine::DsmsEngine;
+use cqac_dsms::expr::Expr;
+use cqac_dsms::plan::{AggFunc, LogicalPlan};
+use cqac_dsms::types::{DataType, Field, Schema, Tuple, Value};
+use proptest::prelude::*;
+
+fn quote_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("symbol", DataType::Str),
+        Field::new("price", DataType::Float),
+    ])
+}
+
+fn news_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("symbol", DataType::Str),
+        Field::new("headline", DataType::Str),
+    ])
+}
+
+const SYMS: [&str; 3] = ["IBM", "AAPL", "MSFT"];
+
+fn quote(ts: u64, sym_idx: usize, price_cents: u32) -> Tuple {
+    Tuple::new(
+        ts,
+        vec![
+            Value::str(SYMS[sym_idx % SYMS.len()]),
+            Value::Float(f64::from(price_cents) / 100.0),
+        ],
+    )
+}
+
+fn news(ts: u64, sym_idx: usize, tag: u8) -> Tuple {
+    Tuple::new(
+        ts,
+        vec![
+            Value::str(SYMS[sym_idx % SYMS.len()]),
+            Value::str(format!("h{tag}")),
+        ],
+    )
+}
+
+/// Strategy: a sorted event-time quote stream.
+fn quote_stream(max_len: usize) -> impl Strategy<Value = Vec<Tuple>> {
+    proptest::collection::vec((0u64..500, 0usize..3, 1u32..30_000), 1..max_len).prop_map(
+        |mut raw| {
+            raw.sort_by_key(|(ts, _, _)| *ts);
+            raw.into_iter()
+                .map(|(ts, s, p)| quote(ts, s, p))
+                .collect()
+        },
+    )
+}
+
+fn engine() -> DsmsEngine {
+    let mut e = DsmsEngine::new();
+    e.register_stream("quotes", quote_schema());
+    e.register_stream("news", news_schema());
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Filter ≡ the obvious reference: tuples whose price exceeds the
+    /// threshold, in order.
+    #[test]
+    fn filter_matches_reference(stream in quote_stream(80), threshold in 1u32..30_000) {
+        let t = f64::from(threshold) / 100.0;
+        let mut e = engine();
+        let cq = e
+            .add_query(
+                LogicalPlan::source("quotes")
+                    .filter(Expr::col(1).gt(Expr::lit(Value::Float(t)))),
+            )
+            .unwrap();
+        e.push_batch(stream.iter().cloned().map(|tp| ("quotes".to_string(), tp)));
+        let got = e.take_outputs(cq);
+        let expected: Vec<Tuple> = stream
+            .iter()
+            .filter(|tp| tp.values[1].as_f64().unwrap() > t)
+            .cloned()
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Windowed join ≡ nested-loop reference over (quote, news) pairs with
+    /// equal symbols and |Δts| ≤ window.
+    #[test]
+    fn join_matches_nested_loop(
+        quotes in quote_stream(40),
+        raw_news in proptest::collection::vec((0u64..500, 0usize..3, 0u8..4), 1..40),
+        window in 1u64..100,
+    ) {
+        let mut news_tuples: Vec<Tuple> =
+            raw_news.into_iter().map(|(ts, s, t)| news(ts, s, t)).collect();
+        news_tuples.sort_by_key(|t| t.ts);
+
+        let mut e = engine();
+        let cq = e
+            .add_query(
+                LogicalPlan::source("quotes").join(LogicalPlan::source("news"), 0, 0, window),
+            )
+            .unwrap();
+        // Interleave by timestamp, as a real feed would.
+        let mut feed: Vec<(String, Tuple)> = quotes
+            .iter()
+            .cloned()
+            .map(|t| ("quotes".to_string(), t))
+            .chain(news_tuples.iter().cloned().map(|t| ("news".to_string(), t)))
+            .collect();
+        feed.sort_by_key(|(_, t)| t.ts);
+        e.push_batch(feed);
+
+        let mut got = e.take_outputs(cq);
+        let mut expected = Vec::new();
+        for q in &quotes {
+            for n in &news_tuples {
+                if q.values[0] == n.values[0] && q.ts.abs_diff(n.ts) <= window {
+                    let mut vals = q.values.clone();
+                    vals.extend(n.values.iter().cloned());
+                    expected.push(Tuple::new(q.ts.max(n.ts), vals));
+                }
+            }
+        }
+        let key = |t: &Tuple| (t.ts, format!("{:?}", t.values));
+        got.sort_by_key(key);
+        expected.sort_by_key(key);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Tumbling count ≡ bucket counting, after finish().
+    #[test]
+    fn aggregate_count_matches_reference(stream in quote_stream(80), window in 1u64..200) {
+        let mut e = engine();
+        let cq = e
+            .add_query(LogicalPlan::source("quotes").aggregate(None, AggFunc::Count, 0, window))
+            .unwrap();
+        e.push_batch(stream.iter().cloned().map(|t| ("quotes".to_string(), t)));
+        e.finish();
+        let got: Vec<(u64, i64)> = e
+            .take_outputs(cq)
+            .into_iter()
+            .map(|t| (t.ts, t.values[1].as_int().unwrap()))
+            .collect();
+
+        let mut buckets = std::collections::BTreeMap::new();
+        for t in &stream {
+            *buckets.entry(t.ts - t.ts % window).or_insert(0i64) += 1;
+        }
+        let expected: Vec<(u64, i64)> =
+            buckets.into_iter().map(|(start, n)| (start + window, n)).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Shared execution is observationally equivalent to isolated
+    /// execution: a query's outputs don't change because someone else
+    /// registered the same (or an overlapping) plan.
+    #[test]
+    fn sharing_is_observationally_transparent(
+        stream in quote_stream(60),
+        threshold in 1u32..30_000,
+    ) {
+        let t = f64::from(threshold) / 100.0;
+        let plan = LogicalPlan::source("quotes")
+            .filter(Expr::col(1).gt(Expr::lit(Value::Float(t))));
+        let agg = plan.clone().aggregate(Some(0), AggFunc::Count, 0, 50);
+
+        // Isolated: the aggregate alone.
+        let mut isolated = engine();
+        let iso_cq = isolated.add_query(agg.clone()).unwrap();
+        isolated.push_batch(stream.iter().cloned().map(|t| ("quotes".to_string(), t)));
+        isolated.finish();
+
+        // Shared: the same aggregate next to two copies of the base filter.
+        let mut shared = engine();
+        shared.add_query(plan.clone()).unwrap();
+        let shared_cq = shared.add_query(agg).unwrap();
+        shared.add_query(plan).unwrap();
+        shared.push_batch(stream.iter().cloned().map(|t| ("quotes".to_string(), t)));
+        shared.finish();
+
+        prop_assert_eq!(isolated.take_outputs(iso_cq), shared.take_outputs(shared_cq));
+    }
+
+    /// Transition correctness (§II): holding tuples at connection points
+    /// while the network is modified neither loses nor duplicates results
+    /// for a continuing query.
+    #[test]
+    fn transition_preserves_continuing_queries(
+        stream in quote_stream(60),
+        cut in 0usize..60,
+        threshold in 1u32..30_000,
+    ) {
+        let t = f64::from(threshold) / 100.0;
+        let watched = LogicalPlan::source("quotes")
+            .filter(Expr::col(1).gt(Expr::lit(Value::Float(t))));
+
+        // Reference run: no transition at all.
+        let mut reference = engine();
+        let ref_cq = reference.add_query(watched.clone()).unwrap();
+        reference.push_batch(stream.iter().cloned().map(|t| ("quotes".to_string(), t)));
+
+        // Transitioned run: at `cut`, hold, add and remove an unrelated
+        // query, release.
+        let mut subject = engine();
+        let sub_cq = subject.add_query(watched).unwrap();
+        let cut = cut.min(stream.len());
+        for (i, tuple) in stream.iter().enumerate() {
+            if i == cut {
+                subject.begin_transition();
+                let other = subject
+                    .add_query(
+                        LogicalPlan::source("quotes")
+                            .filter(Expr::col(0).eq(Expr::lit(Value::str("MSFT")))),
+                    )
+                    .unwrap();
+                subject.remove_query(other);
+                subject.end_transition();
+            }
+            subject.push("quotes", tuple.clone());
+        }
+        subject.run_until_quiescent();
+
+        prop_assert_eq!(reference.take_outputs(ref_cq), subject.take_outputs(sub_cq));
+    }
+
+    /// Tuples held during a transition are all delivered on release, in
+    /// arrival order.
+    #[test]
+    fn held_tuples_replay_in_order(stream in quote_stream(40)) {
+        let mut e = engine();
+        let cq = e.add_query(LogicalPlan::source("quotes")).unwrap();
+        e.begin_transition();
+        for t in &stream {
+            e.push("quotes", t.clone());
+        }
+        prop_assert_eq!(e.held_tuples(), stream.len());
+        prop_assert!(e.outputs(cq).is_empty());
+        e.end_transition();
+        prop_assert_eq!(e.take_outputs(cq), stream);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sliding-window count ≡ the per-window reference: every aligned window
+    /// start gets the count of tuples it covers.
+    #[test]
+    fn sliding_count_matches_reference(
+        stream in quote_stream(60),
+        window_mult in 2u64..6,
+        slide in 1u64..50,
+    ) {
+        let window = slide * window_mult;
+        let mut e = engine();
+        let cq = e
+            .add_query(LogicalPlan::source("quotes").sliding_aggregate(
+                None,
+                AggFunc::Count,
+                0,
+                window,
+                slide,
+            ))
+            .unwrap();
+        e.push_batch(stream.iter().cloned().map(|t| ("quotes".to_string(), t)));
+        e.finish();
+        let got: std::collections::BTreeMap<u64, i64> = e
+            .take_outputs(cq)
+            .into_iter()
+            .map(|t| (t.ts, t.values[1].as_int().unwrap()))
+            .collect();
+
+        let mut expected = std::collections::BTreeMap::new();
+        for t in &stream {
+            let last_start = t.ts - t.ts % slide;
+            let mut start = last_start;
+            loop {
+                *expected.entry(start + window).or_insert(0i64) += 1;
+                match start.checked_sub(slide) {
+                    Some(prev) if prev + window > t.ts => start = prev,
+                    _ => break,
+                }
+            }
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// A tumbling window is the slide == window special case: both plan
+    /// spellings produce identical outputs (and share one operator).
+    #[test]
+    fn tumbling_equals_sliding_with_full_slide(stream in quote_stream(60), window in 1u64..100) {
+        let mut e = engine();
+        let tumbling = e
+            .add_query(LogicalPlan::source("quotes").aggregate(None, AggFunc::Count, 0, window))
+            .unwrap();
+        let sliding = e
+            .add_query(LogicalPlan::source("quotes").sliding_aggregate(
+                None,
+                AggFunc::Count,
+                0,
+                window,
+                window,
+            ))
+            .unwrap();
+        prop_assert_eq!(e.network().num_nodes(), 1, "identical signatures must share");
+        e.push_batch(stream.iter().cloned().map(|t| ("quotes".to_string(), t)));
+        e.finish();
+        prop_assert_eq!(e.take_outputs(tumbling), e.take_outputs(sliding));
+    }
+}
+
+/// Late-arrival semantics (deterministic documentation tests): tuples that
+/// arrive after the watermark passed their window are *not lost and not
+/// duplicated* — the window re-opens silently and emits once at the next
+/// watermark advance.
+#[test]
+fn late_tuple_emits_once_and_late() {
+    let mut e = engine();
+    let cq = e
+        .add_query(LogicalPlan::source("quotes").aggregate(None, AggFunc::Count, 0, 50))
+        .unwrap();
+    // Watermark jumps to 100; the closed windows [0,50) and [50,100) are
+    // empty, so nothing emits; the ts=100 tuple's window is still open.
+    e.push_batch([("quotes".to_string(), quote(100, 0, 100))]);
+    assert!(e.take_outputs(cq).is_empty());
+    // A straggler for the long-closed window [0,50).
+    e.push_batch([("quotes".to_string(), quote(10, 0, 100))]);
+    assert!(e.outputs(cq).is_empty(), "late window waits for the next advance");
+    // The next watermark advance flushes it exactly once.
+    e.push_batch([("quotes".to_string(), quote(200, 0, 100))]);
+    let flushed = e.take_outputs(cq);
+    let late: Vec<_> = flushed.iter().filter(|t| t.ts == 50).collect();
+    assert_eq!(late.len(), 1, "late window [0,50) emitted exactly once");
+    e.finish();
+    let rest = e.take_outputs(cq);
+    assert!(rest.iter().all(|t| t.ts != 50), "no duplicate emission of [0,50)");
+}
+
+/// A late join probe only matches partners still within the state horizon.
+#[test]
+fn late_join_probe_sees_surviving_state_only() {
+    let mut e = engine();
+    let cq = e
+        .add_query(LogicalPlan::source("quotes").join(LogicalPlan::source("news"), 0, 0, 20))
+        .unwrap();
+    e.push_batch([("quotes".to_string(), quote(10, 0, 100))]);
+    // Watermark far ahead evicts the ts=10 quote (horizon = 200 - 20).
+    e.push_batch([("quotes".to_string(), quote(200, 1, 100))]);
+    // A late news tuple that would have matched ts=10 within the window.
+    e.push_batch([("news".to_string(), news(15, 0, 1))]);
+    assert!(
+        e.take_outputs(cq).is_empty(),
+        "evicted state cannot produce late matches"
+    );
+}

@@ -1,0 +1,51 @@
+//! §VII extension — profit versus operating capacity with a linear energy
+//! cost: the most profitable operating point is below full capacity.
+//!
+//! ```text
+//! cargo run -p cqac-sim --release --bin energy
+//! cargo run -p cqac-sim --release --bin energy -- --degree 60 --sets 5
+//! ```
+
+use cqac_sim::energy::{best_fractions, run_energy_sweep, EnergyConfig};
+use cqac_sim::report::{fmt, Args, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = EnergyConfig::quick();
+    cfg.sets = args.get_parse("sets", cfg.sets);
+    cfg.degree = args.get_parse("degree", cfg.degree);
+    cfg.installed_capacity = args.get_parse("capacity", cfg.installed_capacity);
+    cfg.energy_cost_per_unit = args.get_parse("energy-cost", cfg.energy_cost_per_unit);
+    eprintln!(
+        "sweeping {} operating fractions at degree {} over {} sets ...",
+        cfg.fractions.len(),
+        cfg.degree,
+        cfg.sets
+    );
+    let cells = run_energy_sweep(&cfg);
+
+    let mut table = Table::new(
+        "energy capacity sweep",
+        &["fraction", "mechanism", "profit $", "energy $", "net $"],
+    );
+    for c in &cells {
+        table.push_row(vec![
+            format!("{:.0}%", c.fraction * 100.0),
+            c.mechanism.clone(),
+            fmt(c.profit),
+            fmt(c.energy_cost),
+            fmt(c.net_profit),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let mut best = Table::new("most profitable operating point", &["mechanism", "fraction", "net $"]);
+    for (m, fraction, net) in best_fractions(&cells) {
+        best.push_row(vec![m, format!("{:.0}%", fraction * 100.0), fmt(net)]);
+    }
+    print!("{}", best.render());
+    match table.write_csv(&cqac_sim::results_dir()) {
+        Ok(path) => println!("[csv] {}", path.display()),
+        Err(e) => eprintln!("[csv] write failed: {e}"),
+    }
+}

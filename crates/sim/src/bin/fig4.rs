@@ -1,0 +1,93 @@
+//! Figure 4 — admission rate (a), total user payoff (b), and profit
+//! (c)–(f) versus max degree of sharing.
+//!
+//! ```text
+//! cargo run -p cqac-sim --release --bin fig4 -- --metric profit --capacity 15000
+//! cargo run -p cqac-sim --release --bin fig4 -- --metric admission --sets 10
+//! cargo run -p cqac-sim --release --bin fig4 -- --paper      # full 50-set run
+//! cargo run -p cqac-sim --release --bin fig4 -- --all        # every panel
+//! ```
+
+use cqac_sim::report::{fmt, Args, Table};
+use cqac_sim::sweep::{pivot, run_sharing_sweep, SweepCell, SweepConfig};
+
+fn print_panel(title: &str, cells: &[SweepCell], metric: fn(&SweepCell) -> f64) {
+    let (degrees, mechs, grid) = pivot(cells, metric);
+    let mut headers = vec!["degree".to_string()];
+    headers.extend(mechs.iter().cloned());
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(title, &headers_ref);
+    for (di, degree) in degrees.iter().enumerate() {
+        let mut row = vec![degree.to_string()];
+        row.extend(grid[di].iter().map(|v| fmt(*v)));
+        table.push_row(row);
+    }
+    print!("{}", table.render());
+    match table.write_csv(&cqac_sim::results_dir()) {
+        Ok(path) => println!("[csv] {}\n", path.display()),
+        Err(e) => eprintln!("[csv] write failed: {e}\n"),
+    }
+}
+
+fn run_capacity(capacity: f64, metric_name: &str, cfg_base: &SweepConfig) {
+    let cfg = SweepConfig {
+        capacity,
+        ..cfg_base.clone()
+    };
+    eprintln!(
+        "running sweep: capacity {capacity}, {} sets, {} degrees ...",
+        cfg.sets,
+        cfg.degrees.len()
+    );
+    let cells = run_sharing_sweep(&cfg);
+    match metric_name {
+        "admission" => print_panel(
+            &format!("Fig 4(a) admission rate %, capacity {capacity}"),
+            &cells,
+            |c| c.admission_rate,
+        ),
+        "payoff" => print_panel(
+            &format!("Fig 4(b) total user payoff $, capacity {capacity}"),
+            &cells,
+            |c| c.total_payoff,
+        ),
+        "utilization" => print_panel(
+            &format!("utilization, capacity {capacity}"),
+            &cells,
+            |c| c.utilization,
+        ),
+        _ => print_panel(
+            &format!("Fig 4 profit $, capacity {capacity}"),
+            &cells,
+            |c| c.profit,
+        ),
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let capacity = args.get_parse("capacity", 15_000.0);
+    let base = if args.has("paper") {
+        SweepConfig::paper(capacity)
+    } else {
+        let mut cfg = SweepConfig::quick(capacity);
+        cfg.sets = args.get_parse("sets", cfg.sets);
+        if let Some(degrees) = args.get_list("degrees") {
+            cfg.degrees = degrees;
+        }
+        cfg
+    };
+
+    if args.has("all") {
+        // The full Figure 4: panels (a) and (b) at 15k, profit at all four
+        // capacities (c)–(f).
+        run_capacity(15_000.0, "admission", &base);
+        run_capacity(15_000.0, "payoff", &base);
+        for cap in [5_000.0, 10_000.0, 15_000.0, 20_000.0] {
+            run_capacity(cap, "profit", &base);
+        }
+    } else {
+        let metric = args.get("metric").unwrap_or("profit").to_string();
+        run_capacity(capacity, &metric, &base);
+    }
+}

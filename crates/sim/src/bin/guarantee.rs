@@ -1,0 +1,79 @@
+//! Theorems 11–12 — Two-price's expected profit versus the constant-pricing
+//! benchmark bounds `OPT_C − 2h` (with duplicate repair) and `OPT_C − d·h`
+//! (polynomial variant).
+//!
+//! ```text
+//! cargo run -p cqac-sim --release --bin guarantee
+//! cargo run -p cqac-sim --release --bin guarantee -- --sets 5 --trials 50
+//! ```
+
+use cqac_sim::guarantee::{run_guarantee_experiment, GuaranteeConfig};
+use cqac_sim::report::{fmt, Args, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = GuaranteeConfig::quick();
+    cfg.sets = args.get_parse("sets", cfg.sets);
+    cfg.trials = args.get_parse("trials", cfg.trials);
+    cfg.capacity = args.get_parse("capacity", cfg.capacity);
+    if let Some(degrees) = args.get_list("degrees") {
+        cfg.degrees = degrees;
+    }
+    eprintln!(
+        "auditing the profit guarantee on {} sets x {} degrees x {} partition draws ...",
+        cfg.sets,
+        cfg.degrees.len(),
+        cfg.trials
+    );
+    let rows = run_guarantee_experiment(&cfg);
+
+    let mut table = Table::new(
+        "Two-price profit guarantee",
+        &[
+            "set", "degree", "OPT_C", "h", "d", "E[two-price]", "OPT_C-2h", "E[poly]",
+            "OPT_C-dh", "E[distinct]", "bound[distinct]",
+        ],
+    );
+    let mut full_ok = 0;
+    let mut poly_ok = 0;
+    let mut distinct_ok = 0;
+    for r in &rows {
+        if r.two_price >= r.bound_full {
+            full_ok += 1;
+        }
+        if r.two_price_poly >= r.bound_poly {
+            poly_ok += 1;
+        }
+        if r.two_price_distinct >= r.bound_distinct {
+            distinct_ok += 1;
+        }
+        table.push_row(vec![
+            r.set.to_string(),
+            r.degree.to_string(),
+            fmt(r.optc),
+            fmt(r.h),
+            r.d.to_string(),
+            fmt(r.two_price),
+            fmt(r.bound_full),
+            fmt(r.two_price_poly),
+            fmt(r.bound_poly),
+            fmt(r.two_price_distinct),
+            fmt(r.bound_distinct),
+        ]);
+    }
+    print!("{}", table.render());
+    match table.write_csv(&cqac_sim::results_dir()) {
+        Ok(path) => println!("[csv] {}", path.display()),
+        Err(e) => eprintln!("[csv] write failed: {e}"),
+    }
+    println!(
+        "\nTheorem 11 bound held on {full_ok}/{} raw instances and {distinct_ok}/{}\n\
+         distinctness-perturbed instances; Theorem 12 bound on {poly_ok}/{}.\n\
+         Table III's integer Zipf bids violate the theorem's distinct-valuation\n\
+         assumption: whole tie groups at the quoted price are excluded by the\n\
+         'strictly above' rule. Perturbing every bid by <0.2 cents restores it.",
+        rows.len(),
+        rows.len(),
+        rows.len()
+    );
+}

@@ -1,0 +1,49 @@
+//! §VII extension — subscription categories (daily/weekly/monthly) with
+//! partitioned capacity and per-category re-auctions.
+//!
+//! ```text
+//! cargo run -p cqac-sim --release --bin multi_period
+//! cargo run -p cqac-sim --release --bin multi_period -- --days 56
+//! ```
+
+use cqac_sim::multi_period::{run_multi_period, MultiPeriodConfig};
+use cqac_sim::report::{fmt, Args, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = MultiPeriodConfig::quick();
+    cfg.days = args.get_parse("days", cfg.days);
+    cfg.capacity = args.get_parse("capacity", cfg.capacity);
+    cfg.seed = args.get_parse("seed", cfg.seed);
+    eprintln!(
+        "simulating {} days, {} categories, mechanism {} ...",
+        cfg.days,
+        cfg.categories.len(),
+        cfg.mechanism.label()
+    );
+    let lines = run_multi_period(&cfg);
+
+    let mut table = Table::new(
+        "multi-period subscription categories",
+        &["day", "auctions", "admitted", "revenue $", "cumulative $"],
+    );
+    for l in &lines {
+        table.push_row(vec![
+            l.day.to_string(),
+            l.auctions.join("+"),
+            l.admitted.to_string(),
+            fmt(l.revenue),
+            fmt(l.cumulative),
+        ]);
+    }
+    print!("{}", table.render());
+    match table.write_csv(&cqac_sim::results_dir()) {
+        Ok(path) => println!("[csv] {}", path.display()),
+        Err(e) => eprintln!("[csv] write failed: {e}"),
+    }
+    println!(
+        "\nEach category re-auctions on its own cadence; the composite scheme\n\
+         remains bid-strategyproof because every per-category auction is an\n\
+         independent strategyproof auction (§VII)."
+    );
+}

@@ -1,0 +1,46 @@
+//! §V sybil-attack experiments: success rates of the Theorem 15 fair-share
+//! attack, randomized attacks, and the Table II construction against CAT+.
+//!
+//! ```text
+//! cargo run -p cqac-sim --release --bin sybil
+//! cargo run -p cqac-sim --release --bin sybil -- --instances 20 --samples 20
+//! ```
+
+use cqac_sim::report::{fmt, Args, Table};
+use cqac_sim::sybil_exp::{run_sybil_experiment, SybilConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = SybilConfig::quick();
+    cfg.instances = args.get_parse("instances", cfg.instances);
+    cfg.samples = args.get_parse("samples", cfg.samples);
+    eprintln!(
+        "attacking {} instances x {} sampled users per mechanism ...",
+        cfg.instances, cfg.samples
+    );
+    let stats = run_sybil_experiment(&cfg);
+
+    let mut table = Table::new(
+        "sybil attack outcomes",
+        &["mechanism", "attack", "successes", "trials", "mean gain $"],
+    );
+    for s in &stats {
+        table.push_row(vec![
+            s.mechanism.clone(),
+            s.attack.to_string(),
+            s.successes.to_string(),
+            s.trials.to_string(),
+            fmt(s.mean_gain),
+        ]);
+    }
+    print!("{}", table.render());
+    match table.write_csv(&cqac_sim::results_dir()) {
+        Ok(path) => println!("[csv] {}", path.display()),
+        Err(e) => eprintln!("[csv] write failed: {e}"),
+    }
+    println!(
+        "\nExpected (§V): CAT shows zero successes (Theorem 19); the\n\
+         fair-share attack reliably beats CAF/CAF+ (Theorem 15); the Table II\n\
+         construction beats CAT+ with a gain of about $88 (Theorem 17)."
+    );
+}

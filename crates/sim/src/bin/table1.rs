@@ -1,0 +1,55 @@
+//! Table I / Table V — empirical audit of strategyproofness and sybil
+//! immunity claims.
+//!
+//! ```text
+//! cargo run -p cqac-sim --release --bin table1
+//! cargo run -p cqac-sim --release --bin table1 -- --instances 20
+//! ```
+
+use cqac_sim::properties::{run_property_audit, PropertiesConfig};
+use cqac_sim::report::{Args, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = PropertiesConfig::quick();
+    cfg.instances = args.get_parse("instances", cfg.instances);
+    cfg.deviation_samples = args.get_parse("deviation-samples", cfg.deviation_samples);
+    cfg.sybil_samples = args.get_parse("sybil-samples", cfg.sybil_samples);
+    eprintln!(
+        "auditing {} instances x {} deviation samples x {} sybil samples ...",
+        cfg.instances, cfg.deviation_samples, cfg.sybil_samples
+    );
+    let rows = run_property_audit(&cfg);
+
+    let mut table = Table::new(
+        "Table I property audit",
+        &[
+            "mechanism",
+            "claimed SP",
+            "deviation violations",
+            "claimed sybil-immune",
+            "sybil successes",
+        ],
+    );
+    for r in &rows {
+        table.push_row(vec![
+            r.mechanism.clone(),
+            if r.claimed_strategyproof { "yes" } else { "no" }.to_string(),
+            format!("{}/{}", r.deviation_violations, r.deviation_trials),
+            if r.claimed_sybil_immune { "yes" } else { "no" }.to_string(),
+            format!("{}/{}", r.sybil_violations, r.sybil_trials),
+        ]);
+    }
+    print!("{}", table.render());
+    match table.write_csv(&cqac_sim::results_dir()) {
+        Ok(path) => println!("[csv] {}", path.display()),
+        Err(e) => eprintln!("[csv] write failed: {e}"),
+    }
+    println!(
+        "\nExpected: CAR shows profitable deviations; CAF/CAF+ fall to the\n\
+         fair-share sybil attack; CAT survives both. Two-price's nonzero\n\
+         deviation count under the even-shuffle partition is a resampling\n\
+         artifact (a deviated bid changes H and thus the shuffle); the\n\
+         deviation-stable independent-coin variant (end of §V) shows zero."
+    );
+}

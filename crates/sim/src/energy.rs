@@ -1,0 +1,174 @@
+//! The §VII energy extension: "it might be more profitable not to fully
+//! utilize the available capacity".
+//!
+//! The experiment sweeps the *operating* capacity offered to the auction
+//! (a fraction of the physically installed capacity) and reports, per
+//! mechanism, the auction profit and the net profit after a linear energy
+//! cost per operated capacity unit. The paper's own Figure 4(c)–(f)
+//! observation — profit is not monotone in capacity once sharing is high —
+//! shows up here as an interior optimum.
+
+use cqac_core::mechanisms::MechanismKind;
+use cqac_core::units::Load;
+use cqac_workload::{WorkloadGenerator, WorkloadParams};
+
+/// Configuration for the capacity/energy sweep.
+#[derive(Clone, Debug)]
+pub struct EnergyConfig {
+    /// Installed capacity (the sweep's 100% point).
+    pub installed_capacity: f64,
+    /// Operating fractions to evaluate.
+    pub fractions: Vec<f64>,
+    /// Energy cost per operated capacity unit per day (dollars).
+    pub energy_cost_per_unit: f64,
+    /// Degree of sharing of the evaluated workload.
+    pub degree: u32,
+    /// Number of workload sets averaged.
+    pub sets: u64,
+    /// Mechanisms to evaluate.
+    pub mechanisms: Vec<MechanismKind>,
+    /// Workload shape.
+    pub params: WorkloadParams,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl EnergyConfig {
+    /// Default: sweep 20%–100% of 20k capacity at moderate sharing
+    /// (degree 5), where demand ≈ 13.7k sits inside the sweep range and the
+    /// interior profit optimum is visible.
+    pub fn quick() -> Self {
+        Self {
+            installed_capacity: 20_000.0,
+            fractions: vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+            energy_cost_per_unit: 0.02,
+            degree: 5,
+            sets: 3,
+            mechanisms: vec![MechanismKind::Caf, MechanismKind::Cat, MechanismKind::TwoPrice],
+            params: WorkloadParams::paper(),
+            seed: 37,
+        }
+    }
+}
+
+/// One sweep point for one mechanism.
+#[derive(Clone, Debug)]
+pub struct EnergyCell {
+    /// Operated fraction of installed capacity.
+    pub fraction: f64,
+    /// Mechanism label.
+    pub mechanism: String,
+    /// Mean auction profit (dollars).
+    pub profit: f64,
+    /// Energy cost of operating this capacity (dollars).
+    pub energy_cost: f64,
+    /// `profit − energy_cost`.
+    pub net_profit: f64,
+}
+
+/// Runs the energy sweep.
+pub fn run_energy_sweep(cfg: &EnergyConfig) -> Vec<EnergyCell> {
+    let generator = WorkloadGenerator::new(cfg.params.clone(), cfg.seed);
+    let mechanisms: Vec<_> = cfg.mechanisms.iter().map(|k| (k.label(), k.build())).collect();
+    let mut cells = Vec::new();
+
+    for &fraction in &cfg.fractions {
+        let capacity = cfg.installed_capacity * fraction;
+        let energy_cost = capacity * cfg.energy_cost_per_unit;
+        let mut sums = vec![0.0; mechanisms.len()];
+        for set in 0..cfg.sets {
+            let sweep = generator.sharing_sweep_at(
+                set,
+                Load::from_units(capacity),
+                &[cfg.degree],
+            );
+            let (_, inst) = &sweep[0];
+            for (mi, (_, mech)) in mechanisms.iter().enumerate() {
+                sums[mi] += mech
+                    .run_seeded(inst, cfg.seed ^ set ^ (fraction * 1000.0) as u64)
+                    .profit()
+                    .as_f64();
+            }
+        }
+        for (mi, (label, _)) in mechanisms.iter().enumerate() {
+            let profit = sums[mi] / cfg.sets as f64;
+            cells.push(EnergyCell {
+                fraction,
+                mechanism: label.to_string(),
+                profit,
+                energy_cost,
+                net_profit: profit - energy_cost,
+            });
+        }
+    }
+    cells
+}
+
+/// The most profitable operating fraction per mechanism (by net profit).
+pub fn best_fractions(cells: &[EnergyCell]) -> Vec<(String, f64, f64)> {
+    let mut mechs: Vec<String> = Vec::new();
+    for c in cells {
+        if !mechs.contains(&c.mechanism) {
+            mechs.push(c.mechanism.clone());
+        }
+    }
+    mechs
+        .into_iter()
+        .map(|m| {
+            let best = cells
+                .iter()
+                .filter(|c| c.mechanism == m)
+                .max_by(|a, b| a.net_profit.total_cmp(&b.net_profit))
+                .expect("non-empty sweep");
+            (m, best.fraction, best.net_profit)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_fractions_and_mechanisms() {
+        let cfg = EnergyConfig {
+            installed_capacity: 1_000.0,
+            fractions: vec![0.25, 0.5, 1.0],
+            sets: 2,
+            degree: 8,
+            params: WorkloadParams {
+                num_queries: 200,
+                base_max_degree: 8,
+                ..WorkloadParams::scaled(200)
+            },
+            ..EnergyConfig::quick()
+        };
+        let cells = run_energy_sweep(&cfg);
+        assert_eq!(cells.len(), 3 * 3);
+        let best = best_fractions(&cells);
+        assert_eq!(best.len(), 3);
+        for (_, fraction, _) in best {
+            assert!(cfg.fractions.contains(&fraction));
+        }
+    }
+
+    #[test]
+    fn energy_cost_scales_linearly() {
+        let cfg = EnergyConfig {
+            installed_capacity: 1_000.0,
+            fractions: vec![0.5, 1.0],
+            sets: 1,
+            degree: 4,
+            params: WorkloadParams {
+                num_queries: 100,
+                base_max_degree: 8,
+                ..WorkloadParams::scaled(100)
+            },
+            ..EnergyConfig::quick()
+        };
+        let cells = run_energy_sweep(&cfg);
+        let half = cells.iter().find(|c| c.fraction == 0.5).unwrap();
+        let full = cells.iter().find(|c| c.fraction == 1.0).unwrap();
+        assert!((full.energy_cost - 2.0 * half.energy_cost).abs() < 1e-9);
+    }
+}

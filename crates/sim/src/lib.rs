@@ -1,0 +1,39 @@
+//! # cqac-sim — the experiment harness
+//!
+//! One runner per table and figure of the paper's evaluation (§VI), plus the
+//! §VII extensions. Every experiment is seeded and regenerable; binaries
+//! print aligned tables and write CSV artifacts under `results/`.
+//!
+//! | Experiment | Paper artifact | Module | Binary |
+//! |------------|----------------|--------|--------|
+//! | sharing sweep (admission/payoff/profit) | Fig 4(a)–(f) | [`sweep`] | `fig4` |
+//! | strategic lying | Fig 5 | [`sweep`] | `fig5` |
+//! | property audit | Table I / V | [`properties`] | `table1` |
+//! | mechanism runtimes | Table IV | [`runtime`] | `table4` |
+//! | utilization | §VI-B text | [`sweep`] | `utilization` |
+//! | sybil attacks | §V, Table II | [`sybil_exp`] | `sybil` |
+//! | profit guarantee | Thm 11–12 | [`guarantee`] | `guarantee` |
+//! | subscription categories | §VII | [`multi_period`] | `multi_period` |
+//! | energy/capacity | §VII | [`energy`] | `energy` |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod energy;
+pub mod guarantee;
+pub mod multi_period;
+pub mod properties;
+pub mod report;
+pub mod runtime;
+pub mod sweep;
+pub mod sybil_exp;
+
+pub use report::{Args, Table};
+pub use sweep::{run_lying_sweep, run_sharing_sweep, SweepConfig};
+
+/// Default output directory for CSV artifacts.
+pub fn results_dir() -> std::path::PathBuf {
+    std::env::var_os("CQAC_RESULTS")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("results"))
+}

@@ -1,0 +1,199 @@
+//! Table I / Table V: empirical audit of the game-theoretic properties.
+//!
+//! The paper proves (Theorems 4–20) which mechanisms are strategyproof and
+//! sybil-immune; this experiment *measures* them: on sampled Table III
+//! workloads it searches for profitable bid deviations and profitable sybil
+//! attacks, and reports violation rates per mechanism. CAR must show
+//! deviations (§IV-A); CAF/CAF+ must fall to the Theorem 15 fair-share
+//! attack; CAT must survive everything.
+
+use cqac_core::analysis::strategyproof::{best_bid_deviation, default_candidates};
+use cqac_core::analysis::sybil::{attacker_payoff, fair_share_attack, random_sybil_attack};
+use cqac_core::mechanisms::{Mechanism, MechanismKind, TwoPrice};
+use cqac_core::model::QueryId;
+use cqac_core::units::Load;
+use cqac_workload::{WorkloadGenerator, WorkloadParams};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for the property audit.
+#[derive(Clone, Debug)]
+pub struct PropertiesConfig {
+    /// Number of workload instances audited.
+    pub instances: u64,
+    /// Root seed.
+    pub seed: u64,
+    /// Queries sampled for deviation tests per instance.
+    pub deviation_samples: usize,
+    /// Users sampled for sybil attacks per instance.
+    pub sybil_samples: usize,
+    /// Workload shape (small instances keep the search tractable).
+    pub params: WorkloadParams,
+    /// Capacity (chosen to create contention).
+    pub capacity: f64,
+}
+
+impl PropertiesConfig {
+    /// Default audit: 10 instances of 150 queries.
+    pub fn quick() -> Self {
+        Self {
+            instances: 10,
+            seed: 17,
+            deviation_samples: 12,
+            sybil_samples: 8,
+            params: WorkloadParams {
+                num_queries: 150,
+                base_max_degree: 12,
+                ..WorkloadParams::scaled(150)
+            },
+            capacity: 250.0,
+        }
+    }
+}
+
+/// Audit results for one mechanism.
+#[derive(Clone, Debug)]
+pub struct PropertyRow {
+    /// Mechanism label.
+    pub mechanism: String,
+    /// Paper's strategyproofness claim.
+    pub claimed_strategyproof: bool,
+    /// Bid deviations attempted.
+    pub deviation_trials: u64,
+    /// Deviations that strictly beat truthful bidding.
+    pub deviation_violations: u64,
+    /// Paper's sybil-immunity claim.
+    pub claimed_sybil_immune: bool,
+    /// Sybil attacks attempted (fair-share construction + randomized).
+    pub sybil_trials: u64,
+    /// Attacks that strictly increased the attacker's payoff.
+    pub sybil_violations: u64,
+}
+
+/// Runs the Table I audit over every mechanism in the evaluation line-up.
+pub fn run_property_audit(cfg: &PropertiesConfig) -> Vec<PropertyRow> {
+    let generator = WorkloadGenerator::new(cfg.params.clone(), cfg.seed);
+    let kinds = [
+        MechanismKind::Car,
+        MechanismKind::Caf,
+        MechanismKind::CafPlus,
+        MechanismKind::Cat,
+        MechanismKind::CatPlus,
+        MechanismKind::Gv,
+        MechanismKind::TwoPrice,
+    ];
+    // The Two-price deviation audit re-runs the mechanism on a deviated
+    // instance with the same seed; under the even-shuffle partition the
+    // deviation perturbs the shuffle itself, so apparent "violations" are
+    // partition-resampling artifacts. The §V independent-coin variant is
+    // deviation-stable and audits the per-coin-flip guarantee; it is
+    // reported as an extra row.
+    let mut rows: Vec<PropertyRow> = kinds
+        .iter()
+        .map(|k| PropertyRow {
+            mechanism: k.label().to_string(),
+            claimed_strategyproof: k.is_strategyproof(),
+            deviation_trials: 0,
+            deviation_violations: 0,
+            claimed_sybil_immune: k.is_sybil_immune(),
+            sybil_trials: 0,
+            sybil_violations: 0,
+        })
+        .collect();
+    rows.push(PropertyRow {
+        mechanism: "Two-price (coin)".to_string(),
+        claimed_strategyproof: true,
+        deviation_trials: 0,
+        deviation_violations: 0,
+        claimed_sybil_immune: false,
+        sybil_trials: 0,
+        sybil_violations: 0,
+    });
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xABCD);
+    for instance_idx in 0..cfg.instances {
+        let raw = generator.base_workload(instance_idx);
+        let inst = raw.to_instance(Load::from_units(cfg.capacity));
+        let n = inst.num_queries();
+        let run_seed = cfg.seed ^ instance_idx;
+
+        let mechanisms: Vec<Box<dyn Mechanism>> = kinds
+            .iter()
+            .map(|k| k.build())
+            .chain(std::iter::once(
+                Box::new(TwoPrice::per_query_coin()) as Box<dyn Mechanism>
+            ))
+            .collect();
+        for (ki, mech) in mechanisms.iter().enumerate() {
+            // --- bid deviations -------------------------------------------------
+            let truthful = mech.run_seeded(&inst, run_seed);
+            for _ in 0..cfg.deviation_samples {
+                let q = QueryId(rng.random_range(0..n as u32));
+                let candidates = default_candidates(&inst, q, truthful.payment(q));
+                // Thin the candidate list to keep the audit fast but still
+                // hitting the reordering thresholds.
+                let thinned: Vec<_> = candidates
+                    .iter()
+                    .copied()
+                    .step_by((candidates.len() / 24).max(1))
+                    .collect();
+                let report = best_bid_deviation(mech.as_ref(), &inst, q, &thinned, run_seed);
+                rows[ki].deviation_trials += 1;
+                if report.profitable() {
+                    rows[ki].deviation_violations += 1;
+                }
+            }
+            // --- sybil attacks ---------------------------------------------------
+            for _ in 0..cfg.sybil_samples {
+                let q = QueryId(rng.random_range(0..n as u32));
+                // The Theorem 15 construction.
+                let attack = fair_share_attack(&inst, q, rng.random_range(1..6));
+                let outcome = attacker_payoff(mech.as_ref(), &inst, &attack, run_seed);
+                rows[ki].sybil_trials += 1;
+                if outcome.succeeded() {
+                    rows[ki].sybil_violations += 1;
+                }
+                // A randomized attack.
+                let attack = random_sybil_attack(&inst, q, rng.random_range(1..4), &mut rng);
+                let outcome = attacker_payoff(mech.as_ref(), &inst, &attack, run_seed);
+                rows[ki].sybil_trials += 1;
+                if outcome.succeeded() {
+                    rows[ki].sybil_violations += 1;
+                }
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audit_confirms_the_paper_claims() {
+        let mut cfg = PropertiesConfig::quick();
+        cfg.instances = 3;
+        cfg.deviation_samples = 6;
+        cfg.sybil_samples = 4;
+        let rows = run_property_audit(&cfg);
+        let row = |name: &str| rows.iter().find(|r| r.mechanism == name).unwrap();
+
+        // CAR is manipulable; the strategyproof mechanisms survive the
+        // deviation search (Two-price is audited through the
+        // deviation-stable coin-partition variant).
+        assert!(row("CAR").deviation_violations > 0, "CAR must be manipulable");
+        for name in ["CAF", "CAT", "GV", "Two-price (coin)"] {
+            assert_eq!(
+                row(name).deviation_violations,
+                0,
+                "{name} showed a profitable deviation"
+            );
+        }
+
+        // Sybil: CAT survives; CAF and CAF+ fall to the fair-share attack.
+        assert_eq!(row("CAT").sybil_violations, 0, "CAT must be sybil-immune");
+        assert!(row("CAF").sybil_violations > 0, "CAF must be attackable");
+        assert!(row("CAF+").sybil_violations > 0, "CAF+ must be attackable");
+    }
+}

@@ -1,0 +1,219 @@
+//! Plain-text tables and CSV artifacts for the experiment binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A rectangular result table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table title (printed above, used as the CSV file stem).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of stringified cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let _ = write!(s, "{:>width$}", cell, width = widths[i]);
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// The table as CSV text.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV into `dir/<slug(title)>.csv`, creating the directory.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let slug: String = self
+            .title
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        let path = dir.join(format!("{slug}.csv"));
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Formats a float with sensible experiment precision.
+pub fn fmt(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// A minimal `--flag value` argument parser for the experiment binaries.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()` (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (for tests).
+    pub fn parse<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut args = Args::default();
+        let mut it = iter.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let takes_value = it
+                    .peek()
+                    .is_some_and(|next| !next.starts_with("--"));
+                if takes_value {
+                    args.pairs.push((name.to_string(), it.next().unwrap()));
+                } else {
+                    args.flags.push(name.to_string());
+                }
+            }
+        }
+        args
+    }
+
+    /// A `--name value` string.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A parsed `--name value`.
+    pub fn get_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether a bare `--name` flag is present.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A comma-separated `--name a,b,c` list.
+    pub fn get_list(&self, name: &str) -> Option<Vec<u32>> {
+        self.get(name)
+            .map(|v| v.split(',').filter_map(|p| p.trim().parse().ok()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns() {
+        let mut t = Table::new("demo", &["degree", "CAF"]);
+        t.push_row(vec!["1".into(), "123.4".into()]);
+        t.push_row(vec!["60".into(), "7.0".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("degree"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1,5".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"1,5\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn args_parsing() {
+        let a = Args::parse(
+            ["--sets", "5", "--full", "--degrees", "1,10,60"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(a.get_parse("sets", 0u64), 5);
+        assert!(a.has("full"));
+        assert!(!a.has("quick"));
+        assert_eq!(a.get_list("degrees"), Some(vec![1, 10, 60]));
+        assert_eq!(a.get_parse("capacity", 15000.0), 15000.0);
+    }
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt(12345.6), "12346");
+        assert_eq!(fmt(45.67), "45.7");
+        assert_eq!(fmt(1.2345), "1.234");
+    }
+}

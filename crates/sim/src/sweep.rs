@@ -1,0 +1,257 @@
+//! The degree-of-sharing sweep shared by the Figure 4, Figure 5, and
+//! utilization experiments: generate Table III workloads, derive the
+//! instance at each max degree of sharing, run the mechanisms, average over
+//! workload sets.
+
+use cqac_core::mechanisms::MechanismKind;
+use cqac_core::metrics::{Metrics, MetricsAccumulator};
+use cqac_core::units::Load;
+use cqac_workload::{apply_lying, LyingProfile, WorkloadGenerator, WorkloadParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Configuration for a sharing sweep.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Number of workload sets to average (the paper uses 50).
+    pub sets: u64,
+    /// Root seed; set `i` derives from `seed + i`.
+    pub seed: u64,
+    /// Max degrees of sharing to evaluate (x-axis of Figure 4).
+    pub degrees: Vec<u32>,
+    /// System capacity in units.
+    pub capacity: f64,
+    /// Mechanisms to run.
+    pub mechanisms: Vec<MechanismKind>,
+    /// Workload shape.
+    pub params: WorkloadParams,
+}
+
+impl SweepConfig {
+    /// A fast configuration: full 2000-query instances, coarse degree grid,
+    /// few sets. Finishes in seconds; shapes match the full run.
+    pub fn quick(capacity: f64) -> Self {
+        Self {
+            sets: 3,
+            seed: 7,
+            degrees: vec![1, 5, 10, 15, 20, 30, 40, 50, 60],
+            capacity,
+            mechanisms: vec![
+                MechanismKind::Caf,
+                MechanismKind::CafPlus,
+                MechanismKind::Cat,
+                MechanismKind::CatPlus,
+                MechanismKind::TwoPrice,
+            ],
+            params: WorkloadParams::paper(),
+        }
+    }
+
+    /// The paper's full configuration: 50 sets, every degree 1..=60.
+    pub fn paper(capacity: f64) -> Self {
+        Self {
+            sets: 50,
+            degrees: (1..=60).collect(),
+            ..Self::quick(capacity)
+        }
+    }
+}
+
+/// Mean metrics for one (degree, mechanism) cell of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// Max degree of sharing (x-axis).
+    pub degree: u32,
+    /// Mechanism label.
+    pub mechanism: String,
+    /// Mean profit in dollars.
+    pub profit: f64,
+    /// Mean admission rate in percent.
+    pub admission_rate: f64,
+    /// Mean total user payoff in dollars.
+    pub total_payoff: f64,
+    /// Mean utilization in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// Runs the truthful sharing sweep (Figures 4(a)–(f) and the utilization
+/// numbers); cells are ordered by degree then mechanism.
+pub fn run_sharing_sweep(cfg: &SweepConfig) -> Vec<SweepCell> {
+    let generator = WorkloadGenerator::new(cfg.params.clone(), cfg.seed);
+    let mechanisms: Vec<_> = cfg.mechanisms.iter().map(|k| (k.label(), k.build())).collect();
+    let mut acc: BTreeMap<(u32, usize), MetricsAccumulator> = BTreeMap::new();
+
+    for set in 0..cfg.sets {
+        let sweep =
+            generator.sharing_sweep_at(set, Load::from_units(cfg.capacity), &cfg.degrees);
+        for (degree, inst) in sweep {
+            for (mi, (_, mech)) in mechanisms.iter().enumerate() {
+                let outcome = mech.run_seeded(&inst, cfg.seed ^ (set << 8) ^ u64::from(degree));
+                let metrics = Metrics::truthful(&inst, &outcome);
+                acc.entry((degree, mi)).or_default().add(&metrics);
+            }
+        }
+    }
+
+    acc.into_iter()
+        .map(|((degree, mi), a)| SweepCell {
+            degree,
+            mechanism: mechanisms[mi].0.to_string(),
+            profit: a.mean_profit(),
+            admission_rate: a.mean_admission_rate(),
+            total_payoff: a.mean_total_payoff(),
+            utilization: a.mean_utilization(),
+        })
+        .collect()
+}
+
+/// One Figure 5 series point: profit of a mechanism/lying-variant.
+#[derive(Clone, Debug)]
+pub struct LyingCell {
+    /// Max degree of sharing.
+    pub degree: u32,
+    /// Series label (`CAR`, `CAR-ML`, `CAR-AL`, `CAF`, `CAT`, `Two-price`).
+    pub variant: String,
+    /// Mean profit in dollars.
+    pub profit: f64,
+}
+
+/// Runs the Figure 5 experiment: the three strategyproof mechanisms under
+/// truthful bidding vs CAR under no/moderate/aggressive lying.
+pub fn run_lying_sweep(cfg: &SweepConfig) -> Vec<LyingCell> {
+    use cqac_core::mechanisms::{Caf, Car, Cat, Mechanism, TwoPrice};
+    let generator = WorkloadGenerator::new(cfg.params.clone(), cfg.seed);
+    let mut acc: BTreeMap<(u32, &'static str), (f64, u64)> = BTreeMap::new();
+    let mut add = |degree: u32, variant: &'static str, profit: f64| {
+        let entry = acc.entry((degree, variant)).or_insert((0.0, 0));
+        entry.0 += profit;
+        entry.1 += 1;
+    };
+
+    for set in 0..cfg.sets {
+        let sweep =
+            generator.sharing_sweep_at(set, Load::from_units(cfg.capacity), &cfg.degrees);
+        let mut lie_rng = StdRng::seed_from_u64(cfg.seed ^ 0xF1E2_D3C4 ^ set);
+        for (degree, inst) in sweep {
+            let run_seed = cfg.seed ^ (set << 8) ^ u64::from(degree);
+            add(degree, "CAF", Caf.run_seeded(&inst, run_seed).profit().as_f64());
+            add(degree, "CAT", Cat.run_seeded(&inst, run_seed).profit().as_f64());
+            add(
+                degree,
+                "Two-price",
+                TwoPrice::default().run_seeded(&inst, run_seed).profit().as_f64(),
+            );
+            let car = Car::default();
+            add(degree, "CAR", car.run_seeded(&inst, run_seed).profit().as_f64());
+            let (ml, _) = apply_lying(&inst, LyingProfile::moderate(), &mut lie_rng);
+            add(degree, "CAR-ML", car.run_seeded(&ml, run_seed).profit().as_f64());
+            let (al, _) = apply_lying(&inst, LyingProfile::aggressive(), &mut lie_rng);
+            add(degree, "CAR-AL", car.run_seeded(&al, run_seed).profit().as_f64());
+        }
+    }
+
+    acc.into_iter()
+        .map(|((degree, variant), (sum, n))| LyingCell {
+            degree,
+            variant: variant.to_string(),
+            profit: sum / n as f64,
+        })
+        .collect()
+}
+
+/// Pivots sweep cells into a table: one row per degree, one column per
+/// mechanism, valued by `metric`.
+pub fn pivot(
+    cells: &[SweepCell],
+    metric: impl Fn(&SweepCell) -> f64,
+) -> (Vec<u32>, Vec<String>, Vec<Vec<f64>>) {
+    let mut degrees: Vec<u32> = cells.iter().map(|c| c.degree).collect();
+    degrees.sort_unstable();
+    degrees.dedup();
+    let mut mechs: Vec<String> = Vec::new();
+    for c in cells {
+        if !mechs.contains(&c.mechanism) {
+            mechs.push(c.mechanism.clone());
+        }
+    }
+    let mut grid = vec![vec![f64::NAN; mechs.len()]; degrees.len()];
+    for c in cells {
+        let di = degrees.binary_search(&c.degree).unwrap();
+        let mi = mechs.iter().position(|m| *m == c.mechanism).unwrap();
+        grid[di][mi] = metric(c);
+    }
+    (degrees, mechs, grid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> SweepConfig {
+        SweepConfig {
+            sets: 2,
+            seed: 3,
+            degrees: vec![1, 4, 8],
+            capacity: 400.0,
+            mechanisms: vec![MechanismKind::Caf, MechanismKind::Cat, MechanismKind::TwoPrice],
+            params: WorkloadParams {
+                num_queries: 120,
+                base_max_degree: 8,
+                ..WorkloadParams::scaled(120)
+            },
+        }
+    }
+
+    #[test]
+    fn sweep_produces_full_grid() {
+        let cells = run_sharing_sweep(&tiny_config());
+        assert_eq!(cells.len(), 3 * 3);
+        for c in &cells {
+            assert!(c.admission_rate >= 0.0 && c.admission_rate <= 100.0);
+            assert!(c.utilization >= 0.0 && c.utilization <= 1.0);
+            assert!(c.profit >= 0.0);
+        }
+    }
+
+    #[test]
+    fn admission_rises_with_sharing_for_density_mechanisms() {
+        // Figure 4(a)'s headline shape: more sharing → more admitted.
+        let cells = run_sharing_sweep(&tiny_config());
+        let caf_low = cells
+            .iter()
+            .find(|c| c.degree == 1 && c.mechanism == "CAF")
+            .unwrap();
+        let caf_high = cells
+            .iter()
+            .find(|c| c.degree == 8 && c.mechanism == "CAF")
+            .unwrap();
+        assert!(
+            caf_high.admission_rate > caf_low.admission_rate,
+            "CAF admission {:.1}% at degree 8 vs {:.1}% at degree 1",
+            caf_high.admission_rate,
+            caf_low.admission_rate
+        );
+    }
+
+    #[test]
+    fn lying_sweep_has_all_variants() {
+        let mut cfg = tiny_config();
+        cfg.degrees = vec![4];
+        let cells = run_lying_sweep(&cfg);
+        let variants: Vec<&str> = cells.iter().map(|c| c.variant.as_str()).collect();
+        for v in ["CAR", "CAR-ML", "CAR-AL", "CAF", "CAT", "Two-price"] {
+            assert!(variants.contains(&v), "missing variant {v}");
+        }
+    }
+
+    #[test]
+    fn pivot_shapes() {
+        let cells = run_sharing_sweep(&tiny_config());
+        let (degrees, mechs, grid) = pivot(&cells, |c| c.profit);
+        assert_eq!(degrees, vec![1, 4, 8]);
+        assert_eq!(mechs.len(), 3);
+        assert_eq!(grid.len(), 3);
+        assert!(grid.iter().flatten().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,161 @@
+//! The §V sybil-attack experiments: constructed attacks against each
+//! mechanism, with the attacker's payoff accounting of Definition 16.
+
+use cqac_core::analysis::sybil::{
+    attacker_payoff, fair_share_attack, random_sybil_attack, table2_attack,
+};
+use cqac_core::mechanisms::MechanismKind;
+use cqac_core::model::QueryId;
+use cqac_core::units::Load;
+use cqac_workload::{WorkloadGenerator, WorkloadParams};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Success statistics of one attack family against one mechanism.
+#[derive(Clone, Debug)]
+pub struct AttackStats {
+    /// Mechanism label.
+    pub mechanism: String,
+    /// Attack family (`fair-share`, `random`, `table2`).
+    pub attack: &'static str,
+    /// Attacks attempted.
+    pub trials: u64,
+    /// Attacks that strictly increased attacker payoff.
+    pub successes: u64,
+    /// Mean payoff gain over successful attacks (dollars).
+    pub mean_gain: f64,
+}
+
+/// Configuration for the sybil experiment.
+#[derive(Clone, Debug)]
+pub struct SybilConfig {
+    /// Number of workload instances.
+    pub instances: u64,
+    /// Attacked users sampled per instance.
+    pub samples: usize,
+    /// Root seed.
+    pub seed: u64,
+    /// Workload shape.
+    pub params: WorkloadParams,
+    /// System capacity.
+    pub capacity: f64,
+}
+
+impl SybilConfig {
+    /// Default: 8 instances of 150 queries.
+    pub fn quick() -> Self {
+        Self {
+            instances: 8,
+            samples: 10,
+            seed: 23,
+            params: WorkloadParams {
+                num_queries: 150,
+                base_max_degree: 12,
+                ..WorkloadParams::scaled(150)
+            },
+            capacity: 250.0,
+        }
+    }
+}
+
+/// Runs the attack families against CAF, CAF+, CAT, CAT+, and Two-price.
+pub fn run_sybil_experiment(cfg: &SybilConfig) -> Vec<AttackStats> {
+    let generator = WorkloadGenerator::new(cfg.params.clone(), cfg.seed);
+    let kinds = [
+        MechanismKind::Caf,
+        MechanismKind::CafPlus,
+        MechanismKind::Cat,
+        MechanismKind::CatPlus,
+        MechanismKind::TwoPrice,
+    ];
+    let mut stats: Vec<AttackStats> = Vec::new();
+    for kind in kinds {
+        for attack in ["fair-share", "random"] {
+            stats.push(AttackStats {
+                mechanism: kind.label().to_string(),
+                attack,
+                trials: 0,
+                successes: 0,
+                mean_gain: 0.0,
+            });
+        }
+    }
+    let mut gains: Vec<f64> = vec![0.0; stats.len()];
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5151);
+    for instance_idx in 0..cfg.instances {
+        let inst = generator
+            .base_workload(instance_idx)
+            .to_instance(Load::from_units(cfg.capacity));
+        let n = inst.num_queries() as u32;
+        let run_seed = cfg.seed ^ instance_idx;
+        for (ki, kind) in kinds.iter().enumerate() {
+            let mech = kind.build();
+            for _ in 0..cfg.samples {
+                let q = QueryId(rng.random_range(0..n));
+                // Fair-share attack (Theorem 15 construction).
+                let attack = fair_share_attack(&inst, q, rng.random_range(2..8));
+                let out = attacker_payoff(mech.as_ref(), &inst, &attack, run_seed);
+                let si = ki * 2;
+                stats[si].trials += 1;
+                if out.succeeded() {
+                    stats[si].successes += 1;
+                    gains[si] +=
+                        out.attack_payoff.as_f64() - out.baseline_payoff.as_f64();
+                }
+                // Random attack.
+                let attack = random_sybil_attack(&inst, q, rng.random_range(1..4), &mut rng);
+                let out = attacker_payoff(mech.as_ref(), &inst, &attack, run_seed);
+                let si = ki * 2 + 1;
+                stats[si].trials += 1;
+                if out.succeeded() {
+                    stats[si].successes += 1;
+                    gains[si] +=
+                        out.attack_payoff.as_f64() - out.baseline_payoff.as_f64();
+                }
+            }
+        }
+    }
+    for (s, g) in stats.iter_mut().zip(gains) {
+        s.mean_gain = if s.successes > 0 { g / s.successes as f64 } else { 0.0 };
+    }
+
+    // The Table II construction is a single deterministic instance against
+    // CAT+.
+    let (original, attack) = table2_attack();
+    let catplus = MechanismKind::CatPlus.build();
+    let out = attacker_payoff(catplus.as_ref(), &original, &attack, 0);
+    stats.push(AttackStats {
+        mechanism: "CAT+".to_string(),
+        attack: "table2",
+        trials: 1,
+        successes: u64::from(out.succeeded()),
+        mean_gain: out.attack_payoff.as_f64() - out.baseline_payoff.as_f64(),
+    });
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_matches_section5() {
+        let mut cfg = SybilConfig::quick();
+        cfg.instances = 3;
+        cfg.samples = 6;
+        let stats = run_sybil_experiment(&cfg);
+        let total = |mech: &str| {
+            stats
+                .iter()
+                .filter(|s| s.mechanism == mech && s.attack != "table2")
+                .map(|s| s.successes)
+                .sum::<u64>()
+        };
+        assert_eq!(total("CAT"), 0, "CAT is sybil-immune (Theorem 19)");
+        assert!(total("CAF") > 0, "CAF is universally vulnerable (Theorem 15)");
+        let table2 = stats.iter().find(|s| s.attack == "table2").unwrap();
+        assert_eq!(table2.successes, 1, "Table II beats CAT+ (Theorem 17)");
+        assert!(table2.mean_gain > 80.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # cqac-workload — the ICDE 2010 evaluation workload generator
+//!
+//! Reproduces the synthetic workloads of the paper's §VI-A (Table III):
+//!
+//! | Parameter | Value |
+//! |-----------|-------|
+//! | workload sets | 50 |
+//! | queries | 2000 |
+//! | operators | 700 – 8800 |
+//! | max degree of sharing | 1 – 60, Zipf skew 1 |
+//! | maximum bid | 100, Zipf skew 0.5 |
+//! | maximum operator load | 10, Zipf skew 1 |
+//! | system capacity | 5k / 10k / 15k / 20k |
+//!
+//! The paper keeps the *average query load constant* across the
+//! degree-of-sharing axis by generating one base workload at maximum degree
+//! 60 and then repeatedly **splitting** high-degree operators (e.g. a
+//! degree-8 operator splits into degrees 4, 2, 1, 1 — greedy halving) while
+//! distributing the sharing queries among the parts. [`RawWorkload::split_to_max_degree`]
+//! implements exactly that; [`WorkloadGenerator::sharing_sweep`] yields the
+//! derived instance for every max degree from 60 down to 1.
+//!
+//! Strategic-lying workloads (§VI-B, Figure 5) are in [`lying`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod generator;
+pub mod lying;
+pub mod zipf;
+
+pub use generator::{RawWorkload, WorkloadGenerator, WorkloadParams};
+pub use lying::{apply_lying, LyingProfile};
+pub use zipf::Zipf;

@@ -1,0 +1,177 @@
+//! Strategic-lying workload transformation (§VI-B, Figure 5).
+//!
+//! CAR is the one mechanism that is *not* strategyproof, so under it users
+//! who share many operators rationally underbid. The paper simulates this
+//! by giving each client an alternative bid — her valuation times a *lying
+//! factor* — submitted with some probability whenever her query's
+//! static-fair-share/total-load ratio falls below a threshold (heavily
+//! shared queries are the ones with an incentive to lie).
+
+use cqac_core::model::AuctionInstance;
+use cqac_core::units::Money;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the lying transformation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LyingProfile {
+    /// Lie only when `C^SF_i / C^T_i` is below this (heavy sharing).
+    pub ratio_threshold: f64,
+    /// Probability that an eligible user lies.
+    pub lie_probability: f64,
+    /// The alternative bid is `valuation × lying_factor`.
+    pub lying_factor: f64,
+}
+
+impl LyingProfile {
+    /// The paper's Moderate Lying workload: threshold 0.25, probability 0.5,
+    /// factor 0.5.
+    pub fn moderate() -> Self {
+        Self {
+            ratio_threshold: 0.25,
+            lie_probability: 0.5,
+            lying_factor: 0.5,
+        }
+    }
+
+    /// The paper's Aggressive Lying workload: threshold 0.35, probability
+    /// 0.7, factor 0.3.
+    pub fn aggressive() -> Self {
+        Self {
+            ratio_threshold: 0.35,
+            lie_probability: 0.7,
+            lying_factor: 0.3,
+        }
+    }
+}
+
+/// Applies the lying transformation: returns the instance with the
+/// *submitted* (possibly lowered) bids, plus the vector of true valuations
+/// (the original bids) for payoff accounting.
+pub fn apply_lying<R: Rng + ?Sized>(
+    inst: &AuctionInstance,
+    profile: LyingProfile,
+    rng: &mut R,
+) -> (AuctionInstance, Vec<Money>) {
+    let valuations: Vec<Money> = inst.queries().iter().map(|q| q.bid).collect();
+    let mut lied = inst.clone();
+    for q in inst.query_ids() {
+        let total = inst.total_load(q);
+        if total.is_zero() {
+            continue;
+        }
+        let ratio = inst.fair_share_load(q).as_f64() / total.as_f64();
+        if ratio < profile.ratio_threshold && rng.random_bool(profile.lie_probability) {
+            let alternative =
+                Money::from_micro((inst.bid(q).micro() as f64 * profile.lying_factor) as u64);
+            lied = lied.with_bid(q, alternative);
+        }
+    }
+    (lied, valuations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqac_core::model::InstanceBuilder;
+    use cqac_core::units::Load;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Ten queries share one heavy operator (ratio = 0.1 < any threshold),
+    /// one query owns a private operator (ratio 1.0).
+    fn shared_instance() -> AuctionInstance {
+        let mut b = InstanceBuilder::new(Load::from_units(100.0));
+        let shared = b.operator(Load::from_units(10.0));
+        for _ in 0..10 {
+            b.query(Money::from_dollars(50.0), &[shared]);
+        }
+        let private = b.operator(Load::from_units(10.0));
+        b.query(Money::from_dollars(50.0), &[private]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn only_heavily_shared_queries_lie() {
+        let inst = shared_instance();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (lied, valuations) = apply_lying(
+            &inst,
+            LyingProfile {
+                ratio_threshold: 0.25,
+                lie_probability: 1.0,
+                lying_factor: 0.5,
+            },
+            &mut rng,
+        );
+        for q in inst.query_ids().take(10) {
+            assert_eq!(lied.bid(q), Money::from_dollars(25.0), "{q} must lie");
+        }
+        let private = cqac_core::model::QueryId(10);
+        assert_eq!(lied.bid(private), Money::from_dollars(50.0));
+        assert!(valuations.iter().all(|&v| v == Money::from_dollars(50.0)));
+    }
+
+    #[test]
+    fn probability_zero_means_nobody_lies() {
+        let inst = shared_instance();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (lied, _) = apply_lying(
+            &inst,
+            LyingProfile {
+                ratio_threshold: 1.0,
+                lie_probability: 0.0,
+                lying_factor: 0.5,
+            },
+            &mut rng,
+        );
+        for q in inst.query_ids() {
+            assert_eq!(lied.bid(q), inst.bid(q));
+        }
+    }
+
+    #[test]
+    fn moderate_and_aggressive_match_paper_parameters() {
+        let m = LyingProfile::moderate();
+        assert_eq!((m.ratio_threshold, m.lie_probability, m.lying_factor), (0.25, 0.5, 0.5));
+        let a = LyingProfile::aggressive();
+        assert_eq!((a.ratio_threshold, a.lie_probability, a.lying_factor), (0.35, 0.7, 0.3));
+    }
+
+    #[test]
+    fn lying_lowers_profit_under_car() {
+        use cqac_core::mechanisms::{Car, Mechanism};
+        // Capacity 12. Operator S (load 8) is shared by x1,x2,x3 (bids
+        // 100/90/80; fair-share/total ratio 1/3 < 0.35, so all are liars at
+        // probability 1). y has a private load-4 operator (bid 50); z a
+        // private load-6 operator (bid 30) and always loses.
+        //
+        // Truthful CAR: x1 admitted first and pays for all of S; profit $60.
+        // With all three x-queries underbidding to 30%, z leapfrogs them,
+        // the x-queries are crowded out, and profit falls to $37.50.
+        let mut b = InstanceBuilder::new(Load::from_units(12.0));
+        let s = b.operator(Load::from_units(8.0));
+        b.query(Money::from_dollars(100.0), &[s]);
+        b.query(Money::from_dollars(90.0), &[s]);
+        b.query(Money::from_dollars(80.0), &[s]);
+        let p = b.operator(Load::from_units(4.0));
+        b.query(Money::from_dollars(50.0), &[p]);
+        let r = b.operator(Load::from_units(6.0));
+        b.query(Money::from_dollars(30.0), &[r]);
+        let inst = b.build().unwrap();
+
+        let truthful_profit = Car::default().run_seeded(&inst, 0).profit();
+        assert_eq!(truthful_profit, Money::from_dollars(60.0));
+
+        let mut rng = StdRng::seed_from_u64(9);
+        let certain_liars = LyingProfile {
+            ratio_threshold: 0.35,
+            lie_probability: 1.0,
+            lying_factor: 0.3,
+        };
+        let (lied, _) = apply_lying(&inst, certain_liars, &mut rng);
+        let lied_profit = Car::default().run_seeded(&lied, 0).profit();
+        assert_eq!(lied_profit, Money::from_dollars(37.5));
+        assert!(lied_profit < truthful_profit);
+    }
+}

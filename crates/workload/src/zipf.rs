@@ -1,0 +1,154 @@
+//! A bounded Zipf sampler.
+//!
+//! The paper draws degrees, bids, and loads from Zipf distributions with a
+//! maximum value and a skewness parameter `s`: `P(k) ∝ 1/k^s` for
+//! `k ∈ {1..=max}`. Small values dominate; `s` controls how heavily.
+//!
+//! The sampler precomputes the CDF once and draws with a binary search —
+//! `O(max)` setup, `O(log max)` per sample — which is the right trade-off
+//! for the evaluation's small supports (max ≤ 100) and millions of draws.
+
+use rand::{Rng, RngExt};
+
+/// Bounded Zipf distribution over `{1..=max}` with `P(k) ∝ 1/k^s`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    max: u64,
+    skew: f64,
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution with the given support maximum and
+    /// skewness.
+    ///
+    /// # Panics
+    /// Panics when `max == 0` or `skew` is negative/non-finite.
+    pub fn new(max: u64, skew: f64) -> Self {
+        assert!(max >= 1, "Zipf support must be non-empty");
+        assert!(
+            skew.is_finite() && skew >= 0.0,
+            "Zipf skew must be a non-negative finite number"
+        );
+        let mut cdf = Vec::with_capacity(max as usize);
+        let mut acc = 0.0;
+        for k in 1..=max {
+            acc += 1.0 / (k as f64).powf(skew);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point drift at the top end.
+        *cdf.last_mut().expect("non-empty cdf") = 1.0;
+        Self { max, skew, cdf }
+    }
+
+    /// The support maximum.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The skewness parameter.
+    pub fn skew(&self) -> f64 {
+        self.skew
+    }
+
+    /// Draws one value in `{1..=max}`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.random_range(0.0..1.0);
+        // First index whose cumulative probability exceeds u.
+        let idx = self.cdf.partition_point(|&c| c <= u);
+        (idx as u64 + 1).min(self.max)
+    }
+
+    /// The exact probability of value `k`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        assert!((1..=self.max).contains(&k));
+        let prev = if k == 1 { 0.0 } else { self.cdf[k as usize - 2] };
+        self.cdf[k as usize - 1] - prev
+    }
+
+    /// The exact mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        (1..=self.max).map(|k| k as f64 * self.pmf(k)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for (max, skew) in [(10, 1.0), (100, 0.5), (60, 1.0), (1, 2.0)] {
+            let z = Zipf::new(max, skew);
+            let sum: f64 = (1..=max).map(|k| z.pmf(k)).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "pmf sum {sum} for max={max}");
+        }
+    }
+
+    #[test]
+    fn skew_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 1..=4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ones_dominate_at_high_skew() {
+        let z = Zipf::new(10, 2.0);
+        assert!(z.pmf(1) > 0.6);
+        assert!(z.pmf(10) < 0.01);
+    }
+
+    #[test]
+    fn samples_match_pmf() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut counts = [0u64; 10];
+        for _ in 0..n {
+            let k = z.sample(&mut rng);
+            assert!((1..=10).contains(&k));
+            counts[k as usize - 1] += 1;
+        }
+        for k in 1..=10u64 {
+            let expected = z.pmf(k);
+            let observed = counts[k as usize - 1] as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "value {k}: observed {observed:.4}, expected {expected:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_mean_close_to_exact() {
+        let z = Zipf::new(60, 1.0);
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| z.sample(&mut rng)).sum();
+        let observed = sum as f64 / n as f64;
+        assert!(
+            (observed - z.mean()).abs() < 0.2,
+            "mean {observed} vs exact {}",
+            z.mean()
+        );
+        // The paper's degree distribution: mean ≈ 12.8 sharing queries.
+        assert!((z.mean() - 12.8).abs() < 0.5);
+    }
+
+    #[test]
+    fn degenerate_support() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+}

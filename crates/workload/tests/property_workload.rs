@@ -1,0 +1,134 @@
+//! Property-based tests of the Table III workload generator: the splitting
+//! procedure's invariants and distributional sanity.
+
+use cqac_core::units::{Load, Money};
+use cqac_workload::generator::RawWorkload;
+use cqac_workload::{WorkloadGenerator, WorkloadParams, Zipf};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: an arbitrary raw workload where operator membership covers
+/// every query.
+fn raw_workload() -> impl Strategy<Value = RawWorkload> {
+    (2usize..30, 1usize..20).prop_flat_map(|(n_queries, n_extra_ops)| {
+        let ops = proptest::collection::vec(
+            (
+                1u32..=10,                                      // load units
+                proptest::collection::vec(0..n_queries, 1..=n_queries.min(12)),
+            ),
+            n_extra_ops,
+        );
+        let bids = proptest::collection::vec(1u32..=100, n_queries);
+        (Just(n_queries), ops, bids)
+    })
+    .prop_map(|(n_queries, ops, bids)| {
+        let mut loads = Vec::new();
+        let mut members: Vec<Vec<u32>> = Vec::new();
+        for (load, qs) in ops {
+            let mut qs: Vec<u32> = qs.into_iter().map(|q| q as u32).collect();
+            qs.sort_unstable();
+            qs.dedup();
+            loads.push(Load::from_units(f64::from(load)));
+            members.push(qs);
+        }
+        // Guarantee coverage: one private operator per query.
+        for q in 0..n_queries {
+            loads.push(Load::from_units(1.0));
+            members.push(vec![q as u32]);
+        }
+        RawWorkload {
+            num_queries: n_queries,
+            bids: bids
+                .into_iter()
+                .map(|b| Money::from_dollars(f64::from(b)))
+                .collect(),
+            loads,
+            members,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Splitting to any max degree preserves every query's total load,
+    /// the total incidence count, and the degree bound.
+    #[test]
+    fn splitting_invariants(mut raw in raw_workload(), max_degree in 1usize..15, seed in 0u64..100) {
+        let before_loads = raw.query_total_loads();
+        let before_incidences = raw.incidences();
+        let mut rng = StdRng::seed_from_u64(seed);
+        raw.split_to_max_degree(max_degree, &mut rng);
+        prop_assert!(raw.max_degree() <= max_degree);
+        prop_assert_eq!(raw.query_total_loads(), before_loads);
+        prop_assert_eq!(raw.incidences(), before_incidences);
+    }
+
+    /// Sequential splitting (the sweep) keeps the invariants at every step.
+    #[test]
+    fn sequential_sweep_invariants(mut raw in raw_workload(), seed in 0u64..100) {
+        let before_loads = raw.query_total_loads();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let start = raw.max_degree();
+        for degree in (1..=start).rev() {
+            raw.split_to_max_degree(degree, &mut rng);
+            prop_assert!(raw.max_degree() <= degree);
+            prop_assert_eq!(raw.query_total_loads(), before_loads.clone());
+        }
+        // Fully split: every incidence is a private operator.
+        prop_assert_eq!(raw.members.len(), raw.incidences());
+    }
+
+    /// The frozen instance agrees with the raw workload on loads and
+    /// sharing.
+    #[test]
+    fn instance_agrees_with_raw(raw in raw_workload()) {
+        let inst = raw.to_instance(Load::from_units(10_000.0));
+        prop_assert_eq!(inst.num_queries(), raw.num_queries);
+        prop_assert_eq!(inst.num_operators(), raw.loads.len());
+        let raw_totals = raw.query_total_loads();
+        for q in inst.query_ids() {
+            prop_assert_eq!(inst.total_load(q), raw_totals[q.index()]);
+        }
+        prop_assert_eq!(
+            inst.max_degree_of_sharing() as usize,
+            raw.max_degree()
+        );
+    }
+
+    /// Zipf samples stay within the declared support.
+    #[test]
+    fn zipf_support(max in 1u64..200, skew in 0.0f64..3.0, seed in 0u64..1000) {
+        let z = Zipf::new(max, skew);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let v = z.sample(&mut rng);
+            prop_assert!((1..=max).contains(&v));
+        }
+    }
+}
+
+/// Full paper-scale determinism: two generators with the same seed produce
+/// identical sweeps (spot-checked at three degrees).
+#[test]
+fn sweeps_are_reproducible() {
+    let params = WorkloadParams {
+        num_queries: 300,
+        base_max_degree: 16,
+        ..WorkloadParams::scaled(300)
+    };
+    let g1 = WorkloadGenerator::new(params.clone(), 99);
+    let g2 = WorkloadGenerator::new(params, 99);
+    let s1 = g1.sharing_sweep_at(4, Load::from_units(1_000.0), &[1, 8, 16]);
+    let s2 = g2.sharing_sweep_at(4, Load::from_units(1_000.0), &[1, 8, 16]);
+    for ((d1, i1), (d2, i2)) in s1.iter().zip(&s2) {
+        assert_eq!(d1, d2);
+        assert_eq!(i1.num_operators(), i2.num_operators());
+        for q in i1.query_ids() {
+            assert_eq!(i1.total_load(q), i2.total_load(q));
+            assert_eq!(i1.bid(q), i2.bid(q));
+            assert_eq!(i1.query(q).operators, i2.query(q).operators);
+        }
+    }
+}

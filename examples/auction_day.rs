@@ -1,0 +1,62 @@
+//! A full paper-scale auction day: the Table III workload (2000 queries,
+//! Zipf bids/loads/sharing) run through every mechanism side by side.
+//!
+//! ```text
+//! cargo run --release --example auction_day
+//! cargo run --release --example auction_day -- 30 15000   # degree, capacity
+//! ```
+
+use cq_admission::core::mechanisms::{all_mechanisms, optimal_constant_price};
+use cq_admission::core::metrics::Metrics;
+use cq_admission::core::units::Load;
+use cq_admission::workload::{WorkloadGenerator, WorkloadParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let degree: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let capacity: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(15_000.0);
+
+    let generator = WorkloadGenerator::new(WorkloadParams::paper(), 2024);
+    let inst = generator
+        .sharing_sweep_at(0, Load::from_units(capacity), &[degree])
+        .into_iter()
+        .next()
+        .expect("degree available")
+        .1;
+
+    println!(
+        "Table III workload: {} queries, {} operators, max sharing degree {}, capacity {}",
+        inst.num_queries(),
+        inst.num_operators(),
+        inst.max_degree_of_sharing(),
+        capacity,
+    );
+    println!(
+        "total demand (distinct operator load): {}\n",
+        inst.total_demand()
+    );
+
+    println!(
+        "{:<10} {:>9} {:>11} {:>11} {:>12} {:>9}",
+        "mechanism", "profit", "admission%", "payoff", "utilization", "winners"
+    );
+    for mech in all_mechanisms() {
+        let start = std::time::Instant::now();
+        let out = mech.run_seeded(&inst, 11);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        out.validate(&inst).expect("feasible outcome");
+        let m = Metrics::truthful(&inst, &out);
+        println!(
+            "{:<10} {:>9.0} {:>11.1} {:>11.0} {:>12.3} {:>9}  ({ms:.1} ms)",
+            m.mechanism, m.profit, m.admission_rate, m.total_payoff, m.utilization, m.winners
+        );
+    }
+
+    let optc = optimal_constant_price(&inst);
+    println!(
+        "\nOPT_C benchmark: price ${} sells {} queries for ${}",
+        optc.price,
+        optc.winners.len(),
+        optc.profit
+    );
+}

@@ -1,0 +1,82 @@
+//! Quickstart: the paper's Example 1, run through every mechanism.
+//!
+//! Three users submit continuous queries to a DSMS with capacity 10:
+//!
+//! * `q1 = {A, B}` bidding $55 (loads 4 + 1),
+//! * `q2 = {A, C}` bidding $72 (loads 4 + 2) — operator `A` is shared,
+//! * `q3 = {D, E}` bidding $100 (loads 7 + 3).
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cq_admission::prelude::*;
+
+fn main() {
+    // Build the instance exactly as in Figures 1–2.
+    let mut b = InstanceBuilder::new(Load::from_units(10.0));
+    let a = b.operator(Load::from_units(4.0));
+    let op_b = b.operator(Load::from_units(1.0));
+    let c = b.operator(Load::from_units(2.0));
+    let d = b.operator(Load::from_units(7.0));
+    let e = b.operator(Load::from_units(3.0));
+    let q1 = b.query(Money::from_dollars(55.0), &[a, op_b]);
+    let q2 = b.query(Money::from_dollars(72.0), &[a, c]);
+    let q3 = b.query(Money::from_dollars(100.0), &[d, e]);
+    let inst = b.build().expect("well-formed instance");
+
+    println!("Example 1: capacity 10, operator A shared by q1 and q2\n");
+    println!(
+        "{:>4} {:>6} {:>12} {:>12}",
+        "CQ", "bid", "total load", "fair share"
+    );
+    for q in [q1, q2, q3] {
+        println!(
+            "{:>4} {:>6} {:>12} {:>12}",
+            format!("q{}", q.0 + 1),
+            format!("${}", inst.bid(q)),
+            format!("{}", inst.total_load(q)),
+            format!("{}", inst.fair_share_load(q)),
+        );
+    }
+
+    println!(
+        "\n{:<10} {:>14} {:>10} {:>10} {:>10} {:>9}",
+        "mechanism", "winners", "p(q1)", "p(q2)", "p(q3)", "profit"
+    );
+    let mechanisms: Vec<Box<dyn Mechanism>> = vec![
+        Box::new(Car::default()),
+        Box::new(Caf),
+        Box::new(CafPlus::default()),
+        Box::new(Cat),
+        Box::new(CatPlus::default()),
+        Box::new(Gv),
+        Box::new(TwoPrice::default()),
+        Box::new(OptConstantPricing),
+    ];
+    for mech in &mechanisms {
+        let out = mech.run_seeded(&inst, 1);
+        out.validate(&inst).expect("every outcome is feasible");
+        let winners: Vec<String> = out
+            .winners
+            .iter()
+            .map(|w| format!("q{}", w.0 + 1))
+            .collect();
+        println!(
+            "{:<10} {:>14} {:>10} {:>10} {:>10} {:>9}",
+            mech.name(),
+            winners.join(","),
+            format!("${}", out.payment(q1)),
+            format!("${}", out.payment(q2)),
+            format!("${}", out.payment(q3)),
+            format!("${}", out.profit()),
+        );
+    }
+
+    println!(
+        "\nThe worked payments from the paper: CAR $10/$60, CAF $30/$40,\n\
+         CAT $50/$60 — note how CAR's dependence on admission-time remaining\n\
+         loads lets q2 shrink her own payment by underbidding (it is the one\n\
+         mechanism that is not strategyproof)."
+    );
+}

@@ -1,0 +1,136 @@
+//! Stock monitoring end-to-end: the paper's §I–II scenario on the real
+//! substrate.
+//!
+//! A for-profit DSMS center sells continuous-query processing over two hot
+//! streams (stock quotes and news stories). Users submit similar-but-not-
+//! identical queries — heavy operator sharing — with daily bids; the center
+//! runs a CAT auction (strategyproof *and* sybil-immune), transitions the
+//! shared query network to the winner set, serves a day of data, and bills.
+//!
+//! ```text
+//! cargo run --example stock_monitoring
+//! ```
+
+use cq_admission::core::mechanisms::Cat;
+use cq_admission::core::model::UserId;
+use cq_admission::core::units::{Load, Money};
+use cq_admission::dsms::center::{DsmsCenter, Submission};
+use cq_admission::dsms::expr::Expr;
+use cq_admission::dsms::plan::{AggFunc, LogicalPlan};
+use cq_admission::dsms::streams::{news_schema, quote_schema, NewsStream, StockStream};
+use cq_admission::dsms::types::{Tuple, Value};
+
+const SYMBOLS: [&str; 6] = ["IBM", "AAPL", "MSFT", "ORCL", "SAP", "NVDA"];
+
+/// "Select high-value transactions" — the shared hot operator.
+fn high_value() -> LogicalPlan {
+    LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))))
+}
+
+/// A user watching one symbol's high-value trades.
+fn watch_symbol(symbol: &str) -> LogicalPlan {
+    high_value().filter(Expr::col(0).eq(Expr::lit(Value::str(symbol))))
+}
+
+/// Join high-value trades with earnings news on the company name (§II's
+/// three-operator example query).
+fn trades_with_news() -> LogicalPlan {
+    let earnings =
+        LogicalPlan::source("news").filter(Expr::col(1).eq(Expr::lit(Value::str("earnings"))));
+    high_value().join(earnings, 0, 0, 5_000)
+}
+
+/// Per-symbol average price over tumbling minutes, on the shared selection.
+fn minute_averages() -> LogicalPlan {
+    high_value().aggregate(Some(0), AggFunc::Avg, 1, 60_000)
+}
+
+fn calibration_sample() -> Vec<(String, Tuple)> {
+    let mut sample: Vec<(String, Tuple)> = StockStream::new(&SYMBOLS, 2, 99)
+        .next_batch(2_000)
+        .into_iter()
+        .map(|t| ("quotes".to_string(), t))
+        .collect();
+    sample.extend(
+        NewsStream::new(&SYMBOLS, 20, 98)
+            .next_batch(200)
+            .into_iter()
+            .map(|t| ("news".to_string(), t)),
+    );
+    sample.sort_by_key(|(_, t)| t.ts);
+    sample
+}
+
+fn main() {
+    // A deliberately tight capacity so the auction has teeth.
+    let mut center = DsmsCenter::new(Load::from_units(3.0), Box::new(Cat));
+    center.register_stream("quotes", quote_schema());
+    center.register_stream("news", news_schema());
+
+    // Eight users, heavily shared plans, bids by how much they value them.
+    let submissions = vec![
+        Submission { user: UserId(0), bid: Money::from_dollars(80.0), plan: trades_with_news() },
+        Submission { user: UserId(1), bid: Money::from_dollars(65.0), plan: minute_averages() },
+        Submission { user: UserId(2), bid: Money::from_dollars(50.0), plan: watch_symbol("IBM") },
+        Submission { user: UserId(3), bid: Money::from_dollars(45.0), plan: watch_symbol("AAPL") },
+        Submission { user: UserId(4), bid: Money::from_dollars(40.0), plan: high_value() },
+        Submission { user: UserId(5), bid: Money::from_dollars(35.0), plan: trades_with_news() },
+        Submission { user: UserId(6), bid: Money::from_dollars(20.0), plan: minute_averages() },
+        Submission { user: UserId(7), bid: Money::from_dollars(10.0), plan: watch_symbol("NVDA") },
+    ];
+
+    let record = center
+        .run_auction(&submissions, &calibration_sample())
+        .expect("plans are valid");
+
+    println!("=== auction day {} under {} ===", record.day, record.mechanism);
+    println!(
+        "admitted load {} of capacity {} ({:.1}% utilization)\n",
+        record.admitted_load,
+        Load::from_units(3.0),
+        record.utilization * 100.0
+    );
+    println!("{:<6} {:>7} {:>9} {:>9}  query", "user", "bid", "admitted", "payment");
+    for d in &record.decisions {
+        let kind = match d.submission {
+            0 | 5 => "trades ⋈ earnings-news",
+            1 | 6 => "per-symbol minute averages",
+            4 => "all high-value trades",
+            _ => "single-symbol watcher",
+        };
+        println!(
+            "{:<6} {:>7} {:>9} {:>9}  {kind}",
+            format!("u{}", d.user.0),
+            format!("${}", submissions[d.submission].bid),
+            if d.admitted { "yes" } else { "no" },
+            format!("${:.2}", d.payment),
+        );
+    }
+    println!("\nday profit: ${:.2}", record.profit);
+
+    // Serve a day of market data through the admitted network.
+    let mut quotes = StockStream::new(&SYMBOLS, 2, 7);
+    let mut news = NewsStream::new(&SYMBOLS, 20, 8);
+    center.process("quotes", quotes.next_batch(5_000));
+    center.process("news", news.next_batch(500));
+
+    println!("\n=== serving day: outputs per admitted query ===");
+    let cqs: Vec<_> = record
+        .decisions
+        .iter()
+        .filter_map(|d| d.cq.map(|cq| (d.user, cq)))
+        .collect();
+    for (user, cq) in cqs {
+        let outputs = center.take_outputs(cq);
+        println!("u{}: {} result tuples", user.0, outputs.len());
+    }
+
+    let shared = center.engine().network();
+    println!(
+        "\nnetwork: {} physical operators serve {} queries (max sharing degree {})",
+        shared.num_nodes(),
+        shared.num_queries(),
+        shared.max_degree_of_sharing()
+    );
+    println!("total revenue to date: ${:.2}", center.total_revenue());
+}

@@ -1,0 +1,69 @@
+//! Sybil attacks live (§V): fake identities against each mechanism.
+//!
+//! * The **fair-share attack** (Theorem 15): fakes with negligible bids
+//!   sharing the attacker's operators deflate her CAF fair-share load.
+//! * The **Table II attack** (Theorem 17): a crafted ε-query crowds a rival
+//!   out of CAT+'s skip-fill.
+//! * **CAT** (Theorem 19) survives both.
+//!
+//! ```text
+//! cargo run --example sybil_attack
+//! ```
+
+use cq_admission::core::analysis::examples::example1;
+use cq_admission::core::analysis::sybil::{attacker_payoff, fair_share_attack, table2_attack};
+use cq_admission::core::mechanisms::{Caf, Cat, CatPlus, Mechanism};
+use cq_admission::core::model::QueryId;
+
+fn main() {
+    // --- fair-share attack on Example 1 --------------------------------
+    let inst = example1();
+    let attacker = QueryId(1); // q2, the $72 bidder sharing operator A
+    println!("=== Theorem 15: fair-share attack on CAF (Example 1, attacker q2) ===");
+    println!("fakes  baseline-payoff  attack-payoff  fake-charges  success");
+    for fakes in [1usize, 2, 4, 8] {
+        let attack = fair_share_attack(&inst, attacker, fakes);
+        let out = attacker_payoff(&Caf, &inst, &attack, 0);
+        println!(
+            "{fakes:>5}  {:>15} {:>14} {:>13} {:>8}",
+            format!("${}", out.baseline_payoff),
+            format!("${}", out.attack_payoff),
+            format!("${}", out.fake_charges),
+            if out.succeeded() { "YES" } else { "no" }
+        );
+    }
+
+    println!("\n=== the same attack against CAT (Theorem 19: immune) ===");
+    println!("fakes  baseline-payoff  attack-payoff  success");
+    for fakes in [1usize, 4, 8] {
+        let attack = fair_share_attack(&inst, attacker, fakes);
+        let out = attacker_payoff(&Cat, &inst, &attack, 0);
+        println!(
+            "{fakes:>5}  {:>15} {:>14} {:>8}",
+            format!("${}", out.baseline_payoff),
+            format!("${}", out.attack_payoff),
+            if out.succeeded() { "YES" } else { "no" }
+        );
+    }
+
+    // --- Table II attack on CAT+ ----------------------------------------
+    println!("\n=== Theorem 17 / Table II: ε-fake beats CAT+ ===");
+    let (original, attack) = table2_attack();
+    let catplus = CatPlus::default();
+    let baseline = catplus.run_seeded(&original, 0);
+    println!(
+        "without the fake: winners {:?} (user 2's q1 loses, payoff $0)",
+        baseline.winners
+    );
+    let out = attacker_payoff(&catplus, &original, &attack, 0);
+    println!(
+        "with fake 'user 3' (v=100ε+ε, load ε): attacker admitted = {}, \
+         fake charges ${}, aggregate payoff ${}",
+        out.attacker_won, out.fake_charges, out.attack_payoff,
+    );
+    println!(
+        "attack succeeded: {} (gain ${})",
+        out.succeeded(),
+        out.attack_payoff.saturating_sub(out.baseline_payoff)
+    );
+}

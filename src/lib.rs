@@ -1,0 +1,26 @@
+//! # cq-admission — facade crate
+//!
+//! A production-quality Rust reproduction of *"Admission Control Mechanisms
+//! for Continuous Queries in the Cloud"* (ICDE 2010). This crate re-exports
+//! the workspace members so applications can depend on a single crate:
+//!
+//! * [`core`] (`cqac-core`) — the auction mechanisms (CAR, CAF, CAF+, CAT,
+//!   CAT+, GV, Two-price, OPT_C) and game-theoretic analysis harness.
+//! * [`dsms`] (`cqac-dsms`) — the Aurora-like stream-processing substrate
+//!   with shared operator processing, connection points, and the
+//!   subscription-day transition phase.
+//! * [`workload`] (`cqac-workload`) — the Table III workload generator.
+//! * [`sim`] (`cqac-sim`) — experiment runners reproducing every table and
+//!   figure of the paper's evaluation.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use cqac_core as core;
+pub use cqac_dsms as dsms;
+pub use cqac_sim as sim;
+pub use cqac_workload as workload;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use cqac_core::prelude::*;
+}

@@ -1,0 +1,83 @@
+//! Cross-crate golden tests: every worked number in the paper, checked
+//! through the facade crate's public API.
+
+use cq_admission::core::analysis::examples::example1;
+use cq_admission::prelude::*;
+
+#[test]
+fn example1_car_payments() {
+    let inst = example1();
+    let out = Car::default().run_seeded(&inst, 0);
+    assert_eq!(out.winners, vec![QueryId(0), QueryId(1)]);
+    assert_eq!(out.payment(QueryId(0)), Money::from_dollars(10.0));
+    assert_eq!(out.payment(QueryId(1)), Money::from_dollars(60.0));
+}
+
+#[test]
+fn example1_caf_payments() {
+    let inst = example1();
+    let out = Caf.run_seeded(&inst, 0);
+    assert_eq!(out.winners, vec![QueryId(0), QueryId(1)]);
+    assert_eq!(out.payment(QueryId(0)), Money::from_dollars(30.0));
+    assert_eq!(out.payment(QueryId(1)), Money::from_dollars(40.0));
+}
+
+#[test]
+fn example1_cat_payments() {
+    let inst = example1();
+    let out = Cat.run_seeded(&inst, 0);
+    assert_eq!(out.winners, vec![QueryId(0), QueryId(1)]);
+    assert_eq!(out.payment(QueryId(0)), Money::from_dollars(50.0));
+    assert_eq!(out.payment(QueryId(1)), Money::from_dollars(60.0));
+}
+
+#[test]
+fn example1_priorities_match_section4() {
+    // CAR/CAT initial priorities 11, 12, 10; CAF priorities 18.34, 18, 10.
+    let inst = example1();
+    let b = |i: u32| inst.bid(QueryId(i)).as_f64();
+    let ct = |i: u32| inst.total_load(QueryId(i)).as_f64();
+    let csf = |i: u32| inst.fair_share_load(QueryId(i)).as_f64();
+    assert!((b(0) / ct(0) - 11.0).abs() < 1e-9);
+    assert!((b(1) / ct(1) - 12.0).abs() < 1e-9);
+    assert!((b(2) / ct(2) - 10.0).abs() < 1e-9);
+    assert!((b(0) / csf(0) - 55.0 / 3.0).abs() < 1e-9);
+    assert!((b(1) / csf(1) - 18.0).abs() < 1e-9);
+}
+
+#[test]
+fn table2_attack_numbers() {
+    use cq_admission::core::analysis::sybil::{attacker_payoff, table2_attack};
+    let (original, attack) = table2_attack();
+    let out = attacker_payoff(&CatPlus::default(), &original, &attack, 0);
+    // Without the attack user 2 loses; with it she nets $89 − $1 = $88.
+    assert_eq!(out.baseline_payoff, Money::ZERO);
+    assert_eq!(out.fake_charges, Money::from_dollars(1.0));
+    assert_eq!(out.attack_payoff, Money::from_dollars(88.0));
+    assert!(out.succeeded());
+}
+
+#[test]
+fn table1_claims_hold_on_example1() {
+    use cq_admission::core::analysis::strategyproof::{best_bid_deviation, default_candidates};
+    let inst = example1();
+    let strategyproof: Vec<Box<dyn Mechanism>> = vec![
+        Box::new(Caf),
+        Box::new(CafPlus::default()),
+        Box::new(Cat),
+        Box::new(CatPlus::default()),
+        Box::new(Gv),
+    ];
+    for mech in &strategyproof {
+        for q in inst.query_ids() {
+            let truthful = mech.run_seeded(&inst, 0);
+            let candidates = default_candidates(&inst, q, truthful.payment(q));
+            let report = best_bid_deviation(mech.as_ref(), &inst, q, &candidates, 0);
+            assert!(!report.profitable(), "{} manipulable by {q}", mech.name());
+        }
+    }
+    // CAR is manipulable (the §IV-A counterexample).
+    let candidates = default_candidates(&inst, QueryId(1), Money::from_dollars(60.0));
+    let report = best_bid_deviation(&Car::default(), &inst, QueryId(1), &candidates, 0);
+    assert!(report.profitable());
+}

@@ -1,0 +1,126 @@
+//! Integration: the full experiment pipeline — Table III workloads through
+//! every mechanism into metrics — with the §VI qualitative claims asserted
+//! at reduced scale.
+
+use cq_admission::core::mechanisms::{all_mechanisms, MechanismKind};
+use cq_admission::core::metrics::Metrics;
+use cq_admission::core::units::Load;
+use cq_admission::sim::sweep::{run_sharing_sweep, SweepConfig};
+use cq_admission::workload::{WorkloadGenerator, WorkloadParams};
+
+fn scaled_params() -> WorkloadParams {
+    WorkloadParams {
+        num_queries: 250,
+        base_max_degree: 12,
+        ..WorkloadParams::scaled(250)
+    }
+}
+
+#[test]
+fn every_mechanism_survives_a_paper_workload() {
+    let generator = WorkloadGenerator::new(scaled_params(), 5);
+    // Capacity ~ a third of demand: heavy contention.
+    let inst = generator
+        .base_workload(0)
+        .to_instance(Load::from_units(800.0));
+    for mech in all_mechanisms() {
+        let out = mech.run_seeded(&inst, 3);
+        out.validate(&inst).unwrap_or_else(|e| panic!("{}: {e}", mech.name()));
+        let m = Metrics::truthful(&inst, &out);
+        assert!(m.admission_rate > 0.0, "{} admitted nobody", mech.name());
+        assert!(m.utilization <= 1.0);
+    }
+}
+
+#[test]
+fn contended_density_mechanisms_fill_the_server() {
+    // §VI-B: under contention the density mechanisms run the server near
+    // full; Two-price (bid-only selection) leaves a gap.
+    let generator = WorkloadGenerator::new(scaled_params(), 6);
+    let inst = generator
+        .base_workload(1)
+        .to_instance(Load::from_units(800.0));
+    for kind in MechanismKind::density_mechanisms() {
+        let out = kind.build().run_seeded(&inst, 0);
+        let util = out.utilization(&inst);
+        assert!(
+            util > 0.9,
+            "{} utilization {util:.3} too low under contention",
+            kind.label()
+        );
+    }
+    let two_price = MechanismKind::TwoPrice.build().run_seeded(&inst, 0);
+    let caf = MechanismKind::Caf.build().run_seeded(&inst, 0);
+    assert!(
+        two_price.admission_rate() < caf.admission_rate(),
+        "Two-price must admit fewer queries than the density mechanisms"
+    );
+}
+
+#[test]
+fn sweep_reproduces_figure4_shapes() {
+    // Scaled Figure 4: admission rises with sharing; Two-price admission is
+    // flat/low; at high sharing Two-price's profit overtakes the density
+    // mechanisms'.
+    let cfg = SweepConfig {
+        sets: 2,
+        seed: 9,
+        degrees: vec![1, 3, 6, 12],
+        capacity: 1_200.0,
+        mechanisms: vec![
+            MechanismKind::Caf,
+            MechanismKind::CafPlus,
+            MechanismKind::Cat,
+            MechanismKind::CatPlus,
+            MechanismKind::TwoPrice,
+        ],
+        params: scaled_params(),
+    };
+    let cells = run_sharing_sweep(&cfg);
+    let get = |degree: u32, mech: &str| {
+        cells
+            .iter()
+            .find(|c| c.degree == degree && c.mechanism == mech)
+            .unwrap()
+    };
+
+    // Admission monotonicity for the density mechanisms (end points).
+    for mech in ["CAF", "CAT"] {
+        assert!(
+            get(12, mech).admission_rate > get(1, mech).admission_rate,
+            "{mech} admission must rise with sharing"
+        );
+    }
+    // Two-price admits less than CAF everywhere.
+    for degree in [1, 3, 6, 12] {
+        assert!(get(degree, "Two-price").admission_rate < get(degree, "CAF").admission_rate);
+    }
+    // Profit crossover: CAF/CAT win at degree 1, Two-price wins at degree 12.
+    assert!(get(1, "CAT").profit > get(1, "Two-price").profit * 0.5);
+    assert!(get(12, "Two-price").profit > get(12, "CAT").profit);
+    // CAF+ ends below CAF in profit (it gives the surplus to users).
+    assert!(get(12, "CAF+").profit <= get(12, "CAF").profit + 1e-9);
+    // ... and above it in user payoff.
+    assert!(get(6, "CAF+").total_payoff >= get(6, "CAF").total_payoff * 0.9);
+}
+
+#[test]
+fn serde_round_trips() {
+    // Instances and outcomes are serde-serializable for artifact storage.
+    let generator = WorkloadGenerator::new(scaled_params(), 7);
+    let inst = generator
+        .base_workload(0)
+        .to_instance(Load::from_units(500.0));
+    let json = serde_json::to_string(&inst).expect("instance serializes");
+    let back: cq_admission::core::model::AuctionInstance =
+        serde_json::from_str(&json).expect("instance deserializes");
+    assert_eq!(back.num_queries(), inst.num_queries());
+    assert_eq!(back.num_operators(), inst.num_operators());
+
+    let out = MechanismKind::Cat.build().run_seeded(&inst, 0);
+    let json = serde_json::to_string(&out).expect("outcome serializes");
+    let back: cq_admission::core::outcome::Outcome =
+        serde_json::from_str(&json).expect("outcome deserializes");
+    assert_eq!(back.winners, out.winners);
+    assert_eq!(back.profit(), out.profit());
+}

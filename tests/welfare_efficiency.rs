@@ -1,0 +1,92 @@
+//! Integration: greedy efficiency against the exact welfare optimum.
+//!
+//! §III argues the winner-determination problem (maximize admitted value
+//! under shared-operator capacity) is hard to approximate, and the paper's
+//! greedy mechanisms trade welfare for strategyproofness and speed. On
+//! small Table III-shaped instances we can afford the exact branch-and-bound
+//! optimum and measure the gap.
+
+use cq_admission::core::analysis::welfare::{optimal_welfare, welfare_of};
+use cq_admission::core::mechanisms::MechanismKind;
+use cq_admission::core::units::Load;
+use cq_admission::workload::{WorkloadGenerator, WorkloadParams};
+
+fn small_instances() -> Vec<cq_admission::core::model::AuctionInstance> {
+    let generator = WorkloadGenerator::new(
+        WorkloadParams {
+            num_queries: 18,
+            mean_ops_per_query: 2.5,
+            base_max_degree: 6,
+            ..WorkloadParams::scaled(18)
+        },
+        77,
+    );
+    (0..8)
+        .map(|i| {
+            generator
+                .base_workload(i)
+                .to_instance(Load::from_units(40.0))
+        })
+        .collect()
+}
+
+#[test]
+fn greedy_mechanisms_are_near_optimal_on_small_instances() {
+    let mut ratios: Vec<(MechanismKind, f64)> = Vec::new();
+    for kind in [
+        MechanismKind::Caf,
+        MechanismKind::CafPlus,
+        MechanismKind::Cat,
+        MechanismKind::CatPlus,
+        MechanismKind::Gv,
+    ] {
+        let mech = kind.build();
+        let mut total_greedy = 0.0;
+        let mut total_opt = 0.0;
+        for inst in small_instances() {
+            let opt = optimal_welfare(&inst, 20).expect("instance small enough");
+            let out = mech.run_seeded(&inst, 1);
+            total_greedy += welfare_of(&inst, &out.winners).as_f64();
+            total_opt += opt.welfare.as_f64();
+        }
+        let ratio = total_greedy / total_opt;
+        assert!(
+            ratio <= 1.0 + 1e-12,
+            "{}: greedy cannot exceed the optimum",
+            kind.label()
+        );
+        ratios.push((kind, ratio));
+    }
+    // The density mechanisms should capture most of the optimum on these
+    // instances; a collapse would signal an accounting bug.
+    for (kind, ratio) in &ratios {
+        assert!(
+            *ratio > 0.5,
+            "{}: welfare ratio {ratio:.3} suspiciously low",
+            kind.label()
+        );
+    }
+    // The skip-fill variants (CAF+/CAT+) weakly dominate their stop-fill
+    // bases in welfare: they admit supersets.
+    let get = |k: MechanismKind| ratios.iter().find(|(kk, _)| *kk == k).unwrap().1;
+    assert!(get(MechanismKind::CafPlus) >= get(MechanismKind::Caf) - 1e-12);
+    assert!(get(MechanismKind::CatPlus) >= get(MechanismKind::Cat) - 1e-12);
+}
+
+#[test]
+fn optimum_exploits_sharing_when_profitable() {
+    // Regression of the hardness intuition: the branch-and-bound optimum
+    // picks the shared bundle over the single big bid when sharing pays.
+    use cq_admission::prelude::*;
+    let mut b = InstanceBuilder::new(Load::from_units(10.0));
+    let shared = b.operator(Load::from_units(9.0));
+    for _ in 0..4 {
+        b.query(Money::from_dollars(30.0), &[shared]);
+    }
+    let solo = b.operator(Load::from_units(10.0));
+    b.query(Money::from_dollars(100.0), &[solo]);
+    let inst = b.build().unwrap();
+    let opt = optimal_welfare(&inst, 16).unwrap();
+    assert_eq!(opt.welfare, Money::from_dollars(120.0));
+    assert_eq!(opt.winners.len(), 4);
+}
