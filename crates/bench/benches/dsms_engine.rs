@@ -1,18 +1,24 @@
-//! DSMS substrate throughput: the value of shared operator processing.
+//! DSMS substrate throughput: the value of shared operator processing and
+//! of batched execution.
 //!
-//! Two workloads over the same stream volume: `shared` registers 32
+//! Two sharing workloads over the same stream volume: `shared` registers 32
 //! *identical* selections (one physical operator, 32 sinks), `distinct`
 //! registers 32 different-threshold selections (32 physical operators).
 //! The shared network processes each tuple once — the premise that makes
 //! the paper's auction problem combinatorially hard is also what makes the
 //! engine fast.
+//!
+//! The `ingest_batch_size` group sweeps the engine's batch-size knob
+//! (1 vs 64 vs 1024) over the shared-network workload: batch size 1
+//! degrades to per-tuple execution, so the sweep tracks the speedup the
+//! batched refactor buys in the perf trajectory.
 
 use cqac_dsms::engine::DsmsEngine;
 use cqac_dsms::expr::Expr;
 use cqac_dsms::plan::{AggFunc, LogicalPlan};
 use cqac_dsms::streams::{news_schema, quote_schema, NewsStream, StockStream};
 use cqac_dsms::types::{Tuple, Value};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 const SYMBOLS: [&str; 8] = ["IBM", "AAPL", "MSFT", "ORCL", "SAP", "TSM", "AMD", "NVDA"];
@@ -33,6 +39,30 @@ fn engine_with(plans: impl IntoIterator<Item = LogicalPlan>) -> DsmsEngine {
         e.add_query(p).expect("valid plan");
     }
     e
+}
+
+fn bench_batch_sizes(c: &mut Criterion) {
+    let rows: Vec<Tuple> = StockStream::new(&SYMBOLS, 1, 42).next_batch(20_000);
+    let mut group = c.benchmark_group("ingest_batch_size");
+    group.sample_size(20);
+    for cap in [1usize, 64, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("shared_32_filters", cap),
+            &cap,
+            |b, &cap| {
+                b.iter(|| {
+                    let mut e = engine_with((0..32).map(|_| {
+                        LogicalPlan::source("quotes")
+                            .filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))))
+                    }));
+                    e.set_max_batch_size(cap);
+                    e.push_rows("quotes", rows.clone());
+                    black_box((e.tuples_processed(), e.batches_processed()))
+                })
+            },
+        );
+    }
+    group.finish();
 }
 
 fn bench_sharing(c: &mut Criterion) {
@@ -112,5 +142,5 @@ fn bench_operators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sharing, bench_operators);
+criterion_group!(benches, bench_batch_sizes, bench_sharing, bench_operators);
 criterion_main!(benches);

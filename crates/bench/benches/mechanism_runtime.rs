@@ -40,7 +40,11 @@ fn bench_degree_extremes(c: &mut Criterion) {
     group.sample_size(20);
     for degree in [1u32, 60] {
         let inst = paper_instance(degree);
-        for kind in [MechanismKind::Caf, MechanismKind::Cat, MechanismKind::TwoPrice] {
+        for kind in [
+            MechanismKind::Caf,
+            MechanismKind::Cat,
+            MechanismKind::TwoPrice,
+        ] {
             let mech = kind.build();
             group.bench_function(format!("{}_d{degree}", kind.label()), |b| {
                 b.iter(|| black_box(mech.run_seeded(black_box(&inst), 7)))

@@ -16,9 +16,7 @@ fn bench_generation(c: &mut Criterion) {
     });
 
     group.bench_function("full_sweep_60_degrees", |b| {
-        b.iter(|| {
-            black_box(generator.sharing_sweep(black_box(0), Load::from_units(15_000.0)))
-        })
+        b.iter(|| black_box(generator.sharing_sweep(black_box(0), Load::from_units(15_000.0))))
     });
 
     group.bench_function("sweep_at_4_degrees", |b| {

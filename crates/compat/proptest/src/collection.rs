@@ -1,0 +1,79 @@
+//! Collection strategies.
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::ops::{Range, RangeInclusive};
+
+/// Accepted size specifications for [`vec`].
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        let (min, max) = r.into_inner();
+        assert!(min <= max, "empty size range");
+        Self { min, max }
+    }
+}
+
+/// A strategy yielding `Vec`s whose length is drawn from `size` and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let len = rng.random_range(self.size.min..=self.size.max);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_for;
+
+    #[test]
+    fn sizes_respect_every_spec_shape() {
+        let mut rng = rng_for("collection");
+        for _ in 0..100 {
+            assert_eq!(vec(0u8..3, 4usize).sample(&mut rng).len(), 4);
+            let l = vec(0u8..3, 1..5).sample(&mut rng).len();
+            assert!((1..5).contains(&l));
+            let l = vec(0u8..3, 2..=3).sample(&mut rng).len();
+            assert!((2..=3).contains(&l));
+        }
+    }
+}

@@ -1,0 +1,503 @@
+//! The JSON document model shared by the vendored `serde` and `serde_json`:
+//! an owned tree with distinct integer/float number variants (so `u64`
+//! micro-unit quantities round-trip exactly), plus a renderer and a strict
+//! recursive-descent parser.
+
+use crate::DeError;
+
+/// An owned JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer (kept separate so `u64::MAX` survives).
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A short label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::I64(_) | Json::U64(_) => "integer",
+            Json::F64(_) => "float",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// The value as `i64`.
+    pub fn as_i64(&self) -> Result<i64, DeError> {
+        match self {
+            Json::I64(i) => Ok(*i),
+            Json::U64(u) => {
+                i64::try_from(*u).map_err(|_| DeError::msg(format!("{u} exceeds i64::MAX")))
+            }
+            other => Err(DeError::msg(format!(
+                "expected integer, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as `u64`.
+    pub fn as_u64(&self) -> Result<u64, DeError> {
+        match self {
+            Json::U64(u) => Ok(*u),
+            Json::I64(i) => u64::try_from(*i).map_err(|_| DeError::msg(format!("{i} is negative"))),
+            other => Err(DeError::msg(format!(
+                "expected integer, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as `f64` (integers widen).
+    pub fn as_f64(&self) -> Result<f64, DeError> {
+        match self {
+            Json::F64(f) => Ok(*f),
+            Json::I64(i) => Ok(*i as f64),
+            Json::U64(u) => Ok(*u as f64),
+            other => Err(DeError::msg(format!(
+                "expected number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Result<&str, DeError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(DeError::msg(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Result<&[Json], DeError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(DeError::msg(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Member `name` of an object.
+    pub fn field(&self, name: &str) -> Result<&Json, DeError> {
+        match self {
+            Json::Obj(members) => members
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::msg(format!("missing field '{name}'"))),
+            other => Err(DeError::msg(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Interprets the value as an enum: a bare string is a unit variant, a
+    /// single-member object is a data variant with its payload.
+    pub fn variant(&self) -> Result<(&str, Option<&Json>), DeError> {
+        match self {
+            Json::Str(s) => Ok((s, None)),
+            Json::Obj(members) if members.len() == 1 => {
+                Ok((members[0].0.as_str(), Some(&members[0].1)))
+            }
+            other => Err(DeError::msg(format!(
+                "expected enum (string or single-key object), got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Renders the value as compact JSON text.
+    pub fn render(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::I64(i) => {
+                out.push_str(&i.to_string());
+            }
+            Json::U64(u) => {
+                out.push_str(&u.to_string());
+            }
+            Json::F64(f) => {
+                if f.is_finite() {
+                    // `{:?}` is Rust's shortest round-trip float rendering;
+                    // strip no digits so parse(render(x)) == x.
+                    let s = format!("{f:?}");
+                    out.push_str(&s);
+                    // Ensure floats stay floats across a round trip.
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses JSON text into a value.
+    pub fn parse(text: &str) -> Result<Json, DeError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(DeError::msg(format!("trailing input at byte {}", p.pos)));
+        }
+        Ok(v)
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), DeError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(DeError::msg(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, DeError> {
+        match self.peek() {
+            Some(b'n') if self.literal("null") => Ok(Json::Null),
+            Some(b't') if self.literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(DeError::msg(format!(
+                "unexpected input at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, DeError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(DeError::msg("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(DeError::msg("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| DeError::msg("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| DeError::msg("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| DeError::msg("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| DeError::msg("invalid \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(DeError::msg(format!(
+                                "unknown escape '\\{}'",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-scan the full UTF-8 sequence starting here.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| DeError::msg("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    self.pos = start + c.len_utf8();
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, DeError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| DeError::msg("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::F64)
+                .map_err(|_| DeError::msg(format!("bad float '{text}'")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Json::I64)
+                .map_err(|_| DeError::msg(format!("bad integer '{text}'")))
+        } else {
+            text.parse::<u64>()
+                .map(Json::U64)
+                .map_err(|_| DeError::msg(format!("bad integer '{text}'")))
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, DeError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => {
+                    return Err(DeError::msg(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, DeError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => {
+                    return Err(DeError::msg(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Json) -> Json {
+        let mut s = String::new();
+        v.render(&mut s);
+        Json::parse(&s).expect("rendered JSON parses")
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::I64(-42),
+            Json::U64(u64::MAX),
+            Json::F64(2.5),
+            Json::F64(1.0e-9),
+            Json::Str("he said \"hi\"\n\tok".to_string()),
+            Json::Str("unicode: λ→∞".to_string()),
+        ] {
+            assert_eq!(round_trip(&v), v);
+        }
+    }
+
+    #[test]
+    fn float_stays_float() {
+        // 3.0 must not collapse into the integer 3.
+        assert_eq!(round_trip(&Json::F64(3.0)), Json::F64(3.0));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = Json::Obj(vec![
+            ("a".to_string(), Json::Arr(vec![Json::U64(1), Json::Null])),
+            ("b".to_string(), Json::Obj(vec![])),
+            ("empty".to_string(), Json::Arr(vec![])),
+        ]);
+        assert_eq!(round_trip(&v), v);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let v = Json::parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(
+            v,
+            Json::Obj(vec![(
+                "a".to_string(),
+                Json::Arr(vec![Json::U64(1), Json::U64(2)])
+            )])
+        );
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+}

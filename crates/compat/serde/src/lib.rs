@@ -1,0 +1,260 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! minimal self-consistent serialization layer: [`Serialize`] lowers a value
+//! into the [`json::Json`] document model, [`Deserialize`] lifts it back,
+//! and the re-exported derive macros generate both impls for the struct and
+//! enum shapes this workspace actually contains. `serde_json` (also
+//! vendored) renders/parses the document model as real JSON text, so
+//! artifacts written by one process are readable by another.
+//!
+//! The encoding is the natural one: structs become objects keyed by field
+//! name, newtype structs are transparent, unit enum variants become strings,
+//! and data-carrying variants become single-key objects
+//! (`{"Variant": payload}`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+use json::Json;
+
+/// Deserialization error: a human-readable path/description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A new error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lowers a value into the JSON document model.
+pub trait Serialize {
+    /// The value as a [`Json`] document.
+    fn to_json(&self) -> Json;
+}
+
+/// Lifts a value out of the JSON document model.
+pub trait Deserialize: Sized {
+    /// Reconstructs the value from a [`Json`] document.
+    fn from_json(v: &Json) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls ------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, DeError> {
+                let raw = v.as_i64()?;
+                <$t>::try_from(raw).map_err(|_| DeError::msg(format!(
+                    "{raw} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, DeError> {
+                let raw = v.as_u64()?;
+                <$t>::try_from(raw).map_err(|_| DeError::msg(format!(
+                    "{raw} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        Ok(v.as_str()?.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Serialize for std::sync::Arc<str> {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        Ok(std::sync::Arc::from(v.as_str()?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        Ok(Box::new(T::from_json(v)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            None => Json::Null,
+            Some(x) => x.to_json(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Null => Ok(None),
+            other => Ok(Some(T::from_json(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        v.as_arr()?.iter().map(T::from_json).collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json(&self) -> Json {
+                Json::Arr(vec![$(self.$n.to_json()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json(v: &Json) -> Result<Self, DeError> {
+                let items = v.as_arr()?;
+                let expected = [$(stringify!($n)),+].len();
+                if items.len() != expected {
+                    return Err(DeError::msg(format!(
+                        "expected {expected}-tuple, got array of {}", items.len()
+                    )));
+                }
+                Ok(($($t::from_json(&items[$n])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::from_json(&42i64.to_json()), Ok(42));
+        assert_eq!(u64::from_json(&7u64.to_json()), Ok(7));
+        assert_eq!(bool::from_json(&true.to_json()), Ok(true));
+        assert_eq!(f64::from_json(&2.5f64.to_json()), Ok(2.5));
+        assert_eq!(
+            String::from_json(&"hi".to_string().to_json()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(Option::<u32>::from_json(&None::<u32>.to_json()), Ok(None));
+        assert_eq!(
+            Vec::<u8>::from_json(&vec![1u8, 2].to_json()),
+            Ok(vec![1, 2])
+        );
+        let pair = ("a".to_string(), 3u32);
+        assert_eq!(<(String, u32)>::from_json(&pair.to_json()), Ok(pair));
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        assert!(u8::from_json(&300u64.to_json()).is_err());
+        assert!(i8::from_json(&(-200i64).to_json()).is_err());
+    }
+}

@@ -1,0 +1,424 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are not available in this build environment, so the item is
+//! parsed directly from its token stream. Supported shapes — the only ones
+//! this workspace contains — are: structs with named fields, tuple structs,
+//! unit structs, and enums whose variants are unit, tuple, or named-field.
+//! Generics are intentionally unsupported (none of the serialized types are
+//! generic); `#[serde(...)]` attributes are accepted and ignored — the only
+//! one present in-tree is `transparent` on newtype structs, which matches
+//! the generated newtype encoding anyway.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (see the crate docs for the encoding).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_type_def(input);
+    gen_serialize(&def)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (see the crate docs for the encoding).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_type_def(input);
+    gen_deserialize(&def)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- item model -----------------------------------------------------------
+
+struct TypeDef {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---- token-level parsing --------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips any number of `#[...]` outer attributes.
+    fn skip_attrs(&mut self) {
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.pos += 1; // '#'
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.pos += 1;
+                }
+                other => panic!("expected attribute body after '#', got {other:?}"),
+            }
+        }
+    }
+
+    /// Skips `pub` / `pub(...)` visibility.
+    fn skip_vis(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.pos += 1;
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Consumes tokens until a top-level `,` (outside `<...>` nesting) or the
+    /// end; the comma itself is consumed. Returns false at end of input.
+    fn skip_until_comma(&mut self) -> bool {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+}
+
+fn parse_type_def(input: TokenStream) -> TypeDef {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let keyword = c.expect_ident();
+    let name = c.expect_ident();
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize): generic type `{name}` is not supported by the vendored serde_derive");
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, got {other:?}"),
+        },
+        other => panic!("derive target must be a struct or enum, got `{other}`"),
+    };
+    TypeDef { name, shape }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        fields.push(c.expect_ident());
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field name, got {other:?}"),
+        }
+        if !c.skip_until_comma() {
+            break;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        count += 1;
+        if !c.skip_until_comma() {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident();
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = count_tuple_fields(g.stream());
+                c.pos += 1;
+                VariantShape::Tuple(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.pos += 1;
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Consume discriminants (`= expr`) and the trailing comma, if any.
+        if !c.skip_until_comma() {
+            break;
+        }
+    }
+    variants
+}
+
+// ---- code generation ------------------------------------------------------
+
+const JSON: &str = "::serde::json::Json";
+
+fn string_lit(s: &str) -> String {
+    format!("::std::string::String::from(\"{s}\")")
+}
+
+fn gen_serialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.shape {
+        Shape::UnitStruct => format!("{JSON}::Null"),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                .collect();
+            format!("{JSON}::Arr(::std::vec![{}])", items.join(", "))
+        }
+        Shape::NamedStruct(fields) => {
+            let members: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({}, ::serde::Serialize::to_json(&self.{f}))",
+                        string_lit(f)
+                    )
+                })
+                .collect();
+            format!("{JSON}::Obj(::std::vec![{}])", members.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vname} => {JSON}::Str({}),",
+                            string_lit(vname)
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vname}(a0) => {JSON}::Obj(::std::vec![({}, ::serde::Serialize::to_json(a0))]),",
+                            string_lit(vname)
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("a{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_json(a{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => {JSON}::Obj(::std::vec![({}, {JSON}::Arr(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                string_lit(vname),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let members: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("({}, ::serde::Serialize::to_json({f}))", string_lit(f))
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => {JSON}::Obj(::std::vec![({}, {JSON}::Obj(::std::vec![{}]))]),",
+                                string_lit(vname),
+                                members.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> {JSON} {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.shape {
+        Shape::UnitStruct => "::core::result::Result::Ok(Self)".to_string(),
+        Shape::TupleStruct(1) => {
+            "::core::result::Result::Ok(Self(::serde::Deserialize::from_json(v)?))".to_string()
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_arr()?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::core::result::Result::Err(::serde::DeError::msg(::std::format!(\n\
+                         \"expected {n} elements for {name}, got {{}}\", items.len())));\n\
+                 }}\n\
+                 ::core::result::Result::Ok(Self({}))",
+                items.join(", ")
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            let members: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_json(v.field(\"{f}\")?)?,"))
+                .collect();
+            format!(
+                "::core::result::Result::Ok(Self {{ {} }})",
+                members.join(" ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "\"{vname}\" => {{\n\
+                                 let p = payload.ok_or_else(|| ::serde::DeError::msg(\n\
+                                     \"variant {name}::{vname} requires a payload\"))?;\n\
+                                 ::core::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_json(p)?))\n\
+                             }}"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_json(&items[{i}])?"))
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{\n\
+                                     let p = payload.ok_or_else(|| ::serde::DeError::msg(\n\
+                                         \"variant {name}::{vname} requires a payload\"))?;\n\
+                                     let items = p.as_arr()?;\n\
+                                     if items.len() != {n} {{\n\
+                                         return ::core::result::Result::Err(::serde::DeError::msg(\n\
+                                             ::std::format!(\"expected {n} elements for {name}::{vname}, got {{}}\", items.len())));\n\
+                                     }}\n\
+                                     ::core::result::Result::Ok({name}::{vname}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let members: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("{f}: ::serde::Deserialize::from_json(p.field(\"{f}\")?)?,")
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{\n\
+                                     let p = payload.ok_or_else(|| ::serde::DeError::msg(\n\
+                                         \"variant {name}::{vname} requires a payload\"))?;\n\
+                                     ::core::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                                 }}",
+                                members.join(" ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (tag, payload) = v.variant()?;\n\
+                 let _ = &payload;\n\
+                 match tag {{\n\
+                     {}\n\
+                     other => ::core::result::Result::Err(::serde::DeError::msg(\n\
+                         ::std::format!(\"unknown variant '{{other}}' for {name}\"))),\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json(v: &{JSON}) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

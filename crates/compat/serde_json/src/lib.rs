@@ -1,0 +1,56 @@
+//! Offline stand-in for `serde_json`: renders and parses the vendored
+//! `serde` crate's JSON document model as JSON text.
+
+use serde::json::Json;
+use serde::{DeError, Deserialize, Serialize};
+
+/// A serialization or deserialization failure.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json().render(&mut out);
+    Ok(out)
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let doc = Json::parse(text)?;
+    Ok(T::from_json(&doc)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_of_pairs_round_trips_through_text() {
+        let v: Vec<(String, u64)> = vec![("a".into(), 1), ("b".into(), 2)];
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, r#"[["a",1],["b",2]]"#);
+        let back: Vec<(String, u64)> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_failure_is_an_error() {
+        assert!(from_str::<u64>("not json").is_err());
+        assert!(from_str::<u64>("-3").is_err());
+    }
+}

@@ -14,8 +14,8 @@ pub mod sybil;
 pub mod welfare;
 
 pub use strategyproof::{
-    audit_critical_values, audit_operator_monotonicity, best_bid_deviation,
-    best_operator_padding, check_monotonicity, DeviationReport,
+    audit_critical_values, audit_operator_monotonicity, best_bid_deviation, best_operator_padding,
+    check_monotonicity, DeviationReport,
 };
 pub use sybil::{
     attacker_payoff, fair_share_attack, random_sybil_attack, table2_attack, AttackOutcome,

@@ -262,7 +262,9 @@ mod tests {
     #[test]
     fn cat_is_monotone_in_example1() {
         let inst = example1();
-        let raises: Vec<Money> = (1..=20).map(|i| Money::from_dollars(10.0 * i as f64)).collect();
+        let raises: Vec<Money> = (1..=20)
+            .map(|i| Money::from_dollars(10.0 * i as f64))
+            .collect();
         for w in [QueryId(0), QueryId(1)] {
             assert_eq!(check_monotonicity(&Cat, &inst, w, &raises, 0), None);
         }

@@ -208,7 +208,11 @@ mod tests {
     fn table2_attack_beats_cat_plus() {
         let (original, attack) = table2_attack();
         let out = attacker_payoff(&CatPlus::default(), &original, &attack, 0);
-        assert!(!mech_wins_baseline(&CatPlus::default(), &original, attack.attacker));
+        assert!(!mech_wins_baseline(
+            &CatPlus::default(),
+            &original,
+            attack.attacker
+        ));
         assert!(out.attacker_won, "the fake must crowd q0 out");
         assert!(out.succeeded(), "Theorem 17: CAT+ is vulnerable");
         // The fake pays 100ε = $1, far less than the $89 payoff gained.
@@ -216,11 +220,7 @@ mod tests {
         assert_eq!(out.attack_payoff, Money::from_dollars(88.0));
     }
 
-    fn mech_wins_baseline(
-        mech: &dyn Mechanism,
-        inst: &AuctionInstance,
-        q: QueryId,
-    ) -> bool {
+    fn mech_wins_baseline(mech: &dyn Mechanism, inst: &AuctionInstance, q: QueryId) -> bool {
         mech.run_seeded(inst, 0).is_winner(q)
     }
 

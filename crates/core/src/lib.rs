@@ -65,7 +65,9 @@ pub mod units;
 
 pub use mechanisms::{Mechanism, MechanismKind};
 pub use metrics::Metrics;
-pub use model::{AdmittedSet, AuctionInstance, InstanceBuilder, OperatorId, QueryDef, QueryId, UserId};
+pub use model::{
+    AdmittedSet, AuctionInstance, InstanceBuilder, OperatorId, QueryDef, QueryId, UserId,
+};
 pub use outcome::Outcome;
 pub use units::{Load, Money};
 

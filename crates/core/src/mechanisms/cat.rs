@@ -103,8 +103,7 @@ mod tests {
     }
 
     #[test]
-    fn cat_plus_matches_cat_when_no_skip_helps(
-    ) {
+    fn cat_plus_matches_cat_when_no_skip_helps() {
         let inst = example1();
         let cat = Cat.run_seeded(&inst, 0);
         let catp = CatPlus::default().run_seeded(&inst, 0);

@@ -30,11 +30,8 @@ impl Mechanism for Gv {
 
     fn run(&self, inst: &AuctionInstance, _rng: &mut dyn Rng) -> Outcome {
         let order = bid_order(inst);
-        let fill = super::greedy::greedy_fill(
-            inst,
-            &order,
-            super::greedy::FillPolicy::StopAtFirstReject,
-        );
+        let fill =
+            super::greedy::greedy_fill(inst, &order, super::greedy::FillPolicy::StopAtFirstReject);
         let mut payments = vec![Money::ZERO; inst.num_queries()];
         if let Some(lost) = fill.first_loser() {
             let price = inst.bid(lost);

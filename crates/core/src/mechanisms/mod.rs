@@ -3,8 +3,8 @@
 //! All mechanisms implement [`Mechanism`]; deterministic ones ignore the RNG.
 //! [`all_mechanisms`] returns the evaluation line-up of §VI.
 
-mod car;
 mod caf;
+mod car;
 mod cat;
 mod greedy;
 mod gv;
@@ -13,8 +13,8 @@ mod optc;
 mod random;
 mod two_price;
 
-pub use car::Car;
 pub use caf::{Caf, CafPlus};
+pub use car::Car;
 pub use cat::{Cat, CatPlus};
 pub use greedy::{greedy_fill, priority_order, FillPolicy, FillResult, LoadModel};
 pub use gv::Gv;

@@ -55,11 +55,8 @@ pub fn movement_window_payments(
             MovementWindowMode::Snapshot => last_snapshot(inst, &fill.order, rank),
         };
         if let Some(j) = last {
-            payments[q.index()] = price_from_density(
-                model.load(inst, q),
-                inst.bid(j),
-                model.load(inst, j),
-            );
+            payments[q.index()] =
+                price_from_density(model.load(inst, q), inst.bid(j), model.load(inst, j));
         }
     }
     payments
@@ -161,7 +158,8 @@ mod tests {
         let inst = skip_instance();
         let order = super::super::greedy::priority_order(&inst, LoadModel::Total);
         let fill = greedy_fill(&inst, &order, FillPolicy::SkipOverloaded);
-        let naive = movement_window_payments(&inst, LoadModel::Total, &fill, MovementWindowMode::Naive);
+        let naive =
+            movement_window_payments(&inst, LoadModel::Total, &fill, MovementWindowMode::Naive);
         let snap =
             movement_window_payments(&inst, LoadModel::Total, &fill, MovementWindowMode::Snapshot);
         assert_eq!(naive, snap);

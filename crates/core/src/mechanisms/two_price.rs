@@ -396,11 +396,7 @@ mod tests {
         b.query(Money::from_dollars(5.0), &[z]);
         let inst = b.build().unwrap();
         let mut state = AdmittedSet::new(&inst);
-        let chosen = largest_fitting_subset(
-            &mut state,
-            &[QueryId(0), QueryId(1), QueryId(2)],
-            12,
-        );
+        let chosen = largest_fitting_subset(&mut state, &[QueryId(0), QueryId(1), QueryId(2)], 12);
         assert_eq!(chosen.len(), 2);
         assert!(state.is_empty(), "search must leave the state untouched");
     }

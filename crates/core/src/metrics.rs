@@ -129,12 +129,7 @@ mod tests {
         let a = b.operator(Load::from_units(2.0));
         b.query(Money::from_dollars(10.0), &[a]);
         let inst = b.build().unwrap();
-        let out = Outcome::new(
-            "m",
-            &inst,
-            vec![QueryId(0)],
-            vec![Money::from_dollars(4.0)],
-        );
+        let out = Outcome::new("m", &inst, vec![QueryId(0)], vec![Money::from_dollars(4.0)]);
         let m = Metrics::truthful(&inst, &out);
         assert_eq!(m.profit, 4.0);
         assert_eq!(m.total_payoff, 6.0);
@@ -153,12 +148,7 @@ mod tests {
         let a = b.operator(Load::from_units(2.0));
         b.query(Money::from_dollars(5.0), &[a]); // bid 5, true value 10
         let inst = b.build().unwrap();
-        let out = Outcome::new(
-            "m",
-            &inst,
-            vec![QueryId(0)],
-            vec![Money::from_dollars(4.0)],
-        );
+        let out = Outcome::new("m", &inst, vec![QueryId(0)], vec![Money::from_dollars(4.0)]);
         let m = Metrics::with_valuations(&inst, &out, &[Money::from_dollars(10.0)]);
         assert_eq!(m.total_payoff, 6.0);
         assert_eq!(m.profit, 4.0);

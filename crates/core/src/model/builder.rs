@@ -162,7 +162,10 @@ mod tests {
     fn rejects_empty_query() {
         let mut b = InstanceBuilder::new(Load::ONE);
         b.query(Money::from_dollars(1.0), &[]);
-        assert!(matches!(b.build().unwrap_err(), BuildError::EmptyQuery { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::EmptyQuery { .. }
+        ));
     }
 
     #[test]
@@ -171,7 +174,10 @@ mod tests {
         b.query(Money::from_dollars(1.0), &[OperatorId(7)]);
         assert!(matches!(
             b.build().unwrap_err(),
-            BuildError::UnknownOperator { operator: OperatorId(7), .. }
+            BuildError::UnknownOperator {
+                operator: OperatorId(7),
+                ..
+            }
         ));
     }
 

@@ -71,7 +71,12 @@ impl AuctionInstance {
         }
         let total_load: Vec<Load> = queries
             .iter()
-            .map(|q| q.operators.iter().map(|op| operators[op.index()].load).sum())
+            .map(|q| {
+                q.operators
+                    .iter()
+                    .map(|op| operators[op.index()].load)
+                    .sum()
+            })
             .collect();
         let fair_share_load: Vec<Load> = queries
             .iter()
@@ -184,7 +189,11 @@ impl AuctionInstance {
     /// The highest bid `h` among all queries (the paper's profit-guarantee
     /// parameter).
     pub fn max_bid(&self) -> Money {
-        self.queries.iter().map(|q| q.bid).max().unwrap_or(Money::ZERO)
+        self.queries
+            .iter()
+            .map(|q| q.bid)
+            .max()
+            .unwrap_or(Money::ZERO)
     }
 
     /// Sum of all distinct operator loads — the load of servicing *every*
@@ -303,7 +312,10 @@ mod tests {
         let changed = inst.with_bid(QueryId(1), Money::from_dollars(1.0));
         assert_eq!(changed.bid(QueryId(1)), Money::from_dollars(1.0));
         assert_eq!(changed.bid(QueryId(0)), inst.bid(QueryId(0)));
-        assert_eq!(changed.fair_share_load(QueryId(0)), inst.fair_share_load(QueryId(0)));
+        assert_eq!(
+            changed.fair_share_load(QueryId(0)),
+            inst.fair_share_load(QueryId(0))
+        );
     }
 
     #[test]

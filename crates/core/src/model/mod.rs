@@ -11,8 +11,8 @@ mod admitted;
 mod builder;
 mod instance;
 
-pub use admitted::AdmittedSet;
 pub(crate) use admitted::union_load as union_load_of;
+pub use admitted::AdmittedSet;
 pub use builder::{BuildError, InstanceBuilder};
 pub use instance::{AuctionInstance, OperatorDef, QueryDef};
 

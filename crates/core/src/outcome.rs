@@ -195,7 +195,13 @@ mod tests {
             vec![QueryId(0)],
             vec![Money::from_dollars(4.0), Money::ZERO],
         );
-        assert_eq!(out.payoff(QueryId(1), Money::from_dollars(100.0)), Money::ZERO);
-        assert_eq!(out.payoff(QueryId(0), Money::from_dollars(10.0)), Money::from_dollars(6.0));
+        assert_eq!(
+            out.payoff(QueryId(1), Money::from_dollars(100.0)),
+            Money::ZERO
+        );
+        assert_eq!(
+            out.payoff(QueryId(0), Money::from_dollars(10.0)),
+            Money::from_dollars(6.0)
+        );
     }
 }

@@ -266,7 +266,6 @@ impl Density {
             self.money.as_f64() / self.load.as_f64()
         }
     }
-
 }
 
 impl PartialEq for Density {

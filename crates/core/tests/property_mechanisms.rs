@@ -32,10 +32,7 @@ fn shared_instance() -> impl Strategy<Value = AuctionInstance> {
         .prop_flat_map(|(n_ops, n_queries, capacity)| {
             let loads = proptest::collection::vec(1u32..=8, n_ops);
             let queries = proptest::collection::vec(
-                (
-                    proptest::collection::vec(0..n_ops, 1..=3),
-                    1u32..=100,
-                ),
+                (proptest::collection::vec(0..n_ops, 1..=3), 1u32..=100),
                 n_queries,
             );
             (Just(capacity), loads, queries)

@@ -119,6 +119,13 @@ impl DsmsCenter {
         self
     }
 
+    /// Overrides the ingestion batch-size cap used by both the serving
+    /// engine and the per-auction shadow calibration engines.
+    pub fn with_batch_size(mut self, n: usize) -> Self {
+        self.engine.set_max_batch_size(n);
+        self
+    }
+
     /// Registers an input stream (must precede submissions that read it).
     pub fn register_stream(&mut self, name: impl Into<String>, schema: Schema) {
         let name = name.into();
@@ -153,7 +160,7 @@ impl DsmsCenter {
         calibration: &[(String, Tuple)],
     ) -> Result<DayRecord, PlanError> {
         // 1. Shadow calibration.
-        let mut shadow = DsmsEngine::new();
+        let mut shadow = DsmsEngine::new().with_max_batch_size(self.engine.max_batch_size());
         for (name, schema) in &self.streams {
             shadow.register_stream(name.clone(), schema.clone());
         }
@@ -229,12 +236,14 @@ impl DsmsCenter {
         Ok(record)
     }
 
-    /// Feeds stream data through the live network (the serving phase).
+    /// Feeds stream data through the live network (the serving phase) as
+    /// batches.
+    ///
+    /// # Panics
+    /// Panics when `stream` was never registered with
+    /// [`DsmsCenter::register_stream`].
     pub fn process(&mut self, stream: &str, tuples: Vec<Tuple>) {
-        for t in tuples {
-            self.engine.push(stream, t);
-        }
-        self.engine.run_until_quiescent();
+        self.engine.push_rows(stream, tuples);
     }
 
     /// Takes a live query's accumulated outputs.
@@ -257,8 +266,7 @@ mod tests {
     use cqac_core::mechanisms::Cat;
 
     fn high_price(threshold: f64) -> LogicalPlan {
-        LogicalPlan::source("quotes")
-            .filter(Expr::col(1).gt(Expr::lit(Value::Float(threshold))))
+        LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(threshold))))
     }
 
     fn calibration_sample(n: usize) -> Vec<(String, Tuple)> {
@@ -291,7 +299,9 @@ mod tests {
                 plan: high_price(150.0),
             },
         ];
-        let record = c.run_auction(&submissions, &calibration_sample(500)).unwrap();
+        let record = c
+            .run_auction(&submissions, &calibration_sample(500))
+            .unwrap();
         assert!(record.decisions.iter().all(|d| d.admitted));
         assert_eq!(record.profit, Money::ZERO);
         assert_eq!(c.engine().network().num_queries(), 2);
@@ -314,10 +324,15 @@ mod tests {
                 plan: high_price(150.0),
             },
         ];
-        let record = c.run_auction(&submissions, &calibration_sample(2000)).unwrap();
+        let record = c
+            .run_auction(&submissions, &calibration_sample(2000))
+            .unwrap();
         let admitted: Vec<bool> = record.decisions.iter().map(|d| d.admitted).collect();
         assert_eq!(admitted, vec![true, false]);
-        assert!(record.profit > Money::ZERO, "the winner pays a loser-quoted price");
+        assert!(
+            record.profit > Money::ZERO,
+            "the winner pays a loser-quoted price"
+        );
         assert_eq!(c.engine().network().num_queries(), 1);
     }
 
@@ -329,11 +344,18 @@ mod tests {
             bid: Money::from_dollars(30.0),
             plan: high_price(100.0),
         };
-        let day0 = c.run_auction(std::slice::from_ref(&submission), &calibration_sample(300)).unwrap();
+        let day0 = c
+            .run_auction(std::slice::from_ref(&submission), &calibration_sample(300))
+            .unwrap();
         let cq0 = day0.decisions[0].cq.unwrap();
-        let day1 = c.run_auction(&[submission], &calibration_sample(300)).unwrap();
+        let day1 = c
+            .run_auction(&[submission], &calibration_sample(300))
+            .unwrap();
         let cq1 = day1.decisions[0].cq.unwrap();
-        assert_eq!(cq0, cq1, "identical winning plan continues under the same id");
+        assert_eq!(
+            cq0, cq1,
+            "identical winning plan continues under the same id"
+        );
     }
 
     #[test]
@@ -344,7 +366,8 @@ mod tests {
             bid: Money::from_dollars(bid),
             plan: high_price(100.0),
         };
-        c.run_auction(&[sub(30.0)], &calibration_sample(300)).unwrap();
+        c.run_auction(&[sub(30.0)], &calibration_sample(300))
+            .unwrap();
         assert_eq!(c.engine().network().num_queries(), 1);
         // Next day the user does not resubmit; the query is retired.
         let record = c.run_auction(&[], &calibration_sample(300)).unwrap();
@@ -387,10 +410,15 @@ mod tests {
                 plan: high_price(150.0),
             },
         ];
-        c.run_auction(&submissions, &calibration_sample(2000)).unwrap();
-        c.run_auction(&submissions, &calibration_sample(2000)).unwrap();
+        c.run_auction(&submissions, &calibration_sample(2000))
+            .unwrap();
+        c.run_auction(&submissions, &calibration_sample(2000))
+            .unwrap();
         assert_eq!(c.ledger().len(), 2);
         assert!(c.total_revenue() > Money::ZERO);
-        assert_eq!(c.total_revenue(), c.ledger()[0].profit + c.ledger()[1].profit);
+        assert_eq!(
+            c.total_revenue(),
+            c.ledger()[0].profit + c.ledger()[1].profit
+        );
     }
 }

@@ -10,15 +10,37 @@
 //! c_j = input_rate_j (tuples/ms) × unit_cost_j × scale
 //! ```
 //!
-//! where `unit_cost_j` is the operator's analytic per-tuple work (joins >
-//! aggregates > filters) and `scale` converts abstract work per millisecond
-//! into the auction's capacity units.
+//! where `unit_cost_j` is the operator's per-tuple work and `scale`
+//! converts abstract work per millisecond into the auction's capacity
+//! units. Two sources feed `unit_cost_j`:
+//!
+//! * the operator's **analytic** unit cost (joins > aggregates > filters) —
+//!   deterministic, the default, and what all experiment seeds use;
+//! * the **measured** per-tuple cost — the engine times every
+//!   `process_batch` call and the estimator normalizes the node's
+//!   cumulative busy time by its tuple count. Batched execution is what
+//!   makes this measurement usable: one clock read per *batch* (not per
+//!   tuple) keeps probe overhead out of the measured quantity, so the
+//!   per-tuple figure stabilizes as batches grow. Opt in with
+//!   [`CostModel::measured`].
 
 use crate::engine::DsmsEngine;
 use crate::network::{CqId, NodeId};
 use cqac_core::model::{AuctionInstance, InstanceBuilder, OperatorId, UserId};
 use cqac_core::units::{Load, Money};
 use std::collections::HashMap;
+
+/// How a node's per-tuple unit cost is obtained.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum UnitCostSource {
+    /// The operator's analytic unit cost (deterministic; the default).
+    #[default]
+    Analytic,
+    /// The measured per-batch timings, normalized to microseconds per
+    /// tuple. Falls back to the analytic cost for nodes the calibration
+    /// sample never reached.
+    Measured,
+}
 
 /// Conversion parameters from measured work to auction capacity units.
 #[derive(Clone, Copy, Debug)]
@@ -31,6 +53,8 @@ pub struct CostModel {
     /// Minimum load assigned to any operator (avoids zero-load operators
     /// when the calibration sample misses a path).
     pub min_load: Load,
+    /// Where per-tuple unit costs come from.
+    pub unit_cost_source: UnitCostSource,
 }
 
 impl Default for CostModel {
@@ -39,6 +63,18 @@ impl Default for CostModel {
             scale: 1.0,
             delivery_unit_cost: 0.2,
             min_load: Load::from_micro(1_000), // 0.001 capacity units
+            unit_cost_source: UnitCostSource::Analytic,
+        }
+    }
+}
+
+impl CostModel {
+    /// A model whose unit costs come from the engine's per-batch timing
+    /// measurements (µs per tuple) instead of the analytic constants.
+    pub fn measured() -> Self {
+        Self {
+            unit_cost_source: UnitCostSource::Measured,
+            ..Self::default()
         }
     }
 }
@@ -52,8 +88,14 @@ pub struct NodeLoadEstimate {
     pub kind: &'static str,
     /// Measured input rate in tuples per millisecond.
     pub input_rate: f64,
-    /// The operator's per-tuple unit cost.
+    /// The per-tuple unit cost that entered the load formula (analytic or
+    /// measured, per [`CostModel::unit_cost_source`]).
     pub unit_cost: f64,
+    /// Mean batch size the node saw during calibration (0 when idle).
+    pub mean_batch: f64,
+    /// Measured per-tuple processing time in microseconds, when the node
+    /// processed at least one tuple.
+    pub measured_us_per_tuple: Option<f64>,
     /// The resulting auction load `c_j`.
     pub load: Load,
 }
@@ -71,7 +113,19 @@ pub fn estimate_node_loads(engine: &DsmsEngine, model: &CostModel) -> Vec<NodeLo
         .map(|id| {
             let node = engine.network().node(id).expect("live node");
             let input_rate = node.in_count as f64 / duration_ms as f64;
-            let unit_cost = node.op.unit_cost();
+            let mean_batch = if node.in_batches == 0 {
+                0.0
+            } else {
+                node.in_count as f64 / node.in_batches as f64
+            };
+            let measured_us_per_tuple =
+                (node.in_count > 0).then(|| node.busy.as_secs_f64() * 1e6 / node.in_count as f64);
+            let unit_cost = match model.unit_cost_source {
+                UnitCostSource::Analytic => node.op.unit_cost(),
+                UnitCostSource::Measured => {
+                    measured_us_per_tuple.unwrap_or_else(|| node.op.unit_cost())
+                }
+            };
             let raw = Load::from_units(input_rate * unit_cost * model.scale);
             let load = raw.max(model.min_load);
             NodeLoadEstimate {
@@ -79,6 +133,8 @@ pub fn estimate_node_loads(engine: &DsmsEngine, model: &CostModel) -> Vec<NodeLo
                 kind: node.kind,
                 input_rate,
                 unit_cost,
+                mean_batch,
+                measured_us_per_tuple,
                 load,
             }
         })
@@ -122,11 +178,7 @@ pub fn auction_instance(
             .network()
             .query(*cq)
             .unwrap_or_else(|| panic!("bid for unregistered query {cq}"));
-        let mut ops: Vec<OperatorId> = info
-            .nodes
-            .iter()
-            .map(|n| op_of_node[n])
-            .collect();
+        let mut ops: Vec<OperatorId> = info.nodes.iter().map(|n| op_of_node[n]).collect();
         if ops.is_empty() {
             // Source-only query: charge a private delivery operator sized by
             // the stream's measured rate.
@@ -137,8 +189,8 @@ pub fn auction_instance(
                 .filter_map(|s| engine.stream_stats().get(s))
                 .map(|s| s.count as f64 / duration_ms as f64)
                 .sum();
-            let load = Load::from_units(rate * model.delivery_unit_cost * model.scale)
-                .max(model.min_load);
+            let load =
+                Load::from_units(rate * model.delivery_unit_cost * model.scale).max(model.min_load);
             ops.push(builder.operator(load));
         }
         builder.query_for_user(*user, *bid, &ops);
@@ -168,8 +220,8 @@ mod tests {
                 Field::new("price", DataType::Float),
             ]),
         );
-        let shared = LogicalPlan::source("quotes")
-            .filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))));
+        let shared =
+            LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))));
         let q1 = e.add_query(shared.clone()).unwrap();
         let q2 = e
             .add_query(shared.filter(Expr::col(0).eq(Expr::lit(Value::str("IBM")))))
@@ -178,7 +230,11 @@ mod tests {
         e.push_batch((0..100).map(|i| {
             (
                 "quotes".to_string(),
-                quote(i, if i % 2 == 0 { "IBM" } else { "AAPL" }, 90.0 + (i % 20) as f64),
+                quote(
+                    i,
+                    if i % 2 == 0 { "IBM" } else { "AAPL" },
+                    90.0 + (i % 20) as f64,
+                ),
             )
         }));
         (e, q1, q2)
@@ -206,7 +262,8 @@ mod tests {
             (q1, UserId(0), Money::from_dollars(10.0)),
             (q2, UserId(1), Money::from_dollars(20.0)),
         ];
-        let (inst, mapping) = auction_instance(&e, &bids, Load::from_units(100.0), &CostModel::default());
+        let (inst, mapping) =
+            auction_instance(&e, &bids, Load::from_units(100.0), &CostModel::default());
         assert_eq!(mapping, vec![q1, q2]);
         assert_eq!(inst.num_queries(), 2);
         assert_eq!(inst.num_operators(), 2);
@@ -241,6 +298,21 @@ mod tests {
     }
 
     #[test]
+    fn measured_costs_come_from_batch_timings() {
+        let (e, _, _) = calibrated_engine();
+        let estimates = estimate_node_loads(&e, &CostModel::measured());
+        for est in &estimates {
+            let measured = est
+                .measured_us_per_tuple
+                .expect("calibrated nodes have timings");
+            assert!(measured > 0.0);
+            assert_eq!(est.unit_cost, measured, "measured mode uses the timing");
+            assert!(est.mean_batch >= 1.0, "batched ingestion amortizes timing");
+            assert!(est.load >= CostModel::default().min_load);
+        }
+    }
+
+    #[test]
     fn empty_engine_yields_min_loads() {
         let mut e = DsmsEngine::new();
         e.register_stream(
@@ -252,8 +324,7 @@ mod tests {
         );
         let _cq = e
             .add_query(
-                LogicalPlan::source("quotes")
-                    .filter(Expr::col(1).gt(Expr::lit(Value::Float(1.0)))),
+                LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(1.0)))),
             )
             .unwrap();
         let model = CostModel::default();

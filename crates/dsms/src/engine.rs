@@ -1,4 +1,4 @@
-//! The execution engine: deterministic push-based processing over the
+//! The execution engine: deterministic batched push processing over the
 //! shared query network, with Aurora-style connection points and the
 //! end-of-subscription-day **transition phase** (§II of the paper).
 //!
@@ -8,12 +8,44 @@
 //! replay-exact runs. The engine is single-threaded, processes nodes in
 //! ascending id order (a topological order — see `network.rs`), and uses
 //! event-time watermarks for all windowing.
+//!
+//! ## Batched execution
+//!
+//! The unit of work everywhere is a [`TupleBatch`], never a lone tuple:
+//!
+//! * **Ingestion** groups consecutive same-stream tuples into batches of at
+//!   most [`DsmsEngine::max_batch_size`] rows (grouping only *consecutive*
+//!   runs keeps the global arrival order intact, so batched results equal
+//!   scalar results row for row for single-input pipelines, and as
+//!   multisets for multi-port operators — the tested scalar-vs-batched
+//!   property; see the crate docs for why the weaker multi-port guarantee
+//!   is inherent).
+//! * **Node queues** hold `(port, batch)` pairs; one `process_batch` call
+//!   amortizes queue traffic, downstream fan-out, watermark checks, and the
+//!   per-node timing probe over the whole batch.
+//! * **Connection points** hold whole batches during a transition and
+//!   replay them, in order, ahead of newly arriving data.
+//!
+//! [`DsmsEngine::push`] survives as the one-tuple convenience wrapper;
+//! [`DsmsEngine::push_batch`] / [`DsmsEngine::push_rows`] are the primary
+//! ingestion paths.
 
 use crate::network::{CqId, NodeId, QueryNetwork, Target};
 use crate::plan::StreamCatalog;
 use crate::plan::{LogicalPlan, PlanError};
-use crate::types::{Schema, Tuple};
+use crate::types::{Schema, Tuple, TupleBatch};
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+/// The registered schema handle for `stream`, with the engine's uniform
+/// unknown-stream panic (shared by every ingestion path so the hardening
+/// message cannot drift between them).
+fn stream_schema_or_panic(network: &QueryNetwork, stream: &str) -> std::sync::Arc<Schema> {
+    network
+        .stream_schema_arc(stream)
+        .unwrap_or_else(|| panic!("unknown stream '{stream}': call register_stream before pushing"))
+        .clone()
+}
 
 /// Per-stream ingestion statistics (for cost estimation).
 #[derive(Clone, Debug, Default)]
@@ -26,24 +58,46 @@ pub struct StreamStats {
     pub max_ts: u64,
 }
 
+impl StreamStats {
+    /// Records one ingested tuple's event time (shared by every ingestion
+    /// path, so the invariants cannot diverge between them).
+    fn note(&mut self, ts: u64) {
+        if self.count == 0 {
+            self.min_ts = ts;
+        }
+        self.count += 1;
+        self.max_ts = self.max_ts.max(ts);
+    }
+}
+
 /// The DSMS engine: a query network plus run state.
 #[derive(Debug)]
 pub struct DsmsEngine {
     network: QueryNetwork,
-    /// Pending inputs per node (port, tuple), FIFO.
-    queues: HashMap<NodeId, VecDeque<(usize, Tuple)>>,
+    /// Pending input batches per node (port, batch), FIFO.
+    queues: HashMap<NodeId, VecDeque<(usize, TupleBatch)>>,
+    /// Ingested batches not yet routed into node queues (routed at the
+    /// start of the next [`DsmsEngine::run_until_quiescent`]).
+    ingest: VecDeque<(String, TupleBatch)>,
     /// Collected outputs per query sink.
     outputs: HashMap<CqId, Vec<Tuple>>,
-    /// Maximum event time pushed so far (the watermark).
+    /// Maximum event time routed so far (the watermark).
     watermark: u64,
-    /// When true, arriving tuples are held at the connection points.
+    /// When true, arriving batches are held at the connection points.
     holding: bool,
-    /// Tuples held during a transition, in arrival order.
-    held: VecDeque<(String, Tuple)>,
+    /// Batches held during a transition, in arrival order.
+    held: VecDeque<(String, TupleBatch)>,
     /// Per-stream ingestion stats.
     stream_stats: HashMap<String, StreamStats>,
     /// Total tuples processed by operators (work measure).
     processed: u64,
+    /// Total batches processed by operators.
+    batches: u64,
+    /// Ingestion batch-size cap.
+    max_batch_size: usize,
+    /// When true (the default), operator calls are wall-clock timed so the
+    /// measured cost model can normalize per-batch work to per-tuple load.
+    timing: bool,
 }
 
 impl Default for DsmsEngine {
@@ -58,13 +112,45 @@ impl DsmsEngine {
         Self {
             network: QueryNetwork::new(),
             queues: HashMap::new(),
+            ingest: VecDeque::new(),
             outputs: HashMap::new(),
             watermark: 0,
             holding: false,
             held: VecDeque::new(),
             stream_stats: HashMap::new(),
             processed: 0,
+            batches: 0,
+            max_batch_size: TupleBatch::DEFAULT_MAX_BATCH,
+            timing: true,
         }
+    }
+
+    /// Sets the ingestion batch-size cap (builder form).
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn with_max_batch_size(mut self, n: usize) -> Self {
+        self.set_max_batch_size(n);
+        self
+    }
+
+    /// Sets the ingestion batch-size cap. `1` degrades to per-tuple
+    /// execution (useful for benchmarking the batching win itself).
+    pub fn set_max_batch_size(&mut self, n: usize) {
+        assert!(n > 0, "batch size must be positive");
+        self.max_batch_size = n;
+    }
+
+    /// The current ingestion batch-size cap.
+    pub fn max_batch_size(&self) -> usize {
+        self.max_batch_size
+    }
+
+    /// Enables or disables per-batch operator timing. On by default (the
+    /// measured cost model needs it); disable for maximum-throughput
+    /// serving when only analytic costs are used.
+    pub fn set_timing(&mut self, enabled: bool) {
+        self.timing = enabled;
     }
 
     /// The underlying network (read-only).
@@ -111,7 +197,7 @@ impl DsmsEngine {
     }
 
     /// **Transition phase, step 1** (§II): upstream connection points start
-    /// holding arriving tuples, and the subnetwork queues are drained so
+    /// holding arriving batches, and the subnetwork queues are drained so
     /// every in-flight tuple reaches its sinks.
     pub fn begin_transition(&mut self) {
         assert!(!self.holding, "transition already in progress");
@@ -120,13 +206,12 @@ impl DsmsEngine {
     }
 
     /// **Transition phase, step 2**: after the query planner modified the
-    /// network, the held tuples are input *before* newly arriving ones.
+    /// network, the held batches are input *before* newly arriving ones.
     pub fn end_transition(&mut self) {
         assert!(self.holding, "no transition in progress");
         self.holding = false;
-        while let Some((stream, tuple)) = self.held.pop_front() {
-            self.route_from_stream(&stream, tuple);
-        }
+        debug_assert!(self.ingest.is_empty(), "ingest drained before holding");
+        std::mem::swap(&mut self.ingest, &mut self.held);
         self.run_until_quiescent();
     }
 
@@ -137,33 +222,57 @@ impl DsmsEngine {
 
     /// Number of tuples currently held at connection points.
     pub fn held_tuples(&self) -> usize {
-        self.held.len()
+        self.held.iter().map(|(_, b)| b.len()).sum()
     }
 
-    /// Pushes one tuple into a stream. During a transition it is held at
-    /// the stream's connection point; otherwise it is routed and processed
-    /// on the next [`DsmsEngine::run_until_quiescent`].
+    /// Pushes one tuple into a stream — a thin wrapper that appends to the
+    /// current one-stream ingestion batch. During a transition the tuple is
+    /// held at the stream's connection point; otherwise it is routed and
+    /// processed on the next [`DsmsEngine::run_until_quiescent`].
+    ///
+    /// # Panics
+    /// Panics when `stream` was never registered (batches carry their
+    /// stream's schema, so an unknown stream cannot be buffered; this is
+    /// deliberate hardening over the pre-batching engine, which silently
+    /// dropped such tuples).
     pub fn push(&mut self, stream: &str, tuple: Tuple) {
         debug_assert!(
             self.network
                 .stream_schema(stream)
-                .is_some_and(|s| tuple.conforms_to(s)),
+                .is_none_or(|s| tuple.conforms_to(s)),
             "tuple does not conform to stream '{stream}'"
         );
-        let stats = self.stream_stats.entry(stream.to_string()).or_default();
-        if stats.count == 0 {
-            stats.min_ts = tuple.ts;
-        }
-        stats.count += 1;
-        stats.max_ts = stats.max_ts.max(tuple.ts);
-        if self.holding {
-            self.held.push_back((stream.to_string(), tuple));
+        self.stream_stats
+            .entry(stream.to_string())
+            .or_default()
+            .note(tuple.ts);
+
+        let max_batch_size = self.max_batch_size;
+        let buffer = if self.holding {
+            &mut self.held
         } else {
-            self.route_from_stream(stream, tuple);
+            &mut self.ingest
+        };
+        // Group into the current batch only while the stream matches and
+        // the cap allows: consecutive runs preserve global arrival order.
+        // The schema lookup is needed only when a new batch starts, so the
+        // coalescing fast path skips it entirely.
+        match buffer.back_mut() {
+            Some((s, batch)) if s == stream && batch.len() < max_batch_size => {
+                batch.push(tuple);
+            }
+            _ => {
+                let schema = stream_schema_or_panic(&self.network, stream);
+                let mut batch = TupleBatch::with_capacity(schema, 1);
+                batch.push(tuple);
+                buffer.push_back((stream.to_string(), batch));
+            }
         }
     }
 
-    /// Pushes a batch and processes to quiescence.
+    /// Pushes `(stream, tuple)` pairs — grouping consecutive same-stream
+    /// tuples into batches — and processes to quiescence. This is the
+    /// primary ingestion path.
     pub fn push_batch<I: IntoIterator<Item = (String, Tuple)>>(&mut self, tuples: I) {
         for (stream, tuple) in tuples {
             self.push(&stream, tuple);
@@ -173,47 +282,98 @@ impl DsmsEngine {
         }
     }
 
-    fn route_from_stream(&mut self, stream: &str, tuple: Tuple) {
-        self.watermark = self.watermark.max(tuple.ts);
-        // Clone the subscriber list (tiny) to appease the borrow checker.
-        let subs: Vec<Target> = self.network.stream_subscribers(stream).to_vec();
-        for target in subs {
-            self.route(target, tuple.clone());
+    /// Pushes a whole column of rows for one stream — the zero-overhead
+    /// batched path (no per-tuple stream-name matching) — and processes to
+    /// quiescence.
+    ///
+    /// # Panics
+    /// Panics when `stream` was never registered (see [`DsmsEngine::push`]).
+    pub fn push_rows(&mut self, stream: &str, rows: Vec<Tuple>) {
+        if rows.is_empty() {
+            return;
+        }
+        let schema = stream_schema_or_panic(&self.network, stream);
+        let stats = self.stream_stats.entry(stream.to_string()).or_default();
+        for t in &rows {
+            stats.note(t.ts);
+        }
+        let mut batch = TupleBatch::from_rows(schema, rows);
+        let buffer = if self.holding {
+            &mut self.held
+        } else {
+            &mut self.ingest
+        };
+        while batch.len() > self.max_batch_size {
+            let rest = batch.split_off(self.max_batch_size);
+            buffer.push_back((stream.to_string(), std::mem::replace(&mut batch, rest)));
+        }
+        buffer.push_back((stream.to_string(), batch));
+        if !self.holding {
+            self.run_until_quiescent();
         }
     }
 
-    fn route(&mut self, target: Target, tuple: Tuple) {
+    /// Routes ingested batches into node queues (and source-only sinks),
+    /// advancing the watermark.
+    fn flush_ingest(&mut self) {
+        while let Some((stream, batch)) = self.ingest.pop_front() {
+            if let Some(ts) = batch.max_ts() {
+                self.watermark = self.watermark.max(ts);
+            }
+            // Clone the subscriber list (tiny) to appease the borrow checker.
+            let subs: Vec<Target> = self.network.stream_subscribers(&stream).to_vec();
+            let Some((&last, rest)) = subs.split_last() else {
+                continue;
+            };
+            for &target in rest {
+                self.route(target, batch.clone());
+            }
+            self.route(last, batch);
+        }
+    }
+
+    fn route(&mut self, target: Target, batch: TupleBatch) {
         match target {
             Target::Node(id, port) => {
-                self.queues.entry(id).or_default().push_back((port, tuple));
+                self.queues.entry(id).or_default().push_back((port, batch));
             }
             Target::Sink(cq) => {
-                self.outputs.entry(cq).or_default().push(tuple);
+                self.outputs
+                    .entry(cq)
+                    .or_default()
+                    .extend(batch.into_rows());
             }
         }
     }
 
-    /// Processes every queued tuple and propagates the watermark until the
+    /// Processes every queued batch and propagates the watermark until the
     /// network is quiescent.
     pub fn run_until_quiescent(&mut self) {
-        let mut out_buf: Vec<Tuple> = Vec::new();
+        self.flush_ingest();
+        let mut out_bufs: Vec<TupleBatch> = Vec::new();
         loop {
             let mut any = false;
             for id in self.network.node_ids() {
-                // Drain the node's input queue.
-                while let Some((port, tuple)) =
+                // Drain the node's input queue, batch by batch.
+                while let Some((port, batch)) =
                     self.queues.get_mut(&id).and_then(VecDeque::pop_front)
                 {
                     any = true;
-                    self.processed += 1;
-                    out_buf.clear();
+                    self.processed += batch.len() as u64;
+                    self.batches += 1;
+                    out_bufs.clear();
                     {
                         let node = self.network.node_mut(id).expect("live node");
-                        node.in_count += 1;
-                        node.op.process(port, &tuple, &mut out_buf);
-                        node.out_count += out_buf.len() as u64;
+                        node.in_count += batch.len() as u64;
+                        node.in_batches += 1;
+                        let start = self.timing.then(Instant::now);
+                        node.op.process_batch(port, batch, &mut out_bufs);
+                        if let Some(start) = start {
+                            node.busy += start.elapsed();
+                        }
+                        node.out_count += out_bufs.iter().map(|b| b.len() as u64).sum::<u64>();
                     }
-                    self.dispatch(id, &mut out_buf);
+                    self.dispatch(id, &mut out_bufs);
                 }
                 // Propagate the watermark once per value per node.
                 let needs_watermark = self
@@ -221,17 +381,24 @@ impl DsmsEngine {
                     .node(id)
                     .is_some_and(|n| n.last_watermark < self.watermark);
                 if needs_watermark {
-                    out_buf.clear();
+                    out_bufs.clear();
                     {
                         let node = self.network.node_mut(id).expect("live node");
-                        node.op.advance_watermark(self.watermark, &mut out_buf);
+                        // Timed too: window-close work (eviction, emission)
+                        // happens here, and the measured cost model must
+                        // not undercount stateful operators.
+                        let start = self.timing.then(Instant::now);
+                        node.op.advance_watermark(self.watermark, &mut out_bufs);
+                        if let Some(start) = start {
+                            node.busy += start.elapsed();
+                        }
                         node.last_watermark = self.watermark;
-                        node.out_count += out_buf.len() as u64;
+                        node.out_count += out_bufs.iter().map(|b| b.len() as u64).sum::<u64>();
                     }
-                    if !out_buf.is_empty() {
+                    if !out_bufs.is_empty() {
                         any = true;
                     }
-                    self.dispatch(id, &mut out_buf);
+                    self.dispatch(id, &mut out_bufs);
                 }
             }
             if !any {
@@ -240,8 +407,8 @@ impl DsmsEngine {
         }
     }
 
-    fn dispatch(&mut self, from: NodeId, out_buf: &mut Vec<Tuple>) {
-        if out_buf.is_empty() {
+    fn dispatch(&mut self, from: NodeId, out_bufs: &mut Vec<TupleBatch>) {
+        if out_bufs.is_empty() {
             return;
         }
         let targets: Vec<Target> = self
@@ -250,33 +417,63 @@ impl DsmsEngine {
             .expect("live node")
             .downstream
             .clone();
-        for tuple in out_buf.drain(..) {
-            for &target in &targets {
-                self.route(target, tuple.clone());
+        let Some((&last, rest)) = targets.split_last() else {
+            out_bufs.clear();
+            return;
+        };
+        for batch in out_bufs.drain(..) {
+            if batch.is_empty() {
+                continue;
             }
+            for &target in rest {
+                self.route(target, batch.clone());
+            }
+            // The last target takes ownership: no clone on the common
+            // single-consumer hop.
+            self.route(last, batch);
         }
     }
 
     /// Force-closes all windowed state (the end of the *final* day) and
     /// drains the resulting outputs.
+    ///
+    /// Runs force-close passes to a fixed point: a stateful operator
+    /// downstream of another stateful operator only receives its upstream's
+    /// force-closed rows *after* that upstream's `finish` ran, and those
+    /// rows land in windows the (already final) watermark will never close
+    /// — so passes repeat until no operator emits anything new. Operator
+    /// `finish` is idempotent (it drains state), which bounds the loop by
+    /// the depth of the operator DAG.
     pub fn finish(&mut self) {
         self.run_until_quiescent();
-        let mut out_buf: Vec<Tuple> = Vec::new();
-        for id in self.network.node_ids() {
-            out_buf.clear();
-            {
-                let node = self.network.node_mut(id).expect("live node");
-                node.op.finish(&mut out_buf);
-                node.out_count += out_buf.len() as u64;
+        let mut out_bufs: Vec<TupleBatch> = Vec::new();
+        loop {
+            let mut any = false;
+            for id in self.network.node_ids() {
+                out_bufs.clear();
+                {
+                    let node = self.network.node_mut(id).expect("live node");
+                    node.op.finish(&mut out_bufs);
+                    node.out_count += out_bufs.iter().map(|b| b.len() as u64).sum::<u64>();
+                }
+                if !out_bufs.is_empty() {
+                    any = true;
+                }
+                self.dispatch(id, &mut out_bufs);
             }
-            self.dispatch(id, &mut out_buf);
+            self.run_until_quiescent();
+            if !any {
+                break;
+            }
         }
-        self.run_until_quiescent();
     }
 
     /// Takes (and clears) the collected outputs of a query.
     pub fn take_outputs(&mut self, cq: CqId) -> Vec<Tuple> {
-        self.outputs.get_mut(&cq).map(std::mem::take).unwrap_or_default()
+        self.outputs
+            .get_mut(&cq)
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Peeks at a query's collected outputs.
@@ -284,15 +481,24 @@ impl DsmsEngine {
         self.outputs.get(&cq).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// The current watermark (max event time pushed).
+    /// The current watermark (max event time *routed*). Tuples buffered by
+    /// [`DsmsEngine::push`] but not yet processed by
+    /// [`DsmsEngine::run_until_quiescent`] do not advance it.
     pub fn watermark(&self) -> u64 {
         self.watermark
     }
 
-    /// Total operator invocations so far (a machine-independent work
-    /// measure).
+    /// Total tuples processed by operators so far (a machine-independent
+    /// work measure).
     pub fn tuples_processed(&self) -> u64 {
         self.processed
+    }
+
+    /// Total operator `process_batch` invocations so far.
+    /// `tuples_processed / batches_processed` is the realized mean batch
+    /// size across the network.
+    pub fn batches_processed(&self) -> u64 {
+        self.batches
     }
 
     /// Ingestion statistics per stream.
@@ -342,6 +548,48 @@ mod tests {
         assert_eq!(out[0].ts, 1);
         assert_eq!(out[1].ts, 3);
         assert!(e.take_outputs(cq).is_empty(), "take drains");
+    }
+
+    #[test]
+    fn consecutive_pushes_coalesce_into_one_batch() {
+        let mut e = engine_with_quotes();
+        e.add_query(high_filter()).unwrap();
+        for i in 0..5 {
+            e.push("quotes", quote(i, "IBM", 120.0));
+        }
+        e.run_until_quiescent();
+        assert_eq!(e.tuples_processed(), 5);
+        assert_eq!(e.batches_processed(), 1, "one run of one stream, one batch");
+    }
+
+    #[test]
+    fn batch_size_cap_splits_ingestion_runs() {
+        let mut e = engine_with_quotes().with_max_batch_size(2);
+        e.add_query(high_filter()).unwrap();
+        e.push_rows("quotes", (0..5).map(|i| quote(i, "IBM", 120.0)).collect());
+        assert_eq!(e.tuples_processed(), 5);
+        assert_eq!(e.batches_processed(), 3, "5 rows capped at 2 → 2+2+1");
+    }
+
+    #[test]
+    fn batch_size_does_not_change_results() {
+        let tuples: Vec<Tuple> = (0..200)
+            .map(|i| {
+                quote(
+                    i,
+                    if i % 3 == 0 { "IBM" } else { "AAPL" },
+                    80.0 + (i % 50) as f64,
+                )
+            })
+            .collect();
+        let mut outputs = Vec::new();
+        for cap in [1usize, 7, 64, 1024] {
+            let mut e = engine_with_quotes().with_max_batch_size(cap);
+            let cq = e.add_query(high_filter()).unwrap();
+            e.push_rows("quotes", tuples.clone());
+            outputs.push(e.take_outputs(cq));
+        }
+        assert!(outputs.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]
@@ -457,6 +705,54 @@ mod tests {
     }
 
     #[test]
+    fn buffered_tuples_are_not_delivered_to_queries_added_later() {
+        // push() defers routing to the next run, but add_query's automatic
+        // mini-transition flushes the buffer against the *old* network
+        // before modifying it — a later query must never retroactively
+        // receive earlier tuples.
+        let mut e = engine_with_quotes();
+        let q1 = e.add_query(high_filter()).unwrap();
+        e.push("quotes", quote(1, "IBM", 120.0));
+        e.push("quotes", quote(2, "IBM", 130.0));
+        let q2 = e.add_query(high_filter()).unwrap();
+        e.push("quotes", quote(3, "IBM", 140.0));
+        e.run_until_quiescent();
+        assert_eq!(e.outputs(q1).len(), 3);
+        assert_eq!(
+            e.outputs(q2).iter().map(|t| t.ts).collect::<Vec<_>>(),
+            vec![3],
+            "q2 sees only tuples pushed after its registration"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown stream 'qotes'")]
+    fn push_to_unknown_stream_panics_with_registration_hint() {
+        let mut e = engine_with_quotes();
+        e.push("qotes", quote(1, "IBM", 120.0));
+    }
+
+    #[test]
+    fn finish_reaches_stacked_stateful_operators() {
+        // An aggregate over an aggregate: the outer one only receives rows
+        // when the inner one force-closes, so finish() must iterate to a
+        // fixed point instead of running one pass.
+        let mut e = engine_with_quotes();
+        let cq = e
+            .add_query(
+                LogicalPlan::source("quotes")
+                    .aggregate(None, AggFunc::Count, 0, 100)
+                    .aggregate(None, AggFunc::Max, 1, 1000),
+            )
+            .unwrap();
+        e.push_rows("quotes", (0..5).map(|i| quote(i * 10, "A", 1.0)).collect());
+        e.finish();
+        let out = e.take_outputs(cq);
+        assert_eq!(out.len(), 1, "the day's nested result must not be lost");
+        assert_eq!(out[0].values[1], Value::Int(5), "max of inner count");
+    }
+
+    #[test]
     fn stats_track_streams_and_work() {
         let mut e = engine_with_quotes();
         e.add_query(high_filter()).unwrap();
@@ -466,6 +762,45 @@ mod tests {
         assert_eq!(stats.min_ts, 0);
         assert_eq!(stats.max_ts, 4);
         assert_eq!(e.tuples_processed(), 5);
+    }
+
+    #[test]
+    fn push_rows_matches_push_batch_stats() {
+        let mut a = engine_with_quotes();
+        a.add_query(high_filter()).unwrap();
+        let mut b = engine_with_quotes();
+        b.add_query(high_filter()).unwrap();
+        let rows: Vec<Tuple> = (0..10).map(|i| quote(i + 3, "A", 120.0)).collect();
+        a.push_batch(rows.iter().cloned().map(|t| ("quotes".to_string(), t)));
+        b.push_rows("quotes", rows);
+        assert_eq!(
+            a.stream_stats()["quotes"].count,
+            b.stream_stats()["quotes"].count
+        );
+        assert_eq!(
+            a.stream_stats()["quotes"].min_ts,
+            b.stream_stats()["quotes"].min_ts
+        );
+        assert_eq!(
+            a.stream_stats()["quotes"].max_ts,
+            b.stream_stats()["quotes"].max_ts
+        );
+        assert_eq!(a.tuples_processed(), b.tuples_processed());
+    }
+
+    #[test]
+    fn timing_is_recorded_per_node() {
+        let mut e = engine_with_quotes();
+        let cq = e.add_query(high_filter()).unwrap();
+        e.push_rows("quotes", (0..100).map(|i| quote(i, "A", 120.0)).collect());
+        let node = e.network().query(cq).unwrap().nodes[0];
+        let node = e.network().node(node).unwrap();
+        assert_eq!(node.in_count, 100);
+        assert!(node.in_batches >= 1);
+        assert!(
+            node.busy > std::time::Duration::ZERO,
+            "busy time accumulates"
+        );
     }
 
     #[test]

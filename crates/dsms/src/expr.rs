@@ -182,7 +182,9 @@ impl Expr {
                 if e.infer_type(schema)? == DataType::Bool {
                     Ok(DataType::Bool)
                 } else {
-                    Err(ExprError::TypeMismatch("NOT operand must be boolean".into()))
+                    Err(ExprError::TypeMismatch(
+                        "NOT operand must be boolean".into(),
+                    ))
                 }
             }
         }
@@ -311,7 +313,10 @@ mod tests {
     }
 
     fn quote(sym: &str, price: f64, volume: i64) -> Tuple {
-        Tuple::new(0, vec![Value::str(sym), Value::Float(price), Value::Int(volume)])
+        Tuple::new(
+            0,
+            vec![Value::str(sym), Value::Float(price), Value::Int(volume)],
+        )
     }
 
     #[test]
@@ -342,11 +347,7 @@ mod tests {
 
     #[test]
     fn arithmetic_and_types() {
-        let notional = Expr::Arith(
-            ArithOp::Mul,
-            Box::new(Expr::col(1)),
-            Box::new(Expr::col(2)),
-        );
+        let notional = Expr::Arith(ArithOp::Mul, Box::new(Expr::col(1)), Box::new(Expr::col(2)));
         assert_eq!(notional.infer_type(&quote_schema()), Ok(DataType::Float));
         let v = notional.eval(&quote("A", 2.0, 10)).unwrap();
         assert_eq!(v, Value::Float(20.0));

@@ -6,23 +6,52 @@
 //! subnetworks are modified, and per-operator loads the system can
 //! approximate (§II). This crate *builds that substrate*:
 //!
-//! * [`types`] / [`expr`] — tuples, schemas, and a small expression language
-//!   (predicates are data, so structurally identical operators share).
+//! * [`types`] / [`expr`] — tuples, schemas, [`types::TupleBatch`], and a
+//!   small expression language (predicates are data, so structurally
+//!   identical operators share).
 //! * [`plan`] — logical continuous-query plans with canonical sharing
 //!   signatures.
 //! * [`ops`] — physical operators: filter, project, windowed symmetric hash
-//!   join, tumbling aggregates, union.
+//!   join, tumbling/sliding aggregates, union — all consuming and producing
+//!   tuple *batches*.
 //! * [`network`] — the shared query network: one operator per distinct
 //!   signature, reference-counted across queries.
-//! * [`engine`] — deterministic push execution with event-time watermarks,
-//!   connection points, and the end-of-day **transition phase**.
-//! * [`cost`] — measured operator load estimation, lowering a live network
-//!   into a `cqac_core` [`cqac_core::model::AuctionInstance`].
+//! * [`engine`] — deterministic batched push execution with event-time
+//!   watermarks, connection points, and the end-of-day **transition phase**.
+//! * [`cost`] — operator load estimation (analytic unit costs or measured
+//!   per-batch timings normalized per tuple), lowering a live network into
+//!   a `cqac_core` [`cqac_core::model::AuctionInstance`].
 //! * [`center`] — the for-profit DSMS center: daily auctions, admission
 //!   transitions, billing.
 //! * [`streams`] — deterministic synthetic stock-quote and news feeds.
 //!
-//! ## Example: shared processing end to end
+//! ## Batched execution model
+//!
+//! The engine's unit of work is the [`types::TupleBatch`]: a shared schema
+//! (`Arc<Schema>`) plus a vector of rows. Ingestion groups consecutive
+//! same-stream tuples into batches capped at the engine's **batch-size
+//! knob** ([`engine::DsmsEngine::set_max_batch_size`], default
+//! [`types::TupleBatch::DEFAULT_MAX_BATCH`]); node queues, operator calls,
+//! watermark propagation, and sink delivery all move whole batches. Because
+//! only *consecutive* tuples coalesce, global arrival order is preserved,
+//! and outputs are invariant under how the input was chunked — bit-identical
+//! sequences for single-input pipelines (filter/project/aggregate chains);
+//! for multi-port operators (join, union) the guarantee is multiset
+//! equality, since the interleaving of the two ports' arrivals at the node
+//! depends on where ingestion-call boundaries fall (exactly as it depended
+//! on push/run interleaving under per-tuple execution). Both halves are
+//! pinned by the scalar-vs-batched equivalence property in
+//! `tests/property_dsms.rs`. Setting the knob to `1` recovers per-tuple
+//! execution (the engine benchmark sweeps 1 vs 64 vs 1024 to track the
+//! batching win).
+//!
+//! Per-tuple [`engine::DsmsEngine::push`] survives as a thin wrapper that
+//! appends to the current one-stream ingestion batch;
+//! [`engine::DsmsEngine::push_batch`] (pairs) and
+//! [`engine::DsmsEngine::push_rows`] (one stream, many rows) are the
+//! primary ingestion paths.
+//!
+//! ## Example: shared batched processing end to end
 //!
 //! ```
 //! use cqac_dsms::engine::DsmsEngine;
@@ -31,7 +60,7 @@
 //! use cqac_dsms::streams::{quote_schema, StockStream};
 //! use cqac_dsms::types::Value;
 //!
-//! let mut engine = DsmsEngine::new();
+//! let mut engine = DsmsEngine::new().with_max_batch_size(256);
 //! engine.register_stream("quotes", quote_schema());
 //!
 //! // Two users register the same selection: one physical operator runs.
@@ -41,9 +70,13 @@
 //! let q2 = engine.add_query(plan).unwrap();
 //! assert_eq!(engine.network().num_nodes(), 1);
 //!
+//! // One-tuple `push` still works (it wraps the batched path)…
 //! let mut feed = StockStream::new(&["IBM", "AAPL"], 1, 42);
 //! engine.push_batch(feed.next_batch(100).into_iter().map(|t| ("quotes".into(), t)));
+//! // …and whole-batch ingestion is the fast path.
+//! engine.push_rows("quotes", feed.next_batch(100));
 //! assert_eq!(engine.outputs(q1), engine.outputs(q2));
+//! assert!(engine.batches_processed() < engine.tuples_processed());
 //! ```
 
 #![warn(missing_docs)]
@@ -63,4 +96,4 @@ pub use center::{DsmsCenter, Submission};
 pub use engine::DsmsEngine;
 pub use network::{CqId, NodeId, QueryNetwork};
 pub use plan::{AggFunc, LogicalPlan};
-pub use types::{DataType, Field, Schema, Tuple, Value};
+pub use types::{DataType, Field, Schema, Tuple, TupleBatch, Value};

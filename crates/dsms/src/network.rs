@@ -19,6 +19,8 @@ use crate::types::{DataType, Schema};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Identifies a continuous query registered in a network.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -79,8 +81,15 @@ pub struct Node {
     pub refcount: u32,
     /// Tuples consumed (all ports).
     pub in_count: u64,
+    /// Batches consumed (all ports); `in_count / in_batches` is the mean
+    /// batch size the operator actually saw.
+    pub in_batches: u64,
     /// Tuples produced.
     pub out_count: u64,
+    /// Cumulative wall-clock time spent inside `process_batch` — the
+    /// measured per-batch timing the cost model normalizes to per-tuple
+    /// load.
+    pub busy: Duration,
     /// Watermark already propagated to this node.
     pub last_watermark: u64,
 }
@@ -112,7 +121,7 @@ pub struct QueryInfo {
 /// The shared operator network (see module docs).
 #[derive(Default)]
 pub struct QueryNetwork {
-    streams: HashMap<String, Schema>,
+    streams: HashMap<String, Arc<Schema>>,
     nodes: Vec<Option<Node>>,
     by_signature: HashMap<String, NodeId>,
     source_subs: HashMap<String, Vec<Target>>,
@@ -132,7 +141,7 @@ impl fmt::Debug for QueryNetwork {
 
 impl StreamCatalog for QueryNetwork {
     fn stream_schema(&self, name: &str) -> Option<&Schema> {
-        self.streams.get(name)
+        self.streams.get(name).map(Arc::as_ref)
     }
 }
 
@@ -149,14 +158,21 @@ impl QueryNetwork {
         let name = name.into();
         match self.streams.get(&name) {
             Some(existing) => assert_eq!(
-                existing, &schema,
+                existing.as_ref(),
+                &schema,
                 "stream '{name}' re-registered with a different schema"
             ),
             None => {
-                self.streams.insert(name.clone(), schema);
+                self.streams.insert(name.clone(), Arc::new(schema));
                 self.source_subs.entry(name).or_default();
             }
         }
+    }
+
+    /// The shared schema handle of a registered stream (source batches
+    /// clone this `Arc` instead of copying the schema).
+    pub fn stream_schema_arc(&self, name: &str) -> Option<&Arc<Schema>> {
+        self.streams.get(name)
     }
 
     /// Live (non-removed) node count.
@@ -343,7 +359,9 @@ impl QueryNetwork {
             downstream: Vec::new(),
             refcount: 0,
             in_count: 0,
+            in_batches: 0,
             out_count: 0,
+            busy: Duration::ZERO,
             last_watermark: 0,
         }));
         id
@@ -420,8 +438,8 @@ impl QueryNetwork {
                 let child = self.instantiate(input, created)?;
                 let in_schema = input.output_schema(self)?;
                 let schema = plan.output_schema(self)?;
-                let int_input = *func != AggFunc::Count
-                    && in_schema.data_type(*column) == DataType::Int;
+                let int_input =
+                    *func != AggFunc::Count && in_schema.data_type(*column) == DataType::Int;
                 let id = self.new_node(
                     Box::new(AggregateOp::with_slide(
                         *group_by, *func, *column, *window_ms, *slide_ms, schema, int_input,
@@ -582,8 +600,8 @@ mod tests {
             ]),
         );
         let select_quotes = high_price_filter();
-        let select_news = LogicalPlan::source("news")
-            .filter(Expr::col(1).eq(Expr::lit(Value::str("earnings"))));
+        let select_news =
+            LogicalPlan::source("news").filter(Expr::col(1).eq(Expr::lit(Value::str("earnings"))));
         n.add_query(select_quotes.clone()).unwrap();
         n.add_query(select_quotes.clone().join(select_news, 0, 0, 1000))
             .unwrap();

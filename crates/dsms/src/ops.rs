@@ -1,15 +1,18 @@
-//! Physical operators: the push-based execution units of the query network.
+//! Physical operators: the batched push-based execution units of the query
+//! network.
 //!
-//! Every operator consumes one tuple at a time on a numbered input port and
-//! appends zero or more output tuples. Operators also expose an analytic
-//! **unit cost** — the abstract work per input tuple used by the cost model
-//! (`cost.rs`) to derive the auction loads `c_j`; join and aggregate are
+//! Every operator consumes a [`TupleBatch`] on a numbered input port and
+//! appends zero or more output batches — one `process_batch` call amortizes
+//! queueing, fan-out, and timing over the whole batch, which is what makes
+//! per-operator cost measurement (`cost.rs`) stable. Operators also expose
+//! an analytic **unit cost** — the abstract work per input tuple used by
+//! the cost model to derive the auction loads `c_j`; join and aggregate are
 //! costlier than stateless filters, matching the intuition of the paper's
 //! operator loads.
 
 use crate::expr::Expr;
 use crate::plan::AggFunc;
-use crate::types::{Schema, Tuple, Value};
+use crate::types::{Schema, Tuple, TupleBatch, Value};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -47,25 +50,29 @@ impl Key {
     }
 }
 
-/// A physical streaming operator.
+/// A physical streaming operator over tuple batches.
 pub trait Operator: std::fmt::Debug + Send {
-    /// Processes one input tuple arriving on `port`, appending outputs.
-    fn process(&mut self, port: usize, tuple: &Tuple, out: &mut Vec<Tuple>);
+    /// Processes one input batch arriving on `port`, appending output
+    /// batches. The batch is owned: pass-through operators forward rows
+    /// without copying, and stateful operators move rows into their state.
+    /// Semantics must equal processing the batch's rows one at a time in
+    /// order (the scalar-vs-batched equivalence property).
+    fn process_batch(&mut self, port: usize, batch: TupleBatch, out: &mut Vec<TupleBatch>);
 
     /// Emits whatever windowed state is ready to close given the current
     /// watermark (the maximum event time seen network-wide). Stateless
     /// operators do nothing.
-    fn advance_watermark(&mut self, watermark: u64, out: &mut Vec<Tuple>) {
+    fn advance_watermark(&mut self, watermark: u64, out: &mut Vec<TupleBatch>) {
         let _ = (watermark, out);
     }
 
     /// Force-emits all remaining state (end of the final subscription day).
-    fn finish(&mut self, out: &mut Vec<Tuple>) {
+    fn finish(&mut self, out: &mut Vec<TupleBatch>) {
         let _ = out;
     }
 
-    /// The operator's output schema.
-    fn output_schema(&self) -> &Schema;
+    /// The operator's output schema (shared; output batches clone the Arc).
+    fn output_schema(&self) -> &Arc<Schema>;
 
     /// Abstract work per input tuple (cost-model input).
     fn unit_cost(&self) -> f64;
@@ -80,25 +87,34 @@ pub trait Operator: std::fmt::Debug + Send {
 #[derive(Debug)]
 pub struct FilterOp {
     predicate: Expr,
-    schema: Schema,
+    schema: Arc<Schema>,
 }
 
 impl FilterOp {
     /// A filter with the given predicate; `schema` is the (pass-through)
     /// input schema.
     pub fn new(predicate: Expr, schema: Schema) -> Self {
-        Self { predicate, schema }
+        Self {
+            predicate,
+            schema: Arc::new(schema),
+        }
     }
 }
 
 impl Operator for FilterOp {
-    fn process(&mut self, _port: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
-        if self.predicate.matches(tuple) {
-            out.push(tuple.clone());
+    fn process_batch(&mut self, _port: usize, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
+        let mut kept = TupleBatch::with_capacity(self.schema.clone(), batch.len());
+        for tuple in batch.into_rows() {
+            if self.predicate.matches(&tuple) {
+                kept.push(tuple); // moved, not cloned
+            }
+        }
+        if !kept.is_empty() {
+            out.push(kept);
         }
     }
 
-    fn output_schema(&self) -> &Schema {
+    fn output_schema(&self) -> &Arc<Schema> {
         &self.schema
     }
 
@@ -111,29 +127,38 @@ impl Operator for FilterOp {
 #[derive(Debug)]
 pub struct ProjectOp {
     exprs: Vec<Expr>,
-    schema: Schema,
+    schema: Arc<Schema>,
 }
 
 impl ProjectOp {
     /// A projection computing `exprs` into the given output schema.
     pub fn new(exprs: Vec<Expr>, schema: Schema) -> Self {
-        Self { exprs, schema }
+        Self {
+            exprs,
+            schema: Arc::new(schema),
+        }
     }
 }
 
 impl Operator for ProjectOp {
-    fn process(&mut self, _port: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
-        let mut values = Vec::with_capacity(self.exprs.len());
-        for e in &self.exprs {
-            match e.eval(tuple) {
-                Ok(v) => values.push(v),
-                Err(_) => return, // drop malformed tuples
+    fn process_batch(&mut self, _port: usize, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
+        let mut mapped = TupleBatch::with_capacity(self.schema.clone(), batch.len());
+        'rows: for tuple in batch.iter() {
+            let mut values = Vec::with_capacity(self.exprs.len());
+            for e in &self.exprs {
+                match e.eval(tuple) {
+                    Ok(v) => values.push(v),
+                    Err(_) => continue 'rows, // drop malformed tuples
+                }
             }
+            mapped.push(Tuple::new(tuple.ts, values));
         }
-        out.push(Tuple::new(tuple.ts, values));
+        if !mapped.is_empty() {
+            out.push(mapped);
+        }
     }
 
-    fn output_schema(&self) -> &Schema {
+    fn output_schema(&self) -> &Arc<Schema> {
         &self.schema
     }
 
@@ -144,16 +169,17 @@ impl Operator for ProjectOp {
 
 /// Windowed symmetric hash equi-join.
 ///
-/// Keeps a per-key FIFO of recent tuples on each side; a new tuple probes
-/// the opposite side for partners within `window_ms` of event time and
-/// appends `left ++ right` outputs. State is evicted lazily as the
-/// watermark advances past `ts + window_ms`.
+/// Keeps a per-key FIFO of recent tuples on each side; each tuple of an
+/// arriving batch probes the opposite side for partners within `window_ms`
+/// of event time and appends `left ++ right` outputs (one output batch per
+/// input batch). State is evicted lazily as the watermark advances past
+/// `ts + window_ms`.
 #[derive(Debug)]
 pub struct JoinOp {
     left_key: usize,
     right_key: usize,
     window_ms: u64,
-    schema: Schema,
+    schema: Arc<Schema>,
     left_state: HashMap<Key, VecDeque<Tuple>>,
     right_state: HashMap<Key, VecDeque<Tuple>>,
     state_len: usize,
@@ -167,14 +193,14 @@ impl JoinOp {
             left_key,
             right_key,
             window_ms,
-            schema,
+            schema: Arc::new(schema),
             left_state: HashMap::new(),
             right_state: HashMap::new(),
             state_len: 0,
         }
     }
 
-    fn emit_match(left: &Tuple, right: &Tuple, out: &mut Vec<Tuple>) {
+    fn emit_match(left: &Tuple, right: &Tuple, out: &mut TupleBatch) {
         let mut values = left.values.clone();
         values.extend(right.values.iter().cloned());
         out.push(Tuple::new(left.ts.max(right.ts), values));
@@ -182,32 +208,43 @@ impl JoinOp {
 }
 
 impl Operator for JoinOp {
-    fn process(&mut self, port: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
-        let (key_col, own_state, other_state, is_left) = match port {
-            0 => (self.left_key, &mut self.left_state, &self.right_state, true),
-            _ => (self.right_key, &mut self.right_state, &self.left_state, false),
-        };
-        let Some(key) = Key::from_value(tuple.value(key_col)) else {
-            return;
-        };
-        // Probe the opposite side.
-        if let Some(partners) = other_state.get(&key) {
-            for partner in partners {
-                if tuple.ts.abs_diff(partner.ts) <= self.window_ms {
-                    if is_left {
-                        Self::emit_match(tuple, partner, out);
-                    } else {
-                        Self::emit_match(partner, tuple, out);
+    fn process_batch(&mut self, port: usize, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
+        let mut matches = TupleBatch::new(self.schema.clone());
+        for tuple in batch.into_rows() {
+            let (key_col, own_state, other_state, is_left) = match port {
+                0 => (self.left_key, &mut self.left_state, &self.right_state, true),
+                _ => (
+                    self.right_key,
+                    &mut self.right_state,
+                    &self.left_state,
+                    false,
+                ),
+            };
+            let Some(key) = Key::from_value(tuple.value(key_col)) else {
+                continue;
+            };
+            // Probe the opposite side.
+            if let Some(partners) = other_state.get(&key) {
+                for partner in partners {
+                    if tuple.ts.abs_diff(partner.ts) <= self.window_ms {
+                        if is_left {
+                            Self::emit_match(&tuple, partner, &mut matches);
+                        } else {
+                            Self::emit_match(partner, &tuple, &mut matches);
+                        }
                     }
                 }
             }
+            // Move into own side (the batch is owned, so no clone).
+            own_state.entry(key).or_default().push_back(tuple);
+            self.state_len += 1;
         }
-        // Insert into own side.
-        own_state.entry(key).or_default().push_back(tuple.clone());
-        self.state_len += 1;
+        if !matches.is_empty() {
+            out.push(matches);
+        }
     }
 
-    fn advance_watermark(&mut self, watermark: u64, _out: &mut Vec<Tuple>) {
+    fn advance_watermark(&mut self, watermark: u64, _out: &mut Vec<TupleBatch>) {
         let horizon = watermark.saturating_sub(self.window_ms);
         let mut evicted = 0usize;
         for state in [&mut self.left_state, &mut self.right_state] {
@@ -222,7 +259,7 @@ impl Operator for JoinOp {
         self.state_len -= evicted;
     }
 
-    fn output_schema(&self) -> &Schema {
+    fn output_schema(&self) -> &Arc<Schema> {
         &self.schema
     }
 
@@ -303,7 +340,7 @@ pub struct AggregateOp {
     column: usize,
     window_ms: u64,
     slide_ms: u64,
-    schema: Schema,
+    schema: Arc<Schema>,
     int_input: bool,
     /// (window_start, group) → running state.
     state: HashMap<(u64, Option<Key>), AggState>,
@@ -321,7 +358,9 @@ impl AggregateOp {
         schema: Schema,
         int_input: bool,
     ) -> Self {
-        Self::with_slide(group_by, func, column, window_ms, window_ms, schema, int_input)
+        Self::with_slide(
+            group_by, func, column, window_ms, window_ms, schema, int_input,
+        )
     }
 
     /// A sliding aggregate (`slide_ms < window_ms` overlaps windows).
@@ -343,49 +382,13 @@ impl AggregateOp {
             column,
             window_ms,
             slide_ms,
-            schema,
+            schema: Arc::new(schema),
             int_input,
             state: HashMap::new(),
         }
     }
 
-    fn emit_window(
-        &self,
-        (start, group): &(u64, Option<Key>),
-        state: &AggState,
-        out: &mut Vec<Tuple>,
-    ) {
-        let end = start + self.window_ms;
-        let mut values = vec![Value::Int(end as i64)];
-        if let Some(k) = group {
-            values.push(k.to_value());
-        }
-        values.push(state.result(self.func, self.int_input));
-        out.push(Tuple::new(end, values));
-    }
-
-    fn emit_closed(&mut self, watermark: u64, out: &mut Vec<Tuple>) {
-        let window_ms = self.window_ms;
-        let mut ready: Vec<((u64, Option<Key>), AggState)> = Vec::new();
-        self.state.retain(|key, state| {
-            if key.0 + window_ms <= watermark {
-                ready.push((key.clone(), state.clone()));
-                false
-            } else {
-                true
-            }
-        });
-        // Deterministic emission order: by window start, then group key.
-        ready.sort_by(|a, b| a.0 .0.cmp(&b.0 .0).then_with(|| format!("{:?}", a.0 .1).cmp(&format!("{:?}", b.0 .1))));
-        for (key, state) in ready {
-            self.emit_window(&key, &state, out);
-        }
-    }
-}
-
-impl Operator for AggregateOp {
-    fn process(&mut self, _port: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
-        let _ = out;
+    fn absorb(&mut self, tuple: &Tuple) {
         let group = match self.group_by {
             Some(col) => match Key::from_value(tuple.value(col)) {
                 Some(k) => Some(k),
@@ -425,15 +428,65 @@ impl Operator for AggregateOp {
         }
     }
 
-    fn advance_watermark(&mut self, watermark: u64, out: &mut Vec<Tuple>) {
+    fn emit_window(
+        &self,
+        (start, group): &(u64, Option<Key>),
+        state: &AggState,
+        out: &mut TupleBatch,
+    ) {
+        let end = start + self.window_ms;
+        let mut values = vec![Value::Int(end as i64)];
+        if let Some(k) = group {
+            values.push(k.to_value());
+        }
+        values.push(state.result(self.func, self.int_input));
+        out.push(Tuple::new(end, values));
+    }
+
+    fn emit_closed(&mut self, watermark: u64, out: &mut Vec<TupleBatch>) {
+        let window_ms = self.window_ms;
+        let mut ready: Vec<((u64, Option<Key>), AggState)> = Vec::new();
+        self.state.retain(|key, state| {
+            if key.0 + window_ms <= watermark {
+                ready.push((key.clone(), state.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        if ready.is_empty() {
+            return;
+        }
+        // Deterministic emission order: by window start, then group key.
+        ready.sort_by(|a, b| {
+            a.0 .0
+                .cmp(&b.0 .0)
+                .then_with(|| format!("{:?}", a.0 .1).cmp(&format!("{:?}", b.0 .1)))
+        });
+        let mut closed = TupleBatch::with_capacity(self.schema.clone(), ready.len());
+        for (key, state) in ready {
+            self.emit_window(&key, &state, &mut closed);
+        }
+        out.push(closed);
+    }
+}
+
+impl Operator for AggregateOp {
+    fn process_batch(&mut self, _port: usize, batch: TupleBatch, _out: &mut Vec<TupleBatch>) {
+        for tuple in batch.iter() {
+            self.absorb(tuple);
+        }
+    }
+
+    fn advance_watermark(&mut self, watermark: u64, out: &mut Vec<TupleBatch>) {
         self.emit_closed(watermark, out);
     }
 
-    fn finish(&mut self, out: &mut Vec<Tuple>) {
+    fn finish(&mut self, out: &mut Vec<TupleBatch>) {
         self.emit_closed(u64::MAX, out);
     }
 
-    fn output_schema(&self) -> &Schema {
+    fn output_schema(&self) -> &Arc<Schema> {
         &self.schema
     }
 
@@ -449,22 +502,30 @@ impl Operator for AggregateOp {
 /// Union of two schema-identical inputs.
 #[derive(Debug)]
 pub struct UnionOp {
-    schema: Schema,
+    schema: Arc<Schema>,
 }
 
 impl UnionOp {
     /// A union with the common schema.
     pub fn new(schema: Schema) -> Self {
-        Self { schema }
+        Self {
+            schema: Arc::new(schema),
+        }
     }
 }
 
 impl Operator for UnionOp {
-    fn process(&mut self, _port: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
-        out.push(tuple.clone());
+    fn process_batch(&mut self, _port: usize, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
+        if !batch.is_empty() {
+            // Re-own the rows under the union's schema handle: zero copies.
+            out.push(TupleBatch::from_rows(
+                self.schema.clone(),
+                batch.into_rows(),
+            ));
+        }
     }
 
-    fn output_schema(&self) -> &Schema {
+    fn output_schema(&self) -> &Arc<Schema> {
         &self.schema
     }
 
@@ -489,6 +550,16 @@ mod tests {
         Tuple::new(ts, vec![Value::str(sym), Value::Float(price)])
     }
 
+    /// One single-row batch over the quote schema.
+    fn qbatch(rows: Vec<Tuple>) -> TupleBatch {
+        TupleBatch::from_rows(Arc::new(quote_schema()), rows)
+    }
+
+    /// Flattens the emitted batches into rows, for assertions.
+    fn rows_of(out: &[TupleBatch]) -> Vec<Tuple> {
+        out.iter().flat_map(|b| b.rows().iter().cloned()).collect()
+    }
+
     #[test]
     fn filter_selects() {
         let mut f = FilterOp::new(
@@ -496,10 +567,18 @@ mod tests {
             quote_schema(),
         );
         let mut out = Vec::new();
-        f.process(0, &quote(1, "IBM", 120.0), &mut out);
-        f.process(0, &quote(2, "IBM", 80.0), &mut out);
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].ts, 1);
+        f.process_batch(
+            0,
+            qbatch(vec![quote(1, "IBM", 120.0), quote(2, "IBM", 80.0)]),
+            &mut out,
+        );
+        let rows = rows_of(&out);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].ts, 1);
+        // An all-rejected batch emits nothing at all.
+        out.clear();
+        f.process_batch(0, qbatch(vec![quote(3, "IBM", 10.0)]), &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]
@@ -509,8 +588,8 @@ mod tests {
             Schema::new(vec![Field::new("symbol", DataType::Str)]),
         );
         let mut out = Vec::new();
-        p.process(0, &quote(5, "IBM", 1.0), &mut out);
-        assert_eq!(out, vec![Tuple::new(5, vec![Value::str("IBM")])]);
+        p.process_batch(0, qbatch(vec![quote(5, "IBM", 1.0)]), &mut out);
+        assert_eq!(rows_of(&out), vec![Tuple::new(5, vec![Value::str("IBM")])]);
     }
 
     #[test]
@@ -520,27 +599,51 @@ mod tests {
             Field::new("symbol", DataType::Str),
             Field::new("headline", DataType::Str),
         ]);
+        let nbatch = |rows: Vec<Tuple>| TupleBatch::from_rows(Arc::new(news_schema.clone()), rows);
         let schema = quote_schema().join(&news_schema);
         let mut j = JoinOp::new(0, 0, 10, schema);
         let mut out = Vec::new();
-        j.process(0, &quote(100, "IBM", 120.0), &mut out);
+        j.process_batch(0, qbatch(vec![quote(100, "IBM", 120.0)]), &mut out);
         assert!(out.is_empty());
         let news = Tuple::new(105, vec![Value::str("IBM"), Value::str("up")]);
-        j.process(1, &news, &mut out);
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].values.len(), 4);
-        assert_eq!(out[0].ts, 105);
+        j.process_batch(1, nbatch(vec![news]), &mut out);
+        let rows = rows_of(&out);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values.len(), 4);
+        assert_eq!(rows[0].ts, 105);
         // Outside the window: no match.
         let stale = Tuple::new(200, vec![Value::str("IBM"), Value::str("old")]);
         out.clear();
-        j.process(1, &stale, &mut out);
+        j.process_batch(1, nbatch(vec![stale]), &mut out);
         assert!(out.is_empty());
         // Different key: no match.
         let other = Tuple::new(101, vec![Value::str("AAPL"), Value::str("x")]);
         out.clear();
-        j.process(1, &other, &mut out);
+        j.process_batch(1, nbatch(vec![other]), &mut out);
         assert!(out.is_empty());
         assert_eq!(j.state_size(), 4);
+    }
+
+    #[test]
+    fn join_within_one_batch_matches_earlier_rows() {
+        // Both sides of a match arriving in the same batch must still join
+        // (batched processing ≡ row-at-a-time processing).
+        let schema = quote_schema().join(&quote_schema());
+        let mut j = JoinOp::new(0, 0, 50, schema);
+        let mut out = Vec::new();
+        j.process_batch(
+            0,
+            qbatch(vec![quote(1, "A", 1.0), quote(2, "A", 2.0)]),
+            &mut out,
+        );
+        assert!(out.is_empty(), "left rows alone cannot match");
+        j.process_batch(
+            1,
+            qbatch(vec![quote(3, "A", 3.0), quote(4, "B", 4.0)]),
+            &mut out,
+        );
+        let rows = rows_of(&out);
+        assert_eq!(rows.len(), 2, "the A probe matches both stored A rows");
     }
 
     #[test]
@@ -548,14 +651,17 @@ mod tests {
         let schema = quote_schema().join(&quote_schema());
         let mut j = JoinOp::new(0, 0, 10, schema);
         let mut out = Vec::new();
-        j.process(0, &quote(100, "IBM", 1.0), &mut out);
-        j.process(0, &quote(200, "IBM", 2.0), &mut out);
+        j.process_batch(
+            0,
+            qbatch(vec![quote(100, "IBM", 1.0), quote(200, "IBM", 2.0)]),
+            &mut out,
+        );
         assert_eq!(j.state_size(), 2);
         j.advance_watermark(150, &mut out);
         assert_eq!(j.state_size(), 1, "the ts=100 tuple must be evicted");
         // The surviving tuple still joins.
-        j.process(1, &quote(205, "IBM", 3.0), &mut out);
-        assert_eq!(out.len(), 1);
+        j.process_batch(1, qbatch(vec![quote(205, "IBM", 3.0)]), &mut out);
+        assert_eq!(rows_of(&out).len(), 1);
     }
 
     #[test]
@@ -563,18 +669,19 @@ mod tests {
         let schema = quote_schema().join(&quote_schema());
         let mut j = JoinOp::new(0, 0, 50, schema.clone());
         let mut out_lr = Vec::new();
-        j.process(0, &quote(1, "A", 1.0), &mut out_lr);
-        j.process(1, &quote(2, "A", 2.0), &mut out_lr);
+        j.process_batch(0, qbatch(vec![quote(1, "A", 1.0)]), &mut out_lr);
+        j.process_batch(1, qbatch(vec![quote(2, "A", 2.0)]), &mut out_lr);
 
         let mut j2 = JoinOp::new(0, 0, 50, schema);
         let mut out_rl = Vec::new();
-        j2.process(1, &quote(2, "A", 2.0), &mut out_rl);
-        j2.process(0, &quote(1, "A", 1.0), &mut out_rl);
+        j2.process_batch(1, qbatch(vec![quote(2, "A", 2.0)]), &mut out_rl);
+        j2.process_batch(0, qbatch(vec![quote(1, "A", 1.0)]), &mut out_rl);
 
-        assert_eq!(out_lr, out_rl, "arrival order must not change results");
+        let (lr, rl) = (rows_of(&out_lr), rows_of(&out_rl));
+        assert_eq!(lr, rl, "arrival order must not change results");
         // Left columns always precede right columns.
-        assert_eq!(out_lr[0].values[1], Value::Float(1.0));
-        assert_eq!(out_lr[0].values[3], Value::Float(2.0));
+        assert_eq!(lr[0].values[1], Value::Float(1.0));
+        assert_eq!(lr[0].values[3], Value::Float(2.0));
     }
 
     #[test]
@@ -586,19 +693,27 @@ mod tests {
         ]);
         let mut a = AggregateOp::new(Some(0), AggFunc::Count, 0, 100, schema, true);
         let mut out = Vec::new();
-        a.process(0, &quote(10, "IBM", 1.0), &mut out);
-        a.process(0, &quote(20, "IBM", 1.0), &mut out);
-        a.process(0, &quote(30, "AAPL", 1.0), &mut out);
-        a.process(0, &quote(110, "IBM", 1.0), &mut out); // next window
+        a.process_batch(
+            0,
+            qbatch(vec![
+                quote(10, "IBM", 1.0),
+                quote(20, "IBM", 1.0),
+                quote(30, "AAPL", 1.0),
+                quote(110, "IBM", 1.0), // next window
+            ]),
+            &mut out,
+        );
         assert!(out.is_empty(), "nothing closes before the watermark");
         a.advance_watermark(100, &mut out);
-        assert_eq!(out.len(), 2); // IBM=2, AAPL=1 for window [0,100)
-        let counts: Vec<i64> = out.iter().map(|t| t.values[2].as_int().unwrap()).collect();
+        let rows = rows_of(&out);
+        assert_eq!(rows.len(), 2); // IBM=2, AAPL=1 for window [0,100)
+        let counts: Vec<i64> = rows.iter().map(|t| t.values[2].as_int().unwrap()).collect();
         assert_eq!(counts.iter().sum::<i64>(), 3);
         out.clear();
         a.finish(&mut out);
-        assert_eq!(out.len(), 1); // the [100,200) window force-closed
-        assert_eq!(out[0].values[2], Value::Int(1));
+        let rows = rows_of(&out);
+        assert_eq!(rows.len(), 1); // the [100,200) window force-closed
+        assert_eq!(rows[0].values[2], Value::Int(1));
     }
 
     #[test]
@@ -609,26 +724,32 @@ mod tests {
         ]);
         let mut a = AggregateOp::new(None, AggFunc::Avg, 1, 100, schema.clone(), false);
         let mut out = Vec::new();
-        a.process(0, &quote(10, "X", 10.0), &mut out);
-        a.process(0, &quote(20, "X", 20.0), &mut out);
+        a.process_batch(
+            0,
+            qbatch(vec![quote(10, "X", 10.0), quote(20, "X", 20.0)]),
+            &mut out,
+        );
         a.advance_watermark(100, &mut out);
-        assert_eq!(out[0].values[1], Value::Float(15.0));
+        assert_eq!(rows_of(&out)[0].values[1], Value::Float(15.0));
 
         let mut mx = AggregateOp::new(None, AggFunc::Max, 1, 100, schema, false);
         out.clear();
-        mx.process(0, &quote(10, "X", 10.0), &mut out);
-        mx.process(0, &quote(20, "X", 20.0), &mut out);
+        mx.process_batch(
+            0,
+            qbatch(vec![quote(10, "X", 10.0), quote(20, "X", 20.0)]),
+            &mut out,
+        );
         mx.finish(&mut out);
-        assert_eq!(out[0].values[1], Value::Float(20.0));
+        assert_eq!(rows_of(&out)[0].values[1], Value::Float(20.0));
     }
 
     #[test]
     fn union_passes_everything() {
         let mut u = UnionOp::new(quote_schema());
         let mut out = Vec::new();
-        u.process(0, &quote(1, "A", 1.0), &mut out);
-        u.process(1, &quote(2, "B", 2.0), &mut out);
-        assert_eq!(out.len(), 2);
+        u.process_batch(0, qbatch(vec![quote(1, "A", 1.0)]), &mut out);
+        u.process_batch(1, qbatch(vec![quote(2, "B", 2.0)]), &mut out);
+        assert_eq!(rows_of(&out).len(), 2);
     }
 
     #[test]

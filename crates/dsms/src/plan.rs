@@ -184,7 +184,13 @@ impl LogicalPlan {
     }
 
     /// Convenience constructor: windowed equi-join of `self` with `right`.
-    pub fn join(self, right: LogicalPlan, left_key: usize, right_key: usize, window_ms: u64) -> Self {
+    pub fn join(
+        self,
+        right: LogicalPlan,
+        left_key: usize,
+        right_key: usize,
+        window_ms: u64,
+    ) -> Self {
         LogicalPlan::Join {
             left: Box::new(self),
             right: Box::new(right),
@@ -341,14 +347,20 @@ impl LogicalPlan {
                 }
                 let ls = left.output_schema(catalog)?;
                 let rs = right.output_schema(catalog)?;
-                let lk = ls.fields.get(*left_key).ok_or(PlanError::ColumnOutOfRange {
-                    context: "join left key",
-                    index: *left_key,
-                })?;
-                let rk = rs.fields.get(*right_key).ok_or(PlanError::ColumnOutOfRange {
-                    context: "join right key",
-                    index: *right_key,
-                })?;
+                let lk = ls
+                    .fields
+                    .get(*left_key)
+                    .ok_or(PlanError::ColumnOutOfRange {
+                        context: "join left key",
+                        index: *left_key,
+                    })?;
+                let rk = rs
+                    .fields
+                    .get(*right_key)
+                    .ok_or(PlanError::ColumnOutOfRange {
+                        context: "join right key",
+                        index: *right_key,
+                    })?;
                 for key_type in [lk.data_type, rk.data_type] {
                     if key_type == DataType::Float {
                         return Err(PlanError::UnhashableJoinKey(key_type));
@@ -393,10 +405,13 @@ impl LogicalPlan {
                 let in_type = if *func == AggFunc::Count {
                     DataType::Int
                 } else {
-                    let cf = schema.fields.get(*column).ok_or(PlanError::ColumnOutOfRange {
-                        context: "aggregate column",
-                        index: *column,
-                    })?;
+                    let cf = schema
+                        .fields
+                        .get(*column)
+                        .ok_or(PlanError::ColumnOutOfRange {
+                            context: "aggregate column",
+                            index: *column,
+                        })?;
                     if !matches!(cf.data_type, DataType::Int | DataType::Float) {
                         return Err(PlanError::Expr(format!(
                             "cannot aggregate non-numeric column {:?}",
@@ -481,34 +496,35 @@ mod tests {
     fn paper_example_plan() -> LogicalPlan {
         // §II: select high-value transactions, select publicly-traded news,
         // join on the company name.
-        let high_value = LogicalPlan::source("quotes")
-            .filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))));
-        let relevant_news = LogicalPlan::source("news")
-            .filter(Expr::col(1).eq(Expr::lit(Value::str("earnings"))));
+        let high_value =
+            LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))));
+        let relevant_news =
+            LogicalPlan::source("news").filter(Expr::col(1).eq(Expr::lit(Value::str("earnings"))));
         high_value.join(relevant_news, 0, 0, 1000)
     }
 
     #[test]
     fn identical_plans_share_signatures() {
-        assert_eq!(paper_example_plan().signature(), paper_example_plan().signature());
+        assert_eq!(
+            paper_example_plan().signature(),
+            paper_example_plan().signature()
+        );
     }
 
     #[test]
     fn different_parameters_split_signatures() {
-        let a = LogicalPlan::source("quotes")
-            .filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))));
-        let b = LogicalPlan::source("quotes")
-            .filter(Expr::col(1).gt(Expr::lit(Value::Float(200.0))));
+        let a =
+            LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))));
+        let b =
+            LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(200.0))));
         assert_ne!(a.signature(), b.signature());
     }
 
     #[test]
     fn shared_subplan_signature_is_embedded() {
-        let select = LogicalPlan::source("quotes")
-            .filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))));
-        let agg = select
-            .clone()
-            .aggregate(Some(0), AggFunc::Avg, 1, 60_000);
+        let select =
+            LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))));
+        let agg = select.clone().aggregate(Some(0), AggFunc::Avg, 1, 60_000);
         assert!(agg.signature().contains(&select.signature()));
     }
 
@@ -552,7 +568,10 @@ mod tests {
         let ok = LogicalPlan::source("quotes").union(LogicalPlan::source("quotes"));
         assert!(ok.output_schema(&catalog()).is_ok());
         let bad = LogicalPlan::source("quotes").union(LogicalPlan::source("news"));
-        assert_eq!(bad.output_schema(&catalog()), Err(PlanError::UnionSchemaMismatch));
+        assert_eq!(
+            bad.output_schema(&catalog()),
+            Err(PlanError::UnionSchemaMismatch)
+        );
     }
 
     #[test]
@@ -566,6 +585,9 @@ mod tests {
     #[test]
     fn input_streams_collects_unique_sorted() {
         let plan = paper_example_plan();
-        assert_eq!(plan.input_streams(), vec!["news".to_string(), "quotes".to_string()]);
+        assert_eq!(
+            plan.input_streams(),
+            vec!["news".to_string(), "quotes".to_string()]
+        );
     }
 }

@@ -7,7 +7,7 @@
 //! admission-control experiments is the *rate* and *selectivity* profile,
 //! both of which are controlled here.
 
-use crate::types::{DataType, Field, Schema, Tuple, Value};
+use crate::types::{DataType, Field, Schema, Tuple, TupleBatch, Value};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
@@ -90,6 +90,12 @@ impl StockStream {
         }
         out
     }
+
+    /// Generates the next `count` quotes directly as a [`TupleBatch`]
+    /// (ready for [`crate::engine::DsmsEngine::push_rows`]-style ingestion).
+    pub fn next_tuple_batch(&mut self, count: usize) -> TupleBatch {
+        TupleBatch::from_rows(Arc::new(quote_schema()), self.next_batch(count))
+    }
 }
 
 /// A deterministic news-story generator over the same symbol universe.
@@ -133,6 +139,11 @@ impl NewsStream {
         }
         out
     }
+
+    /// Generates the next `count` stories directly as a [`TupleBatch`].
+    pub fn next_tuple_batch(&mut self, count: usize) -> TupleBatch {
+        TupleBatch::from_rows(Arc::new(news_schema()), self.next_batch(count))
+    }
 }
 
 #[cfg(test)]
@@ -161,7 +172,10 @@ mod tests {
     fn timestamps_advance_by_interval() {
         let mut g = StockStream::new(&["IBM"], 10, 0);
         let batch = g.next_batch(3);
-        assert_eq!(batch.iter().map(|t| t.ts).collect::<Vec<_>>(), vec![0, 10, 20]);
+        assert_eq!(
+            batch.iter().map(|t| t.ts).collect::<Vec<_>>(),
+            vec![0, 10, 20]
+        );
         let next = g.next_batch(1);
         assert_eq!(next[0].ts, 30);
     }

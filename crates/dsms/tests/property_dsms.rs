@@ -49,9 +49,7 @@ fn quote_stream(max_len: usize) -> impl Strategy<Value = Vec<Tuple>> {
     proptest::collection::vec((0u64..500, 0usize..3, 1u32..30_000), 1..max_len).prop_map(
         |mut raw| {
             raw.sort_by_key(|(ts, _, _)| *ts);
-            raw.into_iter()
-                .map(|(ts, s, p)| quote(ts, s, p))
-                .collect()
+            raw.into_iter().map(|(ts, s, p)| quote(ts, s, p)).collect()
         },
     )
 }
@@ -315,6 +313,126 @@ proptest! {
     }
 }
 
+/// Builds the plan under test for the scalar-vs-batched property: `kind`
+/// selects the operator shape, the remaining parameters its knobs. Every
+/// operator of the engine is covered (filter, project, windowed join,
+/// tumbling aggregate, sliding aggregate, union).
+fn equivalence_plan(kind: usize, thresh: u32, window: u64, slide: u64) -> LogicalPlan {
+    let t = f64::from(thresh) / 100.0;
+    let high = LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(t))));
+    match kind % 6 {
+        0 => high,
+        1 => LogicalPlan::source("quotes").project(vec![
+            ("symbol".to_string(), Expr::col(0)),
+            (
+                "doubled".to_string(),
+                Expr::Arith(
+                    cqac_dsms::expr::ArithOp::Add,
+                    Box::new(Expr::col(1)),
+                    Box::new(Expr::col(1)),
+                ),
+            ),
+        ]),
+        2 => high.join(LogicalPlan::source("news"), 0, 0, window),
+        3 => LogicalPlan::source("quotes").aggregate(Some(0), AggFunc::Count, 0, window),
+        4 => {
+            let slide = slide.min(window);
+            LogicalPlan::source("quotes").sliding_aggregate(None, AggFunc::Avg, 1, window, slide)
+        }
+        _ => LogicalPlan::source("quotes").union(high),
+    }
+}
+
+/// Runs `plan` (registered twice, so sharing is exercised) over `feed`
+/// delivered in `chunk`-sized `push_batch` calls on an engine capped at
+/// `max_batch` rows per batch. Returns both queries' outputs after
+/// `finish()`.
+fn run_chunked(
+    plan: &LogicalPlan,
+    feed: &[(String, Tuple)],
+    chunk: usize,
+    max_batch: usize,
+) -> (Vec<Tuple>, Vec<Tuple>) {
+    let mut e = engine();
+    e.set_max_batch_size(max_batch);
+    let q1 = e.add_query(plan.clone()).unwrap();
+    let q2 = e.add_query(plan.clone()).unwrap();
+    for slice in feed.chunks(chunk.max(1)) {
+        e.push_batch(slice.iter().cloned());
+    }
+    e.finish();
+    (e.take_outputs(q1), e.take_outputs(q2))
+}
+
+/// Canonicalizes outputs for cross-chunking comparison. Single-input
+/// pipelines (filter, project, aggregates) guarantee *sequence* equality
+/// across chunkings, so they pass through untouched. Multi-port operators
+/// (join, union) receive one port straight from a stream's connection point
+/// and the other from an upstream operator: how those two arrival orders
+/// interleave at the node depends on where ingestion-call boundaries fall
+/// (exactly as it did under per-tuple execution, where it depended on the
+/// push/run interleaving), so their guarantee is *multiset* equality and we
+/// compare order-canonicalized sequences.
+fn canonical(kind: usize, mut outputs: Vec<Tuple>) -> Vec<Tuple> {
+    if matches!(kind % 6, 2 | 5) {
+        outputs.sort_by_key(|t| (t.ts, format!("{:?}", t.values)));
+    }
+    outputs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// **Scalar vs. batched equivalence** — the tentpole property of the
+    /// batched execution refactor: for random plans over every operator and
+    /// a random (event-time-sorted) feed, per-query outputs are identical
+    /// regardless of how the input is chunked (1, 7, 64, 1024 tuples per
+    /// ingestion call) and of the engine's batch-size cap (including cap 1,
+    /// which degrades to per-tuple execution). See [`canonical`] for the
+    /// exact order guarantee per plan shape.
+    #[test]
+    fn scalar_vs_batched_equivalence(
+        quotes in quote_stream(60),
+        raw_news in proptest::collection::vec((0u64..500, 0usize..3, 0u8..4), 1..30),
+        kind in 0usize..6,
+        thresh in 1u32..30_000,
+        window in 1u64..100,
+        slide in 1u64..50,
+    ) {
+        let plan = equivalence_plan(kind, thresh, window, slide);
+        let mut news_tuples: Vec<Tuple> =
+            raw_news.into_iter().map(|(ts, s, t)| news(ts, s, t)).collect();
+        news_tuples.sort_by_key(|t| t.ts);
+        // Interleave both streams by event time, as a real feed would.
+        let mut feed: Vec<(String, Tuple)> = quotes
+            .iter()
+            .cloned()
+            .map(|t| ("quotes".to_string(), t))
+            .chain(news_tuples.into_iter().map(|t| ("news".to_string(), t)))
+            .collect();
+        feed.sort_by_key(|(_, t)| t.ts);
+
+        // Reference: strict per-tuple execution (batch cap 1, one call).
+        let (ref_q1, ref_q2) = run_chunked(&plan, &feed, feed.len(), 1);
+        prop_assert_eq!(&ref_q1, &ref_q2, "shared queries must agree");
+        let reference = canonical(kind, ref_q1);
+
+        for &(chunk, cap) in &[
+            (1usize, 1024usize), // tuple-at-a-time ingestion, large cap
+            (7, 7),
+            (64, 16),            // chunk larger than the engine cap
+            (1024, 1024),        // whole feed in one call
+        ] {
+            let (got_q1, got_q2) = run_chunked(&plan, &feed, chunk, cap);
+            prop_assert_eq!(&got_q1, &got_q2, "shared queries must agree");
+            prop_assert_eq!(
+                &canonical(kind, got_q1), &reference,
+                "chunk {} / cap {} diverged from scalar execution", chunk, cap
+            );
+        }
+    }
+}
+
 /// Late-arrival semantics (deterministic documentation tests): tuples that
 /// arrive after the watermark passed their window are *not lost and not
 /// duplicated* — the window re-opens silently and emits once at the next
@@ -331,7 +449,10 @@ fn late_tuple_emits_once_and_late() {
     assert!(e.take_outputs(cq).is_empty());
     // A straggler for the long-closed window [0,50).
     e.push_batch([("quotes".to_string(), quote(10, 0, 100))]);
-    assert!(e.outputs(cq).is_empty(), "late window waits for the next advance");
+    assert!(
+        e.outputs(cq).is_empty(),
+        "late window waits for the next advance"
+    );
     // The next watermark advance flushes it exactly once.
     e.push_batch([("quotes".to_string(), quote(200, 0, 100))]);
     let flushed = e.take_outputs(cq);
@@ -339,7 +460,10 @@ fn late_tuple_emits_once_and_late() {
     assert_eq!(late.len(), 1, "late window [0,50) emitted exactly once");
     e.finish();
     let rest = e.take_outputs(cq);
-    assert!(rest.iter().all(|t| t.ts != 50), "no duplicate emission of [0,50)");
+    assert!(
+        rest.iter().all(|t| t.ts != 50),
+        "no duplicate emission of [0,50)"
+    );
 }
 
 /// A late join probe only matches partners still within the state horizon.

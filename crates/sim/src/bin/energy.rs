@@ -39,7 +39,10 @@ fn main() {
     }
     print!("{}", table.render());
 
-    let mut best = Table::new("most profitable operating point", &["mechanism", "fraction", "net $"]);
+    let mut best = Table::new(
+        "most profitable operating point",
+        &["mechanism", "fraction", "net $"],
+    );
     for (m, fraction, net) in best_fractions(&cells) {
         best.push_row(vec![m, format!("{:.0}%", fraction * 100.0), fmt(net)]);
     }

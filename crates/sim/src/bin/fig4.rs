@@ -51,11 +51,9 @@ fn run_capacity(capacity: f64, metric_name: &str, cfg_base: &SweepConfig) {
             &cells,
             |c| c.total_payoff,
         ),
-        "utilization" => print_panel(
-            &format!("utilization, capacity {capacity}"),
-            &cells,
-            |c| c.utilization,
-        ),
+        "utilization" => print_panel(&format!("utilization, capacity {capacity}"), &cells, |c| {
+            c.utilization
+        }),
         _ => print_panel(
             &format!("Fig 4 profit $, capacity {capacity}"),
             &cells,

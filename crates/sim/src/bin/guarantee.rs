@@ -30,8 +30,17 @@ fn main() {
     let mut table = Table::new(
         "Two-price profit guarantee",
         &[
-            "set", "degree", "OPT_C", "h", "d", "E[two-price]", "OPT_C-2h", "E[poly]",
-            "OPT_C-dh", "E[distinct]", "bound[distinct]",
+            "set",
+            "degree",
+            "OPT_C",
+            "h",
+            "d",
+            "E[two-price]",
+            "OPT_C-2h",
+            "E[poly]",
+            "OPT_C-dh",
+            "E[distinct]",
+            "bound[distinct]",
         ],
     );
     let mut full_ok = 0;

@@ -31,10 +31,7 @@ fn main() {
     let mut headers = vec!["degree".to_string()];
     headers.extend(mechs.iter().cloned());
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut table = Table::new(
-        format!("utilization %, capacity {capacity}"),
-        &headers_ref,
-    );
+    let mut table = Table::new(format!("utilization %, capacity {capacity}"), &headers_ref);
     for (di, degree) in degrees.iter().enumerate() {
         let mut row = vec![degree.to_string()];
         row.extend(grid[di].iter().map(|v| format!("{v:.2}")));

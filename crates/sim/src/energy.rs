@@ -44,7 +44,11 @@ impl EnergyConfig {
             energy_cost_per_unit: 0.02,
             degree: 5,
             sets: 3,
-            mechanisms: vec![MechanismKind::Caf, MechanismKind::Cat, MechanismKind::TwoPrice],
+            mechanisms: vec![
+                MechanismKind::Caf,
+                MechanismKind::Cat,
+                MechanismKind::TwoPrice,
+            ],
             params: WorkloadParams::paper(),
             seed: 37,
         }
@@ -69,7 +73,11 @@ pub struct EnergyCell {
 /// Runs the energy sweep.
 pub fn run_energy_sweep(cfg: &EnergyConfig) -> Vec<EnergyCell> {
     let generator = WorkloadGenerator::new(cfg.params.clone(), cfg.seed);
-    let mechanisms: Vec<_> = cfg.mechanisms.iter().map(|k| (k.label(), k.build())).collect();
+    let mechanisms: Vec<_> = cfg
+        .mechanisms
+        .iter()
+        .map(|k| (k.label(), k.build()))
+        .collect();
     let mut cells = Vec::new();
 
     for &fraction in &cfg.fractions {
@@ -77,11 +85,7 @@ pub fn run_energy_sweep(cfg: &EnergyConfig) -> Vec<EnergyCell> {
         let energy_cost = capacity * cfg.energy_cost_per_unit;
         let mut sums = vec![0.0; mechanisms.len()];
         for set in 0..cfg.sets {
-            let sweep = generator.sharing_sweep_at(
-                set,
-                Load::from_units(capacity),
-                &[cfg.degree],
-            );
+            let sweep = generator.sharing_sweep_at(set, Load::from_units(capacity), &[cfg.degree]);
             let (_, inst) = &sweep[0];
             for (mi, (_, mech)) in mechanisms.iter().enumerate() {
                 sums[mi] += mech

@@ -113,8 +113,7 @@ pub fn run_guarantee_experiment(cfg: &GuaranteeConfig) -> Vec<GuaranteeRow> {
     let mut rows = Vec::new();
 
     for set in 0..cfg.sets {
-        let sweep =
-            generator.sharing_sweep_at(set, Load::from_units(cfg.capacity), &cfg.degrees);
+        let sweep = generator.sharing_sweep_at(set, Load::from_units(cfg.capacity), &cfg.degrees);
         for (degree, inst) in sweep {
             let optc = optimal_constant_price(&inst);
             let h = inst.max_bid().as_f64();

@@ -182,7 +182,10 @@ mod tests {
         // CAR is manipulable; the strategyproof mechanisms survive the
         // deviation search (Two-price is audited through the
         // deviation-stable coin-partition variant).
-        assert!(row("CAR").deviation_violations > 0, "CAR must be manipulable");
+        assert!(
+            row("CAR").deviation_violations > 0,
+            "CAR must be manipulable"
+        );
         for name in ["CAF", "CAT", "GV", "Two-price (coin)"] {
             assert_eq!(
                 row(name).deviation_violations,

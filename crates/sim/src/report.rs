@@ -74,7 +74,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -92,7 +96,13 @@ impl Table {
         let slug: String = self
             .title
             .chars()
-            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let path = dir.join(format!("{slug}.csv"));
         fs::write(&path, self.to_csv())?;
@@ -130,9 +140,7 @@ impl Args {
         let mut it = iter.into_iter().peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let takes_value = it
-                    .peek()
-                    .is_some_and(|next| !next.starts_with("--"));
+                let takes_value = it.peek().is_some_and(|next| !next.starts_with("--"));
                 if takes_value {
                     args.pairs.push((name.to_string(), it.next().unwrap()));
                 } else {

@@ -60,8 +60,7 @@ pub fn run_runtime_experiment(cfg: &RuntimeConfig) -> Vec<RuntimeRow> {
     let mut totals: BTreeMap<usize, (f64, u64)> = BTreeMap::new();
 
     for set in 0..cfg.sets {
-        let sweep =
-            generator.sharing_sweep_at(set, Load::from_units(cfg.capacity), &cfg.degrees);
+        let sweep = generator.sharing_sweep_at(set, Load::from_units(cfg.capacity), &cfg.degrees);
         for (degree, inst) in sweep {
             for (mi, (_, mech)) in mechanisms.iter().enumerate() {
                 let start = Instant::now();
@@ -107,8 +106,18 @@ mod tests {
         let ms = |name: &str| rows.iter().find(|r| r.mechanism == name).unwrap().mean_ms;
         // The aggressive mechanisms must dominate the simple ones by a wide
         // margin (Table IV's headline: CAF+/CAT+ cannot scale).
-        assert!(ms("CAF+") > 10.0 * ms("CAF"), "CAF+ {} vs CAF {}", ms("CAF+"), ms("CAF"));
-        assert!(ms("CAT+") > 10.0 * ms("CAT"), "CAT+ {} vs CAT {}", ms("CAT+"), ms("CAT"));
+        assert!(
+            ms("CAF+") > 10.0 * ms("CAF"),
+            "CAF+ {} vs CAF {}",
+            ms("CAF+"),
+            ms("CAF")
+        );
+        assert!(
+            ms("CAT+") > 10.0 * ms("CAT"),
+            "CAT+ {} vs CAT {}",
+            ms("CAT+"),
+            ms("CAT")
+        );
         assert!(ms("Random") <= ms("CAF+"));
     }
 }

@@ -79,12 +79,15 @@ pub struct SweepCell {
 /// numbers); cells are ordered by degree then mechanism.
 pub fn run_sharing_sweep(cfg: &SweepConfig) -> Vec<SweepCell> {
     let generator = WorkloadGenerator::new(cfg.params.clone(), cfg.seed);
-    let mechanisms: Vec<_> = cfg.mechanisms.iter().map(|k| (k.label(), k.build())).collect();
+    let mechanisms: Vec<_> = cfg
+        .mechanisms
+        .iter()
+        .map(|k| (k.label(), k.build()))
+        .collect();
     let mut acc: BTreeMap<(u32, usize), MetricsAccumulator> = BTreeMap::new();
 
     for set in 0..cfg.sets {
-        let sweep =
-            generator.sharing_sweep_at(set, Load::from_units(cfg.capacity), &cfg.degrees);
+        let sweep = generator.sharing_sweep_at(set, Load::from_units(cfg.capacity), &cfg.degrees);
         for (degree, inst) in sweep {
             for (mi, (_, mech)) in mechanisms.iter().enumerate() {
                 let outcome = mech.run_seeded(&inst, cfg.seed ^ (set << 8) ^ u64::from(degree));
@@ -130,24 +133,46 @@ pub fn run_lying_sweep(cfg: &SweepConfig) -> Vec<LyingCell> {
     };
 
     for set in 0..cfg.sets {
-        let sweep =
-            generator.sharing_sweep_at(set, Load::from_units(cfg.capacity), &cfg.degrees);
+        let sweep = generator.sharing_sweep_at(set, Load::from_units(cfg.capacity), &cfg.degrees);
         let mut lie_rng = StdRng::seed_from_u64(cfg.seed ^ 0xF1E2_D3C4 ^ set);
         for (degree, inst) in sweep {
             let run_seed = cfg.seed ^ (set << 8) ^ u64::from(degree);
-            add(degree, "CAF", Caf.run_seeded(&inst, run_seed).profit().as_f64());
-            add(degree, "CAT", Cat.run_seeded(&inst, run_seed).profit().as_f64());
+            add(
+                degree,
+                "CAF",
+                Caf.run_seeded(&inst, run_seed).profit().as_f64(),
+            );
+            add(
+                degree,
+                "CAT",
+                Cat.run_seeded(&inst, run_seed).profit().as_f64(),
+            );
             add(
                 degree,
                 "Two-price",
-                TwoPrice::default().run_seeded(&inst, run_seed).profit().as_f64(),
+                TwoPrice::default()
+                    .run_seeded(&inst, run_seed)
+                    .profit()
+                    .as_f64(),
             );
             let car = Car::default();
-            add(degree, "CAR", car.run_seeded(&inst, run_seed).profit().as_f64());
+            add(
+                degree,
+                "CAR",
+                car.run_seeded(&inst, run_seed).profit().as_f64(),
+            );
             let (ml, _) = apply_lying(&inst, LyingProfile::moderate(), &mut lie_rng);
-            add(degree, "CAR-ML", car.run_seeded(&ml, run_seed).profit().as_f64());
+            add(
+                degree,
+                "CAR-ML",
+                car.run_seeded(&ml, run_seed).profit().as_f64(),
+            );
             let (al, _) = apply_lying(&inst, LyingProfile::aggressive(), &mut lie_rng);
-            add(degree, "CAR-AL", car.run_seeded(&al, run_seed).profit().as_f64());
+            add(
+                degree,
+                "CAR-AL",
+                car.run_seeded(&al, run_seed).profit().as_f64(),
+            );
         }
     }
 
@@ -194,7 +219,11 @@ mod tests {
             seed: 3,
             degrees: vec![1, 4, 8],
             capacity: 400.0,
-            mechanisms: vec![MechanismKind::Caf, MechanismKind::Cat, MechanismKind::TwoPrice],
+            mechanisms: vec![
+                MechanismKind::Caf,
+                MechanismKind::Cat,
+                MechanismKind::TwoPrice,
+            ],
             params: WorkloadParams {
                 num_queries: 120,
                 base_max_degree: 8,

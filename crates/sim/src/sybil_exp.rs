@@ -100,8 +100,7 @@ pub fn run_sybil_experiment(cfg: &SybilConfig) -> Vec<AttackStats> {
                 stats[si].trials += 1;
                 if out.succeeded() {
                     stats[si].successes += 1;
-                    gains[si] +=
-                        out.attack_payoff.as_f64() - out.baseline_payoff.as_f64();
+                    gains[si] += out.attack_payoff.as_f64() - out.baseline_payoff.as_f64();
                 }
                 // Random attack.
                 let attack = random_sybil_attack(&inst, q, rng.random_range(1..4), &mut rng);
@@ -110,14 +109,17 @@ pub fn run_sybil_experiment(cfg: &SybilConfig) -> Vec<AttackStats> {
                 stats[si].trials += 1;
                 if out.succeeded() {
                     stats[si].successes += 1;
-                    gains[si] +=
-                        out.attack_payoff.as_f64() - out.baseline_payoff.as_f64();
+                    gains[si] += out.attack_payoff.as_f64() - out.baseline_payoff.as_f64();
                 }
             }
         }
     }
     for (s, g) in stats.iter_mut().zip(gains) {
-        s.mean_gain = if s.successes > 0 { g / s.successes as f64 } else { 0.0 };
+        s.mean_gain = if s.successes > 0 {
+            g / s.successes as f64
+        } else {
+            0.0
+        };
     }
 
     // The Table II construction is a single deterministic instance against
@@ -153,7 +155,10 @@ mod tests {
                 .sum::<u64>()
         };
         assert_eq!(total("CAT"), 0, "CAT is sybil-immune (Theorem 19)");
-        assert!(total("CAF") > 0, "CAF is universally vulnerable (Theorem 15)");
+        assert!(
+            total("CAF") > 0,
+            "CAF is universally vulnerable (Theorem 15)"
+        );
         let table2 = stats.iter().find(|s| s.attack == "table2").unwrap();
         assert_eq!(table2.successes, 1, "Table II beats CAT+ (Theorem 17)");
         assert!(table2.mean_gain > 80.0);

@@ -147,8 +147,8 @@ impl RawWorkload {
 
     /// Freezes the workload into a validated [`AuctionInstance`].
     pub fn to_instance(&self, capacity: Load) -> AuctionInstance {
-        let mut b = InstanceBuilder::new(capacity)
-            .with_capacity_hint(self.loads.len(), self.num_queries);
+        let mut b =
+            InstanceBuilder::new(capacity).with_capacity_hint(self.loads.len(), self.num_queries);
         let mut per_query_ops: Vec<Vec<OperatorId>> = vec![Vec::new(); self.num_queries];
         for (j, load) in self.loads.iter().enumerate() {
             let id = b.operator(*load);
@@ -189,7 +189,9 @@ impl WorkloadGenerator {
     /// `base_max_degree`).
     pub fn base_workload(&self, set_index: u64) -> RawWorkload {
         let p = &self.params;
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(set_index + 1)));
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(set_index + 1)),
+        );
         let degree_dist = Zipf::new(u64::from(p.base_max_degree), p.degree_skew);
         let bid_dist = Zipf::new(p.max_bid, p.bid_skew);
         let load_dist = Zipf::new(p.max_op_load, p.load_skew);
@@ -198,8 +200,7 @@ impl WorkloadGenerator {
             .map(|_| Money::from_units(bid_dist.sample(&mut rng) as f64))
             .collect();
 
-        let target_incidences =
-            (p.num_queries as f64 * p.mean_ops_per_query).round() as usize;
+        let target_incidences = (p.num_queries as f64 * p.mean_ops_per_query).round() as usize;
         let mut loads: Vec<Load> = Vec::new();
         let mut members: Vec<Vec<u32>> = Vec::new();
         let mut incidences = 0usize;
@@ -240,11 +241,7 @@ impl WorkloadGenerator {
     /// `base_max_degree` down to 1, derived sequentially by operator
     /// splitting exactly as in §VI-A (instance *m* is derived from instance
     /// *m+1*).
-    pub fn sharing_sweep(
-        &self,
-        set_index: u64,
-        capacity: Load,
-    ) -> Vec<(u32, AuctionInstance)> {
+    pub fn sharing_sweep(&self, set_index: u64, capacity: Load) -> Vec<(u32, AuctionInstance)> {
         let mut raw = self.base_workload(set_index);
         let mut split_rng = StdRng::seed_from_u64(self.seed ^ 0xD1B5_4A32_D192_ED03u64 ^ set_index);
         let mut out = Vec::with_capacity(self.params.base_max_degree as usize);

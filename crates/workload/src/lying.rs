@@ -133,9 +133,15 @@ mod tests {
     #[test]
     fn moderate_and_aggressive_match_paper_parameters() {
         let m = LyingProfile::moderate();
-        assert_eq!((m.ratio_threshold, m.lie_probability, m.lying_factor), (0.25, 0.5, 0.5));
+        assert_eq!(
+            (m.ratio_threshold, m.lie_probability, m.lying_factor),
+            (0.25, 0.5, 0.5)
+        );
         let a = LyingProfile::aggressive();
-        assert_eq!((a.ratio_threshold, a.lie_probability, a.lying_factor), (0.35, 0.7, 0.3));
+        assert_eq!(
+            (a.ratio_threshold, a.lie_probability, a.lying_factor),
+            (0.35, 0.7, 0.3)
+        );
     }
 
     #[test]

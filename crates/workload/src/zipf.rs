@@ -66,7 +66,11 @@ impl Zipf {
     /// The exact probability of value `k`.
     pub fn pmf(&self, k: u64) -> f64 {
         assert!((1..=self.max).contains(&k));
-        let prev = if k == 1 { 0.0 } else { self.cdf[k as usize - 2] };
+        let prev = if k == 1 {
+            0.0
+        } else {
+            self.cdf[k as usize - 2]
+        };
         self.cdf[k as usize - 1] - prev
     }
 

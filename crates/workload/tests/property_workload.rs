@@ -11,42 +11,43 @@ use rand::SeedableRng;
 /// Strategy: an arbitrary raw workload where operator membership covers
 /// every query.
 fn raw_workload() -> impl Strategy<Value = RawWorkload> {
-    (2usize..30, 1usize..20).prop_flat_map(|(n_queries, n_extra_ops)| {
-        let ops = proptest::collection::vec(
-            (
-                1u32..=10,                                      // load units
-                proptest::collection::vec(0..n_queries, 1..=n_queries.min(12)),
-            ),
-            n_extra_ops,
-        );
-        let bids = proptest::collection::vec(1u32..=100, n_queries);
-        (Just(n_queries), ops, bids)
-    })
-    .prop_map(|(n_queries, ops, bids)| {
-        let mut loads = Vec::new();
-        let mut members: Vec<Vec<u32>> = Vec::new();
-        for (load, qs) in ops {
-            let mut qs: Vec<u32> = qs.into_iter().map(|q| q as u32).collect();
-            qs.sort_unstable();
-            qs.dedup();
-            loads.push(Load::from_units(f64::from(load)));
-            members.push(qs);
-        }
-        // Guarantee coverage: one private operator per query.
-        for q in 0..n_queries {
-            loads.push(Load::from_units(1.0));
-            members.push(vec![q as u32]);
-        }
-        RawWorkload {
-            num_queries: n_queries,
-            bids: bids
-                .into_iter()
-                .map(|b| Money::from_dollars(f64::from(b)))
-                .collect(),
-            loads,
-            members,
-        }
-    })
+    (2usize..30, 1usize..20)
+        .prop_flat_map(|(n_queries, n_extra_ops)| {
+            let ops = proptest::collection::vec(
+                (
+                    1u32..=10, // load units
+                    proptest::collection::vec(0..n_queries, 1..=n_queries.min(12)),
+                ),
+                n_extra_ops,
+            );
+            let bids = proptest::collection::vec(1u32..=100, n_queries);
+            (Just(n_queries), ops, bids)
+        })
+        .prop_map(|(n_queries, ops, bids)| {
+            let mut loads = Vec::new();
+            let mut members: Vec<Vec<u32>> = Vec::new();
+            for (load, qs) in ops {
+                let mut qs: Vec<u32> = qs.into_iter().map(|q| q as u32).collect();
+                qs.sort_unstable();
+                qs.dedup();
+                loads.push(Load::from_units(f64::from(load)));
+                members.push(qs);
+            }
+            // Guarantee coverage: one private operator per query.
+            for q in 0..n_queries {
+                loads.push(Load::from_units(1.0));
+                members.push(vec![q as u32]);
+            }
+            RawWorkload {
+                num_queries: n_queries,
+                bids: bids
+                    .into_iter()
+                    .map(|b| Money::from_dollars(f64::from(b)))
+                    .collect(),
+                loads,
+                members,
+            }
+        })
 }
 
 proptest! {

@@ -29,7 +29,10 @@ fn main() {
     println!();
 
     let lines = run_multi_period(&cfg);
-    println!("{:>4} {:<22} {:>9} {:>11} {:>13}", "day", "auctions", "admitted", "revenue", "cumulative");
+    println!(
+        "{:>4} {:<22} {:>9} {:>11} {:>13}",
+        "day", "auctions", "admitted", "revenue", "cumulative"
+    );
     for l in &lines {
         println!(
             "{:>4} {:<22} {:>9} {:>11.0} {:>13.0}",

@@ -69,28 +69,66 @@ fn main() {
 
     // Eight users, heavily shared plans, bids by how much they value them.
     let submissions = vec![
-        Submission { user: UserId(0), bid: Money::from_dollars(80.0), plan: trades_with_news() },
-        Submission { user: UserId(1), bid: Money::from_dollars(65.0), plan: minute_averages() },
-        Submission { user: UserId(2), bid: Money::from_dollars(50.0), plan: watch_symbol("IBM") },
-        Submission { user: UserId(3), bid: Money::from_dollars(45.0), plan: watch_symbol("AAPL") },
-        Submission { user: UserId(4), bid: Money::from_dollars(40.0), plan: high_value() },
-        Submission { user: UserId(5), bid: Money::from_dollars(35.0), plan: trades_with_news() },
-        Submission { user: UserId(6), bid: Money::from_dollars(20.0), plan: minute_averages() },
-        Submission { user: UserId(7), bid: Money::from_dollars(10.0), plan: watch_symbol("NVDA") },
+        Submission {
+            user: UserId(0),
+            bid: Money::from_dollars(80.0),
+            plan: trades_with_news(),
+        },
+        Submission {
+            user: UserId(1),
+            bid: Money::from_dollars(65.0),
+            plan: minute_averages(),
+        },
+        Submission {
+            user: UserId(2),
+            bid: Money::from_dollars(50.0),
+            plan: watch_symbol("IBM"),
+        },
+        Submission {
+            user: UserId(3),
+            bid: Money::from_dollars(45.0),
+            plan: watch_symbol("AAPL"),
+        },
+        Submission {
+            user: UserId(4),
+            bid: Money::from_dollars(40.0),
+            plan: high_value(),
+        },
+        Submission {
+            user: UserId(5),
+            bid: Money::from_dollars(35.0),
+            plan: trades_with_news(),
+        },
+        Submission {
+            user: UserId(6),
+            bid: Money::from_dollars(20.0),
+            plan: minute_averages(),
+        },
+        Submission {
+            user: UserId(7),
+            bid: Money::from_dollars(10.0),
+            plan: watch_symbol("NVDA"),
+        },
     ];
 
     let record = center
         .run_auction(&submissions, &calibration_sample())
         .expect("plans are valid");
 
-    println!("=== auction day {} under {} ===", record.day, record.mechanism);
+    println!(
+        "=== auction day {} under {} ===",
+        record.day, record.mechanism
+    );
     println!(
         "admitted load {} of capacity {} ({:.1}% utilization)\n",
         record.admitted_load,
         Load::from_units(3.0),
         record.utilization * 100.0
     );
-    println!("{:<6} {:>7} {:>9} {:>9}  query", "user", "bid", "admitted", "payment");
+    println!(
+        "{:<6} {:>7} {:>9} {:>9}  query",
+        "user", "bid", "admitted", "payment"
+    );
     for d in &record.decisions {
         let kind = match d.submission {
             0 | 5 => "trades ⋈ earnings-news",

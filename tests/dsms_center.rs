@@ -69,7 +69,10 @@ fn submissions() -> Vec<Submission> {
     ]
 }
 
-fn center_with(mech: Box<dyn cq_admission::core::mechanisms::Mechanism>, capacity: f64) -> DsmsCenter {
+fn center_with(
+    mech: Box<dyn cq_admission::core::mechanisms::Mechanism>,
+    capacity: f64,
+) -> DsmsCenter {
     let mut c = DsmsCenter::new(Load::from_units(capacity), mech);
     c.register_stream("quotes", quote_schema());
     c.register_stream("news", news_schema());
@@ -79,7 +82,10 @@ fn center_with(mech: Box<dyn cq_admission::core::mechanisms::Mechanism>, capacit
 #[test]
 fn contended_center_selects_and_bills_consistently() {
     for (mech, name) in [
-        (Box::new(Cat) as Box<dyn cq_admission::core::mechanisms::Mechanism>, "CAT"),
+        (
+            Box::new(Cat) as Box<dyn cq_admission::core::mechanisms::Mechanism>,
+            "CAT",
+        ),
         (Box::new(Caf), "CAF"),
         (Box::new(Gv), "GV"),
     ] {
@@ -101,11 +107,7 @@ fn contended_center_selects_and_bills_consistently() {
         }
         assert_eq!(
             record.profit,
-            record
-                .decisions
-                .iter()
-                .map(|d| d.payment)
-                .sum::<Money>(),
+            record.decisions.iter().map(|d| d.payment).sum::<Money>(),
         );
     }
 }
@@ -132,7 +134,9 @@ fn multi_day_continuity_and_state() {
 
     // Drop user 0's renewal: her query is retired, others continue.
     let reduced: Vec<Submission> = subs[1..].to_vec();
-    let day2 = center.run_auction(&reduced, &calibration(1_500, 9)).unwrap();
+    let day2 = center
+        .run_auction(&reduced, &calibration(1_500, 9))
+        .unwrap();
     assert_eq!(day2.decisions.len(), 4);
     assert_eq!(center.engine().network().num_queries(), 4);
     assert_eq!(center.ledger().len(), 3);
@@ -168,5 +172,8 @@ fn admitted_queries_produce_results_rejected_do_not() {
             any_output |= !center.take_outputs(cq).is_empty();
         }
     }
-    assert!(any_output, "at least one admitted query must produce output");
+    assert!(
+        any_output,
+        "at least one admitted query must produce output"
+    );
 }

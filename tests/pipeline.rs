@@ -25,7 +25,8 @@ fn every_mechanism_survives_a_paper_workload() {
         .to_instance(Load::from_units(800.0));
     for mech in all_mechanisms() {
         let out = mech.run_seeded(&inst, 3);
-        out.validate(&inst).unwrap_or_else(|e| panic!("{}: {e}", mech.name()));
+        out.validate(&inst)
+            .unwrap_or_else(|e| panic!("{}: {e}", mech.name()));
         let m = Metrics::truthful(&inst, &out);
         assert!(m.admission_rate > 0.0, "{} admitted nobody", mech.name());
         assert!(m.utilization <= 1.0);
