@@ -12,6 +12,13 @@
 //! (1 vs 64 vs 1024) over the shared-network workload: batch size 1
 //! degrades to per-tuple execution, so the sweep tracks the speedup the
 //! batched refactor buys in the perf trajectory.
+//!
+//! The `operator_fusion` group sweeps the fusion knob at batch 64 over two
+//! workloads: the 32-shared-filter workload deepened into chains
+//! (filter→filter→project — one fused node vs three), and a 6-operator
+//! deep chain where fusion's hop removal dominates (6× fewer operator
+//! invocations; the shared workload is bounded below by its 32-sink
+//! delivery fan-out, which fusion does not touch).
 
 use cqac_dsms::engine::DsmsEngine;
 use cqac_dsms::expr::Expr;
@@ -56,6 +63,71 @@ fn bench_batch_sizes(c: &mut Criterion) {
                             .filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))))
                     }));
                     e.set_max_batch_size(cap);
+                    e.push_rows("quotes", rows.clone());
+                    black_box((e.tuples_processed(), e.batches_processed()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let rows: Vec<Tuple> = StockStream::new(&SYMBOLS, 1, 42).next_batch(20_000);
+    // The 32-shared-filter workload of `engine_sharing`, deepened into a
+    // stateless chain (one fused node vs three). High-pass-rate predicates
+    // keep every hop loaded: what fusion removes is the per-hop queue
+    // traffic and intermediate batch materialization, so the chain's tail
+    // must carry tuples for the sweep to measure it. Note the shared
+    // variant is bounded below by its 32-sink delivery fan-out (untouched
+    // by fusion); `deep_chain_x6` isolates the hop savings.
+    let chain = || {
+        LogicalPlan::source("quotes")
+            .filter(Expr::col(1).gt(Expr::lit(Value::Float(5.0))))
+            .filter(Expr::col(2).gt(Expr::lit(Value::Int(50))))
+            .project(vec![
+                ("symbol".to_string(), Expr::col(0)),
+                ("price".to_string(), Expr::col(1)),
+            ])
+    };
+    let mut group = c.benchmark_group("operator_fusion");
+    group.sample_size(20);
+    for fused in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("shared_32_chains_batch64", fused),
+            &fused,
+            |b, &fused| {
+                b.iter(|| {
+                    let mut e = DsmsEngine::new().with_fusion(fused).with_max_batch_size(64);
+                    e.register_stream("quotes", quote_schema());
+                    for _ in 0..32 {
+                        e.add_query(chain()).expect("valid plan");
+                    }
+                    e.push_rows("quotes", rows.clone());
+                    black_box((e.tuples_processed(), e.batches_processed()))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("deep_chain_x6_batch64", fused),
+            &fused,
+            |b, &fused| {
+                // One query, six stateless operators: unfused moves every
+                // surviving tuple through six queue hops; fused runs the
+                // whole chain in one node.
+                let mut deep = LogicalPlan::source("quotes")
+                    .filter(Expr::col(1).gt(Expr::lit(Value::Float(2.0))));
+                for i in 0..4i64 {
+                    deep = deep.filter(Expr::col(2).gt(Expr::lit(Value::Int(i))));
+                }
+                let deep = deep.project(vec![
+                    ("symbol".to_string(), Expr::col(0)),
+                    ("price".to_string(), Expr::col(1)),
+                ]);
+                b.iter(|| {
+                    let mut e = DsmsEngine::new().with_fusion(fused).with_max_batch_size(64);
+                    e.register_stream("quotes", quote_schema());
+                    e.add_query(deep.clone()).expect("valid plan");
                     e.push_rows("quotes", rows.clone());
                     black_box((e.tuples_processed(), e.batches_processed()))
                 })
@@ -142,5 +214,11 @@ fn bench_operators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batch_sizes, bench_sharing, bench_operators);
+criterion_group!(
+    benches,
+    bench_batch_sizes,
+    bench_fusion,
+    bench_sharing,
+    bench_operators
+);
 criterion_main!(benches);

@@ -126,6 +126,16 @@ impl DsmsCenter {
         self
     }
 
+    /// Enables or disables stateless-operator fusion (on by default) for
+    /// both the serving engine and the per-auction shadow calibration
+    /// engines — the knob next to the batch-size knob. Shadow engines must
+    /// match the serving engine's shape so measured loads price the network
+    /// that will actually run.
+    pub fn with_fusion(mut self, enabled: bool) -> Self {
+        self.engine.set_fusion(enabled);
+        self
+    }
+
     /// Registers an input stream (must precede submissions that read it).
     pub fn register_stream(&mut self, name: impl Into<String>, schema: Schema) {
         let name = name.into();
@@ -160,7 +170,9 @@ impl DsmsCenter {
         calibration: &[(String, Tuple)],
     ) -> Result<DayRecord, PlanError> {
         // 1. Shadow calibration.
-        let mut shadow = DsmsEngine::new().with_max_batch_size(self.engine.max_batch_size());
+        let mut shadow = DsmsEngine::new()
+            .with_max_batch_size(self.engine.max_batch_size())
+            .with_fusion(self.engine.fusion_enabled());
         for (name, schema) in &self.streams {
             shadow.register_stream(name.clone(), schema.clone());
         }
@@ -393,6 +405,32 @@ mod tests {
         c.process("quotes", feed.next_batch(200));
         let outputs = c.take_outputs(cq);
         assert!(!outputs.is_empty(), "admitted query must produce results");
+    }
+
+    #[test]
+    fn fusion_knob_reaches_serving_and_shadow_engines() {
+        let chain = high_price(100.0)
+            .filter(Expr::col(0).eq(Expr::lit(Value::str("IBM"))))
+            .project(vec![("price".to_string(), Expr::col(1))]);
+        let submission = Submission {
+            user: UserId(0),
+            bid: Money::from_dollars(30.0),
+            plan: chain,
+        };
+        for (fusion, expected_nodes) in [(true, 1usize), (false, 3)] {
+            let mut c =
+                DsmsCenter::new(Load::from_units(1000.0), Box::new(Cat)).with_fusion(fusion);
+            c.register_stream("quotes", quote_schema());
+            let record = c
+                .run_auction(std::slice::from_ref(&submission), &calibration_sample(300))
+                .unwrap();
+            assert!(record.decisions[0].admitted);
+            assert_eq!(
+                c.engine().network().num_nodes(),
+                expected_nodes,
+                "fusion={fusion}"
+            );
+        }
     }
 
     #[test]

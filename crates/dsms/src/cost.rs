@@ -312,6 +312,99 @@ mod tests {
         }
     }
 
+    /// Runs `chain` through a fused and an unfused engine over the same
+    /// feed and returns the two total analytic loads.
+    fn total_loads(
+        chain: &LogicalPlan,
+        feed: &[Tuple],
+        expected_unfused_nodes: usize,
+    ) -> (f64, f64) {
+        let schema = || {
+            Schema::new(vec![
+                Field::new("symbol", DataType::Str),
+                Field::new("price", DataType::Float),
+            ])
+        };
+        let mut fused = DsmsEngine::new();
+        fused.register_stream("quotes", schema());
+        let mut unfused = DsmsEngine::new().with_fusion(false);
+        unfused.register_stream("quotes", schema());
+        fused.add_query(chain.clone()).unwrap();
+        unfused.add_query(chain.clone()).unwrap();
+        fused.push_rows("quotes", feed.to_vec());
+        unfused.push_rows("quotes", feed.to_vec());
+
+        let model = CostModel::default();
+        let fused_est = estimate_node_loads(&fused, &model);
+        let unfused_est = estimate_node_loads(&unfused, &model);
+        assert_eq!(fused_est.len(), 1);
+        assert_eq!(unfused_est.len(), expected_unfused_nodes);
+        (
+            fused_est.iter().map(|e| e.load.as_f64()).sum(),
+            unfused_est.iter().map(|e| e.load.as_f64()).sum(),
+        )
+    }
+
+    #[test]
+    fn fused_chain_charges_the_summed_analytic_load() {
+        // Selectivity-1 chain: every stage of the unfused network sees the
+        // full input rate, so the fused node's effective cost degenerates
+        // to the plain sum and the totals match exactly.
+        let chain = LogicalPlan::source("quotes")
+            .filter(Expr::col(1).gt(Expr::lit(Value::Float(0.0))))
+            .filter(Expr::col(1).gt(Expr::lit(Value::Float(-1.0))))
+            .project(vec![("price".to_string(), Expr::col(1))]);
+        let feed: Vec<Tuple> = (0..200).map(|i| quote(i, "IBM", 50.0)).collect();
+        let (fused_total, unfused_total) = total_loads(&chain, &feed, 3);
+        assert!(
+            (fused_total - unfused_total).abs() < 1e-3,
+            "fused {fused_total} vs unfused {unfused_total}"
+        );
+    }
+
+    #[test]
+    fn fused_chain_load_tracks_intra_chain_selectivity() {
+        // Half the rows pass the filter, so the unfused project node sees
+        // half the rate. The fused node's selectivity-aware effective cost
+        // must reproduce that — not charge every input row the full chain
+        // sum (which would inflate admission prices ~1.6× here and change
+        // auction outcomes).
+        let chain = LogicalPlan::source("quotes")
+            .filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))))
+            .project(vec![("price".to_string(), Expr::col(1))]);
+        let feed: Vec<Tuple> = (0..200)
+            .map(|i| quote(i, "IBM", if i % 2 == 0 { 50.0 } else { 150.0 }))
+            .collect();
+        let (fused_total, unfused_total) = total_loads(&chain, &feed, 2);
+        assert!(
+            (fused_total - unfused_total).abs() < 1e-3,
+            "fused {fused_total} vs unfused {unfused_total}"
+        );
+        // And it is strictly below the naive full-sum charge.
+        let naive = 200.0 / 200.0 * (1.0 + 1.2);
+        assert!(fused_total < naive - 0.5);
+    }
+
+    #[test]
+    fn measured_cost_path_covers_fused_nodes() {
+        let chain = LogicalPlan::source("quotes")
+            .filter(Expr::col(1).gt(Expr::lit(Value::Float(0.0))))
+            .project(vec![("price".to_string(), Expr::col(1))]);
+        let mut e = DsmsEngine::new();
+        e.register_stream(
+            "quotes",
+            Schema::new(vec![
+                Field::new("symbol", DataType::Str),
+                Field::new("price", DataType::Float),
+            ]),
+        );
+        e.add_query(chain).unwrap();
+        e.push_rows("quotes", (0..200).map(|i| quote(i, "IBM", 50.0)).collect());
+        let measured = estimate_node_loads(&e, &CostModel::measured());
+        assert_eq!(measured.len(), 1);
+        assert!(measured[0].measured_us_per_tuple.is_some());
+    }
+
     #[test]
     fn empty_engine_yields_min_loads() {
         let mut e = DsmsEngine::new();

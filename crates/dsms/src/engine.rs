@@ -146,6 +146,27 @@ impl DsmsEngine {
         self.max_batch_size
     }
 
+    /// Enables or disables stateless-operator fusion for subsequently added
+    /// queries (builder form; see
+    /// [`crate::network::QueryNetwork::set_fusion_enabled`]).
+    pub fn with_fusion(mut self, enabled: bool) -> Self {
+        self.set_fusion(enabled);
+        self
+    }
+
+    /// Enables or disables stateless-operator fusion for subsequently added
+    /// queries. On by default; turning it off recovers one physical node
+    /// per logical operator (useful for benchmarking the fusion win
+    /// itself).
+    pub fn set_fusion(&mut self, enabled: bool) {
+        self.network.set_fusion_enabled(enabled);
+    }
+
+    /// Whether stateless-operator fusion is enabled.
+    pub fn fusion_enabled(&self) -> bool {
+        self.network.fusion_enabled()
+    }
+
     /// Enables or disables per-batch operator timing. On by default (the
     /// measured cost model needs it); disable for maximum-throughput
     /// serving when only analytic costs are used.
@@ -800,6 +821,39 @@ mod tests {
         assert!(
             node.busy > std::time::Duration::ZERO,
             "busy time accumulates"
+        );
+    }
+
+    #[test]
+    fn fusion_knob_controls_network_shape_not_results() {
+        let chain = high_filter()
+            .filter(Expr::col(0).eq(Expr::lit(Value::str("IBM"))))
+            .project(vec![("price".to_string(), Expr::col(1))]);
+        let rows: Vec<Tuple> = (0..50)
+            .map(|i| {
+                quote(
+                    i,
+                    if i % 2 == 0 { "IBM" } else { "AAPL" },
+                    90.0 + (i % 30) as f64,
+                )
+            })
+            .collect();
+
+        let mut fused = engine_with_quotes();
+        assert!(fused.fusion_enabled(), "fusion defaults to on");
+        let fq = fused.add_query(chain.clone()).unwrap();
+        fused.push_rows("quotes", rows.clone());
+
+        let mut unfused = engine_with_quotes().with_fusion(false);
+        let uq = unfused.add_query(chain).unwrap();
+        unfused.push_rows("quotes", rows);
+
+        assert_eq!(fused.network().num_nodes(), 1);
+        assert_eq!(unfused.network().num_nodes(), 3);
+        assert_eq!(fused.take_outputs(fq), unfused.take_outputs(uq));
+        assert!(
+            fused.batches_processed() < unfused.batches_processed(),
+            "fusion removes per-operator queue hops"
         );
     }
 

@@ -232,6 +232,47 @@ impl Expr {
     pub fn matches(&self, tuple: &Tuple) -> bool {
         matches!(self.eval(tuple), Ok(Value::Bool(true)))
     }
+
+    /// True for expressions whose evaluation is a plain lookup or constant
+    /// (`Col`, `Lit`) — the expressions cheap (and side-effect/error-free on
+    /// schema-conforming tuples) enough that the operator-fusion pass may
+    /// duplicate or reorder them freely during substitution.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Expr::Col(_) | Expr::Lit(_))
+    }
+
+    /// Rewrites every column reference `Col(i)` to `cols[i]` — the
+    /// substitution step of projection composition in the fusion pass:
+    /// evaluating the result against a projection's *input* equals
+    /// evaluating `self` against that projection's *output* when `cols` are
+    /// the projection's defining expressions. Out-of-range references (which
+    /// plan validation rejects before any operator is built) are left
+    /// untouched.
+    pub fn substitute_cols(&self, cols: &[Expr]) -> Expr {
+        match self {
+            Expr::Col(i) => cols.get(*i).cloned().unwrap_or(Expr::Col(*i)),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Cmp(op, l, r) => Expr::Cmp(
+                *op,
+                Box::new(l.substitute_cols(cols)),
+                Box::new(r.substitute_cols(cols)),
+            ),
+            Expr::Arith(op, l, r) => Expr::Arith(
+                *op,
+                Box::new(l.substitute_cols(cols)),
+                Box::new(r.substitute_cols(cols)),
+            ),
+            Expr::And(l, r) => Expr::And(
+                Box::new(l.substitute_cols(cols)),
+                Box::new(r.substitute_cols(cols)),
+            ),
+            Expr::Or(l, r) => Expr::Or(
+                Box::new(l.substitute_cols(cols)),
+                Box::new(r.substitute_cols(cols)),
+            ),
+            Expr::Not(e) => Expr::Not(Box::new(e.substitute_cols(cols))),
+        }
+    }
 }
 
 fn as_bool(v: &Value) -> Result<bool, ExprError> {
@@ -384,6 +425,33 @@ mod tests {
     fn matches_swallows_runtime_errors() {
         let bad = Expr::col(9).gt(Expr::lit(Value::Int(3)));
         assert!(!bad.matches(&quote("A", 0.0, 0)));
+    }
+
+    #[test]
+    fn leaf_detection() {
+        assert!(Expr::col(0).is_leaf());
+        assert!(Expr::lit(Value::Int(1)).is_leaf());
+        assert!(!Expr::col(0).eq(Expr::lit(Value::Int(1))).is_leaf());
+    }
+
+    #[test]
+    fn substitution_equals_projection_composition() {
+        // Projection output: (col1, "IBM"); predicate over that output.
+        let projection = [Expr::col(1), Expr::lit(Value::str("IBM"))];
+        let pred = Expr::col(0)
+            .gt(Expr::lit(Value::Float(10.0)))
+            .and(Expr::col(1).eq(Expr::lit(Value::str("IBM"))));
+        let substituted = pred.substitute_cols(&projection);
+        let input = quote("AAPL", 12.0, 7);
+        let projected = Tuple::new(
+            input.ts,
+            projection.iter().map(|e| e.eval(&input).unwrap()).collect(),
+        );
+        assert_eq!(pred.matches(&projected), substituted.matches(&input));
+        assert!(substituted.matches(&input));
+        // Out-of-range references survive untouched (defensive; plan
+        // validation rejects them before substitution can see them).
+        assert_eq!(Expr::col(9).substitute_cols(&projection), Expr::col(9));
     }
 
     #[test]

@@ -51,6 +51,45 @@
 //! [`engine::DsmsEngine::push_rows`] (one stream, many rows) are the
 //! primary ingestion paths.
 //!
+//! ## Operator fusion
+//!
+//! At network-instantiation time a **fusion pass** (on by default) collapses
+//! each maximal chain of adjacent stateless operators — filter→filter,
+//! filter→project, project→project — into a single [`ops::FusedOp`] node:
+//! one queue hop and one output-batch materialization for the whole chain.
+//! Construction composes stages where that is exactly
+//! semantics-preserving (adjacent filters become one short-circuit
+//! conjunction; back-to-back projections substitute when the inner one is
+//! all `Col`/`Lit` leaves) and otherwise runs a staged per-row kernel loop.
+//!
+//! Sharing beats fusion: the chain walk stops at any sub-plan already
+//! materialized as a physical node and subscribes to it, and a fused node
+//! is keyed by its chain's top signature, so identical chains submitted by
+//! different users still share one node and per-CQ cost attribution is
+//! unchanged. One deliberate asymmetry remains: a chain fuses over
+//! *interior* sub-plans without registering their signatures, so a query
+//! equal to such an interior prefix that arrives **after** the chain gets
+//! its own node (duplicate computation, never wrong results); arriving
+//! before the chain, it is shared. Splitting live fused nodes when a
+//! prefix reader appears is future work (see ROADMAP).
+//!
+//! The fused node reports a **selectivity-aware effective unit cost**
+//! (each stage's analytic cost weighted by the fraction of input rows that
+//! reached it), so the admission auction prices a fused plan like the
+//! unfused chain's measured per-node rates, while
+//! [`cost::CostModel::measured`] observes the real (lower) per-tuple time.
+//! Before calibration traffic flows, the fallback is the conservative
+//! full-chain sum.
+//!
+//! The knob lives next to the batch-size knob at every level:
+//! [`network::QueryNetwork::set_fusion_enabled`],
+//! [`engine::DsmsEngine::set_fusion`] / [`engine::DsmsEngine::with_fusion`],
+//! and [`center::DsmsCenter::with_fusion`] (which also applies it to the
+//! per-auction shadow calibration engines). Turning it off recovers one
+//! physical node per logical operator; fused and unfused networks are
+//! row-for-row equivalent (pinned by the `fused_network_equals_unfused`
+//! property in `tests/property_dsms.rs`).
+//!
 //! ## Example: shared batched processing end to end
 //!
 //! ```

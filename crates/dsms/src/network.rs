@@ -12,8 +12,23 @@
 //! lower-numbered node to a higher-numbered node (children are always
 //! instantiated before parents, and reused parents already have their input
 //! edges), so ascending node id is a topological order.
+//!
+//! Instantiation runs a **fusion pass** (on by default, see
+//! [`QueryNetwork::set_fusion_enabled`]): a chain of adjacent stateless
+//! operators (filter→filter, filter→project, project→project) collapses
+//! into a single [`FusedOp`] node, keyed by the chain's top signature.
+//! Sharing beats fusion — the chain walk stops at any sub-plan already
+//! materialized as a (possibly shared) node and subscribes to it instead.
+//! The cost of fusing is that a chain's *interior* signatures are not
+//! registered, so operator sharing becomes order-dependent in one corner:
+//! a query equal to an interior prefix of an already-fused chain gets its
+//! own node (duplicate work, identical results) instead of splitting the
+//! fused chain. See `fusion_does_not_share_interior_prefixes_added_later`
+//! for the pinned behavior.
 
-use crate::ops::{AggregateOp, FilterOp, JoinOp, Operator, ProjectOp, UnionOp};
+use crate::ops::{
+    AggregateOp, FilterOp, FusedOp, FusedStage, JoinOp, Operator, ProjectOp, UnionOp,
+};
 use crate::plan::{AggFunc, LogicalPlan, PlanError, StreamCatalog};
 use crate::types::{DataType, Schema};
 use serde::{Deserialize, Serialize};
@@ -119,7 +134,6 @@ pub struct QueryInfo {
 }
 
 /// The shared operator network (see module docs).
-#[derive(Default)]
 pub struct QueryNetwork {
     streams: HashMap<String, Arc<Schema>>,
     nodes: Vec<Option<Node>>,
@@ -127,6 +141,23 @@ pub struct QueryNetwork {
     source_subs: HashMap<String, Vec<Target>>,
     queries: HashMap<CqId, QueryInfo>,
     next_cq: u32,
+    /// When true (the default), chains of adjacent stateless operators are
+    /// collapsed into single [`FusedOp`] nodes at instantiation time.
+    fusion: bool,
+}
+
+impl Default for QueryNetwork {
+    fn default() -> Self {
+        Self {
+            streams: HashMap::new(),
+            nodes: Vec::new(),
+            by_signature: HashMap::new(),
+            source_subs: HashMap::new(),
+            queries: HashMap::new(),
+            next_cq: 0,
+            fusion: true,
+        }
+    }
 }
 
 impl fmt::Debug for QueryNetwork {
@@ -149,6 +180,20 @@ impl QueryNetwork {
     /// An empty network.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Whether the stateless-operator fusion pass is enabled (on by
+    /// default).
+    pub fn fusion_enabled(&self) -> bool {
+        self.fusion
+    }
+
+    /// Enables or disables the fusion pass. Affects only *subsequently
+    /// instantiated* operators; live nodes keep whatever shape they were
+    /// built with (identical plans keep sharing either way, because fused
+    /// and unfused nodes are keyed by the same plan signature).
+    pub fn set_fusion_enabled(&mut self, enabled: bool) {
+        self.fusion = enabled;
     }
 
     /// Registers an input stream. Re-registering with the same schema is a
@@ -385,28 +430,8 @@ impl QueryNetwork {
         }
         let producer = match plan {
             LogicalPlan::Source { .. } => unreachable!("handled above"),
-            LogicalPlan::Filter { input, predicate } => {
-                let child = self.instantiate(input, created)?;
-                let schema = input.output_schema(self)?;
-                let id = self.new_node(
-                    Box::new(FilterOp::new(predicate.clone(), schema)),
-                    signature,
-                    "filter",
-                );
-                self.connect(&child, Target::Node(id, 0));
-                id
-            }
-            LogicalPlan::Project { input, columns } => {
-                let child = self.instantiate(input, created)?;
-                let schema = plan.output_schema(self)?;
-                let exprs = columns.iter().map(|(_, e)| e.clone()).collect();
-                let id = self.new_node(
-                    Box::new(ProjectOp::new(exprs, schema)),
-                    signature,
-                    "project",
-                );
-                self.connect(&child, Target::Node(id, 0));
-                id
+            LogicalPlan::Filter { .. } | LogicalPlan::Project { .. } => {
+                self.instantiate_stateless(plan, signature, created)?
             }
             LogicalPlan::Join {
                 left,
@@ -462,6 +487,88 @@ impl QueryNetwork {
         };
         created.push(producer);
         Ok(Producer::Node(producer))
+    }
+
+    /// Lowers a stateless plan node (filter or project), fusing the maximal
+    /// chain of stateless ancestors into one [`FusedOp`] when fusion is
+    /// enabled.
+    ///
+    /// The chain walk stops at the first ancestor that either is stateful
+    /// (or a source) or already exists as a physical node — **sharing beats
+    /// fusion**: a materialized prefix may serve other queries, so the
+    /// chain subscribes to it instead of re-computing it. The fused node is
+    /// keyed by the chain's *top* signature (which transitively encodes the
+    /// whole chain), so identical chains submitted by different users still
+    /// collapse onto one node, and `collect_plan_nodes` attributes the node
+    /// to every query whose plan contains the chain's top — per-CQ cost
+    /// attribution is unchanged by fusion. Interior signatures of the
+    /// fused chain are *not* registered: a later query equal to such a
+    /// prefix builds its own node rather than splitting the chain (see the
+    /// module docs).
+    fn instantiate_stateless(
+        &mut self,
+        plan: &LogicalPlan,
+        signature: String,
+        created: &mut Vec<NodeId>,
+    ) -> Result<NodeId, PlanError> {
+        let mut chain: Vec<&LogicalPlan> = vec![plan];
+        let mut cursor = plan.stateless_input().expect("stateless plan node");
+        if self.fusion {
+            while cursor.is_stateless() && !self.by_signature.contains_key(&cursor.signature()) {
+                chain.push(cursor);
+                cursor = cursor.stateless_input().expect("stateless plan node");
+            }
+        }
+        let child = self.instantiate(cursor, created)?;
+        let id = if chain.len() == 1 {
+            // Nothing to fuse with: a plain single-operator node.
+            match plan {
+                LogicalPlan::Filter { input, predicate } => {
+                    let schema = input.output_schema(self)?;
+                    self.new_node(
+                        Box::new(FilterOp::new(predicate.clone(), schema)),
+                        signature,
+                        "filter",
+                    )
+                }
+                LogicalPlan::Project { columns, .. } => {
+                    let schema = plan.output_schema(self)?;
+                    let exprs = columns.iter().map(|(_, e)| e.clone()).collect();
+                    self.new_node(
+                        Box::new(ProjectOp::new(exprs, schema)),
+                        signature,
+                        "project",
+                    )
+                }
+                _ => unreachable!("stateless plan nodes are filter or project"),
+            }
+        } else {
+            // Stage list in chain order (upstream first), each stage
+            // carrying its analytic unit cost: the fused node reports a
+            // selectivity-aware effective cost, so the admission auction
+            // prices the fused chain like the unfused chain's measured
+            // per-stage rates, while the measured cost model observes the
+            // real (lower) per-tuple time.
+            let mut stages = Vec::with_capacity(chain.len());
+            for node in chain.iter().rev() {
+                match node {
+                    LogicalPlan::Filter { predicate, .. } => {
+                        stages.push((FusedStage::Filter(predicate.clone()), FilterOp::UNIT_COST));
+                    }
+                    LogicalPlan::Project { columns, .. } => {
+                        stages.push((
+                            FusedStage::Project(columns.iter().map(|(_, e)| e.clone()).collect()),
+                            ProjectOp::UNIT_COST,
+                        ));
+                    }
+                    _ => unreachable!("stateless plan nodes are filter or project"),
+                }
+            }
+            let schema = plan.output_schema(self)?;
+            self.new_node(Box::new(FusedOp::new(stages, schema)), signature, "fused")
+        };
+        self.connect(&child, Target::Node(id, 0));
+        Ok(id)
     }
 
     /// Collects the node ids a (registered) plan maps to.
@@ -612,6 +719,124 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn stateless_chain() -> LogicalPlan {
+        LogicalPlan::source("quotes")
+            .filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))))
+            .filter(Expr::col(0).eq(Expr::lit(Value::str("IBM"))))
+            .project(vec![("price".to_string(), Expr::col(1))])
+    }
+
+    #[test]
+    fn stateless_chain_fuses_into_one_node() {
+        let mut n = network_with_quotes();
+        let q = n.add_query(stateless_chain()).unwrap();
+        assert_eq!(n.num_nodes(), 1, "three stateless ops fuse into one node");
+        let id = n.query(q).unwrap().nodes[0];
+        let node = n.node(id).unwrap();
+        assert_eq!(node.kind, "fused");
+        // The auction still sees the full chain's analytic load.
+        assert_eq!(
+            node.op.unit_cost(),
+            2.0 * crate::ops::FilterOp::UNIT_COST + crate::ops::ProjectOp::UNIT_COST
+        );
+    }
+
+    #[test]
+    fn fusion_off_materializes_each_stage() {
+        let mut n = network_with_quotes();
+        assert!(n.fusion_enabled(), "fusion defaults to on");
+        n.set_fusion_enabled(false);
+        n.add_query(stateless_chain()).unwrap();
+        assert_eq!(n.num_nodes(), 3, "unfused: one node per operator");
+    }
+
+    #[test]
+    fn identical_fused_chains_share_one_node() {
+        let mut n = network_with_quotes();
+        n.add_query(stateless_chain()).unwrap();
+        n.add_query(stateless_chain()).unwrap();
+        assert_eq!(n.num_nodes(), 1);
+        assert_eq!(n.max_degree_of_sharing(), 2);
+    }
+
+    #[test]
+    fn fusion_stops_at_materialized_shared_prefix() {
+        // The bare filter exists first; the chain must subscribe to it
+        // rather than re-computing the shared prefix inside a fused node.
+        let mut n = network_with_quotes();
+        let q1 = n.add_query(high_price_filter()).unwrap();
+        let chain = high_price_filter()
+            .filter(Expr::col(0).eq(Expr::lit(Value::str("IBM"))))
+            .project(vec![("price".to_string(), Expr::col(1))]);
+        let q2 = n.add_query(chain).unwrap();
+        assert_eq!(n.num_nodes(), 2, "shared filter + fused suffix");
+        let shared = n.query(q1).unwrap().nodes[0];
+        assert_eq!(n.node(shared).unwrap().refcount, 2, "prefix serves both");
+        let suffix = *n
+            .query(q2)
+            .unwrap()
+            .nodes
+            .iter()
+            .find(|id| **id != shared)
+            .unwrap();
+        assert_eq!(n.node(suffix).unwrap().kind, "fused");
+        assert_eq!(
+            n.node(shared).unwrap().downstream,
+            vec![Target::Sink(q1), Target::Node(suffix, 0)]
+        );
+    }
+
+    #[test]
+    fn fused_chain_serves_as_prefix_for_later_queries() {
+        // A query whose plan extends an already-fused chain reuses the
+        // fused node, and per-CQ attribution lists both physical nodes.
+        let mut n = network_with_quotes();
+        n.add_query(stateless_chain()).unwrap();
+        let extended = n
+            .add_query(stateless_chain().aggregate(None, AggFunc::Count, 0, 1000))
+            .unwrap();
+        assert_eq!(n.num_nodes(), 2, "fused chain + aggregate");
+        let info = n.query(extended).unwrap();
+        assert_eq!(info.nodes.len(), 2, "attribution covers fused + aggregate");
+        let kinds: Vec<&str> = info
+            .nodes
+            .iter()
+            .map(|id| n.node(*id).unwrap().kind)
+            .collect();
+        assert!(kinds.contains(&"fused") && kinds.contains(&"aggregate"));
+    }
+
+    #[test]
+    fn fusion_does_not_share_interior_prefixes_added_later() {
+        // Pinned tradeoff (see module docs): a fused chain does not
+        // register its interior signatures, so a *later* query equal to an
+        // interior prefix gets its own node — duplicate computation, never
+        // wrong results. Submitted in the opposite order the prefix is
+        // shared (`fusion_stops_at_materialized_shared_prefix`).
+        let mut n = network_with_quotes();
+        n.add_query(stateless_chain()).unwrap();
+        assert_eq!(n.num_nodes(), 1);
+        let prefix = n.add_query(high_price_filter()).unwrap();
+        assert_eq!(
+            n.num_nodes(),
+            2,
+            "the interior prefix is re-materialized, not split out"
+        );
+        let prefix_node = n.query(prefix).unwrap().nodes[0];
+        assert_eq!(n.node(prefix_node).unwrap().kind, "filter");
+        assert_eq!(n.node(prefix_node).unwrap().refcount, 1);
+    }
+
+    #[test]
+    fn fused_node_is_garbage_collected_with_its_query() {
+        let mut n = network_with_quotes();
+        let q = n.add_query(stateless_chain()).unwrap();
+        assert_eq!(n.num_nodes(), 1);
+        n.remove_query(q);
+        assert_eq!(n.num_nodes(), 0);
+        assert!(n.stream_subscribers("quotes").is_empty());
     }
 
     #[test]

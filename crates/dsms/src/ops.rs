@@ -91,6 +91,10 @@ pub struct FilterOp {
 }
 
 impl FilterOp {
+    /// Analytic per-tuple work of one filter stage (the fusion pass sums
+    /// these constants when it collapses a chain into a [`FusedOp`]).
+    pub const UNIT_COST: f64 = 1.0;
+
     /// A filter with the given predicate; `schema` is the (pass-through)
     /// input schema.
     pub fn new(predicate: Expr, schema: Schema) -> Self {
@@ -119,7 +123,7 @@ impl Operator for FilterOp {
     }
 
     fn unit_cost(&self) -> f64 {
-        1.0
+        Self::UNIT_COST
     }
 }
 
@@ -131,6 +135,10 @@ pub struct ProjectOp {
 }
 
 impl ProjectOp {
+    /// Analytic per-tuple work of one projection stage (summed by the
+    /// fusion pass, like [`FilterOp::UNIT_COST`]).
+    pub const UNIT_COST: f64 = 1.2;
+
     /// A projection computing `exprs` into the given output schema.
     pub fn new(exprs: Vec<Expr>, schema: Schema) -> Self {
         Self {
@@ -163,7 +171,141 @@ impl Operator for ProjectOp {
     }
 
     fn unit_cost(&self) -> f64 {
-        1.2
+        Self::UNIT_COST
+    }
+}
+
+/// One stage of a [`FusedOp`]: the stateless kernels the fusion pass knows
+/// how to chain over a row without materializing intermediate batches.
+#[derive(Clone, Debug)]
+pub enum FusedStage {
+    /// Keep rows matching the predicate (drop on evaluation error, like
+    /// [`FilterOp`]).
+    Filter(Expr),
+    /// Map each row through the projection expressions (drop on evaluation
+    /// error, like [`ProjectOp`]).
+    Project(Vec<Expr>),
+}
+
+/// A chain of adjacent stateless operators collapsed into one physical
+/// node by the query network's fusion pass.
+///
+/// Each input row runs through the stage list in chain order — one queue
+/// hop and one output-batch materialization for the whole chain instead of
+/// one per operator. Construction composes stages where that is exactly
+/// semantics-preserving:
+///
+/// * **adjacent filters** become one conjunctive predicate (short-circuit
+///   `AND` reproduces the staged drop behavior bit for bit);
+/// * **back-to-back projections** substitute when the inner projection is
+///   all leaf expressions (`Col`/`Lit`), which never fail on
+///   schema-conforming rows and are free to duplicate;
+/// * everything else stays a staged per-row kernel loop.
+///
+/// The operator reports a **selectivity-aware effective unit cost**: each
+/// composed stage keeps the summed analytic cost of the operators folded
+/// into it plus a count of the rows that actually entered it, and
+/// [`Operator::unit_cost`] returns `Σ costᵢ · enteredᵢ / entered₀` — the
+/// same analytic load the unfused chain would report from its measured
+/// per-node input rates. Before any row is processed (or for an idle
+/// calibration path) it falls back to the full summed cost, a conservative
+/// upper bound. The one residual approximation: rows dropped midway through
+/// a *composed* filter conjunction are still charged that whole stage.
+#[derive(Debug)]
+pub struct FusedOp {
+    /// Composed stages with their summed analytic cost and the number of
+    /// rows that entered them.
+    stages: Vec<(FusedStage, f64, u64)>,
+    schema: Arc<Schema>,
+}
+
+impl FusedOp {
+    /// A fused chain from `(stage, analytic unit cost)` pairs listed in
+    /// chain order (upstream first); `schema` is the last stage's output
+    /// schema.
+    ///
+    /// # Panics
+    /// Panics when `stages` is empty.
+    pub fn new(stages: Vec<(FusedStage, f64)>, schema: Schema) -> Self {
+        assert!(!stages.is_empty(), "fused chain needs at least one stage");
+        let mut composed: Vec<(FusedStage, f64, u64)> = Vec::with_capacity(stages.len());
+        for (stage, cost) in stages {
+            match (composed.last_mut(), stage) {
+                (Some((FusedStage::Filter(prev), prev_cost, _)), FusedStage::Filter(next)) => {
+                    let left = std::mem::replace(prev, Expr::Lit(Value::Bool(true)));
+                    *prev = left.and(next);
+                    *prev_cost += cost;
+                }
+                (Some((FusedStage::Project(inner), prev_cost, _)), FusedStage::Project(outer))
+                    if inner.iter().all(Expr::is_leaf) =>
+                {
+                    let substituted: Vec<Expr> =
+                        outer.iter().map(|e| e.substitute_cols(inner)).collect();
+                    *inner = substituted;
+                    *prev_cost += cost;
+                }
+                (_, next) => composed.push((next, cost, 0)),
+            }
+        }
+        Self {
+            stages: composed,
+            schema: Arc::new(schema),
+        }
+    }
+
+    /// Number of kernel stages left after composition.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+impl Operator for FusedOp {
+    fn process_batch(&mut self, _port: usize, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
+        let mut output = TupleBatch::with_capacity(self.schema.clone(), batch.len());
+        'rows: for mut tuple in batch.into_rows() {
+            for (stage, _, entered) in &mut self.stages {
+                *entered += 1;
+                match stage {
+                    FusedStage::Filter(predicate) => {
+                        if !predicate.matches(&tuple) {
+                            continue 'rows;
+                        }
+                    }
+                    FusedStage::Project(exprs) => {
+                        let mut values = Vec::with_capacity(exprs.len());
+                        for e in exprs.iter() {
+                            match e.eval(&tuple) {
+                                Ok(v) => values.push(v),
+                                Err(_) => continue 'rows, // drop malformed tuples
+                            }
+                        }
+                        tuple = Tuple::new(tuple.ts, values);
+                    }
+                }
+            }
+            output.push(tuple);
+        }
+        if !output.is_empty() {
+            out.push(output);
+        }
+    }
+
+    fn output_schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn unit_cost(&self) -> f64 {
+        // Effective cost per *input* row: stage costs weighted by the
+        // fraction of input rows that reached each stage. An idle node
+        // reports the conservative full-chain sum.
+        let entered_first = self.stages.first().map_or(0, |(_, _, n)| *n);
+        if entered_first == 0 {
+            return self.stages.iter().map(|(_, c, _)| c).sum();
+        }
+        self.stages
+            .iter()
+            .map(|(_, cost, entered)| cost * (*entered as f64 / entered_first as f64))
+            .sum()
     }
 }
 
@@ -221,6 +363,11 @@ impl Operator for JoinOp {
                 ),
             };
             let Some(key) = Key::from_value(tuple.value(key_col)) else {
+                // Plan validation rejects float join keys before any
+                // operator is built; reaching this means the node was
+                // constructed around it. Dropping the row keeps release
+                // builds safe either way.
+                debug_assert!(false, "unhashable join key escaped plan validation");
                 continue;
             };
             // Probe the opposite side.
@@ -256,7 +403,12 @@ impl Operator for JoinOp {
                 !q.is_empty()
             });
         }
-        self.state_len -= evicted;
+        debug_assert!(
+            evicted <= self.state_len,
+            "join evicted {evicted} tuples but tracked only {}",
+            self.state_len
+        );
+        self.state_len = self.state_len.saturating_sub(evicted);
     }
 
     fn output_schema(&self) -> &Arc<Schema> {
@@ -272,57 +424,142 @@ impl Operator for JoinOp {
     }
 }
 
-#[derive(Clone, Debug, Default)]
-struct AggState {
-    count: u64,
-    sum: f64,
-    min: f64,
-    max: f64,
+/// One typed input drawn from the aggregated column.
+#[derive(Clone, Copy, Debug)]
+enum AggInput {
+    /// An integer column value (or the dummy value of a pure `Count`).
+    Int(i64),
+    /// A float column value.
+    Float(f64),
+}
+
+/// The running accumulator of one `(window, group)` pair.
+///
+/// Integer inputs accumulate **exactly**: `sum` is an `i128`, wide enough
+/// that no possible number of `i64` terms can overflow it, and `min`/`max`
+/// stay in `i64`. The previous always-`f64` accumulator silently lost
+/// precision once an integer sum passed 2^53. Float inputs keep the `f64`
+/// path.
+#[derive(Clone, Debug)]
+enum AggState {
+    /// Exact integer accumulation.
+    Int {
+        count: u64,
+        sum: i128,
+        min: i64,
+        max: i64,
+    },
+    /// Float accumulation.
+    Float {
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+    },
+}
+
+/// Saturates an exact wide sum into the `i64` output column. Clipping needs
+/// more than 2^63 of accumulated magnitude; saturation is the explicit
+/// spelling of what the old `f64 as i64` cast did implicitly (on top of
+/// silently losing precision far earlier).
+fn saturate_i128(v: i128) -> i64 {
+    v.clamp(i128::from(i64::MIN), i128::from(i64::MAX)) as i64
 }
 
 impl AggState {
-    fn update(&mut self, v: f64) {
-        if self.count == 0 {
-            self.min = v;
-            self.max = v;
-        } else {
-            self.min = self.min.min(v);
-            self.max = self.max.max(v);
+    /// An accumulator holding exactly the first absorbed value.
+    fn seeded(v: AggInput) -> AggState {
+        match v {
+            AggInput::Int(i) => AggState::Int {
+                count: 1,
+                sum: i128::from(i),
+                min: i,
+                max: i,
+            },
+            AggInput::Float(f) => AggState::Float {
+                count: 1,
+                sum: f,
+                min: f,
+                max: f,
+            },
         }
-        self.count += 1;
-        self.sum += v;
     }
 
-    fn result(&self, func: AggFunc, int_input: bool) -> Value {
-        match func {
-            AggFunc::Count => Value::Int(self.count as i64),
-            AggFunc::Sum => {
-                if int_input {
-                    Value::Int(self.sum as i64)
-                } else {
-                    Value::Float(self.sum)
-                }
-            }
-            AggFunc::Avg => Value::Float(if self.count == 0 {
-                0.0
-            } else {
-                self.sum / self.count as f64
-            }),
-            AggFunc::Min => {
-                if int_input {
-                    Value::Int(self.min as i64)
-                } else {
-                    Value::Float(self.min)
-                }
-            }
-            AggFunc::Max => {
-                if int_input {
-                    Value::Int(self.max as i64)
-                } else {
-                    Value::Float(self.max)
-                }
-            }
+    /// An accumulator with no absorbed tuples. `absorb` never produces one
+    /// (it seeds with the first value); this exists so the empty-state
+    /// contract of [`AggState::result`] is constructible and tested.
+    #[cfg(test)]
+    fn empty() -> AggState {
+        AggState::Int {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
         }
+    }
+
+    fn update(&mut self, v: AggInput) {
+        match (self, v) {
+            (
+                AggState::Int {
+                    count,
+                    sum,
+                    min,
+                    max,
+                },
+                AggInput::Int(i),
+            ) => {
+                *count += 1;
+                *sum += i128::from(i);
+                *min = (*min).min(i);
+                *max = (*max).max(i);
+            }
+            (
+                AggState::Float {
+                    count,
+                    sum,
+                    min,
+                    max,
+                },
+                AggInput::Float(f),
+            ) => {
+                *count += 1;
+                *sum += f;
+                *min = min.min(f);
+                *max = max.max(f);
+            }
+            _ => debug_assert!(false, "aggregate input type drifted mid-window"),
+        }
+    }
+
+    fn count(&self) -> u64 {
+        match self {
+            AggState::Int { count, .. } | AggState::Float { count, .. } => *count,
+        }
+    }
+
+    /// The aggregate's value, or `None` for an empty accumulator: an empty
+    /// window has no defined `Min`/`Max`/`Avg` (the old code emitted the
+    /// uninitialized `0.0`), so callers skip emission instead.
+    fn result(&self, func: AggFunc) -> Option<Value> {
+        if self.count() == 0 {
+            return None;
+        }
+        Some(match (func, self) {
+            (AggFunc::Count, s) => Value::Int(s.count() as i64),
+            (AggFunc::Sum, AggState::Int { sum, .. }) => Value::Int(saturate_i128(*sum)),
+            (AggFunc::Sum, AggState::Float { sum, .. }) => Value::Float(*sum),
+            (AggFunc::Avg, AggState::Int { count, sum, .. }) => {
+                Value::Float(*sum as f64 / *count as f64)
+            }
+            (AggFunc::Avg, AggState::Float { count, sum, .. }) => {
+                Value::Float(*sum / *count as f64)
+            }
+            (AggFunc::Min, AggState::Int { min, .. }) => Value::Int(*min),
+            (AggFunc::Min, AggState::Float { min, .. }) => Value::Float(*min),
+            (AggFunc::Max, AggState::Int { max, .. }) => Value::Int(*max),
+            (AggFunc::Max, AggState::Float { max, .. }) => Value::Float(*max),
+        })
     }
 }
 
@@ -392,15 +629,28 @@ impl AggregateOp {
         let group = match self.group_by {
             Some(col) => match Key::from_value(tuple.value(col)) {
                 Some(k) => Some(k),
-                None => return,
+                None => {
+                    // Plan validation rejects float group keys; see the
+                    // matching guard in `JoinOp::process_batch`.
+                    debug_assert!(false, "unhashable group key escaped plan validation");
+                    return;
+                }
             },
             None => None,
         };
         let v = if self.func == AggFunc::Count {
-            0.0
+            AggInput::Int(0) // the value is never read, only counted
+        } else if self.int_input {
+            match tuple.value(self.column).as_int() {
+                Some(i) => AggInput::Int(i),
+                None => {
+                    debug_assert!(false, "non-integer value in integer aggregate column");
+                    return;
+                }
+            }
         } else {
             match tuple.value(self.column).as_f64() {
-                Some(v) => v,
+                Some(f) => AggInput::Float(f),
                 None => return,
             }
         };
@@ -412,9 +662,7 @@ impl AggregateOp {
             match self.state.entry((start, group.clone())) {
                 Entry::Occupied(mut e) => e.get_mut().update(v),
                 Entry::Vacant(e) => {
-                    let mut s = AggState::default();
-                    s.update(v);
-                    e.insert(s);
+                    e.insert(AggState::seeded(v));
                 }
             }
             // Step back one slide while the window still covers `ts`.
@@ -434,12 +682,16 @@ impl AggregateOp {
         state: &AggState,
         out: &mut TupleBatch,
     ) {
+        let Some(agg) = state.result(self.func) else {
+            debug_assert!(false, "empty window state scheduled for emission");
+            return;
+        };
         let end = start + self.window_ms;
         let mut values = vec![Value::Int(end as i64)];
         if let Some(k) = group {
             values.push(k.to_value());
         }
-        values.push(state.result(self.func, self.int_input));
+        values.push(agg);
         out.push(Tuple::new(end, values));
     }
 
@@ -467,7 +719,9 @@ impl AggregateOp {
         for (key, state) in ready {
             self.emit_window(&key, &state, &mut closed);
         }
-        out.push(closed);
+        if !closed.is_empty() {
+            out.push(closed);
+        }
     }
 }
 
@@ -750,6 +1004,210 @@ mod tests {
         u.process_batch(0, qbatch(vec![quote(1, "A", 1.0)]), &mut out);
         u.process_batch(1, qbatch(vec![quote(2, "B", 2.0)]), &mut out);
         assert_eq!(rows_of(&out).len(), 2);
+    }
+
+    #[test]
+    fn fused_chain_equals_staged_operators() {
+        // filter(price > 100) → project(symbol, price) → filter(symbol = IBM),
+        // run fused and as three separate operators over the same batch.
+        let pred_price = Expr::col(1).gt(Expr::lit(Value::Float(100.0)));
+        let proj = vec![Expr::col(0), Expr::col(1)];
+        let pred_sym = Expr::col(0).eq(Expr::lit(Value::str("IBM")));
+        let rows = vec![
+            quote(1, "IBM", 120.0),
+            quote(2, "IBM", 80.0),
+            quote(3, "AAPL", 130.0),
+            quote(4, "IBM", 140.0),
+        ];
+
+        let mut staged_out = Vec::new();
+        let mut f1 = FilterOp::new(pred_price.clone(), quote_schema());
+        let mut p = ProjectOp::new(proj.clone(), quote_schema());
+        let mut f2 = FilterOp::new(pred_sym.clone(), quote_schema());
+        let mut mid1 = Vec::new();
+        f1.process_batch(0, qbatch(rows.clone()), &mut mid1);
+        let mut mid2 = Vec::new();
+        for b in mid1 {
+            p.process_batch(0, b, &mut mid2);
+        }
+        for b in mid2 {
+            f2.process_batch(0, b, &mut staged_out);
+        }
+
+        let mut fused = FusedOp::new(
+            vec![
+                (FusedStage::Filter(pred_price), FilterOp::UNIT_COST),
+                (FusedStage::Project(proj), ProjectOp::UNIT_COST),
+                (FusedStage::Filter(pred_sym), FilterOp::UNIT_COST),
+            ],
+            quote_schema(),
+        );
+        // Before any row is seen the cost is the conservative chain sum.
+        assert_eq!(
+            fused.unit_cost(),
+            FilterOp::UNIT_COST * 2.0 + ProjectOp::UNIT_COST
+        );
+        let mut fused_out = Vec::new();
+        fused.process_batch(0, qbatch(rows), &mut fused_out);
+
+        assert_eq!(rows_of(&fused_out), rows_of(&staged_out));
+        // After processing, the cost is selectivity-weighted: 4 rows enter
+        // the first filter, 3 survive to the project and second filter.
+        let expected = FilterOp::UNIT_COST
+            + (3.0 / 4.0) * ProjectOp::UNIT_COST
+            + (3.0 / 4.0) * FilterOp::UNIT_COST;
+        assert!((fused.unit_cost() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fusion_composes_adjacent_filters_into_one_predicate() {
+        let f = FusedOp::new(
+            vec![
+                (
+                    FusedStage::Filter(Expr::col(1).gt(Expr::lit(Value::Float(1.0)))),
+                    FilterOp::UNIT_COST,
+                ),
+                (
+                    FusedStage::Filter(Expr::col(1).lt(Expr::lit(Value::Float(9.0)))),
+                    FilterOp::UNIT_COST,
+                ),
+                (
+                    FusedStage::Filter(Expr::col(0).eq(Expr::lit(Value::str("A")))),
+                    FilterOp::UNIT_COST,
+                ),
+            ],
+            quote_schema(),
+        );
+        assert_eq!(f.num_stages(), 1, "three filters compose into one");
+        assert_eq!(
+            f.unit_cost(),
+            3.0 * FilterOp::UNIT_COST,
+            "composition keeps the summed analytic cost"
+        );
+    }
+
+    #[test]
+    fn fusion_substitutes_through_leaf_projections() {
+        // Inner projection is all leaves → the outer projection rewrites
+        // over the inner's inputs and one stage remains.
+        let swap = vec![Expr::col(1), Expr::col(0)];
+        let mut f = FusedOp::new(
+            vec![
+                (FusedStage::Project(swap.clone()), ProjectOp::UNIT_COST),
+                (FusedStage::Project(swap.clone()), ProjectOp::UNIT_COST),
+            ],
+            quote_schema(),
+        );
+        assert_eq!(f.num_stages(), 1, "leaf projections substitute");
+        // Swapping twice is the identity.
+        let mut out = Vec::new();
+        f.process_batch(0, qbatch(vec![quote(1, "IBM", 2.0)]), &mut out);
+        assert_eq!(rows_of(&out), vec![quote(1, "IBM", 2.0)]);
+    }
+
+    #[test]
+    fn fusion_keeps_staged_loop_for_non_leaf_projections() {
+        // Inner projection computes arithmetic — substitution would
+        // duplicate work (and change error behavior), so stages stay.
+        let double = Expr::Arith(
+            crate::expr::ArithOp::Add,
+            Box::new(Expr::col(1)),
+            Box::new(Expr::col(1)),
+        );
+        let f = FusedOp::new(
+            vec![
+                (
+                    FusedStage::Project(vec![Expr::col(0), double]),
+                    ProjectOp::UNIT_COST,
+                ),
+                (
+                    FusedStage::Project(vec![Expr::col(1), Expr::col(0)]),
+                    ProjectOp::UNIT_COST,
+                ),
+            ],
+            quote_schema(),
+        );
+        assert_eq!(
+            f.num_stages(),
+            2,
+            "non-leaf inner projection is not substituted"
+        );
+    }
+
+    #[test]
+    fn int_sum_accumulates_exactly_past_2_pow_53() {
+        // Three copies of 2^53 + 1: the old f64 accumulator rounded each
+        // term to 2^53 and returned 3 × 2^53.
+        let big = (1i64 << 53) + 1;
+        let schema = Schema::new(vec![
+            Field::new("window_end", DataType::Int),
+            Field::new("sum", DataType::Int),
+        ]);
+        let volume_schema = Arc::new(Schema::new(vec![Field::new("volume", DataType::Int)]));
+        let mut a = AggregateOp::new(None, AggFunc::Sum, 0, 100, schema, true);
+        let rows = (0..3)
+            .map(|i| Tuple::new(i, vec![Value::Int(big)]))
+            .collect();
+        let mut out = Vec::new();
+        a.process_batch(0, TupleBatch::from_rows(volume_schema, rows), &mut out);
+        a.finish(&mut out);
+        assert_eq!(rows_of(&out)[0].values[1], Value::Int(3 * big));
+    }
+
+    #[test]
+    fn int_min_max_avg_stay_exact() {
+        let big = (1i64 << 60) + 7;
+        let schema = Schema::new(vec![
+            Field::new("window_end", DataType::Int),
+            Field::new("max", DataType::Int),
+        ]);
+        let volume_schema = Arc::new(Schema::new(vec![Field::new("volume", DataType::Int)]));
+        let mut mx = AggregateOp::new(None, AggFunc::Max, 0, 100, schema, true);
+        let rows: Vec<Tuple> = [big, big - 1]
+            .iter()
+            .enumerate()
+            .map(|(i, v)| Tuple::new(i as u64, vec![Value::Int(*v)]))
+            .collect();
+        let mut out = Vec::new();
+        mx.process_batch(0, TupleBatch::from_rows(volume_schema, rows), &mut out);
+        mx.finish(&mut out);
+        // f64 cannot distinguish big from big - 1 at this magnitude.
+        assert_eq!(rows_of(&out)[0].values[1], Value::Int(big));
+    }
+
+    #[test]
+    fn empty_agg_state_yields_no_value() {
+        let s = AggState::empty();
+        for func in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ] {
+            assert_eq!(s.result(func), None, "{func:?} over an empty window");
+        }
+    }
+
+    #[test]
+    fn saturating_sum_is_explicit_at_i64_bounds() {
+        assert_eq!(saturate_i128(i128::from(i64::MAX) + 1), i64::MAX);
+        assert_eq!(saturate_i128(i128::from(i64::MIN) - 1), i64::MIN);
+        assert_eq!(saturate_i128(42), 42);
+    }
+
+    #[test]
+    fn join_eviction_survives_repeated_watermarks() {
+        let schema = quote_schema().join(&quote_schema());
+        let mut j = JoinOp::new(0, 0, 10, schema);
+        let mut out = Vec::new();
+        j.process_batch(0, qbatch(vec![quote(100, "IBM", 1.0)]), &mut out);
+        assert_eq!(j.state_size(), 1);
+        // Re-advancing past everything must not underflow the tracked size.
+        j.advance_watermark(500, &mut out);
+        j.advance_watermark(500, &mut out);
+        j.advance_watermark(900, &mut out);
+        assert_eq!(j.state_size(), 0);
     }
 
     #[test]

@@ -434,6 +434,25 @@ impl LogicalPlan {
         }
     }
 
+    /// True when the node is a stateless single-input operator (filter or
+    /// project) — the shapes the network's fusion pass may collapse into one
+    /// physical [`crate::ops::FusedOp`] node.
+    pub fn is_stateless(&self) -> bool {
+        matches!(
+            self,
+            LogicalPlan::Filter { .. } | LogicalPlan::Project { .. }
+        )
+    }
+
+    /// The single input of a stateless node ([`None`] for sources and
+    /// stateful operators).
+    pub fn stateless_input(&self) -> Option<&LogicalPlan> {
+        match self {
+            LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => Some(input),
+            _ => None,
+        }
+    }
+
     /// The set of stream names the plan reads.
     pub fn input_streams(&self) -> Vec<String> {
         let mut streams = Vec::new();
@@ -542,6 +561,33 @@ mod tests {
             plan.output_schema(&catalog()),
             Err(PlanError::UnhashableJoinKey(DataType::Float))
         );
+    }
+
+    #[test]
+    fn group_by_float_key_rejected() {
+        // Grouping hashes the key column exactly like a join key does;
+        // without this plan-build check a float group column would make the
+        // runtime silently drop every row (`Key::from_value` → `None`).
+        let plan = LogicalPlan::source("quotes").aggregate(Some(1), AggFunc::Count, 0, 1000);
+        assert_eq!(
+            plan.output_schema(&catalog()),
+            Err(PlanError::UnhashableJoinKey(DataType::Float))
+        );
+    }
+
+    #[test]
+    fn stateless_chain_helpers() {
+        let src = LogicalPlan::source("quotes");
+        assert!(!src.is_stateless());
+        assert!(src.stateless_input().is_none());
+        let filtered = src.filter(Expr::col(1).gt(Expr::lit(Value::Float(1.0))));
+        assert!(filtered.is_stateless());
+        let projected = filtered.clone().project(vec![("s".into(), Expr::col(0))]);
+        assert!(projected.is_stateless());
+        assert_eq!(projected.stateless_input(), Some(&filtered));
+        let agg = projected.clone().aggregate(None, AggFunc::Count, 0, 10);
+        assert!(!agg.is_stateless());
+        assert!(agg.stateless_input().is_none());
     }
 
     #[test]

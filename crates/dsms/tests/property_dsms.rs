@@ -313,14 +313,19 @@ proptest! {
     }
 }
 
+/// Number of plan shapes [`equivalence_plan`] covers.
+const EQUIVALENCE_KINDS: usize = 8;
+
 /// Builds the plan under test for the scalar-vs-batched property: `kind`
 /// selects the operator shape, the remaining parameters its knobs. Every
 /// operator of the engine is covered (filter, project, windowed join,
-/// tumbling aggregate, sliding aggregate, union).
+/// tumbling aggregate, sliding aggregate, union), plus stateless chains
+/// that exercise the fusion pass (filter→filter→project, project→project
+/// feeding an aggregate).
 fn equivalence_plan(kind: usize, thresh: u32, window: u64, slide: u64) -> LogicalPlan {
     let t = f64::from(thresh) / 100.0;
     let high = LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(t))));
-    match kind % 6 {
+    match kind % EQUIVALENCE_KINDS {
         0 => high,
         1 => LogicalPlan::source("quotes").project(vec![
             ("symbol".to_string(), Expr::col(0)),
@@ -339,7 +344,20 @@ fn equivalence_plan(kind: usize, thresh: u32, window: u64, slide: u64) -> Logica
             let slide = slide.min(window);
             LogicalPlan::source("quotes").sliding_aggregate(None, AggFunc::Avg, 1, window, slide)
         }
-        _ => LogicalPlan::source("quotes").union(high),
+        5 => LogicalPlan::source("quotes").union(high),
+        6 => high
+            .filter(Expr::col(0).eq(Expr::lit(Value::str("IBM"))))
+            .project(vec![("price".to_string(), Expr::col(1))]),
+        _ => LogicalPlan::source("quotes")
+            .project(vec![
+                ("price".to_string(), Expr::col(1)),
+                ("symbol".to_string(), Expr::col(0)),
+            ])
+            .project(vec![
+                ("symbol".to_string(), Expr::col(1)),
+                ("price".to_string(), Expr::col(0)),
+            ])
+            .aggregate(Some(0), AggFunc::Count, 0, window),
     }
 }
 
@@ -374,7 +392,7 @@ fn run_chunked(
 /// push/run interleaving), so their guarantee is *multiset* equality and we
 /// compare order-canonicalized sequences.
 fn canonical(kind: usize, mut outputs: Vec<Tuple>) -> Vec<Tuple> {
-    if matches!(kind % 6, 2 | 5) {
+    if matches!(kind % EQUIVALENCE_KINDS, 2 | 5) {
         outputs.sort_by_key(|t| (t.ts, format!("{:?}", t.values)));
     }
     outputs
@@ -394,7 +412,7 @@ proptest! {
     fn scalar_vs_batched_equivalence(
         quotes in quote_stream(60),
         raw_news in proptest::collection::vec((0u64..500, 0usize..3, 0u8..4), 1..30),
-        kind in 0usize..6,
+        kind in 0usize..EQUIVALENCE_KINDS,
         thresh in 1u32..30_000,
         window in 1u64..100,
         slide in 1u64..50,
@@ -431,6 +449,151 @@ proptest! {
             );
         }
     }
+}
+
+/// A random stateless chain over the quote schema, optionally topped by an
+/// aggregate so the fused node also feeds stateful state. Every stage
+/// preserves the `(symbol: Str, price: Float)` shape, so stages compose in
+/// any order; the generator covers filter→filter (predicate conjunction),
+/// project→project (leaf substitution and staged non-leaf loops), and
+/// mixed filter/project chains.
+fn stateless_chain_plan(stages: &[(usize, u32)], top: usize, window: u64) -> LogicalPlan {
+    let mut plan = LogicalPlan::source("quotes");
+    for &(kind, param) in stages {
+        let t = f64::from(param % 30_000) / 100.0;
+        plan = match kind % 4 {
+            0 => plan.filter(Expr::col(1).gt(Expr::lit(Value::Float(t)))),
+            1 => plan
+                .filter(Expr::col(0).eq(Expr::lit(Value::str(SYMS[param as usize % SYMS.len()])))),
+            // Non-leaf projection: stays a staged kernel inside the fused
+            // node.
+            2 => plan.project(vec![
+                ("symbol".to_string(), Expr::col(0)),
+                (
+                    "price".to_string(),
+                    Expr::Arith(
+                        cqac_dsms::expr::ArithOp::Add,
+                        Box::new(Expr::col(1)),
+                        Box::new(Expr::lit(Value::Float(t))),
+                    ),
+                ),
+            ]),
+            // Leaf projection: eligible for substitution composition.
+            _ => plan.project(vec![
+                ("symbol".to_string(), Expr::col(0)),
+                ("price".to_string(), Expr::col(1)),
+            ]),
+        };
+    }
+    match top % 3 {
+        0 => plan,
+        1 => plan.aggregate(Some(0), AggFunc::Count, 0, window),
+        _ => plan.aggregate(None, AggFunc::Avg, 1, window),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// **Fused vs unfused equivalence** — the tentpole property of the
+    /// fusion pass: for random stateless chains (optionally feeding an
+    /// aggregate), a network instantiated with fusion on is row-for-row
+    /// identical to its unfused counterpart across batch-size caps
+    /// 1/7/64/1024, and all caps agree with each other. Stateless chains
+    /// are single-input pipelines, so the guarantee is strict sequence
+    /// equality — no canonicalization.
+    #[test]
+    fn fused_network_equals_unfused(
+        quotes in quote_stream(60),
+        stages in proptest::collection::vec((0usize..4, 0u32..30_000), 1..5),
+        top in 0usize..3,
+        window in 1u64..100,
+    ) {
+        let plan = stateless_chain_plan(&stages, top, window);
+        let feed: Vec<(String, Tuple)> = quotes
+            .iter()
+            .cloned()
+            .map(|t| ("quotes".to_string(), t))
+            .collect();
+        let mut reference: Option<Vec<Tuple>> = None;
+        for &cap in &[1usize, 7, 64, 1024] {
+            let mut unfused = engine();
+            unfused.set_fusion(false);
+            unfused.set_max_batch_size(cap);
+            let u1 = unfused.add_query(plan.clone()).unwrap();
+            let u2 = unfused.add_query(plan.clone()).unwrap();
+            unfused.push_batch(feed.iter().cloned());
+            unfused.finish();
+            let unfused_out = unfused.take_outputs(u1);
+            prop_assert_eq!(&unfused_out, &unfused.take_outputs(u2), "unfused sharing");
+
+            let mut fused = engine();
+            fused.set_max_batch_size(cap);
+            let f1 = fused.add_query(plan.clone()).unwrap();
+            let f2 = fused.add_query(plan.clone()).unwrap();
+            fused.push_batch(feed.iter().cloned());
+            fused.finish();
+            let fused_out = fused.take_outputs(f1);
+            prop_assert_eq!(&fused_out, &fused.take_outputs(f2), "fused sharing");
+
+            prop_assert!(
+                fused.network().num_nodes() <= unfused.network().num_nodes(),
+                "fusion never adds nodes"
+            );
+            prop_assert_eq!(&fused_out, &unfused_out, "fused ≠ unfused at cap {}", cap);
+            match &reference {
+                Some(r) => prop_assert_eq!(&fused_out, r, "cap {} diverged", cap),
+                None => reference = Some(fused_out),
+            }
+        }
+    }
+}
+
+/// Integer sums must accumulate exactly: three terms of 2^53 + 1 overflow
+/// the mantissa of the old `f64` accumulator (which returned 3 × 2^53).
+#[test]
+fn int_sum_query_is_exact_past_2_pow_53() {
+    let mut e = DsmsEngine::new();
+    e.register_stream("volumes", Schema::new(vec![Field::new("v", DataType::Int)]));
+    let cq = e
+        .add_query(LogicalPlan::source("volumes").aggregate(None, AggFunc::Sum, 0, 100))
+        .unwrap();
+    let big = (1i64 << 53) + 1;
+    e.push_rows(
+        "volumes",
+        (0..3)
+            .map(|i| Tuple::new(i, vec![Value::Int(big)]))
+            .collect(),
+    );
+    e.finish();
+    let out = e.take_outputs(cq);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].values[1], Value::Int(3 * big));
+}
+
+/// Float join and group keys are rejected when the plan is built — with a
+/// descriptive error and no network mutation — instead of silently
+/// dropping every row at runtime (`Key::from_value` returns `None` for
+/// floats).
+#[test]
+fn float_keys_rejected_at_plan_build_not_dropped_at_runtime() {
+    let mut e = engine();
+    let group_err = e
+        .add_query(LogicalPlan::source("quotes").aggregate(Some(1), AggFunc::Count, 0, 100))
+        .unwrap_err();
+    assert!(
+        group_err.to_string().contains("not hashable"),
+        "descriptive group-key error, got: {group_err}"
+    );
+    let join_err = e
+        .add_query(LogicalPlan::source("quotes").join(LogicalPlan::source("quotes"), 1, 1, 10))
+        .unwrap_err();
+    assert!(
+        join_err.to_string().contains("not hashable"),
+        "descriptive join-key error, got: {join_err}"
+    );
+    assert_eq!(e.network().num_nodes(), 0, "rejection leaves no residue");
+    assert_eq!(e.network().num_queries(), 0);
 }
 
 /// Late-arrival semantics (deterministic documentation tests): tuples that
