@@ -1,0 +1,150 @@
+//! Columnar vs. row-at-a-time kernels: the value of the columnar batch
+//! layout and of zero-copy sink fan-out.
+//!
+//! Two workloads from the fusion benchmark, run under both kernel modes
+//! (`cqac_dsms::ops::set_columnar_kernels`):
+//!
+//! * `shared_32_chains` — 32 identical filter→filter→project queries (one
+//!   fused node, 32 sinks): dominated by delivery fan-out, which the
+//!   Arc-shared sink path makes copy-free;
+//! * `deep_chain_x6` — one query, six stateless operators fused into one
+//!   node: dominated by kernel work, where the columnar path replaces
+//!   per-row `Value` dispatch with typed column loops.
+//!
+//! Wall clock on the build container is throttle-noisy, so the benchmark
+//! *asserts and prints* the deterministic work counters
+//! (`cqac_dsms::types::work`): the columnar path must run with **zero**
+//! per-row expression evaluations, **zero** row materializations, and
+//! **zero** per-sink batch copies, while the row path pays per-row for
+//! everything. Those counters, not the timings, are the regression gate.
+
+use cqac_dsms::engine::DsmsEngine;
+use cqac_dsms::expr::Expr;
+use cqac_dsms::ops::with_columnar_kernels;
+use cqac_dsms::plan::LogicalPlan;
+use cqac_dsms::streams::{quote_schema, StockStream};
+use cqac_dsms::types::{work, Tuple, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const SYMBOLS: [&str; 8] = ["IBM", "AAPL", "MSFT", "ORCL", "SAP", "TSM", "AMD", "NVDA"];
+const ROWS: usize = 20_000;
+
+/// filter→filter→project with high pass rates (keeps every stage loaded).
+fn chain() -> LogicalPlan {
+    LogicalPlan::source("quotes")
+        .filter(Expr::col(1).gt(Expr::lit(Value::Float(5.0))))
+        .filter(Expr::col(2).gt(Expr::lit(Value::Int(50))))
+        .project(vec![
+            ("symbol".to_string(), Expr::col(0)),
+            ("price".to_string(), Expr::col(1)),
+        ])
+}
+
+/// One query, six stateless operators (all fused into one node).
+fn deep_chain() -> LogicalPlan {
+    let mut deep =
+        LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(2.0))));
+    for i in 0..4i64 {
+        deep = deep.filter(Expr::col(2).gt(Expr::lit(Value::Int(i))));
+    }
+    deep.project(vec![
+        ("symbol".to_string(), Expr::col(0)),
+        ("price".to_string(), Expr::col(1)),
+    ])
+}
+
+fn run_workload(plans: &[LogicalPlan], rows: &[Tuple]) -> (u64, u64) {
+    let mut e = DsmsEngine::new().with_max_batch_size(64);
+    e.register_stream("quotes", quote_schema());
+    for p in plans {
+        e.add_query(p.clone()).expect("valid plan");
+    }
+    e.push_rows("quotes", rows.to_vec());
+    (e.tuples_processed(), e.batches_processed())
+}
+
+/// Runs `plans` under one kernel mode and returns the work counters.
+fn measure(plans: &[LogicalPlan], rows: &[Tuple], columnar: bool) -> work::WorkSnapshot {
+    with_columnar_kernels(columnar, || {
+        work::reset();
+        black_box(run_workload(plans, rows));
+        work::snapshot()
+    })
+}
+
+fn bench_columnar_kernels(c: &mut Criterion) {
+    let rows: Vec<Tuple> = StockStream::new(&SYMBOLS, 1, 42).next_batch(ROWS);
+    let shared: Vec<LogicalPlan> = (0..32).map(|_| chain()).collect();
+    let deep = [deep_chain()];
+
+    // Deterministic comparison first: the regression gate the acceptance
+    // criteria pin, independent of wall clock.
+    println!("\n-- columnar vs row work counters ({ROWS} rows, batch 64) --");
+    println!(
+        "{:<22} {:>6} {:>14} {:>12} {:>12} {:>12}",
+        "workload", "mode", "rows_mat", "row_evals", "kernel_ops", "deep_clones"
+    );
+    for (name, plans) in [
+        ("shared_32_chains", &shared[..]),
+        ("deep_chain_x6", &deep[..]),
+    ] {
+        let row = measure(plans, &rows, false);
+        let col = measure(plans, &rows, true);
+        for (mode, snap) in [("row", &row), ("col", &col)] {
+            println!(
+                "{:<22} {:>6} {:>14} {:>12} {:>12} {:>12}",
+                name,
+                mode,
+                snap.rows_materialized,
+                snap.row_evals,
+                snap.kernel_ops,
+                snap.batch_deep_clones
+            );
+        }
+        assert_eq!(
+            col.row_evals, 0,
+            "{name}: columnar path must not eval per row"
+        );
+        assert_eq!(
+            col.rows_materialized, 0,
+            "{name}: columnar path must not materialize rows (zero per-sink clones)"
+        );
+        assert_eq!(
+            col.batch_deep_clones, 0,
+            "{name}: fan-out must share batches"
+        );
+        assert!(
+            row.row_evals > ROWS as u64,
+            "{name}: row path pays at least one eval per row"
+        );
+        assert!(
+            col.kernel_ops * 16 < row.row_evals,
+            "{name}: kernel passes must be per batch, not per row"
+        );
+    }
+
+    // Wall-clock sweep (noisy on shared hardware; trust the counters).
+    let mut group = c.benchmark_group("columnar_kernels");
+    group.sample_size(10);
+    for columnar in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("shared_32_chains_batch64", columnar),
+            &columnar,
+            |b, &columnar| {
+                b.iter(|| with_columnar_kernels(columnar, || run_workload(&shared, &rows)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("deep_chain_x6_batch64", columnar),
+            &columnar,
+            |b, &columnar| {
+                b.iter(|| with_columnar_kernels(columnar, || run_workload(&deep, &rows)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_columnar_kernels);
+criterion_main!(benches);

@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::RngExt;
 use std::ops::{Range, RangeInclusive};
 
-/// Accepted size specifications for [`vec`].
+/// Accepted size specifications for [`vec()`].
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
     min: usize,
@@ -45,7 +45,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

@@ -23,6 +23,17 @@
 //! * **Node queues** hold `(port, batch)` pairs; one `process_batch` call
 //!   amortizes queue traffic, downstream fan-out, watermark checks, and the
 //!   per-node timing probe over the whole batch.
+//! * **Fan-out is `Arc`-shared**: a produced batch is wrapped in one `Arc`
+//!   and every downstream target receives a pointer clone. Sinks *keep*
+//!   the shared batch (rows materialize only when outputs are read), so a
+//!   32-sink shared query costs zero per-sink row copies. A node consumer
+//!   takes ownership when it holds the last reference — the common
+//!   single-consumer hop still moves the batch — and deep-copies when any
+//!   other consumer (node queue or sink buffer) still holds it (counted by
+//!   [`crate::types::work::WorkSnapshot::batch_deep_clones`]). Total
+//!   copies for a batch fanning out to `k` node consumers and any number
+//!   of sinks: at most `k` — never more than the `targets − 1` the
+//!   row-oriented engine paid, and zero for pure sink fan-out.
 //! * **Connection points** hold whole batches during a transition and
 //!   replay them, in order, ahead of newly arriving data.
 //!
@@ -33,14 +44,15 @@
 use crate::network::{CqId, NodeId, QueryNetwork, Target};
 use crate::plan::StreamCatalog;
 use crate::plan::{LogicalPlan, PlanError};
-use crate::types::{Schema, Tuple, TupleBatch};
+use crate::types::{work, Schema, Tuple, TupleBatch};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The registered schema handle for `stream`, with the engine's uniform
 /// unknown-stream panic (shared by every ingestion path so the hardening
 /// message cannot drift between them).
-fn stream_schema_or_panic(network: &QueryNetwork, stream: &str) -> std::sync::Arc<Schema> {
+fn stream_schema_or_panic(network: &QueryNetwork, stream: &str) -> Arc<Schema> {
     network
         .stream_schema_arc(stream)
         .unwrap_or_else(|| panic!("unknown stream '{stream}': call register_stream before pushing"))
@@ -74,13 +86,15 @@ impl StreamStats {
 #[derive(Debug)]
 pub struct DsmsEngine {
     network: QueryNetwork,
-    /// Pending input batches per node (port, batch), FIFO.
-    queues: HashMap<NodeId, VecDeque<(usize, TupleBatch)>>,
+    /// Pending input batches per node (port, batch), FIFO. Batches are
+    /// `Arc`-shared with every other consumer of the same producing call.
+    queues: HashMap<NodeId, VecDeque<(usize, Arc<TupleBatch>)>>,
     /// Ingested batches not yet routed into node queues (routed at the
     /// start of the next [`DsmsEngine::run_until_quiescent`]).
     ingest: VecDeque<(String, TupleBatch)>,
-    /// Collected outputs per query sink.
-    outputs: HashMap<CqId, Vec<Tuple>>,
+    /// Collected output batches per query sink, `Arc`-shared across sinks
+    /// (rows materialize when outputs are read).
+    outputs: HashMap<CqId, Vec<Arc<TupleBatch>>>,
     /// Maximum event time routed so far (the watermark).
     watermark: u64,
     /// When true, arriving batches are held at the connection points.
@@ -346,23 +360,24 @@ impl DsmsEngine {
             let Some((&last, rest)) = subs.split_last() else {
                 continue;
             };
+            // One Arc for the whole fan-out: every target shares the batch.
+            let shared = Arc::new(batch);
             for &target in rest {
-                self.route(target, batch.clone());
+                self.route(target, shared.clone());
             }
-            self.route(last, batch);
+            self.route(last, shared);
         }
     }
 
-    fn route(&mut self, target: Target, batch: TupleBatch) {
+    fn route(&mut self, target: Target, batch: Arc<TupleBatch>) {
         match target {
             Target::Node(id, port) => {
                 self.queues.entry(id).or_default().push_back((port, batch));
             }
             Target::Sink(cq) => {
-                self.outputs
-                    .entry(cq)
-                    .or_default()
-                    .extend(batch.into_rows());
+                // Zero-copy sink delivery: the sink keeps the shared batch;
+                // rows materialize only when the outputs are read.
+                self.outputs.entry(cq).or_default().push(batch);
             }
         }
     }
@@ -376,12 +391,20 @@ impl DsmsEngine {
             let mut any = false;
             for id in self.network.node_ids() {
                 // Drain the node's input queue, batch by batch.
-                while let Some((port, batch)) =
+                while let Some((port, shared)) =
                     self.queues.get_mut(&id).and_then(VecDeque::pop_front)
                 {
                     any = true;
-                    self.processed += batch.len() as u64;
+                    self.processed += shared.len() as u64;
                     self.batches += 1;
+                    // Take ownership when this is the last reference (the
+                    // common single-consumer hop); deep-copy when another
+                    // consumer — a node queue or a sink buffer — still
+                    // holds the batch.
+                    let batch = Arc::try_unwrap(shared).unwrap_or_else(|still_shared| {
+                        work::count_batch_deep_clone();
+                        (*still_shared).clone()
+                    });
                     out_bufs.clear();
                     {
                         let node = self.network.node_mut(id).expect("live node");
@@ -446,12 +469,18 @@ impl DsmsEngine {
             if batch.is_empty() {
                 continue;
             }
+            // One Arc per produced batch; every target gets a pointer
+            // clone. Sinks never copy; a node consumer that ends up
+            // holding the final reference takes ownership without a copy
+            // (the last-target-takes-ownership fast path). When a batch
+            // feeds both sinks and nodes, each node consumer deep-copies
+            // (the sink buffers outlive the queue drain) — still never
+            // more copies than the per-target clones of the row engine.
+            let shared = Arc::new(batch);
             for &target in rest {
-                self.route(target, batch.clone());
+                self.route(target, shared.clone());
             }
-            // The last target takes ownership: no clone on the common
-            // single-consumer hop.
-            self.route(last, batch);
+            self.route(last, shared);
         }
     }
 
@@ -489,17 +518,45 @@ impl DsmsEngine {
         }
     }
 
-    /// Takes (and clears) the collected outputs of a query.
+    /// Takes (and clears) the collected outputs of a query, materializing
+    /// rows from the sink's shared batches (batches no other sink still
+    /// references are consumed in place).
     pub fn take_outputs(&mut self, cq: CqId) -> Vec<Tuple> {
-        self.outputs
+        let batches = self
+            .outputs
             .get_mut(&cq)
             .map(std::mem::take)
+            .unwrap_or_default();
+        let mut rows = Vec::with_capacity(batches.iter().map(|b| b.len()).sum());
+        for batch in batches {
+            match Arc::try_unwrap(batch) {
+                Ok(owned) => rows.extend(owned.into_rows()),
+                Err(shared) => rows.extend(shared.iter_rows()),
+            }
+        }
+        rows
+    }
+
+    /// Peeks at a query's collected outputs, materializing rows.
+    ///
+    /// This is an **expensive read**: every buffered row is materialized
+    /// from the sink's columnar batches on every call (and counted by
+    /// [`crate::types::work`]). For emptiness or length checks use the
+    /// O(batches) [`DsmsEngine::output_len`] instead.
+    pub fn outputs(&self, cq: CqId) -> Vec<Tuple> {
+        self.outputs
+            .get(&cq)
+            .map(|batches| batches.iter().flat_map(|b| b.iter_rows()).collect())
             .unwrap_or_default()
     }
 
-    /// Peeks at a query's collected outputs.
-    pub fn outputs(&self, cq: CqId) -> &[Tuple] {
-        self.outputs.get(&cq).map(Vec::as_slice).unwrap_or(&[])
+    /// Number of output rows currently buffered for a query (cheap: no row
+    /// materialization).
+    pub fn output_len(&self, cq: CqId) -> usize {
+        self.outputs
+            .get(&cq)
+            .map(|batches| batches.iter().map(|b| b.len()).sum())
+            .unwrap_or(0)
     }
 
     /// The current watermark (max event time *routed*). Tuples buffered by
@@ -620,8 +677,8 @@ mod tests {
         let q2 = e.add_query(high_filter()).unwrap();
         e.push("quotes", quote(1, "IBM", 120.0));
         e.run_until_quiescent();
-        assert_eq!(e.outputs(q1).len(), 1);
-        assert_eq!(e.outputs(q2).len(), 1);
+        assert_eq!(e.output_len(q1), 1);
+        assert_eq!(e.output_len(q2), 1);
         // The shared node processed the tuple once.
         let node = e.network().query(q1).unwrap().nodes[0];
         assert_eq!(e.network().node(node).unwrap().in_count, 1);
@@ -637,7 +694,7 @@ mod tests {
             ("quotes".to_string(), quote(10, "A", 1.0)),
             ("quotes".to_string(), quote(20, "A", 1.0)),
         ]);
-        assert!(e.outputs(cq).is_empty(), "window still open");
+        assert_eq!(e.output_len(cq), 0, "window still open");
         e.push_batch([("quotes".to_string(), quote(150, "A", 1.0))]);
         let out = e.take_outputs(cq);
         assert_eq!(out.len(), 1);
@@ -676,7 +733,7 @@ mod tests {
         e.push("quotes", quote(2, "IBM", 130.0));
         e.push("quotes", quote(3, "IBM", 140.0));
         assert_eq!(e.held_tuples(), 2);
-        assert_eq!(e.outputs(cq).len(), 1, "pre-transition tuple delivered");
+        assert_eq!(e.output_len(cq), 1, "pre-transition tuple delivered");
         e.end_transition();
         let out = e.take_outputs(cq);
         assert_eq!(out.len(), 3);
@@ -720,9 +777,9 @@ mod tests {
             .add_query(LogicalPlan::source("quotes").aggregate(None, AggFunc::Count, 0, 1000))
             .unwrap();
         e.push_batch([("quotes".to_string(), quote(10, "A", 1.0))]);
-        assert!(e.outputs(cq).is_empty());
+        assert_eq!(e.output_len(cq), 0);
         e.finish();
-        assert_eq!(e.outputs(cq).len(), 1);
+        assert_eq!(e.output_len(cq), 1);
     }
 
     #[test]
@@ -738,7 +795,7 @@ mod tests {
         let q2 = e.add_query(high_filter()).unwrap();
         e.push("quotes", quote(3, "IBM", 140.0));
         e.run_until_quiescent();
-        assert_eq!(e.outputs(q1).len(), 3);
+        assert_eq!(e.output_len(q1), 3);
         assert_eq!(
             e.outputs(q2).iter().map(|t| t.ts).collect::<Vec<_>>(),
             vec![3],
@@ -858,6 +915,75 @@ mod tests {
     }
 
     #[test]
+    fn sink_fanout_shares_batches_without_row_clones() {
+        // 32 sinks off one shared filter: delivery must be Arc-shared —
+        // zero per-sink row copies, zero per-row evaluation, zero deep
+        // batch clones — and still correct per sink.
+        let mut e = engine_with_quotes();
+        let cqs: Vec<_> = (0..32)
+            .map(|_| e.add_query(high_filter()).unwrap())
+            .collect();
+        crate::types::work::reset();
+        e.push_rows(
+            "quotes",
+            (0..1000).map(|i| quote(i, "IBM", 120.0)).collect(),
+        );
+        let snap = crate::types::work::snapshot();
+        assert_eq!(snap.rows_materialized, 0, "delivery is zero-copy");
+        assert_eq!(snap.row_evals, 0, "the filter ran as a columnar kernel");
+        assert_eq!(snap.batch_deep_clones, 0, "sinks share, never copy");
+        for &cq in &cqs {
+            assert_eq!(e.output_len(cq), 1000);
+        }
+        // Reading one sink's outputs materializes rows once, without
+        // disturbing the other sinks' shared batches.
+        assert_eq!(e.take_outputs(cqs[0]).len(), 1000);
+        assert_eq!(e.output_len(cqs[1]), 1000);
+        assert_eq!(e.take_outputs(cqs[1]).len(), 1000);
+    }
+
+    #[test]
+    fn multi_node_fanout_deep_clones_only_for_extra_consumers() {
+        // Two *distinct* filters subscribe to the stream: one of the two
+        // queue consumers must deep-copy (the other takes ownership).
+        let mut e = engine_with_quotes();
+        e.add_query(high_filter()).unwrap();
+        e.add_query(
+            LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(50.0)))),
+        )
+        .unwrap();
+        crate::types::work::reset();
+        e.push_rows("quotes", (0..10).map(|i| quote(i, "IBM", 120.0)).collect());
+        let snap = crate::types::work::snapshot();
+        assert_eq!(
+            snap.batch_deep_clones, 1,
+            "N node consumers cost N-1 deep clones"
+        );
+    }
+
+    #[test]
+    fn mixed_sink_and_node_fanout_copies_once_per_node_consumer() {
+        // The shared filter feeds a sink (q1) *and* a downstream filter
+        // node (q2): the sink's Arc outlives the queue drain, so the node
+        // consumer deep-copies — exactly one copy, the same count the
+        // row-oriented engine paid for its two targets.
+        let mut e = engine_with_quotes();
+        let q1 = e.add_query(high_filter()).unwrap();
+        let q2 = e
+            .add_query(high_filter().filter(Expr::col(0).eq(Expr::lit(Value::str("IBM")))))
+            .unwrap();
+        crate::types::work::reset();
+        e.push_rows("quotes", (0..10).map(|i| quote(i, "IBM", 120.0)).collect());
+        let snap = crate::types::work::snapshot();
+        assert_eq!(
+            snap.batch_deep_clones, 1,
+            "one copy for the node consumer; the sink shares"
+        );
+        assert_eq!(e.output_len(q1), 10);
+        assert_eq!(e.output_len(q2), 10);
+    }
+
+    #[test]
     fn removed_query_stops_producing() {
         let mut e = engine_with_quotes();
         let q1 = e.add_query(high_filter()).unwrap();
@@ -865,7 +991,7 @@ mod tests {
         e.push_batch([("quotes".to_string(), quote(1, "A", 120.0))]);
         e.remove_query(q1);
         e.push_batch([("quotes".to_string(), quote(2, "A", 130.0))]);
-        assert_eq!(e.outputs(q2).len(), 2);
-        assert!(e.outputs(q1).is_empty());
+        assert_eq!(e.output_len(q2), 2);
+        assert_eq!(e.output_len(q1), 0);
     }
 }

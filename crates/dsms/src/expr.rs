@@ -5,9 +5,23 @@
 //! different users hash to the same **signature** and get shared in the
 //! query network (the premise of the paper's operator sharing: "many of the
 //! CQs are similar, but not identical").
+//!
+//! Expressions evaluate two ways:
+//!
+//! * **Columnar** ([`Expr::eval_columnar`], [`Expr::filter_indices`]) — the
+//!   hot path: kernels dispatch on operand column types once per *batch*
+//!   and run tight typed loops, carrying a per-row validity mask so that
+//!   row-level evaluation errors (division by zero, NaN comparisons) keep
+//!   the row layout's drop-the-row semantics bit for bit.
+//! * **Per-row** ([`Expr::eval`], [`Expr::matches`]) — the reference
+//!   fallback: a recursive walk over one [`Tuple`], retained for
+//!   row-oriented consumers and as the oracle the columnar-vs-row
+//!   equivalence property tests against.
 
-use crate::types::{DataType, Schema, Tuple, Value};
+use crate::types::{work, Column, DataType, Schema, Tuple, TupleBatch, Value};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::cmp::Ordering;
 use std::fmt;
 
 /// Binary comparison operators.
@@ -190,8 +204,10 @@ impl Expr {
         }
     }
 
-    /// Evaluates the expression on one tuple.
+    /// Evaluates the expression on one tuple (the per-row fallback path;
+    /// see the module docs).
     pub fn eval(&self, tuple: &Tuple) -> Result<Value, ExprError> {
+        work::count_row_eval();
         match self {
             Expr::Col(i) => tuple
                 .values
@@ -317,7 +333,9 @@ fn arith(op: ArithOp, l: &Value, r: &Value) -> Result<Value, ExprError> {
                 if *b == 0 {
                     return Err(ExprError::DivisionByZero);
                 }
-                Value::Int(a / b)
+                // Wrapping like the other ops: i64::MIN / -1 must not
+                // panic the engine (it yields i64::MIN).
+                Value::Int(a.wrapping_div(*b))
             }
         });
     }
@@ -338,6 +356,511 @@ fn arith(op: ArithOp, l: &Value, r: &Value) -> Result<Value, ExprError> {
             Value::Float(a / b)
         }
     })
+}
+
+// ---------------------------------------------------------------------------
+// Columnar evaluation
+// ---------------------------------------------------------------------------
+
+/// Per-row validity of a columnar evaluation result.
+///
+/// The row-oriented evaluator signals a row-level failure (division by
+/// zero, NaN comparison, bad operand type) with an `Err` that the operator
+/// turns into "drop this row" ([`Expr::matches`] → `false`, projections
+/// skip the row). The columnar evaluator carries the same information as a
+/// mask so one kernel pass can serve the whole batch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Validity {
+    /// Every row evaluated successfully.
+    AllValid,
+    /// Every row failed (e.g. a statically ill-typed operand).
+    NoneValid,
+    /// Per-row mask: `mask[i]` is true when row `i` evaluated successfully.
+    Mask(Vec<bool>),
+}
+
+impl Validity {
+    /// True when row `i` is valid.
+    pub fn is_valid(&self, i: usize) -> bool {
+        match self {
+            Validity::AllValid => true,
+            Validity::NoneValid => false,
+            Validity::Mask(m) => m[i],
+        }
+    }
+
+    /// Conjunction of two validities over the same row set.
+    pub fn and(self, other: Validity) -> Validity {
+        match (self, other) {
+            (Validity::AllValid, v) | (v, Validity::AllValid) => v,
+            (Validity::NoneValid, _) | (_, Validity::NoneValid) => Validity::NoneValid,
+            (Validity::Mask(mut a), Validity::Mask(b)) => {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x = *x && *y;
+                }
+                Validity::Mask(a)
+            }
+        }
+    }
+}
+
+/// The values of a columnar evaluation: either one cell per selected row or
+/// a scalar broadcast over all of them (literals, constant sub-trees).
+#[derive(Clone, Debug)]
+pub enum ColumnarValues<'a> {
+    /// One value per selected row (length = selection length).
+    Column(Cow<'a, Column>),
+    /// One value standing for every selected row.
+    Scalar(Value),
+}
+
+impl ColumnarValues<'_> {
+    /// Densifies into an owned column of `n` rows (broadcasting scalars).
+    pub fn into_column(self, n: usize) -> Column {
+        match self {
+            ColumnarValues::Column(c) => {
+                debug_assert_eq!(c.len(), n, "dense column length mismatch");
+                c.into_owned()
+            }
+            ColumnarValues::Scalar(v) => Column::from_value(&v, n),
+        }
+    }
+}
+
+/// Result of evaluating an expression over (a selection of) a batch.
+#[derive(Clone, Debug)]
+pub struct ColumnarEval<'a> {
+    /// The per-row (or broadcast) values. Meaningful only where
+    /// [`ColumnarEval::validity`] marks the row valid; invalid rows hold
+    /// arbitrary placeholders.
+    pub values: ColumnarValues<'a>,
+    /// Which rows evaluated successfully.
+    pub validity: Validity,
+}
+
+impl ColumnarEval<'static> {
+    /// The "every row failed" result (placeholder values).
+    fn all_invalid() -> ColumnarEval<'static> {
+        ColumnarEval {
+            values: ColumnarValues::Scalar(Value::Bool(false)),
+            validity: Validity::NoneValid,
+        }
+    }
+}
+
+/// A dense typed operand: a borrowed slice or a broadcast constant. The
+/// scalar/column distinction is resolved when the operand is built, so the
+/// per-row `get` is a two-way branch over monomorphic data — no [`Value`]
+/// enum in the loop.
+#[derive(Clone, Copy)]
+enum Operand<'a, T: Copy> {
+    Slice(&'a [T]),
+    Const(T),
+}
+
+impl<T: Copy> Operand<'_, T> {
+    #[inline]
+    fn get(&self, i: usize) -> T {
+        match self {
+            Operand::Slice(s) => s[i],
+            Operand::Const(c) => *c,
+        }
+    }
+}
+
+/// A numeric operand that widens integers to `f64` on access (the mixed
+/// Int/Float comparison and arithmetic paths).
+#[derive(Clone, Copy)]
+enum NumOperand<'a> {
+    Ints(&'a [i64]),
+    Floats(&'a [f64]),
+    Const(f64),
+}
+
+impl NumOperand<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            NumOperand::Ints(s) => s[i] as f64,
+            NumOperand::Floats(s) => s[i],
+            NumOperand::Const(c) => *c,
+        }
+    }
+}
+
+/// A string operand (cells borrow from the column).
+#[derive(Clone, Copy)]
+enum StrOperand<'a> {
+    Slice(&'a [std::sync::Arc<str>]),
+    Const(&'a str),
+}
+
+impl StrOperand<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> &str {
+        match self {
+            StrOperand::Slice(s) => &s[i],
+            StrOperand::Const(c) => c,
+        }
+    }
+}
+
+fn int_operand<'a>(v: &'a ColumnarValues<'_>) -> Option<Operand<'a, i64>> {
+    match v {
+        ColumnarValues::Column(c) => c.as_ints().map(Operand::Slice),
+        ColumnarValues::Scalar(Value::Int(i)) => Some(Operand::Const(*i)),
+        ColumnarValues::Scalar(_) => None,
+    }
+}
+
+fn bool_operand<'a>(v: &'a ColumnarValues<'_>) -> Option<Operand<'a, bool>> {
+    match v {
+        ColumnarValues::Column(c) => c.as_bools().map(Operand::Slice),
+        ColumnarValues::Scalar(Value::Bool(b)) => Some(Operand::Const(*b)),
+        ColumnarValues::Scalar(_) => None,
+    }
+}
+
+fn num_operand<'a>(v: &'a ColumnarValues<'_>) -> Option<NumOperand<'a>> {
+    match v {
+        ColumnarValues::Column(c) => match c.as_ref() {
+            Column::Int(s) => Some(NumOperand::Ints(s)),
+            Column::Float(s) => Some(NumOperand::Floats(s)),
+            _ => None,
+        },
+        ColumnarValues::Scalar(s) => s.as_f64().map(NumOperand::Const),
+    }
+}
+
+fn str_operand<'a>(v: &'a ColumnarValues<'_>) -> Option<StrOperand<'a>> {
+    match v {
+        ColumnarValues::Column(c) => c.as_strs().map(StrOperand::Slice),
+        ColumnarValues::Scalar(Value::Str(s)) => Some(StrOperand::Const(s)),
+        ColumnarValues::Scalar(_) => None,
+    }
+}
+
+/// The ordering-to-bool test of a comparison operator (hoisted out of the
+/// kernel loops).
+#[inline]
+fn cmp_test(op: CmpOp) -> fn(Ordering) -> bool {
+    match op {
+        CmpOp::Eq => |o| o == Ordering::Equal,
+        CmpOp::Ne => |o| o != Ordering::Equal,
+        CmpOp::Lt => |o| o == Ordering::Less,
+        CmpOp::Le => |o| o != Ordering::Greater,
+        CmpOp::Gt => |o| o == Ordering::Greater,
+        CmpOp::Ge => |o| o != Ordering::Less,
+    }
+}
+
+/// Marks row `i` invalid, materializing the lazily-all-valid mask.
+fn invalidate(validity: &mut Validity, n: usize, i: usize) {
+    if let Validity::Mask(m) = validity {
+        m[i] = false;
+        return;
+    }
+    debug_assert!(matches!(validity, Validity::AllValid));
+    let mut m = vec![true; n];
+    m[i] = false;
+    *validity = Validity::Mask(m);
+}
+
+impl Expr {
+    /// Evaluates the expression over `sel`'s rows of `batch` (`None` = all
+    /// rows) with typed per-batch kernels — the columnar twin of
+    /// [`Expr::eval`] applied to each selected row, with row-level errors
+    /// reported through the result's [`Validity`] instead of `Err`.
+    pub fn eval_columnar<'a>(
+        &self,
+        batch: &'a TupleBatch,
+        sel: Option<&[u32]>,
+    ) -> ColumnarEval<'a> {
+        work::count_kernel_op();
+        let n = sel.map_or(batch.len(), <[u32]>::len);
+        match self {
+            Expr::Col(i) => {
+                if *i >= batch.schema().len() {
+                    return ColumnarEval::all_invalid();
+                }
+                let values = match sel {
+                    None => ColumnarValues::Column(Cow::Borrowed(batch.column(*i))),
+                    Some(s) => ColumnarValues::Column(Cow::Owned(batch.column(*i).take(s))),
+                };
+                ColumnarEval {
+                    values,
+                    validity: Validity::AllValid,
+                }
+            }
+            Expr::Lit(v) => ColumnarEval {
+                values: ColumnarValues::Scalar(v.clone()),
+                validity: Validity::AllValid,
+            },
+            Expr::Cmp(op, l, r) => {
+                let l = l.eval_columnar(batch, sel);
+                let r = r.eval_columnar(batch, sel);
+                cmp_columnar(*op, l, r, n)
+            }
+            Expr::Arith(op, l, r) => {
+                let l = l.eval_columnar(batch, sel);
+                let r = r.eval_columnar(batch, sel);
+                arith_columnar(*op, l, r, n)
+            }
+            Expr::And(l, r) => logical_columnar(true, l, r, batch, sel, n),
+            Expr::Or(l, r) => logical_columnar(false, l, r, batch, sel, n),
+            Expr::Not(e) => {
+                let inner = e.eval_columnar(batch, sel);
+                if matches!(inner.validity, Validity::NoneValid) {
+                    return ColumnarEval::all_invalid();
+                }
+                match bool_operand(&inner.values) {
+                    None => ColumnarEval::all_invalid(),
+                    Some(Operand::Const(b)) => ColumnarEval {
+                        values: ColumnarValues::Scalar(Value::Bool(!b)),
+                        validity: inner.validity,
+                    },
+                    Some(Operand::Slice(bs)) => ColumnarEval {
+                        values: ColumnarValues::Column(Cow::Owned(Column::Bool(
+                            bs.iter().map(|b| !b).collect(),
+                        ))),
+                        validity: inner.validity,
+                    },
+                }
+            }
+        }
+    }
+
+    /// The selection kernel: indices (into `batch`) of the rows among
+    /// `sel` (`None` = all rows) where the predicate evaluates to a valid
+    /// `true` — exactly the rows [`Expr::matches`] keeps, computed in one
+    /// columnar pass.
+    pub fn filter_indices(&self, batch: &TupleBatch, sel: Option<&[u32]>) -> Vec<u32> {
+        let n = sel.map_or(batch.len(), <[u32]>::len);
+        let index = |k: usize| sel.map_or(k as u32, |s| s[k]);
+        let ev = self.eval_columnar(batch, sel);
+        if matches!(ev.validity, Validity::NoneValid) {
+            return Vec::new();
+        }
+        match &ev.values {
+            ColumnarValues::Scalar(Value::Bool(true)) => match &ev.validity {
+                Validity::AllValid => (0..n).map(index).collect(),
+                Validity::Mask(m) => (0..n).filter(|&k| m[k]).map(index).collect(),
+                Validity::NoneValid => unreachable!("handled above"),
+            },
+            ColumnarValues::Scalar(_) => Vec::new(),
+            ColumnarValues::Column(c) => match c.as_bools() {
+                None => Vec::new(),
+                Some(bs) => (0..n)
+                    .filter(|&k| bs[k] && ev.validity.is_valid(k))
+                    .map(index)
+                    .collect(),
+            },
+        }
+    }
+}
+
+/// Columnar comparison kernel.
+fn cmp_columnar(
+    op: CmpOp,
+    l: ColumnarEval<'_>,
+    r: ColumnarEval<'_>,
+    n: usize,
+) -> ColumnarEval<'static> {
+    if matches!(l.validity, Validity::NoneValid) || matches!(r.validity, Validity::NoneValid) {
+        return ColumnarEval::all_invalid();
+    }
+    // Constant-fold the scalar/scalar case through the per-row comparator.
+    if let (ColumnarValues::Scalar(a), ColumnarValues::Scalar(b)) = (&l.values, &r.values) {
+        return match compare(op, a, b) {
+            Ok(v) => ColumnarEval {
+                values: ColumnarValues::Scalar(Value::Bool(v)),
+                validity: l.validity.and(r.validity),
+            },
+            Err(_) => ColumnarEval::all_invalid(),
+        };
+    }
+    let test = cmp_test(op);
+    let mut validity = l.validity.and(r.validity);
+    // Exact typed paths first (Int/Int must not round-trip through f64).
+    let bools: Vec<bool> =
+        if let (Some(a), Some(b)) = (int_operand(&l.values), int_operand(&r.values)) {
+            (0..n).map(|i| test(a.get(i).cmp(&b.get(i)))).collect()
+        } else if let (Some(a), Some(b)) = (str_operand(&l.values), str_operand(&r.values)) {
+            (0..n).map(|i| test(a.get(i).cmp(b.get(i)))).collect()
+        } else if let (Some(a), Some(b)) = (bool_operand(&l.values), bool_operand(&r.values)) {
+            (0..n).map(|i| test(a.get(i).cmp(&b.get(i)))).collect()
+        } else if let (Some(a), Some(b)) = (num_operand(&l.values), num_operand(&r.values)) {
+            // Mixed numeric: widen to f64; a NaN comparison fails that row.
+            (0..n)
+                .map(|i| match a.get(i).partial_cmp(&b.get(i)) {
+                    Some(o) => test(o),
+                    None => {
+                        invalidate(&mut validity, n, i);
+                        false
+                    }
+                })
+                .collect()
+        } else {
+            return ColumnarEval::all_invalid();
+        };
+    ColumnarEval {
+        values: ColumnarValues::Column(Cow::Owned(Column::Bool(bools))),
+        validity,
+    }
+}
+
+/// Columnar arithmetic kernel.
+fn arith_columnar(
+    op: ArithOp,
+    l: ColumnarEval<'_>,
+    r: ColumnarEval<'_>,
+    n: usize,
+) -> ColumnarEval<'static> {
+    if matches!(l.validity, Validity::NoneValid) || matches!(r.validity, Validity::NoneValid) {
+        return ColumnarEval::all_invalid();
+    }
+    if let (ColumnarValues::Scalar(a), ColumnarValues::Scalar(b)) = (&l.values, &r.values) {
+        return match arith(op, a, b) {
+            Ok(v) => ColumnarEval {
+                values: ColumnarValues::Scalar(v),
+                validity: l.validity.and(r.validity),
+            },
+            Err(_) => ColumnarEval::all_invalid(),
+        };
+    }
+    let mut validity = l.validity.and(r.validity);
+    if let (Some(a), Some(b)) = (int_operand(&l.values), int_operand(&r.values)) {
+        // Exact integer arithmetic (wrapping, like the per-row path).
+        let ints: Vec<i64> = (0..n)
+            .map(|i| {
+                let (x, y) = (a.get(i), b.get(i));
+                match op {
+                    ArithOp::Add => x.wrapping_add(y),
+                    ArithOp::Sub => x.wrapping_sub(y),
+                    ArithOp::Mul => x.wrapping_mul(y),
+                    ArithOp::Div => {
+                        if y == 0 {
+                            invalidate(&mut validity, n, i);
+                            0
+                        } else {
+                            // Wrapping, like the per-row path: i64::MIN /
+                            // -1 yields i64::MIN instead of panicking.
+                            x.wrapping_div(y)
+                        }
+                    }
+                }
+            })
+            .collect();
+        return ColumnarEval {
+            values: ColumnarValues::Column(Cow::Owned(Column::Int(ints))),
+            validity,
+        };
+    }
+    let (Some(a), Some(b)) = (num_operand(&l.values), num_operand(&r.values)) else {
+        return ColumnarEval::all_invalid();
+    };
+    let floats: Vec<f64> = (0..n)
+        .map(|i| {
+            let (x, y) = (a.get(i), b.get(i));
+            match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => {
+                    if y == 0.0 {
+                        invalidate(&mut validity, n, i);
+                        0.0
+                    } else {
+                        x / y
+                    }
+                }
+            }
+        })
+        .collect();
+    ColumnarEval {
+        values: ColumnarValues::Column(Cow::Owned(Column::Float(floats))),
+        validity,
+    }
+}
+
+/// Columnar `AND`/`OR` kernel, reproducing the per-row short-circuit
+/// semantics exactly: the right side's failure (or value) only matters on
+/// rows where the left side did not already decide the outcome.
+fn logical_columnar(
+    is_and: bool,
+    l: &Expr,
+    r: &Expr,
+    batch: &TupleBatch,
+    sel: Option<&[u32]>,
+    n: usize,
+) -> ColumnarEval<'static> {
+    let lhs = l.eval_columnar(batch, sel);
+    if matches!(lhs.validity, Validity::NoneValid) {
+        return ColumnarEval::all_invalid();
+    }
+    let Some(lvals) = bool_operand(&lhs.values) else {
+        return ColumnarEval::all_invalid();
+    };
+    // `AND` is decided by a false left side, `OR` by a true one.
+    let decides = !is_and;
+    if let (Operand::Const(b), Validity::AllValid) = (&lvals, &lhs.validity) {
+        if *b == decides {
+            // Every row short-circuits; the right side is never evaluated.
+            return ColumnarEval {
+                values: ColumnarValues::Scalar(Value::Bool(decides)),
+                validity: Validity::AllValid,
+            };
+        }
+        // The left side never decides: the result is the right side,
+        // coerced to boolean.
+        let rhs = r.eval_columnar(batch, sel);
+        if matches!(rhs.validity, Validity::NoneValid) || bool_operand(&rhs.values).is_none() {
+            return ColumnarEval::all_invalid();
+        }
+        return ColumnarEval {
+            values: match rhs.values {
+                ColumnarValues::Column(c) => ColumnarValues::Column(Cow::Owned(c.into_owned())),
+                ColumnarValues::Scalar(v) => ColumnarValues::Scalar(v),
+            },
+            validity: rhs.validity,
+        };
+    }
+    // Mixed rows: evaluate the right side once and combine per row. A
+    // right side that fails (wholly or per row) only invalidates rows the
+    // left side did not decide.
+    let rhs = r.eval_columnar(batch, sel);
+    let rvals = bool_operand(&rhs.values);
+    let mut out = vec![false; n];
+    let mut valid = vec![false; n];
+    for i in 0..n {
+        if !lhs.validity.is_valid(i) {
+            continue; // left failed → row fails
+        }
+        let lv = lvals.get(i);
+        if lv == decides {
+            out[i] = decides;
+            valid[i] = true;
+            continue; // short-circuit: right side irrelevant
+        }
+        match (&rvals, &rhs.validity) {
+            (Some(rv), validity) if validity.is_valid(i) => {
+                out[i] = rv.get(i);
+                valid[i] = true;
+            }
+            _ => {} // right failed on a row the left did not decide
+        }
+    }
+    let validity = if valid.iter().all(|v| *v) {
+        Validity::AllValid
+    } else if valid.iter().any(|v| *v) {
+        Validity::Mask(valid)
+    } else {
+        Validity::NoneValid
+    };
+    ColumnarEval {
+        values: ColumnarValues::Column(Cow::Owned(Column::Bool(out))),
+        validity,
+    }
 }
 
 #[cfg(test)]
@@ -398,6 +921,29 @@ mod tests {
             Box::new(Expr::lit(Value::Int(1))),
         );
         assert_eq!(int_sum.infer_type(&quote_schema()), Ok(DataType::Int));
+    }
+
+    #[test]
+    fn int_min_div_neg_one_wraps_instead_of_panicking() {
+        // i64::MIN / -1 overflows i64; both evaluation paths must wrap
+        // (like Add/Sub/Mul) rather than abort the engine.
+        let e = Expr::Arith(
+            ArithOp::Div,
+            Box::new(Expr::col(2)),
+            Box::new(Expr::lit(Value::Int(-1))),
+        );
+        let row = quote("A", 0.0, i64::MIN);
+        assert_eq!(e.eval(&row), Ok(Value::Int(i64::MIN)));
+        let batch =
+            crate::types::TupleBatch::from_rows(std::sync::Arc::new(quote_schema()), vec![row]);
+        let ev = e.eval_columnar(&batch, None);
+        assert!(matches!(ev.validity, Validity::AllValid));
+        match ev.values {
+            ColumnarValues::Column(c) => {
+                assert_eq!(c.as_ints(), Some(&[i64::MIN][..]));
+            }
+            ColumnarValues::Scalar(v) => assert_eq!(v, Value::Int(i64::MIN)),
+        }
     }
 
     #[test]

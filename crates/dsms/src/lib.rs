@@ -6,9 +6,11 @@
 //! subnetworks are modified, and per-operator loads the system can
 //! approximate (§II). This crate *builds that substrate*:
 //!
-//! * [`types`] / [`expr`] — tuples, schemas, [`types::TupleBatch`], and a
-//!   small expression language (predicates are data, so structurally
-//!   identical operators share).
+//! * [`types`] / [`expr`] — values, schemas, the columnar
+//!   [`types::TupleBatch`] (typed [`types::Column`] vectors behind a shared
+//!   schema), and a small expression language (predicates are data, so
+//!   structurally identical operators share) with both columnar and
+//!   per-row evaluation.
 //! * [`plan`] — logical continuous-query plans with canonical sharing
 //!   signatures.
 //! * [`ops`] — physical operators: filter, project, windowed symmetric hash
@@ -25,16 +27,19 @@
 //!   transitions, billing.
 //! * [`streams`] — deterministic synthetic stock-quote and news feeds.
 //!
-//! ## Batched execution model
+//! ## Columnar batched execution model
 //!
 //! The engine's unit of work is the [`types::TupleBatch`]: a shared schema
-//! (`Arc<Schema>`) plus a vector of rows. Ingestion groups consecutive
-//! same-stream tuples into batches capped at the engine's **batch-size
-//! knob** ([`engine::DsmsEngine::set_max_batch_size`], default
-//! [`types::TupleBatch::DEFAULT_MAX_BATCH`]); node queues, operator calls,
-//! watermark propagation, and sink delivery all move whole batches. Because
-//! only *consecutive* tuples coalesce, global arrival order is preserved,
-//! and outputs are invariant under how the input was chunked — bit-identical
+//! (`Arc<Schema>`), one event-timestamp vector, and one typed
+//! [`types::Column`] per field (`Vec<bool>` / `Vec<i64>` / `Vec<f64>` /
+//! `Vec<Arc<str>>`). Ingestion groups consecutive same-stream tuples into
+//! batches capped at the engine's **batch-size knob**
+//! ([`engine::DsmsEngine::set_max_batch_size`], default
+//! [`types::TupleBatch::DEFAULT_MAX_BATCH`]), converting rows to columns at
+//! the boundary; node queues, operator calls, watermark propagation, and
+//! sink delivery all move whole columnar batches. Because only
+//! *consecutive* tuples coalesce, global arrival order is preserved, and
+//! outputs are invariant under how the input was chunked — bit-identical
 //! sequences for single-input pipelines (filter/project/aggregate chains);
 //! for multi-port operators (join, union) the guarantee is multiset
 //! equality, since the interleaving of the two ports' arrivals at the node
@@ -44,6 +49,38 @@
 //! `tests/property_dsms.rs`. Setting the knob to `1` recovers per-tuple
 //! execution (the engine benchmark sweeps 1 vs 64 vs 1024 to track the
 //! batching win).
+//!
+//! **Vectorized kernels.** Stateless operators never touch rows: a filter
+//! evaluates its predicate as a typed column kernel
+//! ([`expr::Expr::filter_indices`]) producing a selection vector, then
+//! either forwards the batch untouched (all-pass fast path) or gathers the
+//! selected rows column-wise; a projection evaluates each expression as a
+//! column kernel straight into output columns; a fused chain threads one
+//! selection vector through its staged kernels and materializes once at
+//! the end. Row-level evaluation errors (division by zero, NaN
+//! comparisons) travel as a validity mask ([`expr::Validity`]) so the
+//! drop-the-row semantics of per-row execution are preserved bit for bit.
+//! Joins read their keys straight off the typed key column and materialize
+//! a row only when it enters the join state; aggregates absorb from typed
+//! column slices without widening a [`types::Value`] per tuple. The
+//! row-at-a-time path survives behind a per-thread kill switch
+//! ([`ops::set_columnar_kernels`]) as the reference implementation — the
+//! columnar-vs-row equivalence property in `tests/property_dsms.rs` pins
+//! strict output-sequence equality between the two across batch caps
+//! 1/7/64/1024.
+//!
+//! **Zero-copy sink fan-out.** A produced batch is wrapped in one `Arc`
+//! and every downstream target receives a pointer clone. Sinks keep the
+//! shared batch — a 32-sink shared query pays zero per-sink row copies;
+//! rows materialize only when outputs are read
+//! ([`engine::DsmsEngine::take_outputs`]). A node consumer takes ownership
+//! when it holds the last reference (the common single-consumer hop moves
+//! the batch) and deep-copies when any other consumer — node queue or sink
+//! buffer — still holds it: at most one copy per node consumer, never more
+//! than the per-target clones of the row-oriented engine. The
+//! [`types::work`] counters (row materializations, per-row evaluations,
+//! kernel passes, deep clones) make these claims checkable on
+//! throttle-noisy hardware; the `columnar_kernels` benchmark asserts them.
 //!
 //! Per-tuple [`engine::DsmsEngine::push`] survives as a thin wrapper that
 //! appends to the current one-stream ingestion batch;
@@ -135,4 +172,4 @@ pub use center::{DsmsCenter, Submission};
 pub use engine::DsmsEngine;
 pub use network::{CqId, NodeId, QueryNetwork};
 pub use plan::{AggFunc, LogicalPlan};
-pub use types::{DataType, Field, Schema, Tuple, TupleBatch, Value};
+pub use types::{Column, DataType, Field, Schema, Tuple, TupleBatch, Value};

@@ -556,8 +556,15 @@ impl QueryNetwork {
                         stages.push((FusedStage::Filter(predicate.clone()), FilterOp::UNIT_COST));
                     }
                     LogicalPlan::Project { columns, .. } => {
+                        // Each projection stage carries its own output
+                        // schema so the columnar kernels can materialize
+                        // intermediate batches without re-deriving types.
+                        let stage_schema = Arc::new(node.output_schema(self)?);
                         stages.push((
-                            FusedStage::Project(columns.iter().map(|(_, e)| e.clone()).collect()),
+                            FusedStage::Project(
+                                columns.iter().map(|(_, e)| e.clone()).collect(),
+                                stage_schema,
+                            ),
                             ProjectOp::UNIT_COST,
                         ));
                     }

@@ -4,18 +4,61 @@
 //! Every operator consumes a [`TupleBatch`] on a numbered input port and
 //! appends zero or more output batches — one `process_batch` call amortizes
 //! queueing, fan-out, and timing over the whole batch, which is what makes
-//! per-operator cost measurement (`cost.rs`) stable. Operators also expose
-//! an analytic **unit cost** — the abstract work per input tuple used by
-//! the cost model to derive the auction loads `c_j`; join and aggregate are
-//! costlier than stateless filters, matching the intuition of the paper's
-//! operator loads.
+//! per-operator cost measurement (`cost.rs`) stable. With the columnar
+//! batch layout the stateless operators run **typed column kernels**:
+//! filter computes a selection vector over a typed column and gathers (or
+//! passes the batch through untouched when everything matches), project
+//! evaluates column kernels straight into output columns, and a fused
+//! chain threads one selection vector through its staged kernels. The
+//! row-at-a-time evaluation survives as a per-row fallback behind
+//! [`set_columnar_kernels`] — the reference implementation the
+//! columnar-vs-row equivalence property tests against, and a kill switch.
+//!
+//! Operators also expose an analytic **unit cost** — the abstract work per
+//! input tuple used by the cost model to derive the auction loads `c_j`;
+//! join and aggregate are costlier than stateless filters, matching the
+//! intuition of the paper's operator loads.
 
-use crate::expr::Expr;
+use crate::expr::{Expr, Validity};
 use crate::plan::AggFunc;
-use crate::types::{Schema, Tuple, TupleBatch, Value};
+use crate::types::{Column, Schema, Tuple, TupleBatch, Value};
+use std::cell::Cell;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+
+thread_local! {
+    /// Whether stateless operators use the columnar kernels (default) or
+    /// the per-row fallback. Thread-local because the engine is
+    /// single-threaded by design and parallel tests must not interfere.
+    static COLUMNAR: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Enables or disables the columnar filter/project kernels on this thread.
+/// Off recovers row-at-a-time evaluation — the reference implementation
+/// (and kill switch) the columnar-vs-row equivalence property pins.
+pub fn set_columnar_kernels(enabled: bool) {
+    COLUMNAR.with(|c| c.set(enabled));
+}
+
+/// Whether the columnar kernels are enabled on this thread (default true).
+pub fn columnar_kernels_enabled() -> bool {
+    COLUMNAR.with(Cell::get)
+}
+
+/// Runs `f` with the columnar kernels forced on or off, restoring the
+/// previous setting afterwards (panic-safe).
+pub fn with_columnar_kernels<R>(enabled: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_columnar_kernels(self.0);
+        }
+    }
+    let _restore = Restore(columnar_kernels_enabled());
+    set_columnar_kernels(enabled);
+    f()
+}
 
 /// A hashable key for joins and group-by (floats are rejected at plan
 /// validation).
@@ -40,6 +83,17 @@ impl Key {
         }
     }
 
+    /// Extracts a key from row `i` of a typed column without materializing
+    /// the row; `None` for unhashable (float) columns.
+    pub fn from_column(col: &Column, i: usize) -> Option<Key> {
+        match col {
+            Column::Bool(v) => Some(Key::Bool(v[i])),
+            Column::Int(v) => Some(Key::Int(v[i])),
+            Column::Str(v) => Some(Key::Str(v[i].clone())),
+            Column::Float(_) => None,
+        }
+    }
+
     /// The key as a [`Value`].
     pub fn to_value(&self) -> Value {
         match self {
@@ -53,7 +107,7 @@ impl Key {
 /// A physical streaming operator over tuple batches.
 pub trait Operator: std::fmt::Debug + Send {
     /// Processes one input batch arriving on `port`, appending output
-    /// batches. The batch is owned: pass-through operators forward rows
+    /// batches. The batch is owned: pass-through operators forward columns
     /// without copying, and stateful operators move rows into their state.
     /// Semantics must equal processing the batch's rows one at a time in
     /// order (the scalar-vs-batched equivalence property).
@@ -83,6 +137,43 @@ pub trait Operator: std::fmt::Debug + Send {
     }
 }
 
+/// Columnar projection kernel: evaluates `exprs` over `sel`'s rows of
+/// `batch` into a new batch under `schema`, dropping rows where any
+/// expression fails (the per-row drop-malformed-tuples semantics).
+fn project_columnar(
+    exprs: &[Expr],
+    batch: &TupleBatch,
+    sel: Option<&[u32]>,
+    schema: Arc<Schema>,
+) -> TupleBatch {
+    let n = sel.map_or(batch.len(), <[u32]>::len);
+    let mut validity = Validity::AllValid;
+    let mut columns: Vec<Column> = Vec::with_capacity(exprs.len());
+    for e in exprs {
+        let ev = e.eval_columnar(batch, sel);
+        match ev.validity {
+            // An expression that fails on every row drops every row.
+            Validity::NoneValid => return TupleBatch::new(schema),
+            v => validity = validity.and(v),
+        }
+        columns.push(ev.values.into_column(n));
+    }
+    let ts: Vec<u64> = match sel {
+        None => batch.ts().to_vec(),
+        Some(s) => s.iter().map(|&i| batch.ts()[i as usize]).collect(),
+    };
+    match validity {
+        Validity::AllValid => TupleBatch::from_columns(schema, ts, columns),
+        Validity::NoneValid => TupleBatch::new(schema),
+        Validity::Mask(m) => {
+            // Rare path: some rows failed (e.g. division by zero) — gather
+            // the surviving rows out of the dense result.
+            let keep: Vec<u32> = (0..n as u32).filter(|&i| m[i as usize]).collect();
+            TupleBatch::from_columns(schema, ts, columns).take(&keep)
+        }
+    }
+}
+
 /// Stateless selection.
 #[derive(Debug)]
 pub struct FilterOp {
@@ -107,10 +198,22 @@ impl FilterOp {
 
 impl Operator for FilterOp {
     fn process_batch(&mut self, _port: usize, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
+        if columnar_kernels_enabled() {
+            // One selection pass over typed columns; an all-pass batch is
+            // forwarded without touching any row data.
+            let sel = self.predicate.filter_indices(&batch, None);
+            if sel.len() == batch.len() {
+                out.push(batch.with_schema(self.schema.clone()));
+            } else if !sel.is_empty() {
+                out.push(batch.take(&sel).with_schema(self.schema.clone()));
+            }
+            return;
+        }
+        // Per-row fallback (reference implementation).
         let mut kept = TupleBatch::with_capacity(self.schema.clone(), batch.len());
         for tuple in batch.into_rows() {
             if self.predicate.matches(&tuple) {
-                kept.push(tuple); // moved, not cloned
+                kept.push(tuple);
             }
         }
         if !kept.is_empty() {
@@ -150,11 +253,19 @@ impl ProjectOp {
 
 impl Operator for ProjectOp {
     fn process_batch(&mut self, _port: usize, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
+        if columnar_kernels_enabled() {
+            let mapped = project_columnar(&self.exprs, &batch, None, self.schema.clone());
+            if !mapped.is_empty() {
+                out.push(mapped);
+            }
+            return;
+        }
+        // Per-row fallback (reference implementation).
         let mut mapped = TupleBatch::with_capacity(self.schema.clone(), batch.len());
-        'rows: for tuple in batch.iter() {
+        'rows: for tuple in batch.iter_rows() {
             let mut values = Vec::with_capacity(self.exprs.len());
             for e in &self.exprs {
-                match e.eval(tuple) {
+                match e.eval(&tuple) {
                     Ok(v) => values.push(v),
                     Err(_) => continue 'rows, // drop malformed tuples
                 }
@@ -176,23 +287,27 @@ impl Operator for ProjectOp {
 }
 
 /// One stage of a [`FusedOp`]: the stateless kernels the fusion pass knows
-/// how to chain over a row without materializing intermediate batches.
+/// how to chain over a batch without materializing intermediate batches
+/// per operator.
 #[derive(Clone, Debug)]
 pub enum FusedStage {
     /// Keep rows matching the predicate (drop on evaluation error, like
     /// [`FilterOp`]).
     Filter(Expr),
-    /// Map each row through the projection expressions (drop on evaluation
-    /// error, like [`ProjectOp`]).
-    Project(Vec<Expr>),
+    /// Map each row through the projection expressions into the stage's
+    /// output schema (drop on evaluation error, like [`ProjectOp`]).
+    Project(Vec<Expr>, Arc<Schema>),
 }
 
 /// A chain of adjacent stateless operators collapsed into one physical
 /// node by the query network's fusion pass.
 ///
-/// Each input row runs through the stage list in chain order — one queue
-/// hop and one output-batch materialization for the whole chain instead of
-/// one per operator. Construction composes stages where that is exactly
+/// The columnar execution threads one **selection vector** through the
+/// stage list: filter stages refine the selection over the current batch's
+/// typed columns, projection stages gather the surviving rows into fresh
+/// columns, and only the final stage materializes an output batch — one
+/// queue hop and at most one gather per projection stage for the whole
+/// chain. Construction composes stages where that is exactly
 /// semantics-preserving:
 ///
 /// * **adjacent filters** become one conjunctive predicate (short-circuit
@@ -200,7 +315,7 @@ pub enum FusedStage {
 /// * **back-to-back projections** substitute when the inner projection is
 ///   all leaf expressions (`Col`/`Lit`), which never fail on
 ///   schema-conforming rows and are free to duplicate;
-/// * everything else stays a staged per-row kernel loop.
+/// * everything else stays a staged kernel loop.
 ///
 /// The operator reports a **selectivity-aware effective unit cost**: each
 /// composed stage keeps the summed analytic cost of the operators folded
@@ -236,12 +351,14 @@ impl FusedOp {
                     *prev = left.and(next);
                     *prev_cost += cost;
                 }
-                (Some((FusedStage::Project(inner), prev_cost, _)), FusedStage::Project(outer))
-                    if inner.iter().all(Expr::is_leaf) =>
-                {
+                (
+                    Some((FusedStage::Project(inner, inner_schema), prev_cost, _)),
+                    FusedStage::Project(outer, outer_schema),
+                ) if inner.iter().all(Expr::is_leaf) => {
                     let substituted: Vec<Expr> =
                         outer.iter().map(|e| e.substitute_cols(inner)).collect();
                     *inner = substituted;
+                    *inner_schema = outer_schema;
                     *prev_cost += cost;
                 }
                 (_, next) => composed.push((next, cost, 0)),
@@ -257,10 +374,41 @@ impl FusedOp {
     pub fn num_stages(&self) -> usize {
         self.stages.len()
     }
-}
 
-impl Operator for FusedOp {
-    fn process_batch(&mut self, _port: usize, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
+    /// Columnar execution: refine a selection vector through the stages,
+    /// materializing columns only at projection stages and at the end.
+    fn process_columnar(&mut self, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
+        let mut cur = batch;
+        // `None` = every row of `cur` is selected.
+        let mut sel: Option<Vec<u32>> = None;
+        for (stage, _, entered) in &mut self.stages {
+            let n = sel.as_ref().map_or(cur.len(), Vec::len);
+            if n == 0 {
+                return;
+            }
+            *entered += n as u64;
+            match stage {
+                FusedStage::Filter(predicate) => {
+                    sel = Some(predicate.filter_indices(&cur, sel.as_deref()));
+                }
+                FusedStage::Project(exprs, schema) => {
+                    cur = project_columnar(exprs, &cur, sel.as_deref(), schema.clone());
+                    sel = None;
+                }
+            }
+        }
+        let result = match sel {
+            None => cur,
+            Some(s) if s.len() == cur.len() => cur,
+            Some(s) => cur.take(&s),
+        };
+        if !result.is_empty() {
+            out.push(result.with_schema(self.schema.clone()));
+        }
+    }
+
+    /// Per-row fallback (reference implementation).
+    fn process_rows(&mut self, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
         let mut output = TupleBatch::with_capacity(self.schema.clone(), batch.len());
         'rows: for mut tuple in batch.into_rows() {
             for (stage, _, entered) in &mut self.stages {
@@ -271,7 +419,7 @@ impl Operator for FusedOp {
                             continue 'rows;
                         }
                     }
-                    FusedStage::Project(exprs) => {
+                    FusedStage::Project(exprs, _) => {
                         let mut values = Vec::with_capacity(exprs.len());
                         for e in exprs.iter() {
                             match e.eval(&tuple) {
@@ -287,6 +435,16 @@ impl Operator for FusedOp {
         }
         if !output.is_empty() {
             out.push(output);
+        }
+    }
+}
+
+impl Operator for FusedOp {
+    fn process_batch(&mut self, _port: usize, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
+        if columnar_kernels_enabled() {
+            self.process_columnar(batch, out);
+        } else {
+            self.process_rows(batch, out);
         }
     }
 
@@ -314,8 +472,9 @@ impl Operator for FusedOp {
 /// Keeps a per-key FIFO of recent tuples on each side; each tuple of an
 /// arriving batch probes the opposite side for partners within `window_ms`
 /// of event time and appends `left ++ right` outputs (one output batch per
-/// input batch). State is evicted lazily as the watermark advances past
-/// `ts + window_ms`.
+/// input batch). Keys are read straight from the typed key column; rows are
+/// gathered (materialized) only when they enter the join state. State is
+/// evicted lazily as the watermark advances past `ts + window_ms`.
 #[derive(Debug)]
 pub struct JoinOp {
     left_key: usize,
@@ -352,7 +511,7 @@ impl JoinOp {
 impl Operator for JoinOp {
     fn process_batch(&mut self, port: usize, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
         let mut matches = TupleBatch::new(self.schema.clone());
-        for tuple in batch.into_rows() {
+        for i in 0..batch.len() {
             let (key_col, own_state, other_state, is_left) = match port {
                 0 => (self.left_key, &mut self.left_state, &self.right_state, true),
                 _ => (
@@ -362,7 +521,9 @@ impl Operator for JoinOp {
                     false,
                 ),
             };
-            let Some(key) = Key::from_value(tuple.value(key_col)) else {
+            // The key comes straight off the typed column; the row itself
+            // is materialized once, because it must live in the join state.
+            let Some(key) = Key::from_column(batch.column(key_col), i) else {
                 // Plan validation rejects float join keys before any
                 // operator is built; reaching this means the node was
                 // constructed around it. Dropping the row keeps release
@@ -370,6 +531,7 @@ impl Operator for JoinOp {
                 debug_assert!(false, "unhashable join key escaped plan validation");
                 continue;
             };
+            let tuple = batch.row(i);
             // Probe the opposite side.
             if let Some(partners) = other_state.get(&key) {
                 for partner in partners {
@@ -382,7 +544,6 @@ impl Operator for JoinOp {
                     }
                 }
             }
-            // Move into own side (the batch is owned, so no clone).
             own_state.entry(key).or_default().push_back(tuple);
             self.state_len += 1;
         }
@@ -431,6 +592,32 @@ enum AggInput {
     Int(i64),
     /// A float column value.
     Float(f64),
+}
+
+/// Typed per-batch access to the aggregated column: resolved once per
+/// batch, so the absorb loop reads plain slices instead of widening a
+/// [`Value`] per tuple.
+enum AggColumn<'a> {
+    /// `Count` never reads the column.
+    CountOnly,
+    /// Exact integer input.
+    Ints(&'a [i64]),
+    /// Float input.
+    Floats(&'a [f64]),
+    /// Integer column aggregated as float (legacy construction path).
+    WidenInts(&'a [i64]),
+}
+
+impl<'a> AggColumn<'a> {
+    #[inline]
+    fn get(&self, i: usize) -> AggInput {
+        match self {
+            AggColumn::CountOnly => AggInput::Int(0), // never read, only counted
+            AggColumn::Ints(xs) => AggInput::Int(xs[i]),
+            AggColumn::Floats(xs) => AggInput::Float(xs[i]),
+            AggColumn::WidenInts(xs) => AggInput::Float(xs[i] as f64),
+        }
+    }
 }
 
 /// The running accumulator of one `(window, group)` pair.
@@ -625,38 +812,37 @@ impl AggregateOp {
         }
     }
 
-    fn absorb(&mut self, tuple: &Tuple) {
-        let group = match self.group_by {
-            Some(col) => match Key::from_value(tuple.value(col)) {
-                Some(k) => Some(k),
+    /// Resolves the aggregated column to a typed accessor, once per batch.
+    /// `None` means no row of this batch can be absorbed (non-numeric
+    /// column under a value aggregate — the old per-row `as_f64` returned
+    /// `None` for every row).
+    fn agg_column<'a>(&self, batch: &'a TupleBatch) -> Option<AggColumn<'a>> {
+        if self.func == AggFunc::Count {
+            return Some(AggColumn::CountOnly);
+        }
+        let col = batch.column(self.column);
+        if self.int_input {
+            match col.as_ints() {
+                Some(xs) => Some(AggColumn::Ints(xs)),
                 None => {
-                    // Plan validation rejects float group keys; see the
-                    // matching guard in `JoinOp::process_batch`.
-                    debug_assert!(false, "unhashable group key escaped plan validation");
-                    return;
-                }
-            },
-            None => None,
-        };
-        let v = if self.func == AggFunc::Count {
-            AggInput::Int(0) // the value is never read, only counted
-        } else if self.int_input {
-            match tuple.value(self.column).as_int() {
-                Some(i) => AggInput::Int(i),
-                None => {
-                    debug_assert!(false, "non-integer value in integer aggregate column");
-                    return;
+                    debug_assert!(false, "non-integer column in integer aggregate");
+                    None
                 }
             }
         } else {
-            match tuple.value(self.column).as_f64() {
-                Some(f) => AggInput::Float(f),
-                None => return,
+            match col {
+                Column::Float(xs) => Some(AggColumn::Floats(xs)),
+                Column::Int(xs) => Some(AggColumn::WidenInts(xs)),
+                _ => None,
             }
-        };
+        }
+    }
+
+    /// Absorbs one value into every window covering `ts`.
+    fn absorb_at(&mut self, ts: u64, group: Option<Key>, v: AggInput) {
         // Every window [start, start + window) with start ≤ ts < start +
         // window and start ≡ 0 (mod slide) contains this tuple.
-        let last_start = tuple.ts - tuple.ts % self.slide_ms;
+        let last_start = ts - ts % self.slide_ms;
         let mut start = last_start;
         loop {
             match self.state.entry((start, group.clone())) {
@@ -669,7 +855,7 @@ impl AggregateOp {
             let Some(prev) = start.checked_sub(self.slide_ms) else {
                 break;
             };
-            if prev + self.window_ms <= tuple.ts {
+            if prev + self.window_ms <= ts {
                 break;
             }
             start = prev;
@@ -727,8 +913,29 @@ impl AggregateOp {
 
 impl Operator for AggregateOp {
     fn process_batch(&mut self, _port: usize, batch: TupleBatch, _out: &mut Vec<TupleBatch>) {
-        for tuple in batch.iter() {
-            self.absorb(tuple);
+        // Typed columnar absorb: the aggregated column and the group-key
+        // column are resolved once per batch; the loop reads slices and
+        // never materializes a row or widens a `Value`.
+        let Some(input) = self.agg_column(&batch) else {
+            return;
+        };
+        let group_by = self.group_by;
+        for i in 0..batch.len() {
+            let group = match group_by {
+                Some(col) => match Key::from_column(batch.column(col), i) {
+                    Some(k) => Some(k),
+                    None => {
+                        // Plan validation rejects float group keys; see the
+                        // matching guard in `JoinOp::process_batch`.
+                        debug_assert!(false, "unhashable group key escaped plan validation");
+                        continue;
+                    }
+                },
+                None => None,
+            };
+            let ts = batch.ts()[i];
+            let v = input.get(i);
+            self.absorb_at(ts, group, v);
         }
     }
 
@@ -771,11 +978,9 @@ impl UnionOp {
 impl Operator for UnionOp {
     fn process_batch(&mut self, _port: usize, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
         if !batch.is_empty() {
-            // Re-own the rows under the union's schema handle: zero copies.
-            out.push(TupleBatch::from_rows(
-                self.schema.clone(),
-                batch.into_rows(),
-            ));
+            // Re-own the columns under the union's schema handle: zero
+            // copies, only the schema Arc changes.
+            out.push(batch.with_schema(self.schema.clone()));
         }
     }
 
@@ -804,46 +1009,109 @@ mod tests {
         Tuple::new(ts, vec![Value::str(sym), Value::Float(price)])
     }
 
-    /// One single-row batch over the quote schema.
+    /// One batch over the quote schema.
     fn qbatch(rows: Vec<Tuple>) -> TupleBatch {
         TupleBatch::from_rows(Arc::new(quote_schema()), rows)
     }
 
     /// Flattens the emitted batches into rows, for assertions.
     fn rows_of(out: &[TupleBatch]) -> Vec<Tuple> {
-        out.iter().flat_map(|b| b.rows().iter().cloned()).collect()
+        out.iter().flat_map(|b| b.iter_rows()).collect()
     }
 
     #[test]
     fn filter_selects() {
+        for columnar in [true, false] {
+            with_columnar_kernels(columnar, || {
+                let mut f = FilterOp::new(
+                    Expr::col(1).gt(Expr::lit(Value::Float(100.0))),
+                    quote_schema(),
+                );
+                let mut out = Vec::new();
+                f.process_batch(
+                    0,
+                    qbatch(vec![quote(1, "IBM", 120.0), quote(2, "IBM", 80.0)]),
+                    &mut out,
+                );
+                let rows = rows_of(&out);
+                assert_eq!(rows.len(), 1, "columnar={columnar}");
+                assert_eq!(rows[0].ts, 1);
+                // An all-rejected batch emits nothing at all.
+                out.clear();
+                f.process_batch(0, qbatch(vec![quote(3, "IBM", 10.0)]), &mut out);
+                assert!(out.is_empty());
+            });
+        }
+    }
+
+    #[test]
+    fn filter_all_pass_forwards_batch_without_gather() {
         let mut f = FilterOp::new(
-            Expr::col(1).gt(Expr::lit(Value::Float(100.0))),
+            Expr::col(1).gt(Expr::lit(Value::Float(0.0))),
             quote_schema(),
         );
         let mut out = Vec::new();
+        crate::types::work::reset();
         f.process_batch(
             0,
             qbatch(vec![quote(1, "IBM", 120.0), quote(2, "IBM", 80.0)]),
             &mut out,
         );
-        let rows = rows_of(&out);
-        assert_eq!(rows.len(), 1);
-        assert_eq!(rows[0].ts, 1);
-        // An all-rejected batch emits nothing at all.
-        out.clear();
-        f.process_batch(0, qbatch(vec![quote(3, "IBM", 10.0)]), &mut out);
-        assert!(out.is_empty());
+        let snap = crate::types::work::snapshot();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 2);
+        assert_eq!(snap.rows_materialized, 0, "all-pass is zero-copy");
+        assert_eq!(snap.row_evals, 0, "no per-row evaluation on the hot path");
+        assert!(snap.kernel_ops > 0, "the predicate ran as a kernel");
     }
 
     #[test]
     fn project_maps() {
-        let mut p = ProjectOp::new(
-            vec![Expr::col(0)],
-            Schema::new(vec![Field::new("symbol", DataType::Str)]),
+        for columnar in [true, false] {
+            with_columnar_kernels(columnar, || {
+                let mut p = ProjectOp::new(
+                    vec![Expr::col(0)],
+                    Schema::new(vec![Field::new("symbol", DataType::Str)]),
+                );
+                let mut out = Vec::new();
+                p.process_batch(0, qbatch(vec![quote(5, "IBM", 1.0)]), &mut out);
+                assert_eq!(rows_of(&out), vec![Tuple::new(5, vec![Value::str("IBM")])]);
+            });
+        }
+    }
+
+    #[test]
+    fn project_drops_rows_that_fail_per_row() {
+        // price / (price - 2): division by zero exactly when price == 2 —
+        // the columnar kernel must drop precisely that row, like the
+        // row-at-a-time path.
+        let div = Expr::Arith(
+            crate::expr::ArithOp::Div,
+            Box::new(Expr::col(1)),
+            Box::new(Expr::Arith(
+                crate::expr::ArithOp::Sub,
+                Box::new(Expr::col(1)),
+                Box::new(Expr::lit(Value::Float(2.0))),
+            )),
         );
-        let mut out = Vec::new();
-        p.process_batch(0, qbatch(vec![quote(5, "IBM", 1.0)]), &mut out);
-        assert_eq!(rows_of(&out), vec![Tuple::new(5, vec![Value::str("IBM")])]);
+        let schema = Schema::new(vec![Field::new("r", DataType::Float)]);
+        let rows = vec![
+            quote(1, "A", 4.0),
+            quote(2, "A", 2.0), // divides by zero
+            quote(3, "A", 6.0),
+        ];
+        let mut reference = Vec::new();
+        with_columnar_kernels(false, || {
+            let mut p = ProjectOp::new(vec![div.clone()], schema.clone());
+            p.process_batch(0, qbatch(rows.clone()), &mut reference);
+        });
+        let mut columnar = Vec::new();
+        with_columnar_kernels(true, || {
+            let mut p = ProjectOp::new(vec![div], schema);
+            p.process_batch(0, qbatch(rows), &mut columnar);
+        });
+        assert_eq!(rows_of(&columnar), rows_of(&reference));
+        assert_eq!(rows_of(&columnar).len(), 2);
     }
 
     #[test]
@@ -998,6 +1266,22 @@ mod tests {
     }
 
     #[test]
+    fn aggregate_absorb_reads_typed_columns_without_row_work() {
+        let schema = Schema::new(vec![
+            Field::new("window_end", DataType::Int),
+            Field::new("avg", DataType::Float),
+        ]);
+        let mut a = AggregateOp::new(Some(0), AggFunc::Avg, 1, 100, schema, false);
+        let batch = qbatch((0..50).map(|i| quote(i, "X", i as f64)).collect());
+        crate::types::work::reset();
+        let mut out = Vec::new();
+        a.process_batch(0, batch, &mut out);
+        let snap = crate::types::work::snapshot();
+        assert_eq!(snap.rows_materialized, 0, "absorb never builds a row");
+        assert_eq!(snap.row_evals, 0);
+    }
+
+    #[test]
     fn union_passes_everything() {
         let mut u = UnionOp::new(quote_schema());
         let mut out = Vec::new();
@@ -1037,7 +1321,10 @@ mod tests {
         let mut fused = FusedOp::new(
             vec![
                 (FusedStage::Filter(pred_price), FilterOp::UNIT_COST),
-                (FusedStage::Project(proj), ProjectOp::UNIT_COST),
+                (
+                    FusedStage::Project(proj, Arc::new(quote_schema())),
+                    ProjectOp::UNIT_COST,
+                ),
                 (FusedStage::Filter(pred_sym), FilterOp::UNIT_COST),
             ],
             quote_schema(),
@@ -1057,6 +1344,46 @@ mod tests {
             + (3.0 / 4.0) * ProjectOp::UNIT_COST
             + (3.0 / 4.0) * FilterOp::UNIT_COST;
         assert!((fused.unit_cost() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_chain_row_fallback_counts_stages_identically() {
+        let pred = Expr::col(1).gt(Expr::lit(Value::Float(100.0)));
+        let proj = vec![Expr::col(0), Expr::col(1)];
+        let rows = vec![
+            quote(1, "IBM", 120.0),
+            quote(2, "IBM", 80.0),
+            quote(3, "AAPL", 130.0),
+        ];
+        let build = || {
+            FusedOp::new(
+                vec![
+                    (FusedStage::Filter(pred.clone()), FilterOp::UNIT_COST),
+                    (
+                        FusedStage::Project(proj.clone(), Arc::new(quote_schema())),
+                        ProjectOp::UNIT_COST,
+                    ),
+                ],
+                quote_schema(),
+            )
+        };
+        let mut col_out = Vec::new();
+        let col_cost = with_columnar_kernels(true, || {
+            let mut f = build();
+            f.process_batch(0, qbatch(rows.clone()), &mut col_out);
+            f.unit_cost()
+        });
+        let mut row_out = Vec::new();
+        let row_cost = with_columnar_kernels(false, || {
+            let mut f = build();
+            f.process_batch(0, qbatch(rows), &mut row_out);
+            f.unit_cost()
+        });
+        assert_eq!(rows_of(&col_out), rows_of(&row_out));
+        assert!(
+            (col_cost - row_cost).abs() < 1e-12,
+            "selectivity accounting must not depend on the kernel mode"
+        );
     }
 
     #[test]
@@ -1091,10 +1418,20 @@ mod tests {
         // Inner projection is all leaves → the outer projection rewrites
         // over the inner's inputs and one stage remains.
         let swap = vec![Expr::col(1), Expr::col(0)];
+        let swapped_schema = Arc::new(Schema::new(vec![
+            Field::new("price", DataType::Float),
+            Field::new("symbol", DataType::Str),
+        ]));
         let mut f = FusedOp::new(
             vec![
-                (FusedStage::Project(swap.clone()), ProjectOp::UNIT_COST),
-                (FusedStage::Project(swap.clone()), ProjectOp::UNIT_COST),
+                (
+                    FusedStage::Project(swap.clone(), swapped_schema),
+                    ProjectOp::UNIT_COST,
+                ),
+                (
+                    FusedStage::Project(swap.clone(), Arc::new(quote_schema())),
+                    ProjectOp::UNIT_COST,
+                ),
             ],
             quote_schema(),
         );
@@ -1117,15 +1454,24 @@ mod tests {
         let f = FusedOp::new(
             vec![
                 (
-                    FusedStage::Project(vec![Expr::col(0), double]),
+                    FusedStage::Project(vec![Expr::col(0), double], Arc::new(quote_schema())),
                     ProjectOp::UNIT_COST,
                 ),
                 (
-                    FusedStage::Project(vec![Expr::col(1), Expr::col(0)]),
+                    FusedStage::Project(
+                        vec![Expr::col(1), Expr::col(0)],
+                        Arc::new(Schema::new(vec![
+                            Field::new("price", DataType::Float),
+                            Field::new("symbol", DataType::Str),
+                        ])),
+                    ),
                     ProjectOp::UNIT_COST,
                 ),
             ],
-            quote_schema(),
+            Schema::new(vec![
+                Field::new("price", DataType::Float),
+                Field::new("symbol", DataType::Str),
+            ]),
         );
         assert_eq!(
             f.num_stages(),
@@ -1221,5 +1567,16 @@ mod tests {
         let a = AggregateOp::new(None, AggFunc::Count, 0, 1, schema, true);
         assert!(j.unit_cost() > a.unit_cost());
         assert!(a.unit_cost() > f.unit_cost());
+    }
+
+    #[test]
+    fn columnar_kernel_knob_is_scoped_and_restored() {
+        assert!(columnar_kernels_enabled(), "defaults to on");
+        with_columnar_kernels(false, || {
+            assert!(!columnar_kernels_enabled());
+            with_columnar_kernels(true, || assert!(columnar_kernels_enabled()));
+            assert!(!columnar_kernels_enabled());
+        });
+        assert!(columnar_kernels_enabled());
     }
 }

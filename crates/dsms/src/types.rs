@@ -1,14 +1,22 @@
-//! Values, schemas, tuples, and tuple batches — the data plane of the DSMS
-//! substrate.
+//! Values, schemas, tuples, and columnar tuple batches — the data plane of
+//! the DSMS substrate.
 //!
-//! The engine is deliberately simple: row-oriented tuples with a small
-//! dynamic value enum, because the auction paper needs a *realistic load
-//! profile* from the substrate (per-tuple operator costs, selectivities,
-//! shared processing). Throughput comes from the unit of execution instead:
-//! operators, routing, and the run loop all move [`TupleBatch`]es — a shared
-//! schema plus a vector of rows — so per-tuple bookkeeping (queue pushes,
-//! downstream fan-out, watermark checks, timing probes) is amortized over
-//! up to [`TupleBatch::DEFAULT_MAX_BATCH`] rows at a time.
+//! The batch layout is **columnar**: a [`TupleBatch`] is a shared
+//! `Arc<Schema>`, one event-timestamp vector, and one typed [`Column`] per
+//! field (`Vec<bool>` / `Vec<i64>` / `Vec<f64>` / `Vec<Arc<str>>`). Kernels
+//! dispatch on a column's type **once per batch** and then run tight typed
+//! loops: filter is a selection pass over a typed column, project is a
+//! column take/reorder, and fused chains thread a selection vector through
+//! staged column kernels. The row-oriented [`Tuple`] survives at the
+//! boundaries — ingestion accepts rows and converts
+//! ([`TupleBatch::from_rows`], [`TupleBatch::push`]), and sinks materialize
+//! rows on demand ([`TupleBatch::iter_rows`], [`TupleBatch::into_rows`]) —
+//! so the public API of the engine is unchanged by the columnar layout.
+//!
+//! The [`work`] module counts machine-independent execution work (row
+//! materializations, per-row expression evaluations, columnar kernel
+//! passes, defensive batch copies) so benchmarks can compare execution
+//! strategies deterministically on throttle-noisy hardware.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -170,6 +178,10 @@ impl Schema {
 
 /// A timestamped tuple. `ts` is event time in milliseconds; all engine
 /// windowing is event-time based for deterministic replay.
+///
+/// With the columnar [`TupleBatch`] layout, `Tuple` is a *boundary* type:
+/// ingestion converts rows into columns and sinks materialize rows back
+/// out. Inside the engine, operators work on columns.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Tuple {
     /// Event timestamp (ms).
@@ -200,18 +212,189 @@ impl Tuple {
     }
 }
 
+/// One typed column of a [`TupleBatch`]: a dense vector of values, all of
+/// one [`DataType`].
+///
+/// Kernels match on the variant once per batch and then run over the typed
+/// slice — no per-row [`Value`] enum dispatch, no per-row allocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Column {
+    /// Boolean column.
+    Bool(Vec<bool>),
+    /// 64-bit integer column.
+    Int(Vec<i64>),
+    /// 64-bit float column.
+    Float(Vec<f64>),
+    /// String column (shared `Arc<str>` payloads, cheap to gather).
+    Str(Vec<Arc<str>>),
+}
+
+impl Column {
+    /// An empty column of the given type with reserved capacity.
+    pub fn with_capacity(data_type: DataType, capacity: usize) -> Column {
+        match data_type {
+            DataType::Bool => Column::Bool(Vec::with_capacity(capacity)),
+            DataType::Int => Column::Int(Vec::with_capacity(capacity)),
+            DataType::Float => Column::Float(Vec::with_capacity(capacity)),
+            DataType::Str => Column::Str(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// A column holding `n` copies of one value (scalar broadcast).
+    pub fn from_value(v: &Value, n: usize) -> Column {
+        match v {
+            Value::Bool(b) => Column::Bool(vec![*b; n]),
+            Value::Int(i) => Column::Int(vec![*i; n]),
+            Value::Float(f) => Column::Float(vec![*f; n]),
+            Value::Str(s) => Column::Str(vec![s.clone(); n]),
+        }
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Bool(_) => DataType::Bool,
+            Column::Int(_) => DataType::Int,
+            Column::Float(_) => DataType::Float,
+            Column::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Bool(v) => v.len(),
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one value.
+    ///
+    /// # Panics
+    /// Panics when the value's type does not match the column — a columnar
+    /// store cannot hold a mistyped cell, so this is a hard error rather
+    /// than the row layout's debug-only check.
+    pub fn push(&mut self, v: Value) {
+        match (self, v) {
+            (Column::Bool(col), Value::Bool(b)) => col.push(b),
+            (Column::Int(col), Value::Int(i)) => col.push(i),
+            (Column::Float(col), Value::Float(f)) => col.push(f),
+            (Column::Str(col), Value::Str(s)) => col.push(s),
+            (col, v) => panic!(
+                "cannot push {:?} value into {:?} column",
+                v.data_type(),
+                col.data_type()
+            ),
+        }
+    }
+
+    /// Materializes the value at row `i` (clones the cell; `Str` cells are
+    /// `Arc`-shared, so this never copies string bytes).
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            Column::Bool(v) => Value::Bool(v[i]),
+            Column::Int(v) => Value::Int(v[i]),
+            Column::Float(v) => Value::Float(v[i]),
+            Column::Str(v) => Value::Str(v[i].clone()),
+        }
+    }
+
+    /// The rows as a `bool` slice, if this is a boolean column.
+    pub fn as_bools(&self) -> Option<&[bool]> {
+        match self {
+            Column::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The rows as an `i64` slice, if this is an integer column.
+    pub fn as_ints(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The rows as an `f64` slice, if this is a float column.
+    pub fn as_floats(&self) -> Option<&[f64]> {
+        match self {
+            Column::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The rows as an `Arc<str>` slice, if this is a string column.
+    pub fn as_strs(&self) -> Option<&[Arc<str>]> {
+        match self {
+            Column::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Gathers the rows at the given indices into a new column (the
+    /// selection-vector materialization kernel).
+    pub fn take(&self, sel: &[u32]) -> Column {
+        match self {
+            Column::Bool(v) => Column::Bool(sel.iter().map(|&i| v[i as usize]).collect()),
+            Column::Int(v) => Column::Int(sel.iter().map(|&i| v[i as usize]).collect()),
+            Column::Float(v) => Column::Float(sel.iter().map(|&i| v[i as usize]).collect()),
+            Column::Str(v) => Column::Str(sel.iter().map(|&i| v[i as usize].clone()).collect()),
+        }
+    }
+
+    /// Splits off the rows from index `at` onward (mirrors
+    /// [`Vec::split_off`]).
+    pub fn split_off(&mut self, at: usize) -> Column {
+        match self {
+            Column::Bool(v) => Column::Bool(v.split_off(at)),
+            Column::Int(v) => Column::Int(v.split_off(at)),
+            Column::Float(v) => Column::Float(v.split_off(at)),
+            Column::Str(v) => Column::Str(v.split_off(at)),
+        }
+    }
+
+    /// Appends all rows of `other` (must have the same type).
+    pub fn append(&mut self, mut other: Column) {
+        match (self, &mut other) {
+            (Column::Bool(a), Column::Bool(b)) => a.append(b),
+            (Column::Int(a), Column::Int(b)) => a.append(b),
+            (Column::Float(a), Column::Float(b)) => a.append(b),
+            (Column::Str(a), Column::Str(b)) => a.append(b),
+            (a, b) => panic!(
+                "cannot append {:?} column to {:?} column",
+                b.data_type(),
+                a.data_type()
+            ),
+        }
+    }
+}
+
 /// A batch of tuples sharing one schema — the unit of execution everywhere
 /// in the engine (ingestion, operator processing, routing, sink delivery).
 ///
-/// The schema rides along behind an [`Arc`] so producing a batch from an
-/// operator costs one pointer clone, never a schema copy. Rows keep their
-/// arrival order; all engine determinism guarantees are stated over the
-/// concatenation of a stream's batches, which is invariant under how the
-/// stream was chunked (tested property: scalar vs. batched equivalence).
+/// The layout is **columnar**: event timestamps and each field live in
+/// their own typed vector (see [`Column`]), and the schema rides along
+/// behind an [`Arc`] so producing a batch from an operator costs one
+/// pointer clone. Rows keep their arrival order; all engine determinism
+/// guarantees are stated over the concatenation of a stream's batches,
+/// which is invariant under how the stream was chunked (tested property:
+/// scalar vs. batched equivalence).
+///
+/// **Invariant** (checked by `debug_assert` in every constructor and
+/// mutator): the timestamp vector and every column have the same length,
+/// and column `i`'s type equals `schema.fields[i].data_type`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TupleBatch {
     schema: Arc<Schema>,
-    rows: Vec<Tuple>,
+    ts: Vec<u64>,
+    columns: Vec<Column>,
 }
 
 impl TupleBatch {
@@ -220,31 +403,77 @@ impl TupleBatch {
 
     /// An empty batch over `schema`.
     pub fn new(schema: Arc<Schema>) -> Self {
-        Self {
-            schema,
-            rows: Vec::new(),
-        }
+        Self::with_capacity(schema, 0)
     }
 
-    /// An empty batch with row capacity reserved.
+    /// An empty batch with row capacity reserved in every column.
     pub fn with_capacity(schema: Arc<Schema>, capacity: usize) -> Self {
+        let columns = schema
+            .fields
+            .iter()
+            .map(|f| Column::with_capacity(f.data_type, capacity))
+            .collect();
         Self {
             schema,
-            rows: Vec::with_capacity(capacity),
+            ts: Vec::with_capacity(capacity),
+            columns,
         }
     }
 
-    /// A batch from existing rows.
+    /// A batch from row-oriented tuples (the ingestion boundary): each
+    /// row's values are scattered into the typed columns.
     ///
     /// In debug builds every row is checked against the schema; release
-    /// builds trust the caller (operators construct conforming rows by
-    /// construction).
+    /// builds trust the caller up to the per-cell type check (a mistyped
+    /// cell panics in [`Column::push`]).
     pub fn from_rows(schema: Arc<Schema>, rows: Vec<Tuple>) -> Self {
         debug_assert!(
             rows.iter().all(|t| t.conforms_to(&schema)),
             "batch rows must conform to the batch schema"
         );
-        Self { schema, rows }
+        let mut batch = Self::with_capacity(schema, rows.len());
+        for t in rows {
+            batch.ts.push(t.ts);
+            for (col, v) in batch.columns.iter_mut().zip(t.values) {
+                col.push(v);
+            }
+        }
+        batch
+    }
+
+    /// A batch directly from columnar parts (the kernel-output path).
+    ///
+    /// # Panics
+    /// Debug builds panic when lengths or column types are inconsistent
+    /// with `schema`.
+    pub fn from_columns(schema: Arc<Schema>, ts: Vec<u64>, columns: Vec<Column>) -> Self {
+        let batch = Self {
+            schema,
+            ts,
+            columns,
+        };
+        batch.debug_check_invariants();
+        batch
+    }
+
+    /// Asserts the length/type invariants in debug builds.
+    fn debug_check_invariants(&self) {
+        debug_assert_eq!(
+            self.columns.len(),
+            self.schema.len(),
+            "one column per schema field"
+        );
+        debug_assert!(
+            self.columns.iter().all(|c| c.len() == self.ts.len()),
+            "every column must match the timestamp vector length"
+        );
+        debug_assert!(
+            self.columns
+                .iter()
+                .zip(&self.schema.fields)
+                .all(|(c, f)| c.data_type() == f.data_type),
+            "column types must match the schema"
+        );
     }
 
     /// The shared schema.
@@ -252,38 +481,109 @@ impl TupleBatch {
         &self.schema
     }
 
+    /// Re-owns the batch under another (structurally equal) schema handle —
+    /// zero-copy: only the `Arc` pointer changes. Used by pass-through
+    /// operators (filter fast path, union) so their outputs carry the
+    /// operator's own schema handle.
+    pub fn with_schema(mut self, schema: Arc<Schema>) -> Self {
+        debug_assert!(
+            schema
+                .fields
+                .iter()
+                .zip(&self.schema.fields)
+                .all(|(a, b)| a.data_type == b.data_type)
+                && schema.len() == self.schema.len(),
+            "re-owning schema must be type-compatible"
+        );
+        self.schema = schema;
+        self
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.ts.len()
     }
 
     /// True when the batch has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.ts.is_empty()
     }
 
-    /// The rows, in arrival order.
-    pub fn rows(&self) -> &[Tuple] {
-        &self.rows
+    /// The event timestamps, in arrival order.
+    pub fn ts(&self) -> &[u64] {
+        &self.ts
     }
 
-    /// Iterates over the rows.
-    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
-        self.rows.iter()
+    /// The typed column at index `i`.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
     }
 
-    /// Consumes the batch, yielding its rows.
+    /// All columns, in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Materializes row `i` as a [`Tuple`] (the row-view accessor for
+    /// row-oriented consumers: joins, sinks, the per-row fallback kernels).
+    pub fn row(&self, i: usize) -> Tuple {
+        work::count_rows_materialized(1);
+        Tuple::new(
+            self.ts[i],
+            self.columns.iter().map(|c| c.value(i)).collect(),
+        )
+    }
+
+    /// Iterates over materialized rows, in arrival order.
+    pub fn iter_rows(&self) -> impl Iterator<Item = Tuple> + '_ {
+        (0..self.len()).map(|i| self.row(i))
+    }
+
+    /// Consumes the batch, materializing its rows.
     pub fn into_rows(self) -> Vec<Tuple> {
-        self.rows
+        work::count_rows_materialized(self.len() as u64);
+        let mut rows: Vec<Tuple> = self
+            .ts
+            .iter()
+            .map(|&ts| Tuple::new(ts, Vec::with_capacity(self.columns.len())))
+            .collect();
+        for col in self.columns {
+            match col {
+                Column::Bool(v) => {
+                    for (row, b) in rows.iter_mut().zip(v) {
+                        row.values.push(Value::Bool(b));
+                    }
+                }
+                Column::Int(v) => {
+                    for (row, i) in rows.iter_mut().zip(v) {
+                        row.values.push(Value::Int(i));
+                    }
+                }
+                Column::Float(v) => {
+                    for (row, f) in rows.iter_mut().zip(v) {
+                        row.values.push(Value::Float(f));
+                    }
+                }
+                Column::Str(v) => {
+                    for (row, s) in rows.iter_mut().zip(v) {
+                        row.values.push(Value::Str(s));
+                    }
+                }
+            }
+        }
+        rows
     }
 
-    /// Appends one row.
+    /// Appends one row, scattering its values into the columns.
     pub fn push(&mut self, tuple: Tuple) {
         debug_assert!(
             tuple.conforms_to(&self.schema),
             "row must conform to the batch schema"
         );
-        self.rows.push(tuple);
+        self.ts.push(tuple.ts);
+        for (col, v) in self.columns.iter_mut().zip(tuple.values) {
+            col.push(v);
+        }
     }
 
     /// Appends rows from an iterator.
@@ -291,29 +591,140 @@ impl TupleBatch {
         for t in rows {
             self.push(t);
         }
+        self.debug_check_invariants();
+    }
+
+    /// Gathers the rows at the given indices into a new batch sharing the
+    /// same schema handle (the selection-vector materialization kernel).
+    pub fn take(&self, sel: &[u32]) -> TupleBatch {
+        debug_assert!(
+            sel.iter().all(|&i| (i as usize) < self.len()),
+            "selection indices must be in range"
+        );
+        TupleBatch {
+            schema: self.schema.clone(),
+            ts: sel.iter().map(|&i| self.ts[i as usize]).collect(),
+            columns: self.columns.iter().map(|c| c.take(sel)).collect(),
+        }
     }
 
     /// Splits off the rows from index `at` onward into a new batch sharing
-    /// the same schema (mirrors [`Vec::split_off`]).
+    /// the same schema (mirrors [`Vec::split_off`]). Every column splits at
+    /// the same index, preserving the alignment invariant.
     pub fn split_off(&mut self, at: usize) -> TupleBatch {
-        TupleBatch {
+        debug_assert!(at <= self.len(), "split index out of range");
+        let tail = TupleBatch {
             schema: self.schema.clone(),
-            rows: self.rows.split_off(at),
+            ts: self.ts.split_off(at),
+            columns: self.columns.iter_mut().map(|c| c.split_off(at)).collect(),
+        };
+        self.debug_check_invariants();
+        tail.debug_check_invariants();
+        tail
+    }
+
+    /// Appends all rows of `other` column-wise (must share a
+    /// type-compatible schema).
+    pub fn append(&mut self, other: TupleBatch) {
+        debug_assert!(
+            other
+                .schema
+                .fields
+                .iter()
+                .zip(&self.schema.fields)
+                .all(|(a, b)| a.data_type == b.data_type)
+                && other.schema.len() == self.schema.len(),
+            "appended batch must be type-compatible"
+        );
+        self.ts.extend(other.ts);
+        for (a, b) in self.columns.iter_mut().zip(other.columns) {
+            a.append(b);
         }
+        self.debug_check_invariants();
     }
 
     /// The largest event timestamp in the batch, if any.
     pub fn max_ts(&self) -> Option<u64> {
-        self.rows.iter().map(|t| t.ts).max()
+        self.ts.iter().copied().max()
     }
 }
 
-impl<'a> IntoIterator for &'a TupleBatch {
-    type Item = &'a Tuple;
-    type IntoIter = std::slice::Iter<'a, Tuple>;
+/// Deterministic, machine-independent work counters for comparing
+/// execution strategies.
+///
+/// Wall-clock timings on shared/throttled build machines are too noisy to
+/// pin a perf win in CI, so the data plane counts the work that *dominates*
+/// each strategy instead: per-row materializations and per-row expression
+/// evaluations for the row-at-a-time path, per-batch kernel passes for the
+/// columnar path, and defensive deep copies of shared batches for the
+/// delivery fan-out. Counters are thread-local (the engine is
+/// single-threaded by design), so parallel tests never interfere.
+pub mod work {
+    use std::cell::Cell;
 
-    fn into_iter(self) -> Self::IntoIter {
-        self.rows.iter()
+    thread_local! {
+        static ROWS_MATERIALIZED: Cell<u64> = const { Cell::new(0) };
+        static ROW_EVALS: Cell<u64> = const { Cell::new(0) };
+        static KERNEL_OPS: Cell<u64> = const { Cell::new(0) };
+        static BATCH_DEEP_CLONES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// A snapshot of the current thread's work counters.
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    pub struct WorkSnapshot {
+        /// Rows materialized from columnar batches into [`super::Tuple`]s
+        /// (row-fallback kernels, join state, sink delivery).
+        pub rows_materialized: u64,
+        /// Per-row expression-node evaluations (one per
+        /// [`crate::expr::Expr`] node visited per row on the row path).
+        pub row_evals: u64,
+        /// Columnar kernel passes (one per expression node per *batch* on
+        /// the columnar path).
+        pub kernel_ops: u64,
+        /// Shared batches deep-copied because a node consumer needed
+        /// ownership while another consumer — a node queue or a sink
+        /// buffer — still held the batch. Pure sink fan-out never
+        /// deep-copies; mixed fan-out costs at most one copy per node
+        /// consumer, never more than the row engine's per-target clones.
+        pub batch_deep_clones: u64,
+    }
+
+    /// Resets this thread's counters to zero.
+    pub fn reset() {
+        ROWS_MATERIALIZED.with(|c| c.set(0));
+        ROW_EVALS.with(|c| c.set(0));
+        KERNEL_OPS.with(|c| c.set(0));
+        BATCH_DEEP_CLONES.with(|c| c.set(0));
+    }
+
+    /// Reads this thread's counters.
+    pub fn snapshot() -> WorkSnapshot {
+        WorkSnapshot {
+            rows_materialized: ROWS_MATERIALIZED.with(Cell::get),
+            row_evals: ROW_EVALS.with(Cell::get),
+            kernel_ops: KERNEL_OPS.with(Cell::get),
+            batch_deep_clones: BATCH_DEEP_CLONES.with(Cell::get),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn count_rows_materialized(n: u64) {
+        ROWS_MATERIALIZED.with(|c| c.set(c.get() + n));
+    }
+
+    #[inline]
+    pub(crate) fn count_row_eval() {
+        ROW_EVALS.with(|c| c.set(c.get() + 1));
+    }
+
+    #[inline]
+    pub(crate) fn count_kernel_op() {
+        KERNEL_OPS.with(|c| c.set(c.get() + 1));
+    }
+
+    #[inline]
+    pub(crate) fn count_batch_deep_clone() {
+        BATCH_DEEP_CLONES.with(|c| c.set(c.get() + 1));
     }
 }
 
@@ -380,28 +791,69 @@ mod tests {
     }
 
     #[test]
+    fn rows_round_trip_through_columns() {
+        let batch = quote_batch(4);
+        assert_eq!(batch.column(0).data_type(), DataType::Str);
+        assert_eq!(batch.column(1).as_floats(), Some(&[0.0, 1.0, 2.0, 3.0][..]));
+        let rows: Vec<Tuple> = batch.iter_rows().collect();
+        assert_eq!(
+            rows[2],
+            Tuple::new(20, vec![Value::str("IBM"), Value::Float(2.0)])
+        );
+        assert_eq!(batch.row(3), rows[3]);
+        assert_eq!(batch.clone().into_rows(), rows);
+    }
+
+    #[test]
     fn batch_split_off_partitions_rows_and_shares_schema() {
         let mut batch = quote_batch(5);
         let tail = batch.split_off(2);
         assert_eq!(batch.len(), 2);
         assert_eq!(tail.len(), 3);
         assert!(Arc::ptr_eq(batch.schema(), tail.schema()));
-        assert_eq!(tail.rows()[0].ts, 20);
+        assert_eq!(tail.row(0).ts, 20);
         assert_eq!(batch.max_ts(), Some(10));
         assert_eq!(tail.max_ts(), Some(40));
+        // Both halves keep every column aligned with the timestamps.
+        assert_eq!(batch.column(1).len(), batch.len());
+        assert_eq!(tail.column(0).len(), tail.len());
     }
 
     #[test]
-    fn batch_extend_and_iteration() {
+    fn batch_extend_and_append() {
         let mut batch = quote_batch(2);
         let extra = quote_batch(3);
-        batch.extend(extra.into_rows());
+        batch.extend(extra.clone().into_rows());
         assert_eq!(batch.len(), 5);
         assert!(!batch.is_empty());
-        let ts: Vec<u64> = batch.iter().map(|t| t.ts).collect();
+        let ts: Vec<u64> = batch.iter_rows().map(|t| t.ts).collect();
         assert_eq!(ts, vec![0, 10, 0, 10, 20]);
-        let ts2: Vec<u64> = (&batch).into_iter().map(|t| t.ts).collect();
-        assert_eq!(ts, ts2);
+        // Column-wise append gives the same result without materializing.
+        let mut batch2 = quote_batch(2);
+        batch2.append(extra);
+        assert_eq!(batch2.ts(), &[0, 10, 0, 10, 20]);
+    }
+
+    #[test]
+    fn take_gathers_selection() {
+        let batch = quote_batch(5);
+        let taken = batch.take(&[4, 0, 2]);
+        assert_eq!(taken.ts(), &[40, 0, 20]);
+        assert_eq!(taken.column(1).as_floats(), Some(&[4.0, 0.0, 2.0][..]));
+        assert!(Arc::ptr_eq(batch.schema(), taken.schema()));
+        assert!(batch.take(&[]).is_empty());
+    }
+
+    #[test]
+    fn with_schema_reowns_without_copying_rows() {
+        let batch = quote_batch(3);
+        let other = Arc::new(Schema::new(vec![
+            Field::new("sym", DataType::Str),
+            Field::new("px", DataType::Float),
+        ]));
+        let reowned = batch.with_schema(other.clone());
+        assert!(Arc::ptr_eq(reowned.schema(), &other));
+        assert_eq!(reowned.len(), 3);
     }
 
     #[test]
@@ -410,5 +862,24 @@ mod tests {
         let batch = TupleBatch::new(schema);
         assert!(batch.is_empty());
         assert_eq!(batch.max_ts(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot push")]
+    fn mistyped_cell_is_rejected() {
+        let mut col = Column::with_capacity(DataType::Int, 1);
+        col.push(Value::Float(1.0));
+    }
+
+    #[test]
+    fn work_counters_track_materialization() {
+        work::reset();
+        let batch = quote_batch(8);
+        assert_eq!(work::snapshot().rows_materialized, 0, "building is free");
+        let _ = batch.row(0);
+        let _rows = batch.into_rows();
+        assert_eq!(work::snapshot().rows_materialized, 9);
+        work::reset();
+        assert_eq!(work::snapshot(), work::WorkSnapshot::default());
     }
 }

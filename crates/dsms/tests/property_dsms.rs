@@ -238,7 +238,7 @@ proptest! {
             e.push("quotes", t.clone());
         }
         prop_assert_eq!(e.held_tuples(), stream.len());
-        prop_assert!(e.outputs(cq).is_empty());
+        prop_assert_eq!(e.output_len(cq), 0);
         e.end_transition();
         prop_assert_eq!(e.take_outputs(cq), stream);
     }
@@ -549,6 +549,84 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// **Columnar vs. row-kernel equivalence** — the tentpole property of
+    /// the columnar batch layout: for random plans over every operator
+    /// (filter, project, join, tumbling/sliding aggregates, union, fused
+    /// stateless chains), an engine running the columnar filter/project
+    /// kernels produces outputs **sequence-identical** to the same engine
+    /// running the per-row fallback kernels, across batch-size caps
+    /// 1/7/64/1024. Both runs chunk the feed identically, so even the
+    /// multi-port operators (join, union) must agree row for row — no
+    /// canonicalization.
+    #[test]
+    fn columnar_kernels_equal_row_kernels(
+        quotes in quote_stream(60),
+        raw_news in proptest::collection::vec((0u64..500, 0usize..3, 0u8..4), 1..30),
+        kind in 0usize..EQUIVALENCE_KINDS,
+        thresh in 1u32..30_000,
+        window in 1u64..100,
+        slide in 1u64..50,
+    ) {
+        let plan = equivalence_plan(kind, thresh, window, slide);
+        let mut news_tuples: Vec<Tuple> =
+            raw_news.into_iter().map(|(ts, s, t)| news(ts, s, t)).collect();
+        news_tuples.sort_by_key(|t| t.ts);
+        let mut feed: Vec<(String, Tuple)> = quotes
+            .iter()
+            .cloned()
+            .map(|t| ("quotes".to_string(), t))
+            .chain(news_tuples.into_iter().map(|t| ("news".to_string(), t)))
+            .collect();
+        feed.sort_by_key(|(_, t)| t.ts);
+
+        for &cap in &[1usize, 7, 64, 1024] {
+            let (col_q1, col_q2) = cqac_dsms::ops::with_columnar_kernels(true, || {
+                run_chunked(&plan, &feed, feed.len(), cap)
+            });
+            let (row_q1, row_q2) = cqac_dsms::ops::with_columnar_kernels(false, || {
+                run_chunked(&plan, &feed, feed.len(), cap)
+            });
+            prop_assert_eq!(&col_q1, &col_q2, "columnar sharing at cap {}", cap);
+            prop_assert_eq!(&row_q1, &row_q2, "row sharing at cap {}", cap);
+            prop_assert_eq!(
+                &col_q1, &row_q1,
+                "columnar ≠ row kernels at cap {}", cap
+            );
+        }
+    }
+
+    /// Fused chains under both kernel modes: random stateless chains
+    /// (optionally topped by an aggregate) run through the fusion pass and
+    /// must be sequence-identical between the columnar staged kernels and
+    /// the per-row staged loop, across batch caps.
+    #[test]
+    fn columnar_fused_chains_equal_row_fused_chains(
+        quotes in quote_stream(60),
+        stages in proptest::collection::vec((0usize..4, 0u32..30_000), 1..5),
+        top in 0usize..3,
+        window in 1u64..100,
+    ) {
+        let plan = stateless_chain_plan(&stages, top, window);
+        let feed: Vec<(String, Tuple)> = quotes
+            .iter()
+            .cloned()
+            .map(|t| ("quotes".to_string(), t))
+            .collect();
+        for &cap in &[1usize, 7, 64, 1024] {
+            let (col, _) = cqac_dsms::ops::with_columnar_kernels(true, || {
+                run_chunked(&plan, &feed, feed.len(), cap)
+            });
+            let (row, _) = cqac_dsms::ops::with_columnar_kernels(false, || {
+                run_chunked(&plan, &feed, feed.len(), cap)
+            });
+            prop_assert_eq!(&col, &row, "fused columnar ≠ row at cap {}", cap);
+        }
+    }
+}
+
 /// Integer sums must accumulate exactly: three terms of 2^53 + 1 overflow
 /// the mantissa of the old `f64` accumulator (which returned 3 × 2^53).
 #[test]
@@ -612,8 +690,9 @@ fn late_tuple_emits_once_and_late() {
     assert!(e.take_outputs(cq).is_empty());
     // A straggler for the long-closed window [0,50).
     e.push_batch([("quotes".to_string(), quote(10, 0, 100))]);
-    assert!(
-        e.outputs(cq).is_empty(),
+    assert_eq!(
+        e.output_len(cq),
+        0,
         "late window waits for the next advance"
     );
     // The next watermark advance flushes it exactly once.

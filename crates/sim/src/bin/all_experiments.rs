@@ -18,6 +18,7 @@ fn main() {
         ("guarantee", &[]),
         ("multi_period", &[]),
         ("energy", &[]),
+        ("measured_costs", &[]),
     ];
     let self_path = std::env::current_exe().expect("current exe");
     let bin_dir = self_path.parent().expect("bin dir");

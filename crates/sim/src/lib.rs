@@ -15,6 +15,7 @@
 //! | profit guarantee | Thm 11–12 | [`guarantee`] | `guarantee` |
 //! | subscription categories | §VII | [`multi_period`] | `multi_period` |
 //! | energy/capacity | §VII | [`energy`] | `energy` |
+//! | measured vs analytic loads | §II cost model | (direct binary) | `measured_costs` |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
