@@ -19,6 +19,11 @@
 //! deep chain where fusion's hop removal dominates (6× fewer operator
 //! invocations; the shared workload is bounded below by its 32-sink
 //! delivery fan-out, which fusion does not touch).
+//!
+//! The `shard_count` group sweeps the worker-shard knob (1 vs 2 vs 4) over
+//! the 32-shared-filter workload at batch 64, asserting the deterministic
+//! work counters (`tuples_processed` is shard-count invariant — parallel
+//! execution partitions rows, never duplicates them).
 
 use cqac_dsms::engine::DsmsEngine;
 use cqac_dsms::expr::Expr;
@@ -137,6 +142,50 @@ fn bench_fusion(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_shards(c: &mut Criterion) {
+    // The 32-shared-filter workload through the parallel executor at
+    // shard counts 1/2/4. The deterministic `tuples_processed` assertion
+    // proves sharding partitions rows without duplicating per-row work;
+    // wall clock tracks the multi-core win on machines that have the
+    // cores (single-core CI containers show flat wall clock — trust the
+    // work counters there, as with the fusion group).
+    let rows: Vec<Tuple> = StockStream::new(&SYMBOLS, 1, 42).next_batch(20_000);
+    let mut group = c.benchmark_group("shard_count");
+    group.sample_size(10);
+    let mut baseline_work: Option<u64> = None;
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("shared_32_filters_batch64", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut e = DsmsEngine::new()
+                        .with_max_batch_size(64)
+                        .with_shards(shards);
+                    e.register_stream("quotes", quote_schema());
+                    for _ in 0..32 {
+                        e.add_query(
+                            LogicalPlan::source("quotes")
+                                .filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0)))),
+                        )
+                        .expect("valid plan");
+                    }
+                    e.push_rows("quotes", rows.clone());
+                    let processed = e.tuples_processed();
+                    match baseline_work {
+                        Some(want) => {
+                            assert_eq!(want, processed, "sharding must not duplicate per-row work")
+                        }
+                        None => baseline_work = Some(processed),
+                    }
+                    black_box((processed, e.batches_processed()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_sharing(c: &mut Criterion) {
     let batch = quotes(5_000);
     let mut group = c.benchmark_group("engine_sharing");
@@ -218,6 +267,7 @@ criterion_group!(
     benches,
     bench_batch_sizes,
     bench_fusion,
+    bench_shards,
     bench_sharing,
     bench_operators
 );

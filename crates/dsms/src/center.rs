@@ -19,7 +19,7 @@
 //! keep their operator state across the day boundary via the engine's
 //! transition phase (§II).
 
-use crate::cost::{auction_instance, CostModel};
+use crate::cost::{auction_instance, effective_capacity, CostModel};
 use crate::engine::DsmsEngine;
 use crate::network::CqId;
 use crate::plan::{LogicalPlan, PlanError};
@@ -136,6 +136,18 @@ impl DsmsCenter {
         self
     }
 
+    /// Sets the worker-shard count (default 1) for the serving engine and
+    /// the per-auction shadow calibration engines — the knob next to the
+    /// batch-size and fusion knobs. The center's `capacity` is **per
+    /// core**: the auction prices the admitted set against
+    /// [`effective_capacity`] (`shards × capacity`), which is honest
+    /// exactly because a sharded engine's measured per-node loads aggregate
+    /// every worker shard's work.
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.engine.set_shards(n);
+        self
+    }
+
     /// Registers an input stream (must precede submissions that read it).
     pub fn register_stream(&mut self, name: impl Into<String>, schema: Schema) {
         let name = name.into();
@@ -172,7 +184,8 @@ impl DsmsCenter {
         // 1. Shadow calibration.
         let mut shadow = DsmsEngine::new()
             .with_max_batch_size(self.engine.max_batch_size())
-            .with_fusion(self.engine.fusion_enabled());
+            .with_fusion(self.engine.fusion_enabled())
+            .with_shards(self.engine.shards());
         for (name, schema) in &self.streams {
             shadow.register_stream(name.clone(), schema.clone());
         }
@@ -188,7 +201,9 @@ impl DsmsCenter {
             .zip(&shadow_cqs)
             .map(|(s, cq)| (*cq, s.user, s.bid))
             .collect();
-        let (inst, mapping) = auction_instance(&shadow, &bids, self.capacity, &self.cost_model);
+        // The auction prices against the aggregate multi-shard capacity.
+        let capacity = effective_capacity(self.capacity, self.engine.shards());
+        let (inst, mapping) = auction_instance(&shadow, &bids, capacity, &self.cost_model);
 
         // 3. Run the mechanism, seeded by the day for reproducibility.
         let outcome = self.mechanism.run_seeded(&inst, u64::from(self.day));
@@ -431,6 +446,59 @@ mod tests {
                 "fusion={fusion}"
             );
         }
+    }
+
+    #[test]
+    fn sharded_center_auctions_against_aggregate_capacity() {
+        // Per-core capacity fits one filter's load (≈1). Single-threaded
+        // the second bidder is rejected; with 2 worker shards the same
+        // per-core capacity prices 2× and both fit.
+        let submissions = vec![
+            Submission {
+                user: UserId(0),
+                bid: Money::from_dollars(90.0),
+                plan: high_price(100.0),
+            },
+            Submission {
+                user: UserId(1),
+                bid: Money::from_dollars(10.0),
+                plan: high_price(150.0),
+            },
+        ];
+        for (shards, expected) in [(1usize, vec![true, false]), (2, vec![true, true])] {
+            let mut c = DsmsCenter::new(Load::from_units(1.2), Box::new(Cat)).with_shards(shards);
+            c.register_stream("quotes", quote_schema());
+            let record = c
+                .run_auction(&submissions, &calibration_sample(2000))
+                .unwrap();
+            let admitted: Vec<bool> = record.decisions.iter().map(|d| d.admitted).collect();
+            assert_eq!(admitted, expected, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_serving_matches_single_threaded_outputs() {
+        let run = |shards: usize| {
+            let mut c = DsmsCenter::new(Load::from_units(1000.0), Box::new(Cat))
+                .with_batch_size(32)
+                .with_shards(shards);
+            c.register_stream("quotes", quote_schema());
+            let record = c
+                .run_auction(
+                    &[Submission {
+                        user: UserId(0),
+                        bid: Money::from_dollars(30.0),
+                        plan: high_price(50.0),
+                    }],
+                    &calibration_sample(300),
+                )
+                .unwrap();
+            let cq = record.decisions[0].cq.unwrap();
+            let mut feed = StockStream::new(&["IBM", "AAPL"], 1, 7);
+            c.process("quotes", feed.next_batch(500));
+            c.take_outputs(cq)
+        };
+        assert_eq!(run(1), run(4), "serving outputs are shard-count invariant");
     }
 
     #[test]

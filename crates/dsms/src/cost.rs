@@ -100,7 +100,34 @@ pub struct NodeLoadEstimate {
     pub load: Load,
 }
 
+/// The aggregate capacity an admission auction should price against when
+/// the engine runs `shards` worker shards: `shards × per-core capacity`.
+///
+/// This is the capacity-side half of per-shard load aggregation: on the
+/// load side, a sharded engine's per-node statistics (`in_count`, `busy`)
+/// already sum over every worker shard — `CostModel::measured` therefore
+/// observes the *total* multi-core work of an operator, and the auction
+/// must compare that total against the total capacity of all cores, not
+/// one core's.
+///
+/// **Known approximation (Amdahl):** only the stateless prefix runs on
+/// worker shards; stateful operators, the merge, and sink delivery run on
+/// the control thread. A workload whose load is dominated by stateful
+/// operators can therefore be admitted up to `shards ×` what the control
+/// thread alone can serve. Pricing the stateful fraction against per-core
+/// capacity (or sharding stateful operators by group/join key) is a
+/// ROADMAP follow-on.
+pub fn effective_capacity(per_core: Load, shards: usize) -> Load {
+    assert!(shards > 0, "shard count must be positive");
+    Load::from_units(per_core.as_f64() * shards as f64)
+}
+
 /// Measures every live node's load from the engine's accumulated statistics.
+///
+/// With a sharded engine the statistics aggregate across worker shards
+/// (each shard's rows and busy time fold into the same per-node totals),
+/// so estimated loads are the query's full multi-core load — price them
+/// against [`effective_capacity`].
 ///
 /// The observation window is the event-time span of all pushed streams; an
 /// engine that has seen no tuples yields `min_load` for every node.
@@ -403,6 +430,59 @@ mod tests {
         let measured = estimate_node_loads(&e, &CostModel::measured());
         assert_eq!(measured.len(), 1);
         assert!(measured[0].measured_us_per_tuple.is_some());
+    }
+
+    #[test]
+    fn effective_capacity_scales_with_shards() {
+        let per_core = Load::from_units(1.5);
+        assert_eq!(effective_capacity(per_core, 1), per_core);
+        assert_eq!(effective_capacity(per_core, 4), Load::from_units(6.0));
+    }
+
+    #[test]
+    fn sharded_engine_measures_the_same_aggregate_load() {
+        // The same feed through a 1-shard and a 4-shard engine must yield
+        // identical analytic load estimates: per-shard input counts fold
+        // into the same per-node totals.
+        let schema = || {
+            Schema::new(vec![
+                Field::new("symbol", DataType::Str),
+                Field::new("price", DataType::Float),
+            ])
+        };
+        let plan =
+            LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))));
+        let feed: Vec<Tuple> = (0..200)
+            .map(|i| {
+                quote(
+                    i,
+                    if i % 2 == 0 { "IBM" } else { "AAPL" },
+                    90.0 + (i % 20) as f64,
+                )
+            })
+            .collect();
+        let mut single = DsmsEngine::new().with_max_batch_size(16);
+        single.register_stream("quotes", schema());
+        single.add_query(plan.clone()).unwrap();
+        single.push_rows("quotes", feed.clone());
+        let mut sharded = DsmsEngine::new().with_max_batch_size(16).with_shards(4);
+        sharded.register_stream("quotes", schema());
+        sharded.set_shard_key("quotes", 0);
+        sharded.add_query(plan).unwrap();
+        sharded.push_rows("quotes", feed);
+
+        let model = CostModel::default();
+        let single_est = estimate_node_loads(&single, &model);
+        let sharded_est = estimate_node_loads(&sharded, &model);
+        assert_eq!(single_est.len(), sharded_est.len());
+        for (a, b) in single_est.iter().zip(&sharded_est) {
+            assert_eq!(a.load, b.load, "aggregate load is shard-count invariant");
+            assert!((a.input_rate - b.input_rate).abs() < 1e-9);
+        }
+        // Measured mode still has timings for every calibrated node.
+        for est in estimate_node_loads(&sharded, &CostModel::measured()) {
+            assert!(est.measured_us_per_tuple.is_some());
+        }
     }
 
     #[test]

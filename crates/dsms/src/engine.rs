@@ -41,13 +41,29 @@
 //! [`DsmsEngine::push_batch`] / [`DsmsEngine::push_rows`] are the primary
 //! ingestion paths.
 
-use crate::network::{CqId, NodeId, QueryNetwork, Target};
+use crate::network::{CqId, NodeId, QueryNetwork, StreamPrefix, Target};
+use crate::ops::ShardKernel;
 use crate::plan::StreamCatalog;
 use crate::plan::{LogicalPlan, PlanError};
-use crate::types::{work, Schema, Tuple, TupleBatch};
-use std::collections::{HashMap, VecDeque};
+use crate::types::{work, Column, DataType, Schema, Tuple, TupleBatch};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Panics unless `column` is a hashable (non-float) column of `schema` —
+/// the shard-key contract, enforced at whichever of
+/// [`DsmsEngine::set_shard_key`] / [`DsmsEngine::register_stream`] runs
+/// second.
+fn validate_shard_key(schema: &Schema, stream: &str, column: usize) {
+    assert!(
+        column < schema.len(),
+        "shard key column {column} out of range for stream '{stream}'"
+    );
+    assert!(
+        schema.data_type(column) != DataType::Float,
+        "float column {column} of stream '{stream}' is not a hashable shard key"
+    );
+}
 
 /// The registered schema handle for `stream`, with the engine's uniform
 /// unknown-stream panic (shared by every ingestion path so the hardening
@@ -67,6 +83,27 @@ pub struct StreamStats {
     /// Smallest event timestamp seen.
     pub min_ts: u64,
     /// Largest event timestamp seen.
+    pub max_ts: u64,
+    /// Rows routed to each worker shard (empty until the stream feeds a
+    /// sharded run; index = shard id).
+    pub shard_rows: Vec<u64>,
+}
+
+/// Per-shard execution statistics of the parallel executor (all zero while
+/// the engine runs single-threaded).
+#[derive(Clone, Debug, Default)]
+pub struct ShardStats {
+    /// Rows this shard's workers fed into prefix operators.
+    pub rows: u64,
+    /// Sub-batches this shard processed.
+    pub batches: u64,
+    /// Wall-clock time this shard spent inside prefix operator calls (sums
+    /// across shards into the same per-node `busy` totals the measured
+    /// cost model reads).
+    pub busy: Duration,
+    /// The shard's watermark: the largest event timestamp it has
+    /// processed. Per-shard watermarks merge into the engine watermark by
+    /// maximum, so no shard can ever run ahead of the merged value.
     pub max_ts: u64,
 }
 
@@ -112,6 +149,16 @@ pub struct DsmsEngine {
     /// When true (the default), operator calls are wall-clock timed so the
     /// measured cost model can normalize per-batch work to per-tuple load.
     timing: bool,
+    /// Per-stream shard-key column for hash partitioning (streams without
+    /// one fall back to round-robin batch distribution).
+    shard_keys: HashMap<String, usize>,
+    /// Per-stream round-robin cursor for keyless shard distribution.
+    shard_rr: HashMap<String, usize>,
+    /// Per-shard execution statistics (length = shard count).
+    shard_stats: Vec<ShardStats>,
+    /// Cached stateless-prefix topologies, invalidated whenever the
+    /// network changes shape.
+    prefix_cache: HashMap<String, Arc<StreamPrefix>>,
 }
 
 impl Default for DsmsEngine {
@@ -136,6 +183,10 @@ impl DsmsEngine {
             batches: 0,
             max_batch_size: TupleBatch::DEFAULT_MAX_BATCH,
             timing: true,
+            shard_keys: HashMap::new(),
+            shard_rr: HashMap::new(),
+            shard_stats: vec![ShardStats::default()],
+            prefix_cache: HashMap::new(),
         }
     }
 
@@ -181,6 +232,86 @@ impl DsmsEngine {
         self.network.fusion_enabled()
     }
 
+    /// Sets the worker-shard count (builder form; see
+    /// [`DsmsEngine::set_shards`]).
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.set_shards(n);
+        self
+    }
+
+    /// Sets the worker-shard count — the knob next to the batch-size and
+    /// fusion knobs. `1` (the default) compiles down to the single-threaded
+    /// path; `n > 1` runs each stream's stateless prefix (filters,
+    /// projections, fused chains) on `n` worker threads and merges shard
+    /// outputs deterministically before stateful operators and sinks, so
+    /// outputs are bit-identical to the single-threaded engine regardless
+    /// of shard count.
+    ///
+    /// Changing the count resets the per-shard statistics
+    /// ([`DsmsEngine::shard_stats`], [`StreamStats::shard_rows`]) and the
+    /// round-robin cursors — shard ids mean nothing across different
+    /// shard counts.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn set_shards(&mut self, n: usize) {
+        if n == self.network.shards() {
+            return;
+        }
+        self.network.set_shards(n);
+        self.shard_stats = vec![ShardStats::default(); n];
+        for stats in self.stream_stats.values_mut() {
+            stats.shard_rows.clear();
+        }
+        self.shard_rr.clear();
+    }
+
+    /// The worker-shard count.
+    pub fn shards(&self) -> usize {
+        self.network.shards()
+    }
+
+    /// Configures hash partitioning for a stream: rows are distributed to
+    /// shards by a deterministic hash of `column` (builder form).
+    pub fn with_shard_key(mut self, stream: &str, column: usize) -> Self {
+        self.set_shard_key(stream, column);
+        self
+    }
+
+    /// Configures hash partitioning for a stream: rows are distributed to
+    /// shards by a deterministic (FNV-1a) hash of `column`, so equal keys
+    /// always land on the same shard. Streams without a shard key
+    /// distribute whole ingestion batches round-robin instead. Either way
+    /// the deterministic merge keeps outputs identical to the
+    /// single-threaded run.
+    ///
+    /// May be called before the stream is registered (so the builder forms
+    /// chain in any order); validation then happens at
+    /// [`DsmsEngine::register_stream`].
+    ///
+    /// # Panics
+    /// Panics — here if the stream is already registered, otherwise at
+    /// registration — when `column` is out of range or the column is a
+    /// float (floats are not hashable, exactly as for join and group
+    /// keys).
+    pub fn set_shard_key(&mut self, stream: &str, column: usize) {
+        if let Some(schema) = self.network.stream_schema(stream) {
+            validate_shard_key(schema, stream, column);
+        }
+        self.shard_keys.insert(stream.to_string(), column);
+    }
+
+    /// The configured shard-key column of a stream, if any.
+    pub fn shard_key(&self, stream: &str) -> Option<usize> {
+        self.shard_keys.get(stream).copied()
+    }
+
+    /// Per-shard execution statistics (index = shard id; all zero until a
+    /// sharded run happens).
+    pub fn shard_stats(&self) -> &[ShardStats] {
+        &self.shard_stats
+    }
+
     /// Enables or disables per-batch operator timing. On by default (the
     /// measured cost model needs it); disable for maximum-throughput
     /// serving when only analytic costs are used.
@@ -194,8 +325,17 @@ impl DsmsEngine {
     }
 
     /// Registers an input stream.
+    ///
+    /// # Panics
+    /// Panics when a shard key configured ahead of registration (see
+    /// [`DsmsEngine::set_shard_key`]) does not fit the schema.
     pub fn register_stream(&mut self, name: impl Into<String>, schema: Schema) {
+        let name = name.into();
+        if let Some(&column) = self.shard_keys.get(&name) {
+            validate_shard_key(&schema, &name, column);
+        }
         self.network.register_stream(name, schema);
+        self.prefix_cache.clear();
     }
 
     /// Adds a continuous query. If the engine is mid-stream (not in an
@@ -208,6 +348,7 @@ impl DsmsEngine {
             self.begin_transition();
         }
         let result = self.network.add_query(plan);
+        self.prefix_cache.clear();
         if let Ok(cq) = result {
             self.outputs.entry(cq).or_default();
         }
@@ -225,6 +366,7 @@ impl DsmsEngine {
             self.begin_transition();
         }
         self.network.remove_query(cq);
+        self.prefix_cache.clear();
         self.outputs.remove(&cq);
         if auto {
             self.end_transition();
@@ -348,25 +490,262 @@ impl DsmsEngine {
         }
     }
 
+    /// Advances the watermark to cover `ts`. Every routing path — single
+    /// threaded or sharded — funnels through here, so the watermark can
+    /// only move forward; the non-vacuous halves of that invariant are the
+    /// `debug_assert`s in [`DsmsEngine::run_until_quiescent`] (no node is
+    /// ever ahead of the engine watermark) and the per-shard
+    /// `max_ts ≤ watermark` check after the parallel merge.
+    fn advance_watermark_to(&mut self, ts: u64) {
+        self.watermark = self.watermark.max(ts);
+    }
+
     /// Routes ingested batches into node queues (and source-only sinks),
     /// advancing the watermark.
     fn flush_ingest(&mut self) {
         while let Some((stream, batch)) = self.ingest.pop_front() {
             if let Some(ts) = batch.max_ts() {
-                self.watermark = self.watermark.max(ts);
+                self.advance_watermark_to(ts);
             }
             // Clone the subscriber list (tiny) to appease the borrow checker.
             let subs: Vec<Target> = self.network.stream_subscribers(&stream).to_vec();
-            let Some((&last, rest)) = subs.split_last() else {
-                continue;
-            };
-            // One Arc for the whole fan-out: every target shares the batch.
-            let shared = Arc::new(batch);
-            for &target in rest {
-                self.route(target, shared.clone());
-            }
-            self.route(last, shared);
+            self.route_shared(&subs, batch);
         }
+    }
+
+    /// Routes one batch to a target list with `Arc`-shared fan-out (every
+    /// target gets a pointer clone of the same batch).
+    fn route_shared(&mut self, targets: &[Target], batch: TupleBatch) {
+        let Some((&last, rest)) = targets.split_last() else {
+            return;
+        };
+        // One Arc for the whole fan-out: every target shares the batch.
+        let shared = Arc::new(batch);
+        for &target in rest {
+            self.route(target, shared.clone());
+        }
+        self.route(last, shared);
+    }
+
+    /// The cached stateless-prefix topology of a stream.
+    fn stream_prefix(&mut self, stream: &str) -> Arc<StreamPrefix> {
+        if let Some(p) = self.prefix_cache.get(stream) {
+            return p.clone();
+        }
+        let p = Arc::new(self.network.stateless_prefix(stream));
+        self.prefix_cache.insert(stream.to_string(), p.clone());
+        p
+    }
+
+    /// The shard-parallel twin of [`DsmsEngine::flush_ingest`]:
+    ///
+    /// 1. **Partition.** Each ingested batch is assigned to worker shards —
+    ///    whole batches round-robin by default, or row-by-row by a
+    ///    deterministic hash of the stream's shard key. Hash-partitioned
+    ///    rows carry their pre-partition index as a sequence tag.
+    ///    Subscribers outside the stateless prefix (stateful operators,
+    ///    sinks) receive the raw batch at flush time, exactly like the
+    ///    single-threaded path.
+    /// 2. **Parallel prefix.** Worker threads (one per shard) run their
+    ///    sub-batches through the stream's stateless prefix in source
+    ///    order, tracking per-shard watermarks, per-node statistics, and
+    ///    per-thread work counters. Workers inherit the spawning thread's
+    ///    columnar-kernel switch.
+    /// 3. **Deterministic merge.** Shard outputs are merged per
+    ///    `(producing node, source batch)` — by sequence tag for hash
+    ///    partitioning, trivially for round-robin (a source batch lives
+    ///    whole on one shard) — and dispatched to the prefix exits in
+    ///    ascending `(node id, source batch)` order: precisely the order
+    ///    the single-threaded node loop produces. Everything downstream of
+    ///    the merge is byte-identical to the single-threaded engine.
+    fn flush_ingest_sharded(&mut self) {
+        let shards = self.shards();
+        let ingested: Vec<(String, TupleBatch)> = self.ingest.drain(..).collect();
+        if ingested.is_empty() {
+            return;
+        }
+
+        // -- 1. Partition ------------------------------------------------
+        let mut plan_of_stream: HashMap<String, usize> = HashMap::new();
+        let mut plans: Vec<Arc<StreamPrefix>> = Vec::new();
+        let mut units: Vec<Vec<ShardUnit>> = (0..shards).map(|_| Vec::new()).collect();
+        for (batch_idx, (stream, batch)) in ingested.into_iter().enumerate() {
+            if let Some(ts) = batch.max_ts() {
+                self.advance_watermark_to(ts);
+            }
+            let plan_idx = match plan_of_stream.get(&stream) {
+                Some(&i) => i,
+                None => {
+                    let prefix = self.stream_prefix(&stream);
+                    plans.push(prefix);
+                    plan_of_stream.insert(stream.clone(), plans.len() - 1);
+                    plans.len() - 1
+                }
+            };
+            let prefix = plans[plan_idx].clone();
+            if prefix.nodes.is_empty() {
+                // No stateless prefix: route whole, like the
+                // single-threaded flush (`direct` is the full subscriber
+                // list here).
+                self.route_shared(&prefix.direct, batch);
+                continue;
+            }
+            let batch = if prefix.direct.is_empty() {
+                batch
+            } else {
+                // Non-prefix subscribers keep shared references; the shard
+                // path needs its own copy of the rows.
+                work::count_batch_deep_clone();
+                let copy = batch.clone();
+                self.route_shared(&prefix.direct, batch);
+                copy
+            };
+            match self.shard_keys.get(&stream).copied() {
+                Some(key_col) => {
+                    // Hash partition: same key, same shard; every row tags
+                    // its pre-partition index for the merge.
+                    let mut idxs: Vec<Vec<u32>> = vec![Vec::new(); shards];
+                    let col = batch.column(key_col);
+                    for i in 0..batch.len() {
+                        idxs[shard_of(col, i, shards)].push(i as u32);
+                    }
+                    for (s, rows) in idxs.into_iter().enumerate() {
+                        if rows.is_empty() {
+                            continue;
+                        }
+                        self.note_shard_rows(&stream, s, rows.len() as u64, shards);
+                        units[s].push(ShardUnit {
+                            batch_idx,
+                            plan: plan_idx,
+                            batch: batch.take(&rows),
+                            seqs: Some(rows),
+                        });
+                    }
+                }
+                None => {
+                    // Round-robin fallback: whole batches, zero partition
+                    // cost, trivial merge.
+                    let cursor = self.shard_rr.entry(stream.clone()).or_insert(0);
+                    let s = *cursor % shards;
+                    *cursor = (*cursor + 1) % shards;
+                    self.note_shard_rows(&stream, s, batch.len() as u64, shards);
+                    units[s].push(ShardUnit {
+                        batch_idx,
+                        plan: plan_idx,
+                        batch,
+                        seqs: None,
+                    });
+                }
+            }
+        }
+        if units.iter().all(Vec::is_empty) {
+            return;
+        }
+
+        // -- 2. Parallel prefix ------------------------------------------
+        let timing = self.timing;
+        let columnar = crate::ops::columnar_kernels_enabled();
+        let mut exits: HashMap<u32, Vec<Target>> = HashMap::new();
+        for plan in &plans {
+            for node in &plan.nodes {
+                exits.insert(node.id.0, node.exits.clone());
+            }
+        }
+        let resolved: Vec<ResolvedPrefix<'_>> = plans
+            .iter()
+            .map(|p| ResolvedPrefix {
+                roots: p.roots.clone(),
+                nodes: p
+                    .nodes
+                    .iter()
+                    .map(|pn| ResolvedNode {
+                        id: pn.id.0,
+                        op: self
+                            .network
+                            .node(pn.id)
+                            .expect("live prefix node")
+                            .op
+                            .shard_kernel()
+                            .expect("prefix nodes are shardable"),
+                        internal: pn.internal.clone(),
+                        record: !pn.exits.is_empty(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let reports: Vec<ShardReport> = std::thread::scope(|scope| {
+            let handles: Vec<_> = units
+                .into_iter()
+                .map(|u| {
+                    let resolved = &resolved;
+                    scope.spawn(move || shard_worker(resolved, u, columnar, timing))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        drop(resolved);
+
+        // -- 3. Deterministic merge --------------------------------------
+        type Parts = Vec<(TupleBatch, Option<Vec<u32>>)>;
+        let mut merged: BTreeMap<(u32, usize), Parts> = BTreeMap::new();
+        for (s, report) in reports.into_iter().enumerate() {
+            work::absorb(&report.work);
+            self.processed += report.rows;
+            self.batches += report.batches;
+            debug_assert!(
+                report.max_ts <= self.watermark,
+                "per-shard watermark {} cannot exceed the merged watermark {}",
+                report.max_ts,
+                self.watermark
+            );
+            let stats = &mut self.shard_stats[s];
+            stats.rows += report.rows;
+            stats.batches += report.batches;
+            stats.busy += report.busy;
+            stats.max_ts = stats.max_ts.max(report.max_ts);
+            for (id, delta) in report.node_stats {
+                let node = self.network.node_mut(NodeId(id)).expect("live prefix node");
+                node.in_count += delta.in_rows;
+                node.in_batches += delta.in_batches;
+                node.out_count += delta.out_rows;
+                node.busy += delta.busy;
+            }
+            for (batch_idx, node, batch, seqs) in report.outputs {
+                merged
+                    .entry((node, batch_idx))
+                    .or_default()
+                    .push((batch, seqs));
+            }
+        }
+        // BTreeMap order = ascending (node id, source batch): exactly the
+        // order the single-threaded node loop dispatches prefix outputs.
+        for ((node_id, _), mut parts) in merged {
+            let batch = if parts.len() == 1 {
+                parts.pop().expect("one part").0
+            } else {
+                TupleBatch::interleave(
+                    parts
+                        .into_iter()
+                        .map(|(b, s)| (b, s.expect("hash-sharded parts carry sequence tags")))
+                        .collect(),
+                )
+                .expect("merged parts are non-empty")
+            };
+            let targets = exits.get(&node_id).expect("exit map covers producers");
+            self.route_shared(targets, batch);
+        }
+    }
+
+    /// Records rows routed to one shard in the stream's statistics.
+    fn note_shard_rows(&mut self, stream: &str, shard: usize, rows: u64, shards: usize) {
+        let stats = self.stream_stats.entry(stream.to_string()).or_default();
+        if stats.shard_rows.len() < shards {
+            stats.shard_rows.resize(shards, 0);
+        }
+        stats.shard_rows[shard] += rows;
     }
 
     fn route(&mut self, target: Target, batch: Arc<TupleBatch>) {
@@ -383,9 +762,16 @@ impl DsmsEngine {
     }
 
     /// Processes every queued batch and propagates the watermark until the
-    /// network is quiescent.
+    /// network is quiescent. With a shard count above 1 the stateless
+    /// prefixes run on worker threads first (see
+    /// [`DsmsEngine::set_shards`]); the merge and everything stateful runs
+    /// on this thread exactly like the single-threaded engine.
     pub fn run_until_quiescent(&mut self) {
-        self.flush_ingest();
+        if self.shards() > 1 {
+            self.flush_ingest_sharded();
+        } else {
+            self.flush_ingest();
+        }
         let mut out_bufs: Vec<TupleBatch> = Vec::new();
         loop {
             let mut any = false;
@@ -420,10 +806,18 @@ impl DsmsEngine {
                     self.dispatch(id, &mut out_bufs);
                 }
                 // Propagate the watermark once per value per node.
-                let needs_watermark = self
-                    .network
-                    .node(id)
-                    .is_some_and(|n| n.last_watermark < self.watermark);
+                let needs_watermark = self.network.node(id).is_some_and(|n| {
+                    // The watermark-advancement invariant the parallel
+                    // merge relies on: a node can never have been told a
+                    // watermark the engine has since moved below.
+                    debug_assert!(
+                        n.last_watermark <= self.watermark,
+                        "node {id} watermark {} is ahead of the engine watermark {}",
+                        n.last_watermark,
+                        self.watermark
+                    );
+                    n.last_watermark < self.watermark
+                });
                 if needs_watermark {
                     out_bufs.clear();
                     {
@@ -582,6 +976,184 @@ impl DsmsEngine {
     /// Ingestion statistics per stream.
     pub fn stream_stats(&self) -> &HashMap<String, StreamStats> {
         &self.stream_stats
+    }
+}
+
+/// One unit of shard work: a (sub-)batch of one source batch headed into a
+/// stream's stateless prefix.
+struct ShardUnit {
+    /// Index of the source batch within the flush (the merge order key).
+    batch_idx: usize,
+    /// Index into the flush's prefix table.
+    plan: usize,
+    batch: TupleBatch,
+    /// Pre-partition row indices (hash sharding); `None` for whole-batch
+    /// round-robin units, which merge without tags.
+    seqs: Option<Vec<u32>>,
+}
+
+/// A stream's prefix with operator references resolved for the workers.
+struct ResolvedPrefix<'a> {
+    roots: Vec<usize>,
+    nodes: Vec<ResolvedNode<'a>>,
+}
+
+struct ResolvedNode<'a> {
+    id: u32,
+    op: &'a dyn ShardKernel,
+    /// Downstream consumers inside the prefix (indices into the plan).
+    internal: Vec<usize>,
+    /// Whether the node has exits (its outputs must be reported back for
+    /// the merge).
+    record: bool,
+}
+
+/// Per-node statistic deltas accumulated by one worker.
+#[derive(Default)]
+struct NodeDelta {
+    in_rows: u64,
+    in_batches: u64,
+    out_rows: u64,
+    busy: Duration,
+}
+
+/// Everything one worker reports back when its shard joins.
+struct ShardReport {
+    /// Prefix outputs: (source batch, producing node, batch, merge tags).
+    outputs: Vec<(usize, u32, TupleBatch, Option<Vec<u32>>)>,
+    node_stats: HashMap<u32, NodeDelta>,
+    rows: u64,
+    batches: u64,
+    /// The shard's watermark (largest event timestamp processed).
+    max_ts: u64,
+    busy: Duration,
+    /// The worker thread's work counters, folded into the control thread
+    /// when the shard joins.
+    work: work::WorkSnapshot,
+}
+
+/// The deterministic (FNV-1a) shard hash of one key cell — stable across
+/// runs and platforms, unlike the std hasher, so shard assignment is
+/// replayable.
+fn shard_of(col: &Column, i: usize, shards: usize) -> usize {
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+    let h = match col {
+        Column::Bool(v) => fnv1a(&[u8::from(v[i])]),
+        Column::Int(v) => fnv1a(&v[i].to_le_bytes()),
+        Column::Str(v) => fnv1a(v[i].as_bytes()),
+        Column::Float(_) => {
+            // `set_shard_key` rejects float columns before any run.
+            debug_assert!(false, "float shard key escaped validation");
+            0
+        }
+    };
+    (h % shards as u64) as usize
+}
+
+/// The body of one shard's worker thread: runs the shard's sub-batches
+/// through their streams' stateless prefixes in source order.
+///
+/// The worker inherits the control thread's columnar-kernel switch (the
+/// switch is thread-local, so without this hand-off worker shards would
+/// silently ignore [`crate::ops::set_columnar_kernels`]), counts work into
+/// its own thread-local counters (absorbed by the control thread on join),
+/// and composes each operator's survivor trace with the unit's
+/// pre-partition tags so the merge can restore single-threaded row order.
+fn shard_worker(
+    plans: &[ResolvedPrefix<'_>],
+    units: Vec<ShardUnit>,
+    columnar: bool,
+    timing: bool,
+) -> ShardReport {
+    crate::ops::set_columnar_kernels(columnar);
+    let mut outputs: Vec<(usize, u32, TupleBatch, Option<Vec<u32>>)> = Vec::new();
+    let mut node_stats: HashMap<u32, NodeDelta> = HashMap::new();
+    let (mut rows, mut batches, mut max_ts) = (0u64, 0u64, 0u64);
+    let mut busy_total = Duration::ZERO;
+    // Per-node pending input within one unit's prefix walk.
+    type Tagged = (TupleBatch, Option<Vec<u32>>);
+    for unit in units {
+        let plan = &plans[unit.plan];
+        if let Some(ts) = unit.batch.max_ts() {
+            max_ts = max_ts.max(ts);
+        }
+        let mut slots: Vec<Option<Tagged>> = (0..plan.nodes.len()).map(|_| None).collect();
+        // Seed the roots; extra roots deep-copy, like extra node consumers
+        // of a raw stream batch in the single-threaded engine.
+        let Some((&last_root, other_roots)) = plan.roots.split_last() else {
+            continue;
+        };
+        for &r in other_roots {
+            work::count_batch_deep_clone();
+            slots[r] = Some((unit.batch.clone(), unit.seqs.clone()));
+        }
+        slots[last_root] = Some((unit.batch, unit.seqs));
+        // Ascending position is a topological order (node ids ascend along
+        // edges), so one pass drains the whole prefix.
+        for pos in 0..plan.nodes.len() {
+            let Some((batch, seqs)) = slots[pos].take() else {
+                continue;
+            };
+            let node = &plan.nodes[pos];
+            let in_rows = batch.len() as u64;
+            rows += in_rows;
+            batches += 1;
+            work::count_shard_batches(1);
+            let start = timing.then(Instant::now);
+            // Trace survivors only for tagged (hash-partitioned) units;
+            // round-robin units merge whole and need no tags.
+            let (out, trace) = node.op.process_traced(batch, seqs.is_some());
+            let elapsed = start.map(|s| s.elapsed()).unwrap_or_default();
+            busy_total += elapsed;
+            let delta = node_stats.entry(node.id).or_default();
+            delta.in_rows += in_rows;
+            delta.in_batches += 1;
+            delta.out_rows += out.len() as u64;
+            delta.busy += elapsed;
+            if out.is_empty() {
+                continue;
+            }
+            // Tag composition: hash units thread their pre-partition tags
+            // through the survivor trace; round-robin units stay untagged
+            // (their source batch lives whole on this shard).
+            let out_seqs: Option<Vec<u32>> = match (seqs, trace) {
+                (None, _) => None,
+                (Some(s), None) => Some(s),
+                (Some(s), Some(t)) => Some(t.iter().map(|&i| s[i as usize]).collect()),
+            };
+            if node.record {
+                for &c in &node.internal {
+                    work::count_batch_deep_clone();
+                    slots[c] = Some((out.clone(), out_seqs.clone()));
+                }
+                outputs.push((unit.batch_idx, node.id, out, out_seqs));
+            } else {
+                let Some((&last_c, rest_c)) = node.internal.split_last() else {
+                    continue;
+                };
+                for &c in rest_c {
+                    work::count_batch_deep_clone();
+                    slots[c] = Some((out.clone(), out_seqs.clone()));
+                }
+                slots[last_c] = Some((out, out_seqs));
+            }
+        }
+    }
+    ShardReport {
+        outputs,
+        node_stats,
+        rows,
+        batches,
+        max_ts,
+        busy: busy_total,
+        work: work::snapshot(),
     }
 }
 
@@ -981,6 +1553,182 @@ mod tests {
         );
         assert_eq!(e.output_len(q1), 10);
         assert_eq!(e.output_len(q2), 10);
+    }
+
+    fn market_rows(n: u64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                quote(
+                    i,
+                    if i % 3 == 0 { "IBM" } else { "AAPL" },
+                    80.0 + (i % 50) as f64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_knobs_default_to_single_threaded() {
+        let e = engine_with_quotes();
+        assert_eq!(e.shards(), 1);
+        assert_eq!(e.shard_key("quotes"), None);
+        assert_eq!(e.shard_stats().len(), 1);
+        assert_eq!(e.shard_stats()[0].rows, 0, "no sharded run happened");
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn zero_shards_rejected() {
+        let _ = DsmsEngine::new().with_shards(0);
+    }
+
+    #[test]
+    fn changing_shard_count_resets_per_shard_statistics() {
+        // Shard ids mean nothing across different counts, so accumulated
+        // per-shard statistics must not survive a resize.
+        let mut e = engine_with_quotes().with_max_batch_size(8).with_shards(8);
+        e.set_shard_key("quotes", 0);
+        e.add_query(high_filter()).unwrap();
+        e.push_rows("quotes", market_rows(64));
+        assert!(e.shard_stats().iter().map(|s| s.rows).sum::<u64>() > 0);
+        e.set_shards(2);
+        assert_eq!(e.shard_stats().len(), 2);
+        assert!(e.shard_stats().iter().all(|s| s.rows == 0));
+        assert!(e.stream_stats()["quotes"].shard_rows.is_empty());
+        // Re-setting the same count is a no-op that keeps statistics.
+        e.push_rows("quotes", market_rows(64));
+        let rows: u64 = e.shard_stats().iter().map(|s| s.rows).sum();
+        assert!(rows > 0);
+        e.set_shards(2);
+        assert_eq!(e.shard_stats().iter().map(|s| s.rows).sum::<u64>(), rows);
+        assert_eq!(e.stream_stats()["quotes"].shard_rows.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a hashable shard key")]
+    fn float_shard_key_rejected() {
+        let mut e = engine_with_quotes();
+        e.set_shard_key("quotes", 1); // price: Float
+    }
+
+    #[test]
+    fn shard_key_may_precede_stream_registration() {
+        // Builder forms chain in any order; validation runs at register.
+        let mut e = DsmsEngine::new().with_shards(2).with_shard_key("quotes", 0);
+        e.register_stream("quotes", quote_schema());
+        assert_eq!(e.shard_key("quotes"), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a hashable shard key")]
+    fn deferred_float_shard_key_rejected_at_registration() {
+        let mut e = DsmsEngine::new().with_shard_key("quotes", 1);
+        e.register_stream("quotes", quote_schema());
+    }
+
+    #[test]
+    fn sharded_outputs_equal_single_threaded() {
+        let rows = market_rows(200);
+        let mut reference = engine_with_quotes().with_max_batch_size(16);
+        let rq = reference.add_query(high_filter()).unwrap();
+        reference.push_rows("quotes", rows.clone());
+        let expected = reference.take_outputs(rq);
+        for shards in [2usize, 4, 8] {
+            // Round-robin batch distribution (the default)…
+            let mut e = engine_with_quotes()
+                .with_max_batch_size(16)
+                .with_shards(shards);
+            let cq = e.add_query(high_filter()).unwrap();
+            e.push_rows("quotes", rows.clone());
+            assert_eq!(e.take_outputs(cq), expected, "round-robin, shards={shards}");
+            assert_eq!(
+                e.tuples_processed(),
+                reference.tuples_processed(),
+                "sharding must not duplicate per-row work"
+            );
+            // …and hash partitioning on the symbol column.
+            let mut h = engine_with_quotes()
+                .with_max_batch_size(16)
+                .with_shards(shards)
+                .with_shard_key("quotes", 0);
+            let cq = h.add_query(high_filter()).unwrap();
+            h.push_rows("quotes", rows.clone());
+            assert_eq!(h.take_outputs(cq), expected, "hash key, shards={shards}");
+            assert_eq!(h.tuples_processed(), reference.tuples_processed());
+        }
+    }
+
+    #[test]
+    fn sharded_run_surfaces_per_shard_counters() {
+        let mut e = engine_with_quotes()
+            .with_max_batch_size(8)
+            .with_shards(4)
+            .with_shard_key("quotes", 0);
+        let pass_all =
+            LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(0.0))));
+        let cq = e.add_query(pass_all).unwrap();
+        work::reset();
+        e.push_rows("quotes", market_rows(160));
+        assert_eq!(e.output_len(cq), 160);
+        let stats = &e.stream_stats()["quotes"];
+        assert_eq!(stats.shard_rows.len(), 4);
+        assert_eq!(stats.shard_rows.iter().sum::<u64>(), 160);
+        assert!(
+            stats.shard_rows.iter().filter(|&&r| r > 0).count() > 1,
+            "two symbols must hash to more than one shard"
+        );
+        let shard_stats = e.shard_stats();
+        assert_eq!(shard_stats.iter().map(|s| s.rows).sum::<u64>(), 160);
+        assert_eq!(
+            shard_stats.iter().map(|s| s.max_ts).max().unwrap(),
+            e.watermark(),
+            "per-shard watermarks merge into the engine watermark"
+        );
+        let snap = work::snapshot();
+        assert!(snap.shard_batches > 0, "prefix work ran on shard workers");
+        assert!(
+            snap.shard_merge_rows > 0,
+            "hash partitioning exercises the interleave merge"
+        );
+        assert_eq!(snap.row_evals, 0, "workers ran the columnar kernels");
+    }
+
+    #[test]
+    fn round_robin_sharding_merges_without_interleave() {
+        let mut e = engine_with_quotes().with_max_batch_size(8).with_shards(4);
+        let pass_all =
+            LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(0.0))));
+        let cq = e.add_query(pass_all).unwrap();
+        work::reset();
+        e.push_rows("quotes", market_rows(160));
+        assert_eq!(e.output_len(cq), 160);
+        let snap = work::snapshot();
+        assert!(snap.shard_batches > 0);
+        assert_eq!(
+            snap.shard_merge_rows, 0,
+            "whole batches merge by source order, no row interleave"
+        );
+    }
+
+    #[test]
+    fn sharded_stateful_suffix_and_sinks_agree_with_single_threaded() {
+        // Filter prefix feeding an aggregate (merge barrier) plus a join of
+        // two sharded streams.
+        let plan = high_filter().aggregate(Some(0), AggFunc::Count, 0, 50);
+        let mut reference = engine_with_quotes().with_max_batch_size(16);
+        let rq = reference.add_query(plan.clone()).unwrap();
+        reference.push_rows("quotes", market_rows(200));
+        reference.finish();
+        let expected = reference.take_outputs(rq);
+
+        let mut e = engine_with_quotes()
+            .with_max_batch_size(16)
+            .with_shards(4)
+            .with_shard_key("quotes", 0);
+        let cq = e.add_query(plan).unwrap();
+        e.push_rows("quotes", market_rows(200));
+        e.finish();
+        assert_eq!(e.take_outputs(cq), expected);
     }
 
     #[test]

@@ -127,6 +127,68 @@
 //! row-for-row equivalent (pinned by the `fused_network_equals_unfused`
 //! property in `tests/property_dsms.rs`).
 //!
+//! ## Parallel execution: shard-per-stream with a deterministic merge
+//!
+//! The engine scales ingestion across cores without giving up replay
+//! exactness. A **shard-count knob** sits next to the batch-size and
+//! fusion knobs at every level — [`network::QueryNetwork::set_shards`],
+//! [`engine::DsmsEngine::set_shards`] / [`engine::DsmsEngine::with_shards`],
+//! [`center::DsmsCenter::with_shards`] (which also applies it to the
+//! shadow calibration engines). Shard count 1 — the default — compiles
+//! down to the single-threaded path; `n > 1` runs each flush in three
+//! phases:
+//!
+//! 1. **Partition.** Each stream's ingestion batches are distributed
+//!    across `n` worker shards: **whole batches round-robin** by default
+//!    (zero partition cost, trivial merge), or **row-by-row** by a
+//!    deterministic FNV-1a hash of a configurable per-stream **shard key**
+//!    ([`engine::DsmsEngine::set_shard_key`]) so equal keys always land on
+//!    the same shard; hash-partitioned rows carry their pre-partition row
+//!    index as a sequence tag. Subscribers outside the stateless prefix —
+//!    stateful operators and sinks — receive raw batches at flush time,
+//!    exactly like the single-threaded engine.
+//! 2. **Parallel prefix.** Worker threads run their sub-batches, in source
+//!    order, through the stream's **stateless prefix**
+//!    ([`network::QueryNetwork::stateless_prefix`]): the maximal subgraph
+//!    of filters, projections, and fused chains reachable from the stream
+//!    through stateless operators only. Stateless operators expose a
+//!    `&self` kernel ([`ops::ShardKernel`]) that also reports which input
+//!    rows survived. Workers track **per-shard watermarks**
+//!    ([`engine::ShardStats::max_ts`]), per-node statistics, and
+//!    per-thread work counters, and inherit the spawning thread's columnar
+//!    kill switch (the switch is thread-local; the spawn path hands it
+//!    over so [`ops::set_columnar_kernels`] governs worker shards too).
+//! 3. **Deterministic merge.** Before any stateful operator or sink,
+//!    shard outputs are merged per `(producing node, source batch)` —
+//!    interleaved by sequence tag under hash partitioning
+//!    ([`types::TupleBatch::interleave`]), trivially under round-robin
+//!    (each source batch lives whole on one shard) — and dispatched in
+//!    ascending `(node id, source batch)` order.
+//!
+//! **Determinism argument.** Stateless operators are row-local and
+//! order-preserving, so a prefix's output over any sub-batch is the
+//! sub-batch's row sequence filtered and mapped; interleaving shard
+//! outputs by pre-partition row index therefore reconstructs exactly the
+//! row sequence the single-threaded operator emits for the whole batch
+//! (for time-sorted feeds this order coincides with event timestamp,
+//! tie-broken by per-shard arrival sequence). Dispatching merged batches
+//! in ascending `(node id, source batch)` order reproduces the
+//! single-threaded node loop's dispatch order at every exit queue, and
+//! per-shard watermarks fold into the engine watermark by maximum before
+//! any stateful operator observes it. Output sequences are hence
+//! **bit-identical to the single-threaded engine regardless of shard
+//! count** — pinned by the `shard_count_invariance` property (all plan
+//! shapes × batch caps 1/7/64/1024 × shard counts 1/2/4/8, both partition
+//! modes) and a 100-seed concurrency soak in `tests/shard_exec.rs`.
+//!
+//! Per-shard load is observable ([`engine::DsmsEngine::shard_stats`],
+//! [`engine::StreamStats::shard_rows`], the `shard_batches` /
+//! `shard_merge_rows` work counters) and aggregates into the same
+//! per-node totals the measured cost model reads, so
+//! [`cost::CostModel::measured`] prices a query's full multi-core load;
+//! the admission auction compares it against
+//! [`cost::effective_capacity`] — `shards × per-core capacity`.
+//!
 //! ## Example: shared batched processing end to end
 //!
 //! ```

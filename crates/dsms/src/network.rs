@@ -133,6 +133,37 @@ pub struct QueryInfo {
     pub schema: Schema,
 }
 
+/// One node of a stream's stateless prefix (see
+/// [`QueryNetwork::stateless_prefix`]).
+#[derive(Clone, Debug)]
+pub struct PrefixNode {
+    /// The physical node.
+    pub id: NodeId,
+    /// Downstream consumers *inside* the prefix, as indices into
+    /// [`StreamPrefix::nodes`].
+    pub internal: Vec<usize>,
+    /// Downstream consumers *outside* the prefix — sinks and stateful
+    /// nodes, in the node's `downstream` order. These are the merge points
+    /// of the sharded executor.
+    pub exits: Vec<Target>,
+}
+
+/// The maximal subgraph of stateless single-input operators reachable from
+/// one stream — the part of the network the shard-per-stream executor can
+/// replicate across worker threads. Stateful operators (joins, aggregates,
+/// unions) and sinks sit at the prefix's exits, where shard outputs are
+/// deterministically merged back into single-threaded row order.
+#[derive(Clone, Debug, Default)]
+pub struct StreamPrefix {
+    /// Prefix nodes in ascending id order (a topological order).
+    pub nodes: Vec<PrefixNode>,
+    /// Indices into `nodes` of the operators fed directly by the stream.
+    pub roots: Vec<usize>,
+    /// Stream subscribers outside the prefix (stateful nodes, sinks):
+    /// routed whole at flush time, exactly like the single-threaded path.
+    pub direct: Vec<Target>,
+}
+
 /// The shared operator network (see module docs).
 pub struct QueryNetwork {
     streams: HashMap<String, Arc<Schema>>,
@@ -144,6 +175,10 @@ pub struct QueryNetwork {
     /// When true (the default), chains of adjacent stateless operators are
     /// collapsed into single [`FusedOp`] nodes at instantiation time.
     fusion: bool,
+    /// Worker-shard count for the parallel executor (1 = single-threaded).
+    /// Carried by the network so every engine built over it — including
+    /// the center's shadow calibration engines — runs the same shape.
+    shards: usize,
 }
 
 impl Default for QueryNetwork {
@@ -156,6 +191,7 @@ impl Default for QueryNetwork {
             queries: HashMap::new(),
             next_cq: 0,
             fusion: true,
+            shards: 1,
         }
     }
 }
@@ -194,6 +230,24 @@ impl QueryNetwork {
     /// and unfused nodes are keyed by the same plan signature).
     pub fn set_fusion_enabled(&mut self, enabled: bool) {
         self.fusion = enabled;
+    }
+
+    /// The worker-shard count of the parallel executor (1 = the
+    /// single-threaded path; the default).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Sets the worker-shard count. Shard count 1 compiles down to the
+    /// single-threaded engine path; higher counts run each stream's
+    /// stateless prefix on that many worker threads with a deterministic
+    /// merge at the exits (see [`QueryNetwork::stateless_prefix`]).
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn set_shards(&mut self, n: usize) {
+        assert!(n > 0, "shard count must be positive");
+        self.shards = n;
     }
 
     /// Registers an input stream. Re-registering with the same schema is a
@@ -578,6 +632,92 @@ impl QueryNetwork {
         Ok(id)
     }
 
+    /// Computes the stream's **stateless prefix**: the maximal set of
+    /// shardable nodes (filter / project / fused — single input, no state,
+    /// see [`crate::ops::ShardKernel`]) fed by the stream directly or
+    /// through other prefix nodes. Every stateless node has exactly one
+    /// producer, so prefixes of different streams are disjoint and the
+    /// prefix is closed under "reachable through stateless nodes only".
+    ///
+    /// Nodes are listed in ascending id order — edges always ascend, so
+    /// that is a topological order the shard workers can evaluate in one
+    /// pass.
+    pub fn stateless_prefix(&self, stream: &str) -> StreamPrefix {
+        let subs = self.stream_subscribers(stream);
+        let shardable = |id: NodeId| self.node(id).is_some_and(|n| n.op.shard_kernel().is_some());
+        // Membership first: roots are shardable stream subscribers, then
+        // close over shardable downstream nodes in ascending id order
+        // (a node's producer always has a smaller id, so one pass
+        // suffices).
+        let mut members: Vec<NodeId> = Vec::new();
+        for t in subs {
+            if let Target::Node(id, _) = t {
+                if shardable(*id) && !members.contains(id) {
+                    members.push(*id);
+                }
+            }
+        }
+        members.sort_unstable();
+        let mut i = 0;
+        while i < members.len() {
+            let id = members[i];
+            let downstream = &self.node(id).expect("prefix node is live").downstream;
+            for t in downstream {
+                if let Target::Node(d, _) = t {
+                    if shardable(*d) && !members.contains(d) {
+                        let pos = members.partition_point(|m| m < d);
+                        members.insert(pos, *d);
+                    }
+                }
+            }
+            i += 1;
+        }
+        // Second pass: split each member's downstream into internal edges
+        // and exits.
+        let index_of = |id: NodeId| members.binary_search(&id).ok();
+        let nodes: Vec<PrefixNode> = members
+            .iter()
+            .map(|&id| {
+                let node = self.node(id).expect("prefix node is live");
+                let mut internal = Vec::new();
+                let mut exits = Vec::new();
+                for &t in &node.downstream {
+                    match t {
+                        Target::Node(d, _) if index_of(d).is_some() => {
+                            internal.push(index_of(d).expect("member"));
+                        }
+                        other => exits.push(other),
+                    }
+                }
+                PrefixNode {
+                    id,
+                    internal,
+                    exits,
+                }
+            })
+            .collect();
+        let roots: Vec<usize> = subs
+            .iter()
+            .filter_map(|t| match t {
+                Target::Node(id, _) => index_of(*id),
+                Target::Sink(_) => None,
+            })
+            .collect();
+        let direct: Vec<Target> = subs
+            .iter()
+            .copied()
+            .filter(|t| match t {
+                Target::Node(id, _) => index_of(*id).is_none(),
+                Target::Sink(_) => true,
+            })
+            .collect();
+        StreamPrefix {
+            nodes,
+            roots,
+            direct,
+        }
+    }
+
     /// Collects the node ids a (registered) plan maps to.
     fn collect_plan_nodes(&self, plan: &LogicalPlan, out: &mut Vec<NodeId>) {
         if let LogicalPlan::Source { .. } = plan {
@@ -844,6 +984,73 @@ mod tests {
         n.remove_query(q);
         assert_eq!(n.num_nodes(), 0);
         assert!(n.stream_subscribers("quotes").is_empty());
+    }
+
+    #[test]
+    fn stateless_prefix_covers_chains_and_stops_at_stateful() {
+        let mut n = network_with_quotes();
+        // Shared filter with its own sink, a fused suffix hanging off it,
+        // an aggregate on the filter, and a source-only query.
+        let q_filter = n.add_query(high_price_filter()).unwrap();
+        let chain = high_price_filter()
+            .filter(Expr::col(0).eq(Expr::lit(Value::str("IBM"))))
+            .project(vec![("price".to_string(), Expr::col(1))]);
+        let q_chain = n.add_query(chain).unwrap();
+        let q_agg = n
+            .add_query(high_price_filter().aggregate(None, AggFunc::Count, 0, 100))
+            .unwrap();
+        let q_raw = n.add_query(LogicalPlan::source("quotes")).unwrap();
+
+        let prefix = n.stateless_prefix("quotes");
+        assert_eq!(prefix.nodes.len(), 2, "shared filter + fused suffix");
+        assert_eq!(prefix.roots, vec![0], "only the filter reads the stream");
+        assert_eq!(
+            prefix.direct,
+            vec![Target::Sink(q_raw)],
+            "the source-only sink routes raw"
+        );
+        let filter = &prefix.nodes[0];
+        assert_eq!(filter.internal, vec![1], "filter feeds the fused suffix");
+        let agg_node = *n
+            .query(q_agg)
+            .unwrap()
+            .nodes
+            .iter()
+            .find(|id| n.node(**id).unwrap().kind == "aggregate")
+            .unwrap();
+        assert_eq!(
+            filter.exits,
+            vec![Target::Sink(q_filter), Target::Node(agg_node, 0)],
+            "exits keep the node's downstream order"
+        );
+        let fused = &prefix.nodes[1];
+        assert!(fused.internal.is_empty());
+        assert_eq!(fused.exits, vec![Target::Sink(q_chain)]);
+    }
+
+    #[test]
+    fn stateless_prefix_is_empty_for_stateful_subscribers() {
+        let mut n = network_with_quotes();
+        n.register_stream(
+            "news",
+            Schema::new(vec![
+                Field::new("symbol", DataType::Str),
+                Field::new("headline", DataType::Str),
+            ]),
+        );
+        n.add_query(LogicalPlan::source("quotes").join(LogicalPlan::source("news"), 0, 0, 100))
+            .unwrap();
+        let prefix = n.stateless_prefix("quotes");
+        assert!(prefix.nodes.is_empty(), "a join is a merge barrier");
+        assert_eq!(prefix.direct.len(), 1, "the join subscribes raw");
+    }
+
+    #[test]
+    fn shards_knob_threads_through_the_network() {
+        let mut n = QueryNetwork::new();
+        assert_eq!(n.shards(), 1, "single-threaded by default");
+        n.set_shards(4);
+        assert_eq!(n.shards(), 4);
     }
 
     #[test]

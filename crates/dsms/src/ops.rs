@@ -25,6 +25,7 @@ use crate::types::{Column, Schema, Tuple, TupleBatch, Value};
 use std::cell::Cell;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 thread_local! {
@@ -135,25 +136,60 @@ pub trait Operator: std::fmt::Debug + Send {
     fn state_size(&self) -> usize {
         0
     }
+
+    /// The operator's shard-parallel kernel, when it has one. Stateless
+    /// single-input operators (filter, project, fused chains) return
+    /// `Some`; stateful and multi-input operators return `None` and act as
+    /// merge barriers for the shard-per-stream executor.
+    fn shard_kernel(&self) -> Option<&dyn ShardKernel> {
+        None
+    }
 }
 
-/// Columnar projection kernel: evaluates `exprs` over `sel`'s rows of
-/// `batch` into a new batch under `schema`, dropping rows where any
-/// expression fails (the per-row drop-malformed-tuples semantics).
-fn project_columnar(
+/// The row-survivor trace of a traced stateless application: for each
+/// output row, the index it had in the input batch (strictly increasing —
+/// stateless operators never reorder). `None` means every input row
+/// survived in place (the identity trace).
+pub type RowTrace = Option<Vec<u32>>;
+
+/// A stateless operator the shard-per-stream executor can run on worker
+/// threads: application takes `&self` (internal statistics are atomic) and
+/// reports which input rows survived, so the engine can merge shard
+/// outputs back into the exact row order a single-threaded run produces.
+pub trait ShardKernel: Send + Sync {
+    /// Processes one owned batch, returning the output batch and — when
+    /// `traced` — its [`RowTrace`]. Untraced calls (round-robin shard
+    /// units, whose source batch lives whole on one shard and merges
+    /// without tags) skip the survivor bookkeeping and return `None`.
+    /// Semantics equal [`Operator::process_batch`] on the same batch,
+    /// including honoring the calling thread's columnar-kernel switch
+    /// ([`set_columnar_kernels`]).
+    fn process_traced(&self, batch: TupleBatch, traced: bool) -> (TupleBatch, RowTrace);
+}
+
+/// Columnar projection kernel plus survivor trace: evaluates `exprs` over
+/// `sel`'s rows of `batch` into a new batch under `schema`, dropping rows
+/// where any expression fails (the per-row drop-malformed-tuples
+/// semantics). The second element lists,
+/// for each output row, its index in the *selection view* (`sel`'s rows,
+/// or the whole batch when `sel` is `None`); identity is `None`. The trace
+/// is computed only when `traced` is set.
+fn project_columnar_traced(
     exprs: &[Expr],
     batch: &TupleBatch,
     sel: Option<&[u32]>,
     schema: Arc<Schema>,
-) -> TupleBatch {
+    traced: bool,
+) -> (TupleBatch, RowTrace) {
     let n = sel.map_or(batch.len(), <[u32]>::len);
+    let dropped_all = |schema| (TupleBatch::new(schema), traced.then(Vec::new));
     let mut validity = Validity::AllValid;
     let mut columns: Vec<Column> = Vec::with_capacity(exprs.len());
     for e in exprs {
         let ev = e.eval_columnar(batch, sel);
         match ev.validity {
             // An expression that fails on every row drops every row.
-            Validity::NoneValid => return TupleBatch::new(schema),
+            Validity::NoneValid => return dropped_all(schema),
             v => validity = validity.and(v),
         }
         columns.push(ev.values.into_column(n));
@@ -163,13 +199,14 @@ fn project_columnar(
         Some(s) => s.iter().map(|&i| batch.ts()[i as usize]).collect(),
     };
     match validity {
-        Validity::AllValid => TupleBatch::from_columns(schema, ts, columns),
-        Validity::NoneValid => TupleBatch::new(schema),
+        Validity::AllValid => (TupleBatch::from_columns(schema, ts, columns), None),
+        Validity::NoneValid => dropped_all(schema),
         Validity::Mask(m) => {
             // Rare path: some rows failed (e.g. division by zero) — gather
             // the surviving rows out of the dense result.
             let keep: Vec<u32> = (0..n as u32).filter(|&i| m[i as usize]).collect();
-            TupleBatch::from_columns(schema, ts, columns).take(&keep)
+            let kept = TupleBatch::from_columns(schema, ts, columns).take(&keep);
+            (kept, traced.then_some(keep))
         }
     }
 }
@@ -196,26 +233,41 @@ impl FilterOp {
     }
 }
 
-impl Operator for FilterOp {
-    fn process_batch(&mut self, _port: usize, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
+impl FilterOp {
+    /// The shared batch/traced application (see [`ShardKernel`]).
+    fn apply(&self, batch: TupleBatch, traced: bool) -> (TupleBatch, RowTrace) {
         if columnar_kernels_enabled() {
             // One selection pass over typed columns; an all-pass batch is
             // forwarded without touching any row data.
             let sel = self.predicate.filter_indices(&batch, None);
             if sel.len() == batch.len() {
-                out.push(batch.with_schema(self.schema.clone()));
-            } else if !sel.is_empty() {
-                out.push(batch.take(&sel).with_schema(self.schema.clone()));
+                (batch.with_schema(self.schema.clone()), None)
+            } else {
+                let kept = batch.take(&sel).with_schema(self.schema.clone());
+                (kept, traced.then_some(sel))
             }
-            return;
-        }
-        // Per-row fallback (reference implementation).
-        let mut kept = TupleBatch::with_capacity(self.schema.clone(), batch.len());
-        for tuple in batch.into_rows() {
-            if self.predicate.matches(&tuple) {
-                kept.push(tuple);
+        } else {
+            // Per-row fallback (reference implementation).
+            let n = batch.len();
+            let mut kept = TupleBatch::with_capacity(self.schema.clone(), n);
+            let mut trace: Vec<u32> = Vec::new();
+            for (i, tuple) in batch.into_rows().into_iter().enumerate() {
+                if self.predicate.matches(&tuple) {
+                    if traced {
+                        trace.push(i as u32);
+                    }
+                    kept.push(tuple);
+                }
             }
+            let trace = (traced && kept.len() != n).then_some(trace);
+            (kept, trace)
         }
+    }
+}
+
+impl Operator for FilterOp {
+    fn process_batch(&mut self, _port: usize, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
+        let (kept, _) = self.apply(batch, false);
         if !kept.is_empty() {
             out.push(kept);
         }
@@ -227,6 +279,16 @@ impl Operator for FilterOp {
 
     fn unit_cost(&self) -> f64 {
         Self::UNIT_COST
+    }
+
+    fn shard_kernel(&self) -> Option<&dyn ShardKernel> {
+        Some(self)
+    }
+}
+
+impl ShardKernel for FilterOp {
+    fn process_traced(&self, batch: TupleBatch, traced: bool) -> (TupleBatch, RowTrace) {
+        self.apply(batch, traced)
     }
 }
 
@@ -251,18 +313,17 @@ impl ProjectOp {
     }
 }
 
-impl Operator for ProjectOp {
-    fn process_batch(&mut self, _port: usize, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
+impl ProjectOp {
+    /// The shared batch/traced application (see [`ShardKernel`]).
+    fn apply(&self, batch: TupleBatch, traced: bool) -> (TupleBatch, RowTrace) {
         if columnar_kernels_enabled() {
-            let mapped = project_columnar(&self.exprs, &batch, None, self.schema.clone());
-            if !mapped.is_empty() {
-                out.push(mapped);
-            }
-            return;
+            return project_columnar_traced(&self.exprs, &batch, None, self.schema.clone(), traced);
         }
         // Per-row fallback (reference implementation).
-        let mut mapped = TupleBatch::with_capacity(self.schema.clone(), batch.len());
-        'rows: for tuple in batch.iter_rows() {
+        let n = batch.len();
+        let mut mapped = TupleBatch::with_capacity(self.schema.clone(), n);
+        let mut trace: Vec<u32> = Vec::new();
+        'rows: for (i, tuple) in batch.iter_rows().enumerate() {
             let mut values = Vec::with_capacity(self.exprs.len());
             for e in &self.exprs {
                 match e.eval(&tuple) {
@@ -270,8 +331,19 @@ impl Operator for ProjectOp {
                     Err(_) => continue 'rows, // drop malformed tuples
                 }
             }
+            if traced {
+                trace.push(i as u32);
+            }
             mapped.push(Tuple::new(tuple.ts, values));
         }
+        let trace = (traced && mapped.len() != n).then_some(trace);
+        (mapped, trace)
+    }
+}
+
+impl Operator for ProjectOp {
+    fn process_batch(&mut self, _port: usize, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
+        let (mapped, _) = self.apply(batch, false);
         if !mapped.is_empty() {
             out.push(mapped);
         }
@@ -283,6 +355,16 @@ impl Operator for ProjectOp {
 
     fn unit_cost(&self) -> f64 {
         Self::UNIT_COST
+    }
+
+    fn shard_kernel(&self) -> Option<&dyn ShardKernel> {
+        Some(self)
+    }
+}
+
+impl ShardKernel for ProjectOp {
+    fn process_traced(&self, batch: TupleBatch, traced: bool) -> (TupleBatch, RowTrace) {
+        self.apply(batch, traced)
     }
 }
 
@@ -329,8 +411,10 @@ pub enum FusedStage {
 #[derive(Debug)]
 pub struct FusedOp {
     /// Composed stages with their summed analytic cost and the number of
-    /// rows that entered them.
-    stages: Vec<(FusedStage, f64, u64)>,
+    /// rows that entered them (atomic so shard workers can count through
+    /// `&self`; the per-shard counts aggregate into the same totals a
+    /// single-threaded run accumulates).
+    stages: Vec<(FusedStage, f64, AtomicU64)>,
     schema: Arc<Schema>,
 }
 
@@ -343,7 +427,7 @@ impl FusedOp {
     /// Panics when `stages` is empty.
     pub fn new(stages: Vec<(FusedStage, f64)>, schema: Schema) -> Self {
         assert!(!stages.is_empty(), "fused chain needs at least one stage");
-        let mut composed: Vec<(FusedStage, f64, u64)> = Vec::with_capacity(stages.len());
+        let mut composed: Vec<(FusedStage, f64, AtomicU64)> = Vec::with_capacity(stages.len());
         for (stage, cost) in stages {
             match (composed.last_mut(), stage) {
                 (Some((FusedStage::Filter(prev), prev_cost, _)), FusedStage::Filter(next)) => {
@@ -361,7 +445,7 @@ impl FusedOp {
                     *inner_schema = outer_schema;
                     *prev_cost += cost;
                 }
-                (_, next) => composed.push((next, cost, 0)),
+                (_, next) => composed.push((next, cost, AtomicU64::new(0))),
             }
         }
         Self {
@@ -375,44 +459,79 @@ impl FusedOp {
         self.stages.len()
     }
 
+    /// The shared batch/traced application (see [`ShardKernel`]).
+    fn apply(&self, batch: TupleBatch, traced: bool) -> (TupleBatch, RowTrace) {
+        if columnar_kernels_enabled() {
+            self.apply_columnar(batch, traced)
+        } else {
+            self.apply_rows(batch, traced)
+        }
+    }
+
     /// Columnar execution: refine a selection vector through the stages,
     /// materializing columns only at projection stages and at the end.
-    fn process_columnar(&mut self, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
+    /// When `traced`, an original-row index vector rides along so the
+    /// survivor trace composes across projection rematerializations.
+    fn apply_columnar(&self, batch: TupleBatch, traced: bool) -> (TupleBatch, RowTrace) {
         let mut cur = batch;
         // `None` = every row of `cur` is selected.
         let mut sel: Option<Vec<u32>> = None;
-        for (stage, _, entered) in &mut self.stages {
+        // Original-input index of each row of `cur` (`None` = identity);
+        // maintained only when a trace was requested.
+        let mut orig: Option<Vec<u32>> = None;
+        for (stage, _, entered) in &self.stages {
             let n = sel.as_ref().map_or(cur.len(), Vec::len);
             if n == 0 {
-                return;
+                return (TupleBatch::new(self.schema.clone()), traced.then(Vec::new));
             }
-            *entered += n as u64;
+            entered.fetch_add(n as u64, Ordering::Relaxed);
             match stage {
                 FusedStage::Filter(predicate) => {
                     sel = Some(predicate.filter_indices(&cur, sel.as_deref()));
                 }
                 FusedStage::Project(exprs, schema) => {
-                    cur = project_columnar(exprs, &cur, sel.as_deref(), schema.clone());
+                    let (mapped, kept) = project_columnar_traced(
+                        exprs,
+                        &cur,
+                        sel.as_deref(),
+                        schema.clone(),
+                        traced,
+                    );
+                    if traced {
+                        orig = compose_trace(orig, sel.take(), kept, mapped.len());
+                    }
                     sel = None;
+                    cur = mapped;
                 }
             }
         }
-        let result = match sel {
-            None => cur,
-            Some(s) if s.len() == cur.len() => cur,
-            Some(s) => cur.take(&s),
+        let (result, trace) = match sel {
+            None => (cur, orig),
+            Some(s) if s.len() == cur.len() => (cur, orig),
+            Some(s) => {
+                let trace = traced.then(|| {
+                    s.iter()
+                        .map(|&i| orig.as_ref().map_or(i, |o| o[i as usize]))
+                        .collect()
+                });
+                (cur.take(&s), trace)
+            }
         };
-        if !result.is_empty() {
-            out.push(result.with_schema(self.schema.clone()));
+        if result.is_empty() {
+            (TupleBatch::new(self.schema.clone()), traced.then(Vec::new))
+        } else {
+            (result.with_schema(self.schema.clone()), trace)
         }
     }
 
     /// Per-row fallback (reference implementation).
-    fn process_rows(&mut self, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
-        let mut output = TupleBatch::with_capacity(self.schema.clone(), batch.len());
-        'rows: for mut tuple in batch.into_rows() {
-            for (stage, _, entered) in &mut self.stages {
-                *entered += 1;
+    fn apply_rows(&self, batch: TupleBatch, traced: bool) -> (TupleBatch, RowTrace) {
+        let n = batch.len();
+        let mut output = TupleBatch::with_capacity(self.schema.clone(), n);
+        let mut trace: Vec<u32> = Vec::new();
+        'rows: for (idx, mut tuple) in batch.into_rows().into_iter().enumerate() {
+            for (stage, _, entered) in &self.stages {
+                entered.fetch_add(1, Ordering::Relaxed);
                 match stage {
                     FusedStage::Filter(predicate) => {
                         if !predicate.matches(&tuple) {
@@ -431,20 +550,47 @@ impl FusedOp {
                     }
                 }
             }
+            if traced {
+                trace.push(idx as u32);
+            }
             output.push(tuple);
         }
-        if !output.is_empty() {
-            out.push(output);
-        }
+        let trace = (traced && output.len() != n).then_some(trace);
+        (output, trace)
     }
+}
+
+/// Composes a projection stage's survivor trace onto the running
+/// original-row mapping of [`FusedOp::apply_columnar`]: output row `j`
+/// passed the stage as view row `kept[j]`, which was `cur` row
+/// `sel[kept[j]]`, which was original row `orig[…]` — with `None` meaning
+/// identity at each level. Returns `None` only when every level was the
+/// identity.
+fn compose_trace(
+    orig: Option<Vec<u32>>,
+    sel: Option<Vec<u32>>,
+    kept: RowTrace,
+    out_len: usize,
+) -> Option<Vec<u32>> {
+    if orig.is_none() && sel.is_none() && kept.is_none() {
+        return None;
+    }
+    Some(
+        (0..out_len as u32)
+            .map(|j| {
+                let view = kept.as_ref().map_or(j, |k| k[j as usize]);
+                let cur = sel.as_ref().map_or(view, |s| s[view as usize]);
+                orig.as_ref().map_or(cur, |o| o[cur as usize])
+            })
+            .collect(),
+    )
 }
 
 impl Operator for FusedOp {
     fn process_batch(&mut self, _port: usize, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
-        if columnar_kernels_enabled() {
-            self.process_columnar(batch, out);
-        } else {
-            self.process_rows(batch, out);
+        let (result, _) = self.apply(batch, false);
+        if !result.is_empty() {
+            out.push(result);
         }
     }
 
@@ -455,15 +601,32 @@ impl Operator for FusedOp {
     fn unit_cost(&self) -> f64 {
         // Effective cost per *input* row: stage costs weighted by the
         // fraction of input rows that reached each stage. An idle node
-        // reports the conservative full-chain sum.
-        let entered_first = self.stages.first().map_or(0, |(_, _, n)| *n);
+        // reports the conservative full-chain sum. Stage counts aggregate
+        // across shard workers, so the effective cost prices the total
+        // multi-core load exactly like the single-threaded run.
+        let entered_first = self
+            .stages
+            .first()
+            .map_or(0, |(_, _, n)| n.load(Ordering::Relaxed));
         if entered_first == 0 {
             return self.stages.iter().map(|(_, c, _)| c).sum();
         }
         self.stages
             .iter()
-            .map(|(_, cost, entered)| cost * (*entered as f64 / entered_first as f64))
+            .map(|(_, cost, entered)| {
+                cost * (entered.load(Ordering::Relaxed) as f64 / entered_first as f64)
+            })
             .sum()
+    }
+
+    fn shard_kernel(&self) -> Option<&dyn ShardKernel> {
+        Some(self)
+    }
+}
+
+impl ShardKernel for FusedOp {
+    fn process_traced(&self, batch: TupleBatch, traced: bool) -> (TupleBatch, RowTrace) {
+        self.apply(batch, traced)
     }
 }
 

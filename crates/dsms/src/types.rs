@@ -647,6 +647,105 @@ impl TupleBatch {
     pub fn max_ts(&self) -> Option<u64> {
         self.ts.iter().copied().max()
     }
+
+    /// Merges shard outputs back into one batch ordered by their sequence
+    /// tags — the deterministic merge of the shard-per-stream executor.
+    ///
+    /// Each part is an output batch plus, aligned with its rows, the
+    /// original (strictly increasing within a part) row sequence numbers
+    /// the rows carried before hash partitioning. The merged batch holds
+    /// every row of every part, ordered by sequence tag — i.e. the exact
+    /// row order a single-threaded run would have produced. The merge is
+    /// columnar (no row materialization); rows crossing a shard boundary
+    /// are counted by [`work::WorkSnapshot::shard_merge_rows`].
+    ///
+    /// Returns `None` when every part is empty.
+    ///
+    /// # Panics
+    /// Debug builds panic when parts disagree on schema types, when a
+    /// part's tags are not aligned with its rows, or when tags collide.
+    pub fn interleave(parts: Vec<(TupleBatch, Vec<u32>)>) -> Option<TupleBatch> {
+        debug_assert!(
+            parts.iter().all(|(b, s)| b.len() == s.len()),
+            "sequence tags must align with part rows"
+        );
+        let mut parts: Vec<(TupleBatch, Vec<u32>)> =
+            parts.into_iter().filter(|(b, _)| !b.is_empty()).collect();
+        if parts.len() <= 1 {
+            return parts.pop().map(|(b, _)| b);
+        }
+        let total: usize = parts.iter().map(|(b, _)| b.len()).sum();
+        // The global order: every (tag, part, row) triple sorted by tag.
+        // Tags are unique (each names one pre-partition row), so the order
+        // is total and shard-count independent.
+        let mut order: Vec<(u32, u32, u32)> = Vec::with_capacity(total);
+        for (p, (_, seqs)) in parts.iter().enumerate() {
+            debug_assert!(
+                seqs.windows(2).all(|w| w[0] < w[1]),
+                "per-part sequence tags must be strictly increasing"
+            );
+            order.extend(
+                seqs.iter()
+                    .enumerate()
+                    .map(|(i, &s)| (s, p as u32, i as u32)),
+            );
+        }
+        order.sort_unstable();
+        debug_assert!(
+            order.windows(2).all(|w| w[0].0 != w[1].0),
+            "sequence tags must be unique across parts"
+        );
+        work::count_shard_merge_rows(total as u64);
+
+        let schema = parts[0].0.schema.clone();
+        debug_assert!(
+            parts.iter().all(|(b, _)| {
+                b.schema.len() == schema.len()
+                    && b.schema
+                        .fields
+                        .iter()
+                        .zip(&schema.fields)
+                        .all(|(a, c)| a.data_type == c.data_type)
+            }),
+            "interleaved parts must be type-compatible"
+        );
+        let ts: Vec<u64> = order
+            .iter()
+            .map(|&(_, p, i)| parts[p as usize].0.ts[i as usize])
+            .collect();
+        let columns: Vec<Column> = (0..schema.len())
+            .map(|c| {
+                let mut col = Column::with_capacity(schema.fields[c].data_type, total);
+                match &mut col {
+                    Column::Bool(v) => {
+                        for &(_, p, i) in &order {
+                            v.push(parts[p as usize].0.columns[c].as_bools().unwrap()[i as usize]);
+                        }
+                    }
+                    Column::Int(v) => {
+                        for &(_, p, i) in &order {
+                            v.push(parts[p as usize].0.columns[c].as_ints().unwrap()[i as usize]);
+                        }
+                    }
+                    Column::Float(v) => {
+                        for &(_, p, i) in &order {
+                            v.push(parts[p as usize].0.columns[c].as_floats().unwrap()[i as usize]);
+                        }
+                    }
+                    Column::Str(v) => {
+                        for &(_, p, i) in &order {
+                            v.push(
+                                parts[p as usize].0.columns[c].as_strs().unwrap()[i as usize]
+                                    .clone(),
+                            );
+                        }
+                    }
+                }
+                col
+            })
+            .collect();
+        Some(TupleBatch::from_columns(schema, ts, columns))
+    }
 }
 
 /// Deterministic, machine-independent work counters for comparing
@@ -657,8 +756,12 @@ impl TupleBatch {
 /// each strategy instead: per-row materializations and per-row expression
 /// evaluations for the row-at-a-time path, per-batch kernel passes for the
 /// columnar path, and defensive deep copies of shared batches for the
-/// delivery fan-out. Counters are thread-local (the engine is
-/// single-threaded by design), so parallel tests never interfere.
+/// delivery fan-out. Counters are thread-local (the engine's control loop
+/// is single-threaded), so parallel tests never interfere; the sharded
+/// executor's worker threads count into their own thread-locals and the
+/// engine folds each worker's [`work::snapshot`] back into the control
+/// thread via [`work::absorb`] when the shards join, so totals stay deterministic regardless
+/// of shard count.
 pub mod work {
     use std::cell::Cell;
 
@@ -667,6 +770,8 @@ pub mod work {
         static ROW_EVALS: Cell<u64> = const { Cell::new(0) };
         static KERNEL_OPS: Cell<u64> = const { Cell::new(0) };
         static BATCH_DEEP_CLONES: Cell<u64> = const { Cell::new(0) };
+        static SHARD_BATCHES: Cell<u64> = const { Cell::new(0) };
+        static SHARD_MERGE_ROWS: Cell<u64> = const { Cell::new(0) };
     }
 
     /// A snapshot of the current thread's work counters.
@@ -687,6 +792,13 @@ pub mod work {
         /// deep-copies; mixed fan-out costs at most one copy per node
         /// consumer, never more than the row engine's per-target clones.
         pub batch_deep_clones: u64,
+        /// Sub-batches processed on shard worker threads (0 when the
+        /// engine runs single-threaded).
+        pub shard_batches: u64,
+        /// Rows gathered by the deterministic cross-shard merge
+        /// ([`super::TupleBatch::interleave`]) — 0 for round-robin batch
+        /// sharding, where every source batch stays whole on one shard.
+        pub shard_merge_rows: u64,
     }
 
     /// Resets this thread's counters to zero.
@@ -695,6 +807,8 @@ pub mod work {
         ROW_EVALS.with(|c| c.set(0));
         KERNEL_OPS.with(|c| c.set(0));
         BATCH_DEEP_CLONES.with(|c| c.set(0));
+        SHARD_BATCHES.with(|c| c.set(0));
+        SHARD_MERGE_ROWS.with(|c| c.set(0));
     }
 
     /// Reads this thread's counters.
@@ -704,7 +818,22 @@ pub mod work {
             row_evals: ROW_EVALS.with(Cell::get),
             kernel_ops: KERNEL_OPS.with(Cell::get),
             batch_deep_clones: BATCH_DEEP_CLONES.with(Cell::get),
+            shard_batches: SHARD_BATCHES.with(Cell::get),
+            shard_merge_rows: SHARD_MERGE_ROWS.with(Cell::get),
         }
+    }
+
+    /// Folds another thread's counters into this thread's — the shard-join
+    /// path: each worker accumulates into its own thread-locals and the
+    /// engine absorbs the workers' snapshots when they join, keeping the
+    /// control thread's totals deterministic and shard-count independent.
+    pub fn absorb(other: &WorkSnapshot) {
+        ROWS_MATERIALIZED.with(|c| c.set(c.get() + other.rows_materialized));
+        ROW_EVALS.with(|c| c.set(c.get() + other.row_evals));
+        KERNEL_OPS.with(|c| c.set(c.get() + other.kernel_ops));
+        BATCH_DEEP_CLONES.with(|c| c.set(c.get() + other.batch_deep_clones));
+        SHARD_BATCHES.with(|c| c.set(c.get() + other.shard_batches));
+        SHARD_MERGE_ROWS.with(|c| c.set(c.get() + other.shard_merge_rows));
     }
 
     #[inline]
@@ -725,6 +854,16 @@ pub mod work {
     #[inline]
     pub(crate) fn count_batch_deep_clone() {
         BATCH_DEEP_CLONES.with(|c| c.set(c.get() + 1));
+    }
+
+    #[inline]
+    pub(crate) fn count_shard_batches(n: u64) {
+        SHARD_BATCHES.with(|c| c.set(c.get() + n));
+    }
+
+    #[inline]
+    pub(crate) fn count_shard_merge_rows(n: u64) {
+        SHARD_MERGE_ROWS.with(|c| c.set(c.get() + n));
     }
 }
 
@@ -869,6 +1008,53 @@ mod tests {
     fn mistyped_cell_is_rejected() {
         let mut col = Column::with_capacity(DataType::Int, 1);
         col.push(Value::Float(1.0));
+    }
+
+    #[test]
+    fn interleave_restores_sequence_order_without_row_work() {
+        // Split a batch's rows by parity (a 2-shard hash partition) and
+        // re-merge: the result must be the original batch, produced
+        // columnar (no row materialization).
+        let batch = quote_batch(6);
+        let even: Vec<u32> = vec![0, 2, 4];
+        let odd: Vec<u32> = vec![1, 3, 5];
+        let parts = vec![
+            (batch.take(&even), even.clone()),
+            (batch.take(&odd), odd.clone()),
+        ];
+        work::reset();
+        let merged = TupleBatch::interleave(parts).unwrap();
+        assert_eq!(merged.ts(), batch.ts());
+        assert_eq!(merged.columns(), batch.columns());
+        let snap = work::snapshot();
+        assert_eq!(snap.rows_materialized, 0, "merge is columnar");
+        assert_eq!(snap.shard_merge_rows, 6);
+        // A single non-empty part passes through untouched and uncounted.
+        work::reset();
+        let single = TupleBatch::interleave(vec![(batch.take(&even), even)]).unwrap();
+        assert_eq!(single.len(), 3);
+        assert_eq!(work::snapshot().shard_merge_rows, 0);
+        assert!(TupleBatch::interleave(vec![(batch.take(&[]), Vec::new())]).is_none());
+    }
+
+    #[test]
+    fn work_absorb_folds_foreign_snapshots() {
+        work::reset();
+        let foreign = work::WorkSnapshot {
+            rows_materialized: 2,
+            row_evals: 3,
+            kernel_ops: 5,
+            batch_deep_clones: 7,
+            shard_batches: 11,
+            shard_merge_rows: 13,
+        };
+        work::absorb(&foreign);
+        work::absorb(&foreign);
+        let snap = work::snapshot();
+        assert_eq!(snap.row_evals, 6);
+        assert_eq!(snap.shard_batches, 22);
+        assert_eq!(snap.shard_merge_rows, 26);
+        work::reset();
     }
 
     #[test]

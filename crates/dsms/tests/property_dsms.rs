@@ -627,6 +627,144 @@ proptest! {
     }
 }
 
+/// Shard counts exercised by the shard-invariance suites. `CQAC_SHARDS`
+/// (a comma-separated list, e.g. `1,4`) overrides the default `1,2,4,8`
+/// so CI can matrix over shard sets without recompiling.
+fn shard_counts() -> Vec<usize> {
+    match std::env::var("CQAC_SHARDS") {
+        Ok(s) => {
+            let counts: Vec<usize> = s
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .collect();
+            assert!(!counts.is_empty(), "CQAC_SHARDS must list shard counts");
+            counts
+        }
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+/// Runs `plan` (registered twice, so sharing is exercised) over `feed` on
+/// an engine with the given shard count, optionally hash-partitioning both
+/// streams on the symbol column. Returns the outputs and the
+/// machine-independent work measure.
+fn run_sharded(
+    plan: &LogicalPlan,
+    feed: &[(String, Tuple)],
+    max_batch: usize,
+    shards: usize,
+    hash_key: bool,
+) -> (Vec<Tuple>, u64) {
+    let mut e = engine();
+    e.set_max_batch_size(max_batch);
+    e.set_shards(shards);
+    if hash_key {
+        e.set_shard_key("quotes", 0);
+        e.set_shard_key("news", 0);
+    }
+    let q1 = e.add_query(plan.clone()).unwrap();
+    let q2 = e.add_query(plan.clone()).unwrap();
+    e.push_batch(feed.iter().cloned());
+    e.finish();
+    let out = e.take_outputs(q1);
+    assert_eq!(out, e.take_outputs(q2), "shared queries must agree");
+    (out, e.tuples_processed())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// **Shard-count invariance** — the tentpole property of the
+    /// shard-per-stream executor: for random plans over every operator
+    /// (filter, project, join, tumbling/sliding aggregates, union, fused
+    /// stateless chains), the parallel engine produces output sequences
+    /// **strictly equal** to the single-threaded engine (shards = 1)
+    /// across shard counts (default 1/2/4/8, see [`shard_counts`]) crossed
+    /// with batch caps 1/7/64/1024, under both round-robin batch
+    /// distribution and hash partitioning on the symbol column — and with
+    /// identical `tuples_processed`, so parallelism never duplicates or
+    /// loses per-row work. Both runs chunk the feed identically, so even
+    /// multi-port operators (join, union) must agree row for row.
+    #[test]
+    fn shard_count_invariance(
+        quotes in quote_stream(60),
+        raw_news in proptest::collection::vec((0u64..500, 0usize..3, 0u8..4), 1..30),
+        kind in 0usize..EQUIVALENCE_KINDS,
+        thresh in 1u32..30_000,
+        window in 1u64..100,
+        slide in 1u64..50,
+    ) {
+        let plan = equivalence_plan(kind, thresh, window, slide);
+        let mut news_tuples: Vec<Tuple> =
+            raw_news.into_iter().map(|(ts, s, t)| news(ts, s, t)).collect();
+        news_tuples.sort_by_key(|t| t.ts);
+        let mut feed: Vec<(String, Tuple)> = quotes
+            .iter()
+            .cloned()
+            .map(|t| ("quotes".to_string(), t))
+            .chain(news_tuples.into_iter().map(|t| ("news".to_string(), t)))
+            .collect();
+        feed.sort_by_key(|(_, t)| t.ts);
+
+        for &cap in &[1usize, 7, 64, 1024] {
+            let (reference, ref_work) = run_sharded(&plan, &feed, cap, 1, false);
+            for &shards in &shard_counts() {
+                if shards == 1 {
+                    continue;
+                }
+                for hash_key in [false, true] {
+                    let (got, work) = run_sharded(&plan, &feed, cap, shards, hash_key);
+                    prop_assert_eq!(
+                        &got, &reference,
+                        "shards {} (hash_key {}) diverged at cap {}", shards, hash_key, cap
+                    );
+                    prop_assert_eq!(
+                        work, ref_work,
+                        "per-row work must be shard-count invariant (shards {})", shards
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random fused stateless chains (optionally topped by an aggregate)
+    /// under the sharded executor: strict sequence equality against the
+    /// single-threaded run across shard counts and batch caps.
+    #[test]
+    fn sharded_fused_chains_match_single_threaded(
+        quotes in quote_stream(60),
+        stages in proptest::collection::vec((0usize..4, 0u32..30_000), 1..5),
+        top in 0usize..3,
+        window in 1u64..100,
+    ) {
+        let plan = stateless_chain_plan(&stages, top, window);
+        let feed: Vec<(String, Tuple)> = quotes
+            .iter()
+            .cloned()
+            .map(|t| ("quotes".to_string(), t))
+            .collect();
+        for &cap in &[1usize, 7, 64] {
+            let (reference, ref_work) = run_sharded(&plan, &feed, cap, 1, false);
+            for &shards in &shard_counts() {
+                if shards == 1 {
+                    continue;
+                }
+                let (got, work) = run_sharded(&plan, &feed, cap, shards, true);
+                prop_assert_eq!(
+                    &got, &reference,
+                    "fused chain diverged at shards {} cap {}", shards, cap
+                );
+                prop_assert_eq!(work, ref_work);
+            }
+        }
+    }
+}
+
 /// Integer sums must accumulate exactly: three terms of 2^53 + 1 overflow
 /// the mantissa of the old `f64` accumulator (which returned 3 × 2^53).
 #[test]

@@ -1,0 +1,331 @@
+//! Stress and lifecycle tests of the shard-per-stream parallel executor:
+//! a repeated-seed concurrency soak (no lost or duplicated tuples under
+//! shards = 4), engine lifecycle edges that previously only ran
+//! single-threaded (`remove_query` mid-stream, transition held-tuple
+//! replay, `finish` across all shards), and the columnar kill switch
+//! reaching worker shards through the spawn path.
+
+use cqac_dsms::engine::DsmsEngine;
+use cqac_dsms::expr::Expr;
+use cqac_dsms::plan::{AggFunc, LogicalPlan};
+use cqac_dsms::types::{work, DataType, Field, Schema, Tuple, Value};
+
+const SYMS: [&str; 4] = ["IBM", "AAPL", "MSFT", "ORCL"];
+
+fn quote_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("symbol", DataType::Str),
+        Field::new("price", DataType::Float),
+    ])
+}
+
+fn news_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("symbol", DataType::Str),
+        Field::new("headline", DataType::Str),
+    ])
+}
+
+fn engine() -> DsmsEngine {
+    let mut e = DsmsEngine::new();
+    e.register_stream("quotes", quote_schema());
+    e.register_stream("news", news_schema());
+    e
+}
+
+/// A tiny deterministic LCG (numerical recipes constants) so the soak is
+/// reproducible without the proptest harness.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A randomized interleaved two-stream feed, sorted by event time.
+fn random_feed(rng: &mut Lcg, len: usize) -> Vec<(String, Tuple)> {
+    let mut feed: Vec<(String, Tuple)> = (0..len)
+        .map(|_| {
+            let ts = rng.below(400);
+            let sym = SYMS[rng.below(4) as usize];
+            if rng.below(4) == 0 {
+                (
+                    "news".to_string(),
+                    Tuple::new(ts, vec![Value::str(sym), Value::str("h")]),
+                )
+            } else {
+                (
+                    "quotes".to_string(),
+                    Tuple::new(
+                        ts,
+                        vec![Value::str(sym), Value::Float(rng.below(200) as f64)],
+                    ),
+                )
+            }
+        })
+        .collect();
+    feed.sort_by_key(|(_, t)| t.ts);
+    feed
+}
+
+/// A small shared network covering every merge-relevant shape: a filter
+/// prefix with two sinks, a fused chain, an aggregate behind the shared
+/// filter, and a quotes⋈news join.
+fn plans() -> Vec<LogicalPlan> {
+    let high =
+        LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))));
+    vec![
+        high.clone(),
+        high.clone(),
+        high.clone()
+            .filter(Expr::col(0).eq(Expr::lit(Value::str("IBM"))))
+            .project(vec![("price".to_string(), Expr::col(1))]),
+        high.clone().aggregate(Some(0), AggFunc::Count, 0, 50),
+        high.join(LogicalPlan::source("news"), 0, 0, 40),
+    ]
+}
+
+struct RunResult {
+    outputs: Vec<Vec<Tuple>>,
+    tuples_processed: u64,
+    output_rows: usize,
+    watermark: u64,
+}
+
+fn run(feed: &[(String, Tuple)], shards: usize, hash_key: bool, chunk: usize) -> RunResult {
+    let mut e = engine().with_max_batch_size(16).with_shards(shards);
+    if hash_key {
+        e.set_shard_key("quotes", 0);
+        e.set_shard_key("news", 0);
+    }
+    let cqs: Vec<_> = plans()
+        .into_iter()
+        .map(|p| e.add_query(p).unwrap())
+        .collect();
+    let mut watermark = 0;
+    for slice in feed.chunks(chunk.max(1)) {
+        e.push_batch(slice.iter().cloned());
+        // The watermark is monotone across every partial run (inside the
+        // engine, debug_asserts additionally pin that no node and no shard
+        // ever runs ahead of the merged watermark).
+        assert!(e.watermark() >= watermark, "watermark regressed");
+        watermark = e.watermark();
+    }
+    e.finish();
+    let output_rows = cqs.iter().map(|&cq| e.output_len(cq)).sum();
+    RunResult {
+        outputs: cqs.iter().map(|&cq| e.take_outputs(cq)).collect(),
+        tuples_processed: e.tuples_processed(),
+        output_rows,
+        watermark: e.watermark(),
+    }
+}
+
+/// ≥100 randomized runs at shards = 4 against the single-threaded engine:
+/// identical output sequences for every query, identical
+/// `tuples_processed` (no lost or duplicated per-row work), identical
+/// buffered `output_len`, identical watermarks. Debug assertions (active
+/// here) additionally check watermark monotonicity and merge-tag
+/// consistency inside the engine on every run.
+#[test]
+fn soak_shards4_no_lost_or_duplicated_tuples() {
+    for seed in 0..100u64 {
+        let mut rng = Lcg(seed.wrapping_mul(0x9e37_79b9).wrapping_add(seed + 1));
+        let len = 40 + rng.below(160) as usize;
+        let chunk = 1 + rng.below(64) as usize;
+        let hash_key = rng.below(2) == 1;
+        let feed = random_feed(&mut rng, len);
+
+        let reference = run(&feed, 1, false, chunk);
+        let sharded = run(&feed, 4, hash_key, chunk);
+        assert_eq!(
+            sharded.output_rows, reference.output_rows,
+            "seed {seed}: buffered output rows diverged"
+        );
+        assert_eq!(
+            sharded.tuples_processed, reference.tuples_processed,
+            "seed {seed}: per-row work diverged"
+        );
+        assert_eq!(
+            sharded.watermark, reference.watermark,
+            "seed {seed}: watermark diverged"
+        );
+        for (q, (got, want)) in sharded.outputs.iter().zip(&reference.outputs).enumerate() {
+            assert_eq!(got, want, "seed {seed}: query {q} outputs diverged");
+        }
+    }
+}
+
+/// `remove_query` mid-stream under sharding: the removal's automatic
+/// transition must drain the shard workers, and the surviving query's
+/// outputs must match a single-threaded engine doing the same dance.
+#[test]
+fn remove_query_mid_stream_under_sharding() {
+    let run = |shards: usize| {
+        let mut e = engine().with_max_batch_size(8).with_shards(shards);
+        e.set_shard_key("quotes", 0);
+        let high =
+            LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))));
+        let keep = e.add_query(high.clone()).unwrap();
+        let victim = e
+            .add_query(high.filter(Expr::col(0).eq(Expr::lit(Value::str("IBM")))))
+            .unwrap();
+        let mut rng = Lcg(7);
+        let feed = random_feed(&mut rng, 120);
+        for (i, slice) in feed.chunks(10).enumerate() {
+            if i == 6 {
+                e.remove_query(victim);
+            }
+            e.push_batch(slice.iter().cloned());
+        }
+        e.finish();
+        e.take_outputs(keep)
+    };
+    assert_eq!(run(1), run(4), "shared prefix must survive the removal");
+}
+
+/// Transition held-tuple replay under sharding: batches held at the
+/// connection points while the network is modified must replay through
+/// the shard workers in arrival order, ahead of newly arriving data.
+#[test]
+fn transition_held_replay_under_sharding() {
+    let run = |shards: usize| {
+        let mut e = engine().with_max_batch_size(8).with_shards(shards);
+        e.set_shard_key("quotes", 0);
+        let high =
+            LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))));
+        let cq = e.add_query(high).unwrap();
+        let mut rng = Lcg(11);
+        let feed = random_feed(&mut rng, 150);
+        let (before, rest) = feed.split_at(50);
+        let (held, after) = rest.split_at(50);
+        e.push_batch(before.iter().cloned());
+        e.begin_transition();
+        for (s, t) in held {
+            e.push(s, t.clone());
+        }
+        let other = e
+            .add_query(
+                LogicalPlan::source("quotes")
+                    .filter(Expr::col(0).eq(Expr::lit(Value::str("MSFT")))),
+            )
+            .unwrap();
+        e.remove_query(other);
+        assert!(e.held_tuples() > 0, "tuples are held mid-transition");
+        e.end_transition();
+        e.push_batch(after.iter().cloned());
+        e.finish();
+        e.take_outputs(cq)
+    };
+    assert_eq!(run(1), run(4), "held replay must be shard-count invariant");
+}
+
+/// `finish()` under sharding: windowed state fed by every shard must
+/// flush, including stacked stateful operators behind a sharded prefix.
+#[test]
+fn finish_flushes_all_shards() {
+    let run = |shards: usize| {
+        let mut e = engine().with_max_batch_size(8).with_shards(shards);
+        e.set_shard_key("quotes", 0);
+        let cq = e
+            .add_query(
+                LogicalPlan::source("quotes")
+                    .filter(Expr::col(1).gt(Expr::lit(Value::Float(20.0))))
+                    .aggregate(Some(0), AggFunc::Count, 0, 100)
+                    .aggregate(None, AggFunc::Max, 2, 1000),
+            )
+            .unwrap();
+        let mut rng = Lcg(13);
+        e.push_batch(random_feed(&mut rng, 200));
+        e.finish();
+        e.take_outputs(cq)
+    };
+    let reference = run(1);
+    assert!(!reference.is_empty(), "the nested day result must exist");
+    assert_eq!(run(1), run(4));
+}
+
+/// The columnar kill switch must reach worker shards: the switch is
+/// thread-local, so the shard spawn path hands the spawning thread's
+/// setting to every worker (and folds the workers' row-eval counters
+/// back). Before that routing existed, sharded runs silently kept the
+/// columnar kernels on.
+#[test]
+fn columnar_kill_switch_reaches_worker_shards() {
+    let feed = {
+        let mut rng = Lcg(17);
+        random_feed(&mut rng, 150)
+    };
+    let run = |columnar: bool| {
+        cqac_dsms::ops::with_columnar_kernels(columnar, || {
+            let mut e = engine().with_max_batch_size(8).with_shards(4);
+            e.set_shard_key("quotes", 0);
+            let cq = e
+                .add_query(
+                    LogicalPlan::source("quotes")
+                        .filter(Expr::col(1).gt(Expr::lit(Value::Float(50.0))))
+                        .project(vec![("price".to_string(), Expr::col(1))]),
+                )
+                .unwrap();
+            work::reset();
+            e.push_batch(feed.iter().cloned());
+            let snap = work::snapshot();
+            (e.take_outputs(cq), snap)
+        })
+    };
+    let (columnar_out, columnar_work) = run(true);
+    let (row_out, row_work) = run(false);
+    assert_eq!(columnar_out, row_out, "kernel mode must not change results");
+    assert!(
+        columnar_work.shard_batches > 0 && row_work.shard_batches > 0,
+        "both runs went through the shard workers"
+    );
+    assert_eq!(
+        columnar_work.row_evals, 0,
+        "columnar sharded runs never evaluate per row"
+    );
+    assert!(
+        row_work.row_evals > 0,
+        "with_columnar_kernels(false, …) must reach the workers"
+    );
+}
+
+/// Disabled columnar kernels count identical row-eval totals at shards 1
+/// and 4: worker-thread counters fold back into the control thread.
+#[test]
+fn worker_row_work_counters_fold_back_deterministically() {
+    let feed = {
+        let mut rng = Lcg(19);
+        random_feed(&mut rng, 120)
+    };
+    let evals_at = |shards: usize| {
+        cqac_dsms::ops::with_columnar_kernels(false, || {
+            let mut e = engine().with_max_batch_size(8).with_shards(shards);
+            e.set_shard_key("quotes", 0);
+            e.add_query(
+                LogicalPlan::source("quotes")
+                    .filter(Expr::col(1).gt(Expr::lit(Value::Float(50.0)))),
+            )
+            .unwrap();
+            work::reset();
+            e.push_batch(feed.iter().cloned());
+            work::snapshot().row_evals
+        })
+    };
+    let single = evals_at(1);
+    assert!(single > 0);
+    assert_eq!(
+        single,
+        evals_at(4),
+        "absorbed counters match single-threaded"
+    );
+}

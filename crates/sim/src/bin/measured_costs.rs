@@ -20,7 +20,7 @@
 //! kinds are the reproducible signal, not the absolute µs), so this runner
 //! reports; it does not assert.
 
-use cqac_dsms::cost::{estimate_node_loads, CostModel};
+use cqac_dsms::cost::{effective_capacity, estimate_node_loads, CostModel};
 use cqac_dsms::engine::DsmsEngine;
 use cqac_dsms::expr::Expr;
 use cqac_dsms::plan::{AggFunc, LogicalPlan};
@@ -58,7 +58,7 @@ fn main() {
         .add_query(LogicalPlan::source("quotes").aggregate(Some(0), AggFunc::Avg, 1, 1_000))
         .expect("aggregate plan");
     engine
-        .add_query(high.join(LogicalPlan::source("news"), 0, 0, 250))
+        .add_query(high.clone().join(LogicalPlan::source("news"), 0, 0, 250))
         .expect("join plan");
 
     eprintln!(
@@ -126,4 +126,53 @@ fn main() {
          tuple on this hardware. A center billing measured work would scale\n\
          every admission price by the load ratio column."
     );
+
+    // Shard sweep: the same shared-filter workload through the parallel
+    // executor. The work columns are deterministic (sharding partitions
+    // rows, never duplicates them); wall clock depends on core count.
+    let mut sweep = Table::new(
+        "shard sweep (32 shared filters)",
+        &[
+            "shards",
+            "tuples processed",
+            "elapsed ms",
+            "ktuples/s",
+            "effective capacity (per-core 1.0)",
+        ],
+    );
+    let mut baseline_work = None;
+    for shards in [1usize, 2, 4] {
+        let mut e = DsmsEngine::new()
+            .with_max_batch_size(batch)
+            .with_shards(shards);
+        e.register_stream("quotes", quote_schema());
+        for _ in 0..32 {
+            e.add_query(high.clone()).expect("filter plan");
+        }
+        let rows = StockStream::new(&SYMBOLS, 1, 42).next_batch(tuples);
+        let start = std::time::Instant::now();
+        e.push_rows("quotes", rows);
+        let elapsed = start.elapsed();
+        let work = e.tuples_processed();
+        assert_eq!(
+            *baseline_work.get_or_insert(work),
+            work,
+            "sharding must not change per-row work"
+        );
+        sweep.push_row(vec![
+            shards.to_string(),
+            work.to_string(),
+            format!("{:.2}", elapsed.as_secs_f64() * 1e3),
+            format!("{:.1}", tuples as f64 / elapsed.as_secs_f64() / 1e3),
+            format!(
+                "{:.1}",
+                effective_capacity(cqac_core::units::Load::from_units(1.0), shards).as_f64()
+            ),
+        ]);
+    }
+    print!("{}", sweep.render());
+    match sweep.write_csv(&cqac_sim::results_dir()) {
+        Ok(path) => println!("[csv] {}", path.display()),
+        Err(e) => eprintln!("[csv] write failed: {e}"),
+    }
 }
