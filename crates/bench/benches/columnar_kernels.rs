@@ -124,6 +124,31 @@ fn bench_columnar_kernels(c: &mut Criterion) {
         );
     }
 
+    // Node fan-out: 32 *distinct* filters consuming every stream batch.
+    // Before copy-on-write column sharing, N node consumers cost N−1 deep
+    // clones per batch; with `TupleBatch`'s Arc-shared columns nobody
+    // copies row data — readers share, writers build fresh batches.
+    let distinct: Vec<LogicalPlan> = (0..32)
+        .map(|i| {
+            LogicalPlan::source("quotes")
+                .filter(Expr::col(1).gt(Expr::lit(Value::Float(80.0 + i as f64))))
+        })
+        .collect();
+    let fanout = measure(&distinct, &rows, true);
+    println!(
+        "{:<22} {:>6} {:>14} {:>12} {:>12} {:>12}",
+        "distinct_32_fanout",
+        "col",
+        fanout.rows_materialized,
+        fanout.row_evals,
+        fanout.kernel_ops,
+        fanout.batch_deep_clones
+    );
+    assert_eq!(
+        fanout.batch_deep_clones, 0,
+        "node fan-out shares columns copy-on-write: zero deep clones"
+    );
+
     // Wall-clock sweep (noisy on shared hardware; trust the counters).
     let mut group = c.benchmark_group("columnar_kernels");
     group.sample_size(10);

@@ -23,7 +23,11 @@
 //! The `shard_count` group sweeps the worker-shard knob (1 vs 2 vs 4) over
 //! the 32-shared-filter workload at batch 64, asserting the deterministic
 //! work counters (`tuples_processed` is shard-count invariant — parallel
-//! execution partitions rows, never duplicates them).
+//! execution partitions rows, never duplicates them). The
+//! `shard_count_keyed_stateful` group runs a symbol-keyed aggregate+join
+//! workload with the merge barrier *past* the stateful operators,
+//! asserting stateful rows run on the shards with selection pushdown and
+//! that the persistent worker pool spawns zero threads after warmup.
 
 use cqac_dsms::engine::DsmsEngine;
 use cqac_dsms::expr::Expr;
@@ -180,6 +184,68 @@ fn bench_shards(c: &mut Criterion) {
                     }
                     black_box((processed, e.batches_processed()))
                 })
+            },
+        );
+    }
+    group.finish();
+
+    // Keyed stateful sharding: a symbol-grouped aggregate + symbol-keyed
+    // join workload where the merge barrier sits *past* the stateful
+    // operators. The engine persists across iterations (fresh
+    // time-advancing batches, so windows close and join state evicts) to
+    // pin the two deterministic claims of the refactor: stateful rows are
+    // processed on the shards (`keyed_shard_rows`, with selection
+    // pushdown), and after the warmup flush the worker pool never spawns
+    // again (`pool_spawns` stays flat — flushes wake parked workers).
+    let mut group = c.benchmark_group("shard_count_keyed_stateful");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("agg_join_batch64", shards),
+            &shards,
+            |b, &shards| {
+                let mut quotes_feed = StockStream::new(&SYMBOLS, 1, 42);
+                let mut news_feed = NewsStream::new(&SYMBOLS, 2, 43);
+                let mut e = DsmsEngine::new()
+                    .with_max_batch_size(64)
+                    .with_shards(shards)
+                    .with_shard_key("quotes", 0)
+                    .with_shard_key("news", 0);
+                e.register_stream("quotes", quote_schema());
+                e.register_stream("news", news_schema());
+                let high = LogicalPlan::source("quotes")
+                    .filter(Expr::col(1).gt(Expr::lit(Value::Float(20.0))));
+                e.add_query(high.clone().aggregate(Some(0), AggFunc::Count, 0, 500))
+                    .expect("valid plan");
+                e.add_query(high.join(LogicalPlan::source("news"), 0, 0, 100))
+                    .expect("valid plan");
+                // Warmup flush: spawns the pool, exactly once per engine.
+                cqac_dsms::types::work::reset();
+                e.push_rows("quotes", quotes_feed.next_batch(64));
+                let warm = cqac_dsms::types::work::snapshot();
+                if shards > 1 {
+                    assert_eq!(warm.pool_spawns as usize, shards, "warmup spawns the pool");
+                }
+                b.iter(|| {
+                    e.push_rows("quotes", quotes_feed.next_batch(5_000));
+                    e.push_rows("news", news_feed.next_batch(1_250));
+                    black_box(e.tuples_processed())
+                });
+                let snap = cqac_dsms::types::work::snapshot();
+                if shards > 1 {
+                    assert_eq!(
+                        snap.pool_spawns, warm.pool_spawns,
+                        "zero worker spawns after warmup"
+                    );
+                    assert!(
+                        snap.keyed_shard_rows > 0,
+                        "stateful rows must run on the shards"
+                    );
+                    assert!(
+                        snap.selection_pushdown_rows > 0,
+                        "selection vectors push into the stateful operators"
+                    );
+                }
             },
         );
     }

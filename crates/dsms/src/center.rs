@@ -148,6 +148,19 @@ impl DsmsCenter {
         self
     }
 
+    /// Hash-partitions a stream on `column` for the serving engine *and*
+    /// the per-auction shadow calibration engines. With a shard key set,
+    /// joins keyed on it and aggregates grouping by it execute inside the
+    /// worker shards (keyed stateful sharding), so their measured loads
+    /// genuinely scale with the shard count the auction prices against.
+    ///
+    /// May be called before the stream is registered, like
+    /// [`crate::engine::DsmsEngine::set_shard_key`].
+    pub fn with_shard_key(mut self, stream: &str, column: usize) -> Self {
+        self.engine.set_shard_key(stream, column);
+        self
+    }
+
     /// Registers an input stream (must precede submissions that read it).
     pub fn register_stream(&mut self, name: impl Into<String>, schema: Schema) {
         let name = name.into();
@@ -186,6 +199,12 @@ impl DsmsCenter {
             .with_max_batch_size(self.engine.max_batch_size())
             .with_fusion(self.engine.fusion_enabled())
             .with_shards(self.engine.shards());
+        // Shadow engines must run the serving engine's exact shape —
+        // including which stateful operators shard — so measured loads
+        // price the network that will actually serve.
+        for (stream, &column) in self.engine.shard_keys() {
+            shadow.set_shard_key(stream, column);
+        }
         for (name, schema) in &self.streams {
             shadow.register_stream(name.clone(), schema.clone());
         }
@@ -499,6 +518,81 @@ mod tests {
             c.take_outputs(cq)
         };
         assert_eq!(run(1), run(4), "serving outputs are shard-count invariant");
+    }
+
+    #[test]
+    fn sharded_center_admits_more_keyed_stateful_bidders() {
+        // Two *stateful* bidders: grouped aggregates keyed by the shard
+        // key (symbol), which execute inside the shards. Per-core capacity
+        // fits roughly one aggregate's load; single-threaded the weaker
+        // bid loses, while 2 worker shards double the priced capacity and
+        // both stateful bidders fit — the auction now admits stateful
+        // load beyond one core because the engine really absorbs it.
+        use crate::plan::AggFunc;
+        let agg = |threshold: f64| {
+            LogicalPlan::source("quotes")
+                .filter(Expr::col(1).gt(Expr::lit(Value::Float(threshold))))
+                .aggregate(Some(0), AggFunc::Count, 0, 100)
+        };
+        let submissions = vec![
+            Submission {
+                user: UserId(0),
+                bid: Money::from_dollars(90.0),
+                plan: agg(10.0),
+            },
+            Submission {
+                user: UserId(1),
+                bid: Money::from_dollars(10.0),
+                plan: agg(60.0),
+            },
+        ];
+        for (shards, expected) in [(1usize, vec![true, false]), (2, vec![true, true])] {
+            let mut c = DsmsCenter::new(Load::from_units(3.5), Box::new(Cat))
+                .with_shards(shards)
+                .with_shard_key("quotes", 0);
+            c.register_stream("quotes", quote_schema());
+            let record = c
+                .run_auction(&submissions, &calibration_sample(2000))
+                .unwrap();
+            let admitted: Vec<bool> = record.decisions.iter().map(|d| d.admitted).collect();
+            assert_eq!(admitted, expected, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn keyed_stateful_serving_matches_single_threaded() {
+        use crate::plan::AggFunc;
+        let plan = LogicalPlan::source("quotes")
+            .filter(Expr::col(1).gt(Expr::lit(Value::Float(20.0))))
+            .aggregate(Some(0), AggFunc::Avg, 1, 200);
+        let run = |shards: usize| {
+            let mut c = DsmsCenter::new(Load::from_units(1000.0), Box::new(Cat))
+                .with_batch_size(32)
+                .with_shards(shards)
+                .with_shard_key("quotes", 0);
+            c.register_stream("quotes", quote_schema());
+            let record = c
+                .run_auction(
+                    &[Submission {
+                        user: UserId(0),
+                        bid: Money::from_dollars(30.0),
+                        plan: plan.clone(),
+                    }],
+                    &calibration_sample(300),
+                )
+                .unwrap();
+            let cq = record.decisions[0].cq.unwrap();
+            let mut feed = StockStream::new(&["IBM", "AAPL", "MSFT"], 1, 7);
+            c.process("quotes", feed.next_batch(800));
+            c.take_outputs(cq)
+        };
+        let single = run(1);
+        assert!(!single.is_empty());
+        assert_eq!(
+            single,
+            run(4),
+            "keyed stateful serving is shard-count invariant"
+        );
     }
 
     #[test]

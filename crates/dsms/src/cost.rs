@@ -110,13 +110,22 @@ pub struct NodeLoadEstimate {
 /// must compare that total against the total capacity of all cores, not
 /// one core's.
 ///
-/// **Known approximation (Amdahl):** only the stateless prefix runs on
-/// worker shards; stateful operators, the merge, and sink delivery run on
-/// the control thread. A workload whose load is dominated by stateful
-/// operators can therefore be admitted up to `shards ×` what the control
-/// thread alone can serve. Pricing the stateful fraction against per-core
-/// capacity (or sharding stateful operators by group/join key) is a
-/// ROADMAP follow-on.
+/// **Keyed stateful sharding** makes this honest for stateful-heavy
+/// workloads too: when a stream carries a shard key, every join keyed on
+/// it and every aggregate grouping by it executes *inside* the worker
+/// shards with per-shard state (see
+/// [`crate::network::QueryNetwork::keyed_plan`]), so their measured loads
+/// — which aggregate across shards exactly like stateless loads — really
+/// are served by `shards` cores, and the auction admits more stateful
+/// bidders at higher shard counts (pinned by the center's
+/// `sharded_center_admits_more_keyed_stateful_bidders` test).
+///
+/// **Residual approximation (Amdahl):** shard-*incompatible* operators
+/// (unions, joins/aggregates not keyed by the partition key), the
+/// deterministic merge, and sink delivery still run on the control
+/// thread; a workload dominated by those can be admitted up to `shards ×`
+/// what the control thread alone can serve. Pricing that residue against
+/// per-core capacity is a ROADMAP follow-on.
 pub fn effective_capacity(per_core: Load, shards: usize) -> Load {
     assert!(shards > 0, "shard count must be positive");
     Load::from_units(per_core.as_f64() * shards as f64)
@@ -483,6 +492,57 @@ mod tests {
         for est in estimate_node_loads(&sharded, &CostModel::measured()) {
             assert!(est.measured_us_per_tuple.is_some());
         }
+    }
+
+    #[test]
+    fn keyed_stateful_loads_are_shard_count_invariant() {
+        // A grouped aggregate keyed by the shard key runs *inside* the
+        // shards (merge barrier moved past it); its per-shard input counts
+        // must still fold into the same aggregate load a single-threaded
+        // engine estimates — that invariance is what makes pricing keyed
+        // stateful nodes against `effective_capacity` honest.
+        use crate::plan::AggFunc;
+        let schema = || {
+            Schema::new(vec![
+                Field::new("symbol", DataType::Str),
+                Field::new("price", DataType::Float),
+            ])
+        };
+        let plan = LogicalPlan::source("quotes")
+            .filter(Expr::col(1).gt(Expr::lit(Value::Float(50.0))))
+            .aggregate(Some(0), AggFunc::Count, 0, 40);
+        let feed: Vec<Tuple> = (0..300)
+            .map(|i| {
+                quote(
+                    i,
+                    if i % 2 == 0 { "IBM" } else { "AAPL" },
+                    40.0 + (i % 40) as f64,
+                )
+            })
+            .collect();
+        let run = |shards: usize| {
+            let mut e = DsmsEngine::new()
+                .with_max_batch_size(16)
+                .with_shards(shards);
+            e.register_stream("quotes", schema());
+            if shards > 1 {
+                e.set_shard_key("quotes", 0);
+            }
+            e.add_query(plan.clone()).unwrap();
+            e.push_rows("quotes", feed.clone());
+            estimate_node_loads(&e, &CostModel::default())
+        };
+        let single = run(1);
+        let sharded = run(4);
+        assert_eq!(single.len(), sharded.len());
+        for (a, b) in single.iter().zip(&sharded) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(
+                a.load, b.load,
+                "keyed stateful load is shard-count invariant"
+            );
+        }
+        assert!(sharded.iter().any(|e| e.kind == "aggregate"));
     }
 
     #[test]

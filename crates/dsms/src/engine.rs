@@ -23,17 +23,18 @@
 //! * **Node queues** hold `(port, batch)` pairs; one `process_batch` call
 //!   amortizes queue traffic, downstream fan-out, watermark checks, and the
 //!   per-node timing probe over the whole batch.
-//! * **Fan-out is `Arc`-shared**: a produced batch is wrapped in one `Arc`
-//!   and every downstream target receives a pointer clone. Sinks *keep*
-//!   the shared batch (rows materialize only when outputs are read), so a
-//!   32-sink shared query costs zero per-sink row copies. A node consumer
-//!   takes ownership when it holds the last reference — the common
-//!   single-consumer hop still moves the batch — and deep-copies when any
-//!   other consumer (node queue or sink buffer) still holds it (counted by
-//!   [`crate::types::work::WorkSnapshot::batch_deep_clones`]). Total
-//!   copies for a batch fanning out to `k` node consumers and any number
-//!   of sinks: at most `k` — never more than the `targets − 1` the
-//!   row-oriented engine paid, and zero for pure sink fan-out.
+//! * **Fan-out is `Arc`-shared and copy-on-write**: a produced batch is
+//!   wrapped in one `Arc` and every downstream target receives a pointer
+//!   clone. Sinks *keep* the shared batch (rows materialize only when
+//!   outputs are read), and a node consumer that cannot take the last
+//!   reference clones the batch **by pointer** — [`TupleBatch`]'s
+//!   timestamp vector and column list are themselves `Arc`-shared, so `k`
+//!   node consumers and any number of sinks cost zero column-data copies.
+//!   Data is copied only if a holder *mutates* a still-shared batch
+//!   (counted by
+//!   [`crate::types::work::WorkSnapshot::batch_deep_clones`]), which the
+//!   engine's operators never do: readers read shared columns, writers
+//!   build fresh batches.
 //! * **Connection points** hold whole batches during a transition and
 //!   replay them, in order, ahead of newly arriving data.
 //!
@@ -41,13 +42,14 @@
 //! [`DsmsEngine::push_batch`] / [`DsmsEngine::push_rows`] are the primary
 //! ingestion paths.
 
-use crate::network::{CqId, NodeId, QueryNetwork, StreamPrefix, Target};
-use crate::ops::ShardKernel;
+use crate::network::{CqId, KeyedPlan, NodeId, QueryNetwork, StreamPrefix, Target};
+use crate::ops::{shard_of_cell, KeyedKernel, ShardKernel};
 use crate::plan::StreamCatalog;
 use crate::plan::{LogicalPlan, PlanError};
-use crate::types::{work, Column, DataType, Schema, Tuple, TupleBatch};
+use crate::types::{work, DataType, MergeTags, Schema, Tuple, TupleBatch};
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::Arc;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Panics unless `column` is a hashable (non-float) column of `schema` —
@@ -159,6 +161,18 @@ pub struct DsmsEngine {
     /// Cached stateless-prefix topologies, invalidated whenever the
     /// network changes shape.
     prefix_cache: HashMap<String, Arc<StreamPrefix>>,
+    /// Cached keyed plan (all hash-partitioned streams at once),
+    /// invalidated whenever the network or the shard keys change.
+    keyed_cache: Option<Arc<KeyedPlan>>,
+    /// Merged shard outputs awaiting dispatch: `(producer node id,
+    /// targets, batch)` in ascending `(node, entry)` order. The control
+    /// loop dispatches a producer's pending batches exactly when its node
+    /// loop reaches that producer, reproducing the single-threaded
+    /// dispatch interleaving with out-of-plan nodes.
+    merged_pending: VecDeque<(u32, Vec<Target>, TupleBatch)>,
+    /// The persistent worker pool (threads spawn lazily on the first
+    /// parallel flush and park between flushes).
+    pool: WorkerPool,
 }
 
 impl Default for DsmsEngine {
@@ -187,6 +201,9 @@ impl DsmsEngine {
             shard_rr: HashMap::new(),
             shard_stats: vec![ShardStats::default()],
             prefix_cache: HashMap::new(),
+            keyed_cache: None,
+            merged_pending: VecDeque::new(),
+            pool: WorkerPool::default(),
         }
     }
 
@@ -299,6 +316,12 @@ impl DsmsEngine {
             validate_shard_key(schema, stream, column);
         }
         self.shard_keys.insert(stream.to_string(), column);
+        self.keyed_cache = None;
+    }
+
+    /// The configured shard keys of every stream (stream → column).
+    pub fn shard_keys(&self) -> &HashMap<String, usize> {
+        &self.shard_keys
     }
 
     /// The configured shard-key column of a stream, if any.
@@ -336,6 +359,7 @@ impl DsmsEngine {
         }
         self.network.register_stream(name, schema);
         self.prefix_cache.clear();
+        self.keyed_cache = None;
     }
 
     /// Adds a continuous query. If the engine is mid-stream (not in an
@@ -349,6 +373,7 @@ impl DsmsEngine {
         }
         let result = self.network.add_query(plan);
         self.prefix_cache.clear();
+        self.keyed_cache = None;
         if let Ok(cq) = result {
             self.outputs.entry(cq).or_default();
         }
@@ -367,6 +392,7 @@ impl DsmsEngine {
         }
         self.network.remove_query(cq);
         self.prefix_cache.clear();
+        self.keyed_cache = None;
         self.outputs.remove(&cq);
         if auto {
             self.end_transition();
@@ -537,52 +563,109 @@ impl DsmsEngine {
         p
     }
 
+    /// The cached keyed plan over every hash-partitioned stream.
+    fn keyed_plan(&mut self) -> Arc<KeyedPlan> {
+        if let Some(p) = &self.keyed_cache {
+            return p.clone();
+        }
+        let p = Arc::new(self.network.keyed_plan(&self.shard_keys));
+        self.keyed_cache = Some(p.clone());
+        p
+    }
+
     /// The shard-parallel twin of [`DsmsEngine::flush_ingest`]:
     ///
-    /// 1. **Partition.** Each ingested batch is assigned to worker shards —
-    ///    whole batches round-robin by default, or row-by-row by a
-    ///    deterministic hash of the stream's shard key. Hash-partitioned
-    ///    rows carry their pre-partition index as a sequence tag.
-    ///    Subscribers outside the stateless prefix (stateful operators,
-    ///    sinks) receive the raw batch at flush time, exactly like the
-    ///    single-threaded path.
-    /// 2. **Parallel prefix.** Worker threads (one per shard) run their
-    ///    sub-batches through the stream's stateless prefix in source
-    ///    order, tracking per-shard watermarks, per-node statistics, and
-    ///    per-thread work counters. Workers inherit the spawning thread's
-    ///    columnar-kernel switch.
-    /// 3. **Deterministic merge.** Shard outputs are merged per
-    ///    `(producing node, source batch)` — by sequence tag for hash
-    ///    partitioning, trivially for round-robin (a source batch lives
-    ///    whole on one shard) — and dispatched to the prefix exits in
-    ///    ascending `(node id, source batch)` order: precisely the order
-    ///    the single-threaded node loop produces. Everything downstream of
-    ///    the merge is byte-identical to the single-threaded engine.
+    /// 1. **Partition.** Streams with a shard key hash-partition row by
+    ///    row (same key, same shard; rows carry their pre-partition index
+    ///    as a sequence tag) into the multi-stream **keyed plan** —
+    ///    stateless prefixes *plus* every compatibly keyed join and
+    ///    aggregate (see [`QueryNetwork::keyed_plan`]). Keyless streams
+    ///    distribute whole batches round-robin into their stateless
+    ///    prefixes. Subscribers outside both plans (shard-incompatible
+    ///    operators, sinks) receive the raw batch at flush time, exactly
+    ///    like the single-threaded path.
+    /// 2. **Parallel execution on the pool.** One job per shard runs on
+    ///    the persistent [`WorkerPool`] (threads spawn once, then park
+    ///    between flushes): round-robin units walk their stateless prefix
+    ///    per unit; keyed units run a **mini node loop** — per-node FIFO
+    ///    queues drained in ascending node order, stateful operators
+    ///    absorbing into their shard's state partition and closing windows
+    ///    against the flush's merged watermark, selection vectors pushed
+    ///    down into joins/aggregates instead of densifying.
+    /// 3. **Deterministic merge.** Exit outputs are merged per
+    ///    `(producing node, entry path)` — interleaved by sequence tag
+    ///    (join fan-out repeats its probe row's tag, preserving shard
+    ///    order) or by window-close [`crate::types::EmitKey`]s, trivially
+    ///    for round-robin — and queued on [`DsmsEngine::merged_pending`]
+    ///    in ascending order; the control loop dispatches each producer's
+    ///    batches exactly when its node-loop pass reaches that producer,
+    ///    so out-of-plan consumers observe the single-threaded arrival
+    ///    order. Everything downstream of the merge is byte-identical to
+    ///    the single-threaded engine.
     fn flush_ingest_sharded(&mut self) {
         let shards = self.shards();
         let ingested: Vec<(String, TupleBatch)> = self.ingest.drain(..).collect();
         if ingested.is_empty() {
             return;
         }
+        let keyed = self.keyed_plan();
 
         // -- 1. Partition ------------------------------------------------
         let mut plan_of_stream: HashMap<String, usize> = HashMap::new();
-        let mut plans: Vec<Arc<StreamPrefix>> = Vec::new();
-        let mut units: Vec<Vec<ShardUnit>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut rr_plans: Vec<Arc<StreamPrefix>> = Vec::new();
+        let mut rr_units: Vec<Vec<ShardUnit>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut keyed_units: Vec<Vec<KeyedUnit>> = (0..shards).map(|_| Vec::new()).collect();
         for (batch_idx, (stream, batch)) in ingested.into_iter().enumerate() {
             if let Some(ts) = batch.max_ts() {
                 self.advance_watermark_to(ts);
             }
+            if let Some(root_idx) = keyed.root_of(&stream) {
+                // Hash partition into the keyed plan.
+                let root = &keyed.roots[root_idx];
+                if root.targets.is_empty() {
+                    self.route_shared(&root.direct, batch);
+                    continue;
+                }
+                let batch = if root.direct.is_empty() {
+                    batch
+                } else {
+                    // Non-plan subscribers share the batch (COW columns);
+                    // the shard path keeps its own handle.
+                    let copy = batch.clone();
+                    self.route_shared(&root.direct, batch);
+                    copy
+                };
+                let mut idxs: Vec<Vec<u32>> = vec![Vec::new(); shards];
+                let col = batch.column(root.key);
+                for i in 0..batch.len() {
+                    idxs[shard_of_cell(col, i, shards)].push(i as u32);
+                }
+                for (s, rows) in idxs.into_iter().enumerate() {
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    self.note_shard_rows(&stream, s, rows.len() as u64, shards);
+                    keyed_units[s].push(KeyedUnit {
+                        batch_idx,
+                        root: root_idx,
+                        batch: batch.take(&rows),
+                        seqs: rows,
+                    });
+                }
+                continue;
+            }
+            // Keyless stream: round-robin whole batches through the
+            // stateless prefix.
             let plan_idx = match plan_of_stream.get(&stream) {
                 Some(&i) => i,
                 None => {
                     let prefix = self.stream_prefix(&stream);
-                    plans.push(prefix);
-                    plan_of_stream.insert(stream.clone(), plans.len() - 1);
-                    plans.len() - 1
+                    rr_plans.push(prefix);
+                    plan_of_stream.insert(stream.clone(), rr_plans.len() - 1);
+                    rr_plans.len() - 1
                 }
             };
-            let prefix = plans[plan_idx].clone();
+            let prefix = rr_plans[plan_idx].clone();
             if prefix.nodes.is_empty() {
                 // No stateless prefix: route whole, like the
                 // single-threaded flush (`direct` is the full subscriber
@@ -593,65 +676,58 @@ impl DsmsEngine {
             let batch = if prefix.direct.is_empty() {
                 batch
             } else {
-                // Non-prefix subscribers keep shared references; the shard
-                // path needs its own copy of the rows.
-                work::count_batch_deep_clone();
+                // Non-prefix subscribers share the batch (COW columns).
                 let copy = batch.clone();
                 self.route_shared(&prefix.direct, batch);
                 copy
             };
-            match self.shard_keys.get(&stream).copied() {
-                Some(key_col) => {
-                    // Hash partition: same key, same shard; every row tags
-                    // its pre-partition index for the merge.
-                    let mut idxs: Vec<Vec<u32>> = vec![Vec::new(); shards];
-                    let col = batch.column(key_col);
-                    for i in 0..batch.len() {
-                        idxs[shard_of(col, i, shards)].push(i as u32);
-                    }
-                    for (s, rows) in idxs.into_iter().enumerate() {
-                        if rows.is_empty() {
-                            continue;
-                        }
-                        self.note_shard_rows(&stream, s, rows.len() as u64, shards);
-                        units[s].push(ShardUnit {
-                            batch_idx,
-                            plan: plan_idx,
-                            batch: batch.take(&rows),
-                            seqs: Some(rows),
-                        });
-                    }
-                }
-                None => {
-                    // Round-robin fallback: whole batches, zero partition
-                    // cost, trivial merge.
-                    let cursor = self.shard_rr.entry(stream.clone()).or_insert(0);
-                    let s = *cursor % shards;
-                    *cursor = (*cursor + 1) % shards;
-                    self.note_shard_rows(&stream, s, batch.len() as u64, shards);
-                    units[s].push(ShardUnit {
-                        batch_idx,
-                        plan: plan_idx,
-                        batch,
-                        seqs: None,
-                    });
-                }
-            }
+            let cursor = self.shard_rr.entry(stream.clone()).or_insert(0);
+            let s = *cursor % shards;
+            *cursor = (*cursor + 1) % shards;
+            self.note_shard_rows(&stream, s, batch.len() as u64, shards);
+            rr_units[s].push(ShardUnit {
+                batch_idx,
+                plan: plan_idx,
+                batch,
+            });
         }
-        if units.iter().all(Vec::is_empty) {
+        // Per-node watermark-advance flags for the keyed plan: a stateful
+        // member closes windows on every shard whenever the merged
+        // watermark moved past what the node has seen (mirrors the control
+        // loop's `last_watermark < watermark` check).
+        let watermark = self.watermark;
+        let advance: Vec<bool> = keyed
+            .nodes
+            .iter()
+            .map(|kn| {
+                kn.stateful
+                    && self
+                        .network
+                        .node(kn.id)
+                        .is_some_and(|n| n.last_watermark < watermark)
+            })
+            .collect();
+        let run_advance = advance.iter().any(|&a| a);
+        let have_units =
+            rr_units.iter().any(|u| !u.is_empty()) || keyed_units.iter().any(|u| !u.is_empty());
+        if !have_units && !run_advance {
             return;
         }
 
-        // -- 2. Parallel prefix ------------------------------------------
+        // -- 2. Parallel execution on the persistent pool ----------------
         let timing = self.timing;
         let columnar = crate::ops::columnar_kernels_enabled();
         let mut exits: HashMap<u32, Vec<Target>> = HashMap::new();
-        for plan in &plans {
+        for plan in &rr_plans {
             for node in &plan.nodes {
                 exits.insert(node.id.0, node.exits.clone());
             }
         }
-        let resolved: Vec<ResolvedPrefix<'_>> = plans
+        for node in &keyed.nodes {
+            exits.insert(node.id.0, node.exits.clone());
+        }
+        let network = &self.network;
+        let rr_resolved: Vec<ResolvedPrefix<'_>> = rr_plans
             .iter()
             .map(|p| ResolvedPrefix {
                 roots: p.roots.clone(),
@@ -660,8 +736,7 @@ impl DsmsEngine {
                     .iter()
                     .map(|pn| ResolvedNode {
                         id: pn.id.0,
-                        op: self
-                            .network
+                        op: network
                             .node(pn.id)
                             .expect("live prefix node")
                             .op
@@ -673,24 +748,76 @@ impl DsmsEngine {
                     .collect(),
             })
             .collect();
-        let reports: Vec<ShardReport> = std::thread::scope(|scope| {
-            let handles: Vec<_> = units
-                .into_iter()
-                .map(|u| {
-                    let resolved = &resolved;
-                    scope.spawn(move || shard_worker(resolved, u, columnar, timing))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        });
-        drop(resolved);
+        let keyed_resolved: Vec<ResolvedKeyedNode<'_>> = keyed
+            .nodes
+            .iter()
+            .zip(&advance)
+            .map(|(kn, &adv)| {
+                let op = &network.node(kn.id).expect("live keyed node").op;
+                ResolvedKeyedNode {
+                    id: kn.id.0,
+                    kernel: if kn.stateful {
+                        ResolvedKeyedKernel::Stateful(
+                            op.keyed_kernel().expect("stateful plan members are keyed"),
+                        )
+                    } else {
+                        ResolvedKeyedKernel::Stateless(
+                            op.shard_kernel().expect("stateless plan members shard"),
+                        )
+                    },
+                    internal: kn.internal.clone(),
+                    record: !kn.exits.is_empty(),
+                    advance: adv,
+                }
+            })
+            .collect();
+        let keyed_roots: Vec<Vec<(usize, usize)>> =
+            keyed.roots.iter().map(|r| r.targets.clone()).collect();
+        let jobs: Vec<ShardJob<'_>> = rr_units
+            .into_iter()
+            .zip(keyed_units)
+            .enumerate()
+            .map(|(shard, (rr, ku))| {
+                let rr_resolved = &rr_resolved;
+                let keyed_resolved = &keyed_resolved;
+                let keyed_roots = &keyed_roots;
+                let job: ShardJob<'_> = Box::new(move || {
+                    // Pooled workers persist across flushes: counters and
+                    // the columnar switch are re-seeded per job, and the
+                    // end-of-job snapshot is the job's delta.
+                    work::reset();
+                    crate::ops::set_columnar_kernels(columnar);
+                    let mut report = ShardReport::default();
+                    shard_worker(rr_resolved, rr, timing, &mut report);
+                    keyed_worker(
+                        shard,
+                        keyed_resolved,
+                        keyed_roots,
+                        ku,
+                        watermark,
+                        timing,
+                        &mut report,
+                    );
+                    report.work = work::snapshot();
+                    report
+                });
+                job
+            })
+            .collect();
+        let reports = self.pool.run(jobs);
+
+        // The keyed plan's watermark handling happened inside the shards:
+        // mark every member so the control loop does not re-advance (and
+        // re-emit from) partitioned state.
+        for kn in &keyed.nodes {
+            if let Some(node) = self.network.node_mut(kn.id) {
+                node.last_watermark = watermark;
+            }
+        }
 
         // -- 3. Deterministic merge --------------------------------------
-        type Parts = Vec<(TupleBatch, Option<Vec<u32>>)>;
-        let mut merged: BTreeMap<(u32, usize), Parts> = BTreeMap::new();
+        type Parts = Vec<(TupleBatch, Option<MergeTags>)>;
+        let mut merged: BTreeMap<(u32, Vec<u32>), Parts> = BTreeMap::new();
         for (s, report) in reports.into_iter().enumerate() {
             work::absorb(&report.work);
             self.processed += report.rows;
@@ -707,35 +834,40 @@ impl DsmsEngine {
             stats.busy += report.busy;
             stats.max_ts = stats.max_ts.max(report.max_ts);
             for (id, delta) in report.node_stats {
-                let node = self.network.node_mut(NodeId(id)).expect("live prefix node");
+                let node = self.network.node_mut(NodeId(id)).expect("live plan node");
                 node.in_count += delta.in_rows;
                 node.in_batches += delta.in_batches;
                 node.out_count += delta.out_rows;
                 node.busy += delta.busy;
             }
-            for (batch_idx, node, batch, seqs) in report.outputs {
-                merged
-                    .entry((node, batch_idx))
-                    .or_default()
-                    .push((batch, seqs));
+            for (node, entry, batch, tags) in report.outputs {
+                merged.entry((node, entry)).or_default().push((batch, tags));
             }
         }
-        // BTreeMap order = ascending (node id, source batch): exactly the
-        // order the single-threaded node loop dispatches prefix outputs.
+        // BTreeMap order = ascending (node id, entry path): exactly the
+        // order the single-threaded node loop dispatches these outputs.
+        // Dispatch is deferred to the control loop (see `merged_pending`)
+        // so it interleaves with out-of-plan node processing the way the
+        // single-threaded pass would.
+        debug_assert!(
+            self.merged_pending.is_empty(),
+            "prior merge fully dispatched"
+        );
         for ((node_id, _), mut parts) in merged {
             let batch = if parts.len() == 1 {
                 parts.pop().expect("one part").0
             } else {
-                TupleBatch::interleave(
+                TupleBatch::interleave_tagged(
                     parts
                         .into_iter()
-                        .map(|(b, s)| (b, s.expect("hash-sharded parts carry sequence tags")))
+                        .map(|(b, t)| (b, t.expect("multi-part merges carry tags")))
                         .collect(),
                 )
                 .expect("merged parts are non-empty")
             };
             let targets = exits.get(&node_id).expect("exit map covers producers");
-            self.route_shared(targets, batch);
+            self.merged_pending
+                .push_back((node_id, targets.clone(), batch));
         }
     }
 
@@ -784,13 +916,13 @@ impl DsmsEngine {
                     self.processed += shared.len() as u64;
                     self.batches += 1;
                     // Take ownership when this is the last reference (the
-                    // common single-consumer hop); deep-copy when another
-                    // consumer — a node queue or a sink buffer — still
-                    // holds the batch.
-                    let batch = Arc::try_unwrap(shared).unwrap_or_else(|still_shared| {
-                        work::count_batch_deep_clone();
-                        (*still_shared).clone()
-                    });
+                    // common single-consumer hop). When another consumer —
+                    // a node queue or a sink buffer — still holds the
+                    // batch, the clone is a COW pointer clone: column data
+                    // stays shared and is only copied if someone mutates
+                    // it (counted in `TupleBatch::columns_mut`).
+                    let batch = Arc::try_unwrap(shared)
+                        .unwrap_or_else(|still_shared| (*still_shared).clone());
                     out_bufs.clear();
                     {
                         let node = self.network.node_mut(id).expect("live node");
@@ -804,6 +936,21 @@ impl DsmsEngine {
                         node.out_count += out_bufs.iter().map(|b| b.len() as u64).sum::<u64>();
                     }
                     self.dispatch(id, &mut out_bufs);
+                }
+                // Dispatch merged shard outputs *produced by* this node at
+                // exactly the point the single-threaded pass would have —
+                // after the node's (empty, it ran in-shard) queue, before
+                // later nodes — so out-of-plan consumers see the same
+                // arrival interleaving either way.
+                while self
+                    .merged_pending
+                    .front()
+                    .is_some_and(|(n, _, _)| *n == id.0)
+                {
+                    let (_, targets, batch) =
+                        self.merged_pending.pop_front().expect("checked front");
+                    any = true;
+                    self.route_shared(&targets, batch);
                 }
                 // Propagate the watermark once per value per node.
                 let needs_watermark = self.network.node(id).is_some_and(|n| {
@@ -866,10 +1013,9 @@ impl DsmsEngine {
             // One Arc per produced batch; every target gets a pointer
             // clone. Sinks never copy; a node consumer that ends up
             // holding the final reference takes ownership without a copy
-            // (the last-target-takes-ownership fast path). When a batch
-            // feeds both sinks and nodes, each node consumer deep-copies
-            // (the sink buffers outlive the queue drain) — still never
-            // more copies than the per-target clones of the row engine.
+            // (the last-target-takes-ownership fast path), and any other
+            // node consumer's clone is itself a COW pointer clone of the
+            // batch's shared columns — zero data copies either way.
             let shared = Arc::new(batch);
             for &target in rest {
                 self.route(target, shared.clone());
@@ -979,17 +1125,26 @@ impl DsmsEngine {
     }
 }
 
-/// One unit of shard work: a (sub-)batch of one source batch headed into a
-/// stream's stateless prefix.
+/// One unit of round-robin shard work: a whole source batch of a keyless
+/// stream headed into that stream's stateless prefix.
 struct ShardUnit {
     /// Index of the source batch within the flush (the merge order key).
     batch_idx: usize,
     /// Index into the flush's prefix table.
     plan: usize,
     batch: TupleBatch,
-    /// Pre-partition row indices (hash sharding); `None` for whole-batch
-    /// round-robin units, which merge without tags.
-    seqs: Option<Vec<u32>>,
+}
+
+/// One unit of keyed shard work: the hash-partitioned slice of one source
+/// batch headed into the keyed plan.
+struct KeyedUnit {
+    /// Index of the source batch within the flush (the merge order key).
+    batch_idx: usize,
+    /// Index into [`KeyedPlan::roots`].
+    root: usize,
+    batch: TupleBatch,
+    /// Pre-partition row indices, aligned with the slice's rows.
+    seqs: Vec<u32>,
 }
 
 /// A stream's prefix with operator references resolved for the workers.
@@ -1018,9 +1173,13 @@ struct NodeDelta {
 }
 
 /// Everything one worker reports back when its shard joins.
+#[derive(Default)]
 struct ShardReport {
-    /// Prefix outputs: (source batch, producing node, batch, merge tags).
-    outputs: Vec<(usize, u32, TupleBatch, Option<Vec<u32>>)>,
+    /// Merge-point outputs: `(producing node, entry path, batch, tags)`.
+    /// The entry path orders a node's outputs exactly as the
+    /// single-threaded node loop dispatches them (see [`entry_child`]);
+    /// tags order rows *within* one logical output across shards.
+    outputs: Vec<(u32, Vec<u32>, TupleBatch, Option<MergeTags>)>,
     node_stats: HashMap<u32, NodeDelta>,
     rows: u64,
     batches: u64,
@@ -1032,87 +1191,65 @@ struct ShardReport {
     work: work::WorkSnapshot,
 }
 
-/// The deterministic (FNV-1a) shard hash of one key cell — stable across
-/// runs and platforms, unlike the std hasher, so shard assignment is
-/// replayable.
-fn shard_of(col: &Column, i: usize, shards: usize) -> usize {
-    fn fnv1a(bytes: &[u8]) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for &b in bytes {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-        h
-    }
-    let h = match col {
-        Column::Bool(v) => fnv1a(&[u8::from(v[i])]),
-        Column::Int(v) => fnv1a(&v[i].to_le_bytes()),
-        Column::Str(v) => fnv1a(v[i].as_bytes()),
-        Column::Float(_) => {
-            // `set_shard_key` rejects float columns before any run.
-            debug_assert!(false, "float shard key escaped validation");
-            0
-        }
-    };
-    (h % shards as u64) as usize
+/// A stateless-or-keyed kernel reference resolved for the workers.
+enum ResolvedKeyedKernel<'a> {
+    Stateless(&'a dyn ShardKernel),
+    Stateful(&'a dyn KeyedKernel),
 }
 
-/// The body of one shard's worker thread: runs the shard's sub-batches
-/// through their streams' stateless prefixes in source order.
-///
-/// The worker inherits the control thread's columnar-kernel switch (the
-/// switch is thread-local, so without this hand-off worker shards would
-/// silently ignore [`crate::ops::set_columnar_kernels`]), counts work into
-/// its own thread-local counters (absorbed by the control thread on join),
-/// and composes each operator's survivor trace with the unit's
-/// pre-partition tags so the merge can restore single-threaded row order.
+/// One keyed-plan node resolved for the workers.
+struct ResolvedKeyedNode<'a> {
+    id: u32,
+    kernel: ResolvedKeyedKernel<'a>,
+    /// Downstream consumers inside the plan: (plan index, port).
+    internal: Vec<(usize, usize)>,
+    /// Whether the node has exits (its outputs must be reported back for
+    /// the merge).
+    record: bool,
+    /// Whether this flush advances the node's watermark on every shard.
+    advance: bool,
+}
+
+/// The body of the round-robin half of one shard job: runs whole source
+/// batches of keyless streams through their stateless prefixes in source
+/// order. Outputs merge trivially (a source batch lives whole on one
+/// shard), so no survivor tracing is needed.
 fn shard_worker(
     plans: &[ResolvedPrefix<'_>],
     units: Vec<ShardUnit>,
-    columnar: bool,
     timing: bool,
-) -> ShardReport {
-    crate::ops::set_columnar_kernels(columnar);
-    let mut outputs: Vec<(usize, u32, TupleBatch, Option<Vec<u32>>)> = Vec::new();
-    let mut node_stats: HashMap<u32, NodeDelta> = HashMap::new();
-    let (mut rows, mut batches, mut max_ts) = (0u64, 0u64, 0u64);
-    let mut busy_total = Duration::ZERO;
-    // Per-node pending input within one unit's prefix walk.
-    type Tagged = (TupleBatch, Option<Vec<u32>>);
+    report: &mut ShardReport,
+) {
     for unit in units {
         let plan = &plans[unit.plan];
         if let Some(ts) = unit.batch.max_ts() {
-            max_ts = max_ts.max(ts);
+            report.max_ts = report.max_ts.max(ts);
         }
-        let mut slots: Vec<Option<Tagged>> = (0..plan.nodes.len()).map(|_| None).collect();
-        // Seed the roots; extra roots deep-copy, like extra node consumers
-        // of a raw stream batch in the single-threaded engine.
+        let mut slots: Vec<Option<TupleBatch>> = (0..plan.nodes.len()).map(|_| None).collect();
+        // Seed the roots (COW column sharing makes extra roots cheap).
         let Some((&last_root, other_roots)) = plan.roots.split_last() else {
             continue;
         };
         for &r in other_roots {
-            work::count_batch_deep_clone();
-            slots[r] = Some((unit.batch.clone(), unit.seqs.clone()));
+            slots[r] = Some(unit.batch.clone());
         }
-        slots[last_root] = Some((unit.batch, unit.seqs));
+        slots[last_root] = Some(unit.batch);
         // Ascending position is a topological order (node ids ascend along
         // edges), so one pass drains the whole prefix.
         for pos in 0..plan.nodes.len() {
-            let Some((batch, seqs)) = slots[pos].take() else {
+            let Some(batch) = slots[pos].take() else {
                 continue;
             };
             let node = &plan.nodes[pos];
             let in_rows = batch.len() as u64;
-            rows += in_rows;
-            batches += 1;
+            report.rows += in_rows;
+            report.batches += 1;
             work::count_shard_batches(1);
             let start = timing.then(Instant::now);
-            // Trace survivors only for tagged (hash-partitioned) units;
-            // round-robin units merge whole and need no tags.
-            let (out, trace) = node.op.process_traced(batch, seqs.is_some());
+            let (out, _) = node.op.process_traced(batch, false);
             let elapsed = start.map(|s| s.elapsed()).unwrap_or_default();
-            busy_total += elapsed;
-            let delta = node_stats.entry(node.id).or_default();
+            report.busy += elapsed;
+            let delta = report.node_stats.entry(node.id).or_default();
             delta.in_rows += in_rows;
             delta.in_batches += 1;
             delta.out_rows += out.len() as u64;
@@ -1120,40 +1257,423 @@ fn shard_worker(
             if out.is_empty() {
                 continue;
             }
-            // Tag composition: hash units thread their pre-partition tags
-            // through the survivor trace; round-robin units stay untagged
-            // (their source batch lives whole on this shard).
-            let out_seqs: Option<Vec<u32>> = match (seqs, trace) {
-                (None, _) => None,
-                (Some(s), None) => Some(s),
-                (Some(s), Some(t)) => Some(t.iter().map(|&i| s[i as usize]).collect()),
-            };
             if node.record {
                 for &c in &node.internal {
-                    work::count_batch_deep_clone();
-                    slots[c] = Some((out.clone(), out_seqs.clone()));
+                    slots[c] = Some(out.clone());
                 }
-                outputs.push((unit.batch_idx, node.id, out, out_seqs));
+                report
+                    .outputs
+                    .push((node.id, vec![unit.batch_idx as u32], out, None));
             } else {
                 let Some((&last_c, rest_c)) = node.internal.split_last() else {
                     continue;
                 };
                 for &c in rest_c {
-                    work::count_batch_deep_clone();
-                    slots[c] = Some((out.clone(), out_seqs.clone()));
+                    slots[c] = Some(out.clone());
                 }
-                slots[last_c] = Some((out, out_seqs));
+                slots[last_c] = Some(out);
             }
         }
     }
-    ShardReport {
-        outputs,
-        node_stats,
-        rows,
-        batches,
-        max_ts,
-        busy: busy_total,
-        work: work::snapshot(),
+}
+
+/// One pending input of a keyed-plan node inside a shard's mini node loop.
+struct KeyedEntry {
+    /// The entry path (see [`entry_child`]); orders a node's queue the way
+    /// the single-threaded node loop fills it.
+    key: Vec<u32>,
+    port: usize,
+    batch: TupleBatch,
+    /// Deferred selection (batch-row indices): the rows of `batch` this
+    /// entry logically consists of. `None` = all. Filters refine it
+    /// without gathering; stateful consumers absorb straight through it
+    /// (selection pushdown); anything else densifies on entry.
+    sel: Option<Vec<u32>>,
+    /// Merge tags aligned with `batch`'s rows.
+    tags: MergeTags,
+}
+
+/// The child entry path for outputs of node `id` processing an entry with
+/// path `parent`: `[id + 1] ++ parent` (`[id + 1, u32::MAX]` for watermark
+/// emissions, which the single-threaded loop dispatches after the node's
+/// whole queue). Paths compare lexicographically; root entries are
+/// `[0, source batch]`, so a queue ordered by path is exactly the order
+/// the single-threaded loop fills it: stream batches first, then each
+/// producer's outputs in the producer's own processing order.
+fn entry_child(id: u32, parent: &[u32]) -> Vec<u32> {
+    let mut key = Vec::with_capacity(parent.len() + 1);
+    key.push(id + 1);
+    key.extend_from_slice(parent);
+    key
+}
+
+/// The keyed half of one shard job: a **mini node loop** over the keyed
+/// plan, mirroring the single-threaded engine's pass — per-node FIFO
+/// queues drained in ascending node order, each stateful node closing its
+/// shard's windows against the flush's merged watermark right after its
+/// queue drains. Because every pair of rows a stateful member must combine
+/// shares this shard (hash partitioning on the tracked key), the walk
+/// observes exactly the single-threaded state restricted to this shard's
+/// keys, and the reported outputs carry entry paths + row tags that let
+/// the control thread reassemble bit-identical batches.
+fn keyed_worker(
+    shard: usize,
+    nodes: &[ResolvedKeyedNode<'_>],
+    roots: &[Vec<(usize, usize)>],
+    units: Vec<KeyedUnit>,
+    watermark: u64,
+    timing: bool,
+    report: &mut ShardReport,
+) {
+    let mut queues: Vec<VecDeque<KeyedEntry>> = (0..nodes.len()).map(|_| VecDeque::new()).collect();
+    // Seed root targets in source-batch order (= ingestion order), exactly
+    // like the single-threaded flush routes raw stream batches.
+    for unit in units {
+        if let Some(ts) = unit.batch.max_ts() {
+            report.max_ts = report.max_ts.max(ts);
+        }
+        let targets = &roots[unit.root];
+        let Some(((last_n, last_p), rest)) = targets.split_last() else {
+            continue;
+        };
+        let key = vec![0u32, unit.batch_idx as u32];
+        for &(n, p) in rest {
+            queues[n].push_back(KeyedEntry {
+                key: key.clone(),
+                port: p,
+                batch: unit.batch.clone(),
+                sel: None,
+                tags: MergeTags::Rows(unit.seqs.clone()),
+            });
+        }
+        queues[*last_n].push_back(KeyedEntry {
+            key,
+            port: *last_p,
+            batch: unit.batch,
+            sel: None,
+            tags: MergeTags::Rows(unit.seqs),
+        });
+    }
+    // Ascending plan position is a topological order, so one pass drains
+    // everything — including watermark emissions, which only flow to
+    // higher-numbered nodes.
+    for pos in 0..nodes.len() {
+        let node = &nodes[pos];
+        while let Some(entry) = queues[pos].pop_front() {
+            let in_rows = entry.sel.as_ref().map_or(entry.batch.len(), Vec::len) as u64;
+            report.rows += in_rows;
+            report.batches += 1;
+            work::count_shard_batches(1);
+            let start = timing.then(Instant::now);
+            // Produce: either a refined deferred selection (filters), or a
+            // materialized output batch with composed tags.
+            let produced: Option<KeyedEntry> = match &node.kernel {
+                ResolvedKeyedKernel::Stateless(k) => {
+                    match k.refine_selection(&entry.batch, entry.sel.as_deref()) {
+                        Some(sel) => (!sel.is_empty()).then(|| KeyedEntry {
+                            key: entry.key.clone(),
+                            port: 0,
+                            batch: entry.batch,
+                            sel: Some(sel),
+                            tags: entry.tags,
+                        }),
+                        None => {
+                            let (batch, tags) = materialize(entry.batch, entry.sel, entry.tags);
+                            let (out, trace) = k.process_traced(batch, true);
+                            (!out.is_empty()).then(|| {
+                                let tags = match trace {
+                                    None => tags,
+                                    Some(t) => tags.take(&t),
+                                };
+                                KeyedEntry {
+                                    key: entry.key.clone(),
+                                    port: 0,
+                                    batch: out,
+                                    sel: None,
+                                    tags,
+                                }
+                            })
+                        }
+                    }
+                }
+                ResolvedKeyedKernel::Stateful(k) => {
+                    work::count_keyed_shard_rows(in_rows);
+                    if entry.sel.is_some() {
+                        // Absorbed through the deferred selection: these
+                        // rows were never gathered into a dense batch.
+                        work::count_pushdown_rows(in_rows);
+                    }
+                    let (out, trace) =
+                        k.process_keyed(shard, entry.port, &entry.batch, entry.sel.as_deref());
+                    (!out.is_empty()).then(|| KeyedEntry {
+                        key: entry.key.clone(),
+                        port: 0,
+                        batch: out,
+                        sel: None,
+                        tags: entry.tags.take(&trace),
+                    })
+                }
+            };
+            let elapsed = start.map(|s| s.elapsed()).unwrap_or_default();
+            report.busy += elapsed;
+            let delta = report.node_stats.entry(node.id).or_default();
+            delta.in_rows += in_rows;
+            delta.in_batches += 1;
+            delta.busy += elapsed;
+            if let Some(out) = produced {
+                delta.out_rows += out.sel.as_ref().map_or(out.batch.len(), Vec::len) as u64;
+                dispatch_keyed(node, out, &mut queues, report);
+            }
+        }
+        // Watermark pass: close this shard's windows right after the
+        // node's queue — the position the single-threaded loop advances
+        // the node at.
+        if node.advance {
+            if let ResolvedKeyedKernel::Stateful(k) = &node.kernel {
+                let start = timing.then(Instant::now);
+                let emitted = k.advance_keyed(shard, watermark);
+                let elapsed = start.map(|s| s.elapsed()).unwrap_or_default();
+                report.busy += elapsed;
+                let delta = report.node_stats.entry(node.id).or_default();
+                delta.busy += elapsed;
+                if let Some((batch, keys)) = emitted {
+                    delta.out_rows += batch.len() as u64;
+                    dispatch_keyed(
+                        node,
+                        KeyedEntry {
+                            key: vec![u32::MAX],
+                            port: 0,
+                            batch,
+                            sel: None,
+                            tags: MergeTags::Emits(keys),
+                        },
+                        &mut queues,
+                        report,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Densifies a deferred selection: gathers the selected rows (and their
+/// tags) into a dense batch. All-row selections pass through untouched.
+fn materialize(
+    batch: TupleBatch,
+    sel: Option<Vec<u32>>,
+    tags: MergeTags,
+) -> (TupleBatch, MergeTags) {
+    match sel {
+        None => (batch, tags),
+        Some(sel) if sel.len() == batch.len() => (batch, tags),
+        Some(sel) => {
+            let tags = tags.take(&sel);
+            (batch.take(&sel), tags)
+        }
+    }
+}
+
+/// Routes one produced output of keyed-plan node `node` (still possibly
+/// selection-deferred) to its in-plan consumers, and records it — densified
+/// — for the merge when the node has exits.
+fn dispatch_keyed(
+    node: &ResolvedKeyedNode<'_>,
+    out: KeyedEntry,
+    queues: &mut [VecDeque<KeyedEntry>],
+    report: &mut ShardReport,
+) {
+    let child_key = entry_child(node.id, &out.key);
+    if node.record {
+        for &(c, p) in &node.internal {
+            queues[c].push_back(KeyedEntry {
+                key: child_key.clone(),
+                port: p,
+                batch: out.batch.clone(),
+                sel: out.sel.clone(),
+                tags: out.tags.clone(),
+            });
+        }
+        let (batch, tags) = materialize(out.batch, out.sel, out.tags);
+        report.outputs.push((node.id, out.key, batch, Some(tags)));
+    } else {
+        let Some((&(last_c, last_p), rest)) = node.internal.split_last() else {
+            return;
+        };
+        for &(c, p) in rest {
+            queues[c].push_back(KeyedEntry {
+                key: child_key.clone(),
+                port: p,
+                batch: out.batch.clone(),
+                sel: out.sel.clone(),
+                tags: out.tags.clone(),
+            });
+        }
+        queues[last_c].push_back(KeyedEntry {
+            key: child_key,
+            port: last_p,
+            batch: out.batch,
+            sel: out.sel,
+            tags: out.tags,
+        });
+    }
+}
+
+/// One shard's job for a single flush, borrowing the flush's resolved
+/// plans for its lifetime. The pool blocks until every job of a flush has
+/// reported back before those borrows end.
+type ShardJob<'a> = Box<dyn FnOnce() -> ShardReport + Send + 'a>;
+
+/// A parked worker's mailbox.
+enum SlotState {
+    /// Nothing to do; the worker is parked on the condvar.
+    Idle,
+    /// A job to run ('static here; the pool guarantees the real borrows
+    /// outlive the run by blocking until `Done`).
+    Job(Box<dyn FnOnce() -> ShardReport + Send + 'static>),
+    /// The job's result (or its panic payload), awaiting collection.
+    Done(std::thread::Result<ShardReport>),
+    /// Tear-down request (pool drop).
+    Exit,
+}
+
+struct WorkerSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+struct PoolWorker {
+    slot: Arc<WorkerSlot>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The persistent worker pool of the parallel executor: one long-lived
+/// thread per shard, spawned lazily on the first parallel flush and
+/// **parked between flushes** (condvar wait — zero CPU). A flush hands
+/// each worker one job through its mailbox and blocks until every job
+/// reports back, so jobs may safely borrow the flush's plan resolution.
+/// Spawns and wakeups are counted
+/// ([`work::WorkSnapshot::pool_spawns`] / [`work::WorkSnapshot::pool_wakeups`]):
+/// after warmup a flush costs wakeups only — the `shard_count` bench pins
+/// zero spawns across its measured pushes.
+#[derive(Default)]
+pub(crate) struct WorkerPool {
+    workers: Vec<PoolWorker>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+/// Locks a slot, riding over poisoning (a poisoned slot only means a
+/// worker panicked mid-update; the payload is surfaced via `Done(Err)`).
+fn lock_slot(slot: &WorkerSlot) -> std::sync::MutexGuard<'_, SlotState> {
+    slot.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn pool_worker_main(slot: Arc<WorkerSlot>) {
+    let mut state = lock_slot(&slot);
+    loop {
+        match std::mem::replace(&mut *state, SlotState::Idle) {
+            SlotState::Job(job) => {
+                drop(state);
+                let result = std::panic::catch_unwind(AssertUnwindSafe(job));
+                state = lock_slot(&slot);
+                *state = SlotState::Done(result);
+                slot.cv.notify_all();
+            }
+            SlotState::Exit => return,
+            other => {
+                *state = other;
+                state = slot.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+}
+
+impl WorkerPool {
+    /// Ensures at least `n` workers exist (spawning is the counted warmup
+    /// cost; parked surplus workers from a larger previous shard count are
+    /// kept — they cost no CPU).
+    fn ensure(&mut self, n: usize) {
+        while self.workers.len() < n {
+            work::count_pool_spawn();
+            let slot = Arc::new(WorkerSlot {
+                state: Mutex::new(SlotState::Idle),
+                cv: Condvar::new(),
+            });
+            let thread_slot = slot.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("cqac-shard-{}", self.workers.len()))
+                .spawn(move || pool_worker_main(thread_slot))
+                .expect("spawn pool worker");
+            self.workers.push(PoolWorker {
+                slot,
+                handle: Some(handle),
+            });
+        }
+    }
+
+    /// Runs one job per shard on the pooled workers and blocks until every
+    /// job reported back, then returns the reports in shard order. A
+    /// worker panic is re-raised here — after all other jobs finished, so
+    /// no borrow escapes.
+    fn run<'env>(&mut self, jobs: Vec<ShardJob<'env>>) -> Vec<ShardReport> {
+        let n = jobs.len();
+        self.ensure(n);
+        for (i, job) in jobs.into_iter().enumerate() {
+            // SAFETY: the loop below blocks until every dispatched job is
+            // `Done` before this function returns, so the `'env` borrows
+            // captured by the job strictly outlive its execution.
+            let job: Box<dyn FnOnce() -> ShardReport + Send + 'static> =
+                unsafe { std::mem::transmute(job) };
+            let slot = &self.workers[i].slot;
+            let mut state = lock_slot(slot);
+            *state = SlotState::Job(job);
+            work::count_pool_wakeup();
+            slot.cv.notify_all();
+        }
+        let mut results: Vec<std::thread::Result<ShardReport>> = Vec::with_capacity(n);
+        for w in &self.workers[..n] {
+            let mut state = lock_slot(&w.slot);
+            loop {
+                match std::mem::replace(&mut *state, SlotState::Idle) {
+                    SlotState::Done(result) => {
+                        results.push(result);
+                        break;
+                    }
+                    other => {
+                        *state = other;
+                        state = w.slot.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+            }
+        }
+        // Every job has finished; only now is it safe to unwind.
+        results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let mut state = lock_slot(&w.slot);
+            *state = SlotState::Exit;
+            w.slot.cv.notify_all();
+        }
+        for w in &mut self.workers {
+            if let Some(handle) = w.handle.take() {
+                // A worker that panicked outside a job already unwound;
+                // ignore the join error during teardown.
+                let _ = handle.join();
+            }
+        }
     }
 }
 
@@ -1515,9 +2035,10 @@ mod tests {
     }
 
     #[test]
-    fn multi_node_fanout_deep_clones_only_for_extra_consumers() {
-        // Two *distinct* filters subscribe to the stream: one of the two
-        // queue consumers must deep-copy (the other takes ownership).
+    fn multi_node_fanout_shares_columns_copy_on_write() {
+        // Two *distinct* filters subscribe to the stream: before COW
+        // column sharing the second queue consumer paid a deep copy; now
+        // both read the shared columns and nobody copies row data.
         let mut e = engine_with_quotes();
         e.add_query(high_filter()).unwrap();
         e.add_query(
@@ -1528,17 +2049,16 @@ mod tests {
         e.push_rows("quotes", (0..10).map(|i| quote(i, "IBM", 120.0)).collect());
         let snap = crate::types::work::snapshot();
         assert_eq!(
-            snap.batch_deep_clones, 1,
-            "N node consumers cost N-1 deep clones"
+            snap.batch_deep_clones, 0,
+            "N node consumers share columns copy-on-write"
         );
     }
 
     #[test]
-    fn mixed_sink_and_node_fanout_copies_once_per_node_consumer() {
+    fn mixed_sink_and_node_fanout_never_copies_column_data() {
         // The shared filter feeds a sink (q1) *and* a downstream filter
-        // node (q2): the sink's Arc outlives the queue drain, so the node
-        // consumer deep-copies — exactly one copy, the same count the
-        // row-oriented engine paid for its two targets.
+        // node (q2): the sink's Arc outlives the queue drain, but the node
+        // consumer's clone only bumps the column Arcs — zero data copies.
         let mut e = engine_with_quotes();
         let q1 = e.add_query(high_filter()).unwrap();
         let q2 = e
@@ -1548,8 +2068,8 @@ mod tests {
         e.push_rows("quotes", (0..10).map(|i| quote(i, "IBM", 120.0)).collect());
         let snap = crate::types::work::snapshot();
         assert_eq!(
-            snap.batch_deep_clones, 1,
-            "one copy for the node consumer; the sink shares"
+            snap.batch_deep_clones, 0,
+            "readers of a shared batch never copy column data"
         );
         assert_eq!(e.output_len(q1), 10);
         assert_eq!(e.output_len(q2), 10);

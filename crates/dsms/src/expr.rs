@@ -257,6 +257,17 @@ impl Expr {
         matches!(self, Expr::Col(_) | Expr::Lit(_))
     }
 
+    /// The referenced column when the expression is a bare column
+    /// reference — what keyed-shard planning uses to track a partition
+    /// key's position through projections (any computed expression loses
+    /// the key).
+    pub fn as_col(&self) -> Option<usize> {
+        match self {
+            Expr::Col(i) => Some(*i),
+            _ => None,
+        }
+    }
+
     /// Rewrites every column reference `Col(i)` to `cols[i]` — the
     /// substitution step of projection composition in the fusion pass:
     /// evaluating the result against a projection's *input* equals

@@ -69,18 +69,20 @@
 //! strict output-sequence equality between the two across batch caps
 //! 1/7/64/1024.
 //!
-//! **Zero-copy sink fan-out.** A produced batch is wrapped in one `Arc`
-//! and every downstream target receives a pointer clone. Sinks keep the
-//! shared batch — a 32-sink shared query pays zero per-sink row copies;
-//! rows materialize only when outputs are read
-//! ([`engine::DsmsEngine::take_outputs`]). A node consumer takes ownership
-//! when it holds the last reference (the common single-consumer hop moves
-//! the batch) and deep-copies when any other consumer — node queue or sink
-//! buffer — still holds it: at most one copy per node consumer, never more
-//! than the per-target clones of the row-oriented engine. The
-//! [`types::work`] counters (row materializations, per-row evaluations,
-//! kernel passes, deep clones) make these claims checkable on
-//! throttle-noisy hardware; the `columnar_kernels` benchmark asserts them.
+//! **Zero-copy fan-out, copy-on-write columns.** A produced batch is
+//! wrapped in one `Arc` and every downstream target receives a pointer
+//! clone. Sinks keep the shared batch — a 32-sink shared query pays zero
+//! per-sink row copies; rows materialize only when outputs are read
+//! ([`engine::DsmsEngine::take_outputs`]). Node fan-out is free too:
+//! [`types::TupleBatch`] holds its timestamp vector and column list behind
+//! their own `Arc`s, so a consumer that cannot take the last reference
+//! clones the batch by pointer and column data is copied only if someone
+//! *mutates* a still-shared batch — which no operator does (readers read
+//! shared columns, writers build fresh batches). The [`types::work`]
+//! counters (row materializations, per-row evaluations, kernel passes,
+//! copy-on-write misses) make these claims checkable on throttle-noisy
+//! hardware; the `columnar_kernels` benchmark asserts zero deep clones for
+//! both 32-way sink fan-out and 32-way node fan-out.
 //!
 //! Per-tuple [`engine::DsmsEngine::push`] survives as a thin wrapper that
 //! appends to the current one-stream ingestion batch;
@@ -127,66 +129,84 @@
 //! row-for-row equivalent (pinned by the `fused_network_equals_unfused`
 //! property in `tests/property_dsms.rs`).
 //!
-//! ## Parallel execution: shard-per-stream with a deterministic merge
+//! ## Parallel execution: keyed prefixes on a persistent worker pool
 //!
 //! The engine scales ingestion across cores without giving up replay
 //! exactness. A **shard-count knob** sits next to the batch-size and
 //! fusion knobs at every level — [`network::QueryNetwork::set_shards`],
 //! [`engine::DsmsEngine::set_shards`] / [`engine::DsmsEngine::with_shards`],
 //! [`center::DsmsCenter::with_shards`] (which also applies it to the
-//! shadow calibration engines). Shard count 1 — the default — compiles
-//! down to the single-threaded path; `n > 1` runs each flush in three
-//! phases:
+//! shadow calibration engines, like
+//! [`center::DsmsCenter::with_shard_key`]). Shard count 1 — the default —
+//! compiles down to the single-threaded path; `n > 1` runs each flush in
+//! three phases:
 //!
-//! 1. **Partition.** Each stream's ingestion batches are distributed
-//!    across `n` worker shards: **whole batches round-robin** by default
-//!    (zero partition cost, trivial merge), or **row-by-row** by a
-//!    deterministic FNV-1a hash of a configurable per-stream **shard key**
-//!    ([`engine::DsmsEngine::set_shard_key`]) so equal keys always land on
-//!    the same shard; hash-partitioned rows carry their pre-partition row
-//!    index as a sequence tag. Subscribers outside the stateless prefix —
-//!    stateful operators and sinks — receive raw batches at flush time,
-//!    exactly like the single-threaded engine.
-//! 2. **Parallel prefix.** Worker threads run their sub-batches, in source
-//!    order, through the stream's **stateless prefix**
-//!    ([`network::QueryNetwork::stateless_prefix`]): the maximal subgraph
-//!    of filters, projections, and fused chains reachable from the stream
-//!    through stateless operators only. Stateless operators expose a
-//!    `&self` kernel ([`ops::ShardKernel`]) that also reports which input
-//!    rows survived. Workers track **per-shard watermarks**
-//!    ([`engine::ShardStats::max_ts`]), per-node statistics, and
-//!    per-thread work counters, and inherit the spawning thread's columnar
-//!    kill switch (the switch is thread-local; the spawn path hands it
-//!    over so [`ops::set_columnar_kernels`] governs worker shards too).
-//! 3. **Deterministic merge.** Before any stateful operator or sink,
-//!    shard outputs are merged per `(producing node, source batch)` —
-//!    interleaved by sequence tag under hash partitioning
-//!    ([`types::TupleBatch::interleave`]), trivially under round-robin
-//!    (each source batch lives whole on one shard) — and dispatched in
-//!    ascending `(node id, source batch)` order.
+//! 1. **Partition.** Streams with a configured **shard key**
+//!    ([`engine::DsmsEngine::set_shard_key`]) hash-partition row by row
+//!    (deterministic FNV-1a, so equal keys always land on the same shard;
+//!    rows carry their pre-partition index as a sequence tag) into the
+//!    **keyed plan**; keyless streams distribute whole batches
+//!    round-robin into their stateless prefixes. Subscribers outside both
+//!    plans — shard-incompatible operators and sinks — receive raw
+//!    batches at flush time, exactly like the single-threaded engine.
+//! 2. **Parallel execution on the pool.** One job per shard runs on a
+//!    **persistent worker pool**: long-lived threads spawn on the first
+//!    parallel flush, park on condvar inboxes between flushes, and wake
+//!    per flush (spawns and wakeups are counted —
+//!    [`types::work::WorkSnapshot::pool_spawns`] stays flat after
+//!    warmup). Round-robin units walk the stream's **stateless prefix**
+//!    ([`network::QueryNetwork::stateless_prefix`]). Keyed units run the
+//!    **keyed plan** ([`network::QueryNetwork::keyed_plan`]): the
+//!    stateless prefix *plus every downstream stateful operator keyed
+//!    compatibly with the partition key* — joins whose both sides are
+//!    partitioned by their join keys, aggregates grouping by the key,
+//!    with the key's column position tracked through filters,
+//!    projections, and fused chains. Stateful members execute through a
+//!    `&self` kernel ([`ops::KeyedKernel`]) against **per-shard state
+//!    partitions** (equal keys share a shard, so each partition is the
+//!    single-threaded state restricted to its keys), close windows
+//!    per-shard against the flush's merged watermark, and absorb
+//!    filtered input **through the selection vector** (no densify;
+//!    counted by
+//!    [`types::work::WorkSnapshot::selection_pushdown_rows`]). Each
+//!    shard's job is a mini node loop mirroring the engine's own pass,
+//!    and workers inherit the dispatching thread's columnar kill switch.
+//! 3. **Deterministic merge — past the stateful operators.** The merge
+//!    barrier sits at the keyed plan's *exits* (the first
+//!    shard-incompatible node or sink), not in front of every join and
+//!    aggregate. Exit outputs merge per `(producing node, entry path)`:
+//!    row outputs interleave by sequence tag
+//!    ([`types::TupleBatch::interleave_tagged`] — join fan-out repeats
+//!    its probe row's tag, preserving shard-local partner order), and
+//!    window closes merge their per-shard sorted runs by
+//!    [`types::EmitKey`] `(window start, group)`. Merged batches dispatch
+//!    in ascending order exactly when the control loop's pass reaches
+//!    each producer, reproducing the single-threaded arrival interleaving
+//!    at every out-of-plan queue.
 //!
-//! **Determinism argument.** Stateless operators are row-local and
-//! order-preserving, so a prefix's output over any sub-batch is the
-//! sub-batch's row sequence filtered and mapped; interleaving shard
-//! outputs by pre-partition row index therefore reconstructs exactly the
-//! row sequence the single-threaded operator emits for the whole batch
-//! (for time-sorted feeds this order coincides with event timestamp,
-//! tie-broken by per-shard arrival sequence). Dispatching merged batches
-//! in ascending `(node id, source batch)` order reproduces the
-//! single-threaded node loop's dispatch order at every exit queue, and
-//! per-shard watermarks fold into the engine watermark by maximum before
-//! any stateful operator observes it. Output sequences are hence
+//! **Determinism argument.** Hash partitioning sends every pair of rows a
+//! keyed stateful operator must combine (equal join keys, equal group
+//! keys) to the same shard, so per-shard operator state evolves exactly
+//! as the single-threaded state restricted to that shard's keys; shard
+//! jobs process sub-batches in source order through the same node-loop
+//! schedule the control thread uses, against the same merged watermark.
+//! Join outputs ordered by probe-row tag and window closes ordered by the
+//! `(window start, group)` emission comparator therefore reassemble the
+//! exact single-threaded output sequences. Output sequences are hence
 //! **bit-identical to the single-threaded engine regardless of shard
-//! count** — pinned by the `shard_count_invariance` property (all plan
-//! shapes × batch caps 1/7/64/1024 × shard counts 1/2/4/8, both partition
-//! modes) and a 100-seed concurrency soak in `tests/shard_exec.rs`.
+//! count** — pinned by the `shard_count_invariance` *and*
+//! `keyed_stateful_shard_invariance` properties (stateless and
+//! keyed-stateful plan shapes × batch caps 1/7/64/1024 × shard counts
+//! 1/2/4/8 × both partition modes, strict sequence equality) and a
+//! 100-seed concurrency soak in `tests/shard_exec.rs`.
 //!
 //! Per-shard load is observable ([`engine::DsmsEngine::shard_stats`],
 //! [`engine::StreamStats::shard_rows`], the `shard_batches` /
-//! `shard_merge_rows` work counters) and aggregates into the same
-//! per-node totals the measured cost model reads, so
-//! [`cost::CostModel::measured`] prices a query's full multi-core load;
-//! the admission auction compares it against
+//! `shard_merge_rows` / `keyed_shard_rows` work counters) and aggregates
+//! into the same per-node totals the measured cost model reads, so
+//! [`cost::CostModel::measured`] prices a query's full multi-core load —
+//! including the keyed stateful fraction, which now genuinely runs on the
+//! shards — and the admission auction compares it against
 //! [`cost::effective_capacity`] — `shards × per-core capacity`.
 //!
 //! ## Example: shared batched processing end to end

@@ -164,6 +164,74 @@ pub struct StreamPrefix {
     pub direct: Vec<Target>,
 }
 
+/// One node of the multi-stream **keyed plan** (see
+/// [`QueryNetwork::keyed_plan`]).
+#[derive(Clone, Debug)]
+pub struct KeyedNode {
+    /// The physical node.
+    pub id: NodeId,
+    /// Whether the node is a keyed *stateful* operator (join, aggregate)
+    /// running with per-shard state partitions; stateless plan members run
+    /// their ordinary shard kernels.
+    pub stateful: bool,
+    /// Downstream consumers *inside* the plan, as
+    /// `(index into [`KeyedPlan::nodes`], input port)` pairs, in the
+    /// node's `downstream` order.
+    pub internal: Vec<(usize, usize)>,
+    /// Downstream consumers *outside* the plan — sinks and
+    /// shard-incompatible nodes, in `downstream` order. These are the
+    /// **merge points**: the deterministic merge relocates here, past
+    /// every keyed join and aggregate of the plan.
+    pub exits: Vec<Target>,
+}
+
+/// One hash-partitioned source stream of a keyed plan.
+#[derive(Clone, Debug)]
+pub struct KeyedRoot {
+    /// The stream name.
+    pub stream: String,
+    /// The stream's shard-key column.
+    pub key: usize,
+    /// Plan members fed directly by the stream, as
+    /// `(index into [`KeyedPlan::nodes`], input port)` pairs.
+    pub targets: Vec<(usize, usize)>,
+    /// Stream subscribers outside the plan (shard-incompatible nodes,
+    /// sinks): routed whole at flush time, exactly like the
+    /// single-threaded path.
+    pub direct: Vec<Target>,
+}
+
+/// The maximal subgraph the shard executor can run *inside* the worker
+/// shards when streams are hash-partitioned on shard keys: every stateless
+/// single-input operator reachable from a keyed stream, **plus every
+/// downstream stateful operator keyed compatibly with the partition key**
+/// — joins whose both sides are partitioned by their join keys, aggregates
+/// whose group-by column is the partition key (equal keys already share a
+/// shard, so per-shard operator state is exact). Computed across *all*
+/// keyed streams at once, because a join couples two streams' prefixes.
+///
+/// The deterministic merge happens at the plan's exits — the first
+/// shard-incompatible node or sink past each member — instead of in front
+/// of every stateful operator.
+#[derive(Clone, Debug, Default)]
+pub struct KeyedPlan {
+    /// Plan members in ascending id order (a topological order: edges
+    /// ascend, and a member's producers are members or roots).
+    pub nodes: Vec<KeyedNode>,
+    /// One entry per keyed stream, sorted by stream name.
+    pub roots: Vec<KeyedRoot>,
+    /// Whether any member is stateful — if so, every flush that advances
+    /// the watermark must run a window-close pass on every shard.
+    pub has_stateful: bool,
+}
+
+impl KeyedPlan {
+    /// The root feeding `stream`, if the plan covers it.
+    pub fn root_of(&self, stream: &str) -> Option<usize> {
+        self.roots.iter().position(|r| r.stream == stream)
+    }
+}
+
 /// The shared operator network (see module docs).
 pub struct QueryNetwork {
     streams: HashMap<String, Arc<Schema>>,
@@ -240,14 +308,26 @@ impl QueryNetwork {
 
     /// Sets the worker-shard count. Shard count 1 compiles down to the
     /// single-threaded engine path; higher counts run each stream's
-    /// stateless prefix on that many worker threads with a deterministic
-    /// merge at the exits (see [`QueryNetwork::stateless_prefix`]).
+    /// shardable prefix on that many worker threads with a deterministic
+    /// merge at the exits (see [`QueryNetwork::stateless_prefix`] and
+    /// [`QueryNetwork::keyed_plan`]).
+    ///
+    /// Live stateful operators re-partition their keyed state to match
+    /// ([`crate::ops::Operator::set_partitions`]): a key's tuples move
+    /// whole, in order, to the partition the key hashes to, so the change
+    /// is invisible in the outputs.
     ///
     /// # Panics
     /// Panics when `n == 0`.
     pub fn set_shards(&mut self, n: usize) {
         assert!(n > 0, "shard count must be positive");
+        if n == self.shards {
+            return;
+        }
         self.shards = n;
+        for node in self.nodes.iter_mut().flatten() {
+            node.op.set_partitions(n);
+        }
     }
 
     /// Registers an input stream. Re-registering with the same schema is a
@@ -448,7 +528,16 @@ impl QueryNetwork {
         }
     }
 
-    fn new_node(&mut self, op: Box<dyn Operator>, signature: String, kind: &'static str) -> NodeId {
+    fn new_node(
+        &mut self,
+        mut op: Box<dyn Operator>,
+        signature: String,
+        kind: &'static str,
+    ) -> NodeId {
+        // Stateful operators partition their keyed state per shard from
+        // birth, so shard workers and the control thread agree on where a
+        // key's state lives.
+        op.set_partitions(self.shards);
         let id = NodeId(self.nodes.len() as u32);
         self.by_signature.insert(signature.clone(), id);
         self.nodes.push(Some(Node {
@@ -715,6 +804,146 @@ impl QueryNetwork {
             nodes,
             roots,
             direct,
+        }
+    }
+
+    /// Computes the multi-stream [`KeyedPlan`] for the given per-stream
+    /// shard keys (see the type docs for the membership rule).
+    ///
+    /// Key positions are tracked through the plan: filters pass the key
+    /// through, projections keep it only where an output column is exactly
+    /// the key column, fused chains thread it stage by stage, joins carry
+    /// it at the left key's position, aggregates at the group column. A
+    /// node joins the plan only when **every** producer is a keyed stream
+    /// or an in-plan node, and — for stateful nodes — when
+    /// [`crate::ops::Operator::keyed_out`] accepts the producers' key
+    /// positions.
+    pub fn keyed_plan(&self, shard_keys: &HashMap<String, usize>) -> KeyedPlan {
+        // Upstream view: producers per node, per port. (The network stores
+        // downstream edges; invert them once.)
+        enum Src {
+            Stream(String),
+            Node(NodeId),
+        }
+        let mut in_edges: HashMap<NodeId, Vec<(usize, Src)>> = HashMap::new();
+        for (stream, subs) in &self.source_subs {
+            for t in subs {
+                if let Target::Node(id, port) = t {
+                    in_edges
+                        .entry(*id)
+                        .or_default()
+                        .push((*port, Src::Stream(stream.clone())));
+                }
+            }
+        }
+        for id in self.node_ids() {
+            for t in &self.node(id).expect("live node").downstream {
+                if let Target::Node(d, port) = t {
+                    in_edges.entry(*d).or_default().push((*port, Src::Node(id)));
+                }
+            }
+        }
+
+        // Membership + key tracking, ascending id order (producers always
+        // have smaller ids, so one pass suffices). `members[id]` holds the
+        // member's output key position (`None` = key lost; stateless
+        // members stay shardable either way).
+        let mut members: HashMap<NodeId, Option<usize>> = HashMap::new();
+        let mut order: Vec<NodeId> = Vec::new();
+        for id in self.node_ids() {
+            let Some(edges) = in_edges.get(&id) else {
+                continue;
+            };
+            let node = self.node(id).expect("live node");
+            let num_ports = edges.iter().map(|(p, _)| p + 1).max().unwrap_or(0);
+            let mut in_keys: Vec<Option<usize>> = vec![None; num_ports];
+            let mut all_covered = true;
+            for (port, src) in edges {
+                let key = match src {
+                    Src::Stream(s) => match shard_keys.get(s) {
+                        Some(&k) => Some(k),
+                        None => {
+                            all_covered = false;
+                            break;
+                        }
+                    },
+                    Src::Node(p) => match members.get(p) {
+                        Some(&k) => k,
+                        None => {
+                            all_covered = false;
+                            break;
+                        }
+                    },
+                };
+                in_keys[*port] = key;
+            }
+            if !all_covered {
+                continue;
+            }
+            let key_out = node.op.keyed_out(&in_keys);
+            let stateless = node.op.shard_kernel().is_some();
+            let keyed_stateful = !stateless && node.op.keyed_kernel().is_some();
+            if stateless || (keyed_stateful && key_out.is_some()) {
+                members.insert(id, key_out);
+                order.push(id);
+            }
+        }
+
+        // Second pass: split downstream edges into internal edges and
+        // exits (the merge points).
+        let index_of = |id: NodeId| order.binary_search(&id).ok();
+        let nodes: Vec<KeyedNode> = order
+            .iter()
+            .map(|&id| {
+                let node = self.node(id).expect("plan node is live");
+                let mut internal = Vec::new();
+                let mut exits = Vec::new();
+                for &t in &node.downstream {
+                    match t {
+                        Target::Node(d, port) if index_of(d).is_some() => {
+                            internal.push((index_of(d).expect("member"), port));
+                        }
+                        other => exits.push(other),
+                    }
+                }
+                KeyedNode {
+                    id,
+                    stateful: node.op.shard_kernel().is_none(),
+                    internal,
+                    exits,
+                }
+            })
+            .collect();
+        let mut streams: Vec<&String> = shard_keys.keys().collect();
+        streams.sort();
+        let roots: Vec<KeyedRoot> = streams
+            .into_iter()
+            .filter(|s| self.streams.contains_key(*s))
+            .map(|stream| {
+                let subs = self.stream_subscribers(stream);
+                let mut targets = Vec::new();
+                let mut direct = Vec::new();
+                for &t in subs {
+                    match t {
+                        Target::Node(d, port) if index_of(d).is_some() => {
+                            targets.push((index_of(d).expect("member"), port));
+                        }
+                        other => direct.push(other),
+                    }
+                }
+                KeyedRoot {
+                    stream: stream.clone(),
+                    key: shard_keys[stream],
+                    targets,
+                    direct,
+                }
+            })
+            .collect();
+        let has_stateful = nodes.iter().any(|n| n.stateful);
+        KeyedPlan {
+            nodes,
+            roots,
+            has_stateful,
         }
     }
 
@@ -1043,6 +1272,132 @@ mod tests {
         let prefix = n.stateless_prefix("quotes");
         assert!(prefix.nodes.is_empty(), "a join is a merge barrier");
         assert_eq!(prefix.direct.len(), 1, "the join subscribes raw");
+    }
+
+    fn keys(pairs: &[(&str, usize)]) -> HashMap<String, usize> {
+        pairs.iter().map(|(s, c)| (s.to_string(), *c)).collect()
+    }
+
+    #[test]
+    fn keyed_plan_extends_past_compatible_aggregates() {
+        let mut n = network_with_quotes();
+        let q = n
+            .add_query(
+                high_price_filter()
+                    .aggregate(Some(0), AggFunc::Count, 0, 100)
+                    .filter(Expr::col(2).gt(Expr::lit(Value::Int(1)))),
+            )
+            .unwrap();
+        let plan = n.keyed_plan(&keys(&[("quotes", 0)]));
+        assert_eq!(
+            plan.nodes.len(),
+            3,
+            "filter, keyed aggregate, and post-aggregate filter all shard"
+        );
+        assert!(plan.has_stateful);
+        let agg = plan
+            .nodes
+            .iter()
+            .find(|kn| n.node(kn.id).unwrap().kind == "aggregate")
+            .unwrap();
+        assert!(agg.stateful);
+        assert!(agg.exits.is_empty(), "the merge moved past the aggregate");
+        let last = plan.nodes.last().unwrap();
+        assert_eq!(
+            last.exits,
+            vec![Target::Sink(q)],
+            "the sink is the merge point"
+        );
+        assert_eq!(plan.roots.len(), 1);
+        assert_eq!(plan.roots[0].key, 0);
+    }
+
+    #[test]
+    fn keyed_plan_stops_at_incompatible_group_keys() {
+        let mut n = network_with_quotes();
+        // Grouping by a column that is *not* the shard key: the aggregate
+        // must stay a merge barrier (its groups span shards).
+        n.add_query(high_price_filter().aggregate(None, AggFunc::Count, 0, 100))
+            .unwrap();
+        let plan = n.keyed_plan(&keys(&[("quotes", 0)]));
+        assert_eq!(plan.nodes.len(), 1, "only the filter shards");
+        assert!(!plan.has_stateful);
+        let filter = &plan.nodes[0];
+        assert_eq!(filter.exits.len(), 1, "the aggregate is an exit");
+    }
+
+    #[test]
+    fn keyed_plan_includes_joins_keyed_on_both_shard_keys() {
+        let mut n = network_with_quotes();
+        n.register_stream(
+            "news",
+            Schema::new(vec![
+                Field::new("symbol", DataType::Str),
+                Field::new("headline", DataType::Str),
+            ]),
+        );
+        let join = high_price_filter().join(LogicalPlan::source("news"), 0, 0, 100);
+        let q = n.add_query(join).unwrap();
+        // Both streams keyed on the join keys: the join runs in-shard.
+        let plan = n.keyed_plan(&keys(&[("quotes", 0), ("news", 0)]));
+        assert_eq!(plan.nodes.len(), 2, "filter + join");
+        assert!(plan.has_stateful);
+        let join_node = plan.nodes.last().unwrap();
+        assert!(join_node.stateful);
+        assert_eq!(join_node.exits, vec![Target::Sink(q)]);
+        assert_eq!(plan.roots.len(), 2, "both streams are keyed roots");
+        // The news root feeds the join's port 1 directly.
+        let news_root = &plan.roots[plan.root_of("news").unwrap()];
+        assert_eq!(news_root.targets.len(), 1);
+        assert_eq!(news_root.targets[0].1, 1, "news feeds the right port");
+
+        // With only one stream keyed, the join is a barrier again.
+        let half = n.keyed_plan(&keys(&[("quotes", 0)]));
+        assert_eq!(half.nodes.len(), 1, "just the quotes filter");
+        assert!(!half.has_stateful);
+    }
+
+    #[test]
+    fn keyed_plan_tracks_key_position_through_projections() {
+        let mut n = network_with_quotes();
+        // The projection moves symbol to column 1; grouping by column 1
+        // downstream is therefore keyed-compatible.
+        n.add_query(
+            LogicalPlan::source("quotes")
+                .project(vec![
+                    ("price".to_string(), Expr::col(1)),
+                    ("symbol".to_string(), Expr::col(0)),
+                ])
+                .aggregate(Some(1), AggFunc::Count, 0, 100),
+        )
+        .unwrap();
+        let plan = n.keyed_plan(&keys(&[("quotes", 0)]));
+        assert!(
+            plan.has_stateful,
+            "key tracked to column 1 through the project"
+        );
+
+        // A projection that *drops* the key severs the keyed chain.
+        let mut n2 = network_with_quotes();
+        n2.add_query(
+            LogicalPlan::source("quotes")
+                .project(vec![("price".to_string(), Expr::col(1))])
+                .aggregate(None, AggFunc::Count, 0, 100),
+        )
+        .unwrap();
+        let plan2 = n2.keyed_plan(&keys(&[("quotes", 0)]));
+        assert!(!plan2.has_stateful, "dropped key keeps the merge barrier");
+    }
+
+    #[test]
+    fn keyed_plan_is_empty_without_shard_keys() {
+        let mut n = network_with_quotes();
+        n.add_query(high_price_filter().aggregate(Some(0), AggFunc::Count, 0, 100))
+            .unwrap();
+        let plan = n.keyed_plan(&HashMap::new());
+        assert!(plan.nodes.is_empty());
+        assert!(plan.roots.is_empty());
+        assert!(!plan.has_stateful);
     }
 
     #[test]

@@ -21,12 +21,12 @@
 
 use crate::expr::{Expr, Validity};
 use crate::plan::AggFunc;
-use crate::types::{Column, Schema, Tuple, TupleBatch, Value};
+use crate::types::{Column, EmitKey, Schema, Tuple, TupleBatch, Value};
 use std::cell::Cell;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 thread_local! {
     /// Whether stateless operators use the columnar kernels (default) or
@@ -59,6 +59,36 @@ pub fn with_columnar_kernels<R>(enabled: bool, f: impl FnOnce() -> R) -> R {
     let _restore = Restore(columnar_kernels_enabled());
     set_columnar_kernels(enabled);
     f()
+}
+
+/// The deterministic (FNV-1a) hash the shard partitioner and the
+/// partitioned operator state share — stable across runs and platforms,
+/// unlike the std hasher, so shard assignment is replayable and a key's
+/// state partition always matches the shard its rows hash to.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The shard of one key cell read straight off a typed column (the
+/// ingestion partitioner's hot path; byte-encoding identical to
+/// [`Key::shard_of`]).
+pub(crate) fn shard_of_cell(col: &Column, i: usize, shards: usize) -> usize {
+    let h = match col {
+        Column::Bool(v) => fnv1a(&[u8::from(v[i])]),
+        Column::Int(v) => fnv1a(&v[i].to_le_bytes()),
+        Column::Str(v) => fnv1a(v[i].as_bytes()),
+        Column::Float(_) => {
+            // `set_shard_key` rejects float columns before any run.
+            debug_assert!(false, "float shard key escaped validation");
+            0
+        }
+    };
+    (h % shards as u64) as usize
 }
 
 /// A hashable key for joins and group-by (floats are rejected at plan
@@ -103,6 +133,19 @@ impl Key {
             Key::Str(s) => Value::Str(s.clone()),
         }
     }
+
+    /// The shard this key's rows — and therefore its operator state —
+    /// live on under hash partitioning (byte-encoding identical to
+    /// `shard_of_cell`, so partitioned state and partitioned rows can
+    /// never disagree).
+    pub fn shard_of(&self, shards: usize) -> usize {
+        let h = match self {
+            Key::Bool(b) => fnv1a(&[u8::from(*b)]),
+            Key::Int(i) => fnv1a(&i.to_le_bytes()),
+            Key::Str(s) => fnv1a(s.as_bytes()),
+        };
+        (h % shards as u64) as usize
+    }
 }
 
 /// A physical streaming operator over tuple batches.
@@ -140,9 +183,48 @@ pub trait Operator: std::fmt::Debug + Send {
     /// The operator's shard-parallel kernel, when it has one. Stateless
     /// single-input operators (filter, project, fused chains) return
     /// `Some`; stateful and multi-input operators return `None` and act as
-    /// merge barriers for the shard-per-stream executor.
+    /// merge barriers for the shard-per-stream executor — unless they are
+    /// keyed compatibly with the partition key (see
+    /// [`Operator::keyed_kernel`]).
     fn shard_kernel(&self) -> Option<&dyn ShardKernel> {
         None
+    }
+
+    /// The operator's **keyed** shard kernel — per-shard partitioned state
+    /// behind `&self` — when it has one (joins and aggregates). Whether it
+    /// may actually run inside the shards for a given plan is decided by
+    /// [`Operator::keyed_out`].
+    fn keyed_kernel(&self) -> Option<&dyn KeyedKernel> {
+        None
+    }
+
+    /// Key propagation for keyed stateful sharding: given the column
+    /// position of the partition key in each input port's rows (`None` =
+    /// unknown / lost), returns the position of the partition key in this
+    /// operator's *output* rows when the operator can execute partitioned
+    /// by that key — i.e. when rows it must combine are guaranteed to
+    /// share a shard:
+    ///
+    /// * stateless operators always can (they combine nothing); they
+    ///   return where the key column survives to, or `None` when a
+    ///   projection drops it (downstream stateful operators then fall back
+    ///   to the merge barrier);
+    /// * a join can when each side's join key *is* that side's partition
+    ///   key (equal keys already share a shard);
+    /// * an aggregate can when its group-by column is the partition key;
+    /// * unions and everything else return `None` — a merge barrier.
+    fn keyed_out(&self, in_keys: &[Option<usize>]) -> Option<usize> {
+        let _ = in_keys;
+        None
+    }
+
+    /// Re-partitions internal operator state across `n` shards (default:
+    /// stateless operators have nothing to do). Keyed state moves whole —
+    /// a key's tuples stay in arrival order — into the partition its key
+    /// hashes to ([`Key::shard_of`]), so state location always matches row
+    /// routing regardless of when the shard count changed.
+    fn set_partitions(&mut self, n: usize) {
+        let _ = n;
     }
 }
 
@@ -165,6 +247,51 @@ pub trait ShardKernel: Send + Sync {
     /// including honoring the calling thread's columnar-kernel switch
     /// ([`set_columnar_kernels`]).
     fn process_traced(&self, batch: TupleBatch, traced: bool) -> (TupleBatch, RowTrace);
+
+    /// Selection-vector pushdown: refines `sel` (batch-row indices; `None`
+    /// = all rows) over `batch` **without materializing survivors**, for
+    /// consumers that can absorb a deferred selection (keyed joins and
+    /// aggregates, further filters). Returns `None` when the operator
+    /// cannot run selection-deferred (projections rewrite columns), in
+    /// which case the caller densifies as usual. Only pure-filter kernels
+    /// running columnar implement this — the row fallback keeps its
+    /// per-row reference semantics.
+    fn refine_selection(&self, batch: &TupleBatch, sel: Option<&[u32]>) -> Option<Vec<u32>> {
+        let _ = (batch, sel);
+        None
+    }
+}
+
+/// A keyed stateful operator the shard executor can run *inside* the
+/// shards: state is split into per-shard partitions behind `&self`
+/// (uncontended `Mutex`es — a partition is only ever touched by its own
+/// shard during a flush), so the merge barrier moves past the operator.
+///
+/// Correctness rests on the partition-key contract checked by
+/// [`Operator::keyed_out`]: every pair of rows the operator must combine
+/// (equal join keys, equal group keys) shares a shard under hash
+/// partitioning, so per-shard state observes exactly the single-threaded
+/// state restricted to its keys.
+pub trait KeyedKernel: Send + Sync {
+    /// Absorbs one input batch (restricted to `sel` when a deferred
+    /// selection is pushed down) into shard `shard`'s state partition,
+    /// returning the rows emitted inline (join matches; empty for
+    /// aggregates) plus, per output row, the *batch-row index* that
+    /// produced it — non-decreasing, repeating for join fan-out — so the
+    /// caller can compose merge tags.
+    fn process_keyed(
+        &self,
+        shard: usize,
+        port: usize,
+        batch: &TupleBatch,
+        sel: Option<&[u32]>,
+    ) -> (TupleBatch, Vec<u32>);
+
+    /// Advances shard `shard`'s watermark: evicts expired state and emits
+    /// closed windows as a batch sorted by [`EmitKey`] (the single-threaded
+    /// emission comparator), tagged for the deterministic cross-shard
+    /// merge. `None` when nothing closes.
+    fn advance_keyed(&self, shard: usize, watermark: u64) -> Option<(TupleBatch, Vec<EmitKey>)>;
 }
 
 /// Columnar projection kernel plus survivor trace: evaluates `exprs` over
@@ -284,11 +411,20 @@ impl Operator for FilterOp {
     fn shard_kernel(&self) -> Option<&dyn ShardKernel> {
         Some(self)
     }
+
+    fn keyed_out(&self, in_keys: &[Option<usize>]) -> Option<usize> {
+        // Pass-through schema: the key column survives in place.
+        in_keys.first().copied().flatten()
+    }
 }
 
 impl ShardKernel for FilterOp {
     fn process_traced(&self, batch: TupleBatch, traced: bool) -> (TupleBatch, RowTrace) {
         self.apply(batch, traced)
+    }
+
+    fn refine_selection(&self, batch: &TupleBatch, sel: Option<&[u32]>) -> Option<Vec<u32>> {
+        columnar_kernels_enabled().then(|| self.predicate.filter_indices(batch, sel))
     }
 }
 
@@ -359,6 +495,12 @@ impl Operator for ProjectOp {
 
     fn shard_kernel(&self) -> Option<&dyn ShardKernel> {
         Some(self)
+    }
+
+    fn keyed_out(&self, in_keys: &[Option<usize>]) -> Option<usize> {
+        // The key survives wherever an output column is exactly `Col(key)`.
+        let key = in_keys.first().copied().flatten()?;
+        self.exprs.iter().position(|e| e.as_col() == Some(key))
     }
 }
 
@@ -622,11 +764,108 @@ impl Operator for FusedOp {
     fn shard_kernel(&self) -> Option<&dyn ShardKernel> {
         Some(self)
     }
+
+    fn keyed_out(&self, in_keys: &[Option<usize>]) -> Option<usize> {
+        // Thread the key position through the composed stages: filters
+        // keep it in place, projections keep it only where an output
+        // column is exactly `Col(key)`.
+        let mut key = in_keys.first().copied().flatten()?;
+        for (stage, _, _) in &self.stages {
+            match stage {
+                FusedStage::Filter(_) => {}
+                FusedStage::Project(exprs, _) => {
+                    key = exprs.iter().position(|e| e.as_col() == Some(key))?;
+                }
+            }
+        }
+        Some(key)
+    }
 }
 
 impl ShardKernel for FusedOp {
     fn process_traced(&self, batch: TupleBatch, traced: bool) -> (TupleBatch, RowTrace) {
         self.apply(batch, traced)
+    }
+
+    fn refine_selection(&self, batch: &TupleBatch, sel: Option<&[u32]>) -> Option<Vec<u32>> {
+        // Only a pure-filter chain can stay selection-deferred; stage
+        // composition folds adjacent filters, so that is exactly the
+        // single composed-Filter case.
+        if !columnar_kernels_enabled() || self.stages.len() != 1 {
+            return None;
+        }
+        let (FusedStage::Filter(predicate), _, entered) = &self.stages[0] else {
+            return None;
+        };
+        entered.fetch_add(
+            sel.map_or(batch.len(), <[u32]>::len) as u64,
+            Ordering::Relaxed,
+        );
+        Some(predicate.filter_indices(batch, sel))
+    }
+}
+
+/// One shard partition of a [`JoinOp`]'s state: a per-key FIFO of recent
+/// tuples on each side. Equal keys always live in one partition
+/// ([`Key::shard_of`]), so a partition is the full single-threaded state
+/// restricted to its keys.
+#[derive(Debug, Default)]
+struct JoinPart {
+    left: HashMap<Key, VecDeque<Tuple>>,
+    right: HashMap<Key, VecDeque<Tuple>>,
+    len: usize,
+}
+
+impl JoinPart {
+    /// Probes the opposite side for one arriving tuple, appends its
+    /// matches, and inserts the tuple into its own side's state.
+    fn probe_insert(
+        &mut self,
+        port: usize,
+        key: Key,
+        tuple: Tuple,
+        window_ms: u64,
+        matches: &mut TupleBatch,
+    ) -> usize {
+        let (own_state, other_state, is_left) = match port {
+            0 => (&mut self.left, &self.right, true),
+            _ => (&mut self.right, &self.left, false),
+        };
+        let before = matches.len();
+        if let Some(partners) = other_state.get(&key) {
+            for partner in partners {
+                if tuple.ts.abs_diff(partner.ts) <= window_ms {
+                    if is_left {
+                        JoinOp::emit_match(&tuple, partner, matches);
+                    } else {
+                        JoinOp::emit_match(partner, &tuple, matches);
+                    }
+                }
+            }
+        }
+        own_state.entry(key).or_default().push_back(tuple);
+        self.len += 1;
+        matches.len() - before
+    }
+
+    /// Evicts state older than the watermark horizon.
+    fn evict(&mut self, horizon: u64) {
+        let mut evicted = 0usize;
+        for state in [&mut self.left, &mut self.right] {
+            state.retain(|_, q| {
+                while q.front().is_some_and(|t| t.ts < horizon) {
+                    q.pop_front();
+                    evicted += 1;
+                }
+                !q.is_empty()
+            });
+        }
+        debug_assert!(
+            evicted <= self.len,
+            "join evicted {evicted} tuples but tracked only {}",
+            self.len
+        );
+        self.len = self.len.saturating_sub(evicted);
     }
 }
 
@@ -638,15 +877,21 @@ impl ShardKernel for FusedOp {
 /// input batch). Keys are read straight from the typed key column; rows are
 /// gathered (materialized) only when they enter the join state. State is
 /// evicted lazily as the watermark advances past `ts + window_ms`.
+///
+/// State is **hash-partitioned by join key** into [`JoinOp::set_partitions`]
+/// shard slices behind uncontended `Mutex`es, so when both inputs are
+/// hash-sharded on their join keys the whole join runs inside the shard
+/// workers through the `&self` [`KeyedKernel`] — the control thread only
+/// merges. The single-threaded `&mut` path routes each row to the same
+/// partition its key hashes to, so results are identical no matter which
+/// path (or mix of paths) processed the stream.
 #[derive(Debug)]
 pub struct JoinOp {
     left_key: usize,
     right_key: usize,
     window_ms: u64,
     schema: Arc<Schema>,
-    left_state: HashMap<Key, VecDeque<Tuple>>,
-    right_state: HashMap<Key, VecDeque<Tuple>>,
-    state_len: usize,
+    parts: Vec<Mutex<JoinPart>>,
 }
 
 impl JoinOp {
@@ -658,9 +903,7 @@ impl JoinOp {
             right_key,
             window_ms,
             schema: Arc::new(schema),
-            left_state: HashMap::new(),
-            right_state: HashMap::new(),
-            state_len: 0,
+            parts: vec![Mutex::new(JoinPart::default())],
         }
     }
 
@@ -669,24 +912,24 @@ impl JoinOp {
         values.extend(right.values.iter().cloned());
         out.push(Tuple::new(left.ts.max(right.ts), values));
     }
-}
 
-impl Operator for JoinOp {
-    fn process_batch(&mut self, port: usize, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
-        let mut matches = TupleBatch::new(self.schema.clone());
-        for i in 0..batch.len() {
-            let (key_col, own_state, other_state, is_left) = match port {
-                0 => (self.left_key, &mut self.left_state, &self.right_state, true),
-                _ => (
-                    self.right_key,
-                    &mut self.right_state,
-                    &self.left_state,
-                    false,
-                ),
-            };
-            // The key comes straight off the typed column; the row itself
-            // is materialized once, because it must live in the join state.
-            let Some(key) = Key::from_column(batch.column(key_col), i) else {
+    /// Shared probe loop over `rows` (batch-row indices) of one batch:
+    /// appends matches (and, when `trace` is given, the producing batch-row
+    /// index per match) into one partition chosen per row.
+    #[allow(clippy::too_many_arguments)]
+    fn absorb_rows<'a>(
+        parts: &mut [&mut JoinPart],
+        key_col: &Column,
+        window_ms: u64,
+        port: usize,
+        batch: &TupleBatch,
+        rows: impl Iterator<Item = usize> + 'a,
+        matches: &mut TupleBatch,
+        mut trace: Option<&mut Vec<u32>>,
+    ) {
+        let n_parts = parts.len();
+        for i in rows {
+            let Some(key) = Key::from_column(key_col, i) else {
                 // Plan validation rejects float join keys before any
                 // operator is built; reaching this means the node was
                 // constructed around it. Dropping the row keeps release
@@ -694,22 +937,42 @@ impl Operator for JoinOp {
                 debug_assert!(false, "unhashable join key escaped plan validation");
                 continue;
             };
-            let tuple = batch.row(i);
-            // Probe the opposite side.
-            if let Some(partners) = other_state.get(&key) {
-                for partner in partners {
-                    if tuple.ts.abs_diff(partner.ts) <= self.window_ms {
-                        if is_left {
-                            Self::emit_match(&tuple, partner, &mut matches);
-                        } else {
-                            Self::emit_match(partner, &tuple, &mut matches);
-                        }
-                    }
-                }
+            let p = if n_parts == 1 {
+                0
+            } else {
+                key.shard_of(n_parts)
+            };
+            let emitted = parts[p].probe_insert(port, key, batch.row(i), window_ms, matches);
+            if let Some(trace) = trace.as_deref_mut() {
+                trace.extend(std::iter::repeat_n(i as u32, emitted));
             }
-            own_state.entry(key).or_default().push_back(tuple);
-            self.state_len += 1;
         }
+    }
+}
+
+impl Operator for JoinOp {
+    fn process_batch(&mut self, port: usize, batch: TupleBatch, out: &mut Vec<TupleBatch>) {
+        let key_col = batch.column(if port == 0 {
+            self.left_key
+        } else {
+            self.right_key
+        });
+        let mut matches = TupleBatch::new(self.schema.clone());
+        let mut parts: Vec<&mut JoinPart> = self
+            .parts
+            .iter_mut()
+            .map(|m| m.get_mut().expect("join partition lock poisoned"))
+            .collect();
+        Self::absorb_rows(
+            &mut parts,
+            key_col,
+            self.window_ms,
+            port,
+            &batch,
+            0..batch.len(),
+            &mut matches,
+            None,
+        );
         if !matches.is_empty() {
             out.push(matches);
         }
@@ -717,22 +980,11 @@ impl Operator for JoinOp {
 
     fn advance_watermark(&mut self, watermark: u64, _out: &mut Vec<TupleBatch>) {
         let horizon = watermark.saturating_sub(self.window_ms);
-        let mut evicted = 0usize;
-        for state in [&mut self.left_state, &mut self.right_state] {
-            state.retain(|_, q| {
-                while q.front().is_some_and(|t| t.ts < horizon) {
-                    q.pop_front();
-                    evicted += 1;
-                }
-                !q.is_empty()
-            });
+        for part in &mut self.parts {
+            part.get_mut()
+                .expect("join partition lock poisoned")
+                .evict(horizon);
         }
-        debug_assert!(
-            evicted <= self.state_len,
-            "join evicted {evicted} tuples but tracked only {}",
-            self.state_len
-        );
-        self.state_len = self.state_len.saturating_sub(evicted);
     }
 
     fn output_schema(&self) -> &Arc<Schema> {
@@ -744,7 +996,105 @@ impl Operator for JoinOp {
     }
 
     fn state_size(&self) -> usize {
-        self.state_len
+        self.parts
+            .iter()
+            .map(|p| p.lock().expect("join partition lock poisoned").len)
+            .sum()
+    }
+
+    fn keyed_kernel(&self) -> Option<&dyn KeyedKernel> {
+        Some(self)
+    }
+
+    fn keyed_out(&self, in_keys: &[Option<usize>]) -> Option<usize> {
+        // Both sides must be partitioned by their join key: equal join
+        // keys then share a shard, so every matching pair meets in one
+        // partition. The output carries the key at the left key's position
+        // (output columns are left ++ right).
+        let left = in_keys.first().copied().flatten()?;
+        let right = in_keys.get(1).copied().flatten()?;
+        (left == self.left_key && right == self.right_key).then_some(self.left_key)
+    }
+
+    fn set_partitions(&mut self, n: usize) {
+        assert!(n > 0, "partition count must be positive");
+        if n == self.parts.len() {
+            return;
+        }
+        let old: Vec<JoinPart> = std::mem::take(&mut self.parts)
+            .into_iter()
+            .map(|m| m.into_inner().expect("join partition lock poisoned"))
+            .collect();
+        let mut parts: Vec<JoinPart> = (0..n).map(|_| JoinPart::default()).collect();
+        for part in old {
+            for (side, state) in [(0usize, part.left), (1, part.right)] {
+                for (key, queue) in state {
+                    let p = if n == 1 { 0 } else { key.shard_of(n) };
+                    let target = &mut parts[p];
+                    target.len += queue.len();
+                    let slot = match side {
+                        0 => target.left.entry(key).or_default(),
+                        _ => target.right.entry(key).or_default(),
+                    };
+                    debug_assert!(slot.is_empty(), "key may live in only one partition");
+                    *slot = queue;
+                }
+            }
+        }
+        self.parts = parts.into_iter().map(Mutex::new).collect();
+    }
+}
+
+impl KeyedKernel for JoinOp {
+    fn process_keyed(
+        &self,
+        shard: usize,
+        port: usize,
+        batch: &TupleBatch,
+        sel: Option<&[u32]>,
+    ) -> (TupleBatch, Vec<u32>) {
+        let key_col = batch.column(if port == 0 {
+            self.left_key
+        } else {
+            self.right_key
+        });
+        let mut matches = TupleBatch::new(self.schema.clone());
+        let mut trace = Vec::new();
+        let mut part = self.parts[shard]
+            .lock()
+            .expect("join partition lock poisoned");
+        let mut parts: Vec<&mut JoinPart> = vec![&mut part];
+        match sel {
+            Some(sel) => Self::absorb_rows(
+                &mut parts,
+                key_col,
+                self.window_ms,
+                port,
+                batch,
+                sel.iter().map(|&i| i as usize),
+                &mut matches,
+                Some(&mut trace),
+            ),
+            None => Self::absorb_rows(
+                &mut parts,
+                key_col,
+                self.window_ms,
+                port,
+                batch,
+                0..batch.len(),
+                &mut matches,
+                Some(&mut trace),
+            ),
+        }
+        (matches, trace)
+    }
+
+    fn advance_keyed(&self, shard: usize, watermark: u64) -> Option<(TupleBatch, Vec<EmitKey>)> {
+        self.parts[shard]
+            .lock()
+            .expect("join partition lock poisoned")
+            .evict(watermark.saturating_sub(self.window_ms));
+        None
     }
 }
 
@@ -913,6 +1263,12 @@ impl AggState {
     }
 }
 
+/// One shard partition of an [`AggregateOp`]'s windowed state:
+/// `(window_start, group) → running accumulator`. A group's windows always
+/// live in one partition ([`Key::shard_of`]; ungrouped aggregates keep
+/// everything in partition 0 and never shard).
+type AggPart = HashMap<(u64, Option<Key>), AggState>;
+
 /// Windowed aggregate, optionally grouped by one column.
 ///
 /// Window starts are aligned to multiples of `slide_ms` in event time; a
@@ -920,6 +1276,15 @@ impl AggState {
 /// `start ≤ ts < start + window_ms` (one window when tumbling, i.e.
 /// `slide == window`). A window closes — and emits one tuple per group —
 /// when the watermark reaches its end. Output: `(window_end, [group], agg)`.
+///
+/// State is **hash-partitioned by group key** into per-shard `AggPart`
+/// slices, so a
+/// grouped aggregate whose group-by column is the stream's shard key runs
+/// entirely inside the shard workers through the `&self` [`KeyedKernel`]:
+/// absorption and watermark-driven window closes happen per shard, and the
+/// per-shard emission runs (each sorted by the deterministic
+/// `(window start, group)` comparator) merge back into exactly the
+/// single-threaded emission order via their [`EmitKey`] tags.
 #[derive(Debug)]
 pub struct AggregateOp {
     group_by: Option<usize>,
@@ -929,8 +1294,8 @@ pub struct AggregateOp {
     slide_ms: u64,
     schema: Arc<Schema>,
     int_input: bool,
-    /// (window_start, group) → running state.
-    state: HashMap<(u64, Option<Key>), AggState>,
+    /// Per-shard state partitions (length 1 until re-partitioned).
+    parts: Vec<Mutex<AggPart>>,
 }
 
 impl AggregateOp {
@@ -971,7 +1336,7 @@ impl AggregateOp {
             slide_ms,
             schema: Arc::new(schema),
             int_input,
-            state: HashMap::new(),
+            parts: vec![Mutex::new(AggPart::new())],
         }
     }
 
@@ -1001,27 +1366,71 @@ impl AggregateOp {
         }
     }
 
-    /// Absorbs one value into every window covering `ts`.
-    fn absorb_at(&mut self, ts: u64, group: Option<Key>, v: AggInput) {
+    /// Absorbs one value into every window of `part` covering `ts` (a
+    /// free-standing helper so callers that hold `&mut` borrows into
+    /// `self.parts` can still route rows — see `process_batch`).
+    fn absorb_at(
+        part: &mut AggPart,
+        slide_ms: u64,
+        window_ms: u64,
+        ts: u64,
+        group: Option<Key>,
+        v: AggInput,
+    ) {
         // Every window [start, start + window) with start ≤ ts < start +
         // window and start ≡ 0 (mod slide) contains this tuple.
-        let last_start = ts - ts % self.slide_ms;
+        let last_start = ts - ts % slide_ms;
         let mut start = last_start;
         loop {
-            match self.state.entry((start, group.clone())) {
+            match part.entry((start, group.clone())) {
                 Entry::Occupied(mut e) => e.get_mut().update(v),
                 Entry::Vacant(e) => {
                     e.insert(AggState::seeded(v));
                 }
             }
             // Step back one slide while the window still covers `ts`.
-            let Some(prev) = start.checked_sub(self.slide_ms) else {
+            let Some(prev) = start.checked_sub(slide_ms) else {
                 break;
             };
-            if prev + self.window_ms <= ts {
+            if prev + window_ms <= ts {
                 break;
             }
             start = prev;
+        }
+    }
+
+    /// Absorbs `rows` (batch-row indices) of one batch into `part`
+    /// (possibly a deferred selection — the pushdown path never gathers).
+    /// The caller has already routed the rows: under keyed sharding every
+    /// row of the batch belongs to this partition.
+    fn absorb_rows(
+        &self,
+        part: &mut AggPart,
+        batch: &TupleBatch,
+        input: &AggColumn<'_>,
+        rows: impl Iterator<Item = usize>,
+    ) {
+        for i in rows {
+            let group = match self.group_by {
+                Some(col) => match Key::from_column(batch.column(col), i) {
+                    Some(k) => Some(k),
+                    None => {
+                        // Plan validation rejects float group keys; see the
+                        // matching guard in `JoinOp`.
+                        debug_assert!(false, "unhashable group key escaped plan validation");
+                        continue;
+                    }
+                },
+                None => None,
+            };
+            Self::absorb_at(
+                part,
+                self.slide_ms,
+                self.window_ms,
+                batch.ts()[i],
+                group,
+                input.get(i),
+            );
         }
     }
 
@@ -1044,10 +1453,18 @@ impl AggregateOp {
         out.push(Tuple::new(end, values));
     }
 
-    fn emit_closed(&mut self, watermark: u64, out: &mut Vec<TupleBatch>) {
+    /// Drains windows of `part` closed by `watermark` — unsorted; each
+    /// caller sorts exactly once by the deterministic emission comparator
+    /// (`(window start, group debug)`, i.e. ascending [`EmitKey`]): per
+    /// shard in `advance_keyed`, globally in `emit_closed`.
+    fn drain_closed(
+        &self,
+        part: &mut AggPart,
+        watermark: u64,
+    ) -> Vec<((u64, Option<Key>), AggState)> {
         let window_ms = self.window_ms;
         let mut ready: Vec<((u64, Option<Key>), AggState)> = Vec::new();
-        self.state.retain(|key, state| {
+        part.retain(|key, state| {
             if key.0 + window_ms <= watermark {
                 ready.push((key.clone(), state.clone()));
                 false
@@ -1055,15 +1472,24 @@ impl AggregateOp {
                 true
             }
         });
+        ready
+    }
+
+    fn emit_closed(&mut self, watermark: u64, out: &mut Vec<TupleBatch>) {
+        // Drain every partition, then sort globally: identical to the
+        // unpartitioned operator's single global sort, whatever the
+        // partition count.
+        let mut ready: Vec<((u64, Option<Key>), AggState)> = Vec::new();
+        for part in &self.parts {
+            let mut part = part.lock().expect("aggregate partition lock poisoned");
+            ready.extend(self.drain_closed(&mut part, watermark));
+        }
         if ready.is_empty() {
             return;
         }
-        // Deterministic emission order: by window start, then group key.
-        ready.sort_by(|a, b| {
-            a.0 .0
-                .cmp(&b.0 .0)
-                .then_with(|| format!("{:?}", a.0 .1).cmp(&format!("{:?}", b.0 .1)))
-        });
+        // Deterministic emission order: by window start, then group key
+        // (one rendered key per element, not two per comparison).
+        ready.sort_by_cached_key(|(key, _)| (key.0, format!("{:?}", key.1)));
         let mut closed = TupleBatch::with_capacity(self.schema.clone(), ready.len());
         for (key, state) in ready {
             self.emit_window(&key, &state, &mut closed);
@@ -1078,27 +1504,47 @@ impl Operator for AggregateOp {
     fn process_batch(&mut self, _port: usize, batch: TupleBatch, _out: &mut Vec<TupleBatch>) {
         // Typed columnar absorb: the aggregated column and the group-key
         // column are resolved once per batch; the loop reads slices and
-        // never materializes a row or widens a `Value`.
+        // never materializes a row or widens a `Value`. Rows route to the
+        // partition their group key hashes to — the same partition the
+        // keyed shard path would use.
         let Some(input) = self.agg_column(&batch) else {
             return;
         };
-        let group_by = self.group_by;
+        let (slide_ms, window_ms, group_by) = (self.slide_ms, self.window_ms, self.group_by);
+        // `&mut self` owns the locks: borrow every partition once per
+        // batch instead of locking per row.
+        let mut parts: Vec<&mut AggPart> = self
+            .parts
+            .iter_mut()
+            .map(|m| m.get_mut().expect("aggregate partition lock poisoned"))
+            .collect();
+        let n_parts = parts.len();
+        let group_col = group_by.map(|col| batch.column(col));
         for i in 0..batch.len() {
-            let group = match group_by {
-                Some(col) => match Key::from_column(batch.column(col), i) {
+            let group = match group_col {
+                Some(col) => match Key::from_column(col, i) {
                     Some(k) => Some(k),
                     None => {
                         // Plan validation rejects float group keys; see the
-                        // matching guard in `JoinOp::process_batch`.
+                        // matching guard in `JoinOp`.
                         debug_assert!(false, "unhashable group key escaped plan validation");
                         continue;
                     }
                 },
                 None => None,
             };
-            let ts = batch.ts()[i];
-            let v = input.get(i);
-            self.absorb_at(ts, group, v);
+            let p = match group_col {
+                Some(col) if n_parts > 1 => shard_of_cell(col, i, n_parts),
+                _ => 0,
+            };
+            Self::absorb_at(
+                parts[p],
+                slide_ms,
+                window_ms,
+                batch.ts()[i],
+                group,
+                input.get(i),
+            );
         }
     }
 
@@ -1119,7 +1565,104 @@ impl Operator for AggregateOp {
     }
 
     fn state_size(&self) -> usize {
-        self.state.len()
+        self.parts
+            .iter()
+            .map(|p| p.lock().expect("aggregate partition lock poisoned").len())
+            .sum()
+    }
+
+    fn keyed_kernel(&self) -> Option<&dyn KeyedKernel> {
+        Some(self)
+    }
+
+    fn keyed_out(&self, in_keys: &[Option<usize>]) -> Option<usize> {
+        // The group-by column must *be* the partition key: equal groups
+        // then share a shard. The output carries the group (= key) in
+        // column 1: (window_end, group, agg).
+        let key = in_keys.first().copied().flatten()?;
+        (self.group_by == Some(key)).then_some(1)
+    }
+
+    fn set_partitions(&mut self, n: usize) {
+        assert!(n > 0, "partition count must be positive");
+        if n == self.parts.len() {
+            return;
+        }
+        let old: Vec<AggPart> = std::mem::take(&mut self.parts)
+            .into_iter()
+            .map(|m| m.into_inner().expect("aggregate partition lock poisoned"))
+            .collect();
+        let mut parts: Vec<AggPart> = (0..n).map(|_| AggPart::new()).collect();
+        for part in old {
+            for ((start, group), state) in part {
+                // Ungrouped state lives in partition 0 (it is never
+                // keyed-sharded; partition choice just has to be stable).
+                let p = match &group {
+                    Some(k) if n > 1 => k.shard_of(n),
+                    _ => 0,
+                };
+                let prev = parts[p].insert((start, group), state);
+                debug_assert!(
+                    prev.is_none(),
+                    "window state may live in only one partition"
+                );
+            }
+        }
+        self.parts = parts.into_iter().map(Mutex::new).collect();
+    }
+}
+
+impl KeyedKernel for AggregateOp {
+    fn process_keyed(
+        &self,
+        shard: usize,
+        _port: usize,
+        batch: &TupleBatch,
+        sel: Option<&[u32]>,
+    ) -> (TupleBatch, Vec<u32>) {
+        let empty = (TupleBatch::new(self.schema.clone()), Vec::new());
+        let Some(input) = self.agg_column(batch) else {
+            return empty;
+        };
+        let mut part = self.parts[shard]
+            .lock()
+            .expect("aggregate partition lock poisoned");
+        match sel {
+            Some(sel) => {
+                self.absorb_rows(&mut part, batch, &input, sel.iter().map(|&i| i as usize))
+            }
+            None => self.absorb_rows(&mut part, batch, &input, 0..batch.len()),
+        }
+        empty
+    }
+
+    fn advance_keyed(&self, shard: usize, watermark: u64) -> Option<(TupleBatch, Vec<EmitKey>)> {
+        let ready = {
+            let mut part = self.parts[shard]
+                .lock()
+                .expect("aggregate partition lock poisoned");
+            self.drain_closed(&mut part, watermark)
+        };
+        if ready.is_empty() {
+            return None;
+        }
+        // Tag with the emission key (needed for the merge anyway), then
+        // sort by it — exactly the emission comparator `emit_closed` uses.
+        let mut tagged: Vec<(EmitKey, (u64, Option<Key>), AggState)> = ready
+            .into_iter()
+            .map(|(key, state)| ((key.0, format!("{:?}", key.1)), key, state))
+            .collect();
+        tagged.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut closed = TupleBatch::with_capacity(self.schema.clone(), tagged.len());
+        let mut keys: Vec<EmitKey> = Vec::with_capacity(tagged.len());
+        for (emit_key, key, state) in tagged {
+            let before = closed.len();
+            self.emit_window(&key, &state, &mut closed);
+            if closed.len() > before {
+                keys.push(emit_key);
+            }
+        }
+        (!closed.is_empty()).then_some((closed, keys))
     }
 }
 
@@ -1741,5 +2284,221 @@ mod tests {
             assert!(!columnar_kernels_enabled());
         });
         assert!(columnar_kernels_enabled());
+    }
+
+    #[test]
+    fn key_shard_matches_cell_shard() {
+        // The state partitioner (Key) and the row partitioner (column
+        // cell) must agree byte for byte, or keyed state would end up on
+        // the wrong shard.
+        let batch = qbatch(vec![quote(1, "IBM", 1.0), quote(2, "AAPL", 2.0)]);
+        for shards in [1usize, 2, 4, 8] {
+            for i in 0..batch.len() {
+                let key = Key::from_column(batch.column(0), i).unwrap();
+                assert_eq!(
+                    key.shard_of(shards),
+                    shard_of_cell(batch.column(0), i, shards)
+                );
+            }
+        }
+        assert_eq!(Key::Int(7).shard_of(1), 0);
+        assert_eq!(Key::Bool(true).shard_of(3), Key::Bool(true).shard_of(3));
+    }
+
+    #[test]
+    fn join_repartition_preserves_results() {
+        // Build state at 1 partition, repartition to 4, keep probing: the
+        // outputs must be exactly what an unpartitioned join produces.
+        let schema = quote_schema().join(&quote_schema());
+        let mut reference = JoinOp::new(0, 0, 50, schema.clone());
+        let mut repartitioned = JoinOp::new(0, 0, 50, schema);
+        let left = vec![quote(1, "A", 1.0), quote(2, "B", 2.0), quote(3, "A", 3.0)];
+        let right = vec![quote(4, "A", 4.0), quote(5, "B", 5.0)];
+        let mut ref_out = Vec::new();
+        let mut rep_out = Vec::new();
+        reference.process_batch(0, qbatch(left.clone()), &mut ref_out);
+        repartitioned.process_batch(0, qbatch(left), &mut rep_out);
+        repartitioned.set_partitions(4);
+        assert_eq!(repartitioned.state_size(), 3, "state survives repartition");
+        reference.process_batch(1, qbatch(right.clone()), &mut ref_out);
+        repartitioned.process_batch(1, qbatch(right), &mut rep_out);
+        assert_eq!(rows_of(&rep_out), rows_of(&ref_out));
+        // Keyed eviction through the kernel mirrors &mut eviction.
+        reference.advance_watermark(100, &mut ref_out);
+        for shard in 0..4 {
+            assert!(repartitioned.advance_keyed(shard, 100).is_none());
+        }
+        assert_eq!(repartitioned.state_size(), reference.state_size());
+    }
+
+    #[test]
+    fn keyed_join_kernel_traces_probe_rows() {
+        let schema = quote_schema().join(&quote_schema());
+        let mut j = JoinOp::new(0, 0, 50, schema);
+        j.set_partitions(2);
+        let shard_a = Key::Str(Arc::from("A")).shard_of(2);
+        // Store two A rows on A's shard, then probe with one A row: two
+        // matches, both traced to probe row 0.
+        let stored = qbatch(vec![quote(1, "A", 1.0), quote(2, "A", 2.0)]);
+        let (out, trace) = j.process_keyed(shard_a, 0, &stored, None);
+        assert!(out.is_empty() && trace.is_empty());
+        let probe = qbatch(vec![quote(3, "A", 3.0)]);
+        let (out, trace) = j.process_keyed(shard_a, 1, &probe, None);
+        assert_eq!(out.len(), 2, "probe matches both stored rows");
+        assert_eq!(trace, vec![0, 0], "join fan-out repeats the probe row");
+    }
+
+    #[test]
+    fn keyed_aggregate_emits_sorted_with_emit_keys() {
+        let schema = Schema::new(vec![
+            Field::new("window_end", DataType::Int),
+            Field::new("symbol", DataType::Str),
+            Field::new("count", DataType::Int),
+        ]);
+        let mut a = AggregateOp::new(Some(0), AggFunc::Count, 0, 100, schema, true);
+        a.set_partitions(2);
+        let shard_of = |s: &str| Key::Str(Arc::from(s)).shard_of(2);
+        let rows = vec![quote(10, "IBM", 1.0), quote(20, "IBM", 1.0)];
+        let (out, trace) = a.process_keyed(shard_of("IBM"), 0, &qbatch(rows), None);
+        assert!(
+            out.is_empty() && trace.is_empty(),
+            "aggregates emit on close"
+        );
+        let (batch, keys) = a.advance_keyed(shard_of("IBM"), 100).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(keys.len(), 1);
+        assert_eq!(keys[0].0, 0, "window start rides in the emit key");
+        assert!(keys[0].1.contains("IBM"));
+        // The other shard has nothing.
+        let other = 1 - shard_of("IBM");
+        assert!(a.advance_keyed(other, 100).is_none());
+    }
+
+    #[test]
+    fn aggregate_partitioned_control_path_equals_unpartitioned() {
+        let schema = Schema::new(vec![
+            Field::new("window_end", DataType::Int),
+            Field::new("symbol", DataType::Str),
+            Field::new("count", DataType::Int),
+        ]);
+        let rows: Vec<Tuple> = (0..40)
+            .map(|i| quote(i, ["A", "B", "C"][i as usize % 3], 1.0))
+            .collect();
+        let mut single = AggregateOp::new(Some(0), AggFunc::Count, 0, 10, schema.clone(), true);
+        let mut parted = AggregateOp::new(Some(0), AggFunc::Count, 0, 10, schema, true);
+        parted.set_partitions(4);
+        let (mut out_s, mut out_p) = (Vec::new(), Vec::new());
+        single.process_batch(0, qbatch(rows.clone()), &mut out_s);
+        parted.process_batch(0, qbatch(rows), &mut out_p);
+        single.advance_watermark(25, &mut out_s);
+        parted.advance_watermark(25, &mut out_p);
+        single.finish(&mut out_s);
+        parted.finish(&mut out_p);
+        assert_eq!(
+            rows_of(&out_p),
+            rows_of(&out_s),
+            "partition count must not change emission content or order"
+        );
+    }
+
+    #[test]
+    fn selection_pushdown_absorbs_without_densifying() {
+        // A deferred selection into an aggregate: only selected rows
+        // absorb, and no row is materialized in the process.
+        let schema = Schema::new(vec![
+            Field::new("window_end", DataType::Int),
+            Field::new("count", DataType::Int),
+        ]);
+        let a = AggregateOp::new(None, AggFunc::Count, 0, 100, schema, true);
+        let batch = qbatch(vec![
+            quote(1, "A", 1.0),
+            quote(2, "B", 2.0),
+            quote(3, "C", 3.0),
+        ]);
+        crate::types::work::reset();
+        let sel: Vec<u32> = vec![0, 2];
+        a.process_keyed(0, 0, &batch, Some(&sel));
+        assert_eq!(
+            crate::types::work::snapshot().rows_materialized,
+            0,
+            "pushdown absorb never gathers"
+        );
+        let mut parts_out = Vec::new();
+        let mut a = a;
+        a.finish(&mut parts_out);
+        assert_eq!(
+            rows_of(&parts_out)[0].values[1],
+            Value::Int(2),
+            "only the selected rows were absorbed"
+        );
+    }
+
+    #[test]
+    fn filter_refine_selection_composes() {
+        let f = FilterOp::new(
+            Expr::col(1).gt(Expr::lit(Value::Float(1.5))),
+            quote_schema(),
+        );
+        let batch = qbatch(vec![
+            quote(1, "A", 1.0),
+            quote(2, "B", 2.0),
+            quote(3, "C", 3.0),
+        ]);
+        let sel = ShardKernel::refine_selection(&f, &batch, None).unwrap();
+        assert_eq!(sel, vec![1, 2]);
+        // Refining an existing selection returns batch-level indices.
+        let narrowed = ShardKernel::refine_selection(&f, &batch, Some(&[0, 2])).unwrap();
+        assert_eq!(narrowed, vec![2]);
+        // The row fallback keeps reference semantics: no deferral.
+        with_columnar_kernels(false, || {
+            assert!(ShardKernel::refine_selection(&f, &batch, None).is_none());
+        });
+    }
+
+    #[test]
+    fn keyed_out_propagation_rules() {
+        let filter = FilterOp::new(
+            Expr::col(1).gt(Expr::lit(Value::Float(0.0))),
+            quote_schema(),
+        );
+        assert_eq!(filter.keyed_out(&[Some(0)]), Some(0));
+        assert_eq!(filter.keyed_out(&[None]), None);
+
+        let project_keeps = ProjectOp::new(
+            vec![Expr::col(1), Expr::col(0)],
+            Schema::new(vec![
+                Field::new("price", DataType::Float),
+                Field::new("symbol", DataType::Str),
+            ]),
+        );
+        assert_eq!(project_keeps.keyed_out(&[Some(0)]), Some(1));
+        let project_drops = ProjectOp::new(
+            vec![Expr::col(1)],
+            Schema::new(vec![Field::new("price", DataType::Float)]),
+        );
+        assert_eq!(project_drops.keyed_out(&[Some(0)]), None);
+
+        let join = JoinOp::new(0, 0, 10, quote_schema().join(&quote_schema()));
+        assert_eq!(join.keyed_out(&[Some(0), Some(0)]), Some(0));
+        assert_eq!(join.keyed_out(&[Some(0), Some(1)]), None);
+        assert_eq!(join.keyed_out(&[Some(0), None]), None);
+
+        let agg_schema = Schema::new(vec![
+            Field::new("window_end", DataType::Int),
+            Field::new("symbol", DataType::Str),
+            Field::new("count", DataType::Int),
+        ]);
+        let grouped = AggregateOp::new(Some(0), AggFunc::Count, 0, 10, agg_schema.clone(), true);
+        assert_eq!(grouped.keyed_out(&[Some(0)]), Some(1));
+        assert_eq!(grouped.keyed_out(&[Some(1)]), None);
+        let ungrouped = AggregateOp::new(None, AggFunc::Count, 0, 10, agg_schema, true);
+        assert_eq!(ungrouped.keyed_out(&[Some(0)]), None);
+
+        let union = UnionOp::new(quote_schema());
+        assert_eq!(
+            union.keyed_out(&[Some(0), Some(0)]),
+            None,
+            "unions stay barriers"
+        );
     }
 }

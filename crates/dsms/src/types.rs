@@ -387,14 +387,23 @@ impl Column {
 /// which is invariant under how the stream was chunked (tested property:
 /// scalar vs. batched equivalence).
 ///
+/// The row data itself is **copy-on-write**: the timestamp vector and the
+/// column list sit behind their own [`Arc`]s, so `TupleBatch::clone` is a
+/// pointer clone — `N` node consumers of one fan-out share the columns
+/// instead of paying `N−1` deep copies. Column data is copied only when a
+/// holder *mutates* a still-shared batch
+/// ([`work::WorkSnapshot::batch_deep_clones`] counts exactly those
+/// copies), which the engine's operators never do: readers read shared
+/// columns, writers build fresh batches.
+///
 /// **Invariant** (checked by `debug_assert` in every constructor and
 /// mutator): the timestamp vector and every column have the same length,
 /// and column `i`'s type equals `schema.fields[i].data_type`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TupleBatch {
     schema: Arc<Schema>,
-    ts: Vec<u64>,
-    columns: Vec<Column>,
+    ts: Arc<Vec<u64>>,
+    columns: Arc<Vec<Column>>,
 }
 
 impl TupleBatch {
@@ -415,9 +424,26 @@ impl TupleBatch {
             .collect();
         Self {
             schema,
-            ts: Vec::with_capacity(capacity),
-            columns,
+            ts: Arc::new(Vec::with_capacity(capacity)),
+            columns: Arc::new(columns),
         }
+    }
+
+    /// Mutable access to the timestamp vector — copy-on-write: still-shared
+    /// timestamps are copied first (uncounted; the aligned
+    /// [`TupleBatch::columns_mut`] call counts the batch copy once).
+    fn ts_mut(&mut self) -> &mut Vec<u64> {
+        Arc::make_mut(&mut self.ts)
+    }
+
+    /// Mutable access to the column list — copy-on-write: mutating a batch
+    /// whose columns another holder still shares copies the column data
+    /// first, counted by [`work::WorkSnapshot::batch_deep_clones`].
+    fn columns_mut(&mut self) -> &mut Vec<Column> {
+        if Arc::strong_count(&self.columns) > 1 {
+            work::count_batch_deep_clone();
+        }
+        Arc::make_mut(&mut self.columns)
     }
 
     /// A batch from row-oriented tuples (the ingestion boundary): each
@@ -433,10 +459,7 @@ impl TupleBatch {
         );
         let mut batch = Self::with_capacity(schema, rows.len());
         for t in rows {
-            batch.ts.push(t.ts);
-            for (col, v) in batch.columns.iter_mut().zip(t.values) {
-                col.push(v);
-            }
+            batch.push(t);
         }
         batch
     }
@@ -449,8 +472,8 @@ impl TupleBatch {
     pub fn from_columns(schema: Arc<Schema>, ts: Vec<u64>, columns: Vec<Column>) -> Self {
         let batch = Self {
             schema,
-            ts,
-            columns,
+            ts: Arc::new(ts),
+            columns: Arc::new(columns),
         };
         batch.debug_check_invariants();
         batch
@@ -539,7 +562,8 @@ impl TupleBatch {
         (0..self.len()).map(|i| self.row(i))
     }
 
-    /// Consumes the batch, materializing its rows.
+    /// Consumes the batch, materializing its rows. Column data still shared
+    /// with another holder (COW) is read in place, never copied.
     pub fn into_rows(self) -> Vec<Tuple> {
         work::count_rows_materialized(self.len() as u64);
         let mut rows: Vec<Tuple> = self
@@ -547,7 +571,20 @@ impl TupleBatch {
             .iter()
             .map(|&ts| Tuple::new(ts, Vec::with_capacity(self.columns.len())))
             .collect();
-        for col in self.columns {
+        let columns = match Arc::try_unwrap(self.columns) {
+            Ok(owned) => owned,
+            // Shared columns: materialize cell by cell (Str cells are
+            // Arc-shared, so even this path never copies string bytes).
+            Err(shared) => {
+                for col in shared.iter() {
+                    for (i, row) in rows.iter_mut().enumerate() {
+                        row.values.push(col.value(i));
+                    }
+                }
+                return rows;
+            }
+        };
+        for col in columns {
             match col {
                 Column::Bool(v) => {
                     for (row, b) in rows.iter_mut().zip(v) {
@@ -580,8 +617,8 @@ impl TupleBatch {
             tuple.conforms_to(&self.schema),
             "row must conform to the batch schema"
         );
-        self.ts.push(tuple.ts);
-        for (col, v) in self.columns.iter_mut().zip(tuple.values) {
+        self.ts_mut().push(tuple.ts);
+        for (col, v) in self.columns_mut().iter_mut().zip(tuple.values) {
             col.push(v);
         }
     }
@@ -603,8 +640,8 @@ impl TupleBatch {
         );
         TupleBatch {
             schema: self.schema.clone(),
-            ts: sel.iter().map(|&i| self.ts[i as usize]).collect(),
-            columns: self.columns.iter().map(|c| c.take(sel)).collect(),
+            ts: Arc::new(sel.iter().map(|&i| self.ts[i as usize]).collect()),
+            columns: Arc::new(self.columns.iter().map(|c| c.take(sel)).collect()),
         }
     }
 
@@ -613,10 +650,17 @@ impl TupleBatch {
     /// the same index, preserving the alignment invariant.
     pub fn split_off(&mut self, at: usize) -> TupleBatch {
         debug_assert!(at <= self.len(), "split index out of range");
+        let ts = Arc::new(self.ts_mut().split_off(at));
+        let columns = Arc::new(
+            self.columns_mut()
+                .iter_mut()
+                .map(|c| c.split_off(at))
+                .collect(),
+        );
         let tail = TupleBatch {
             schema: self.schema.clone(),
-            ts: self.ts.split_off(at),
-            columns: self.columns.iter_mut().map(|c| c.split_off(at)).collect(),
+            ts,
+            columns,
         };
         self.debug_check_invariants();
         tail.debug_check_invariants();
@@ -636,8 +680,12 @@ impl TupleBatch {
                 && other.schema.len() == self.schema.len(),
             "appended batch must be type-compatible"
         );
-        self.ts.extend(other.ts);
-        for (a, b) in self.columns.iter_mut().zip(other.columns) {
+        self.ts_mut().extend(other.ts.iter().copied());
+        let other_columns = match Arc::try_unwrap(other.columns) {
+            Ok(owned) => owned,
+            Err(shared) => (*shared).clone(),
+        };
+        for (a, b) in self.columns_mut().iter_mut().zip(other_columns) {
             a.append(b);
         }
         self.debug_check_invariants();
@@ -695,11 +743,97 @@ impl TupleBatch {
             order.windows(2).all(|w| w[0].0 != w[1].0),
             "sequence tags must be unique across parts"
         );
-        work::count_shard_merge_rows(total as u64);
+        let order: Vec<(u32, u32)> = order.into_iter().map(|(_, p, i)| (p, i)).collect();
+        let batches: Vec<TupleBatch> = parts.into_iter().map(|(b, _)| b).collect();
+        Some(Self::gather_parts(&batches, &order))
+    }
 
-        let schema = parts[0].0.schema.clone();
+    /// Merges shard outputs whose per-row merge tags may repeat *within* a
+    /// part — the generalization [`TupleBatch::interleave`] needs once the
+    /// merge barrier moves past keyed stateful operators:
+    ///
+    /// * a **join** emits one output row per (probe row, partner) pair, so
+    ///   several output rows of one shard share the probe row's sequence
+    ///   tag (they stay in shard-local order, which is the single-threaded
+    ///   partner order because equal keys live on one shard);
+    /// * an **aggregate window close** emits rows ordered by
+    ///   `(window start, group)` — the [`MergeTags::Emits`] keys — and the
+    ///   per-shard sorted runs merge into exactly the global emission order
+    ///   the single-threaded operator produces.
+    ///
+    /// Tags must be non-decreasing within each part and **disjoint across
+    /// parts** (hash partitioning guarantees it: a probe row, like a group,
+    /// lives on exactly one shard); ties across parts would make the order
+    /// ill-defined and are a caller bug.
+    ///
+    /// Returns `None` when every part is empty.
+    pub fn interleave_tagged(parts: Vec<(TupleBatch, MergeTags)>) -> Option<TupleBatch> {
         debug_assert!(
-            parts.iter().all(|(b, _)| {
+            parts.iter().all(|(b, t)| b.len() == t.len()),
+            "merge tags must align with part rows"
+        );
+        let mut parts: Vec<(TupleBatch, MergeTags)> =
+            parts.into_iter().filter(|(b, _)| !b.is_empty()).collect();
+        if parts.len() <= 1 {
+            return parts.pop().map(|(b, _)| b);
+        }
+        // (part, row) pairs sorted by (tag, part, row): stable within a
+        // part for repeated tags, total across parts for disjoint tags.
+        let order: Vec<(u32, u32)> = match &parts[0].1 {
+            MergeTags::Rows(_) => {
+                let mut order: Vec<(u32, u32, u32)> = Vec::new();
+                for (p, (_, tags)) in parts.iter().enumerate() {
+                    let MergeTags::Rows(rows) = tags else {
+                        debug_assert!(false, "mixed merge-tag kinds in one merge group");
+                        continue;
+                    };
+                    debug_assert!(
+                        rows.windows(2).all(|w| w[0] <= w[1]),
+                        "per-part row tags must be non-decreasing"
+                    );
+                    order.extend(
+                        rows.iter()
+                            .enumerate()
+                            .map(|(i, &s)| (s, p as u32, i as u32)),
+                    );
+                }
+                order.sort_unstable();
+                order.into_iter().map(|(_, p, i)| (p, i)).collect()
+            }
+            MergeTags::Emits(_) => {
+                let mut order: Vec<(&EmitKey, u32, u32)> = Vec::new();
+                for (p, (_, tags)) in parts.iter().enumerate() {
+                    let MergeTags::Emits(keys) = tags else {
+                        debug_assert!(false, "mixed merge-tag kinds in one merge group");
+                        continue;
+                    };
+                    debug_assert!(
+                        keys.windows(2).all(|w| w[0] <= w[1]),
+                        "per-part emit keys must be non-decreasing"
+                    );
+                    order.extend(
+                        keys.iter()
+                            .enumerate()
+                            .map(|(i, k)| (k, p as u32, i as u32)),
+                    );
+                }
+                order.sort();
+                order.into_iter().map(|(_, p, i)| (p, i)).collect()
+            }
+        };
+        let batches: Vec<TupleBatch> = parts.into_iter().map(|(b, _)| b).collect();
+        Some(Self::gather_parts(&batches, &order))
+    }
+
+    /// Gathers `(part, row)` pairs out of the part batches into one merged
+    /// batch, columnar (no row materialization). Rows crossing a shard
+    /// boundary are counted by [`work::WorkSnapshot::shard_merge_rows`].
+    fn gather_parts(parts: &[TupleBatch], order: &[(u32, u32)]) -> TupleBatch {
+        let total = order.len();
+        work::count_shard_merge_rows(total as u64);
+        let schema = parts[0].schema.clone();
+        debug_assert!(
+            parts.iter().all(|b| {
                 b.schema.len() == schema.len()
                     && b.schema
                         .fields
@@ -711,32 +845,31 @@ impl TupleBatch {
         );
         let ts: Vec<u64> = order
             .iter()
-            .map(|&(_, p, i)| parts[p as usize].0.ts[i as usize])
+            .map(|&(p, i)| parts[p as usize].ts[i as usize])
             .collect();
         let columns: Vec<Column> = (0..schema.len())
             .map(|c| {
                 let mut col = Column::with_capacity(schema.fields[c].data_type, total);
                 match &mut col {
                     Column::Bool(v) => {
-                        for &(_, p, i) in &order {
-                            v.push(parts[p as usize].0.columns[c].as_bools().unwrap()[i as usize]);
+                        for &(p, i) in order {
+                            v.push(parts[p as usize].columns[c].as_bools().unwrap()[i as usize]);
                         }
                     }
                     Column::Int(v) => {
-                        for &(_, p, i) in &order {
-                            v.push(parts[p as usize].0.columns[c].as_ints().unwrap()[i as usize]);
+                        for &(p, i) in order {
+                            v.push(parts[p as usize].columns[c].as_ints().unwrap()[i as usize]);
                         }
                     }
                     Column::Float(v) => {
-                        for &(_, p, i) in &order {
-                            v.push(parts[p as usize].0.columns[c].as_floats().unwrap()[i as usize]);
+                        for &(p, i) in order {
+                            v.push(parts[p as usize].columns[c].as_floats().unwrap()[i as usize]);
                         }
                     }
                     Column::Str(v) => {
-                        for &(_, p, i) in &order {
+                        for &(p, i) in order {
                             v.push(
-                                parts[p as usize].0.columns[c].as_strs().unwrap()[i as usize]
-                                    .clone(),
+                                parts[p as usize].columns[c].as_strs().unwrap()[i as usize].clone(),
                             );
                         }
                     }
@@ -744,7 +877,56 @@ impl TupleBatch {
                 col
             })
             .collect();
-        Some(TupleBatch::from_columns(schema, ts, columns))
+        TupleBatch::from_columns(schema, ts, columns)
+    }
+}
+
+/// The deterministic emission-order key of one window-close row:
+/// `(window start, group-key debug rendering)` — exactly the comparator the
+/// single-threaded aggregate sorts its closed windows by, so merging
+/// per-shard sorted emission runs by `EmitKey` reproduces the global
+/// single-threaded emission order bit for bit.
+pub type EmitKey = (u64, String);
+
+/// Per-row merge tags carried by shard outputs into the deterministic
+/// merge (see [`TupleBatch::interleave_tagged`]).
+#[derive(Clone, Debug)]
+pub enum MergeTags {
+    /// Pre-partition row sequence tags (hash-partitioned source rows and
+    /// anything derived from them through stateless operators and join
+    /// probes). Non-decreasing; duplicates mark join fan-out of one probe
+    /// row.
+    Rows(Vec<u32>),
+    /// Window-close emission keys (aggregate outputs and anything derived
+    /// from them). Non-decreasing within a part; disjoint across parts
+    /// because a group lives on exactly one shard.
+    Emits(Vec<EmitKey>),
+}
+
+impl MergeTags {
+    /// Number of tagged rows.
+    pub fn len(&self) -> usize {
+        match self {
+            MergeTags::Rows(v) => v.len(),
+            MergeTags::Emits(v) => v.len(),
+        }
+    }
+
+    /// True when no row is tagged.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Gathers the tags at `sel` (the survivor trace of a stateless or
+    /// join kernel applied to the tagged batch; indices may repeat for
+    /// join fan-out).
+    pub fn take(&self, sel: &[u32]) -> MergeTags {
+        match self {
+            MergeTags::Rows(v) => MergeTags::Rows(sel.iter().map(|&i| v[i as usize]).collect()),
+            MergeTags::Emits(v) => {
+                MergeTags::Emits(sel.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+        }
     }
 }
 
@@ -772,6 +954,10 @@ pub mod work {
         static BATCH_DEEP_CLONES: Cell<u64> = const { Cell::new(0) };
         static SHARD_BATCHES: Cell<u64> = const { Cell::new(0) };
         static SHARD_MERGE_ROWS: Cell<u64> = const { Cell::new(0) };
+        static KEYED_SHARD_ROWS: Cell<u64> = const { Cell::new(0) };
+        static PUSHDOWN_ROWS: Cell<u64> = const { Cell::new(0) };
+        static POOL_SPAWNS: Cell<u64> = const { Cell::new(0) };
+        static POOL_WAKEUPS: Cell<u64> = const { Cell::new(0) };
     }
 
     /// A snapshot of the current thread's work counters.
@@ -786,11 +972,11 @@ pub mod work {
         /// Columnar kernel passes (one per expression node per *batch* on
         /// the columnar path).
         pub kernel_ops: u64,
-        /// Shared batches deep-copied because a node consumer needed
-        /// ownership while another consumer — a node queue or a sink
-        /// buffer — still held the batch. Pure sink fan-out never
-        /// deep-copies; mixed fan-out costs at most one copy per node
-        /// consumer, never more than the row engine's per-target clones.
+        /// Column-data copies forced by mutating a still-shared batch —
+        /// the copy-on-write miss of the `Arc`-shared [`super::TupleBatch`]
+        /// columns. Fan-out to any mix of node and sink consumers shares
+        /// columns outright (readers never copy), so this stays 0 unless a
+        /// holder *writes* into a batch another holder still shares.
         pub batch_deep_clones: u64,
         /// Sub-batches processed on shard worker threads (0 when the
         /// engine runs single-threaded).
@@ -799,6 +985,21 @@ pub mod work {
         /// ([`super::TupleBatch::interleave`]) — 0 for round-robin batch
         /// sharding, where every source batch stays whole on one shard.
         pub shard_merge_rows: u64,
+        /// Rows absorbed by keyed **stateful** operators (joins,
+        /// aggregates) *inside* shard workers — the work the merge barrier
+        /// used to serialize on the control thread.
+        pub keyed_shard_rows: u64,
+        /// Rows a stateful operator absorbed through a deferred selection
+        /// vector instead of a densified (gathered) batch — each one an
+        /// avoided row materialization.
+        pub selection_pushdown_rows: u64,
+        /// Worker threads spawned by the persistent pool. After warmup
+        /// (one spawn per shard) this must stay flat: flushes reuse parked
+        /// workers instead of spawning.
+        pub pool_spawns: u64,
+        /// Jobs dispatched to (and woken on) pooled workers — one per
+        /// shard per parallel flush.
+        pub pool_wakeups: u64,
     }
 
     /// Resets this thread's counters to zero.
@@ -809,6 +1010,10 @@ pub mod work {
         BATCH_DEEP_CLONES.with(|c| c.set(0));
         SHARD_BATCHES.with(|c| c.set(0));
         SHARD_MERGE_ROWS.with(|c| c.set(0));
+        KEYED_SHARD_ROWS.with(|c| c.set(0));
+        PUSHDOWN_ROWS.with(|c| c.set(0));
+        POOL_SPAWNS.with(|c| c.set(0));
+        POOL_WAKEUPS.with(|c| c.set(0));
     }
 
     /// Reads this thread's counters.
@@ -820,6 +1025,10 @@ pub mod work {
             batch_deep_clones: BATCH_DEEP_CLONES.with(Cell::get),
             shard_batches: SHARD_BATCHES.with(Cell::get),
             shard_merge_rows: SHARD_MERGE_ROWS.with(Cell::get),
+            keyed_shard_rows: KEYED_SHARD_ROWS.with(Cell::get),
+            selection_pushdown_rows: PUSHDOWN_ROWS.with(Cell::get),
+            pool_spawns: POOL_SPAWNS.with(Cell::get),
+            pool_wakeups: POOL_WAKEUPS.with(Cell::get),
         }
     }
 
@@ -834,6 +1043,10 @@ pub mod work {
         BATCH_DEEP_CLONES.with(|c| c.set(c.get() + other.batch_deep_clones));
         SHARD_BATCHES.with(|c| c.set(c.get() + other.shard_batches));
         SHARD_MERGE_ROWS.with(|c| c.set(c.get() + other.shard_merge_rows));
+        KEYED_SHARD_ROWS.with(|c| c.set(c.get() + other.keyed_shard_rows));
+        PUSHDOWN_ROWS.with(|c| c.set(c.get() + other.selection_pushdown_rows));
+        POOL_SPAWNS.with(|c| c.set(c.get() + other.pool_spawns));
+        POOL_WAKEUPS.with(|c| c.set(c.get() + other.pool_wakeups));
     }
 
     #[inline]
@@ -864,6 +1077,26 @@ pub mod work {
     #[inline]
     pub(crate) fn count_shard_merge_rows(n: u64) {
         SHARD_MERGE_ROWS.with(|c| c.set(c.get() + n));
+    }
+
+    #[inline]
+    pub(crate) fn count_keyed_shard_rows(n: u64) {
+        KEYED_SHARD_ROWS.with(|c| c.set(c.get() + n));
+    }
+
+    #[inline]
+    pub(crate) fn count_pushdown_rows(n: u64) {
+        PUSHDOWN_ROWS.with(|c| c.set(c.get() + n));
+    }
+
+    #[inline]
+    pub(crate) fn count_pool_spawn() {
+        POOL_SPAWNS.with(|c| c.set(c.get() + 1));
+    }
+
+    #[inline]
+    pub(crate) fn count_pool_wakeup() {
+        POOL_WAKEUPS.with(|c| c.set(c.get() + 1));
     }
 }
 
@@ -1038,6 +1271,75 @@ mod tests {
     }
 
     #[test]
+    fn interleave_tagged_merges_duplicate_row_tags_stably() {
+        // Join fan-out: one probe row (tag 1) produced two output rows on
+        // shard 0; shard 1 contributed tags 0 and 2. The merged order is
+        // tag-ascending with shard-local order preserved inside a tag.
+        let schema = Arc::new(Schema::new(vec![Field::new("v", DataType::Int)]));
+        let batch = |vals: Vec<i64>| {
+            TupleBatch::from_columns(schema.clone(), vec![0; vals.len()], vec![Column::Int(vals)])
+        };
+        let merged = TupleBatch::interleave_tagged(vec![
+            (batch(vec![10, 11]), MergeTags::Rows(vec![1, 1])),
+            (batch(vec![20, 21]), MergeTags::Rows(vec![0, 2])),
+        ])
+        .unwrap();
+        assert_eq!(merged.column(0).as_ints(), Some(&[20, 10, 11, 21][..]));
+    }
+
+    #[test]
+    fn interleave_tagged_merges_emission_runs_by_emit_key() {
+        let schema = Arc::new(Schema::new(vec![Field::new("v", DataType::Int)]));
+        let batch = |vals: Vec<i64>| {
+            TupleBatch::from_columns(schema.clone(), vec![0; vals.len()], vec![Column::Int(vals)])
+        };
+        // Two shards' sorted window-close runs: merge by (start, group).
+        let merged = TupleBatch::interleave_tagged(vec![
+            (
+                batch(vec![1, 3]),
+                MergeTags::Emits(vec![(0, "a".into()), (100, "a".into())]),
+            ),
+            (
+                batch(vec![2, 4]),
+                MergeTags::Emits(vec![(0, "b".into()), (100, "b".into())]),
+            ),
+        ])
+        .unwrap();
+        assert_eq!(merged.column(0).as_ints(), Some(&[1, 2, 3, 4][..]));
+        // Single non-empty part passes through.
+        let single = TupleBatch::interleave_tagged(vec![(
+            batch(vec![7]),
+            MergeTags::Emits(vec![(5, "x".into())]),
+        )])
+        .unwrap();
+        assert_eq!(single.len(), 1);
+        assert!(
+            TupleBatch::interleave_tagged(vec![(batch(vec![]), MergeTags::Rows(vec![]))]).is_none()
+        );
+    }
+
+    #[test]
+    fn clone_shares_columns_and_mutation_copies_on_write() {
+        let batch = quote_batch(4);
+        work::reset();
+        let mut cloned = batch.clone();
+        assert_eq!(
+            work::snapshot().batch_deep_clones,
+            0,
+            "clone is a pointer clone"
+        );
+        // Mutating the still-shared clone copies columns exactly once.
+        cloned.push(Tuple::new(99, vec![Value::str("X"), Value::Float(9.0)]));
+        assert_eq!(work::snapshot().batch_deep_clones, 1, "COW miss counted");
+        assert_eq!(batch.len(), 4, "the original is untouched");
+        assert_eq!(cloned.len(), 5);
+        // Further mutation of the now-unshared clone is free.
+        cloned.push(Tuple::new(100, vec![Value::str("Y"), Value::Float(1.0)]));
+        assert_eq!(work::snapshot().batch_deep_clones, 1);
+        work::reset();
+    }
+
+    #[test]
     fn work_absorb_folds_foreign_snapshots() {
         work::reset();
         let foreign = work::WorkSnapshot {
@@ -1047,6 +1349,10 @@ mod tests {
             batch_deep_clones: 7,
             shard_batches: 11,
             shard_merge_rows: 13,
+            keyed_shard_rows: 17,
+            selection_pushdown_rows: 19,
+            pool_spawns: 23,
+            pool_wakeups: 29,
         };
         work::absorb(&foreign);
         work::absorb(&foreign);
@@ -1054,6 +1360,10 @@ mod tests {
         assert_eq!(snap.row_evals, 6);
         assert_eq!(snap.shard_batches, 22);
         assert_eq!(snap.shard_merge_rows, 26);
+        assert_eq!(snap.keyed_shard_rows, 34);
+        assert_eq!(snap.selection_pushdown_rows, 38);
+        assert_eq!(snap.pool_spawns, 46);
+        assert_eq!(snap.pool_wakeups, 58);
         work::reset();
     }
 

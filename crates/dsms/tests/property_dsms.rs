@@ -645,6 +645,20 @@ fn shard_counts() -> Vec<usize> {
     }
 }
 
+/// Partition modes exercised by the shard-invariance suites (the
+/// `hash_key` flag of [`run_sharded`]). `CQAC_PARTITION` — `keyed`,
+/// `round_robin`, or `both` (default) — selects the axis so CI can matrix
+/// stateful keyed runs separately from round-robin runs without
+/// recompiling.
+fn partition_modes() -> Vec<bool> {
+    match std::env::var("CQAC_PARTITION").as_deref() {
+        Ok("keyed") => vec![true],
+        Ok("round_robin") => vec![false],
+        Ok("both") | Err(_) => vec![false, true],
+        Ok(other) => panic!("CQAC_PARTITION must be keyed|round_robin|both, got '{other}'"),
+    }
+}
+
 /// Runs `plan` (registered twice, so sharing is exercised) over `feed` on
 /// an engine with the given shard count, optionally hash-partitioning both
 /// streams on the symbol column. Returns the outputs and the
@@ -713,7 +727,7 @@ proptest! {
                 if shards == 1 {
                     continue;
                 }
-                for hash_key in [false, true] {
+                for hash_key in partition_modes() {
                     let (got, work) = run_sharded(&plan, &feed, cap, shards, hash_key);
                     prop_assert_eq!(
                         &got, &reference,
@@ -723,6 +737,95 @@ proptest! {
                         work, ref_work,
                         "per-row work must be shard-count invariant (shards {})", shards
                     );
+                }
+            }
+        }
+    }
+}
+
+/// Plan shapes whose stateful operators are **keyed compatibly** with the
+/// symbol shard key, so under hash partitioning the merge barrier moves
+/// *past* them and they execute inside the shards with per-shard state:
+/// a symbol-keyed join, a symbol-grouped aggregate (tumbling and sliding),
+/// a filtered post-aggregate chain, stacked keyed aggregates, a keyed join
+/// feeding a keyed aggregate, and a projection that relocates the key
+/// before grouping.
+const KEYED_STATEFUL_KINDS: usize = 7;
+
+fn keyed_stateful_plan(kind: usize, thresh: u32, window: u64, slide: u64) -> LogicalPlan {
+    let t = f64::from(thresh) / 100.0;
+    let high = LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(t))));
+    match kind % KEYED_STATEFUL_KINDS {
+        0 => high.join(LogicalPlan::source("news"), 0, 0, window),
+        1 => high.aggregate(Some(0), AggFunc::Count, 0, window),
+        2 => {
+            let slide = slide.min(window);
+            LogicalPlan::source("quotes").sliding_aggregate(Some(0), AggFunc::Avg, 1, window, slide)
+        }
+        3 => high
+            .aggregate(Some(0), AggFunc::Count, 0, window)
+            .filter(Expr::col(2).gt(Expr::lit(Value::Int(1)))),
+        4 => LogicalPlan::source("quotes")
+            .aggregate(Some(0), AggFunc::Max, 1, window)
+            .aggregate(Some(1), AggFunc::Count, 0, window.max(2) * 2),
+        5 => high
+            .join(LogicalPlan::source("news"), 0, 0, window)
+            .aggregate(Some(0), AggFunc::Count, 0, window),
+        _ => LogicalPlan::source("quotes")
+            .project(vec![
+                ("price".to_string(), Expr::col(1)),
+                ("symbol".to_string(), Expr::col(0)),
+            ])
+            .aggregate(Some(1), AggFunc::Count, 0, window),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// **Keyed stateful shard invariance** — the tentpole property of the
+    /// keyed-sharding refactor: for plans whose joins and aggregates are
+    /// keyed compatibly with the shard key, the merge barrier moves past
+    /// the stateful operators (they run inside the shards with per-shard
+    /// state and per-shard window closes), and the outputs remain
+    /// **strictly sequence-equal** to the single-threaded engine across
+    /// shard counts × batch caps × both partition modes, with identical
+    /// `tuples_processed`.
+    #[test]
+    fn keyed_stateful_shard_invariance(
+        quotes in quote_stream(60),
+        raw_news in proptest::collection::vec((0u64..500, 0usize..3, 0u8..4), 1..30),
+        kind in 0usize..KEYED_STATEFUL_KINDS,
+        thresh in 1u32..30_000,
+        window in 1u64..100,
+        slide in 1u64..50,
+    ) {
+        let plan = keyed_stateful_plan(kind, thresh, window, slide);
+        let mut news_tuples: Vec<Tuple> =
+            raw_news.into_iter().map(|(ts, s, t)| news(ts, s, t)).collect();
+        news_tuples.sort_by_key(|t| t.ts);
+        let mut feed: Vec<(String, Tuple)> = quotes
+            .iter()
+            .cloned()
+            .map(|t| ("quotes".to_string(), t))
+            .chain(news_tuples.into_iter().map(|t| ("news".to_string(), t)))
+            .collect();
+        feed.sort_by_key(|(_, t)| t.ts);
+
+        for &cap in &[1usize, 7, 64] {
+            let (reference, ref_work) = run_sharded(&plan, &feed, cap, 1, false);
+            for &shards in &shard_counts() {
+                if shards == 1 {
+                    continue;
+                }
+                for hash_key in partition_modes() {
+                    let (got, work) = run_sharded(&plan, &feed, cap, shards, hash_key);
+                    prop_assert_eq!(
+                        &got, &reference,
+                        "keyed stateful plan kind {} diverged at shards {} (hash_key {}) cap {}",
+                        kind, shards, hash_key, cap
+                    );
+                    prop_assert_eq!(work, ref_work);
                 }
             }
         }

@@ -1,9 +1,11 @@
 //! Stress and lifecycle tests of the shard-per-stream parallel executor:
 //! a repeated-seed concurrency soak (no lost or duplicated tuples under
 //! shards = 4), engine lifecycle edges that previously only ran
-//! single-threaded (`remove_query` mid-stream, transition held-tuple
-//! replay, `finish` across all shards), and the columnar kill switch
-//! reaching worker shards through the spawn path.
+//! single-threaded (`remove_query` mid-stream *and mid-window with keyed
+//! per-shard state*, transition held-tuple replay through the keyed plan,
+//! `finish` flushing per-shard window state), the columnar kill switch
+//! reaching pooled workers, and the persistent pool's reuse guarantee
+//! (zero spawns after warmup — flushes wake parked workers).
 
 use cqac_dsms::engine::DsmsEngine;
 use cqac_dsms::expr::Expr;
@@ -328,4 +330,186 @@ fn worker_row_work_counters_fold_back_deterministically() {
         evals_at(4),
         "absorbed counters match single-threaded"
     );
+}
+
+/// A keyed-stateful shared network: a symbol-grouped aggregate and a
+/// symbol-keyed join behind the shared high filter — with the symbol shard
+/// key set, both stateful operators execute *inside* the shards.
+fn keyed_stateful_plans() -> Vec<LogicalPlan> {
+    let high = LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(20.0))));
+    vec![
+        high.clone().aggregate(Some(0), AggFunc::Count, 0, 50),
+        high.join(LogicalPlan::source("news"), 0, 0, 40),
+    ]
+}
+
+/// Stateful rows really run on the shard workers (merge barrier past the
+/// join/aggregate), selection vectors push down into them instead of
+/// densifying, and the worker pool spawns exactly once per shard.
+#[test]
+fn keyed_stateful_rows_run_on_shards_with_pushdown() {
+    let mut e = engine().with_max_batch_size(8).with_shards(4);
+    e.set_shard_key("quotes", 0);
+    e.set_shard_key("news", 0);
+    let cqs: Vec<_> = keyed_stateful_plans()
+        .into_iter()
+        .map(|p| e.add_query(p).unwrap())
+        .collect();
+    let mut rng = Lcg(23);
+    work::reset();
+    e.push_batch(random_feed(&mut rng, 300));
+    let snap = work::snapshot();
+    assert!(
+        snap.keyed_shard_rows > 0,
+        "stateful rows must run on shards: {snap:?}"
+    );
+    assert!(
+        snap.selection_pushdown_rows > 0,
+        "the filter's selection must push into the stateful ops: {snap:?}"
+    );
+    assert_eq!(snap.pool_spawns, 4, "one worker per shard: {snap:?}");
+    assert_eq!(
+        snap.pool_wakeups, 4,
+        "one job per shard per flush: {snap:?}"
+    );
+    assert_eq!(snap.batch_deep_clones, 0, "COW columns: nobody copies");
+    e.finish();
+    assert!(cqs.iter().map(|&cq| e.output_len(cq)).sum::<usize>() > 0);
+}
+
+/// The pool-reuse guarantee: after the warmup flush spawns one worker per
+/// shard, further flushes only *wake* parked workers — zero new spawns.
+#[test]
+fn pool_reuse_zero_spawns_after_warmup() {
+    let mut e = engine().with_max_batch_size(8).with_shards(4);
+    e.set_shard_key("quotes", 0);
+    e.set_shard_key("news", 0);
+    for p in keyed_stateful_plans() {
+        e.add_query(p).unwrap();
+    }
+    let mut rng = Lcg(29);
+    let feed = random_feed(&mut rng, 400);
+    let (warmup, rest) = feed.split_at(40);
+    work::reset();
+    e.push_batch(warmup.iter().cloned());
+    let after_warmup = work::snapshot();
+    assert_eq!(after_warmup.pool_spawns, 4, "warmup spawns one per shard");
+    let mut flushes = 0u64;
+    for slice in rest.chunks(40) {
+        e.push_batch(slice.iter().cloned());
+        flushes += 1;
+    }
+    let snap = work::snapshot();
+    assert_eq!(
+        snap.pool_spawns, 4,
+        "zero spawns after warmup: every flush reuses parked workers"
+    );
+    assert_eq!(
+        snap.pool_wakeups,
+        after_warmup.pool_wakeups + flushes * 4,
+        "each flush wakes each shard's worker exactly once"
+    );
+}
+
+/// `remove_query` mid-window under keyed stateful sharding: per-shard
+/// aggregate state of the removed query is discarded with its node, and
+/// the surviving keyed-stateful query's windows are unaffected.
+#[test]
+fn remove_query_mid_window_under_keyed_sharding() {
+    let run = |shards: usize| {
+        let mut e = engine().with_max_batch_size(8).with_shards(shards);
+        e.set_shard_key("quotes", 0);
+        e.set_shard_key("news", 0);
+        let keep = e
+            .add_query(
+                LogicalPlan::source("quotes")
+                    .filter(Expr::col(1).gt(Expr::lit(Value::Float(20.0))))
+                    .aggregate(Some(0), AggFunc::Count, 0, 50),
+            )
+            .unwrap();
+        let victim = e
+            .add_query(LogicalPlan::source("quotes").aggregate(Some(0), AggFunc::Avg, 1, 70))
+            .unwrap();
+        let mut rng = Lcg(31);
+        let feed = random_feed(&mut rng, 200);
+        for (i, slice) in feed.chunks(20).enumerate() {
+            if i == 4 {
+                // Mid-stream, with windows open on every shard.
+                e.remove_query(victim);
+            }
+            e.push_batch(slice.iter().cloned());
+        }
+        e.finish();
+        e.take_outputs(keep)
+    };
+    let reference = run(1);
+    assert!(!reference.is_empty());
+    assert_eq!(run(1), run(4), "removal must not disturb surviving windows");
+}
+
+/// Transition held-tuple replay under keyed stateful sharding: batches
+/// held while the network is modified replay through the keyed plan (and
+/// its per-shard state) in arrival order, ahead of new data.
+#[test]
+fn transition_held_replay_under_keyed_sharding() {
+    let run = |shards: usize| {
+        let mut e = engine().with_max_batch_size(8).with_shards(shards);
+        e.set_shard_key("quotes", 0);
+        e.set_shard_key("news", 0);
+        let cqs: Vec<_> = keyed_stateful_plans()
+            .into_iter()
+            .map(|p| e.add_query(p).unwrap())
+            .collect();
+        let mut rng = Lcg(37);
+        let feed = random_feed(&mut rng, 240);
+        let (before, rest) = feed.split_at(80);
+        let (held, after) = rest.split_at(80);
+        e.push_batch(before.iter().cloned());
+        e.begin_transition();
+        for (s, t) in held {
+            e.push(s, t.clone());
+        }
+        let other = e
+            .add_query(
+                LogicalPlan::source("quotes")
+                    .filter(Expr::col(0).eq(Expr::lit(Value::str("MSFT")))),
+            )
+            .unwrap();
+        e.remove_query(other);
+        assert!(e.held_tuples() > 0, "tuples are held mid-transition");
+        e.end_transition();
+        e.push_batch(after.iter().cloned());
+        e.finish();
+        cqs.into_iter()
+            .map(|cq| e.take_outputs(cq))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(1), run(4), "held replay must be shard-count invariant");
+}
+
+/// `finish()` under keyed stateful sharding: per-shard window state on
+/// every shard — including shards that received few rows — flushes through
+/// the control thread's force-close, identically to single-threaded.
+#[test]
+fn finish_flushes_per_shard_window_state() {
+    let run = |shards: usize| {
+        let mut e = engine().with_max_batch_size(8).with_shards(shards);
+        e.set_shard_key("quotes", 0);
+        e.set_shard_key("news", 0);
+        let cq = e
+            .add_query(
+                LogicalPlan::source("quotes")
+                    .filter(Expr::col(1).gt(Expr::lit(Value::Float(10.0))))
+                    .aggregate(Some(0), AggFunc::Count, 0, 1000),
+            )
+            .unwrap();
+        let mut rng = Lcg(41);
+        e.push_batch(random_feed(&mut rng, 150));
+        assert_eq!(e.output_len(cq), 0, "the wide window is still open");
+        e.finish();
+        e.take_outputs(cq)
+    };
+    let reference = run(1);
+    assert!(!reference.is_empty(), "finish must flush open windows");
+    assert_eq!(run(1), run(4));
 }
