@@ -28,12 +28,22 @@
 //! workload with the merge barrier *past* the stateful operators,
 //! asserting stateful rows run on the shards with selection pushdown and
 //! that the persistent worker pool spawns zero threads after warmup.
+//!
+//! The `hot_key_skew` group drives a keyed aggregation workload with
+//! zipf-skewed vs uniform key distributions (from `cqac-workload`'s
+//! hot-key scenarios) at shards=4, sweeping the work-stealing knob. Under
+//! skew the hash-partitioned *home* placement concentrates on the hot
+//! shard while the *executing*-worker rows stay near-balanced — the
+//! morsel scheduler's idle workers steal the hot shard's backlog
+//! (`morsels_stolen > 0`); under uniform load the counters show workers
+//! park after one failed steal sweep instead of spinning.
 
 use cqac_dsms::engine::DsmsEngine;
 use cqac_dsms::expr::Expr;
 use cqac_dsms::plan::{AggFunc, LogicalPlan};
 use cqac_dsms::streams::{news_schema, quote_schema, NewsStream, StockStream};
-use cqac_dsms::types::{Tuple, Value};
+use cqac_dsms::types::{DataType, Field, Schema, Tuple, Value};
+use cqac_workload::{hot_key_rows, HotKeyParams};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -252,6 +262,145 @@ fn bench_shards(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_hot_key_skew(c: &mut Criterion) {
+    // Work stealing under key skew. The stream is keyed on an integer
+    // column whose distribution is either Zipf(64, 1) — the hottest key
+    // draws ~21% of rows, so its home shard owns ~40% of all work — or
+    // the uniform control with the same support and seed. Two queries: a
+    // key-grouped Count (commutative keyed member → chunked into
+    // stealable morsels) and an ungrouped Sum over the Int payload (a
+    // partial-aggregation member combined on the control thread). The
+    // engine persists across iterations with time-advancing rows so
+    // windows close and the pool stays warm; counters accumulate over
+    // every iteration, which smooths scheduling noise out of the balance
+    // assertions.
+    let event_schema = || {
+        Schema::new(vec![
+            Field::new("key", DataType::Int),
+            Field::new("value", DataType::Int),
+        ])
+    };
+    let mut group = c.benchmark_group("hot_key_skew");
+    group.sample_size(10);
+    for (label, params) in [
+        ("skewed", HotKeyParams::skewed(20_000)),
+        ("uniform", HotKeyParams::uniform(20_000)),
+    ] {
+        let base = hot_key_rows(&params);
+        let span = params.rows as u64;
+        for stealing in [false, true] {
+            group.bench_with_input(
+                BenchmarkId::new(label, if stealing { "stealing" } else { "no_steal" }),
+                &stealing,
+                |b, &stealing| {
+                    let mut e = DsmsEngine::new()
+                        .with_max_batch_size(64)
+                        .with_shards(4)
+                        .with_shard_key("events", 0)
+                        .with_morsel_batches(1) // finest morsels: maximal rebalancing
+                        .with_stealing(stealing);
+                    e.register_stream("events", event_schema());
+                    e.add_query(LogicalPlan::source("events").aggregate(
+                        Some(0),
+                        AggFunc::Count,
+                        0,
+                        500,
+                    ))
+                    .expect("valid plan");
+                    e.add_query(LogicalPlan::source("events").aggregate(
+                        None,
+                        AggFunc::Sum,
+                        1,
+                        500,
+                    ))
+                    .expect("valid plan");
+                    let mut epoch = 0u64;
+                    let mut feed = |e: &mut DsmsEngine| {
+                        let off = epoch * span;
+                        epoch += 1;
+                        let rows = base
+                            .iter()
+                            .map(|r| {
+                                Tuple::new(
+                                    r.ts + off,
+                                    vec![Value::Int(r.key as i64), Value::Int(r.value)],
+                                )
+                            })
+                            .collect();
+                        e.push_rows("events", rows);
+                    };
+                    // Warmup flush spawns the pool; count from a clean slate.
+                    feed(&mut e);
+                    cqac_dsms::types::work::reset();
+                    b.iter(|| {
+                        feed(&mut e);
+                        black_box(e.tuples_processed())
+                    });
+                    let snap = cqac_dsms::types::work::snapshot();
+                    assert!(snap.morsels_executed > 0, "sharded flushes run as morsels");
+                    if stealing {
+                        // Idle-free: every miss belongs to one bounded
+                        // victim sweep (≤ shards-1 per `grab`), and a
+                        // worker makes one grab per morsel it executes
+                        // plus one parking sweep per wakeup — workers
+                        // never spin on empty deques.
+                        assert!(
+                            snap.steal_misses <= (snap.morsels_executed + snap.pool_wakeups) * 3,
+                            "steal misses ({}) exceed the sweep bound of {} morsels + {} wakeups",
+                            snap.steal_misses,
+                            snap.morsels_executed,
+                            snap.pool_wakeups
+                        );
+                        if label == "skewed" {
+                            assert!(
+                                snap.morsels_stolen > 0,
+                                "idle workers must steal the hot shard's backlog"
+                            );
+                        }
+                    } else {
+                        assert_eq!(snap.morsels_stolen, 0, "stealing is off");
+                        assert_eq!(snap.steal_misses, 0, "no steal sweeps when off");
+                    }
+                    // Home placement vs executing worker. `shard_rows` is
+                    // partition-time (hash of the key column): skew shows
+                    // here no matter what the scheduler does.
+                    let home = &e.stream_stats()["events"].shard_rows;
+                    let home_total: u64 = home.iter().sum();
+                    let home_max = home.iter().copied().max().unwrap_or(0);
+                    if label == "skewed" {
+                        assert!(
+                            home_max * 10 > home_total * 3,
+                            "zipf placement must concentrate on a hot shard \
+                             (max {home_max} of {home_total})"
+                        );
+                    }
+                    // `shard_stats` attributes rows to the *executing*
+                    // worker, so stealing keeps them near-balanced even
+                    // under skew. Scheduling-dependent, so only asserted
+                    // when workers can actually overlap, and leniently:
+                    // no worker hoards >3/4 of the rows and at least two
+                    // workers execute.
+                    let parallel = std::thread::available_parallelism().map_or(1, |p| p.get());
+                    if stealing && parallel >= 2 {
+                        let exec: Vec<u64> = e.shard_stats().iter().map(|s| s.rows).collect();
+                        let total: u64 = exec.iter().sum();
+                        let max = exec.iter().copied().max().unwrap_or(0);
+                        assert!(
+                            max * 4 <= total * 3,
+                            "executing rows stay near-balanced under stealing ({exec:?})"
+                        );
+                        assert!(
+                            exec.iter().filter(|&&r| r > 0).count() >= 2,
+                            "stealing spreads execution across workers ({exec:?})"
+                        );
+                    }
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_sharing(c: &mut Criterion) {
     let batch = quotes(5_000);
     let mut group = c.benchmark_group("engine_sharing");
@@ -334,6 +483,7 @@ criterion_group!(
     bench_batch_sizes,
     bench_fusion,
     bench_shards,
+    bench_hot_key_skew,
     bench_sharing,
     bench_operators
 );

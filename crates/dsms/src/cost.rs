@@ -124,8 +124,14 @@ pub struct NodeLoadEstimate {
 /// (unions, joins/aggregates not keyed by the partition key), the
 /// deterministic merge, and sink delivery still run on the control
 /// thread; a workload dominated by those can be admitted up to `shards ×`
-/// what the control thread alone can serve. Pricing that residue against
-/// per-core capacity is a ROADMAP follow-on.
+/// what the control thread alone can serve. The serial fraction has been
+/// shrinking release over release — keyed stateful sharding moved
+/// compatible joins/aggregates onto the workers, partial aggregation
+/// moved exact *ungrouped* aggregates there too (only the per-window
+/// partial-combine fold stays on the control thread), and morsel-level
+/// work stealing keeps the workers busy under key skew that would
+/// otherwise serialize on the hot shard — but pricing the remaining
+/// residue against per-core capacity is still a ROADMAP follow-on.
 pub fn effective_capacity(per_core: Load, shards: usize) -> Load {
     assert!(shards > 0, "shard count must be positive");
     Load::from_units(per_core.as_f64() * shards as f64)

@@ -49,6 +49,7 @@ use crate::plan::{LogicalPlan, PlanError};
 use crate::types::{work, DataType, MergeTags, Schema, Tuple, TupleBatch};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -76,6 +77,9 @@ fn stream_schema_or_panic(network: &QueryNetwork, stream: &str) -> Arc<Schema> {
         .unwrap_or_else(|| panic!("unknown stream '{stream}': call register_stream before pushing"))
         .clone()
 }
+
+/// A node's pending inputs: `(port, batch, deferred selection)`.
+type QueueEntries = VecDeque<(usize, Arc<TupleBatch>, Option<Arc<Vec<u32>>>)>;
 
 /// Per-stream ingestion statistics (for cost estimation).
 #[derive(Clone, Debug, Default)]
@@ -125,9 +129,15 @@ impl StreamStats {
 #[derive(Debug)]
 pub struct DsmsEngine {
     network: QueryNetwork,
-    /// Pending input batches per node (port, batch), FIFO. Batches are
-    /// `Arc`-shared with every other consumer of the same producing call.
-    queues: HashMap<NodeId, VecDeque<(usize, Arc<TupleBatch>)>>,
+    /// Pending input batches per node `(port, batch, selection)`, FIFO.
+    /// Batches are `Arc`-shared with every other consumer of the same
+    /// producing call. The optional selection is a deferred filter result
+    /// (batch-row indices): pure filters forward `(batch, selection)`
+    /// instead of gathering survivors, filters downstream refine it, and
+    /// stateful consumers absorb straight through it (selection pushdown,
+    /// counted by [`work::WorkSnapshot::selection_pushdown_rows`]); any
+    /// other consumer gathers once on entry.
+    queues: HashMap<NodeId, QueueEntries>,
     /// Ingested batches not yet routed into node queues (routed at the
     /// start of the next [`DsmsEngine::run_until_quiescent`]).
     ingest: VecDeque<(String, TupleBatch)>,
@@ -173,6 +183,11 @@ pub struct DsmsEngine {
     /// The persistent worker pool (threads spawn lazily on the first
     /// parallel flush and park between flushes).
     pool: WorkerPool,
+    /// Morsel granularity: how many work units (partitioned sub-batches)
+    /// one morsel carries.
+    morsel_batches: usize,
+    /// Whether idle workers steal morsels from busy workers' deque tails.
+    stealing: bool,
 }
 
 impl Default for DsmsEngine {
@@ -204,6 +219,8 @@ impl DsmsEngine {
             keyed_cache: None,
             merged_pending: VecDeque::new(),
             pool: WorkerPool::default(),
+            morsel_batches: 1,
+            stealing: true,
         }
     }
 
@@ -331,8 +348,59 @@ impl DsmsEngine {
 
     /// Per-shard execution statistics (index = shard id; all zero until a
     /// sharded run happens).
+    ///
+    /// With work stealing enabled the index is the **executing worker**,
+    /// not the partition-time home shard, so a zipf-skewed key
+    /// distribution still shows near-balanced rows here (the home-shard
+    /// skew stays visible in [`StreamStats::shard_rows`]).
     pub fn shard_stats(&self) -> &[ShardStats] {
         &self.shard_stats
+    }
+
+    /// Sets the morsel granularity (builder form; see
+    /// [`DsmsEngine::set_morsel_batches`]).
+    pub fn with_morsel_batches(mut self, n: usize) -> Self {
+        self.set_morsel_batches(n);
+        self
+    }
+
+    /// Sets the morsel granularity: how many work units (hash-partitioned
+    /// sub-batches or round-robin source batches) one morsel carries. `1`
+    /// (the default) maximizes stealable parallelism; larger morsels
+    /// amortize deque traffic at the cost of coarser rebalancing. Outputs
+    /// are bit-identical at every setting.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn set_morsel_batches(&mut self, n: usize) {
+        assert!(n > 0, "morsel size must be positive");
+        self.morsel_batches = n;
+    }
+
+    /// The current morsel granularity.
+    pub fn morsel_batches(&self) -> usize {
+        self.morsel_batches
+    }
+
+    /// Enables or disables work stealing (builder form; see
+    /// [`DsmsEngine::set_stealing`]).
+    pub fn with_stealing(mut self, enabled: bool) -> Self {
+        self.set_stealing(enabled);
+        self
+    }
+
+    /// Enables or disables work stealing between the pool workers. On by
+    /// default: an idle worker pops morsels from the tails of busy
+    /// workers' deques, so skewed key distributions rebalance across
+    /// cores. Disabling pins every morsel to its home shard's worker
+    /// (fork/join behavior). Outputs are bit-identical either way.
+    pub fn set_stealing(&mut self, enabled: bool) {
+        self.stealing = enabled;
+    }
+
+    /// Whether work stealing is enabled.
+    pub fn stealing(&self) -> bool {
+        self.stealing
     }
 
     /// Enables or disables per-batch operator timing. On by default (the
@@ -584,14 +652,21 @@ impl DsmsEngine {
     ///    prefixes. Subscribers outside both plans (shard-incompatible
     ///    operators, sinks) receive the raw batch at flush time, exactly
     ///    like the single-threaded path.
-    /// 2. **Parallel execution on the pool.** One job per shard runs on
-    ///    the persistent [`WorkerPool`] (threads spawn once, then park
-    ///    between flushes): round-robin units walk their stateless prefix
-    ///    per unit; keyed units run a **mini node loop** — per-node FIFO
-    ///    queues drained in ascending node order, stateful operators
-    ///    absorbing into their shard's state partition and closing windows
-    ///    against the flush's merged watermark, selection vectors pushed
-    ///    down into joins/aggregates instead of densifying.
+    /// 2. **Morsel-driven execution on the pool.** The flush's units are
+    ///    cut into [`Morsel`]s on per-worker deques and one job per worker
+    ///    runs on the persistent [`WorkerPool`] (threads spawn once, then
+    ///    park between flushes): each worker drains its own deque head
+    ///    first, then steals from the other deques' tails
+    ///    ([`MorselScheduler`]), so skewed key distributions rebalance.
+    ///    Round-robin morsels walk their stateless prefix per unit; keyed
+    ///    morsels run a **mini node loop** — per-node FIFO queues drained
+    ///    in ascending node order, stateful operators absorbing into
+    ///    their home shard's state partition (ungrouped exact aggregates:
+    ///    the executing worker's partial), selection vectors pushed down
+    ///    into joins/aggregates instead of densifying. Windows close
+    ///    against the flush's merged watermark inside the chain morsel
+    ///    (order-sensitive plans) or in a dedicated advance phase behind
+    ///    an all-absorbed barrier (commutative plans).
     /// 3. **Deterministic merge.** Exit outputs are merged per
     ///    `(producing node, entry path)` — interleaved by sequence tag
     ///    (join fan-out repeats its probe row's tag, preserving shard
@@ -694,13 +769,17 @@ impl DsmsEngine {
         // Per-node watermark-advance flags for the keyed plan: a stateful
         // member closes windows on every shard whenever the merged
         // watermark moved past what the node has seen (mirrors the control
-        // loop's `last_watermark < watermark` check).
+        // loop's `last_watermark < watermark` check). Partial-aggregation
+        // members never advance in-shard: their per-worker partials are
+        // combined by the control loop's own watermark pass (see
+        // `KeyedNode::partial`).
         let watermark = self.watermark;
         let advance: Vec<bool> = keyed
             .nodes
             .iter()
             .map(|kn| {
                 kn.stateful
+                    && !kn.partial
                     && self
                         .network
                         .node(kn.id)
@@ -768,19 +847,73 @@ impl DsmsEngine {
                     internal: kn.internal.clone(),
                     record: !kn.exits.is_empty(),
                     advance: adv,
+                    partial: kn.partial,
                 }
             })
             .collect();
         let keyed_roots: Vec<Vec<(usize, usize)>> =
             keyed.roots.iter().map(|r| r.targets.clone()).collect();
-        let jobs: Vec<ShardJob<'_>> = rr_units
-            .into_iter()
-            .zip(keyed_units)
-            .enumerate()
-            .map(|(shard, (rr, ku))| {
+
+        // -- 2a. Cut morsels ---------------------------------------------
+        // Round-robin units are always independent (stateless, whole
+        // batches, path-keyed merge). Keyed units are independent exactly
+        // when every stateful plan member's absorption commutes
+        // ([`crate::ops::Operator::keyed_commutative`]): joins and inexact
+        // (float) aggregates are order-sensitive, so each home shard's
+        // keyed units then run as one sequential **chain** morsel —
+        // stealable whole, so a hot shard can still migrate to an idle
+        // worker.
+        let ordered = keyed.nodes.iter().any(|kn| {
+            kn.stateful
+                && network
+                    .node(kn.id)
+                    .is_some_and(|n| !n.op.keyed_commutative())
+        });
+        let morsel_units = self.morsel_batches;
+        let mut deques: Vec<VecDeque<Morsel>> = (0..shards).map(|_| VecDeque::new()).collect();
+        let mut dispatched = 0usize;
+        for (s, units) in rr_units.into_iter().enumerate() {
+            for chunk in chunked(units, morsel_units) {
+                deques[s].push_back(Morsel::Rr(chunk));
+                dispatched += 1;
+            }
+        }
+        for (s, units) in keyed_units.into_iter().enumerate() {
+            if ordered {
+                if !units.is_empty() || run_advance {
+                    deques[s].push_back(Morsel::Chain { home: s, units });
+                    dispatched += 1;
+                }
+            } else {
+                for chunk in chunked(units, morsel_units) {
+                    deques[s].push_back(Morsel::Keyed {
+                        home: s,
+                        units: chunk,
+                    });
+                    dispatched += 1;
+                }
+            }
+        }
+        let sched = MorselScheduler {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+            pending: AtomicUsize::new(dispatched),
+            aborted: AtomicBool::new(false),
+            stealing: self.stealing,
+        };
+        // In commutative mode the watermark pass runs as a second phase:
+        // after every morsel of the flush is absorbed (the `pending == 0`
+        // barrier), worker `w` closes the windows of state partition `w` —
+        // per-partition, so the pass itself needs no synchronization and
+        // emission order stays deterministic.
+        let advance_phase = run_advance && !ordered;
+
+        // -- 2b. Morsel-driven execution on the persistent pool ----------
+        let jobs: Vec<ShardJob<'_>> = (0..shards)
+            .map(|worker| {
                 let rr_resolved = &rr_resolved;
                 let keyed_resolved = &keyed_resolved;
                 let keyed_roots = &keyed_roots;
+                let sched = &sched;
                 let job: ShardJob<'_> = Box::new(move || {
                     // Pooled workers persist across flushes: counters and
                     // the columnar switch are re-seeded per job, and the
@@ -788,16 +921,71 @@ impl DsmsEngine {
                     work::reset();
                     crate::ops::set_columnar_kernels(columnar);
                     let mut report = ShardReport::default();
-                    shard_worker(rr_resolved, rr, timing, &mut report);
-                    keyed_worker(
-                        shard,
-                        keyed_resolved,
-                        keyed_roots,
-                        ku,
-                        watermark,
-                        timing,
-                        &mut report,
-                    );
+                    while let Some((morsel, stolen)) = sched.grab(worker) {
+                        work::count_morsel_executed();
+                        if stolen {
+                            work::count_morsel_stolen();
+                        }
+                        let done = std::panic::catch_unwind(AssertUnwindSafe(|| match morsel {
+                            Morsel::Rr(units) => {
+                                shard_worker(rr_resolved, units, timing, &mut report);
+                            }
+                            Morsel::Keyed { home, units } => keyed_worker(
+                                home,
+                                worker,
+                                keyed_resolved,
+                                keyed_roots,
+                                units,
+                                watermark,
+                                timing,
+                                false,
+                                &mut report,
+                            ),
+                            Morsel::Chain { home, units } => keyed_worker(
+                                home,
+                                worker,
+                                keyed_resolved,
+                                keyed_roots,
+                                units,
+                                watermark,
+                                timing,
+                                true,
+                                &mut report,
+                            ),
+                        }));
+                        sched.pending.fetch_sub(1, Ordering::AcqRel);
+                        if let Err(payload) = done {
+                            // Unblock the other workers' barriers before
+                            // surfacing the panic through the pool.
+                            sched.aborted.store(true, Ordering::Release);
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                    if advance_phase {
+                        // All-absorbed barrier: windows may close only
+                        // once every morsel's rows reached partitioned
+                        // state. The deques are already empty (`grab`
+                        // returned `None`), so this only waits out morsels
+                        // still executing elsewhere.
+                        while sched.pending.load(Ordering::Acquire) != 0
+                            && !sched.aborted.load(Ordering::Acquire)
+                        {
+                            std::thread::yield_now();
+                        }
+                        if !sched.aborted.load(Ordering::Acquire) {
+                            keyed_worker(
+                                worker,
+                                worker,
+                                keyed_resolved,
+                                keyed_roots,
+                                Vec::new(),
+                                watermark,
+                                timing,
+                                true,
+                                &mut report,
+                            );
+                        }
+                    }
                     report.work = work::snapshot();
                     report
                 });
@@ -808,8 +996,13 @@ impl DsmsEngine {
 
         // The keyed plan's watermark handling happened inside the shards:
         // mark every member so the control loop does not re-advance (and
-        // re-emit from) partitioned state.
+        // re-emit from) partitioned state. Partial-aggregation members are
+        // the exception — their per-worker partials close on the control
+        // loop's own watermark pass, which stays pending.
         for kn in &keyed.nodes {
+            if kn.partial {
+                continue;
+            }
             if let Some(node) = self.network.node_mut(kn.id) {
                 node.last_watermark = watermark;
             }
@@ -883,12 +1076,58 @@ impl DsmsEngine {
     fn route(&mut self, target: Target, batch: Arc<TupleBatch>) {
         match target {
             Target::Node(id, port) => {
-                self.queues.entry(id).or_default().push_back((port, batch));
+                self.queues
+                    .entry(id)
+                    .or_default()
+                    .push_back((port, batch, None));
             }
             Target::Sink(cq) => {
                 // Zero-copy sink delivery: the sink keeps the shared batch;
                 // rows materialize only when the outputs are read.
                 self.outputs.entry(cq).or_default().push(batch);
+            }
+        }
+    }
+
+    /// Routes a deferred selection `(batch, sel)` produced by a pure
+    /// filter: node consumers share the undensified pair (they refine or
+    /// absorb through it), sinks share one gathered batch. All-row
+    /// selections forward dense — nothing downstream could save work on
+    /// them.
+    fn dispatch_selected(&mut self, from: NodeId, batch: Arc<TupleBatch>, sel: Vec<u32>) {
+        let targets: Vec<Target> = self
+            .network
+            .node(from)
+            .expect("live node")
+            .downstream
+            .clone();
+        if targets.is_empty() {
+            return;
+        }
+        if sel.len() == batch.len() {
+            for &target in &targets {
+                self.route(target, batch.clone());
+            }
+            return;
+        }
+        let sel = Arc::new(sel);
+        // Sinks materialize once and share the gathered batch.
+        let mut dense: Option<Arc<TupleBatch>> = None;
+        for &target in &targets {
+            match target {
+                Target::Node(id, port) => {
+                    self.queues.entry(id).or_default().push_back((
+                        port,
+                        batch.clone(),
+                        Some(sel.clone()),
+                    ));
+                }
+                Target::Sink(cq) => {
+                    let d = dense
+                        .get_or_insert_with(|| Arc::new(batch.take(&sel)))
+                        .clone();
+                    self.outputs.entry(cq).or_default().push(d);
+                }
             }
         }
     }
@@ -909,33 +1148,69 @@ impl DsmsEngine {
             let mut any = false;
             for id in self.network.node_ids() {
                 // Drain the node's input queue, batch by batch.
-                while let Some((port, shared)) =
+                while let Some((port, shared, sel)) =
                     self.queues.get_mut(&id).and_then(VecDeque::pop_front)
                 {
                     any = true;
-                    self.processed += shared.len() as u64;
+                    let in_rows = sel.as_ref().map_or(shared.len(), |s| s.len()) as u64;
+                    self.processed += in_rows;
                     self.batches += 1;
-                    // Take ownership when this is the last reference (the
-                    // common single-consumer hop). When another consumer —
-                    // a node queue or a sink buffer — still holds the
-                    // batch, the clone is a COW pointer clone: column data
-                    // stays shared and is only copied if someone mutates
-                    // it (counted in `TupleBatch::columns_mut`).
-                    let batch = Arc::try_unwrap(shared)
-                        .unwrap_or_else(|still_shared| (*still_shared).clone());
                     out_bufs.clear();
+                    // A pure filter's survivors stay a deferred selection
+                    // (forwarded undensified by `dispatch_selected`);
+                    // everything else produces dense output batches.
+                    let mut refined: Option<(Arc<TupleBatch>, Vec<u32>)> = None;
                     {
                         let node = self.network.node_mut(id).expect("live node");
-                        node.in_count += batch.len() as u64;
+                        node.in_count += in_rows;
                         node.in_batches += 1;
                         let start = self.timing.then(Instant::now);
-                        node.op.process_batch(port, batch, &mut out_bufs);
+                        let refine = node.op.shard_kernel().and_then(|k| {
+                            k.refine_selection(&shared, sel.as_ref().map(|s| s.as_slice()))
+                        });
+                        match refine {
+                            Some(out_sel) => {
+                                node.out_count += out_sel.len() as u64;
+                                if !out_sel.is_empty() {
+                                    refined = Some((shared, out_sel));
+                                }
+                            }
+                            None if sel.is_some() => {
+                                // Absorb through the deferred selection
+                                // (stateful consumers push it down; the
+                                // default gathers once on entry).
+                                let sel = sel.expect("checked some");
+                                node.op.process_selected(
+                                    port,
+                                    &shared,
+                                    sel.as_slice(),
+                                    &mut out_bufs,
+                                );
+                            }
+                            None => {
+                                // Take ownership when this is the last
+                                // reference (the common single-consumer
+                                // hop). When another consumer — a node
+                                // queue or a sink buffer — still holds the
+                                // batch, the clone is a COW pointer clone:
+                                // column data stays shared and is only
+                                // copied if someone mutates it (counted in
+                                // `TupleBatch::columns_mut`).
+                                let batch = Arc::try_unwrap(shared)
+                                    .unwrap_or_else(|still_shared| (*still_shared).clone());
+                                node.op.process_batch(port, batch, &mut out_bufs);
+                            }
+                        }
                         if let Some(start) = start {
                             node.busy += start.elapsed();
                         }
                         node.out_count += out_bufs.iter().map(|b| b.len() as u64).sum::<u64>();
                     }
-                    self.dispatch(id, &mut out_bufs);
+                    if let Some((batch, out_sel)) = refined {
+                        self.dispatch_selected(id, batch, out_sel);
+                    } else {
+                        self.dispatch(id, &mut out_bufs);
+                    }
                 }
                 // Dispatch merged shard outputs *produced by* this node at
                 // exactly the point the single-threaded pass would have —
@@ -1147,6 +1422,94 @@ struct KeyedUnit {
     seqs: Vec<u32>,
 }
 
+/// One batch-sized work item of the morsel scheduler. Every morsel is
+/// tagged with the sequence metadata its units already carry (source batch
+/// indices, row tags), so the deterministic merge is independent of which
+/// worker executes it and in what order.
+enum Morsel {
+    /// Round-robin units headed into their stateless prefixes.
+    Rr(Vec<ShardUnit>),
+    /// Independent keyed units of one `home` shard — stealable at unit
+    /// granularity because every stateful plan member combines
+    /// commutatively.
+    Keyed { home: usize, units: Vec<KeyedUnit> },
+    /// One `home` shard's entire keyed workload plus its watermark pass,
+    /// run sequentially (order-sensitive plans: joins, float aggregates).
+    Chain { home: usize, units: Vec<KeyedUnit> },
+}
+
+/// The flush-scoped morsel scheduler: one deque per worker, seeded with
+/// the worker's home-shard morsels. The owner pops from the head; when a
+/// worker's own deque runs dry (and stealing is enabled) it pops from the
+/// tails of the other workers' deques, so a zipf-hot shard's backlog
+/// spreads over every idle core. Workers never push, so an empty scan
+/// means the flush's distribution phase is over for good.
+struct MorselScheduler {
+    deques: Vec<Mutex<VecDeque<Morsel>>>,
+    /// Morsels dequeued but not yet *finished* — decremented after a
+    /// morsel's rows are absorbed, so `0` is the all-absorbed barrier the
+    /// advance phase waits on.
+    pending: AtomicUsize,
+    /// Set when a morsel panicked: the other workers drop their barriers
+    /// and the pool re-raises the payload on the control thread.
+    aborted: AtomicBool,
+    stealing: bool,
+}
+
+impl MorselScheduler {
+    /// The next morsel for `me`: own head first, then other workers'
+    /// tails. `true` marks a steal; empty victims count
+    /// [`work::WorkSnapshot::steal_misses`].
+    fn grab(&self, me: usize) -> Option<(Morsel, bool)> {
+        if self.aborted.load(Ordering::Acquire) {
+            return None;
+        }
+        if let Some(m) = lock_deque(&self.deques[me]).pop_front() {
+            return Some((m, false));
+        }
+        if !self.stealing {
+            return None;
+        }
+        let n = self.deques.len();
+        for off in 1..n {
+            let victim = (me + off) % n;
+            match lock_deque(&self.deques[victim]).pop_back() {
+                Some(m) => return Some((m, true)),
+                None => work::count_steal_miss(),
+            }
+        }
+        None
+    }
+}
+
+/// Locks a morsel deque, riding over poisoning (the panic that poisoned it
+/// is surfaced through the pool's `Done(Err)` path).
+fn lock_deque(m: &Mutex<VecDeque<Morsel>>) -> std::sync::MutexGuard<'_, VecDeque<Morsel>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Splits `units` into order-preserving chunks of at most `size` (the
+/// morsel granularity knob). The common whole-fits case allocates nothing
+/// new.
+fn chunked<T>(units: Vec<T>, size: usize) -> Vec<Vec<T>> {
+    if units.is_empty() {
+        return Vec::new();
+    }
+    if units.len() <= size {
+        return vec![units];
+    }
+    let mut out = Vec::with_capacity(units.len().div_ceil(size));
+    let mut it = units.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        out.push(chunk);
+    }
+    out
+}
+
 /// A stream's prefix with operator references resolved for the workers.
 struct ResolvedPrefix<'a> {
     roots: Vec<usize>,
@@ -1206,8 +1569,14 @@ struct ResolvedKeyedNode<'a> {
     /// Whether the node has exits (its outputs must be reported back for
     /// the merge).
     record: bool,
-    /// Whether this flush advances the node's watermark on every shard.
+    /// Whether this flush advances the node's watermark on every shard
+    /// (always `false` for partial members — the control loop combines
+    /// and emits their partials).
     advance: bool,
+    /// Whether the node is a partial-aggregation member: absorbs into the
+    /// **executing worker's** partition instead of the home shard's (see
+    /// [`crate::network::KeyedNode::partial`]).
+    partial: bool,
 }
 
 /// The body of the round-robin half of one shard job: runs whole source
@@ -1307,22 +1676,38 @@ fn entry_child(id: u32, parent: &[u32]) -> Vec<u32> {
     key
 }
 
-/// The keyed half of one shard job: a **mini node loop** over the keyed
+/// The keyed body of one morsel: a **mini node loop** over the keyed
 /// plan, mirroring the single-threaded engine's pass — per-node FIFO
-/// queues drained in ascending node order, each stateful node closing its
-/// shard's windows against the flush's merged watermark right after its
-/// queue drains. Because every pair of rows a stateful member must combine
-/// shares this shard (hash partitioning on the tracked key), the walk
-/// observes exactly the single-threaded state restricted to this shard's
-/// keys, and the reported outputs carry entry paths + row tags that let
-/// the control thread reassemble bit-identical batches.
+/// queues drained in ascending node order and (when `advance` is set)
+/// each stateful node closing `state_shard`'s windows against the flush's
+/// merged watermark right after its queue drains. Because every pair of
+/// rows a stateful member must combine shares the unit's home shard (hash
+/// partitioning on the tracked key), the walk observes exactly the
+/// single-threaded state restricted to that shard's keys, and the
+/// reported outputs carry entry paths + row tags that let the control
+/// thread reassemble bit-identical batches.
+///
+/// Partial-aggregation members are the exception to key homing: they
+/// absorb into `partial_shard` — the **executing worker's** partition —
+/// which is exact because only commutative aggregates qualify; the
+/// control loop's watermark pass later combines the per-worker partials
+/// in partition order.
+///
+/// `advance` is set for chain morsels (order-sensitive plans run their
+/// shard's units and watermark pass as one sequential walk) and for the
+/// commutative scheduler's dedicated advance phase (empty `units`,
+/// `state_shard == partial_shard ==` the worker's own partition, entered
+/// only after every morsel of the flush is absorbed).
+#[allow(clippy::too_many_arguments)]
 fn keyed_worker(
-    shard: usize,
+    state_shard: usize,
+    partial_shard: usize,
     nodes: &[ResolvedKeyedNode<'_>],
     roots: &[Vec<(usize, usize)>],
     units: Vec<KeyedUnit>,
     watermark: u64,
     timing: bool,
+    advance: bool,
     report: &mut ShardReport,
 ) {
     let mut queues: Vec<VecDeque<KeyedEntry>> = (0..nodes.len()).map(|_| VecDeque::new()).collect();
@@ -1403,6 +1788,11 @@ fn keyed_worker(
                         // rows were never gathered into a dense batch.
                         work::count_pushdown_rows(in_rows);
                     }
+                    let shard = if node.partial {
+                        partial_shard
+                    } else {
+                        state_shard
+                    };
                     let (out, trace) =
                         k.process_keyed(shard, entry.port, &entry.batch, entry.sel.as_deref());
                     (!out.is_empty()).then(|| KeyedEntry {
@@ -1427,11 +1817,12 @@ fn keyed_worker(
         }
         // Watermark pass: close this shard's windows right after the
         // node's queue — the position the single-threaded loop advances
-        // the node at.
-        if node.advance {
+        // the node at. Suppressed while `advance` is off (commutative
+        // morsels — their flush runs a dedicated advance phase instead).
+        if advance && node.advance {
             if let ResolvedKeyedKernel::Stateful(k) = &node.kernel {
                 let start = timing.then(Instant::now);
-                let emitted = k.advance_keyed(shard, watermark);
+                let emitted = k.advance_keyed(state_shard, watermark);
                 let elapsed = start.map(|s| s.elapsed()).unwrap_or_default();
                 report.busy += elapsed;
                 let delta = report.node_stats.entry(node.id).or_default();
@@ -2211,6 +2602,30 @@ mod tests {
             "hash partitioning exercises the interleave merge"
         );
         assert_eq!(snap.row_evals, 0, "workers ran the columnar kernels");
+    }
+
+    /// Selection pushdown is not a sharded-only affair: the
+    /// single-threaded control loop carries `(batch, selection)` pairs
+    /// through its per-node queues, so a pure filter's survivors reach a
+    /// downstream stateful consumer as a selection vector over the shared
+    /// batch — counted by `selection_pushdown_rows` — instead of being
+    /// densified into a fresh batch at every hop.
+    #[test]
+    fn single_threaded_queues_push_selections_into_stateful_ops() {
+        let mut e = engine_with_quotes().with_max_batch_size(16);
+        let cq = e
+            .add_query(high_filter().aggregate(Some(0), AggFunc::Count, 0, 20))
+            .unwrap();
+        work::reset();
+        e.push_rows("quotes", market_rows(160));
+        let snap = work::snapshot();
+        assert_eq!(snap.shard_batches, 0, "shards = 1 never touches the pool");
+        assert!(
+            snap.selection_pushdown_rows > 0,
+            "the filter's partial selection must reach the aggregate undensified: {snap:?}"
+        );
+        e.finish();
+        assert!(e.output_len(cq) > 0, "windows closed with grouped counts");
     }
 
     #[test]

@@ -129,7 +129,7 @@
 //! row-for-row equivalent (pinned by the `fused_network_equals_unfused`
 //! property in `tests/property_dsms.rs`).
 //!
-//! ## Parallel execution: keyed prefixes on a persistent worker pool
+//! ## Parallel execution: morsel-driven scheduling with work stealing
 //!
 //! The engine scales ingestion across cores without giving up replay
 //! exactness. A **shard-count knob** sits next to the batch-size and
@@ -138,8 +138,9 @@
 //! [`center::DsmsCenter::with_shards`] (which also applies it to the
 //! shadow calibration engines, like
 //! [`center::DsmsCenter::with_shard_key`]). Shard count 1 — the default —
-//! compiles down to the single-threaded path; `n > 1` runs each flush in
-//! three phases:
+//! compiles down to the single-threaded path (which still carries the
+//! filters' selection vectors through its per-node queues instead of
+//! densifying at every hop); `n > 1` runs each flush in three phases:
 //!
 //! 1. **Partition.** Streams with a configured **shard key**
 //!    ([`engine::DsmsEngine::set_shard_key`]) hash-partition row by row
@@ -149,28 +150,40 @@
 //!    round-robin into their stateless prefixes. Subscribers outside both
 //!    plans — shard-incompatible operators and sinks — receive raw
 //!    batches at flush time, exactly like the single-threaded engine.
-//! 2. **Parallel execution on the pool.** One job per shard runs on a
-//!    **persistent worker pool**: long-lived threads spawn on the first
-//!    parallel flush, park on condvar inboxes between flushes, and wake
-//!    per flush (spawns and wakeups are counted —
-//!    [`types::work::WorkSnapshot::pool_spawns`] stays flat after
-//!    warmup). Round-robin units walk the stream's **stateless prefix**
-//!    ([`network::QueryNetwork::stateless_prefix`]). Keyed units run the
-//!    **keyed plan** ([`network::QueryNetwork::keyed_plan`]): the
-//!    stateless prefix *plus every downstream stateful operator keyed
-//!    compatibly with the partition key* — joins whose both sides are
-//!    partitioned by their join keys, aggregates grouping by the key,
-//!    with the key's column position tracked through filters,
-//!    projections, and fused chains. Stateful members execute through a
-//!    `&self` kernel ([`ops::KeyedKernel`]) against **per-shard state
-//!    partitions** (equal keys share a shard, so each partition is the
-//!    single-threaded state restricted to its keys), close windows
-//!    per-shard against the flush's merged watermark, and absorb
-//!    filtered input **through the selection vector** (no densify;
+//! 2. **Morsel-driven execution on the pool.** The flush's work units are
+//!    cut into **morsels** — batch-sized, sequence-tagged work items of at
+//!    most [`engine::DsmsEngine::set_morsel_batches`] units each — and
+//!    dealt onto **per-worker deques**: worker `w`'s deque holds the
+//!    morsels whose rows hash-partitioned to home shard `w` (plus its
+//!    round-robin share). One job per worker runs on a **persistent
+//!    worker pool** (long-lived threads spawn once, park on condvar
+//!    inboxes, wake per flush — [`types::work::WorkSnapshot::pool_spawns`]
+//!    stays flat after warmup): each worker pops its *own deque's head*
+//!    first, and when that runs dry **steals from the tail** of the next
+//!    busy worker's deque ([`engine::DsmsEngine::set_stealing`], on by
+//!    default) — so a zipf-skewed key distribution that floods one home
+//!    shard rebalances across whichever workers are idle. Executed,
+//!    stolen, and missed-steal morsels are counted
+//!    ([`types::work::WorkSnapshot::morsels_executed`] /
+//!    [`types::work::WorkSnapshot::morsels_stolen`] /
+//!    [`types::work::WorkSnapshot::steal_misses`]); a worker sweeps the
+//!    victim deques at most once per grab, so the counters also pin that
+//!    nobody spins. Round-robin morsels walk the stream's **stateless
+//!    prefix** ([`network::QueryNetwork::stateless_prefix`]). Keyed
+//!    morsels run the **keyed plan**
+//!    ([`network::QueryNetwork::keyed_plan`]): the stateless prefix *plus
+//!    every downstream stateful operator keyed compatibly with the
+//!    partition key* — joins whose both sides are partitioned by their
+//!    join keys, aggregates grouping by the key, with the key's column
+//!    position tracked through filters, projections, and fused chains.
+//!    Stateful members execute through a `&self` kernel
+//!    ([`ops::KeyedKernel`]) against **state partitions** addressed by
+//!    the morsel's *home* shard (equal keys share a home, so a stolen
+//!    morsel mutates exactly the partition it would have at home), close
+//!    windows per-partition against the flush's merged watermark, and
+//!    absorb filtered input **through the selection vector** (no densify;
 //!    counted by
-//!    [`types::work::WorkSnapshot::selection_pushdown_rows`]). Each
-//!    shard's job is a mini node loop mirroring the engine's own pass,
-//!    and workers inherit the dispatching thread's columnar kill switch.
+//!    [`types::work::WorkSnapshot::selection_pushdown_rows`]).
 //! 3. **Deterministic merge — past the stateful operators.** The merge
 //!    barrier sits at the keyed plan's *exits* (the first
 //!    shard-incompatible node or sink), not in front of every join and
@@ -184,30 +197,64 @@
 //!    each producer, reproducing the single-threaded arrival interleaving
 //!    at every out-of-plan queue.
 //!
+//! **Two keyed execution modes.** Stealing must not reorder state
+//! mutations that produce inline outputs, so the scheduler classifies
+//! each keyed plan: when every stateful member **commutes** (exact
+//! aggregates — absorption order cannot change the combined state, and
+//! aggregates emit only at window closes), a home shard's units chunk
+//! into independent morsels and the watermark pass runs as a **second
+//! phase** behind an all-absorbed barrier (worker `w` closes partition
+//! `w`'s windows — per-partition, so the pass needs no locks). Plans with
+//! order-sensitive members (joins, float Sum/Avg aggregates) fall back to
+//! one **chain morsel** per home shard — the original one-pass walk with
+//! in-line advances, still stealable as a whole, so skew still rebalances
+//! at shard granularity.
+//!
+//! **Partial aggregation of ungrouped aggregates.** An ungrouped
+//! aggregate normally blocks sharding (its single group spans every
+//! shard) — but when its combine is **exact** (integer inputs via the
+//! i128 accumulator; Count/Min/Max over anything —
+//! [`ops::AggregateOp`]'s `combine_exact`), it joins the keyed plan as a
+//! **partial member**: each worker absorbs its morsels' rows into its
+//! *own* partial accumulator, and the control thread's watermark
+//! pass folds the per-worker partials **in deterministic partition
+//! order** at every window close. Float Sum/Avg stay behind the merge
+//! barrier (float addition does not associate). The `hot_key_skew` bench
+//! group and the ungrouped-aggregate equivalence property pin both
+//! halves.
+//!
 //! **Determinism argument.** Hash partitioning sends every pair of rows a
 //! keyed stateful operator must combine (equal join keys, equal group
-//! keys) to the same shard, so per-shard operator state evolves exactly
-//! as the single-threaded state restricted to that shard's keys; shard
-//! jobs process sub-batches in source order through the same node-loop
-//! schedule the control thread uses, against the same merged watermark.
+//! keys) to the same *home* shard, and a morsel's state-partition index
+//! travels with the morsel, so per-partition operator state evolves
+//! exactly as the single-threaded state restricted to that partition's
+//! keys no matter which worker executes it; morsels of one home shard
+//! preserve source order within each deque (owners pop the head; a chain
+//! morsel is never split; commutative morsels may complete out of order
+//! but their absorptions commute), against the same merged watermark.
 //! Join outputs ordered by probe-row tag and window closes ordered by the
 //! `(window start, group)` emission comparator therefore reassemble the
 //! exact single-threaded output sequences. Output sequences are hence
 //! **bit-identical to the single-threaded engine regardless of shard
-//! count** — pinned by the `shard_count_invariance` *and*
-//! `keyed_stateful_shard_invariance` properties (stateless and
-//! keyed-stateful plan shapes × batch caps 1/7/64/1024 × shard counts
-//! 1/2/4/8 × both partition modes, strict sequence equality) and a
-//! 100-seed concurrency soak in `tests/shard_exec.rs`.
+//! count, morsel size, or stealing** — pinned by the
+//! `shard_count_invariance`, `keyed_stateful_shard_invariance`, and
+//! `ungrouped_aggregate_partials_match_single_threaded` properties
+//! (stateless, keyed-stateful, and partial-aggregate plan shapes × batch
+//! caps 1/7/64/1024 × shard counts 1/2/4/8 × both partition modes ×
+//! morsel grains 1/4/16 × stealing on/off, strict sequence equality), a
+//! 100-seed concurrency soak, and a skewed-key soak in
+//! `tests/shard_exec.rs`.
 //!
-//! Per-shard load is observable ([`engine::DsmsEngine::shard_stats`],
-//! [`engine::StreamStats::shard_rows`], the `shard_batches` /
-//! `shard_merge_rows` / `keyed_shard_rows` work counters) and aggregates
-//! into the same per-node totals the measured cost model reads, so
-//! [`cost::CostModel::measured`] prices a query's full multi-core load —
-//! including the keyed stateful fraction, which now genuinely runs on the
-//! shards — and the admission auction compares it against
-//! [`cost::effective_capacity`] — `shards × per-core capacity`.
+//! Per-worker load is observable ([`engine::DsmsEngine::shard_stats`] —
+//! executing-worker attribution, near-balanced under stealing;
+//! [`engine::StreamStats::shard_rows`] — home placement, where skew stays
+//! visible; the `shard_batches` / `shard_merge_rows` / `keyed_shard_rows`
+//! / morsel work counters) and aggregates into the same per-node totals
+//! the measured cost model reads, so [`cost::CostModel::measured`] prices
+//! a query's full multi-core load — including the keyed stateful fraction,
+//! which now genuinely runs on the shards — and the admission auction
+//! compares it against [`cost::effective_capacity`] — `shards × per-core
+//! capacity`.
 //!
 //! ## Example: shared batched processing end to end
 //!

@@ -32,7 +32,7 @@ use crate::ops::{
 use crate::plan::{AggFunc, LogicalPlan, PlanError, StreamCatalog};
 use crate::types::{DataType, Schema};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -174,6 +174,14 @@ pub struct KeyedNode {
     /// running with per-shard state partitions; stateless plan members run
     /// their ordinary shard kernels.
     pub stateful: bool,
+    /// Whether the node is a **partial-aggregation** member (an ungrouped
+    /// aggregate with an exact combine): workers absorb rows into
+    /// per-*worker* partial accumulators instead of key-homed partitions,
+    /// and the control thread's watermark pass combines the partials in
+    /// partition order when windows close. Downstream consumers still see
+    /// the node as a merge barrier (its output is produced on the control
+    /// thread), so a partial node's `internal` is always empty.
+    pub partial: bool,
     /// Downstream consumers *inside* the plan, as
     /// `(index into [`KeyedPlan::nodes`], input port)` pairs, in the
     /// node's `downstream` order.
@@ -849,6 +857,7 @@ impl QueryNetwork {
         // member's output key position (`None` = key lost; stateless
         // members stay shardable either way).
         let mut members: HashMap<NodeId, Option<usize>> = HashMap::new();
+        let mut partials: HashSet<NodeId> = HashSet::new();
         let mut order: Vec<NodeId> = Vec::new();
         for id in self.node_ids() {
             let Some(edges) = in_edges.get(&id) else {
@@ -886,6 +895,17 @@ impl QueryNetwork {
             if stateless || (keyed_stateful && key_out.is_some()) {
                 members.insert(id, key_out);
                 order.push(id);
+            } else if keyed_stateful && node.op.keyed_partial() {
+                // Partial-aggregation member: absorbs rows inside the
+                // shards (per-worker partials, no key needed — every row
+                // folds into whichever worker ran its morsel, legal
+                // because the combine is exact), but its *output* is
+                // produced by the control thread's watermark pass, which
+                // combines the partials. Downstream nodes therefore see a
+                // merge barrier: the node joins `order` but not
+                // `members`.
+                partials.insert(id);
+                order.push(id);
             }
         }
 
@@ -906,9 +926,14 @@ impl QueryNetwork {
                         other => exits.push(other),
                     }
                 }
+                debug_assert!(
+                    !partials.contains(&id) || internal.is_empty(),
+                    "partial members emit on the control thread, never in-plan"
+                );
                 KeyedNode {
                     id,
                     stateful: node.op.shard_kernel().is_none(),
+                    partial: partials.contains(&id),
                     internal,
                     exits,
                 }
@@ -1313,17 +1338,42 @@ mod tests {
     }
 
     #[test]
-    fn keyed_plan_stops_at_incompatible_group_keys() {
+    fn keyed_plan_stops_at_inexact_ungrouped_aggregates() {
         let mut n = network_with_quotes();
-        // Grouping by a column that is *not* the shard key: the aggregate
-        // must stay a merge barrier (its groups span shards).
-        n.add_query(high_price_filter().aggregate(None, AggFunc::Count, 0, 100))
+        // An ungrouped float Sum cannot combine per-worker partials
+        // exactly (reassociation changes the rounding), so it must stay a
+        // merge barrier.
+        n.add_query(high_price_filter().aggregate(None, AggFunc::Sum, 1, 100))
             .unwrap();
         let plan = n.keyed_plan(&keys(&[("quotes", 0)]));
         assert_eq!(plan.nodes.len(), 1, "only the filter shards");
         assert!(!plan.has_stateful);
         let filter = &plan.nodes[0];
         assert_eq!(filter.exits.len(), 1, "the aggregate is an exit");
+    }
+
+    #[test]
+    fn keyed_plan_admits_ungrouped_exact_aggregates_as_partials() {
+        let mut n = network_with_quotes();
+        // An ungrouped Count combines exactly, so it joins the plan as a
+        // partial-aggregation member: rows fold into per-worker partials
+        // in-shard, and the control thread's watermark pass combines
+        // them. Its consumers still see a merge barrier (empty internal).
+        let q = n
+            .add_query(high_price_filter().aggregate(None, AggFunc::Count, 0, 100))
+            .unwrap();
+        let plan = n.keyed_plan(&keys(&[("quotes", 0)]));
+        assert_eq!(plan.nodes.len(), 2, "filter + partial aggregate");
+        assert!(plan.has_stateful);
+        let agg = plan.nodes.last().unwrap();
+        assert!(agg.stateful);
+        assert!(agg.partial, "ungrouped exact aggregate absorbs as partials");
+        assert!(agg.internal.is_empty());
+        assert_eq!(agg.exits, vec![Target::Sink(q)]);
+        assert!(
+            !plan.nodes[0].partial,
+            "stateless members are never partial"
+        );
     }
 
     #[test]
@@ -1377,16 +1427,37 @@ mod tests {
             "key tracked to column 1 through the project"
         );
 
-        // A projection that *drops* the key severs the keyed chain.
-        let mut n2 = network_with_quotes();
+        // A projection that *drops* the key severs the keyed chain for a
+        // *grouped* aggregate (its groups then span shards)...
+        let mut n2 = QueryNetwork::new();
+        n2.register_stream(
+            "trades",
+            Schema::new(vec![
+                Field::new("symbol", DataType::Str),
+                Field::new("size", DataType::Int),
+            ]),
+        );
         n2.add_query(
+            LogicalPlan::source("trades")
+                .project(vec![("size".to_string(), Expr::col(1))])
+                .aggregate(Some(0), AggFunc::Count, 0, 100),
+        )
+        .unwrap();
+        let plan2 = n2.keyed_plan(&keys(&[("trades", 0)]));
+        assert!(!plan2.has_stateful, "dropped key keeps the merge barrier");
+
+        // ...but an *ungrouped* exact aggregate doesn't need the key at
+        // all: it still joins the plan as a partial member.
+        let mut n3 = network_with_quotes();
+        n3.add_query(
             LogicalPlan::source("quotes")
                 .project(vec![("price".to_string(), Expr::col(1))])
                 .aggregate(None, AggFunc::Count, 0, 100),
         )
         .unwrap();
-        let plan2 = n2.keyed_plan(&keys(&[("quotes", 0)]));
-        assert!(!plan2.has_stateful, "dropped key keeps the merge barrier");
+        let plan3 = n3.keyed_plan(&keys(&[("quotes", 0)]));
+        assert!(plan3.has_stateful, "partial members survive key loss");
+        assert!(plan3.nodes.last().unwrap().partial);
     }
 
     #[test]

@@ -218,6 +218,48 @@ pub trait Operator: std::fmt::Debug + Send {
         None
     }
 
+    /// Whether the operator's keyed absorption **commutes across input
+    /// batches**: absorbing a flush's units into per-shard state in any
+    /// order produces bit-identical state and eventual emissions. The
+    /// morsel scheduler only lets work stealing reorder a shard's units
+    /// when every keyed stateful member of the plan commutes; otherwise
+    /// the shard's units run as one sequential chain. Joins never commute
+    /// (the probe/insert interleave determines match order and content);
+    /// aggregates commute exactly when their accumulator combines exactly
+    /// (counts, `i128` integer arithmetic, min/max).
+    fn keyed_commutative(&self) -> bool {
+        false
+    }
+
+    /// Whether the operator can run as a **partial-aggregation** member
+    /// of the keyed parallel plan: workers fold rows into per-worker
+    /// partial accumulators ([`KeyedKernel::process_keyed`] with the
+    /// *worker* index as the partition) and a deterministic
+    /// partition-order combine merges the partials when windows close.
+    /// Only ungrouped aggregates with exact combines qualify — grouped
+    /// aggregates already shard by group key, and inexact float sums
+    /// would pick up schedule-dependent rounding.
+    fn keyed_partial(&self) -> bool {
+        false
+    }
+
+    /// Processes the `sel`-selected rows of a shared batch arriving on
+    /// `port` — the single-threaded selection-pushdown hook. The default
+    /// gathers the selection into a dense batch and delegates to
+    /// [`Operator::process_batch`]; stateful operators override it to
+    /// absorb straight through the selection vector (counted by
+    /// [`crate::types::work::WorkSnapshot::selection_pushdown_rows`]),
+    /// never materializing the dropped rows.
+    fn process_selected(
+        &mut self,
+        port: usize,
+        batch: &TupleBatch,
+        sel: &[u32],
+        out: &mut Vec<TupleBatch>,
+    ) {
+        self.process_batch(port, batch.take(sel), out);
+    }
+
     /// Re-partitions internal operator state across `n` shards (default:
     /// stateless operators have nothing to do). Keyed state moves whole —
     /// a key's tuples stay in arrival order — into the partition its key
@@ -978,6 +1020,42 @@ impl Operator for JoinOp {
         }
     }
 
+    fn process_selected(
+        &mut self,
+        port: usize,
+        batch: &TupleBatch,
+        sel: &[u32],
+        out: &mut Vec<TupleBatch>,
+    ) {
+        // Absorb straight through the deferred selection: the dropped
+        // rows of the upstream filter are never gathered.
+        crate::types::work::count_pushdown_rows(sel.len() as u64);
+        let key_col = batch.column(if port == 0 {
+            self.left_key
+        } else {
+            self.right_key
+        });
+        let mut matches = TupleBatch::new(self.schema.clone());
+        let mut parts: Vec<&mut JoinPart> = self
+            .parts
+            .iter_mut()
+            .map(|m| m.get_mut().expect("join partition lock poisoned"))
+            .collect();
+        Self::absorb_rows(
+            &mut parts,
+            key_col,
+            self.window_ms,
+            port,
+            batch,
+            sel.iter().map(|&i| i as usize),
+            &mut matches,
+            None,
+        );
+        if !matches.is_empty() {
+            out.push(matches);
+        }
+    }
+
     fn advance_watermark(&mut self, watermark: u64, _out: &mut Vec<TupleBatch>) {
         let horizon = watermark.saturating_sub(self.window_ms);
         for part in &mut self.parts {
@@ -1238,6 +1316,63 @@ impl AggState {
         }
     }
 
+    /// Folds another accumulator — a partial over a disjoint row subset of
+    /// the same `(window, group)` — into this one. The `Int` arm is
+    /// **exact** (i128 sums and i64 min/max associate and commute, so any
+    /// split of the rows across workers combines to the single-threaded
+    /// state bit for bit). The `Float` arm is deterministic only under a
+    /// fixed combine order; callers combine partials in partition order.
+    fn combine(&mut self, other: &AggState) {
+        if other.count() == 0 {
+            return;
+        }
+        if self.count() == 0 {
+            *self = other.clone();
+            return;
+        }
+        match (self, other) {
+            (
+                AggState::Int {
+                    count,
+                    sum,
+                    min,
+                    max,
+                },
+                AggState::Int {
+                    count: c2,
+                    sum: s2,
+                    min: m2,
+                    max: x2,
+                },
+            ) => {
+                *count += c2;
+                *sum += s2;
+                *min = (*min).min(*m2);
+                *max = (*max).max(*x2);
+            }
+            (
+                AggState::Float {
+                    count,
+                    sum,
+                    min,
+                    max,
+                },
+                AggState::Float {
+                    count: c2,
+                    sum: s2,
+                    min: m2,
+                    max: x2,
+                },
+            ) => {
+                *count += c2;
+                *sum += s2;
+                *min = min.min(*m2);
+                *max = max.max(*x2);
+            }
+            _ => debug_assert!(false, "aggregate partials disagree on input type"),
+        }
+    }
+
     /// The aggregate's value, or `None` for an empty accumulator: an empty
     /// window has no defined `Min`/`Max`/`Avg` (the old code emitted the
     /// uninitialized `0.0`), so callers skip emission instead.
@@ -1366,6 +1501,66 @@ impl AggregateOp {
         }
     }
 
+    /// Whether per-worker partial accumulators combine **exactly** into
+    /// the single-threaded result regardless of which worker absorbed
+    /// which rows: counts, `i128` integer arithmetic, and min/max (both
+    /// input types) associate and commute; float `Sum`/`Avg` round
+    /// differently under reassociation, so they stay on the
+    /// order-preserving path.
+    fn combine_exact(&self) -> bool {
+        self.int_input || matches!(self.func, AggFunc::Count | AggFunc::Min | AggFunc::Max)
+    }
+
+    /// Absorbs `rows` (batch-row indices) of one batch, routing each row
+    /// to the partition its group key hashes to — the shared body of
+    /// [`Operator::process_batch`] and [`Operator::process_selected`].
+    fn absorb_routed(&mut self, batch: &TupleBatch, rows: impl Iterator<Item = usize>) {
+        // Typed columnar absorb: the aggregated column and the group-key
+        // column are resolved once per batch; the loop reads slices and
+        // never materializes a row or widens a `Value`. Rows route to the
+        // partition their group key hashes to — the same partition the
+        // keyed shard path would use.
+        let Some(input) = self.agg_column(batch) else {
+            return;
+        };
+        let (slide_ms, window_ms, group_by) = (self.slide_ms, self.window_ms, self.group_by);
+        // `&mut self` owns the locks: borrow every partition once per
+        // batch instead of locking per row.
+        let mut parts: Vec<&mut AggPart> = self
+            .parts
+            .iter_mut()
+            .map(|m| m.get_mut().expect("aggregate partition lock poisoned"))
+            .collect();
+        let n_parts = parts.len();
+        let group_col = group_by.map(|col| batch.column(col));
+        for i in rows {
+            let group = match group_col {
+                Some(col) => match Key::from_column(col, i) {
+                    Some(k) => Some(k),
+                    None => {
+                        // Plan validation rejects float group keys; see the
+                        // matching guard in `JoinOp`.
+                        debug_assert!(false, "unhashable group key escaped plan validation");
+                        continue;
+                    }
+                },
+                None => None,
+            };
+            let p = match group_col {
+                Some(col) if n_parts > 1 => shard_of_cell(col, i, n_parts),
+                _ => 0,
+            };
+            Self::absorb_at(
+                parts[p],
+                slide_ms,
+                window_ms,
+                batch.ts()[i],
+                group,
+                input.get(i),
+            );
+        }
+    }
+
     /// Absorbs one value into every window of `part` covering `ts` (a
     /// free-standing helper so callers that hold `&mut` borrows into
     /// `self.parts` can still route rows — see `process_batch`).
@@ -1490,8 +1685,20 @@ impl AggregateOp {
         // Deterministic emission order: by window start, then group key
         // (one rendered key per element, not two per comparison).
         ready.sort_by_cached_key(|(key, _)| (key.0, format!("{:?}", key.1)));
-        let mut closed = TupleBatch::with_capacity(self.schema.clone(), ready.len());
+        // Combine runs of equal keys: an ungrouped window absorbed as
+        // per-worker partials lives in several partitions at once. The
+        // stable sort keeps equal keys in partition order, so the
+        // left-to-right fold *is* the deterministic partition-order
+        // combine. Grouped keys are unique per partition — a no-op.
+        let mut merged: Vec<((u64, Option<Key>), AggState)> = Vec::with_capacity(ready.len());
         for (key, state) in ready {
+            match merged.last_mut() {
+                Some((prev, acc)) if *prev == key => acc.combine(&state),
+                _ => merged.push((key, state)),
+            }
+        }
+        let mut closed = TupleBatch::with_capacity(self.schema.clone(), merged.len());
+        for (key, state) in merged {
             self.emit_window(&key, &state, &mut closed);
         }
         if !closed.is_empty() {
@@ -1502,50 +1709,20 @@ impl AggregateOp {
 
 impl Operator for AggregateOp {
     fn process_batch(&mut self, _port: usize, batch: TupleBatch, _out: &mut Vec<TupleBatch>) {
-        // Typed columnar absorb: the aggregated column and the group-key
-        // column are resolved once per batch; the loop reads slices and
-        // never materializes a row or widens a `Value`. Rows route to the
-        // partition their group key hashes to — the same partition the
-        // keyed shard path would use.
-        let Some(input) = self.agg_column(&batch) else {
-            return;
-        };
-        let (slide_ms, window_ms, group_by) = (self.slide_ms, self.window_ms, self.group_by);
-        // `&mut self` owns the locks: borrow every partition once per
-        // batch instead of locking per row.
-        let mut parts: Vec<&mut AggPart> = self
-            .parts
-            .iter_mut()
-            .map(|m| m.get_mut().expect("aggregate partition lock poisoned"))
-            .collect();
-        let n_parts = parts.len();
-        let group_col = group_by.map(|col| batch.column(col));
-        for i in 0..batch.len() {
-            let group = match group_col {
-                Some(col) => match Key::from_column(col, i) {
-                    Some(k) => Some(k),
-                    None => {
-                        // Plan validation rejects float group keys; see the
-                        // matching guard in `JoinOp`.
-                        debug_assert!(false, "unhashable group key escaped plan validation");
-                        continue;
-                    }
-                },
-                None => None,
-            };
-            let p = match group_col {
-                Some(col) if n_parts > 1 => shard_of_cell(col, i, n_parts),
-                _ => 0,
-            };
-            Self::absorb_at(
-                parts[p],
-                slide_ms,
-                window_ms,
-                batch.ts()[i],
-                group,
-                input.get(i),
-            );
-        }
+        self.absorb_routed(&batch, 0..batch.len());
+    }
+
+    fn process_selected(
+        &mut self,
+        _port: usize,
+        batch: &TupleBatch,
+        sel: &[u32],
+        _out: &mut Vec<TupleBatch>,
+    ) {
+        // Absorb straight through the deferred selection: the dropped
+        // rows of the upstream filter are never gathered.
+        crate::types::work::count_pushdown_rows(sel.len() as u64);
+        self.absorb_routed(batch, sel.iter().map(|&i| i as usize));
     }
 
     fn advance_watermark(&mut self, watermark: u64, out: &mut Vec<TupleBatch>) {
@@ -1583,6 +1760,14 @@ impl Operator for AggregateOp {
         (self.group_by == Some(key)).then_some(1)
     }
 
+    fn keyed_commutative(&self) -> bool {
+        self.combine_exact()
+    }
+
+    fn keyed_partial(&self) -> bool {
+        self.group_by.is_none() && self.combine_exact()
+    }
+
     fn set_partitions(&mut self, n: usize) {
         assert!(n > 0, "partition count must be positive");
         if n == self.parts.len() {
@@ -1595,17 +1780,29 @@ impl Operator for AggregateOp {
         let mut parts: Vec<AggPart> = (0..n).map(|_| AggPart::new()).collect();
         for part in old {
             for ((start, group), state) in part {
-                // Ungrouped state lives in partition 0 (it is never
-                // keyed-sharded; partition choice just has to be stable).
+                // Ungrouped state re-homes to partition 0 (its partials
+                // spread across workers only during a flush); grouped
+                // state moves to the partition its key hashes to.
                 let p = match &group {
                     Some(k) if n > 1 => k.shard_of(n),
                     _ => 0,
                 };
-                let prev = parts[p].insert((start, group), state);
-                debug_assert!(
-                    prev.is_none(),
-                    "window state may live in only one partition"
-                );
+                match parts[p].entry((start, group)) {
+                    // Per-worker partials of one ungrouped window merge
+                    // when partitions collapse — iterating `old` in
+                    // partition order keeps the combine deterministic.
+                    // Grouped keys live in exactly one partition.
+                    Entry::Occupied(mut e) => {
+                        debug_assert!(
+                            e.key().1.is_none(),
+                            "grouped window state may live in only one partition"
+                        );
+                        e.get_mut().combine(&state);
+                    }
+                    Entry::Vacant(e) => {
+                        e.insert(state);
+                    }
+                }
             }
         }
         self.parts = parts.into_iter().map(Mutex::new).collect();

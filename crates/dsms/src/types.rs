@@ -958,6 +958,9 @@ pub mod work {
         static PUSHDOWN_ROWS: Cell<u64> = const { Cell::new(0) };
         static POOL_SPAWNS: Cell<u64> = const { Cell::new(0) };
         static POOL_WAKEUPS: Cell<u64> = const { Cell::new(0) };
+        static MORSELS_EXECUTED: Cell<u64> = const { Cell::new(0) };
+        static MORSELS_STOLEN: Cell<u64> = const { Cell::new(0) };
+        static STEAL_MISSES: Cell<u64> = const { Cell::new(0) };
     }
 
     /// A snapshot of the current thread's work counters.
@@ -1000,6 +1003,17 @@ pub mod work {
         /// Jobs dispatched to (and woken on) pooled workers — one per
         /// shard per parallel flush.
         pub pool_wakeups: u64,
+        /// Morsels (batch-sized work items) executed by workers — counts
+        /// both locally popped and stolen morsels, so the sum across
+        /// workers equals the morsels scheduled per flush.
+        pub morsels_executed: u64,
+        /// Morsels an idle worker stole from the tail of another worker's
+        /// deque — nonzero under skewed key distributions, where stealing
+        /// rebalances a hot shard's backlog onto idle cores.
+        pub morsels_stolen: u64,
+        /// Steal attempts that found the victim's deque empty — a measure
+        /// of wasted scans while draining the flush's final morsels.
+        pub steal_misses: u64,
     }
 
     /// Resets this thread's counters to zero.
@@ -1014,6 +1028,9 @@ pub mod work {
         PUSHDOWN_ROWS.with(|c| c.set(0));
         POOL_SPAWNS.with(|c| c.set(0));
         POOL_WAKEUPS.with(|c| c.set(0));
+        MORSELS_EXECUTED.with(|c| c.set(0));
+        MORSELS_STOLEN.with(|c| c.set(0));
+        STEAL_MISSES.with(|c| c.set(0));
     }
 
     /// Reads this thread's counters.
@@ -1029,6 +1046,9 @@ pub mod work {
             selection_pushdown_rows: PUSHDOWN_ROWS.with(Cell::get),
             pool_spawns: POOL_SPAWNS.with(Cell::get),
             pool_wakeups: POOL_WAKEUPS.with(Cell::get),
+            morsels_executed: MORSELS_EXECUTED.with(Cell::get),
+            morsels_stolen: MORSELS_STOLEN.with(Cell::get),
+            steal_misses: STEAL_MISSES.with(Cell::get),
         }
     }
 
@@ -1047,6 +1067,9 @@ pub mod work {
         PUSHDOWN_ROWS.with(|c| c.set(c.get() + other.selection_pushdown_rows));
         POOL_SPAWNS.with(|c| c.set(c.get() + other.pool_spawns));
         POOL_WAKEUPS.with(|c| c.set(c.get() + other.pool_wakeups));
+        MORSELS_EXECUTED.with(|c| c.set(c.get() + other.morsels_executed));
+        MORSELS_STOLEN.with(|c| c.set(c.get() + other.morsels_stolen));
+        STEAL_MISSES.with(|c| c.set(c.get() + other.steal_misses));
     }
 
     #[inline]
@@ -1097,6 +1120,21 @@ pub mod work {
     #[inline]
     pub(crate) fn count_pool_wakeup() {
         POOL_WAKEUPS.with(|c| c.set(c.get() + 1));
+    }
+
+    #[inline]
+    pub(crate) fn count_morsel_executed() {
+        MORSELS_EXECUTED.with(|c| c.set(c.get() + 1));
+    }
+
+    #[inline]
+    pub(crate) fn count_morsel_stolen() {
+        MORSELS_STOLEN.with(|c| c.set(c.get() + 1));
+    }
+
+    #[inline]
+    pub(crate) fn count_steal_miss() {
+        STEAL_MISSES.with(|c| c.set(c.get() + 1));
     }
 }
 
@@ -1353,6 +1391,9 @@ mod tests {
             selection_pushdown_rows: 19,
             pool_spawns: 23,
             pool_wakeups: 29,
+            morsels_executed: 31,
+            morsels_stolen: 37,
+            steal_misses: 41,
         };
         work::absorb(&foreign);
         work::absorb(&foreign);
@@ -1364,6 +1405,9 @@ mod tests {
         assert_eq!(snap.selection_pushdown_rows, 38);
         assert_eq!(snap.pool_spawns, 46);
         assert_eq!(snap.pool_wakeups, 58);
+        assert_eq!(snap.morsels_executed, 62);
+        assert_eq!(snap.morsels_stolen, 74);
+        assert_eq!(snap.steal_misses, 82);
         work::reset();
     }
 

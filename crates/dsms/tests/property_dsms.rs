@@ -659,20 +659,56 @@ fn partition_modes() -> Vec<bool> {
     }
 }
 
+/// Morsel granularities exercised by the shard-invariance suites
+/// (`DsmsEngine::set_morsel_batches`). `CQAC_MORSEL` (a comma-separated
+/// list) overrides the default `1,4,16` so CI can matrix morsel sizes
+/// without recompiling — `1` cuts every work unit into its own stealable
+/// morsel, `16` approaches whole-shard chains.
+fn morsel_grains() -> Vec<usize> {
+    match std::env::var("CQAC_MORSEL") {
+        Ok(s) => {
+            let grains: Vec<usize> = s
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .collect();
+            assert!(!grains.is_empty(), "CQAC_MORSEL must list morsel sizes");
+            grains
+        }
+        Err(_) => vec![1, 4, 16],
+    }
+}
+
+/// The work-stealing axis crossed with [`morsel_grains`] by the
+/// shard-invariance suites: each grain runs with idle-worker stealing
+/// both off (workers execute exactly their home deques) and on (morsels
+/// migrate to whichever worker grabs them — outputs must not notice).
+fn morsel_axes() -> Vec<(usize, bool)> {
+    morsel_grains()
+        .into_iter()
+        .flat_map(|grain| [(grain, false), (grain, true)])
+        .collect()
+}
+
 /// Runs `plan` (registered twice, so sharing is exercised) over `feed` on
 /// an engine with the given shard count, optionally hash-partitioning both
-/// streams on the symbol column. Returns the outputs and the
-/// machine-independent work measure.
-fn run_sharded(
+/// streams on the symbol column, at the given morsel granularity with
+/// stealing on or off. Returns the outputs and the machine-independent
+/// work measure.
+fn run_sharded_morsel(
     plan: &LogicalPlan,
     feed: &[(String, Tuple)],
     max_batch: usize,
     shards: usize,
     hash_key: bool,
+    morsel: usize,
+    stealing: bool,
 ) -> (Vec<Tuple>, u64) {
     let mut e = engine();
     e.set_max_batch_size(max_batch);
     e.set_shards(shards);
+    e.set_morsel_batches(morsel);
+    e.set_stealing(stealing);
     if hash_key {
         e.set_shard_key("quotes", 0);
         e.set_shard_key("news", 0);
@@ -684,6 +720,18 @@ fn run_sharded(
     let out = e.take_outputs(q1);
     assert_eq!(out, e.take_outputs(q2), "shared queries must agree");
     (out, e.tuples_processed())
+}
+
+/// [`run_sharded_morsel`] at the engine's default morsel granularity and
+/// stealing setting.
+fn run_sharded(
+    plan: &LogicalPlan,
+    feed: &[(String, Tuple)],
+    max_batch: usize,
+    shards: usize,
+    hash_key: bool,
+) -> (Vec<Tuple>, u64) {
+    run_sharded_morsel(plan, feed, max_batch, shards, hash_key, 1, true)
 }
 
 proptest! {
@@ -728,15 +776,20 @@ proptest! {
                     continue;
                 }
                 for hash_key in partition_modes() {
-                    let (got, work) = run_sharded(&plan, &feed, cap, shards, hash_key);
-                    prop_assert_eq!(
-                        &got, &reference,
-                        "shards {} (hash_key {}) diverged at cap {}", shards, hash_key, cap
-                    );
-                    prop_assert_eq!(
-                        work, ref_work,
-                        "per-row work must be shard-count invariant (shards {})", shards
-                    );
+                    for (morsel, stealing) in morsel_axes() {
+                        let (got, work) = run_sharded_morsel(
+                            &plan, &feed, cap, shards, hash_key, morsel, stealing,
+                        );
+                        prop_assert_eq!(
+                            &got, &reference,
+                            "shards {} (hash_key {}, morsel {}, stealing {}) diverged at cap {}",
+                            shards, hash_key, morsel, stealing, cap
+                        );
+                        prop_assert_eq!(
+                            work, ref_work,
+                            "per-row work must be shard-count invariant (shards {})", shards
+                        );
+                    }
                 }
             }
         }
@@ -819,13 +872,18 @@ proptest! {
                     continue;
                 }
                 for hash_key in partition_modes() {
-                    let (got, work) = run_sharded(&plan, &feed, cap, shards, hash_key);
-                    prop_assert_eq!(
-                        &got, &reference,
-                        "keyed stateful plan kind {} diverged at shards {} (hash_key {}) cap {}",
-                        kind, shards, hash_key, cap
-                    );
-                    prop_assert_eq!(work, ref_work);
+                    for (morsel, stealing) in morsel_axes() {
+                        let (got, work) = run_sharded_morsel(
+                            &plan, &feed, cap, shards, hash_key, morsel, stealing,
+                        );
+                        prop_assert_eq!(
+                            &got, &reference,
+                            "keyed stateful plan kind {} diverged at shards {} \
+                             (hash_key {}, morsel {}, stealing {}) cap {}",
+                            kind, shards, hash_key, morsel, stealing, cap
+                        );
+                        prop_assert_eq!(work, ref_work);
+                    }
                 }
             }
         }
@@ -866,6 +924,136 @@ proptest! {
             }
         }
     }
+}
+
+/// A three-column stream for the ungrouped-aggregate properties: a
+/// hashable shard key, an Int payload (exact partial combines), and a
+/// Float payload (exact for Count/Min/Max, inexact for Sum/Avg).
+fn tick_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("sym", DataType::Str),
+        Field::new("qty", DataType::Int),
+        Field::new("price", DataType::Float),
+    ])
+}
+
+/// Runs an ungrouped-aggregate plan over the ticks stream, hash-keyed on
+/// the symbol column so exact aggregates run as partial-aggregation
+/// members on the shards (inexact ones stay behind the merge barrier).
+fn run_ticks_sharded(
+    plan: &LogicalPlan,
+    feed: &[Tuple],
+    max_batch: usize,
+    shards: usize,
+    morsel: usize,
+    stealing: bool,
+) -> Vec<Tuple> {
+    let mut e = DsmsEngine::new();
+    e.register_stream("ticks", tick_schema());
+    e.set_max_batch_size(max_batch);
+    e.set_shards(shards);
+    e.set_morsel_batches(morsel);
+    e.set_stealing(stealing);
+    e.set_shard_key("ticks", 0);
+    let cq = e.add_query(plan.clone()).unwrap();
+    for chunk in feed.chunks(max_batch.max(1) * 2) {
+        e.push_rows("ticks", chunk.to_vec());
+    }
+    e.finish();
+    e.take_outputs(cq)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// **Ungrouped-aggregate partial/combine equivalence** — every
+    /// aggregate kind (Count/Sum/Avg/Min/Max) over Int and Float inputs,
+    /// optionally behind a filter (so selection vectors push into the
+    /// aggregate). Exact combines run as sharded partial-aggregation
+    /// members — per-worker partials folded in deterministic partition
+    /// order on the control thread; float Sum/Avg are inexact and keep
+    /// the merge barrier. Either path must be **bit-identical** to the
+    /// single-threaded engine across shard counts × morsel grains ×
+    /// stealing on/off, including windows that close empty along sparse
+    /// stretches of the feed.
+    #[test]
+    fn ungrouped_aggregate_partials_match_single_threaded(
+        raw in proptest::collection::vec((0u64..500, 0usize..3, 1u32..30_000), 1..60),
+        func in 0usize..5,
+        col in 1usize..3,
+        window in 1u64..60,
+        filtered in 0usize..2,
+    ) {
+        let filtered = filtered == 1;
+        let funcs = [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
+        let mut feed: Vec<Tuple> = raw
+            .into_iter()
+            .map(|(ts, s, p)| {
+                Tuple::new(
+                    ts,
+                    vec![
+                        Value::str(SYMS[s % SYMS.len()]),
+                        // Signed payload: sums cross zero, min/max both move.
+                        Value::Int(i64::from(p) - 15_000),
+                        Value::Float(f64::from(p) / 100.0),
+                    ],
+                )
+            })
+            .collect();
+        feed.sort_by_key(|t| t.ts);
+        let mut plan = LogicalPlan::source("ticks");
+        if filtered {
+            plan = plan.filter(Expr::col(1).gt(Expr::lit(Value::Int(-5_000))));
+        }
+        let plan = plan.aggregate(None, funcs[func], col, window);
+
+        for &cap in &[1usize, 7, 64] {
+            let reference = run_ticks_sharded(&plan, &feed, cap, 1, 1, true);
+            for &shards in &shard_counts() {
+                if shards == 1 {
+                    continue;
+                }
+                for (morsel, stealing) in morsel_axes() {
+                    let got = run_ticks_sharded(&plan, &feed, cap, shards, morsel, stealing);
+                    prop_assert_eq!(
+                        &got, &reference,
+                        "ungrouped {:?} over col {} diverged at shards {} \
+                         (morsel {}, stealing {}) cap {}",
+                        funcs[func], col, shards, morsel, stealing, cap
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The sharded twin of [`int_sum_query_is_exact_past_2_pow_53`]: the same
+/// mantissa-overflowing terms pushed through shards = 4, where the
+/// ungrouped Sum runs as per-worker i128 partials combined on the control
+/// thread — partial aggregation must not reintroduce float rounding.
+#[test]
+fn sharded_int_sum_partials_are_exact_past_2_pow_53() {
+    let big = (1i64 << 53) + 1;
+    let feed: Vec<Tuple> = (0..3)
+        .map(|i| {
+            Tuple::new(
+                i,
+                vec![
+                    Value::str(SYMS[i as usize % SYMS.len()]),
+                    Value::Int(big),
+                    Value::Float(0.0),
+                ],
+            )
+        })
+        .collect();
+    let plan = LogicalPlan::source("ticks").aggregate(None, AggFunc::Sum, 1, 100);
+    let out = run_ticks_sharded(&plan, &feed, 1, 4, 1, true);
+    assert_eq!(out.len(), 1);
+    assert_eq!(
+        out[0].values[1],
+        Value::Int(3 * big),
+        "i128 partial combine must stay exact"
+    );
 }
 
 /// Integer sums must accumulate exactly: three terms of 2^53 + 1 overflow

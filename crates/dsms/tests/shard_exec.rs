@@ -409,6 +409,98 @@ fn pool_reuse_zero_spawns_after_warmup() {
         after_warmup.pool_wakeups + flushes * 4,
         "each flush wakes each shard's worker exactly once"
     );
+    // The morsel scheduler runs on the same parked workers: morsels were
+    // executed, every executed morsel is either popped from the owner's
+    // deque or stolen from a victim's tail, and steal sweeps are bounded
+    // (at most shards-1 misses per grab plus one parking sweep per
+    // wakeup) — morsel-driven flushes never spawn or spin.
+    assert!(
+        snap.morsels_executed > 0,
+        "sharded flushes execute as morsels: {snap:?}"
+    );
+    assert!(
+        snap.morsels_stolen <= snap.morsels_executed,
+        "steals are a subset of executed morsels: {snap:?}"
+    );
+    assert!(
+        snap.steal_misses <= (snap.morsels_executed + snap.pool_wakeups) * 3,
+        "steal sweeps are bounded — no spinning on empty deques: {snap:?}"
+    );
+}
+
+/// A zipf-flavored hot-key soak at shards = 4: ~90% of rows carry one
+/// symbol, so hash partitioning floods one home shard. Work stealing must
+/// rebalance execution (stolen morsels observed at fine granularity)
+/// while outputs stay byte-identical to single-threaded — and identical
+/// with stealing disabled.
+#[test]
+fn skewed_key_soak_shards4_stays_deterministic() {
+    let feed = |rng: &mut Lcg, len: usize| -> Vec<(String, Tuple)> {
+        let mut feed: Vec<(String, Tuple)> = (0..len)
+            .map(|_| {
+                // 90% hot symbol, the rest spread over the other three.
+                let sym = if rng.below(10) < 9 {
+                    SYMS[0]
+                } else {
+                    SYMS[1 + rng.below(3) as usize]
+                };
+                let ts = rng.below(400);
+                (
+                    "quotes".to_string(),
+                    Tuple::new(
+                        ts,
+                        vec![Value::str(sym), Value::Float(rng.below(200) as f64)],
+                    ),
+                )
+            })
+            .collect();
+        feed.sort_by_key(|(_, t)| t.ts);
+        feed
+    };
+    let run = |feed: &[(String, Tuple)], shards: usize, stealing: bool| {
+        let mut e = engine()
+            .with_max_batch_size(8)
+            .with_shards(shards)
+            .with_morsel_batches(1)
+            .with_stealing(stealing);
+        e.set_shard_key("quotes", 0);
+        e.set_shard_key("news", 0);
+        let cqs: Vec<_> = keyed_stateful_plans()
+            .into_iter()
+            .map(|p| e.add_query(p).unwrap())
+            .collect();
+        work::reset();
+        for slice in feed.chunks(40) {
+            e.push_batch(slice.iter().cloned());
+        }
+        let snap = work::snapshot();
+        e.finish();
+        let outputs: Vec<_> = cqs.into_iter().map(|cq| e.take_outputs(cq)).collect();
+        (outputs, snap)
+    };
+    for seed in 0..8u64 {
+        let mut rng = Lcg(seed.wrapping_mul(0x5851_f42d).wrapping_add(43));
+        let feed = feed(&mut rng, 320);
+        let (reference, _) = run(&feed, 1, true);
+        assert!(
+            reference.iter().any(|out| !out.is_empty()),
+            "seed {seed}: the soak must produce output"
+        );
+        let (stolen_out, snap) = run(&feed, 4, true);
+        let (fair_out, _) = run(&feed, 4, false);
+        assert_eq!(
+            stolen_out, reference,
+            "seed {seed}: stealing must not change outputs"
+        );
+        assert_eq!(
+            fair_out, reference,
+            "seed {seed}: no-steal sharding must not change outputs"
+        );
+        assert!(
+            snap.morsels_stolen > 0,
+            "seed {seed}: idle workers must steal the hot shard's backlog: {snap:?}"
+        );
+    }
 }
 
 /// `remove_query` mid-window under keyed stateful sharding: per-shard

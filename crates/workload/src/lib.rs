@@ -26,9 +26,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod generator;
+pub mod hotkey;
 pub mod lying;
 pub mod zipf;
 
 pub use generator::{RawWorkload, WorkloadGenerator, WorkloadParams};
+pub use hotkey::{hot_key_rows, HotKeyParams, HotKeyRow};
 pub use lying::{apply_lying, LyingProfile};
 pub use zipf::Zipf;
