@@ -1,0 +1,129 @@
+//! `netlint` — the static network verifier CLI.
+//!
+//! Runs all four analysis passes (plan inference, determinism audit,
+//! cost-attribution conservation, sharing lints) over the shipped
+//! scenario networks.
+//!
+//! ```text
+//! netlint [--deny-warnings] [--json] [--list] [SCENARIO...]
+//! ```
+//!
+//! * `--deny-warnings` — exit nonzero on warnings too (the CI gate).
+//! * `--json` — machine-readable diagnostics (one JSON object per
+//!   scenario).
+//! * `--list` — print the available scenarios and exit.
+//! * `SCENARIO...` — verify only the named scenarios (default: all).
+//!
+//! Exit code: `0` clean, `1` diagnostics at the failing severity, `2`
+//! usage error.
+
+use cqac_analyze::scenarios::{self, Scenario};
+use cqac_analyze::{analyze_engine, Report};
+use cqac_dsms::cost::CostModel;
+use std::process::ExitCode;
+
+struct Options {
+    deny_warnings: bool,
+    json: bool,
+    list: bool,
+    names: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        deny_warnings: false,
+        json: false,
+        list: false,
+        names: Vec::new(),
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--json" => opts.json = true,
+            "--list" => opts.list = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: netlint [--deny-warnings] [--json] [--list] [SCENARIO...]".to_string(),
+                )
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
+            name => opts.names.push(name.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn verify(scenario: &Scenario) -> Report {
+    let engine = scenario.build();
+    // Analytic unit costs: the gate must be deterministic across
+    // machines, so measured timings stay out of it.
+    analyze_engine(&engine, &CostModel::default())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let available = scenarios::all();
+    if opts.list {
+        for s in &available {
+            println!("{:<18} {}", s.name, s.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<&Scenario> = if opts.names.is_empty() {
+        available.iter().collect()
+    } else {
+        let mut picked = Vec::new();
+        for name in &opts.names {
+            match available.iter().find(|s| s.name == *name) {
+                Some(s) => picked.push(s),
+                None => {
+                    eprintln!("unknown scenario '{name}' (try --list)");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        picked
+    };
+
+    let mut failed = false;
+    for scenario in selected {
+        let report = verify(scenario);
+        let errors = report.num_errors();
+        let warnings = report.num_warnings();
+        if opts.json {
+            println!(
+                "{{\"scenario\":\"{}\",\"errors\":{},\"warnings\":{},\"diagnostics\":{}}}",
+                escape_json(scenario.name),
+                errors,
+                warnings,
+                report.to_json()
+            );
+        } else if report.is_clean() {
+            println!("netlint: {} ... ok", scenario.name);
+        } else {
+            println!(
+                "netlint: {} ... {} error(s), {} warning(s)",
+                scenario.name, errors, warnings
+            );
+            print!("{report}");
+        }
+        if errors > 0 || (opts.deny_warnings && warnings > 0) {
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,110 @@
+//! Pass 3: cost-attribution conservation.
+//!
+//! The admission auction prices a shared network by attributing each
+//! physical node's load to *every* query whose plan contains it
+//! (`auction_instance` builds one auction operator per node and lists it
+//! in each owning query's operator set). The mechanism's capacity
+//! feasibility — and therefore every payment — rests on an accounting
+//! identity:
+//!
+//! ```text
+//! Σ_cq Σ_{n ∈ cq.nodes} load(n)  ==  Σ_n load(n) × refcount(n)
+//! ```
+//!
+//! checked here in **exact integer micro-units** ([`cqac_core::units::Load::micro`] — no
+//! float summation order to argue about). The identity holds exactly when
+//! the per-node refcounts equal the number of attributing queries and no
+//! query references a dead node, so those are verified first (NL031,
+//! [`Code::AttributionDrift`]); an imbalance of the totals themselves is
+//! NL030 ([`Code::CostNotConserved`]).
+//!
+//! Source-only queries (no nodes) are priced through private synthetic
+//! delivery operators and correctly contribute zero to both sides.
+
+use cqac_dsms::cost::{estimate_node_loads, CostModel};
+use cqac_dsms::diag::{Code, Diagnostic, Report, Span};
+use cqac_dsms::engine::DsmsEngine;
+use cqac_dsms::network::{NodeId, QueryNetwork};
+use std::collections::HashMap;
+
+/// Checks the conservation identity over the engine's live network under
+/// `model` (see module docs).
+pub fn check(engine: &DsmsEngine, model: &CostModel) -> Report {
+    let loads: HashMap<NodeId, u64> = estimate_node_loads(engine, model)
+        .into_iter()
+        .map(|e| (e.node, e.load.micro()))
+        .collect();
+    check_attribution(engine.network(), &loads)
+}
+
+/// The identity check itself, against caller-provided per-node loads in
+/// micro-units — the engine-free core, so tests (and future verifiers of
+/// optimizer rewrites) can drive it with synthetic loads.
+pub fn check_attribution(network: &QueryNetwork, loads: &HashMap<NodeId, u64>) -> Report {
+    let mut report = Report::new();
+
+    // How many registered queries attribute each node.
+    let mut attributions: HashMap<NodeId, u32> = HashMap::new();
+    let mut attributed_total: u128 = 0;
+    for cq in network.query_ids() {
+        let Some(info) = network.query(cq) else {
+            continue;
+        };
+        for &n in &info.nodes {
+            match loads.get(&n) {
+                Some(&load) => {
+                    *attributions.entry(n).or_insert(0) += 1;
+                    attributed_total += u128::from(load);
+                }
+                None => {
+                    report.push(Diagnostic::new(
+                        Code::AttributionDrift,
+                        Span::Query(cq.0),
+                        format!(
+                            "cq{} attributes cost to n{}, which is not a live node",
+                            cq.0, n.0
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Refcounts must equal the attribution counts node by node.
+    let mut node_total: u128 = 0;
+    for id in network.node_ids() {
+        let Some(node) = network.node(id) else {
+            continue;
+        };
+        let load = loads.get(&id).copied().unwrap_or(0);
+        node_total += u128::from(load) * u128::from(node.refcount);
+        let attributed = attributions.get(&id).copied().unwrap_or(0);
+        if node.refcount != attributed {
+            report.push(Diagnostic::new(
+                Code::AttributionDrift,
+                Span::Node(id.0),
+                format!(
+                    "n{} ({}) has refcount {} but {} attributing quer{}",
+                    id.0,
+                    node.kind,
+                    node.refcount,
+                    attributed,
+                    if attributed == 1 { "y" } else { "ies" }
+                ),
+            ));
+        }
+    }
+
+    if attributed_total != node_total {
+        report.push(Diagnostic::new(
+            Code::CostNotConserved,
+            Span::Network,
+            format!(
+                "per-CQ attributed cost ({attributed_total} micro-units) does not \
+                 equal the per-node total ({node_total} micro-units); the auction \
+                 would price phantom or vanished load"
+            ),
+        ));
+    }
+    report
+}

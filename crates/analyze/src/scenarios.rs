@@ -1,0 +1,161 @@
+//! Shipped scenario networks for `netlint`.
+//!
+//! Each scenario builds a representative engine — mirroring the shapes
+//! the examples and the simulator exercise — feeds it a deterministic
+//! calibration sample, and hands it to the analyzer. CI runs `netlint
+//! --deny-warnings` over all of them, so every scenario must verify
+//! clean: errors *and* warnings fail the gate.
+
+use cqac_dsms::engine::DsmsEngine;
+use cqac_dsms::expr::Expr;
+use cqac_dsms::plan::{AggFunc, LogicalPlan};
+use cqac_dsms::streams::{news_schema, quote_schema, NewsStream, StockStream};
+use cqac_dsms::types::Value;
+
+/// A named, self-contained network for `netlint` to verify.
+pub struct Scenario {
+    /// Stable scenario name (CLI selector).
+    pub name: &'static str,
+    /// One-line description printed by `netlint --list`.
+    pub description: &'static str,
+    build: fn() -> DsmsEngine,
+}
+
+impl Scenario {
+    /// Builds the scenario's calibrated engine.
+    pub fn build(&self) -> DsmsEngine {
+        (self.build)()
+    }
+}
+
+const SYMBOLS: [&str; 4] = ["IBM", "AAPL", "MSFT", "ORCL"];
+
+fn base_engine() -> DsmsEngine {
+    let mut e = DsmsEngine::new().with_max_batch_size(64);
+    e.register_stream("quotes", quote_schema());
+    e.register_stream("news", news_schema());
+    e
+}
+
+fn calibrate(e: &mut DsmsEngine, quotes: usize, news: usize) {
+    let mut q = StockStream::new(&SYMBOLS, 1, 42);
+    let mut n = NewsStream::new(&SYMBOLS, 5, 43);
+    e.push_rows("quotes", q.next_batch(quotes));
+    if news > 0 {
+        e.push_rows("news", n.next_batch(news));
+    }
+}
+
+fn high_price(threshold: f64) -> LogicalPlan {
+    LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(threshold))))
+}
+
+/// The stock-monitoring example's mix: shared filters, a quotes×news
+/// join, and a per-symbol sliding average.
+fn stock_monitoring() -> DsmsEngine {
+    let mut e = base_engine();
+    e.add_query(high_price(100.0)).expect("valid plan");
+    e.add_query(high_price(100.0)).expect("valid plan"); // second user, shared node
+    e.add_query(high_price(50.0).join(LogicalPlan::source("news"), 0, 0, 5_000))
+        .expect("valid plan");
+    e.add_query(LogicalPlan::source("quotes").sliding_aggregate(
+        Some(0),
+        AggFunc::Avg,
+        1,
+        60_000,
+        10_000,
+    ))
+    .expect("valid plan");
+    calibrate(&mut e, 2_000, 400);
+    e
+}
+
+/// Deep stateless chains under fusion, with the shared prefix submitted
+/// *before* the chain — the sharing-compatible order.
+fn fused_chains() -> DsmsEngine {
+    let mut e = base_engine();
+    let prefix = high_price(100.0);
+    e.add_query(prefix.clone()).expect("valid plan");
+    e.add_query(
+        prefix
+            .filter(Expr::col(0).eq(Expr::lit(Value::str("IBM"))))
+            .project(vec![
+                ("symbol".to_string(), Expr::col(0)),
+                ("price".to_string(), Expr::col(1)),
+            ]),
+    )
+    .expect("valid plan");
+    e.add_query(
+        LogicalPlan::source("news")
+            .filter(Expr::col(2).ge(Expr::lit(Value::Int(5))))
+            .project(vec![("symbol".to_string(), Expr::col(0))]),
+    )
+    .expect("valid plan");
+    calibrate(&mut e, 1_500, 300);
+    e
+}
+
+/// Keyed stateful sharding: symbol-partitioned streams, a join keyed on
+/// the partition key, a grouped aggregate, and an ungrouped exact Count
+/// running as a partial member.
+fn keyed_sharded() -> DsmsEngine {
+    let mut e = base_engine().with_shards(4);
+    e.set_shard_key("quotes", 0).expect("valid shard key");
+    e.set_shard_key("news", 0).expect("valid shard key");
+    e.add_query(high_price(20.0).join(LogicalPlan::source("news"), 0, 0, 2_000))
+        .expect("valid plan");
+    e.add_query(LogicalPlan::source("quotes").aggregate(Some(0), AggFunc::Count, 0, 1_000))
+        .expect("valid plan");
+    e.add_query(LogicalPlan::source("quotes").aggregate(None, AggFunc::Count, 0, 1_000))
+        .expect("valid plan");
+    // A float Avg stays behind the merge barrier — the audit must agree.
+    e.add_query(LogicalPlan::source("quotes").aggregate(None, AggFunc::Avg, 1, 1_000))
+        .expect("valid plan");
+    calibrate(&mut e, 3_000, 500);
+    e
+}
+
+/// Union fan-in and a post-union aggregate: multi-input barriers.
+fn union_fanin() -> DsmsEngine {
+    let mut e = base_engine();
+    let spikes = high_price(150.0).project(vec![("symbol".to_string(), Expr::col(0))]);
+    let mentions = LogicalPlan::source("news")
+        .filter(Expr::col(2).ge(Expr::lit(Value::Int(8))))
+        .project(vec![("symbol".to_string(), Expr::col(0))]);
+    e.add_query(
+        spikes
+            .clone()
+            .union(mentions)
+            .aggregate(Some(0), AggFunc::Count, 0, 10_000),
+    )
+    .expect("valid plan");
+    e.add_query(spikes).expect("valid plan");
+    calibrate(&mut e, 2_000, 400);
+    e
+}
+
+/// All shipped scenarios, in a stable order.
+pub fn all() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "stock_monitoring",
+            description: "shared filters, quotes x news join, per-symbol sliding average",
+            build: stock_monitoring,
+        },
+        Scenario {
+            name: "fused_chains",
+            description: "deep stateless chains under fusion with a shared prefix",
+            build: fused_chains,
+        },
+        Scenario {
+            name: "keyed_sharded",
+            description: "symbol-partitioned keyed join, grouped and partial aggregates, 4 shards",
+            build: keyed_sharded,
+        },
+        Scenario {
+            name: "union_fanin",
+            description: "union fan-in with a post-union grouped count",
+            build: union_fanin,
+        },
+    ]
+}

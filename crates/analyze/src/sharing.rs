@@ -1,0 +1,139 @@
+//! Pass 4: sharing lints over the instantiated network.
+//!
+//! * **NL040 — interior-prefix duplication** (warning). The fusion pass
+//!   collapses stateless chains without registering the chain's
+//!   *interior* signatures, so a query equal to an interior prefix that
+//!   arrives **after** the chain gets its own node: duplicate
+//!   computation, identical results (the deliberate asymmetry pinned
+//!   since the fusion PR; splitting live fused nodes is ROADMAP work).
+//!   The lint flags a node `N` when some other node's signature extends
+//!   `N`'s (it computes `N` as an interior stage) yet is *not reachable*
+//!   from `N` — reachable extensions are exactly the shared-prefix case,
+//!   where the longer chain subscribes to `N`'s output.
+//! * **NL041 — dead node** (warning): a live node no registered query
+//!   attributes. Refcount accounting would normally garbage-collect it;
+//!   one that survives burns capacity the auction cannot charge anyone
+//!   for.
+//! * **NL042 — unreachable sink** (error): a registered query whose
+//!   producer (top node or source stream) is not wired to the query's
+//!   sink — the query would silently never emit.
+
+use cqac_dsms::diag::{Code, Diagnostic, Report, Span};
+use cqac_dsms::network::{NodeId, Producer, QueryNetwork, Target};
+use std::collections::{HashSet, VecDeque};
+
+/// Runs the sharing lints (see module docs).
+pub fn lint(network: &QueryNetwork) -> Report {
+    let mut report = Report::new();
+    interior_prefix_duplicates(network, &mut report);
+    dead_nodes(network, &mut report);
+    unreachable_sinks(network, &mut report);
+    report
+}
+
+/// Node ids reachable downstream from `start` (excluding `start`).
+fn reachable_from(network: &QueryNetwork, start: NodeId) -> HashSet<NodeId> {
+    let mut seen = HashSet::new();
+    let mut frontier = VecDeque::from([start]);
+    while let Some(id) = frontier.pop_front() {
+        let Some(node) = network.node(id) else {
+            continue;
+        };
+        for t in &node.downstream {
+            if let Target::Node(d, _) = t {
+                if seen.insert(*d) {
+                    frontier.push_back(*d);
+                }
+            }
+        }
+    }
+    seen
+}
+
+fn interior_prefix_duplicates(network: &QueryNetwork, report: &mut Report) {
+    let ids = network.node_ids();
+    for &n in &ids {
+        let Some(prefix) = network.node(n) else {
+            continue;
+        };
+        // Signatures are written top-first, so "F computes N as an
+        // interior stage" reads as F's signature *ending* with
+        // "<-" + N's signature.
+        let marker = format!("<-{}", prefix.signature);
+        let mut extensions: Vec<NodeId> = ids
+            .iter()
+            .copied()
+            .filter(|&f| f != n)
+            .filter(|&f| {
+                network
+                    .node(f)
+                    .is_some_and(|node| node.signature.ends_with(&marker))
+            })
+            .collect();
+        if extensions.is_empty() {
+            continue;
+        }
+        let reachable = reachable_from(network, n);
+        extensions.retain(|f| !reachable.contains(f));
+        for f in extensions {
+            report.push(Diagnostic::new(
+                Code::InteriorPrefixDuplicate,
+                Span::Node(n.0),
+                format!(
+                    "n{} ({}) recomputes work that n{} already performs as an \
+                     interior stage of its fused chain — identical results, \
+                     duplicate cost (submit the prefix before the chain, or \
+                     wait for fused-node splitting)",
+                    n.0, prefix.kind, f.0
+                ),
+            ));
+        }
+    }
+}
+
+fn dead_nodes(network: &QueryNetwork, report: &mut Report) {
+    let mut referenced: HashSet<NodeId> = HashSet::new();
+    for cq in network.query_ids() {
+        if let Some(info) = network.query(cq) {
+            referenced.extend(info.nodes.iter().copied());
+        }
+    }
+    for id in network.node_ids() {
+        if !referenced.contains(&id) {
+            let kind = network.node(id).map_or("?", |n| n.kind);
+            report.push(Diagnostic::new(
+                Code::DeadNode,
+                Span::Node(id.0),
+                format!(
+                    "n{} ({kind}) is live but no registered query attributes it",
+                    id.0
+                ),
+            ));
+        }
+    }
+}
+
+fn unreachable_sinks(network: &QueryNetwork, report: &mut Report) {
+    for cq in network.query_ids() {
+        let Some(info) = network.query(cq) else {
+            continue;
+        };
+        let wired = match &info.top {
+            Producer::Node(id) => network
+                .node(*id)
+                .is_some_and(|n| n.downstream.contains(&Target::Sink(cq))),
+            Producer::Stream(s) => network.stream_subscribers(s).contains(&Target::Sink(cq)),
+        };
+        if !wired {
+            report.push(Diagnostic::new(
+                Code::UnreachableSink,
+                Span::Query(cq.0),
+                format!(
+                    "cq{}'s sink is not wired to its producer ({:?}) — the \
+                     query can never emit",
+                    cq.0, info.top
+                ),
+            ));
+        }
+    }
+}

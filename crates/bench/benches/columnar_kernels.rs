@@ -157,14 +157,14 @@ fn bench_columnar_kernels(c: &mut Criterion) {
             BenchmarkId::new("shared_32_chains_batch64", columnar),
             &columnar,
             |b, &columnar| {
-                b.iter(|| with_columnar_kernels(columnar, || run_workload(&shared, &rows)))
+                b.iter(|| with_columnar_kernels(columnar, || run_workload(&shared, &rows)));
             },
         );
         group.bench_with_input(
             BenchmarkId::new("deep_chain_x6_batch64", columnar),
             &columnar,
             |b, &columnar| {
-                b.iter(|| with_columnar_kernels(columnar, || run_workload(&deep, &rows)))
+                b.iter(|| with_columnar_kernels(columnar, || run_workload(&deep, &rows)));
             },
         );
     }

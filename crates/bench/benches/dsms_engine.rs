@@ -84,7 +84,7 @@ fn bench_batch_sizes(c: &mut Criterion) {
                     e.set_max_batch_size(cap);
                     e.push_rows("quotes", rows.clone());
                     black_box((e.tuples_processed(), e.batches_processed()))
-                })
+                });
             },
         );
     }
@@ -124,7 +124,7 @@ fn bench_fusion(c: &mut Criterion) {
                     }
                     e.push_rows("quotes", rows.clone());
                     black_box((e.tuples_processed(), e.batches_processed()))
-                })
+                });
             },
         );
         group.bench_with_input(
@@ -149,7 +149,7 @@ fn bench_fusion(c: &mut Criterion) {
                     e.add_query(deep.clone()).expect("valid plan");
                     e.push_rows("quotes", rows.clone());
                     black_box((e.tuples_processed(), e.batches_processed()))
-                })
+                });
             },
         );
     }
@@ -188,12 +188,12 @@ fn bench_shards(c: &mut Criterion) {
                     let processed = e.tuples_processed();
                     match baseline_work {
                         Some(want) => {
-                            assert_eq!(want, processed, "sharding must not duplicate per-row work")
+                            assert_eq!(want, processed, "sharding must not duplicate per-row work");
                         }
                         None => baseline_work = Some(processed),
                     }
                     black_box((processed, e.batches_processed()))
-                })
+                });
             },
         );
     }
@@ -380,7 +380,8 @@ fn bench_hot_key_skew(c: &mut Criterion) {
                     // when workers can actually overlap, and leniently:
                     // no worker hoards >3/4 of the rows and at least two
                     // workers execute.
-                    let parallel = std::thread::available_parallelism().map_or(1, |p| p.get());
+                    let parallel =
+                        std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
                     if stealing && parallel >= 2 {
                         let exec: Vec<u64> = e.shard_stats().iter().map(|s| s.rows).collect();
                         let total: u64 = exec.iter().sum();
@@ -414,7 +415,7 @@ fn bench_sharing(c: &mut Criterion) {
             }));
             e.push_batch(batch.iter().cloned());
             black_box(e.tuples_processed())
-        })
+        });
     });
 
     group.bench_function("32_distinct_filters", |b| {
@@ -425,7 +426,7 @@ fn bench_sharing(c: &mut Criterion) {
             }));
             e.push_batch(batch.iter().cloned());
             black_box(e.tuples_processed())
-        })
+        });
     });
     group.finish();
 }
@@ -446,7 +447,7 @@ fn bench_operators(c: &mut Criterion) {
                 .filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))))]);
             e.push_batch(batch.iter().cloned());
             black_box(e.tuples_processed())
-        })
+        });
     });
 
     group.bench_function("aggregate_5k", |b| {
@@ -459,7 +460,7 @@ fn bench_operators(c: &mut Criterion) {
             )]);
             e.push_batch(batch.iter().cloned());
             black_box(e.tuples_processed())
-        })
+        });
     });
 
     group.bench_function("join_5k_x_2k5", |b| {
@@ -473,7 +474,7 @@ fn bench_operators(c: &mut Criterion) {
             e.push_batch(batch.iter().cloned());
             e.push_batch(news.iter().cloned());
             black_box(e.tuples_processed())
-        })
+        });
     });
     group.finish();
 }

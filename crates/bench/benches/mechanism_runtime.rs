@@ -27,7 +27,7 @@ fn bench_mechanisms(c: &mut Criterion) {
     for kind in MechanismKind::evaluation_lineup() {
         let mech = kind.build();
         group.bench_function(kind.label(), |b| {
-            b.iter(|| black_box(mech.run_seeded(black_box(&inst), 7)))
+            b.iter(|| black_box(mech.run_seeded(black_box(&inst), 7)));
         });
     }
     group.finish();
@@ -47,7 +47,7 @@ fn bench_degree_extremes(c: &mut Criterion) {
         ] {
             let mech = kind.build();
             group.bench_function(format!("{}_d{degree}", kind.label()), |b| {
-                b.iter(|| black_box(mech.run_seeded(black_box(&inst), 7)))
+                b.iter(|| black_box(mech.run_seeded(black_box(&inst), 7)));
             });
         }
     }

@@ -31,7 +31,7 @@ fn bench_scaling(c: &mut Criterion) {
         ] {
             let mech = kind.build();
             group.bench_with_input(BenchmarkId::new(kind.label(), n), &n, |b, _| {
-                b.iter(|| black_box(mech.run_seeded(black_box(&inst), 7)))
+                b.iter(|| black_box(mech.run_seeded(black_box(&inst), 7)));
             });
         }
     }

@@ -34,10 +34,10 @@ fn bench_window_modes(c: &mut Criterion) {
         assert_eq!(a.payments, b.payments);
 
         group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
-            bch.iter(|| black_box(naive.run_seeded(black_box(&inst), 7)))
+            bch.iter(|| black_box(naive.run_seeded(black_box(&inst), 7)));
         });
         group.bench_with_input(BenchmarkId::new("snapshot", n), &n, |bch, _| {
-            bch.iter(|| black_box(snapshot.run_seeded(black_box(&inst), 7)))
+            bch.iter(|| black_box(snapshot.run_seeded(black_box(&inst), 7)));
         });
     }
     group.finish();

@@ -12,11 +12,11 @@ fn bench_generation(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("base_2000q", |b| {
-        b.iter(|| black_box(generator.base_workload(black_box(0))))
+        b.iter(|| black_box(generator.base_workload(black_box(0))));
     });
 
     group.bench_function("full_sweep_60_degrees", |b| {
-        b.iter(|| black_box(generator.sharing_sweep(black_box(0), Load::from_units(15_000.0))))
+        b.iter(|| black_box(generator.sharing_sweep(black_box(0), Load::from_units(15_000.0))));
     });
 
     group.bench_function("sweep_at_4_degrees", |b| {
@@ -26,7 +26,7 @@ fn bench_generation(c: &mut Criterion) {
                 Load::from_units(15_000.0),
                 &[1, 20, 40, 60],
             ))
-        })
+        });
     });
     group.finish();
 }

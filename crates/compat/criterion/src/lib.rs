@@ -161,10 +161,10 @@ mod tests {
         group.bench_function("counting", |b| {
             b.iter(|| {
                 calls += 1;
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
-            b.iter(|| black_box(x * 2))
+            b.iter(|| black_box(x * 2));
         });
         group.finish();
         assert_eq!(calls, 4, "one warm-up + three samples");

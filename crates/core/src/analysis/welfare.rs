@@ -31,19 +31,6 @@ pub fn welfare_of(inst: &AuctionInstance, winners: &[QueryId]) -> Money {
 /// Returns `None` when the instance exceeds `max_queries` (the search is
 /// exponential in the worst case).
 pub fn optimal_welfare(inst: &AuctionInstance, max_queries: usize) -> Option<WelfareOptimum> {
-    let n = inst.num_queries();
-    if n > max_queries {
-        return None;
-    }
-    // Order by descending bid so the additive bound tightens fast.
-    let mut order: Vec<QueryId> = inst.query_ids().collect();
-    order.sort_by(|&a, &b| inst.bid(b).cmp(&inst.bid(a)).then_with(|| a.cmp(&b)));
-    // suffix_value[i] = total value of order[i..].
-    let mut suffix_value = vec![Money::ZERO; n + 1];
-    for i in (0..n).rev() {
-        suffix_value[i] = suffix_value[i + 1] + inst.bid(order[i]);
-    }
-
     struct Search<'a> {
         inst: &'a AuctionInstance,
         order: &'a [QueryId],
@@ -82,6 +69,19 @@ pub fn optimal_welfare(inst: &AuctionInstance, max_queries: usize) -> Option<Wel
             // Branch 2: skip q.
             self.run(depth + 1);
         }
+    }
+
+    let n = inst.num_queries();
+    if n > max_queries {
+        return None;
+    }
+    // Order by descending bid so the additive bound tightens fast.
+    let mut order: Vec<QueryId> = inst.query_ids().collect();
+    order.sort_by(|&a, &b| inst.bid(b).cmp(&inst.bid(a)).then_with(|| a.cmp(&b)));
+    // suffix_value[i] = total value of order[i..].
+    let mut suffix_value = vec![Money::ZERO; n + 1];
+    for i in (0..n).rev() {
+        suffix_value[i] = suffix_value[i + 1] + inst.bid(order[i]);
     }
 
     let mut search = Search {

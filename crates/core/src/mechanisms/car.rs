@@ -260,7 +260,7 @@ mod tests {
         let mut b = InstanceBuilder::new(Load::from_units(4.0));
         let a = b.operator(Load::from_units(4.0));
         b.query(Money::from_dollars(100.0), &[a]);
-        b.query(Money::from_dollars(0.000001), &[a]);
+        b.query(Money::from_dollars(0.000_001), &[a]);
         let inst = b.build().unwrap();
         for car in [Car::default(), Car::naive()] {
             let out = car.run_seeded(&inst, 0);

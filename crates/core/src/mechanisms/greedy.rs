@@ -122,7 +122,7 @@ pub fn fill_into(
             }
             match policy {
                 FillPolicy::StopAtFirstReject => break,
-                FillPolicy::SkipOverloaded => continue,
+                FillPolicy::SkipOverloaded => {}
             }
         }
     }

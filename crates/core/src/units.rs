@@ -324,7 +324,7 @@ mod tests {
         let l = Load::from_units(4.5);
         assert_eq!(l.micro(), 4_500_000);
         assert!((l.as_f64() - 4.5).abs() < 1e-12);
-        let m = Money::from_dollars(99.999999);
+        let m = Money::from_dollars(99.999_999);
         assert_eq!(m.micro(), 99_999_999);
     }
 
@@ -364,7 +364,7 @@ mod tests {
 
     #[test]
     fn density_zero_load_is_infinite() {
-        let inf = Density::new(Money::from_dollars(0.000001), Load::ZERO);
+        let inf = Density::new(Money::from_dollars(0.000_001), Load::ZERO);
         let big = Density::new(Money::from_dollars(100.0), Load::EPSILON);
         assert!(inf > big);
         // Among zero-load densities, richer wins.

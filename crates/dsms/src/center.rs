@@ -20,6 +20,7 @@
 //! transition phase (§II).
 
 use crate::cost::{auction_instance, effective_capacity, CostModel};
+use crate::diag::Report;
 use crate::engine::DsmsEngine;
 use crate::network::CqId;
 use crate::plan::{LogicalPlan, PlanError};
@@ -54,6 +55,11 @@ pub struct Decision {
     pub payment: Money,
     /// The live query id, for admitted queries.
     pub cq: Option<CqId>,
+    /// Static-verification diagnostics, for submissions rejected *before*
+    /// the auction ran (the plan failed [`crate::diag::check_plan`]).
+    /// `None` for every submission that entered the auction — losing a
+    /// well-formed bid is not a verification failure.
+    pub rejection: Option<Report>,
 }
 
 /// Ledger entry for one auction day.
@@ -156,8 +162,13 @@ impl DsmsCenter {
     ///
     /// May be called before the stream is registered, like
     /// [`crate::engine::DsmsEngine::set_shard_key`].
+    /// # Panics
+    /// Panics when the stream is registered and the key is invalid (see
+    /// [`crate::engine::DsmsEngine::set_shard_key`]'s error conditions).
     pub fn with_shard_key(mut self, stream: &str, column: usize) -> Self {
-        self.engine.set_shard_key(stream, column);
+        self.engine
+            .set_shard_key(stream, column)
+            .expect("invalid shard key");
         self
     }
 
@@ -203,23 +214,44 @@ impl DsmsCenter {
         // including which stateful operators shard — so measured loads
         // price the network that will actually serve.
         for (stream, &column) in self.engine.shard_keys() {
-            shadow.set_shard_key(stream, column);
+            shadow
+                .set_shard_key(stream, column)
+                .expect("serving engine's shard keys are valid");
         }
         for (name, schema) in &self.streams {
             shadow.register_stream(name.clone(), schema.clone());
         }
-        let mut shadow_cqs = Vec::with_capacity(submissions.len());
+        // Statically verify every submission; invalid bidders are rejected
+        // here, with the full diagnostic report, and never enter the
+        // auction — so one malformed plan cannot sink the whole day.
+        let mut shadow_cqs: Vec<Option<CqId>> = Vec::with_capacity(submissions.len());
+        let mut rejections: Vec<Option<Report>> = Vec::with_capacity(submissions.len());
         for s in submissions {
-            shadow_cqs.push(shadow.add_query(s.plan.clone())?);
+            let report = shadow.network().verify_plan(&s.plan);
+            if report.has_errors() {
+                shadow_cqs.push(None);
+                rejections.push(Some(report));
+            } else {
+                shadow_cqs.push(Some(shadow.add_query(s.plan.clone())?));
+                rejections.push(None);
+            }
         }
         shadow.push_batch(calibration.iter().cloned());
 
-        // 2. The auction instance.
-        let bids: Vec<(CqId, UserId, Money)> = submissions
-            .iter()
-            .zip(&shadow_cqs)
-            .map(|(s, cq)| (*cq, s.user, s.bid))
-            .collect();
+        // 2. The auction instance, over the verified submissions only.
+        // `auction_pos[idx]` is submission `idx`'s index into the bid list
+        // (and hence its `QueryId` in the mechanism's outcome).
+        let mut bids: Vec<(CqId, UserId, Money)> = Vec::new();
+        let mut auction_pos: Vec<Option<usize>> = Vec::with_capacity(submissions.len());
+        for (s, cq) in submissions.iter().zip(&shadow_cqs) {
+            match cq {
+                Some(cq) => {
+                    auction_pos.push(Some(bids.len()));
+                    bids.push((*cq, s.user, s.bid));
+                }
+                None => auction_pos.push(None),
+            }
+        }
         // The auction prices against the aggregate multi-shard capacity.
         let capacity = effective_capacity(self.capacity, self.engine.shards());
         let (inst, mapping) = auction_instance(&shadow, &bids, capacity, &self.cost_model);
@@ -235,10 +267,15 @@ impl DsmsCenter {
         let mut next_active: HashMap<String, Vec<CqId>> = HashMap::new();
         let mut decisions = Vec::with_capacity(submissions.len());
         for (idx, submission) in submissions.iter().enumerate() {
-            let auction_qid = QueryId(idx as u32);
-            debug_assert_eq!(mapping[idx], shadow_cqs[idx]);
-            let admitted = outcome.is_winner(auction_qid);
-            let payment = outcome.payment(auction_qid);
+            let (admitted, payment) = match auction_pos[idx] {
+                Some(pos) => {
+                    let auction_qid = QueryId(pos as u32);
+                    debug_assert_eq!(Some(mapping[pos]), shadow_cqs[idx]);
+                    (outcome.is_winner(auction_qid), outcome.payment(auction_qid))
+                }
+                // Rejected by static verification: never auctioned.
+                None => (false, Money::ZERO),
+            };
             let cq = if admitted {
                 let signature = submission.plan.signature();
                 let reused = claimable.get_mut(&signature).and_then(Vec::pop);
@@ -257,12 +294,14 @@ impl DsmsCenter {
                 admitted,
                 payment,
                 cq,
+                rejection: rejections[idx].take(),
             });
         }
         // Retire every active query that was not claimed by a winner.
         for (_, leftovers) in claimable {
             for cq in leftovers {
-                self.engine.remove_query(cq);
+                let removed = self.engine.remove_query(cq);
+                debug_assert!(removed.is_some(), "active query {cq} is registered");
             }
         }
         self.active = next_active;
@@ -593,6 +632,47 @@ mod tests {
             run(4),
             "keyed stateful serving is shard-count invariant"
         );
+    }
+
+    #[test]
+    fn invalid_bidder_rejected_pre_auction_with_diagnostics() {
+        use crate::diag::Code;
+        let mut c = center(1000.0);
+        let submissions = vec![
+            Submission {
+                user: UserId(0),
+                bid: Money::from_dollars(30.0),
+                plan: high_price(100.0),
+            },
+            // Float group key AND zero window: statically invalid.
+            Submission {
+                user: UserId(1),
+                bid: Money::from_dollars(500.0),
+                plan: LogicalPlan::source("quotes").aggregate(
+                    Some(1),
+                    crate::plan::AggFunc::Count,
+                    0,
+                    0,
+                ),
+            },
+        ];
+        let record = c
+            .run_auction(&submissions, &calibration_sample(300))
+            .unwrap();
+        // The valid bidder's day is unaffected by the invalid one.
+        assert!(record.decisions[0].admitted);
+        assert!(record.decisions[0].rejection.is_none());
+        // The invalid bidder never entered the auction: not admitted, not
+        // charged, and handed the full accumulated report.
+        let rejected = &record.decisions[1];
+        assert!(!rejected.admitted);
+        assert_eq!(rejected.payment, Money::ZERO);
+        assert_eq!(rejected.cq, None);
+        let report = rejected.rejection.as_ref().expect("structured rejection");
+        assert!(report.has_code(Code::UnhashableGroupKey));
+        assert!(report.has_code(Code::ZeroWindow));
+        assert_eq!(report.num_errors(), 2);
+        assert_eq!(c.engine().network().num_queries(), 1);
     }
 
     #[test]

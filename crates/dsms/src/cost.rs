@@ -248,6 +248,7 @@ mod tests {
     use crate::expr::Expr;
     use crate::plan::LogicalPlan;
     use crate::types::{DataType, Field, Schema, Tuple, Value};
+    use cqac_core::model::QueryId;
 
     fn quote(ts: u64, sym: &str, price: f64) -> Tuple {
         Tuple::new(ts, vec![Value::str(sym), Value::Float(price)])
@@ -312,7 +313,6 @@ mod tests {
         // The shared filter has sharing degree 2.
         assert_eq!(inst.max_degree_of_sharing(), 2);
         // q2's total load strictly exceeds q1's (superset of operators).
-        use cqac_core::model::QueryId;
         assert!(inst.total_load(QueryId(1)) > inst.total_load(QueryId(0)));
     }
 
@@ -335,7 +335,6 @@ mod tests {
             &CostModel::default(),
         );
         assert_eq!(inst.num_operators(), 1);
-        use cqac_core::model::QueryId;
         assert!(inst.total_load(QueryId(0)) > Load::ZERO);
     }
 
@@ -482,7 +481,7 @@ mod tests {
         single.push_rows("quotes", feed.clone());
         let mut sharded = DsmsEngine::new().with_max_batch_size(16).with_shards(4);
         sharded.register_stream("quotes", schema());
-        sharded.set_shard_key("quotes", 0);
+        sharded.set_shard_key("quotes", 0).unwrap();
         sharded.add_query(plan).unwrap();
         sharded.push_rows("quotes", feed);
 
@@ -532,7 +531,7 @@ mod tests {
                 .with_shards(shards);
             e.register_stream("quotes", schema());
             if shards > 1 {
-                e.set_shard_key("quotes", 0);
+                e.set_shard_key("quotes", 0).unwrap();
             }
             e.add_query(plan.clone()).unwrap();
             e.push_rows("quotes", feed.clone());

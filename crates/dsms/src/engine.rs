@@ -42,30 +42,26 @@
 //! [`DsmsEngine::push_batch`] / [`DsmsEngine::push_rows`] are the primary
 //! ingestion paths.
 
-use crate::network::{CqId, KeyedPlan, NodeId, QueryNetwork, StreamPrefix, Target};
+use crate::network::{CqId, KeyedPlan, NodeId, QueryInfo, QueryNetwork, StreamPrefix, Target};
 use crate::ops::{shard_of_cell, KeyedKernel, ShardKernel};
 use crate::plan::StreamCatalog;
 use crate::plan::{LogicalPlan, PlanError};
-use crate::types::{work, DataType, MergeTags, Schema, Tuple, TupleBatch};
+use crate::types::{work, MergeTags, Schema, Tuple, TupleBatch};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// Panics unless `column` is a hashable (non-float) column of `schema` —
+/// Checks that `column` is a hashable (non-float) column of `schema` —
 /// the shard-key contract, enforced at whichever of
 /// [`DsmsEngine::set_shard_key`] / [`DsmsEngine::register_stream`] runs
-/// second.
-fn validate_shard_key(schema: &Schema, stream: &str, column: usize) {
-    assert!(
-        column < schema.len(),
-        "shard key column {column} out of range for stream '{stream}'"
-    );
-    assert!(
-        schema.data_type(column) != DataType::Float,
-        "float column {column} of stream '{stream}' is not a hashable shard key"
-    );
+/// second. Static analysis reports violations as diagnostic NL014
+/// ([`crate::diag::Code::BadShardKey`]).
+fn validate_shard_key(schema: &Schema, stream: &str, column: usize) -> Result<(), PlanError> {
+    crate::diag::check_shard_key(schema, stream, column)
+        .first_error()
+        .map_or(Ok(()), Err)
 }
 
 /// The registered schema handle for `stream`, with the engine's uniform
@@ -307,8 +303,13 @@ impl DsmsEngine {
 
     /// Configures hash partitioning for a stream: rows are distributed to
     /// shards by a deterministic hash of `column` (builder form).
+    ///
+    /// # Panics
+    /// Panics when the stream is registered and the key is out of range or
+    /// a float (the fallible form is [`DsmsEngine::set_shard_key`]).
     pub fn with_shard_key(mut self, stream: &str, column: usize) -> Self {
-        self.set_shard_key(stream, column);
+        self.set_shard_key(stream, column)
+            .expect("invalid shard key");
         self
     }
 
@@ -323,17 +324,20 @@ impl DsmsEngine {
     /// chain in any order); validation then happens at
     /// [`DsmsEngine::register_stream`].
     ///
-    /// # Panics
-    /// Panics — here if the stream is already registered, otherwise at
-    /// registration — when `column` is out of range or the column is a
-    /// float (floats are not hashable, exactly as for join and group
-    /// keys).
-    pub fn set_shard_key(&mut self, stream: &str, column: usize) {
+    /// # Errors
+    /// Returns [`PlanError::ShardKeyOutOfRange`] /
+    /// [`PlanError::UnhashableShardKey`] — and leaves the configuration
+    /// unchanged — when the stream is already registered and `column` is
+    /// out of range or a float (floats are not hashable, exactly as for
+    /// join and group keys). Rejecting here makes the release-mode shard
+    /// fallback in `ops::shard_of_cell` unreachable by construction.
+    pub fn set_shard_key(&mut self, stream: &str, column: usize) -> Result<(), PlanError> {
         if let Some(schema) = self.network.stream_schema(stream) {
-            validate_shard_key(schema, stream, column);
+            validate_shard_key(schema, stream, column)?;
         }
         self.shard_keys.insert(stream.to_string(), column);
         self.keyed_cache = None;
+        Ok(())
     }
 
     /// The configured shard keys of every stream (stream → column).
@@ -423,7 +427,9 @@ impl DsmsEngine {
     pub fn register_stream(&mut self, name: impl Into<String>, schema: Schema) {
         let name = name.into();
         if let Some(&column) = self.shard_keys.get(&name) {
-            validate_shard_key(&schema, &name, column);
+            if let Err(e) = validate_shard_key(&schema, &name, column) {
+                panic!("{e}");
+            }
         }
         self.network.register_stream(name, schema);
         self.prefix_cache.clear();
@@ -452,19 +458,21 @@ impl DsmsEngine {
     }
 
     /// Removes a query (auto-transition as in [`DsmsEngine::add_query`]),
-    /// discarding its undelivered outputs.
-    pub fn remove_query(&mut self, cq: CqId) {
+    /// discarding its undelivered outputs. Returns the removed query's
+    /// info, or `None` if no such query is registered (idempotent).
+    pub fn remove_query(&mut self, cq: CqId) -> Option<QueryInfo> {
         let auto = !self.holding;
         if auto {
             self.begin_transition();
         }
-        self.network.remove_query(cq);
+        let info = self.network.remove_query(cq);
         self.prefix_cache.clear();
         self.keyed_cache = None;
         self.outputs.remove(&cq);
         if auto {
             self.end_transition();
         }
+        info
     }
 
     /// **Transition phase, step 1** (§II): upstream connection points start
@@ -678,6 +686,7 @@ impl DsmsEngine {
     ///    order. Everything downstream of the merge is byte-identical to
     ///    the single-threaded engine.
     fn flush_ingest_sharded(&mut self) {
+        type Parts = Vec<(TupleBatch, Option<MergeTags>)>;
         let shards = self.shards();
         let ingested: Vec<(String, TupleBatch)> = self.ingest.drain(..).collect();
         if ingested.is_empty() {
@@ -1009,7 +1018,6 @@ impl DsmsEngine {
         }
 
         // -- 3. Deterministic merge --------------------------------------
-        type Parts = Vec<(TupleBatch, Option<MergeTags>)>;
         let mut merged: BTreeMap<(u32, Vec<u32>), Parts> = BTreeMap::new();
         for (s, report) in reports.into_iter().enumerate() {
             work::absorb(&report.work);
@@ -1370,8 +1378,7 @@ impl DsmsEngine {
     pub fn output_len(&self, cq: CqId) -> usize {
         self.outputs
             .get(&cq)
-            .map(|batches| batches.iter().map(|b| b.len()).sum())
-            .unwrap_or(0)
+            .map_or(0, |batches| batches.iter().map(|b| b.len()).sum())
     }
 
     /// The current watermark (max event time *routed*). Tuples buffered by
@@ -1485,7 +1492,7 @@ impl MorselScheduler {
 /// Locks a morsel deque, riding over poisoning (the panic that poisoned it
 /// is surfaced through the pool's `Done(Err)` path).
 fn lock_deque(m: &Mutex<VecDeque<Morsel>>) -> std::sync::MutexGuard<'_, VecDeque<Morsel>> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Splits `units` into order-preserving chunks of at most `size` (the
@@ -1962,7 +1969,9 @@ impl std::fmt::Debug for WorkerPool {
 /// Locks a slot, riding over poisoning (a poisoned slot only means a
 /// worker panicked mid-update; the payload is surfaced via `Done(Err)`).
 fn lock_slot(slot: &WorkerSlot) -> std::sync::MutexGuard<'_, SlotState> {
-    slot.state.lock().unwrap_or_else(|e| e.into_inner())
+    slot.state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn pool_worker_main(slot: Arc<WorkerSlot>) {
@@ -1979,7 +1988,10 @@ fn pool_worker_main(slot: Arc<WorkerSlot>) {
             SlotState::Exit => return,
             other => {
                 *state = other;
-                state = slot.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+                state = slot
+                    .cv
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         }
     }
@@ -2012,7 +2024,7 @@ impl WorkerPool {
     /// job reported back, then returns the reports in shard order. A
     /// worker panic is re-raised here — after all other jobs finished, so
     /// no borrow escapes.
-    fn run<'env>(&mut self, jobs: Vec<ShardJob<'env>>) -> Vec<ShardReport> {
+    fn run(&mut self, jobs: Vec<ShardJob<'_>>) -> Vec<ShardReport> {
         let n = jobs.len();
         self.ensure(n);
         for (i, job) in jobs.into_iter().enumerate() {
@@ -2038,7 +2050,11 @@ impl WorkerPool {
                     }
                     other => {
                         *state = other;
-                        state = w.slot.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+                        state = w
+                            .slot
+                            .cv
+                            .wait(state)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
                     }
                 }
             }
@@ -2498,7 +2514,7 @@ mod tests {
         // Shard ids mean nothing across different counts, so accumulated
         // per-shard statistics must not survive a resize.
         let mut e = engine_with_quotes().with_max_batch_size(8).with_shards(8);
-        e.set_shard_key("quotes", 0);
+        e.set_shard_key("quotes", 0).unwrap();
         e.add_query(high_filter()).unwrap();
         e.push_rows("quotes", market_rows(64));
         assert!(e.shard_stats().iter().map(|s| s.rows).sum::<u64>() > 0);
@@ -2516,10 +2532,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a hashable shard key")]
     fn float_shard_key_rejected() {
         let mut e = engine_with_quotes();
-        e.set_shard_key("quotes", 1); // price: Float
+        let err = e.set_shard_key("quotes", 1).unwrap_err(); // price: Float
+        assert_eq!(
+            err,
+            PlanError::UnhashableShardKey {
+                stream: "quotes".into(),
+                column: 1
+            }
+        );
+        // The rejected key was not configured.
+        assert_eq!(e.shard_key("quotes"), None);
+        let err = e.set_shard_key("quotes", 9).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::ShardKeyOutOfRange {
+                stream: "quotes".into(),
+                column: 9
+            }
+        );
     }
 
     #[test]

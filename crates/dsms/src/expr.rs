@@ -204,6 +204,79 @@ impl Expr {
         }
     }
 
+    /// Multi-diagnostic counterpart of [`Expr::infer_type`]: walks the
+    /// whole expression, pushing **every** type error into `errors`
+    /// instead of stopping at the first, and returns the result type when
+    /// it is still known (best-effort recovery — a comparison with a bad
+    /// operand is still known to be boolean, so downstream checks keep
+    /// running).
+    pub fn check_types(&self, schema: &Schema, errors: &mut Vec<ExprError>) -> Option<DataType> {
+        match self {
+            Expr::Col(i) => {
+                if *i < schema.len() {
+                    Some(schema.data_type(*i))
+                } else {
+                    errors.push(ExprError::UnknownColumn(*i));
+                    None
+                }
+            }
+            Expr::Lit(v) => Some(v.data_type()),
+            Expr::Cmp(_, l, r) => {
+                let lt = l.check_types(schema, errors);
+                let rt = r.check_types(schema, errors);
+                if let (Some(lt), Some(rt)) = (lt, rt) {
+                    let comparable = lt == rt
+                        || (matches!(lt, DataType::Int | DataType::Float)
+                            && matches!(rt, DataType::Int | DataType::Float));
+                    if !comparable {
+                        errors.push(ExprError::TypeMismatch(format!(
+                            "cannot compare {lt:?} with {rt:?}"
+                        )));
+                    }
+                }
+                Some(DataType::Bool)
+            }
+            Expr::Arith(_, l, r) => {
+                let lt = l.check_types(schema, errors);
+                let rt = r.check_types(schema, errors);
+                match (lt?, rt?) {
+                    (DataType::Int, DataType::Int) => Some(DataType::Int),
+                    (DataType::Int | DataType::Float, DataType::Int | DataType::Float) => {
+                        Some(DataType::Float)
+                    }
+                    (lt, rt) => {
+                        errors.push(ExprError::TypeMismatch(format!(
+                            "cannot do arithmetic on {lt:?} and {rt:?}"
+                        )));
+                        None
+                    }
+                }
+            }
+            Expr::And(l, r) | Expr::Or(l, r) => {
+                for side in [l, r] {
+                    if let Some(t) = side.check_types(schema, errors) {
+                        if t != DataType::Bool {
+                            errors.push(ExprError::TypeMismatch(
+                                "logical operand must be boolean".into(),
+                            ));
+                        }
+                    }
+                }
+                Some(DataType::Bool)
+            }
+            Expr::Not(e) => {
+                if let Some(t) = e.check_types(schema, errors) {
+                    if t != DataType::Bool {
+                        errors.push(ExprError::TypeMismatch(
+                            "NOT operand must be boolean".into(),
+                        ));
+                    }
+                }
+                Some(DataType::Bool)
+            }
+        }
+    }
+
     /// Evaluates the expression on one tuple (the per-row fallback path;
     /// see the module docs).
     pub fn eval(&self, tuple: &Tuple) -> Result<Value, ExprError> {

@@ -256,6 +256,44 @@
 //! compares it against [`cost::effective_capacity`] — `shards × per-core
 //! capacity`.
 //!
+//! ## Static verification
+//!
+//! Every plan is statically verified *before* it can mutate the shared
+//! network. The [`diag`] module is the diagnostics framework: stable
+//! `NL0xx` codes ([`diag::Code`]) with fixed severities, spans that point
+//! into a plan (`$.input.left`-style paths), at a physical node, a query,
+//! a stream, or the whole network ([`diag::Span`]), and an accumulating
+//! [`diag::Report`] that renders human-readable text and machine-readable
+//! JSON ([`diag::Report::to_json`]). [`diag::check_plan`] walks a
+//! [`plan::LogicalPlan`] collecting *every* problem (not just the first),
+//! and [`diag::check_shard_key`] validates partitioning keys.
+//!
+//! The verifier is load-bearing at three choke points:
+//!
+//! * [`network::QueryNetwork::add_query`] runs
+//!   [`network::QueryNetwork::verify_plan`] and refuses to instantiate any
+//!   plan with an error-severity diagnostic — the first error maps back to
+//!   the exact [`plan::PlanError`] the legacy single-error path returned,
+//!   so existing callers observe identical behavior.
+//! * [`engine::DsmsEngine::set_shard_key`] validates the key against the
+//!   stream schema and returns `Err` instead of debug-asserting later in
+//!   the hash path.
+//! * [`center::DsmsCenter::run_auction`] verifies each submitted plan
+//!   before bidding; invalid bidders are rejected **pre-auction** with the
+//!   full structured report in their decision
+//!   (`center::Decision::rejection`) and never influence prices.
+//!
+//! Consequently every release-mode `debug_assert!(false, "… escaped …
+//! validation")` site in [`ops`] is unreachable by construction; the
+//! plan-mutation property suite in `cqac-analyze` injects each known
+//! corruption and proves the analyzer fires first.
+//!
+//! Deeper whole-network passes — the determinism audit (an independent
+//! re-derivation of the keyed-plan classification), cost-attribution
+//! conservation, and sharing lints — live in the `cqac-analyze` crate
+//! alongside the full diagnostic-code table and the `netlint` CLI that
+//! gates CI with `--deny-warnings`.
+//!
 //! ## Example: shared batched processing end to end
 //!
 //! ```
@@ -289,6 +327,7 @@
 
 pub mod center;
 pub mod cost;
+pub mod diag;
 pub mod engine;
 pub mod expr;
 pub mod network;

@@ -405,10 +405,7 @@ impl QueryNetwork {
 
     /// The subscribers of a raw stream.
     pub fn stream_subscribers(&self, stream: &str) -> &[Target] {
-        self.source_subs
-            .get(stream)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.source_subs.get(stream).map_or(&[], Vec::as_slice)
     }
 
     /// The maximum number of queries sharing one node — the paper's "degree
@@ -422,11 +419,27 @@ impl QueryNetwork {
             .unwrap_or(0)
     }
 
+    /// Statically verifies a plan against this network's stream catalog,
+    /// returning **every** problem as a diagnostic report rather than the
+    /// first error (see [`crate::diag`]). An error-severity report means
+    /// [`Self::add_query`] would reject the plan.
+    pub fn verify_plan(&self, plan: &LogicalPlan) -> crate::diag::Report {
+        crate::diag::check_plan(plan, self)
+    }
+
     /// Adds a continuous query, sharing operators with existing queries
     /// wherever signatures match. Returns the new query's id.
     pub fn add_query(&mut self, plan: LogicalPlan) -> Result<CqId, PlanError> {
-        // Validate fully before mutating.
-        let schema = plan.output_schema(self)?;
+        // Statically verify before mutating: the analyzer accumulates every
+        // problem, and its first error-severity diagnostic maps back onto
+        // the `Result` API this method exposes.
+        let report = self.verify_plan(&plan);
+        if let Some(err) = report.first_error() {
+            return Err(err);
+        }
+        let schema = plan
+            .output_schema(self)
+            .expect("verified plan has a schema");
         let mut new_nodes: Vec<NodeId> = Vec::new();
         let top = self.instantiate(&plan, &mut new_nodes)?;
 
@@ -461,15 +474,11 @@ impl QueryNetwork {
     }
 
     /// Removes a query, garbage-collecting operators no longer referenced by
-    /// any registered query. Returns the info of the removed query.
-    ///
-    /// # Panics
-    /// Panics if the query does not exist.
-    pub fn remove_query(&mut self, cq: CqId) -> QueryInfo {
-        let info = self
-            .queries
-            .remove(&cq)
-            .unwrap_or_else(|| panic!("remove of unknown query {cq}"));
+    /// any registered query. Returns the info of the removed query, or
+    /// `None` if no query with that id is registered (removal is
+    /// idempotent — removing an already-removed query is a no-op).
+    pub fn remove_query(&mut self, cq: CqId) -> Option<QueryInfo> {
+        let info = self.queries.remove(&cq)?;
         // Unwire the sink.
         self.disconnect(&info.top, Target::Sink(cq));
         // Drop references; collect orphans.
@@ -484,7 +493,7 @@ impl QueryNetwork {
         for n in orphans {
             self.remove_node(n);
         }
-        info
+        Some(info)
     }
 
     fn remove_node(&mut self, id: NodeId) {
@@ -1094,6 +1103,34 @@ mod tests {
         assert_eq!(err, PlanError::UnknownStream("nope".into()));
         assert_eq!(n.num_nodes(), 0);
         assert_eq!(n.num_queries(), 0);
+    }
+
+    #[test]
+    fn remove_of_unknown_query_is_a_no_op() {
+        let mut n = network_with_quotes();
+        assert!(n.remove_query(CqId(7)).is_none());
+        let q = n.add_query(high_price_filter()).unwrap();
+        let info = n.remove_query(q).expect("registered query removes");
+        assert_eq!(info.plan, high_price_filter());
+        // Idempotent: the second removal finds nothing and mutates nothing.
+        assert!(n.remove_query(q).is_none());
+        assert_eq!(n.num_nodes(), 0);
+    }
+
+    #[test]
+    fn add_query_accumulates_diagnostics_in_verify_plan() {
+        let n = network_with_quotes();
+        // Three independent problems; `add_query` surfaces the first as
+        // its `PlanError`, `verify_plan` reports them all.
+        let plan = LogicalPlan::source("quotes")
+            .filter(Expr::col(9).gt(Expr::lit(Value::Int(0))))
+            .aggregate(Some(1), AggFunc::Count, 0, 0);
+        let report = n.verify_plan(&plan);
+        assert_eq!(report.num_errors(), 3);
+        let mut n = n;
+        let err = n.add_query(plan).unwrap_err();
+        assert_eq!(err, report.first_error().unwrap());
+        assert_eq!(n.num_nodes(), 0);
     }
 
     #[test]

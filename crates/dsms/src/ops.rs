@@ -83,7 +83,9 @@ pub(crate) fn shard_of_cell(col: &Column, i: usize, shards: usize) -> usize {
         Column::Int(v) => fnv1a(&v[i].to_le_bytes()),
         Column::Str(v) => fnv1a(v[i].as_bytes()),
         Column::Float(_) => {
-            // `set_shard_key` rejects float columns before any run.
+            // `set_shard_key` rejects float columns before any run
+            // (diagnostic NL014, `diag::Code::BadShardKey`), so this arm
+            // is unreachable by construction.
             debug_assert!(false, "float shard key escaped validation");
             0
         }
@@ -724,7 +726,7 @@ impl FusedOp {
                     }
                     FusedStage::Project(exprs, _) => {
                         let mut values = Vec::with_capacity(exprs.len());
-                        for e in exprs.iter() {
+                        for e in exprs {
                             match e.eval(&tuple) {
                                 Ok(v) => values.push(v),
                                 Err(_) => continue 'rows, // drop malformed tuples
@@ -973,9 +975,10 @@ impl JoinOp {
         for i in rows {
             let Some(key) = Key::from_column(key_col, i) else {
                 // Plan validation rejects float join keys before any
-                // operator is built; reaching this means the node was
-                // constructed around it. Dropping the row keeps release
-                // builds safe either way.
+                // operator is built (diagnostic NL005,
+                // `diag::Code::UnhashableJoinKey`); reaching this means the
+                // node was constructed around it. Dropping the row keeps
+                // release builds safe either way.
                 debug_assert!(false, "unhashable join key escaped plan validation");
                 continue;
             };
@@ -1199,7 +1202,7 @@ enum AggColumn<'a> {
     WidenInts(&'a [i64]),
 }
 
-impl<'a> AggColumn<'a> {
+impl AggColumn<'_> {
     #[inline]
     fn get(&self, i: usize) -> AggInput {
         match self {
@@ -1538,7 +1541,9 @@ impl AggregateOp {
                 Some(col) => match Key::from_column(col, i) {
                     Some(k) => Some(k),
                     None => {
-                        // Plan validation rejects float group keys; see the
+                        // Plan validation rejects float group keys
+                        // (diagnostic NL011,
+                        // `diag::Code::UnhashableGroupKey`); see the
                         // matching guard in `JoinOp`.
                         debug_assert!(false, "unhashable group key escaped plan validation");
                         continue;
@@ -1610,7 +1615,9 @@ impl AggregateOp {
                 Some(col) => match Key::from_column(batch.column(col), i) {
                     Some(k) => Some(k),
                     None => {
-                        // Plan validation rejects float group keys; see the
+                        // Plan validation rejects float group keys
+                        // (diagnostic NL011,
+                        // `diag::Code::UnhashableGroupKey`); see the
                         // matching guard in `JoinOp`.
                         debug_assert!(false, "unhashable group key escaped plan validation");
                         continue;
@@ -1826,7 +1833,7 @@ impl KeyedKernel for AggregateOp {
             .expect("aggregate partition lock poisoned");
         match sel {
             Some(sel) => {
-                self.absorb_rows(&mut part, batch, &input, sel.iter().map(|&i| i as usize))
+                self.absorb_rows(&mut part, batch, &input, sel.iter().map(|&i| i as usize));
             }
             None => self.absorb_rows(&mut part, batch, &input, 0..batch.len()),
         }
@@ -1919,7 +1926,9 @@ mod tests {
 
     /// Flattens the emitted batches into rows, for assertions.
     fn rows_of(out: &[TupleBatch]) -> Vec<Tuple> {
-        out.iter().flat_map(|b| b.iter_rows()).collect()
+        out.iter()
+            .flat_map(super::super::types::TupleBatch::iter_rows)
+            .collect()
     }
 
     #[test]

@@ -134,6 +134,21 @@ pub enum PlanError {
     UnionSchemaMismatch,
     /// Aggregate window width must be positive.
     ZeroWindow,
+    /// A shard-key column index is out of range for its stream's schema.
+    ShardKeyOutOfRange {
+        /// The stream the key was configured for.
+        stream: String,
+        /// The offending column index.
+        column: usize,
+    },
+    /// Shard keys must be hashable types (Int, Str, or Bool — not Float),
+    /// exactly like join and group keys.
+    UnhashableShardKey {
+        /// The stream the key was configured for.
+        stream: String,
+        /// The offending column index.
+        column: usize,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -147,6 +162,18 @@ impl std::fmt::Display for PlanError {
             PlanError::UnhashableJoinKey(t) => write!(f, "join key type {t:?} is not hashable"),
             PlanError::UnionSchemaMismatch => write!(f, "union inputs have different schemas"),
             PlanError::ZeroWindow => write!(f, "window width must be positive"),
+            PlanError::ShardKeyOutOfRange { stream, column } => {
+                write!(
+                    f,
+                    "shard key column {column} out of range for stream '{stream}'"
+                )
+            }
+            PlanError::UnhashableShardKey { stream, column } => {
+                write!(
+                    f,
+                    "float column {column} of stream '{stream}' is not a hashable shard key"
+                )
+            }
         }
     }
 }
@@ -466,7 +493,7 @@ impl LogicalPlan {
         match self {
             LogicalPlan::Source { stream } => out.push(stream.clone()),
             LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
-                input.collect_streams(out)
+                input.collect_streams(out);
             }
             LogicalPlan::Aggregate { input, .. } => input.collect_streams(out),
             LogicalPlan::Join { left, right, .. } | LogicalPlan::Union { left, right } => {

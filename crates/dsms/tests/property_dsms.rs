@@ -710,8 +710,8 @@ fn run_sharded_morsel(
     e.set_morsel_batches(morsel);
     e.set_stealing(stealing);
     if hash_key {
-        e.set_shard_key("quotes", 0);
-        e.set_shard_key("news", 0);
+        e.set_shard_key("quotes", 0).unwrap();
+        e.set_shard_key("news", 0).unwrap();
     }
     let q1 = e.add_query(plan.clone()).unwrap();
     let q2 = e.add_query(plan.clone()).unwrap();
@@ -954,7 +954,7 @@ fn run_ticks_sharded(
     e.set_shards(shards);
     e.set_morsel_batches(morsel);
     e.set_stealing(stealing);
-    e.set_shard_key("ticks", 0);
+    e.set_shard_key("ticks", 0).unwrap();
     let cq = e.add_query(plan.clone()).unwrap();
     for chunk in feed.chunks(max_batch.max(1) * 2) {
         e.push_rows("ticks", chunk.to_vec());

@@ -106,8 +106,8 @@ struct RunResult {
 fn run(feed: &[(String, Tuple)], shards: usize, hash_key: bool, chunk: usize) -> RunResult {
     let mut e = engine().with_max_batch_size(16).with_shards(shards);
     if hash_key {
-        e.set_shard_key("quotes", 0);
-        e.set_shard_key("news", 0);
+        e.set_shard_key("quotes", 0).unwrap();
+        e.set_shard_key("news", 0).unwrap();
     }
     let cqs: Vec<_> = plans()
         .into_iter()
@@ -174,7 +174,7 @@ fn soak_shards4_no_lost_or_duplicated_tuples() {
 fn remove_query_mid_stream_under_sharding() {
     let run = |shards: usize| {
         let mut e = engine().with_max_batch_size(8).with_shards(shards);
-        e.set_shard_key("quotes", 0);
+        e.set_shard_key("quotes", 0).unwrap();
         let high =
             LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))));
         let keep = e.add_query(high.clone()).unwrap();
@@ -202,7 +202,7 @@ fn remove_query_mid_stream_under_sharding() {
 fn transition_held_replay_under_sharding() {
     let run = |shards: usize| {
         let mut e = engine().with_max_batch_size(8).with_shards(shards);
-        e.set_shard_key("quotes", 0);
+        e.set_shard_key("quotes", 0).unwrap();
         let high =
             LogicalPlan::source("quotes").filter(Expr::col(1).gt(Expr::lit(Value::Float(100.0))));
         let cq = e.add_query(high).unwrap();
@@ -237,7 +237,7 @@ fn transition_held_replay_under_sharding() {
 fn finish_flushes_all_shards() {
     let run = |shards: usize| {
         let mut e = engine().with_max_batch_size(8).with_shards(shards);
-        e.set_shard_key("quotes", 0);
+        e.set_shard_key("quotes", 0).unwrap();
         let cq = e
             .add_query(
                 LogicalPlan::source("quotes")
@@ -270,7 +270,7 @@ fn columnar_kill_switch_reaches_worker_shards() {
     let run = |columnar: bool| {
         cqac_dsms::ops::with_columnar_kernels(columnar, || {
             let mut e = engine().with_max_batch_size(8).with_shards(4);
-            e.set_shard_key("quotes", 0);
+            e.set_shard_key("quotes", 0).unwrap();
             let cq = e
                 .add_query(
                     LogicalPlan::source("quotes")
@@ -312,7 +312,7 @@ fn worker_row_work_counters_fold_back_deterministically() {
     let evals_at = |shards: usize| {
         cqac_dsms::ops::with_columnar_kernels(false, || {
             let mut e = engine().with_max_batch_size(8).with_shards(shards);
-            e.set_shard_key("quotes", 0);
+            e.set_shard_key("quotes", 0).unwrap();
             e.add_query(
                 LogicalPlan::source("quotes")
                     .filter(Expr::col(1).gt(Expr::lit(Value::Float(50.0)))),
@@ -349,8 +349,8 @@ fn keyed_stateful_plans() -> Vec<LogicalPlan> {
 #[test]
 fn keyed_stateful_rows_run_on_shards_with_pushdown() {
     let mut e = engine().with_max_batch_size(8).with_shards(4);
-    e.set_shard_key("quotes", 0);
-    e.set_shard_key("news", 0);
+    e.set_shard_key("quotes", 0).unwrap();
+    e.set_shard_key("news", 0).unwrap();
     let cqs: Vec<_> = keyed_stateful_plans()
         .into_iter()
         .map(|p| e.add_query(p).unwrap())
@@ -382,8 +382,8 @@ fn keyed_stateful_rows_run_on_shards_with_pushdown() {
 #[test]
 fn pool_reuse_zero_spawns_after_warmup() {
     let mut e = engine().with_max_batch_size(8).with_shards(4);
-    e.set_shard_key("quotes", 0);
-    e.set_shard_key("news", 0);
+    e.set_shard_key("quotes", 0).unwrap();
+    e.set_shard_key("news", 0).unwrap();
     for p in keyed_stateful_plans() {
         e.add_query(p).unwrap();
     }
@@ -463,8 +463,8 @@ fn skewed_key_soak_shards4_stays_deterministic() {
             .with_shards(shards)
             .with_morsel_batches(1)
             .with_stealing(stealing);
-        e.set_shard_key("quotes", 0);
-        e.set_shard_key("news", 0);
+        e.set_shard_key("quotes", 0).unwrap();
+        e.set_shard_key("news", 0).unwrap();
         let cqs: Vec<_> = keyed_stateful_plans()
             .into_iter()
             .map(|p| e.add_query(p).unwrap())
@@ -510,8 +510,8 @@ fn skewed_key_soak_shards4_stays_deterministic() {
 fn remove_query_mid_window_under_keyed_sharding() {
     let run = |shards: usize| {
         let mut e = engine().with_max_batch_size(8).with_shards(shards);
-        e.set_shard_key("quotes", 0);
-        e.set_shard_key("news", 0);
+        e.set_shard_key("quotes", 0).unwrap();
+        e.set_shard_key("news", 0).unwrap();
         let keep = e
             .add_query(
                 LogicalPlan::source("quotes")
@@ -546,8 +546,8 @@ fn remove_query_mid_window_under_keyed_sharding() {
 fn transition_held_replay_under_keyed_sharding() {
     let run = |shards: usize| {
         let mut e = engine().with_max_batch_size(8).with_shards(shards);
-        e.set_shard_key("quotes", 0);
-        e.set_shard_key("news", 0);
+        e.set_shard_key("quotes", 0).unwrap();
+        e.set_shard_key("news", 0).unwrap();
         let cqs: Vec<_> = keyed_stateful_plans()
             .into_iter()
             .map(|p| e.add_query(p).unwrap())
@@ -586,8 +586,8 @@ fn transition_held_replay_under_keyed_sharding() {
 fn finish_flushes_per_shard_window_state() {
     let run = |shards: usize| {
         let mut e = engine().with_max_batch_size(8).with_shards(shards);
-        e.set_shard_key("quotes", 0);
-        e.set_shard_key("news", 0);
+        e.set_shard_key("quotes", 0).unwrap();
+        e.set_shard_key("news", 0).unwrap();
         let cq = e
             .add_query(
                 LogicalPlan::source("quotes")

@@ -76,6 +76,16 @@ fn main() {
     engine.push_rows("quotes", quotes.next_batch(tuples));
     engine.push_rows("news", news.next_batch(tuples / 4));
 
+    // Static verification gate: the cost comparison below only means
+    // anything if the shared network it prices is well-formed and its
+    // attribution is conserved, so run the full analyzer before printing.
+    let verification = cqac_analyze::analyze_engine(&engine, &CostModel::default());
+    assert!(
+        verification.is_clean(),
+        "calibrated network failed static verification:\n{verification}"
+    );
+    eprintln!("netlint: calibrated network verifies clean");
+
     let analytic = estimate_node_loads(&engine, &CostModel::default());
     let measured = estimate_node_loads(&engine, &CostModel::measured());
 

@@ -34,7 +34,8 @@ pub use sweep::{run_lying_sweep, run_sharing_sweep, SweepConfig};
 
 /// Default output directory for CSV artifacts.
 pub fn results_dir() -> std::path::PathBuf {
-    std::env::var_os("CQAC_RESULTS")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| std::path::PathBuf::from("results"))
+    std::env::var_os("CQAC_RESULTS").map_or_else(
+        || std::path::PathBuf::from("results"),
+        std::path::PathBuf::from,
+    )
 }

@@ -21,7 +21,10 @@ impl Table {
     pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
         Self {
             title: title.into(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
         }
     }

@@ -40,7 +40,7 @@ impl HotKeyParams {
             keys: 64,
             skew: 1.0,
             rows,
-            seed: 0xC0FFEE,
+            seed: 0x00C0_FFEE,
         }
     }
 
