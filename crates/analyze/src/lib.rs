@@ -61,6 +61,10 @@
 //! | NL040 | warning  | node duplicates the interior of a fused chain (shared-prefix gap) |
 //! | NL041 | warning  | live node referenced by no registered query |
 //! | NL042 | error    | query sink not wired to its producer |
+//! | NL060 | error    | operator kernel panicked at runtime (the quarantine root cause) |
+//! | NL061 | error    | query quarantined — it owned a panicked operator |
+//! | NL062 | error    | pool worker died mid-flush; morsels replayed inline, seat respawned |
+//! | NL063 | warning  | overload shedding dropped ingest rows from a stream |
 //!
 //! `netlint` (this crate's binary) runs every pass over the shipped
 //! scenario networks ([`scenarios`]) and exits nonzero on errors — or on
@@ -71,6 +75,12 @@
 //! plan whose report has errors, and `DsmsCenter::run_auction` attaches
 //! the full report to the [`cqac_dsms::center::Decision`] of every bidder
 //! rejected before the auction.
+//!
+//! The NL06x range is **runtime** diagnostics: no static pass emits them.
+//! They are produced by the engine's quarantine and overload machinery
+//! (`DsmsEngine::runtime_report` / `DsmsEngine::overload_report`) in the
+//! same [`Report`] format, so one toolchain consumes both static and
+//! runtime findings.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

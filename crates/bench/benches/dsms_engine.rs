@@ -37,6 +37,11 @@
 //! morsel scheduler's idle workers steal the hot shard's backlog
 //! (`morsels_stolen > 0`); under uniform load the counters show workers
 //! park after one failed steal sweep instead of spinning.
+//!
+//! The `fault_recovery` group prices the robustness layer: an inert
+//! fault plan vs none (per-invocation injection-hook overhead), a
+//! mid-run panic quarantine, an injected worker death (inline replay +
+//! respawn), and overload shedding under a flood.
 
 use cqac_dsms::engine::DsmsEngine;
 use cqac_dsms::expr::Expr;
@@ -479,6 +484,86 @@ fn bench_operators(c: &mut Criterion) {
     group.finish();
 }
 
+/// The robustness layer's price and recovery cost: an inert fault plan
+/// (every kernel invocation pays the injection hook) vs no plan at all,
+/// a mid-run quarantine (panic → attribution → query removal), an
+/// injected worker death (inline morsel replay + seat respawn), and a
+/// flood against the overload guardrails (deterministic shedding).
+fn bench_fault_recovery(c: &mut Criterion) {
+    use cqac_dsms::engine::OverloadPolicy;
+    use cqac_dsms::fault::FaultPlan;
+    use std::sync::Arc;
+
+    let rows: Vec<Tuple> = StockStream::new(&SYMBOLS, 1, 42).next_batch(20_000);
+    let build = |shards: usize| {
+        let mut e = DsmsEngine::new();
+        e.set_shards(shards);
+        e.set_shard_key("quotes", 0).expect("valid shard key");
+        e.register_stream("quotes", quote_schema());
+        for i in 0..8 {
+            e.add_query(
+                LogicalPlan::source("quotes")
+                    .filter(Expr::col(1).gt(Expr::lit(Value::Float(60.0 + f64::from(i)))))
+                    .aggregate(Some(0), AggFunc::Count, 0, 100),
+            )
+            .expect("valid plan");
+        }
+        e
+    };
+
+    let mut group = c.benchmark_group("fault_recovery");
+    group.sample_size(10);
+
+    group.bench_function("no_plan_20k", |b| {
+        b.iter(|| {
+            let mut e = build(1);
+            e.push_rows("quotes", rows.clone());
+            black_box(e.tuples_processed())
+        });
+    });
+
+    group.bench_function("inert_plan_20k", |b| {
+        b.iter(|| {
+            let mut e = build(1);
+            e.set_fault_plan(Some(Arc::new(FaultPlan::new())));
+            e.push_rows("quotes", rows.clone());
+            black_box(e.tuples_processed())
+        });
+    });
+
+    group.bench_function("quarantine_20k", |b| {
+        b.iter(|| {
+            let mut e = build(1);
+            // One victim panics mid-run; the other 7 queries keep serving.
+            e.set_fault_plan(Some(Arc::new(FaultPlan::new().panic_on("aggregate", 100))));
+            e.push_rows("quotes", rows.clone());
+            black_box((e.tuples_processed(), e.take_quarantine_events().len()))
+        });
+    });
+
+    group.bench_function("worker_death_20k_shards4", |b| {
+        b.iter(|| {
+            let mut e = build(4);
+            e.set_fault_plan(Some(Arc::new(FaultPlan::new().with_worker_death(1, 1))));
+            e.push_rows("quotes", rows.clone());
+            black_box(e.tuples_processed())
+        });
+    });
+
+    group.bench_function("overload_shed_20k", |b| {
+        b.iter(|| {
+            let mut e = build(1);
+            e.set_overload_policy(Some(OverloadPolicy {
+                max_rows_per_flush: 4_096,
+            }));
+            e.push_rows("quotes", rows.clone());
+            black_box(e.tuples_processed())
+        });
+    });
+
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_batch_sizes,
@@ -486,6 +571,7 @@ criterion_group!(
     bench_shards,
     bench_hot_key_skew,
     bench_sharing,
-    bench_operators
+    bench_operators,
+    bench_fault_recovery
 );
 criterion_main!(benches);

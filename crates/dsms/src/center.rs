@@ -21,7 +21,7 @@
 
 use crate::cost::{auction_instance, effective_capacity, CostModel};
 use crate::diag::Report;
-use crate::engine::DsmsEngine;
+use crate::engine::{DsmsEngine, OverloadPolicy};
 use crate::network::CqId;
 use crate::plan::{LogicalPlan, PlanError};
 use crate::types::{Schema, Tuple};
@@ -89,6 +89,10 @@ pub struct DsmsCenter {
     /// Live queries from the latest auction, keyed by plan signature;
     /// several identical plans map to several entries in the Vec.
     active: HashMap<String, Vec<CqId>>,
+    /// Users whose queries were quarantined during the serving phase,
+    /// with the quarantine report. Consumed by the **next** auction: their
+    /// submissions are rejected pre-auction, then the ban is lifted.
+    banned: HashMap<UserId, Report>,
     ledger: Vec<DayRecord>,
     day: u32,
 }
@@ -114,6 +118,7 @@ impl DsmsCenter {
             cost_model: CostModel::default(),
             streams: Vec::new(),
             active: HashMap::new(),
+            banned: HashMap::new(),
             ledger: Vec::new(),
             day: 0,
         }
@@ -172,6 +177,22 @@ impl DsmsCenter {
         self
     }
 
+    /// Caps serving-phase ingestion at `rows_per_flush` buffered rows per
+    /// flush (an [`OverloadPolicy`] on the serving engine). Under a flash
+    /// crowd the engine sheds whole batches from the **lowest-priority**
+    /// streams first, where each stream's priority is the highest bid among
+    /// the admitted queries reading it — refreshed after every auction — so
+    /// the paying customers' data survives. Shed volume is visible in
+    /// [`crate::engine::StreamStats::rows_shed`] and
+    /// [`crate::engine::DsmsEngine::overload_report`].
+    #[must_use]
+    pub fn with_ingress_guard(mut self, rows_per_flush: u64) -> Self {
+        self.engine.set_overload_policy(Some(OverloadPolicy {
+            max_rows_per_flush: rows_per_flush,
+        }));
+        self
+    }
+
     /// Registers an input stream (must precede submissions that read it).
     pub fn register_stream(&mut self, name: impl Into<String>, schema: Schema) {
         let name = name.into();
@@ -182,6 +203,13 @@ impl DsmsCenter {
     /// The serving engine (read access — e.g. for output inspection).
     pub fn engine(&self) -> &DsmsEngine {
         &self.engine
+    }
+
+    /// The serving engine, mutably — e.g. to install a
+    /// [`crate::fault::FaultPlan`] in robustness tests, or to tune the
+    /// [`OverloadPolicy`] after construction.
+    pub fn engine_mut(&mut self) -> &mut DsmsEngine {
+        &mut self.engine
     }
 
     /// Billing history.
@@ -200,6 +228,12 @@ impl DsmsCenter {
     ///    preserving state, when an identical plan is already running) and
     ///    non-admitted actives are removed;
     /// 5. records payments in the ledger.
+    ///
+    /// A user whose query was **quarantined** during the previous serving
+    /// phase (an operator panic attributed to her query — see
+    /// [`crate::engine::QuarantineEvent`]) sits this auction out: her
+    /// submission is rejected pre-auction with the quarantine report
+    /// attached, and the ban is lifted afterwards.
     pub fn run_auction(
         &mut self,
         submissions: &[Submission],
@@ -224,9 +258,17 @@ impl DsmsCenter {
         // Statically verify every submission; invalid bidders are rejected
         // here, with the full diagnostic report, and never enter the
         // auction — so one malformed plan cannot sink the whole day.
+        // Likewise bidders banned by a serving-phase quarantine: they are
+        // rejected with the quarantine report, for this one round only.
+        let banned = std::mem::take(&mut self.banned);
         let mut shadow_cqs: Vec<Option<CqId>> = Vec::with_capacity(submissions.len());
         let mut rejections: Vec<Option<Report>> = Vec::with_capacity(submissions.len());
         for s in submissions {
+            if let Some(report) = banned.get(&s.user) {
+                shadow_cqs.push(None);
+                rejections.push(Some(report.clone()));
+                continue;
+            }
             let report = shadow.network().verify_plan(&s.plan);
             if report.has_errors() {
                 shadow_cqs.push(None);
@@ -306,6 +348,7 @@ impl DsmsCenter {
         }
         self.active = next_active;
         self.engine.end_transition();
+        self.refresh_stream_priorities(submissions, &decisions);
 
         // 5. Ledger.
         let record = DayRecord {
@@ -321,14 +364,64 @@ impl DsmsCenter {
         Ok(record)
     }
 
+    /// Re-derives each registered stream's shedding priority from the
+    /// day's admitted bids: a stream's priority is the highest bid (in
+    /// micro-dollars, exact) among the admitted queries reading it, zero
+    /// when nobody admitted reads it — so under overload the engine sheds
+    /// the cheapest subscribers' data first.
+    fn refresh_stream_priorities(&mut self, submissions: &[Submission], decisions: &[Decision]) {
+        let mut best: HashMap<String, u64> = HashMap::new();
+        for decision in decisions.iter().filter(|d| d.admitted) {
+            let submission = &submissions[decision.submission];
+            for stream in submission.plan.input_streams() {
+                let entry = best.entry(stream).or_insert(0);
+                *entry = (*entry).max(submission.bid.micro());
+            }
+        }
+        for (name, _) in &self.streams {
+            self.engine
+                .set_stream_priority(name.clone(), best.get(name).copied().unwrap_or(0));
+        }
+    }
+
+    /// Absorbs the serving engine's quarantine events into the business
+    /// state: a quarantined query's bidder has her payment refunded for the
+    /// current day (the center failed to serve her full period), her query
+    /// is dropped from the active set, and she is excluded from the next
+    /// auction round (pre-auction rejection carrying the quarantine
+    /// report).
+    fn absorb_quarantines(&mut self) {
+        for event in self.engine.take_quarantine_events() {
+            for cq in &event.queries {
+                for list in self.active.values_mut() {
+                    list.retain(|c| c != cq);
+                }
+                if let Some(day) = self.ledger.last_mut() {
+                    let mut refunded = Money::ZERO;
+                    for decision in day.decisions.iter_mut().filter(|d| d.cq == Some(*cq)) {
+                        refunded += decision.payment;
+                        decision.payment = Money::ZERO;
+                        self.banned.insert(decision.user, event.report.clone());
+                    }
+                    day.profit = day.profit.saturating_sub(refunded);
+                }
+            }
+        }
+        self.active.retain(|_, list| !list.is_empty());
+    }
+
     /// Feeds stream data through the live network (the serving phase) as
-    /// batches.
+    /// batches. An operator panic during processing quarantines the owning
+    /// queries only — the push itself never unwinds for other subscribers —
+    /// and the center then refunds and bans the affected bidders (see
+    /// [`DsmsCenter::run_auction`]).
     ///
     /// # Panics
     /// Panics when `stream` was never registered with
     /// [`DsmsCenter::register_stream`].
     pub fn process(&mut self, stream: &str, tuples: Vec<Tuple>) {
         self.engine.push_rows(stream, tuples);
+        self.absorb_quarantines();
     }
 
     /// Takes a live query's accumulated outputs.

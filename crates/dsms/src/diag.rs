@@ -47,7 +47,8 @@ impl fmt::Display for Severity {
 /// Stable diagnostic codes. The numeric ranges group the passes:
 /// `NL001`–`NL019` plan-level type/schema inference, `NL020`–`NL029`
 /// determinism audit, `NL030`–`NL039` cost-attribution conservation,
-/// `NL040`–`NL049` sharing lints.
+/// `NL040`–`NL049` sharing lints, `NL060`–`NL069` runtime robustness
+/// events (quarantine, worker death, overload shedding).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum Code {
@@ -98,6 +99,20 @@ pub enum Code {
     DeadNode,
     /// NL042: a query's sink is not wired to its producer.
     UnreachableSink,
+    /// NL060: an operator kernel panicked at runtime (worker or control
+    /// thread). The invocation's outputs were dropped and every query
+    /// owning the node was quarantined.
+    OperatorPanic,
+    /// NL061: a continuous query was quarantined because one of its
+    /// operators panicked — it stops serving and its bidder's payment is
+    /// voided.
+    QuarantinedQuery,
+    /// NL062: a pool worker thread died; its work was recovered on the
+    /// control thread and the worker was respawned on the next flush.
+    WorkerDeath,
+    /// NL063: ingress exceeded the configured overload budget and whole
+    /// ingestion batches were shed, lowest-priority stream first.
+    OverloadShed,
 }
 
 impl Code {
@@ -125,13 +140,19 @@ impl Code {
             Code::InteriorPrefixDuplicate => "NL040",
             Code::DeadNode => "NL041",
             Code::UnreachableSink => "NL042",
+            Code::OperatorPanic => "NL060",
+            Code::QuarantinedQuery => "NL061",
+            Code::WorkerDeath => "NL062",
+            Code::OverloadShed => "NL063",
         }
     }
 
     /// The default severity of the code.
     pub fn severity(self) -> Severity {
         match self {
-            Code::InteriorPrefixDuplicate | Code::DeadNode => Severity::Warning,
+            Code::InteriorPrefixDuplicate | Code::DeadNode | Code::OverloadShed => {
+                Severity::Warning
+            }
             _ => Severity::Error,
         }
     }

@@ -42,6 +42,8 @@
 //! [`DsmsEngine::push_batch`] / [`DsmsEngine::push_rows`] are the primary
 //! ingestion paths.
 
+use crate::diag::{Code, Diagnostic, Report, Span};
+use crate::fault::{FaultPlan, WorkerDeath};
 use crate::network::{CqId, KeyedPlan, NodeId, QueryInfo, QueryNetwork, StreamPrefix, Target};
 use crate::ops::{shard_of_cell, KeyedKernel, ShardKernel};
 use crate::plan::StreamCatalog;
@@ -64,14 +66,76 @@ fn validate_shard_key(schema: &Schema, stream: &str, column: usize) -> Result<()
         .map_or(Ok(()), Err)
 }
 
-/// The registered schema handle for `stream`, with the engine's uniform
-/// unknown-stream panic (shared by every ingestion path so the hardening
-/// message cannot drift between them).
-fn stream_schema_or_panic(network: &QueryNetwork, stream: &str) -> Arc<Schema> {
-    network
-        .stream_schema_arc(stream)
-        .unwrap_or_else(|| panic!("unknown stream '{stream}': call register_stream before pushing"))
-        .clone()
+/// A structured ingestion failure — what the fallible ingestion paths
+/// ([`DsmsEngine::try_push`] / [`DsmsEngine::try_push_rows`] /
+/// [`DsmsEngine::try_push_batch`]) return instead of panicking. The
+/// panicking wrappers delegate here and panic with the [`Display`]
+/// rendering, so the hardening message cannot drift between paths.
+///
+/// [`Display`]: std::fmt::Display
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IngestError {
+    /// The stream was never registered with the engine.
+    UnknownStream {
+        /// The unregistered stream name.
+        stream: String,
+    },
+    /// A tuple does not conform to the stream's registered schema.
+    NonConforming {
+        /// The stream whose schema was violated.
+        stream: String,
+        /// Index of the offending row among the rows of the failed call.
+        row: usize,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::UnknownStream { stream } => {
+                write!(
+                    f,
+                    "unknown stream '{stream}': call register_stream before pushing"
+                )
+            }
+            IngestError::NonConforming { stream, row } => {
+                write!(f, "row {row} does not conform to stream '{stream}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// The deterministic overload guardrail (see
+/// [`DsmsEngine::set_overload_policy`]): bounds how many rows one flush
+/// may carry into the network. When pending ingestion exceeds the budget,
+/// whole batches are shed lowest-priority stream first (see
+/// [`DsmsEngine::set_stream_priority`]) until the flush fits.
+#[derive(Clone, Debug)]
+pub struct OverloadPolicy {
+    /// Maximum ingested rows one flush may carry into the network.
+    pub max_rows_per_flush: u64,
+}
+
+/// One quarantine incident: a kernel panic attributed to its physical
+/// node and resolved against the owning continuous queries (see the
+/// crate docs' *Robustness & failure semantics* section). Collected via
+/// [`DsmsEngine::take_quarantine_events`].
+#[derive(Debug)]
+pub struct QuarantineEvent {
+    /// The physical node whose kernel panicked.
+    pub node: NodeId,
+    /// The node's operator kind (one of [`crate::ops::OPERATOR_KINDS`]).
+    pub kind: &'static str,
+    /// The panic's message.
+    pub message: String,
+    /// Every query quarantined by this incident (all owners of the
+    /// panicked node), ascending.
+    pub queries: Vec<CqId>,
+    /// Structured diagnostics: one `NL060` at the node span plus one
+    /// `NL061` per quarantined query.
+    pub report: Report,
 }
 
 /// A node's pending inputs: `(port, batch, deferred selection)`.
@@ -89,6 +153,10 @@ pub struct StreamStats {
     /// Rows routed to each worker shard (empty until the stream feeds a
     /// sharded run; index = shard id).
     pub shard_rows: Vec<u64>,
+    /// Rows shed from this stream by the overload guardrail (whole
+    /// batches, counted before partitioning — shard-count-invariant; see
+    /// [`DsmsEngine::set_overload_policy`]).
+    pub rows_shed: u64,
 }
 
 /// Per-shard execution statistics of the parallel executor (all zero while
@@ -184,6 +252,28 @@ pub struct DsmsEngine {
     morsel_batches: usize,
     /// Whether idle workers steal morsels from busy workers' deque tails.
     stealing: bool,
+    /// The fault-injection plan driving soak tests and benches (`None` —
+    /// inert — outside them).
+    fault: Option<Arc<FaultPlan>>,
+    /// Kernel panics caught but not yet resolved into quarantines:
+    /// `(node id, panic message)`, in catch order.
+    pending_panics: Vec<(u32, String)>,
+    /// Resolved quarantine incidents awaiting
+    /// [`DsmsEngine::take_quarantine_events`].
+    quarantine_log: Vec<QuarantineEvent>,
+    /// Reentrancy guard: quarantining excises queries through the
+    /// transition machinery, which recurses into
+    /// [`DsmsEngine::run_until_quiescent`].
+    quarantining: bool,
+    /// The overload guardrail (`None` = never shed).
+    overload: Option<OverloadPolicy>,
+    /// Per-stream shedding priority: lower sheds first; absent = 0. The
+    /// center refreshes this after every auction with each stream's
+    /// highest admitted bid.
+    stream_priority: HashMap<String, u64>,
+    /// Runtime robustness diagnostics accumulated across flushes
+    /// (`NL060`–`NL062`), exposed via [`DsmsEngine::runtime_report`].
+    runtime_report: Report,
 }
 
 impl Default for DsmsEngine {
@@ -217,6 +307,13 @@ impl DsmsEngine {
             pool: WorkerPool::default(),
             morsel_batches: 1,
             stealing: true,
+            fault: None,
+            pending_panics: Vec::new(),
+            quarantine_log: Vec::new(),
+            quarantining: false,
+            overload: None,
+            stream_priority: HashMap::new(),
+            runtime_report: Report::new(),
         }
     }
 
@@ -419,21 +516,35 @@ impl DsmsEngine {
         &self.network
     }
 
-    /// Registers an input stream.
-    ///
-    /// # Panics
-    /// Panics when a shard key configured ahead of registration (see
-    /// [`DsmsEngine::set_shard_key`]) does not fit the schema.
-    pub fn register_stream(&mut self, name: impl Into<String>, schema: Schema) {
+    /// Registers an input stream, validating any shard key configured
+    /// ahead of registration (see [`DsmsEngine::set_shard_key`]) against
+    /// the schema — the fallible twin of
+    /// [`DsmsEngine::register_stream`], matching `set_shard_key`'s own
+    /// error path when the calls arrive in the other order.
+    pub fn try_register_stream(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+    ) -> Result<(), PlanError> {
         let name = name.into();
         if let Some(&column) = self.shard_keys.get(&name) {
-            if let Err(e) = validate_shard_key(&schema, &name, column) {
-                panic!("{e}");
-            }
+            validate_shard_key(&schema, &name, column)?;
         }
         self.network.register_stream(name, schema);
         self.prefix_cache.clear();
         self.keyed_cache = None;
+        Ok(())
+    }
+
+    /// Registers an input stream.
+    ///
+    /// # Panics
+    /// Panics when a shard key configured ahead of registration (see
+    /// [`DsmsEngine::set_shard_key`]) does not fit the schema — use
+    /// [`DsmsEngine::try_register_stream`] to handle that structurally.
+    pub fn register_stream(&mut self, name: impl Into<String>, schema: Schema) {
+        self.try_register_stream(name, schema)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Adds a continuous query. If the engine is mid-stream (not in an
@@ -504,23 +615,22 @@ impl DsmsEngine {
         self.held.iter().map(|(_, b)| b.len()).sum()
     }
 
-    /// Pushes one tuple into a stream — a thin wrapper that appends to the
-    /// current one-stream ingestion batch. During a transition the tuple is
-    /// held at the stream's connection point; otherwise it is routed and
-    /// processed on the next [`DsmsEngine::run_until_quiescent`].
-    ///
-    /// # Panics
-    /// Panics when `stream` was never registered (batches carry their
-    /// stream's schema, so an unknown stream cannot be buffered; this is
-    /// deliberate hardening over the pre-batching engine, which silently
-    /// dropped such tuples).
-    pub fn push(&mut self, stream: &str, tuple: Tuple) {
-        debug_assert!(
-            self.network
-                .stream_schema(stream)
-                .is_none_or(|s| tuple.conforms_to(s)),
-            "tuple does not conform to stream '{stream}'"
-        );
+    /// Pushes one tuple into a stream — the fallible twin of
+    /// [`DsmsEngine::push`]. Returns a structured [`IngestError`] for an
+    /// unknown stream or a non-conforming tuple; on error nothing is
+    /// buffered and no statistics move.
+    pub fn try_push(&mut self, stream: &str, tuple: Tuple) -> Result<(), IngestError> {
+        let Some(schema) = self.network.stream_schema(stream) else {
+            return Err(IngestError::UnknownStream {
+                stream: stream.to_string(),
+            });
+        };
+        if !tuple.conforms_to(schema) {
+            return Err(IngestError::NonConforming {
+                stream: stream.to_string(),
+                row: 0,
+            });
+        }
         self.stream_stats
             .entry(stream.to_string())
             .or_default()
@@ -534,44 +644,97 @@ impl DsmsEngine {
         };
         // Group into the current batch only while the stream matches and
         // the cap allows: consecutive runs preserve global arrival order.
-        // The schema lookup is needed only when a new batch starts, so the
-        // coalescing fast path skips it entirely.
+        // The schema handle is needed only when a new batch starts, so the
+        // coalescing fast path allocates nothing.
         match buffer.back_mut() {
             Some((s, batch)) if s == stream && batch.len() < max_batch_size => {
                 batch.push(tuple);
             }
             _ => {
-                let schema = stream_schema_or_panic(&self.network, stream);
+                let schema = self
+                    .network
+                    .stream_schema_arc(stream)
+                    .expect("schema checked above")
+                    .clone();
                 let mut batch = TupleBatch::with_capacity(schema, 1);
                 batch.push(tuple);
                 buffer.push_back((stream.to_string(), batch));
             }
         }
+        Ok(())
+    }
+
+    /// Pushes one tuple into a stream — a thin wrapper that appends to the
+    /// current one-stream ingestion batch. During a transition the tuple is
+    /// held at the stream's connection point; otherwise it is routed and
+    /// processed on the next [`DsmsEngine::run_until_quiescent`].
+    ///
+    /// # Panics
+    /// Panics when `stream` was never registered (batches carry their
+    /// stream's schema, so an unknown stream cannot be buffered; this is
+    /// deliberate hardening over the pre-batching engine, which silently
+    /// dropped such tuples) or the tuple does not conform to its schema —
+    /// use [`DsmsEngine::try_push`] to handle both structurally.
+    pub fn push(&mut self, stream: &str, tuple: Tuple) {
+        self.try_push(stream, tuple)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Pushes `(stream, tuple)` pairs — the fallible twin of
+    /// [`DsmsEngine::push_batch`]. Stops at the first bad tuple (reported
+    /// with its index among the pairs); tuples buffered before the error
+    /// stay buffered but are not processed — a retry with the remainder,
+    /// or any later successful push, carries them along.
+    pub fn try_push_batch<I: IntoIterator<Item = (String, Tuple)>>(
+        &mut self,
+        tuples: I,
+    ) -> Result<(), IngestError> {
+        for (i, (stream, tuple)) in tuples.into_iter().enumerate() {
+            self.try_push(&stream, tuple).map_err(|e| match e {
+                IngestError::NonConforming { stream, .. } => {
+                    IngestError::NonConforming { stream, row: i }
+                }
+                other => other,
+            })?;
+        }
+        if !self.holding {
+            self.run_until_quiescent();
+        }
+        Ok(())
     }
 
     /// Pushes `(stream, tuple)` pairs — grouping consecutive same-stream
     /// tuples into batches — and processes to quiescence. This is the
     /// primary ingestion path.
-    pub fn push_batch<I: IntoIterator<Item = (String, Tuple)>>(&mut self, tuples: I) {
-        for (stream, tuple) in tuples {
-            self.push(&stream, tuple);
-        }
-        if !self.holding {
-            self.run_until_quiescent();
-        }
-    }
-
-    /// Pushes a whole column of rows for one stream — the zero-overhead
-    /// batched path (no per-tuple stream-name matching) — and processes to
-    /// quiescence.
     ///
     /// # Panics
-    /// Panics when `stream` was never registered (see [`DsmsEngine::push`]).
-    pub fn push_rows(&mut self, stream: &str, rows: Vec<Tuple>) {
+    /// Panics on an unknown stream or non-conforming tuple — use
+    /// [`DsmsEngine::try_push_batch`] to handle both structurally.
+    pub fn push_batch<I: IntoIterator<Item = (String, Tuple)>>(&mut self, tuples: I) {
+        self.try_push_batch(tuples)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Pushes a whole column of rows for one stream — the fallible twin
+    /// of [`DsmsEngine::push_rows`]. Validates every row against the
+    /// stream's schema before buffering anything, so on error no row of
+    /// the call is ingested and no statistics move.
+    pub fn try_push_rows(&mut self, stream: &str, rows: Vec<Tuple>) -> Result<(), IngestError> {
         if rows.is_empty() {
-            return;
+            return Ok(());
         }
-        let schema = stream_schema_or_panic(&self.network, stream);
+        let Some(schema) = self.network.stream_schema_arc(stream) else {
+            return Err(IngestError::UnknownStream {
+                stream: stream.to_string(),
+            });
+        };
+        let schema = schema.clone();
+        if let Some(row) = rows.iter().position(|t| !t.conforms_to(&schema)) {
+            return Err(IngestError::NonConforming {
+                stream: stream.to_string(),
+                row,
+            });
+        }
         let stats = self.stream_stats.entry(stream.to_string()).or_default();
         for t in &rows {
             stats.note(t.ts);
@@ -590,6 +753,19 @@ impl DsmsEngine {
         if !self.holding {
             self.run_until_quiescent();
         }
+        Ok(())
+    }
+
+    /// Pushes a whole column of rows for one stream — the zero-overhead
+    /// batched path (no per-tuple stream-name matching) — and processes to
+    /// quiescence.
+    ///
+    /// # Panics
+    /// Panics on an unknown stream or non-conforming row — use
+    /// [`DsmsEngine::try_push_rows`] to handle both structurally.
+    pub fn push_rows(&mut self, stream: &str, rows: Vec<Tuple>) {
+        self.try_push_rows(stream, rows)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Advances the watermark to cover `ts`. Every routing path — single
@@ -602,9 +778,52 @@ impl DsmsEngine {
         self.watermark = self.watermark.max(ts);
     }
 
+    /// The deterministic load-shedding pass (see [`OverloadPolicy`]): when
+    /// the pending ingestion exceeds the flush budget, sheds **whole
+    /// batches, lowest-priority stream first** (ties broken by stream
+    /// name; within a stream, newest arrivals first, so the oldest
+    /// admitted data still flows), until the flush fits. Runs at the head
+    /// of **both** flush paths, before any partitioning, on
+    /// arrival-ordered whole batches — so the shed set, and with it
+    /// [`work::WorkSnapshot::rows_shed`], is identical for every shard
+    /// count. Shed batches never advance the watermark.
+    fn apply_shedding(&mut self) {
+        let Some(policy) = &self.overload else {
+            return;
+        };
+        let budget = policy.max_rows_per_flush;
+        let mut total: u64 = self.ingest.iter().map(|(_, b)| b.len() as u64).sum();
+        if total <= budget {
+            return;
+        }
+        work::count_overload_flush();
+        while total > budget {
+            let victim = self
+                .ingest
+                .iter()
+                .map(|(s, _)| s)
+                .min_by_key(|s| (self.stream_priority.get(*s).copied().unwrap_or(0), *s))
+                .cloned();
+            let Some(victim) = victim else {
+                break;
+            };
+            let idx = self
+                .ingest
+                .iter()
+                .rposition(|(s, _)| *s == victim)
+                .expect("victim stream has a pending batch");
+            let (stream, batch) = self.ingest.remove(idx).expect("index in range");
+            let rows = batch.len() as u64;
+            total -= rows;
+            work::count_rows_shed(rows);
+            self.stream_stats.entry(stream).or_default().rows_shed += rows;
+        }
+    }
+
     /// Routes ingested batches into node queues (and source-only sinks),
     /// advancing the watermark.
     fn flush_ingest(&mut self) {
+        self.apply_shedding();
         while let Some((stream, batch)) = self.ingest.pop_front() {
             if let Some(ts) = batch.max_ts() {
                 self.advance_watermark_to(ts);
@@ -688,6 +907,9 @@ impl DsmsEngine {
     fn flush_ingest_sharded(&mut self) {
         type Parts = Vec<(TupleBatch, Option<MergeTags>)>;
         let shards = self.shards();
+        // Shedding runs on the arrival-ordered whole batches, before any
+        // partitioning — the shed set cannot depend on the shard count.
+        self.apply_shedding();
         let ingested: Vec<(String, TupleBatch)> = self.ingest.drain(..).collect();
         if ingested.is_empty() {
             return;
@@ -814,6 +1036,7 @@ impl DsmsEngine {
         for node in &keyed.nodes {
             exits.insert(node.id.0, node.exits.clone());
         }
+        let fault = self.fault.as_deref();
         let network = &self.network;
         let rr_resolved: Vec<ResolvedPrefix<'_>> = rr_plans
             .iter()
@@ -822,16 +1045,15 @@ impl DsmsEngine {
                 nodes: p
                     .nodes
                     .iter()
-                    .map(|pn| ResolvedNode {
-                        id: pn.id.0,
-                        op: network
-                            .node(pn.id)
-                            .expect("live prefix node")
-                            .op
-                            .shard_kernel()
-                            .expect("prefix nodes are shardable"),
-                        internal: pn.internal.clone(),
-                        record: !pn.exits.is_empty(),
+                    .map(|pn| {
+                        let node = network.node(pn.id).expect("live prefix node");
+                        ResolvedNode {
+                            id: pn.id.0,
+                            kind: node.kind,
+                            op: node.op.shard_kernel().expect("prefix nodes are shardable"),
+                            internal: pn.internal.clone(),
+                            record: !pn.exits.is_empty(),
+                        }
                     })
                     .collect(),
             })
@@ -841,9 +1063,11 @@ impl DsmsEngine {
             .iter()
             .zip(&advance)
             .map(|(kn, &adv)| {
-                let op = &network.node(kn.id).expect("live keyed node").op;
+                let node = network.node(kn.id).expect("live keyed node");
+                let op = &node.op;
                 ResolvedKeyedNode {
                     id: kn.id.0,
+                    kind: node.kind,
                     kernel: if kn.stateful {
                         ResolvedKeyedKernel::Stateful(
                             op.keyed_kernel().expect("stateful plan members are keyed"),
@@ -907,6 +1131,7 @@ impl DsmsEngine {
             deques: deques.into_iter().map(Mutex::new).collect(),
             pending: AtomicUsize::new(dispatched),
             aborted: AtomicBool::new(false),
+            deserted: AtomicBool::new(false),
             stealing: self.stealing,
         };
         // In commutative mode the watermark pass runs as a second phase:
@@ -924,6 +1149,19 @@ impl DsmsEngine {
                 let keyed_roots = &keyed_roots;
                 let sched = &sched;
                 let job: ShardJob<'_> = Box::new(move || {
+                    // Injected worker death fires at job start, before any
+                    // morsel runs — a dying worker never leaves a morsel
+                    // half-executed, so its whole deque can be replayed
+                    // inline by the control thread. The desertion flag is
+                    // raised *before* the panic so no survivor can hang on
+                    // the advance barrier waiting for the dead worker's
+                    // share of `pending`.
+                    if let Some(fault) = fault {
+                        if fault.claims_worker_death(worker) {
+                            sched.deserted.store(true, Ordering::Release);
+                            std::panic::panic_any(WorkerDeath);
+                        }
+                    }
                     // Pooled workers persist across flushes: counters and
                     // the columnar switch are re-seeded per job, and the
                     // end-of-job snapshot is the job's delta.
@@ -935,9 +1173,13 @@ impl DsmsEngine {
                         if stolen {
                             work::count_morsel_stolen();
                         }
+                        // Kernel panics are caught per invocation *inside*
+                        // the worker bodies (recover-and-continue); this
+                        // outer net only catches genuine executor bugs,
+                        // which still abort the flush.
                         let done = std::panic::catch_unwind(AssertUnwindSafe(|| match morsel {
                             Morsel::Rr(units) => {
-                                shard_worker(rr_resolved, units, timing, &mut report);
+                                shard_worker(rr_resolved, units, timing, fault, &mut report);
                             }
                             Morsel::Keyed { home, units } => keyed_worker(
                                 home,
@@ -948,6 +1190,7 @@ impl DsmsEngine {
                                 watermark,
                                 timing,
                                 false,
+                                fault,
                                 &mut report,
                             ),
                             Morsel::Chain { home, units } => keyed_worker(
@@ -959,6 +1202,7 @@ impl DsmsEngine {
                                 watermark,
                                 timing,
                                 true,
+                                fault,
                                 &mut report,
                             ),
                         }));
@@ -975,13 +1219,23 @@ impl DsmsEngine {
                         // once every morsel's rows reached partitioned
                         // state. The deques are already empty (`grab`
                         // returned `None`), so this only waits out morsels
-                        // still executing elsewhere.
+                        // still executing elsewhere. A deserted flush
+                        // releases the barrier early: the dead worker's
+                        // `pending` share may never drain, and whether
+                        // absorption is complete is only known once the
+                        // control thread replays the leftovers — so the
+                        // advance is skipped (recorded via
+                        // `report.advanced`) unless absorption had already
+                        // finished.
                         while sched.pending.load(Ordering::Acquire) != 0
                             && !sched.aborted.load(Ordering::Acquire)
+                            && !sched.deserted.load(Ordering::Acquire)
                         {
                             std::thread::yield_now();
                         }
-                        if !sched.aborted.load(Ordering::Acquire) {
+                        if sched.pending.load(Ordering::Acquire) == 0
+                            && !sched.aborted.load(Ordering::Acquire)
+                        {
                             keyed_worker(
                                 worker,
                                 worker,
@@ -991,9 +1245,14 @@ impl DsmsEngine {
                                 watermark,
                                 timing,
                                 true,
+                                fault,
                                 &mut report,
                             );
+                            report.advanced = true;
                         }
+                    } else {
+                        // No second-phase duty to make up for.
+                        report.advanced = true;
                     }
                     report.work = work::snapshot();
                     report
@@ -1001,7 +1260,105 @@ impl DsmsEngine {
                 job
             })
             .collect();
-        let reports = self.pool.run(jobs);
+        let results = self.pool.run(jobs);
+
+        // Surface worker deaths: a dying worker posts `Done(Err)` with the
+        // [`WorkerDeath`] marker before its thread exits, and the pool has
+        // already respawned the seat (counted by
+        // [`work::WorkSnapshot::pool_spawns`] — kernel-panic quarantine, by
+        // contrast, keeps workers alive and that counter flat). Its report
+        // defaults to empty; the leftovers are replayed below. Any other
+        // payload is a genuine executor bug and unwinds as before.
+        let mut deaths: Vec<usize> = Vec::new();
+        let mut reports: Vec<(usize, ShardReport)> = Vec::with_capacity(results.len());
+        for (w, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(report) => reports.push((w, report)),
+                Err(payload) if payload.is::<WorkerDeath>() => {
+                    deaths.push(w);
+                    reports.push((w, ShardReport::default()));
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        // Recover a deserted flush on the control thread, while the
+        // flush's resolved plans are still in scope: (a) replay every
+        // morsel left on the deques — death fires at job start, so
+        // leftover morsels (including chains, whose watermark pass rides
+        // inside) are whole; (b) run the advance-phase duty of every
+        // partition whose worker skipped it (per-partition, so each
+        // partition's windows close exactly once — either on its worker or
+        // here). Recovery outputs join the same deterministic merge as the
+        // pool reports, so the flush's output order is unchanged.
+        if !deaths.is_empty() {
+            let mut recovery = ShardReport::default();
+            for deque in &sched.deques {
+                loop {
+                    let Some(morsel) = lock_deque(deque).pop_front() else {
+                        break;
+                    };
+                    work::count_morsel_executed();
+                    match morsel {
+                        Morsel::Rr(units) => {
+                            shard_worker(&rr_resolved, units, timing, fault, &mut recovery);
+                        }
+                        Morsel::Keyed { home, units } => keyed_worker(
+                            home,
+                            home,
+                            &keyed_resolved,
+                            &keyed_roots,
+                            units,
+                            watermark,
+                            timing,
+                            false,
+                            fault,
+                            &mut recovery,
+                        ),
+                        Morsel::Chain { home, units } => keyed_worker(
+                            home,
+                            home,
+                            &keyed_resolved,
+                            &keyed_roots,
+                            units,
+                            watermark,
+                            timing,
+                            true,
+                            fault,
+                            &mut recovery,
+                        ),
+                    }
+                }
+            }
+            if advance_phase {
+                for (w, report) in &reports {
+                    if !report.advanced {
+                        keyed_worker(
+                            *w,
+                            *w,
+                            &keyed_resolved,
+                            &keyed_roots,
+                            Vec::new(),
+                            watermark,
+                            timing,
+                            true,
+                            fault,
+                            &mut recovery,
+                        );
+                    }
+                }
+            }
+            for &w in &deaths {
+                self.runtime_report.push(Diagnostic::new(
+                    Code::WorkerDeath,
+                    Span::Network,
+                    format!(
+                        "pool worker {w} died mid-flush; its morsels were replayed inline and \
+                         the seat respawned"
+                    ),
+                ));
+            }
+            reports.push((deaths[0], recovery));
+        }
 
         // The keyed plan's watermark handling happened inside the shards:
         // mark every member so the control loop does not re-advance (and
@@ -1019,7 +1376,7 @@ impl DsmsEngine {
 
         // -- 3. Deterministic merge --------------------------------------
         let mut merged: BTreeMap<(u32, Vec<u32>), Parts> = BTreeMap::new();
-        for (s, report) in reports.into_iter().enumerate() {
+        for (s, report) in reports {
             work::absorb(&report.work);
             self.processed += report.rows;
             self.batches += report.batches;
@@ -1034,6 +1391,9 @@ impl DsmsEngine {
             stats.batches += report.batches;
             stats.busy += report.busy;
             stats.max_ts = stats.max_ts.max(report.max_ts);
+            // Caught kernel panics resolve into quarantines once the
+            // control loop reaches quiescence (see `resolve_panics`).
+            self.pending_panics.extend(report.panics);
             for (id, delta) in report.node_stats {
                 let node = self.network.node_mut(NodeId(id)).expect("live plan node");
                 node.in_count += delta.in_rows;
@@ -1168,51 +1528,70 @@ impl DsmsEngine {
                     // (forwarded undensified by `dispatch_selected`);
                     // everything else produces dense output batches.
                     let mut refined: Option<(Arc<TupleBatch>, Vec<u32>)> = None;
+                    let mut caught: Option<String> = None;
                     {
+                        let fault = self.fault.clone();
                         let node = self.network.node_mut(id).expect("live node");
                         node.in_count += in_rows;
                         node.in_batches += 1;
+                        let kind = node.kind;
                         let start = self.timing.then(Instant::now);
-                        let refine = node.op.shard_kernel().and_then(|k| {
-                            k.refine_selection(&shared, sel.as_ref().map(|s| s.as_slice()))
-                        });
-                        match refine {
-                            Some(out_sel) => {
-                                node.out_count += out_sel.len() as u64;
-                                if !out_sel.is_empty() {
-                                    refined = Some((shared, out_sel));
+                        // One panic net per kernel invocation, mirroring
+                        // the pooled workers: a panicking kernel loses
+                        // only this invocation's outputs and resolves into
+                        // a quarantine at quiescence — per query, never
+                        // per process.
+                        let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            inject(fault.as_deref(), kind, shared.ts());
+                            let refine = node.op.shard_kernel().and_then(|k| {
+                                k.refine_selection(&shared, sel.as_ref().map(|s| s.as_slice()))
+                            });
+                            match refine {
+                                Some(out_sel) => {
+                                    node.out_count += out_sel.len() as u64;
+                                    if !out_sel.is_empty() {
+                                        refined = Some((shared, out_sel));
+                                    }
+                                }
+                                None if sel.is_some() => {
+                                    // Absorb through the deferred selection
+                                    // (stateful consumers push it down; the
+                                    // default gathers once on entry).
+                                    let sel = sel.expect("checked some");
+                                    node.op.process_selected(
+                                        port,
+                                        &shared,
+                                        sel.as_slice(),
+                                        &mut out_bufs,
+                                    );
+                                }
+                                None => {
+                                    // Take ownership when this is the last
+                                    // reference (the common single-consumer
+                                    // hop). When another consumer — a node
+                                    // queue or a sink buffer — still holds the
+                                    // batch, the clone is a COW pointer clone:
+                                    // column data stays shared and is only
+                                    // copied if someone mutates it (counted in
+                                    // `TupleBatch::columns_mut`).
+                                    let batch = Arc::try_unwrap(shared)
+                                        .unwrap_or_else(|still_shared| (*still_shared).clone());
+                                    node.op.process_batch(port, batch, &mut out_bufs);
                                 }
                             }
-                            None if sel.is_some() => {
-                                // Absorb through the deferred selection
-                                // (stateful consumers push it down; the
-                                // default gathers once on entry).
-                                let sel = sel.expect("checked some");
-                                node.op.process_selected(
-                                    port,
-                                    &shared,
-                                    sel.as_slice(),
-                                    &mut out_bufs,
-                                );
-                            }
-                            None => {
-                                // Take ownership when this is the last
-                                // reference (the common single-consumer
-                                // hop). When another consumer — a node
-                                // queue or a sink buffer — still holds the
-                                // batch, the clone is a COW pointer clone:
-                                // column data stays shared and is only
-                                // copied if someone mutates it (counted in
-                                // `TupleBatch::columns_mut`).
-                                let batch = Arc::try_unwrap(shared)
-                                    .unwrap_or_else(|still_shared| (*still_shared).clone());
-                                node.op.process_batch(port, batch, &mut out_bufs);
-                            }
-                        }
+                        }));
                         if let Some(start) = start {
                             node.busy += start.elapsed();
                         }
                         node.out_count += out_bufs.iter().map(|b| b.len() as u64).sum::<u64>();
+                        if let Err(payload) = attempt {
+                            caught = Some(panic_message(payload));
+                        }
+                    }
+                    if let Some(message) = caught {
+                        out_bufs.clear();
+                        refined = None;
+                        self.pending_panics.push((id.0, message));
                     }
                     if let Some((batch, out_sel)) = refined {
                         self.dispatch_selected(id, batch, out_sel);
@@ -1250,18 +1629,36 @@ impl DsmsEngine {
                 });
                 if needs_watermark {
                     out_bufs.clear();
+                    let mut caught: Option<String> = None;
                     {
+                        let fault = self.fault.clone();
+                        let watermark = self.watermark;
                         let node = self.network.node_mut(id).expect("live node");
+                        let kind = node.kind;
                         // Timed too: window-close work (eviction, emission)
                         // happens here, and the measured cost model must
                         // not undercount stateful operators.
                         let start = self.timing.then(Instant::now);
-                        node.op.advance_watermark(self.watermark, &mut out_bufs);
+                        let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            inject(fault.as_deref(), kind, &[]);
+                            node.op.advance_watermark(watermark, &mut out_bufs);
+                        }));
                         if let Some(start) = start {
                             node.busy += start.elapsed();
                         }
-                        node.last_watermark = self.watermark;
+                        // Marked even when the pass panicked: the node is
+                        // about to be quarantined, and re-running a
+                        // panicking advance on every pass would never
+                        // reach quiescence.
+                        node.last_watermark = watermark;
                         node.out_count += out_bufs.iter().map(|b| b.len() as u64).sum::<u64>();
+                        if let Err(payload) = attempt {
+                            caught = Some(panic_message(payload));
+                        }
+                    }
+                    if let Some(message) = caught {
+                        out_bufs.clear();
+                        self.pending_panics.push((id.0, message));
                     }
                     if !out_bufs.is_empty() {
                         any = true;
@@ -1273,6 +1670,66 @@ impl DsmsEngine {
                 break;
             }
         }
+        self.resolve_panics();
+    }
+
+    /// Resolves every caught kernel panic into a **quarantine**: the
+    /// panic's node is attributed to its owning CQ set
+    /// ([`QueryNetwork::queries_owning`] — on a shared node that is every
+    /// co-owner, since each owner's plan contains the faulted node), and
+    /// exactly those queries are excised through the same `remove_query`
+    /// and transition machinery the daily auction uses. Runs at the end of
+    /// [`DsmsEngine::run_until_quiescent`]; the `quarantining` guard
+    /// breaks the recursion (removal itself runs a transition, which
+    /// recurses into `run_until_quiescent`), and the drain loop picks up
+    /// panics that surface *during* a removal's drain.
+    fn resolve_panics(&mut self) {
+        if self.quarantining || self.pending_panics.is_empty() {
+            return;
+        }
+        self.quarantining = true;
+        while !self.pending_panics.is_empty() {
+            let drained: Vec<(u32, String)> = std::mem::take(&mut self.pending_panics);
+            for (node_id, message) in drained {
+                let node = NodeId(node_id);
+                // Already gone: an earlier incident this round quarantined
+                // every owner and the node was garbage-collected.
+                let Some(n) = self.network.node(node) else {
+                    continue;
+                };
+                let kind = n.kind;
+                let queries = self.network.queries_owning(node);
+                let mut report = Report::new();
+                report.push(Diagnostic::new(
+                    Code::OperatorPanic,
+                    Span::Node(node_id),
+                    format!("operator kernel ({kind}) panicked: {message}"),
+                ));
+                for &cq in &queries {
+                    report.push(Diagnostic::new(
+                        Code::QuarantinedQuery,
+                        Span::Query(cq.0),
+                        format!(
+                            "query {} quarantined: its plan contains panicked node {node_id}",
+                            cq.0
+                        ),
+                    ));
+                }
+                for &cq in &queries {
+                    work::count_quarantine();
+                    self.remove_query(cq);
+                }
+                self.runtime_report.merge(report.clone());
+                self.quarantine_log.push(QuarantineEvent {
+                    node,
+                    kind,
+                    message,
+                    queries,
+                    report,
+                });
+            }
+        }
+        self.quarantining = false;
     }
 
     fn dispatch(&mut self, from: NodeId, out_bufs: &mut Vec<TupleBatch>) {
@@ -1324,10 +1781,23 @@ impl DsmsEngine {
             let mut any = false;
             for id in self.network.node_ids() {
                 out_bufs.clear();
+                let mut caught: Option<String> = None;
                 {
+                    let fault = self.fault.clone();
                     let node = self.network.node_mut(id).expect("live node");
-                    node.op.finish(&mut out_bufs);
+                    let kind = node.kind;
+                    let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        inject(fault.as_deref(), kind, &[]);
+                        node.op.finish(&mut out_bufs);
+                    }));
                     node.out_count += out_bufs.iter().map(|b| b.len() as u64).sum::<u64>();
+                    if let Err(payload) = attempt {
+                        caught = Some(panic_message(payload));
+                    }
+                }
+                if let Some(message) = caught {
+                    out_bufs.clear();
+                    self.pending_panics.push((id.0, message));
                 }
                 if !out_bufs.is_empty() {
                     any = true;
@@ -1405,6 +1875,86 @@ impl DsmsEngine {
     pub fn stream_stats(&self) -> &HashMap<String, StreamStats> {
         &self.stream_stats
     }
+
+    /// Installs (or clears) the deterministic fault-injection plan
+    /// (builder form; see [`crate::fault::FaultPlan`]). A test/bench
+    /// knob: `None` — the default — is completely inert.
+    pub fn with_fault_plan(mut self, plan: Option<Arc<FaultPlan>>) -> Self {
+        self.set_fault_plan(plan);
+        self
+    }
+
+    /// Installs (or clears) the deterministic fault-injection plan. The
+    /// plan is engine-local (not process-global), so parallel tests can
+    /// each drive their own.
+    pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.fault = plan;
+    }
+
+    /// Installs (or clears) the overload guardrail (builder form; see
+    /// [`OverloadPolicy`]).
+    pub fn with_overload_policy(mut self, policy: Option<OverloadPolicy>) -> Self {
+        self.set_overload_policy(policy);
+        self
+    }
+
+    /// Installs (or clears) the overload guardrail. With a policy in
+    /// place, a flush whose pending ingestion exceeds the budget sheds
+    /// whole batches lowest-priority stream first (see
+    /// [`DsmsEngine::set_stream_priority`]) — deterministically, before
+    /// partitioning, so the shed set is identical for every shard count.
+    pub fn set_overload_policy(&mut self, policy: Option<OverloadPolicy>) {
+        self.overload = policy;
+    }
+
+    /// Sets a stream's shedding priority: under overload, lower-priority
+    /// streams shed first (ties broken by stream name; unset = 0). The
+    /// center refreshes these after each auction with the highest
+    /// admitted bid reading each stream, realizing lowest-bid-first
+    /// shedding.
+    pub fn set_stream_priority(&mut self, stream: impl Into<String>, priority: u64) {
+        self.stream_priority.insert(stream.into(), priority);
+    }
+
+    /// Takes (and clears) the quarantine incidents resolved so far.
+    pub fn take_quarantine_events(&mut self) -> Vec<QuarantineEvent> {
+        std::mem::take(&mut self.quarantine_log)
+    }
+
+    /// The quarantine incidents resolved so far (without clearing).
+    pub fn quarantine_events(&self) -> &[QuarantineEvent] {
+        &self.quarantine_log
+    }
+
+    /// Runtime robustness diagnostics accumulated across flushes: one
+    /// `NL060`/`NL061` pair per quarantine incident and one `NL062` per
+    /// worker death.
+    pub fn runtime_report(&self) -> &Report {
+        &self.runtime_report
+    }
+
+    /// A fresh report of the overload guardrail's activity: one `NL063`
+    /// warning per stream that has shed rows, in stream-name order.
+    pub fn overload_report(&self) -> Report {
+        let mut report = Report::new();
+        let mut streams: Vec<(&String, &StreamStats)> = self
+            .stream_stats
+            .iter()
+            .filter(|(_, stats)| stats.rows_shed > 0)
+            .collect();
+        streams.sort_by_key(|(name, _)| name.as_str());
+        for (name, stats) in streams {
+            report.push(Diagnostic::new(
+                Code::OverloadShed,
+                Span::Stream(name.clone()),
+                format!(
+                    "{} rows shed from stream '{name}' under overload",
+                    stats.rows_shed
+                ),
+            ));
+        }
+        report
+    }
 }
 
 /// One unit of round-robin shard work: a whole source batch of a keyless
@@ -1460,6 +2010,11 @@ struct MorselScheduler {
     /// Set when a morsel panicked: the other workers drop their barriers
     /// and the pool re-raises the payload on the control thread.
     aborted: AtomicBool,
+    /// Set by a worker dying at job start (before its morsels ran):
+    /// survivors release their advance barriers — the dead worker's
+    /// `pending` share may never drain — and the control thread replays
+    /// the leftover morsels inline after the pool joins.
+    deserted: AtomicBool,
     stealing: bool,
 }
 
@@ -1489,10 +2044,58 @@ impl MorselScheduler {
     }
 }
 
+/// Rides over mutex poisoning: every lock in the engine guards data whose
+/// invariants hold between operations (a deque of whole morsels, a slot
+/// state machine), and a panic inside a critical section is surfaced
+/// separately — through a per-kernel catch, the scheduler's `aborted`
+/// flag, or the pool's `Done(Err)` path — so the poison flag carries no
+/// extra information here. One helper instead of scattered
+/// `unwrap_or_else(PoisonError::into_inner)` copies.
+fn ride_poison<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The fault harness's kernel hook (inert without a plan). Lives *inside*
+/// each kernel's panic net, so an injected panic is indistinguishable
+/// from a genuine kernel bug to the recovery machinery it exercises.
+fn inject(fault: Option<&FaultPlan>, kind: &'static str, ts: &[u64]) {
+    if let Some(fault) = fault {
+        fault.before_kernel(kind, ts);
+    }
+}
+
+/// Extracts a readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "operator kernel panicked".to_string()
+    }
+}
+
+/// Runs one operator-kernel invocation under its own panic net. On panic
+/// the invocation's outputs are lost, the incident is recorded as
+/// `(node, message)` for quarantine resolution, and execution continues —
+/// the recover-and-continue half of the robustness contract (see the
+/// crate docs). Kernels only touch per-invocation inputs and their own
+/// node's state, so a caught invocation cannot corrupt any *other*
+/// node's state.
+fn run_kernel<T>(node: u32, panics: &mut Vec<(u32, String)>, f: impl FnOnce() -> T) -> Option<T> {
+    match std::panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Some(v),
+        Err(payload) => {
+            panics.push((node, panic_message(payload)));
+            None
+        }
+    }
+}
+
 /// Locks a morsel deque, riding over poisoning (the panic that poisoned it
 /// is surfaced through the pool's `Done(Err)` path).
 fn lock_deque(m: &Mutex<VecDeque<Morsel>>) -> std::sync::MutexGuard<'_, VecDeque<Morsel>> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    ride_poison(m.lock())
 }
 
 /// Splits `units` into order-preserving chunks of at most `size` (the
@@ -1525,6 +2128,9 @@ struct ResolvedPrefix<'a> {
 
 struct ResolvedNode<'a> {
     id: u32,
+    /// The node's operator kind (for fault attribution and the harness's
+    /// per-kind triggers).
+    kind: &'static str,
     op: &'a dyn ShardKernel,
     /// Downstream consumers inside the prefix (indices into the plan).
     internal: Vec<usize>,
@@ -1559,6 +2165,14 @@ struct ShardReport {
     /// The worker thread's work counters, folded into the control thread
     /// when the shard joins.
     work: work::WorkSnapshot,
+    /// Kernel panics caught during this shard's morsels: `(node id, panic
+    /// message)`. Resolved into quarantines by the control thread.
+    panics: Vec<(u32, String)>,
+    /// Whether this worker's advance-phase duty ran (always `true` when
+    /// the flush has no second phase). A deserted flush leaves it `false`
+    /// on workers that skipped their advance; the control thread makes
+    /// those partitions up inline.
+    advanced: bool,
 }
 
 /// A stateless-or-keyed kernel reference resolved for the workers.
@@ -1570,6 +2184,9 @@ enum ResolvedKeyedKernel<'a> {
 /// One keyed-plan node resolved for the workers.
 struct ResolvedKeyedNode<'a> {
     id: u32,
+    /// The node's operator kind (for fault attribution and the harness's
+    /// per-kind triggers).
+    kind: &'static str,
     kernel: ResolvedKeyedKernel<'a>,
     /// Downstream consumers inside the plan: (plan index, port).
     internal: Vec<(usize, usize)>,
@@ -1594,6 +2211,7 @@ fn shard_worker(
     plans: &[ResolvedPrefix<'_>],
     units: Vec<ShardUnit>,
     timing: bool,
+    fault: Option<&FaultPlan>,
     report: &mut ShardReport,
 ) {
     for unit in units {
@@ -1622,14 +2240,23 @@ fn shard_worker(
             report.batches += 1;
             work::count_shard_batches(1);
             let start = timing.then(Instant::now);
-            let (out, _) = node.op.process_traced(batch, false);
+            let produced = run_kernel(node.id, &mut report.panics, || {
+                inject(fault, node.kind, batch.ts());
+                node.op.process_traced(batch, false)
+            });
             let elapsed = start.map(|s| s.elapsed()).unwrap_or_default();
             report.busy += elapsed;
             let delta = report.node_stats.entry(node.id).or_default();
             delta.in_rows += in_rows;
             delta.in_batches += 1;
-            delta.out_rows += out.len() as u64;
             delta.busy += elapsed;
+            // A caught panic drops this invocation's outputs and moves on:
+            // downstream nodes simply see nothing from it, and the node's
+            // owners are quarantined at quiescence.
+            let Some((out, _)) = produced else {
+                continue;
+            };
+            delta.out_rows += out.len() as u64;
             if out.is_empty() {
                 continue;
             }
@@ -1715,6 +2342,7 @@ fn keyed_worker(
     watermark: u64,
     timing: bool,
     advance: bool,
+    fault: Option<&FaultPlan>,
     report: &mut ShardReport,
 ) {
     let mut queues: Vec<VecDeque<KeyedEntry>> = (0..nodes.len()).map(|_| VecDeque::new()).collect();
@@ -1758,59 +2386,67 @@ fn keyed_worker(
             work::count_shard_batches(1);
             let start = timing.then(Instant::now);
             // Produce: either a refined deferred selection (filters), or a
-            // materialized output batch with composed tags.
-            let produced: Option<KeyedEntry> = match &node.kernel {
-                ResolvedKeyedKernel::Stateless(k) => {
-                    match k.refine_selection(&entry.batch, entry.sel.as_deref()) {
-                        Some(sel) => (!sel.is_empty()).then(|| KeyedEntry {
-                            key: entry.key.clone(),
-                            port: 0,
-                            batch: entry.batch,
-                            sel: Some(sel),
-                            tags: entry.tags,
-                        }),
-                        None => {
-                            let (batch, tags) = materialize(entry.batch, entry.sel, entry.tags);
-                            let (out, trace) = k.process_traced(batch, true);
-                            (!out.is_empty()).then(|| {
-                                let tags = match trace {
-                                    None => tags,
-                                    Some(t) => tags.take(&t),
-                                };
-                                KeyedEntry {
-                                    key: entry.key.clone(),
-                                    port: 0,
-                                    batch: out,
-                                    sel: None,
-                                    tags,
-                                }
-                            })
+            // materialized output batch with composed tags. The whole
+            // production — one logical kernel invocation — runs under its
+            // own panic net: a caught panic drops only this entry's
+            // outputs, and the node's owners are quarantined at
+            // quiescence.
+            let produced: Option<KeyedEntry> = run_kernel(node.id, &mut report.panics, || {
+                inject(fault, node.kind, entry.batch.ts());
+                match &node.kernel {
+                    ResolvedKeyedKernel::Stateless(k) => {
+                        match k.refine_selection(&entry.batch, entry.sel.as_deref()) {
+                            Some(sel) => (!sel.is_empty()).then(|| KeyedEntry {
+                                key: entry.key.clone(),
+                                port: 0,
+                                batch: entry.batch,
+                                sel: Some(sel),
+                                tags: entry.tags,
+                            }),
+                            None => {
+                                let (batch, tags) = materialize(entry.batch, entry.sel, entry.tags);
+                                let (out, trace) = k.process_traced(batch, true);
+                                (!out.is_empty()).then(|| {
+                                    let tags = match trace {
+                                        None => tags,
+                                        Some(t) => tags.take(&t),
+                                    };
+                                    KeyedEntry {
+                                        key: entry.key.clone(),
+                                        port: 0,
+                                        batch: out,
+                                        sel: None,
+                                        tags,
+                                    }
+                                })
+                            }
                         }
                     }
-                }
-                ResolvedKeyedKernel::Stateful(k) => {
-                    work::count_keyed_shard_rows(in_rows);
-                    if entry.sel.is_some() {
-                        // Absorbed through the deferred selection: these
-                        // rows were never gathered into a dense batch.
-                        work::count_pushdown_rows(in_rows);
+                    ResolvedKeyedKernel::Stateful(k) => {
+                        work::count_keyed_shard_rows(in_rows);
+                        if entry.sel.is_some() {
+                            // Absorbed through the deferred selection: these
+                            // rows were never gathered into a dense batch.
+                            work::count_pushdown_rows(in_rows);
+                        }
+                        let shard = if node.partial {
+                            partial_shard
+                        } else {
+                            state_shard
+                        };
+                        let (out, trace) =
+                            k.process_keyed(shard, entry.port, &entry.batch, entry.sel.as_deref());
+                        (!out.is_empty()).then(|| KeyedEntry {
+                            key: entry.key.clone(),
+                            port: 0,
+                            batch: out,
+                            sel: None,
+                            tags: entry.tags.take(&trace),
+                        })
                     }
-                    let shard = if node.partial {
-                        partial_shard
-                    } else {
-                        state_shard
-                    };
-                    let (out, trace) =
-                        k.process_keyed(shard, entry.port, &entry.batch, entry.sel.as_deref());
-                    (!out.is_empty()).then(|| KeyedEntry {
-                        key: entry.key.clone(),
-                        port: 0,
-                        batch: out,
-                        sel: None,
-                        tags: entry.tags.take(&trace),
-                    })
                 }
-            };
+            })
+            .flatten();
             let elapsed = start.map(|s| s.elapsed()).unwrap_or_default();
             report.busy += elapsed;
             let delta = report.node_stats.entry(node.id).or_default();
@@ -1829,7 +2465,11 @@ fn keyed_worker(
         if advance && node.advance {
             if let ResolvedKeyedKernel::Stateful(k) = &node.kernel {
                 let start = timing.then(Instant::now);
-                let emitted = k.advance_keyed(state_shard, watermark);
+                let emitted = run_kernel(node.id, &mut report.panics, || {
+                    inject(fault, node.kind, &[]);
+                    k.advance_keyed(state_shard, watermark)
+                })
+                .flatten();
                 let elapsed = start.map(|s| s.elapsed()).unwrap_or_default();
                 report.busy += elapsed;
                 let delta = report.node_stats.entry(node.id).or_default();
@@ -1929,7 +2569,8 @@ enum SlotState {
     /// outlive the run by blocking until `Done`).
     Job(Box<dyn FnOnce() -> ShardReport + Send + 'static>),
     /// The job's result (or its panic payload), awaiting collection.
-    Done(std::thread::Result<ShardReport>),
+    /// Boxed: a `ShardReport` is large relative to the other variants.
+    Done(Box<std::thread::Result<ShardReport>>),
     /// Tear-down request (pool drop).
     Exit,
 }
@@ -1969,9 +2610,7 @@ impl std::fmt::Debug for WorkerPool {
 /// Locks a slot, riding over poisoning (a poisoned slot only means a
 /// worker panicked mid-update; the payload is surfaced via `Done(Err)`).
 fn lock_slot(slot: &WorkerSlot) -> std::sync::MutexGuard<'_, SlotState> {
-    slot.state
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    ride_poison(slot.state.lock())
 }
 
 fn pool_worker_main(slot: Arc<WorkerSlot>) {
@@ -1981,17 +2620,24 @@ fn pool_worker_main(slot: Arc<WorkerSlot>) {
             SlotState::Job(job) => {
                 drop(state);
                 let result = std::panic::catch_unwind(AssertUnwindSafe(job));
+                let died = result
+                    .as_ref()
+                    .err()
+                    .is_some_and(|payload| payload.is::<WorkerDeath>());
                 state = lock_slot(&slot);
-                *state = SlotState::Done(result);
+                *state = SlotState::Done(Box::new(result));
                 slot.cv.notify_all();
+                if died {
+                    // An injected worker death: the result is posted (so
+                    // the flush's collection loop is unaffected) and the
+                    // thread exits; `run` respawns the seat afterwards.
+                    return;
+                }
             }
             SlotState::Exit => return,
             other => {
                 *state = other;
-                state = slot
-                    .cv
-                    .wait(state)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                state = ride_poison(slot.cv.wait(state));
             }
         }
     }
@@ -2021,10 +2667,13 @@ impl WorkerPool {
     }
 
     /// Runs one job per shard on the pooled workers and blocks until every
-    /// job reported back, then returns the reports in shard order. A
-    /// worker panic is re-raised here — after all other jobs finished, so
-    /// no borrow escapes.
-    fn run(&mut self, jobs: Vec<ShardJob<'_>>) -> Vec<ShardReport> {
+    /// job reported back, then returns the per-shard results in shard
+    /// order. Panics are *returned*, not re-raised: an injected
+    /// [`WorkerDeath`] is recovered from by the caller (the dead seat is
+    /// respawned here so the next parallel flush finds a full pool), and
+    /// any other payload is re-raised by the caller — in both cases only
+    /// after every job has reported back, so no borrow escapes.
+    fn run(&mut self, jobs: Vec<ShardJob<'_>>) -> Vec<std::thread::Result<ShardReport>> {
         let n = jobs.len();
         self.ensure(n);
         for (i, job) in jobs.into_iter().enumerate() {
@@ -2045,25 +2694,48 @@ impl WorkerPool {
             loop {
                 match std::mem::replace(&mut *state, SlotState::Idle) {
                     SlotState::Done(result) => {
-                        results.push(result);
+                        results.push(*result);
                         break;
                     }
                     other => {
                         *state = other;
-                        state = w
-                            .slot
-                            .cv
-                            .wait(state)
-                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        state = ride_poison(w.slot.cv.wait(state));
                     }
                 }
             }
         }
-        // Every job has finished; only now is it safe to unwind.
+        // Every job has finished; the flush's borrows are released. Any
+        // seat whose thread died to an injected WorkerDeath gets a fresh
+        // thread now (a counted spawn), so the pool is whole again before
+        // the next flush.
+        for (i, result) in results.iter().enumerate() {
+            if result
+                .as_ref()
+                .err()
+                .is_some_and(|payload| payload.is::<WorkerDeath>())
+            {
+                self.respawn(i);
+            }
+        }
         results
-            .into_iter()
-            .map(|r| r.unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
-            .collect()
+    }
+
+    /// Replaces worker `i`'s exited thread with a fresh one on the same
+    /// slot (the mailbox is already back to `Idle` after collection).
+    fn respawn(&mut self, i: usize) {
+        let w = &mut self.workers[i];
+        if let Some(handle) = w.handle.take() {
+            // The thread posted `Done` before exiting, so this join is
+            // immediate; it also clears the exited thread's resources.
+            let _ = handle.join();
+        }
+        work::count_pool_spawn();
+        let thread_slot = w.slot.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("cqac-shard-{i}"))
+            .spawn(move || pool_worker_main(thread_slot))
+            .expect("spawn pool worker");
+        w.handle = Some(handle);
     }
 }
 

@@ -26,6 +26,8 @@
 //! * [`center`] — the for-profit DSMS center: daily auctions, admission
 //!   transitions, billing.
 //! * [`streams`] — deterministic synthetic stock-quote and news feeds.
+//! * [`fault`] — deterministic fault injection (seeded kernel panics,
+//!   poison rows, worker death) driving the robustness soak tests.
 //!
 //! ## Columnar batched execution model
 //!
@@ -294,6 +296,58 @@
 //! alongside the full diagnostic-code table and the `netlint` CLI that
 //! gates CI with `--deny-warnings`.
 //!
+//! ## Robustness & failure semantics
+//!
+//! Admission is a promise the runtime keeps under failure and overload by
+//! degrading **per query, never per process**:
+//!
+//! * **Panic quarantine.** Every operator kernel invocation — on the
+//!   worker pool and on the control thread — runs under its own
+//!   `catch_unwind` net. A panicking kernel loses only that invocation's
+//!   outputs; the engine attributes the panic to the physical node,
+//!   resolves the owning CQ set via shared-network bookkeeping
+//!   ([`network::QueryNetwork::queries_owning`] — a shared node quarantines
+//!   *all* of its co-owners, because each owner's plan contains the
+//!   faulted node), and excises exactly those queries with the same
+//!   `remove_query` + transition machinery the daily auction uses. Each
+//!   quarantine is recorded as an [`engine::QuarantineEvent`] carrying a
+//!   structured [`diag::Report`] (`NL060` operator panic at the node span,
+//!   `NL061` per quarantined query, `NL062` for worker death) and counted
+//!   by [`types::work::WorkSnapshot::quarantines`]. Every other query
+//!   keeps serving: kernels are pure functions of per-invocation inputs
+//!   plus per-node state, so a caught invocation cannot corrupt a
+//!   *different* node's state, and surviving-CQ outputs stay bit-identical
+//!   to a fault-free run (pinned per operator kind × shard count × morsel
+//!   grain × stealing in `tests/fault_recovery.rs`). Worker threads
+//!   survive kernel panics — `pool_spawns` stays flat — while an injected
+//!   worker *death* is detected at job granularity: the scheduler's
+//!   desertion flag releases the survivors' advance barrier, the control
+//!   thread drains the dead worker's remaining morsels inline and runs the
+//!   skipped watermark passes partition by partition, and the pool
+//!   respawns the seat before the next flush. [`center::DsmsCenter`]
+//!   absorbs quarantines into the billing layer: the quarantined bidder's
+//!   payment for the day is zeroed and the bidder sits out the next
+//!   auction round (rejected pre-auction with the quarantine report).
+//! * **Overload shedding.** [`engine::OverloadPolicy`] bounds how many
+//!   rows one flush may ingest. When pending ingestion exceeds the
+//!   budget, the engine sheds **whole batches, lowest-priority stream
+//!   first** (priority = highest admitted bid reading the stream, wired
+//!   by the center after each auction), so the highest-bid CQ keeps its
+//!   admitted service while a flash crowd on a cheap stream degrades
+//!   first. Shedding happens *before* partitioning, on arrival-ordered
+//!   whole batches, so [`types::work::WorkSnapshot::rows_shed`] is
+//!   deterministic and shard-count-invariant; per-stream losses surface
+//!   in [`engine::StreamStats::rows_shed`] and as `NL063` warnings in
+//!   [`engine::DsmsEngine::overload_report`].
+//! * **Determinism under injected faults.** The [`fault`] harness
+//!   triggers failures at *logical* points — the Nth kernel invocation of
+//!   an operator kind, a poison row identified by content, a worker death
+//!   at job start — never at wall-clock points, so every soak replays
+//!   from its seed. Quarantine resolution runs after the flush/drain
+//!   loop reaches quiescence and removes queries in ascending CQ order;
+//!   shedding picks victims by `(priority, stream name)`; both are pure
+//!   functions of the input sequence.
+//!
 //! ## Example: shared batched processing end to end
 //!
 //! ```
@@ -330,6 +384,7 @@ pub mod cost;
 pub mod diag;
 pub mod engine;
 pub mod expr;
+pub mod fault;
 pub mod network;
 pub mod ops;
 pub mod plan;
@@ -338,6 +393,7 @@ pub mod types;
 
 pub use center::{DsmsCenter, Submission};
 pub use engine::DsmsEngine;
+pub use fault::FaultPlan;
 pub use network::{CqId, NodeId, QueryNetwork};
 pub use plan::{AggFunc, LogicalPlan};
 pub use types::{Column, DataType, Field, Schema, Tuple, TupleBatch, Value};

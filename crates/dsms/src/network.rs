@@ -408,6 +408,23 @@ impl QueryNetwork {
         self.source_subs.get(stream).map_or(&[], Vec::as_slice)
     }
 
+    /// Every query whose plan contains physical node `node`, ascending —
+    /// the blast radius of a fault at that node. Because
+    /// [`QueryInfo::nodes`] lists *all* nodes a query's plan materialized
+    /// to (shared or not), a panic at a shared operator attributes to each
+    /// co-owning query, which is exactly the set the quarantine machinery
+    /// must excise.
+    pub fn queries_owning(&self, node: NodeId) -> Vec<CqId> {
+        let mut owners: Vec<CqId> = self
+            .queries
+            .iter()
+            .filter(|(_, info)| info.nodes.contains(&node))
+            .map(|(cq, _)| *cq)
+            .collect();
+        owners.sort_unstable();
+        owners
+    }
+
     /// The maximum number of queries sharing one node — the paper's "degree
     /// of sharing" realized in the running system.
     pub fn max_degree_of_sharing(&self) -> u32 {

@@ -61,6 +61,12 @@ pub fn with_columnar_kernels<R>(enabled: bool, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Every operator kind label a physical node can carry
+/// ([`crate::network::Node::kind`]) — the domain of the fault-injection
+/// harness's per-kind triggers ([`crate::fault::FaultPlan`]) and of
+/// kind-keyed reports.
+pub const OPERATOR_KINDS: [&str; 6] = ["filter", "project", "fused", "join", "aggregate", "union"];
+
 /// The deterministic (FNV-1a) hash the shard partitioner and the
 /// partitioned operator state share — stable across runs and platforms,
 /// unlike the std hasher, so shard assignment is replayable and a key's

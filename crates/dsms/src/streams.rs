@@ -96,6 +96,20 @@ impl StockStream {
     pub fn next_tuple_batch(&mut self, count: usize) -> TupleBatch {
         TupleBatch::from_rows(Arc::new(quote_schema()), self.next_batch(count))
     }
+
+    /// Generates a **burst**: `count` quotes that all carry the *current*
+    /// timestamp — the time axis does not advance until the burst is over.
+    /// Models a flash crowd (an event spike where many quotes land in the
+    /// same instant); feed bursts to an engine with an
+    /// [`crate::engine::OverloadPolicy`] to exercise load shedding.
+    pub fn burst_batch(&mut self, count: usize) -> Vec<Tuple> {
+        let interval = std::mem::replace(&mut self.interval_ms, 0);
+        let out = self.next_batch(count);
+        self.interval_ms = interval;
+        // One interval passes after the burst so the next batch is newer.
+        self.ts += self.interval_ms;
+        out
+    }
 }
 
 /// A deterministic news-story generator over the same symbol universe.

@@ -961,6 +961,9 @@ pub mod work {
         static MORSELS_EXECUTED: Cell<u64> = const { Cell::new(0) };
         static MORSELS_STOLEN: Cell<u64> = const { Cell::new(0) };
         static STEAL_MISSES: Cell<u64> = const { Cell::new(0) };
+        static ROWS_SHED: Cell<u64> = const { Cell::new(0) };
+        static QUARANTINES: Cell<u64> = const { Cell::new(0) };
+        static OVERLOAD_FLUSHES: Cell<u64> = const { Cell::new(0) };
     }
 
     /// A snapshot of the current thread's work counters.
@@ -1014,6 +1017,17 @@ pub mod work {
         /// Steal attempts that found the victim's deque empty — a measure
         /// of wasted scans while draining the flush's final morsels.
         pub steal_misses: u64,
+        /// Rows dropped by the overload guardrail: whole ingestion batches
+        /// shed, lowest-priority stream first, when a flush's pending rows
+        /// exceed the configured ingress budget. Shedding runs *before*
+        /// partitioning, so the count is shard-count invariant.
+        pub rows_shed: u64,
+        /// Continuous queries quarantined after an operator panic (one per
+        /// quarantined query, not per panic).
+        pub quarantines: u64,
+        /// Flushes in which the overload guardrail shed at least one
+        /// batch.
+        pub overload_flushes: u64,
     }
 
     /// Resets this thread's counters to zero.
@@ -1031,6 +1045,9 @@ pub mod work {
         MORSELS_EXECUTED.with(|c| c.set(0));
         MORSELS_STOLEN.with(|c| c.set(0));
         STEAL_MISSES.with(|c| c.set(0));
+        ROWS_SHED.with(|c| c.set(0));
+        QUARANTINES.with(|c| c.set(0));
+        OVERLOAD_FLUSHES.with(|c| c.set(0));
     }
 
     /// Reads this thread's counters.
@@ -1049,6 +1066,9 @@ pub mod work {
             morsels_executed: MORSELS_EXECUTED.with(Cell::get),
             morsels_stolen: MORSELS_STOLEN.with(Cell::get),
             steal_misses: STEAL_MISSES.with(Cell::get),
+            rows_shed: ROWS_SHED.with(Cell::get),
+            quarantines: QUARANTINES.with(Cell::get),
+            overload_flushes: OVERLOAD_FLUSHES.with(Cell::get),
         }
     }
 
@@ -1070,6 +1090,9 @@ pub mod work {
         MORSELS_EXECUTED.with(|c| c.set(c.get() + other.morsels_executed));
         MORSELS_STOLEN.with(|c| c.set(c.get() + other.morsels_stolen));
         STEAL_MISSES.with(|c| c.set(c.get() + other.steal_misses));
+        ROWS_SHED.with(|c| c.set(c.get() + other.rows_shed));
+        QUARANTINES.with(|c| c.set(c.get() + other.quarantines));
+        OVERLOAD_FLUSHES.with(|c| c.set(c.get() + other.overload_flushes));
     }
 
     #[inline]
@@ -1135,6 +1158,21 @@ pub mod work {
     #[inline]
     pub(crate) fn count_steal_miss() {
         STEAL_MISSES.with(|c| c.set(c.get() + 1));
+    }
+
+    #[inline]
+    pub(crate) fn count_rows_shed(n: u64) {
+        ROWS_SHED.with(|c| c.set(c.get() + n));
+    }
+
+    #[inline]
+    pub(crate) fn count_quarantine() {
+        QUARANTINES.with(|c| c.set(c.get() + 1));
+    }
+
+    #[inline]
+    pub(crate) fn count_overload_flush() {
+        OVERLOAD_FLUSHES.with(|c| c.set(c.get() + 1));
     }
 }
 
@@ -1394,6 +1432,9 @@ mod tests {
             morsels_executed: 31,
             morsels_stolen: 37,
             steal_misses: 41,
+            rows_shed: 43,
+            quarantines: 47,
+            overload_flushes: 53,
         };
         work::absorb(&foreign);
         work::absorb(&foreign);
@@ -1408,6 +1449,9 @@ mod tests {
         assert_eq!(snap.morsels_executed, 62);
         assert_eq!(snap.morsels_stolen, 74);
         assert_eq!(snap.steal_misses, 82);
+        assert_eq!(snap.rows_shed, 86);
+        assert_eq!(snap.quarantines, 94);
+        assert_eq!(snap.overload_flushes, 106);
         work::reset();
     }
 

@@ -1,0 +1,154 @@
+//! **Flash-crowd** overload scenarios.
+//!
+//! A flash crowd is a sudden ingest spike — a news event makes thousands
+//! of updates land in the same instant, multiplying the arrival rate the
+//! admission auction priced far beyond the admitted load. The engine's
+//! answer is deterministic load shedding (an
+//! `OverloadPolicy` bounding the rows buffered per flush, shedding whole
+//! batches from the lowest-bid streams first); this module generates the
+//! *workload side* of that story: a steady baseline rate punctuated by
+//! burst windows where every row of the window shares one timestamp.
+//!
+//! The rows are engine-agnostic `(ts, key, value)` triples like
+//! [`crate::hotkey`]'s, so the same feeding shims work; bursts are marked
+//! in the row itself (`burst == true`) so tests can count exactly how
+//! many burst rows survived shedding.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of a flash-crowd scenario.
+#[derive(Clone, Debug)]
+pub struct FlashCrowdParams {
+    /// Rows per time unit during calm stretches.
+    pub baseline_rate: usize,
+    /// Rows that land *in one instant* at each burst.
+    pub burst_size: usize,
+    /// Time units between consecutive bursts (a burst fires when
+    /// `ts % burst_every == 0`, `ts > 0`).
+    pub burst_every: u64,
+    /// Total time units covered.
+    pub duration: u64,
+    /// Number of distinct keys (uniformly drawn, `1..=keys`).
+    pub keys: u64,
+    /// RNG seed — equal seeds yield byte-identical scenarios.
+    pub seed: u64,
+}
+
+impl FlashCrowdParams {
+    /// A compact default: 4 rows/tick baseline, 64-row bursts every 10
+    /// ticks over 50 ticks — a 16× spike against the steady rate.
+    pub fn spiky(seed: u64) -> Self {
+        Self {
+            baseline_rate: 4,
+            burst_size: 64,
+            burst_every: 10,
+            duration: 50,
+            keys: 8,
+            seed,
+        }
+    }
+}
+
+/// One generated event; `burst` marks rows belonging to a spike.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlashCrowdRow {
+    /// Event timestamp (time unit; every burst row of a spike shares one).
+    pub ts: u64,
+    /// Uniformly drawn key in `1..=keys`.
+    pub key: u64,
+    /// A deterministic small integer payload (`ts mod 1000`).
+    pub value: i64,
+    /// Whether this row belongs to a burst window.
+    pub burst: bool,
+}
+
+/// Generates the scenario's rows in timestamp order (deterministic in the
+/// parameters). Baseline rows advance one timestamp per tick; at every
+/// `burst_every`-th tick, `burst_size` extra rows land on that same
+/// timestamp *before* the tick's baseline rows.
+///
+/// # Panics
+/// Panics when `keys == 0` or `burst_every == 0`.
+pub fn flash_crowd_rows(params: &FlashCrowdParams) -> Vec<FlashCrowdRow> {
+    assert!(params.keys > 0, "need at least one key");
+    assert!(params.burst_every > 0, "burst period must be positive");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut out = Vec::new();
+    for ts in 1..=params.duration {
+        let burst = ts % params.burst_every == 0;
+        let spike = if burst { params.burst_size } else { 0 };
+        for i in 0..spike + params.baseline_rate {
+            out.push(FlashCrowdRow {
+                ts,
+                key: rng.random_range(1..=params.keys),
+                value: (ts % 1000) as i64,
+                burst: i < spike,
+            });
+        }
+    }
+    out
+}
+
+/// Splits a scenario's rows into per-tick batches (one `Vec` per time
+/// unit, in order) — the natural feeding granularity for an engine whose
+/// overload policy meters rows per flush.
+pub fn tick_batches(rows: &[FlashCrowdRow]) -> Vec<Vec<FlashCrowdRow>> {
+    let mut ticks: Vec<Vec<FlashCrowdRow>> = Vec::new();
+    for row in rows {
+        if ticks.last().is_none_or(|t| t[0].ts != row.ts) {
+            ticks.push(Vec::new());
+        }
+        ticks.last_mut().expect("just pushed").push(*row);
+    }
+    ticks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let p = FlashCrowdParams::spiky(7);
+        assert_eq!(flash_crowd_rows(&p), flash_crowd_rows(&p));
+        assert_ne!(
+            flash_crowd_rows(&p),
+            flash_crowd_rows(&FlashCrowdParams::spiky(8))
+        );
+    }
+
+    #[test]
+    fn bursts_land_in_one_instant_at_the_right_period() {
+        let p = FlashCrowdParams::spiky(7);
+        let rows = flash_crowd_rows(&p);
+        for row in &rows {
+            if row.burst {
+                assert_eq!(
+                    row.ts % p.burst_every,
+                    0,
+                    "burst row off-period at ts {}",
+                    row.ts
+                );
+            }
+        }
+        let burst_rows = rows.iter().filter(|r| r.burst).count();
+        let bursts = (p.duration / p.burst_every) as usize;
+        assert_eq!(burst_rows, bursts * p.burst_size);
+    }
+
+    #[test]
+    fn tick_batches_partition_in_order() {
+        let p = FlashCrowdParams::spiky(7);
+        let rows = flash_crowd_rows(&p);
+        let ticks = tick_batches(&rows);
+        assert_eq!(ticks.len(), p.duration as usize);
+        assert_eq!(ticks.iter().map(Vec::len).sum::<usize>(), rows.len());
+        for (i, tick) in ticks.iter().enumerate() {
+            assert!(tick.iter().all(|r| r.ts == i as u64 + 1));
+        }
+        // Burst ticks dwarf calm ones.
+        assert_eq!(ticks[9].len(), p.burst_size + p.baseline_rate);
+        assert_eq!(ticks[0].len(), p.baseline_rate);
+    }
+}

@@ -25,11 +25,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod flashcrowd;
 pub mod generator;
 pub mod hotkey;
 pub mod lying;
 pub mod zipf;
 
+pub use flashcrowd::{flash_crowd_rows, tick_batches, FlashCrowdParams, FlashCrowdRow};
 pub use generator::{RawWorkload, WorkloadGenerator, WorkloadParams};
 pub use hotkey::{hot_key_rows, HotKeyParams, HotKeyRow};
 pub use lying::{apply_lying, LyingProfile};
