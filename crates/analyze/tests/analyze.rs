@@ -160,6 +160,38 @@ fn conservation_holds_on_a_live_calibrated_engine() {
     }
 }
 
+/// Dictionary encoding is a runtime representation, not a type: the
+/// static verifier sees `DataType::Str` whether a string column arrives
+/// as `Column::Str` or `Column::Dict`, so string-keyed plans verify and
+/// run clean over a live engine whose ingestion boundary dict-encodes
+/// every string column (and over feeds wide enough to decay back to
+/// plain columns).
+#[test]
+fn dict_encoded_columns_are_invisible_to_schema_inference() {
+    use cqac_dsms::types::{Column, DataType};
+    let dict = Column::Dict {
+        codes: vec![0, 1, 0],
+        dict: vec!["IBM".into(), "AAPL".into()],
+    };
+    assert_eq!(dict.data_type(), DataType::Str);
+
+    let string_plans = [
+        LogicalPlan::source("quotes").filter(Expr::col(0).eq(Expr::lit(Value::str("IBM")))),
+        high_price(10.0).join(LogicalPlan::source("news"), 0, 0, 100),
+        LogicalPlan::source("quotes").aggregate(Some(0), AggFunc::Count, 0, 100),
+    ];
+    let mut e = DsmsEngine::new();
+    e.register_stream("quotes", quote_schema());
+    e.register_stream("news", news_schema());
+    for plan in &string_plans {
+        e.add_query(plan.clone()).unwrap();
+    }
+    let mut feed = StockStream::new(&["IBM", "AAPL"], 1, 11);
+    e.push_rows("quotes", feed.next_batch(1_000));
+    let report = analyze_engine(&e, &CostModel::default());
+    assert!(report.is_clean(), "{report}");
+}
+
 #[test]
 fn dead_node_is_a_warning() {
     // `remove_query` garbage-collects, so a dead node cannot arise

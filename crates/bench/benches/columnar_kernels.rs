@@ -16,10 +16,15 @@
 //! (`cqac_dsms::types::work`): the columnar path must run with **zero**
 //! per-row expression evaluations, **zero** row materializations, and
 //! **zero** per-sink batch copies, while the row path pays per-row for
-//! everything. Those counters, not the timings, are the regression gate.
+//! everything. The SIMD/dictionary counters extend the gate: the columnar
+//! path must drive the unrolled lane loops (`simd_lanes > 0`) and run the
+//! shared chains' string predicate entirely on dictionary codes
+//! (`dict_code_cmps > 0`, `str_cmps == 0` — string bytes are touched only
+//! at dictionary-build granularity, never per row). Those counters, not
+//! the timings, are the regression gate.
 
 use cqac_dsms::engine::DsmsEngine;
-use cqac_dsms::expr::Expr;
+use cqac_dsms::expr::{CmpOp, Expr};
 use cqac_dsms::ops::with_columnar_kernels;
 use cqac_dsms::plan::LogicalPlan;
 use cqac_dsms::streams::{quote_schema, StockStream};
@@ -30,11 +35,15 @@ use std::hint::black_box;
 const SYMBOLS: [&str; 8] = ["IBM", "AAPL", "MSFT", "ORCL", "SAP", "TSM", "AMD", "NVDA"];
 const ROWS: usize = 20_000;
 
-/// filter→filter→project with high pass rates (keeps every stage loaded).
+/// filter→filter→filter→project with high pass rates (keeps every stage
+/// loaded). The first stage runs contiguous lane loops; the string stage
+/// refines the inherited selection through the dictionary verdict table —
+/// per-row work is one u32 code lookup, never a byte compare.
 fn chain() -> LogicalPlan {
     LogicalPlan::source("quotes")
         .filter(Expr::col(1).gt(Expr::lit(Value::Float(5.0))))
         .filter(Expr::col(2).gt(Expr::lit(Value::Int(50))))
+        .filter(Expr::col(0).cmp(CmpOp::Ne, Expr::lit(Value::str("NVDA"))))
         .project(vec![
             ("symbol".to_string(), Expr::col(0)),
             ("price".to_string(), Expr::col(1)),
@@ -82,8 +91,16 @@ fn bench_columnar_kernels(c: &mut Criterion) {
     // criteria pin, independent of wall clock.
     println!("\n-- columnar vs row work counters ({ROWS} rows, batch 64) --");
     println!(
-        "{:<22} {:>6} {:>14} {:>12} {:>12} {:>12}",
-        "workload", "mode", "rows_mat", "row_evals", "kernel_ops", "deep_clones"
+        "{:<22} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "workload",
+        "mode",
+        "rows_mat",
+        "row_evals",
+        "kernel_ops",
+        "deep_clones",
+        "simd_lanes",
+        "dict_cmps",
+        "str_cmps"
     );
     for (name, plans) in [
         ("shared_32_chains", &shared[..]),
@@ -93,13 +110,16 @@ fn bench_columnar_kernels(c: &mut Criterion) {
         let col = measure(plans, &rows, true);
         for (mode, snap) in [("row", &row), ("col", &col)] {
             println!(
-                "{:<22} {:>6} {:>14} {:>12} {:>12} {:>12}",
+                "{:<22} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10}",
                 name,
                 mode,
                 snap.rows_materialized,
                 snap.row_evals,
                 snap.kernel_ops,
-                snap.batch_deep_clones
+                snap.batch_deep_clones,
+                snap.simd_lanes,
+                snap.dict_code_cmps,
+                snap.str_cmps
             );
         }
         assert_eq!(
@@ -122,6 +142,24 @@ fn bench_columnar_kernels(c: &mut Criterion) {
             col.kernel_ops * 16 < row.row_evals,
             "{name}: kernel passes must be per batch, not per row"
         );
+        assert!(
+            col.simd_lanes > 0,
+            "{name}: columnar compares must run the unrolled lane loops"
+        );
+        assert_eq!(
+            row.simd_lanes, 0,
+            "{name}: the row interpreter never touches the lane loops"
+        );
+        assert_eq!(
+            col.str_cmps, 0,
+            "{name}: zero per-row string byte compares on the dict path"
+        );
+        if name == "shared_32_chains" {
+            assert!(
+                col.dict_code_cmps > 0,
+                "{name}: the string predicate must compare dictionary codes"
+            );
+        }
     }
 
     // Node fan-out: 32 *distinct* filters consuming every stream batch.
@@ -136,13 +174,16 @@ fn bench_columnar_kernels(c: &mut Criterion) {
         .collect();
     let fanout = measure(&distinct, &rows, true);
     println!(
-        "{:<22} {:>6} {:>14} {:>12} {:>12} {:>12}",
+        "{:<22} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10}",
         "distinct_32_fanout",
         "col",
         fanout.rows_materialized,
         fanout.row_evals,
         fanout.kernel_ops,
-        fanout.batch_deep_clones
+        fanout.batch_deep_clones,
+        fanout.simd_lanes,
+        fanout.dict_code_cmps,
+        fanout.str_cmps
     );
     assert_eq!(
         fanout.batch_deep_clones, 0,

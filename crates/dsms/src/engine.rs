@@ -45,7 +45,7 @@
 use crate::diag::{Code, Diagnostic, Report, Span};
 use crate::fault::{FaultPlan, WorkerDeath};
 use crate::network::{CqId, KeyedPlan, NodeId, QueryInfo, QueryNetwork, StreamPrefix, Target};
-use crate::ops::{shard_of_cell, KeyedKernel, ShardKernel};
+use crate::ops::{KeyedKernel, ShardKernel};
 use crate::plan::StreamCatalog;
 use crate::plan::{LogicalPlan, PlanError};
 use crate::types::{work, MergeTags, Schema, Tuple, TupleBatch};
@@ -942,9 +942,12 @@ impl DsmsEngine {
                     copy
                 };
                 let mut idxs: Vec<Vec<u32>> = vec![Vec::new(); shards];
-                let col = batch.column(root.key);
+                // `KeyReader` memoizes the FNV hash per dictionary code, so
+                // a dictionary-encoded key column hashes bytes once per
+                // distinct string, not once per row.
+                let mut reader = crate::ops::KeyReader::new(batch.column(root.key));
                 for i in 0..batch.len() {
-                    idxs[shard_of_cell(col, i, shards)].push(i as u32);
+                    idxs[reader.shard(i, shards)].push(i as u32);
                 }
                 for (s, rows) in idxs.into_iter().enumerate() {
                     if rows.is_empty() {
@@ -1027,6 +1030,7 @@ impl DsmsEngine {
         // -- 2. Parallel execution on the persistent pool ----------------
         let timing = self.timing;
         let columnar = crate::ops::columnar_kernels_enabled();
+        let simd = crate::ops::simd_kernels_enabled();
         let mut exits: HashMap<u32, Vec<Target>> = HashMap::new();
         for plan in &rr_plans {
             for node in &plan.nodes {
@@ -1163,10 +1167,14 @@ impl DsmsEngine {
                         }
                     }
                     // Pooled workers persist across flushes: counters and
-                    // the columnar switch are re-seeded per job, and the
-                    // end-of-job snapshot is the job's delta.
+                    // the kernel switches are re-seeded per job, and the
+                    // end-of-job snapshot is the job's delta. Re-seeding
+                    // (not spawn-time inheritance) is what makes a seat
+                    // respawned after a worker death pick the control
+                    // thread's current settings back up on its next job.
                     work::reset();
                     crate::ops::set_columnar_kernels(columnar);
+                    crate::ops::set_simd_kernels(simd);
                     let mut report = ShardReport::default();
                     while let Some((morsel, stolen)) = sched.grab(worker) {
                         work::count_morsel_executed();

@@ -488,23 +488,35 @@ impl Validity {
     }
 }
 
-/// The values of a columnar evaluation: either one cell per selected row or
-/// a scalar broadcast over all of them (literals, constant sub-trees).
+/// The values of a columnar evaluation: one cell per selected row, a lazy
+/// selection view over a batch column, or a scalar broadcast over all of
+/// them (literals, constant sub-trees).
 #[derive(Clone, Debug)]
 pub enum ColumnarValues<'a> {
     /// One value per selected row (length = selection length).
     Column(Cow<'a, Column>),
+    /// A selection view of a batch column: logical row `k` is row
+    /// `sel[k]` of the column. Kernels read through the selection in
+    /// place, so a filter chain refines selections without gathering; the
+    /// view densifies only when a consumer needs a dense result
+    /// ([`ColumnarValues::into_column`]).
+    ColumnSel(&'a Column, &'a [u32]),
     /// One value standing for every selected row.
     Scalar(Value),
 }
 
 impl ColumnarValues<'_> {
-    /// Densifies into an owned column of `n` rows (broadcasting scalars).
+    /// Densifies into an owned column of `n` rows (broadcasting scalars,
+    /// gathering selection views).
     pub fn into_column(self, n: usize) -> Column {
         match self {
             ColumnarValues::Column(c) => {
                 debug_assert_eq!(c.len(), n, "dense column length mismatch");
                 c.into_owned()
+            }
+            ColumnarValues::ColumnSel(c, sel) => {
+                debug_assert_eq!(sel.len(), n, "selection length mismatch");
+                c.take(sel)
             }
             ColumnarValues::Scalar(v) => Column::from_value(&v, n),
         }
@@ -532,13 +544,65 @@ impl ColumnarEval<'static> {
     }
 }
 
-/// A dense typed operand: a borrowed slice or a broadcast constant. The
-/// scalar/column distinction is resolved when the operand is built, so the
-/// per-row `get` is a two-way branch over monomorphic data — no [`Value`]
-/// enum in the loop.
+/// Width of the unrolled kernel loops: 8 × i64/f64 spans two AVX2 (or one
+/// AVX-512) register, and the fixed trip count lets the optimizer turn the
+/// chunk body into straight-line vector code.
+const LANES: usize = 8;
+
+/// Elementwise `f` over two equal-length slices, processing full
+/// `LANES`-wide chunks with a fixed trip count (the SIMD shape) and the
+/// sub-lane tail row by row. With the SIMD kill switch off
+/// ([`crate::ops::set_simd_kernels`]) the whole slice runs the scalar
+/// reference loop — bit-identical output, `work::simd_lanes` untouched.
+fn lanes_zip<T: Copy, O>(x: &[T], y: &[T], f: impl Fn(T, T) -> O) -> Vec<O> {
+    debug_assert_eq!(x.len(), y.len());
+    if !crate::ops::simd_kernels_enabled() {
+        return x.iter().zip(y).map(|(&a, &b)| f(a, b)).collect();
+    }
+    work::count_simd_lanes((x.len() / LANES) as u64);
+    let mut out = Vec::with_capacity(x.len());
+    let mut xs = x.chunks_exact(LANES);
+    let mut ys = y.chunks_exact(LANES);
+    for (xc, yc) in (&mut xs).zip(&mut ys) {
+        for (&a, &b) in xc.iter().zip(yc) {
+            out.push(f(a, b));
+        }
+    }
+    for (&a, &b) in xs.remainder().iter().zip(ys.remainder()) {
+        out.push(f(a, b));
+    }
+    out
+}
+
+/// Unary twin of [`lanes_zip`].
+fn lanes_map<T: Copy, O>(x: &[T], f: impl Fn(T) -> O) -> Vec<O> {
+    if !crate::ops::simd_kernels_enabled() {
+        return x.iter().map(|&a| f(a)).collect();
+    }
+    work::count_simd_lanes((x.len() / LANES) as u64);
+    let mut out = Vec::with_capacity(x.len());
+    let mut xs = x.chunks_exact(LANES);
+    for xc in &mut xs {
+        for &a in xc {
+            out.push(f(a));
+        }
+    }
+    for &a in xs.remainder() {
+        out.push(f(a));
+    }
+    out
+}
+
+/// A dense typed operand: a borrowed slice, a selection view over one, or
+/// a broadcast constant. The shape is resolved when the operand is built,
+/// so the per-row `get` is a three-way branch over monomorphic data — no
+/// [`Value`] enum in the loop — and [`binary_map`] routes the contiguous
+/// shapes through the lane loops.
 #[derive(Clone, Copy)]
 enum Operand<'a, T: Copy> {
     Slice(&'a [T]),
+    /// Selection view: element `k` is `slice[sel[k]]`.
+    Gather(&'a [T], &'a [u32]),
     Const(T),
 }
 
@@ -547,44 +611,131 @@ impl<T: Copy> Operand<'_, T> {
     fn get(&self, i: usize) -> T {
         match self {
             Operand::Slice(s) => s[i],
+            Operand::Gather(s, sel) => s[sel[i] as usize],
             Operand::Const(c) => *c,
         }
     }
 }
 
-/// A numeric operand that widens integers to `f64` on access (the mixed
-/// Int/Float comparison and arithmetic paths).
+/// Applies a binary kernel over two typed operands: contiguous shapes run
+/// the unrolled lane loops, gathered (selection-view) shapes run the
+/// scalar reference loop — a filter over a selection refines it without
+/// densifying first.
+fn binary_map<T: Copy, O>(
+    a: Operand<'_, T>,
+    b: Operand<'_, T>,
+    n: usize,
+    f: impl Fn(T, T) -> O + Copy,
+) -> Vec<O> {
+    match (a, b) {
+        (Operand::Slice(x), Operand::Slice(y)) => lanes_zip(&x[..n], &y[..n], f),
+        (Operand::Slice(x), Operand::Const(c)) => lanes_map(&x[..n], move |v| f(v, c)),
+        (Operand::Const(c), Operand::Slice(y)) => lanes_map(&y[..n], move |v| f(c, v)),
+        (a, b) => (0..n).map(|i| f(a.get(i), b.get(i))).collect(),
+    }
+}
+
+/// A numeric operand: typed slices (optionally through a selection) or a
+/// broadcast constant — the mixed Int/Float comparison and arithmetic
+/// paths widen through [`FloatSide`] once per batch, never per row.
 #[derive(Clone, Copy)]
 enum NumOperand<'a> {
-    Ints(&'a [i64]),
-    Floats(&'a [f64]),
+    Ints(&'a [i64], Option<&'a [u32]>),
+    Floats(&'a [f64], Option<&'a [u32]>),
     Const(f64),
 }
 
-impl NumOperand<'_> {
+/// A dense `f64` view of a numeric operand, plus whether it can hold NaN
+/// (integer-sourced values never do, so the NaN invalidation scan is
+/// skipped for them). Integer slices widen once through the lane loops (a
+/// vectorizable cast); gathered views densify through their selection.
+enum FloatSide<'a> {
+    Borrowed(&'a [f64]),
+    Owned(Vec<f64>),
+    Const(f64),
+}
+
+impl<'a> FloatSide<'a> {
+    fn of(v: NumOperand<'a>, n: usize) -> (FloatSide<'a>, bool) {
+        match v {
+            NumOperand::Floats(s, None) => (FloatSide::Borrowed(&s[..n]), true),
+            NumOperand::Floats(s, Some(sel)) => (
+                FloatSide::Owned(sel.iter().map(|&i| s[i as usize]).collect()),
+                true,
+            ),
+            NumOperand::Ints(s, None) => {
+                (FloatSide::Owned(lanes_map(&s[..n], |v| v as f64)), false)
+            }
+            NumOperand::Ints(s, Some(sel)) => (
+                FloatSide::Owned(sel.iter().map(|&i| s[i as usize] as f64).collect()),
+                false,
+            ),
+            NumOperand::Const(c) => (FloatSide::Const(c), c.is_nan()),
+        }
+    }
+
+    fn as_operand(&self) -> Operand<'_, f64> {
+        match self {
+            FloatSide::Borrowed(s) => Operand::Slice(s),
+            FloatSide::Owned(v) => Operand::Slice(v),
+            FloatSide::Const(c) => Operand::Const(*c),
+        }
+    }
+
     #[inline]
     fn get(&self, i: usize) -> f64 {
         match self {
-            NumOperand::Ints(s) => s[i] as f64,
-            NumOperand::Floats(s) => s[i],
-            NumOperand::Const(c) => *c,
+            FloatSide::Borrowed(s) => s[i],
+            FloatSide::Owned(v) => v[i],
+            FloatSide::Const(c) => *c,
         }
     }
 }
 
-/// A string operand (cells borrow from the column).
+/// The logical row index behind an optional selection.
+#[inline]
+fn row_at(sel: Option<&[u32]>, k: usize) -> usize {
+    sel.map_or(k, |s| s[k] as usize)
+}
+
+/// A string operand shape for the compare kernel: plain `Arc<str>` cells
+/// and dictionary views keep their selection; constants broadcast.
 #[derive(Clone, Copy)]
-enum StrOperand<'a> {
-    Slice(&'a [std::sync::Arc<str>]),
+enum StrSide<'a> {
+    /// Plain cells, optionally through a selection.
+    Plain(&'a [std::sync::Arc<str>], Option<&'a [u32]>),
+    /// Dictionary codes + dictionary, optionally through a selection.
+    Dict {
+        codes: &'a [u32],
+        dict: &'a [std::sync::Arc<str>],
+        sel: Option<&'a [u32]>,
+    },
+    /// A broadcast constant.
     Const(&'a str),
 }
 
-impl StrOperand<'_> {
+impl<'a> StrSide<'a> {
+    fn of(v: &'a ColumnarValues<'_>) -> Option<StrSide<'a>> {
+        let (col, sel) = match v {
+            ColumnarValues::Column(c) => (c.as_ref(), None),
+            ColumnarValues::ColumnSel(c, s) => (*c, Some(*s)),
+            ColumnarValues::Scalar(Value::Str(s)) => return Some(StrSide::Const(s)),
+            ColumnarValues::Scalar(_) => return None,
+        };
+        match col {
+            Column::Str(s) => Some(StrSide::Plain(s, sel)),
+            Column::Dict { codes, dict } => Some(StrSide::Dict { codes, dict, sel }),
+            _ => None,
+        }
+    }
+
+    /// The cell at logical row `k`, decoded.
     #[inline]
-    fn get(&self, i: usize) -> &str {
+    fn get(&self, k: usize) -> &str {
         match self {
-            StrOperand::Slice(s) => &s[i],
-            StrOperand::Const(c) => c,
+            StrSide::Plain(s, sel) => &s[row_at(*sel, k)],
+            StrSide::Dict { codes, dict, sel } => &dict[codes[row_at(*sel, k)] as usize],
+            StrSide::Const(c) => c,
         }
     }
 }
@@ -592,6 +743,7 @@ impl StrOperand<'_> {
 fn int_operand<'a>(v: &'a ColumnarValues<'_>) -> Option<Operand<'a, i64>> {
     match v {
         ColumnarValues::Column(c) => c.as_ints().map(Operand::Slice),
+        ColumnarValues::ColumnSel(c, s) => c.as_ints().map(|xs| Operand::Gather(xs, s)),
         ColumnarValues::Scalar(Value::Int(i)) => Some(Operand::Const(*i)),
         ColumnarValues::Scalar(_) => None,
     }
@@ -600,27 +752,22 @@ fn int_operand<'a>(v: &'a ColumnarValues<'_>) -> Option<Operand<'a, i64>> {
 fn bool_operand<'a>(v: &'a ColumnarValues<'_>) -> Option<Operand<'a, bool>> {
     match v {
         ColumnarValues::Column(c) => c.as_bools().map(Operand::Slice),
+        ColumnarValues::ColumnSel(c, s) => c.as_bools().map(|xs| Operand::Gather(xs, s)),
         ColumnarValues::Scalar(Value::Bool(b)) => Some(Operand::Const(*b)),
         ColumnarValues::Scalar(_) => None,
     }
 }
 
 fn num_operand<'a>(v: &'a ColumnarValues<'_>) -> Option<NumOperand<'a>> {
-    match v {
-        ColumnarValues::Column(c) => match c.as_ref() {
-            Column::Int(s) => Some(NumOperand::Ints(s)),
-            Column::Float(s) => Some(NumOperand::Floats(s)),
-            _ => None,
-        },
-        ColumnarValues::Scalar(s) => s.as_f64().map(NumOperand::Const),
-    }
-}
-
-fn str_operand<'a>(v: &'a ColumnarValues<'_>) -> Option<StrOperand<'a>> {
-    match v {
-        ColumnarValues::Column(c) => c.as_strs().map(StrOperand::Slice),
-        ColumnarValues::Scalar(Value::Str(s)) => Some(StrOperand::Const(s)),
-        ColumnarValues::Scalar(_) => None,
+    let (col, sel) = match v {
+        ColumnarValues::Column(c) => (c.as_ref(), None),
+        ColumnarValues::ColumnSel(c, s) => (*c, Some(*s)),
+        ColumnarValues::Scalar(s) => return s.as_f64().map(NumOperand::Const),
+    };
+    match col {
+        Column::Int(s) => Some(NumOperand::Ints(s, sel)),
+        Column::Float(s) => Some(NumOperand::Floats(s, sel)),
+        _ => None,
     }
 }
 
@@ -635,6 +782,125 @@ fn cmp_test(op: CmpOp) -> fn(Ordering) -> bool {
         CmpOp::Le => |o| o != Ordering::Greater,
         CmpOp::Gt => |o| o == Ordering::Greater,
         CmpOp::Ge => |o| o != Ordering::Less,
+    }
+}
+
+/// The direct `(T, T) -> bool` predicate of a comparison operator,
+/// monomorphized per operator so the lane loops compare without routing
+/// through [`Ordering`]. Agrees with `cmp_test(op)` ∘ `partial_cmp`
+/// wherever the operands actually compare; NaN rows (which don't) are
+/// invalidated separately by the numeric kernel, so their placeholder
+/// value never matters.
+fn cmp_pred<T: PartialOrd>(op: CmpOp) -> fn(T, T) -> bool {
+    match op {
+        CmpOp::Eq => |a, b| a == b,
+        CmpOp::Ne => |a, b| a != b,
+        CmpOp::Lt => |a, b| a < b,
+        CmpOp::Le => |a, b| a <= b,
+        CmpOp::Gt => |a, b| a > b,
+        CmpOp::Ge => |a, b| a >= b,
+    }
+}
+
+/// The wrapping kernel of an integer `Add`/`Sub`/`Mul` (`Div` needs the
+/// per-row zero check and runs the scalar invalidating loop).
+fn int_arith_fn(op: ArithOp) -> fn(i64, i64) -> i64 {
+    match op {
+        ArithOp::Add => i64::wrapping_add,
+        ArithOp::Sub => i64::wrapping_sub,
+        ArithOp::Mul => i64::wrapping_mul,
+        ArithOp::Div => unreachable!("integer division runs the scalar invalidating loop"),
+    }
+}
+
+/// The kernel of a float `Add`/`Sub`/`Mul` (`Div` needs the per-row zero
+/// check and runs the scalar invalidating loop).
+fn float_arith_fn(op: ArithOp) -> fn(f64, f64) -> f64 {
+    match op {
+        ArithOp::Add => |a, b| a + b,
+        ArithOp::Sub => |a, b| a - b,
+        ArithOp::Mul => |a, b| a * b,
+        ArithOp::Div => unreachable!("float division runs the scalar invalidating loop"),
+    }
+}
+
+/// Per-row dictionary-code lookup into a per-entry verdict table (the
+/// dictionary fast path's inner loop: one u32 load + one table load per
+/// row, no string bytes).
+fn dict_lookup(codes: &[u32], sel: Option<&[u32]>, pass: &[bool], n: usize) -> Vec<bool> {
+    work::count_dict_code_cmps(n as u64);
+    match sel {
+        None => lanes_map(&codes[..n], |c| pass[c as usize]),
+        Some(s) => s
+            .iter()
+            .map(|&i| pass[codes[i as usize] as usize])
+            .collect(),
+    }
+}
+
+/// Columnar string compare. Dictionary fast paths compare u32 codes per
+/// row ([`work::WorkSnapshot::dict_code_cmps`]), touching string bytes
+/// only at dictionary granularity; every other shape decodes and
+/// byte-compares per row ([`work::WorkSnapshot::str_cmps`]).
+fn str_cmp_columnar(op: CmpOp, a: &StrSide<'_>, b: &StrSide<'_>, n: usize) -> Vec<bool> {
+    let test = cmp_test(op);
+    match (a, b) {
+        // Dict vs constant: one byte-compare verdict per dictionary entry,
+        // then a per-row code lookup — this covers the ordering operators
+        // too, not just equality.
+        (StrSide::Dict { codes, dict, sel }, StrSide::Const(c)) => {
+            let pass: Vec<bool> = dict.iter().map(|d| test(d.as_ref().cmp(*c))).collect();
+            dict_lookup(codes, *sel, &pass, n)
+        }
+        (StrSide::Const(c), StrSide::Dict { codes, dict, sel }) => {
+            let pass: Vec<bool> = dict.iter().map(|d| test((*c).cmp(d.as_ref()))).collect();
+            dict_lookup(codes, *sel, &pass, n)
+        }
+        // Dict vs dict equality: remap the right dictionary into the left's
+        // code space once (byte compares at dictionary granularity), then
+        // compare codes per row. `u32::MAX` marks an entry absent from the
+        // left dictionary — no code ever equals it.
+        (
+            StrSide::Dict {
+                codes: ca,
+                dict: da,
+                sel: sa,
+            },
+            StrSide::Dict {
+                codes: cb,
+                dict: db,
+                sel: sb,
+            },
+        ) if matches!(op, CmpOp::Eq | CmpOp::Ne) => {
+            let eq = matches!(op, CmpOp::Eq);
+            let remap: Vec<u32> = db
+                .iter()
+                .map(|d| {
+                    da.iter()
+                        .position(|e| e == d)
+                        .map_or(u32::MAX, |p| p as u32)
+                })
+                .collect();
+            work::count_dict_code_cmps(n as u64);
+            match (sa, sb) {
+                (None, None) => {
+                    lanes_zip(&ca[..n], &cb[..n], |x, y| (x == remap[y as usize]) == eq)
+                }
+                (sa, sb) => (0..n)
+                    .map(|k| {
+                        let x = ca[row_at(*sa, k)];
+                        let y = remap[cb[row_at(*sb, k)] as usize];
+                        (x == y) == eq
+                    })
+                    .collect(),
+            }
+        }
+        // Everything else — plain columns, dict ordering against another
+        // column — decodes and byte-compares per row.
+        _ => {
+            work::count_str_cmps(n as u64);
+            (0..n).map(|k| test(a.get(k).cmp(b.get(k)))).collect()
+        }
     }
 }
 
@@ -658,7 +924,7 @@ impl Expr {
     pub fn eval_columnar<'a>(
         &self,
         batch: &'a TupleBatch,
-        sel: Option<&[u32]>,
+        sel: Option<&'a [u32]>,
     ) -> ColumnarEval<'a> {
         work::count_kernel_op();
         let n = sel.map_or(batch.len(), <[u32]>::len);
@@ -667,9 +933,11 @@ impl Expr {
                 if *i >= batch.schema().len() {
                     return ColumnarEval::all_invalid();
                 }
+                // A selected column stays a lazy view — kernels read
+                // through the selection; nothing is gathered here.
                 let values = match sel {
                     None => ColumnarValues::Column(Cow::Borrowed(batch.column(*i))),
-                    Some(s) => ColumnarValues::Column(Cow::Owned(batch.column(*i).take(s))),
+                    Some(s) => ColumnarValues::ColumnSel(batch.column(*i), s),
                 };
                 ColumnarEval {
                     values,
@@ -704,8 +972,15 @@ impl Expr {
                         validity: inner.validity,
                     },
                     Some(Operand::Slice(bs)) => ColumnarEval {
+                        values: ColumnarValues::Column(Cow::Owned(Column::Bool(lanes_map(
+                            &bs[..n],
+                            |b| !b,
+                        )))),
+                        validity: inner.validity,
+                    },
+                    Some(op @ Operand::Gather(..)) => ColumnarEval {
                         values: ColumnarValues::Column(Cow::Owned(Column::Bool(
-                            bs.iter().map(|b| !b).collect(),
+                            (0..n).map(|k| !op.get(k)).collect(),
                         ))),
                         validity: inner.validity,
                     },
@@ -739,6 +1014,15 @@ impl Expr {
                     .map(index)
                     .collect(),
             },
+            // A raw boolean column behind the selection (`Expr::Col` as
+            // the whole predicate): read through the selection in place.
+            ColumnarValues::ColumnSel(c, s) => match c.as_bools() {
+                None => Vec::new(),
+                Some(bs) => (0..n)
+                    .filter(|&k| bs[s[k] as usize] && ev.validity.is_valid(k))
+                    .map(index)
+                    .collect(),
+            },
         }
     }
 }
@@ -763,27 +1047,32 @@ fn cmp_columnar(
             Err(_) => ColumnarEval::all_invalid(),
         };
     }
-    let test = cmp_test(op);
     let mut validity = l.validity.and(r.validity);
-    // Exact typed paths first (Int/Int must not round-trip through f64).
+    // Exact typed paths first (Int/Int must not round-trip through f64 —
+    // `i64` values past 2^53 are not representable there and would
+    // silently compare equal to their neighbours).
     let bools: Vec<bool> =
         if let (Some(a), Some(b)) = (int_operand(&l.values), int_operand(&r.values)) {
-            (0..n).map(|i| test(a.get(i).cmp(&b.get(i)))).collect()
-        } else if let (Some(a), Some(b)) = (str_operand(&l.values), str_operand(&r.values)) {
-            (0..n).map(|i| test(a.get(i).cmp(b.get(i)))).collect()
+            binary_map(a, b, n, cmp_pred::<i64>(op))
+        } else if let (Some(a), Some(b)) = (StrSide::of(&l.values), StrSide::of(&r.values)) {
+            str_cmp_columnar(op, &a, &b, n)
         } else if let (Some(a), Some(b)) = (bool_operand(&l.values), bool_operand(&r.values)) {
-            (0..n).map(|i| test(a.get(i).cmp(&b.get(i)))).collect()
+            binary_map(a, b, n, cmp_pred::<bool>(op))
         } else if let (Some(a), Some(b)) = (num_operand(&l.values), num_operand(&r.values)) {
-            // Mixed numeric: widen to f64; a NaN comparison fails that row.
-            (0..n)
-                .map(|i| match a.get(i).partial_cmp(&b.get(i)) {
-                    Some(o) => test(o),
-                    None => {
+            // Genuinely mixed Int/Float: widen to f64 once per batch, lane
+            // compare, then invalidate rows where a NaN made the pair
+            // incomparable (their lane result is a placeholder).
+            let (x, x_nan) = FloatSide::of(a, n);
+            let (y, y_nan) = FloatSide::of(b, n);
+            let bools = binary_map(x.as_operand(), y.as_operand(), n, cmp_pred::<f64>(op));
+            if x_nan || y_nan {
+                for i in 0..n {
+                    if x.get(i).partial_cmp(&y.get(i)).is_none() {
                         invalidate(&mut validity, n, i);
-                        false
                     }
-                })
-                .collect()
+                }
+            }
+            bools
         } else {
             return ColumnarEval::all_invalid();
         };
@@ -815,26 +1104,24 @@ fn arith_columnar(
     let mut validity = l.validity.and(r.validity);
     if let (Some(a), Some(b)) = (int_operand(&l.values), int_operand(&r.values)) {
         // Exact integer arithmetic (wrapping, like the per-row path).
-        let ints: Vec<i64> = (0..n)
-            .map(|i| {
-                let (x, y) = (a.get(i), b.get(i));
-                match op {
-                    ArithOp::Add => x.wrapping_add(y),
-                    ArithOp::Sub => x.wrapping_sub(y),
-                    ArithOp::Mul => x.wrapping_mul(y),
-                    ArithOp::Div => {
-                        if y == 0 {
-                            invalidate(&mut validity, n, i);
-                            0
-                        } else {
-                            // Wrapping, like the per-row path: i64::MIN /
-                            // -1 yields i64::MIN instead of panicking.
-                            x.wrapping_div(y)
-                        }
+        let ints: Vec<i64> = if matches!(op, ArithOp::Div) {
+            // Division needs the per-row zero check: a zero divisor
+            // invalidates the row (wrapping otherwise — i64::MIN / -1
+            // yields i64::MIN instead of panicking).
+            (0..n)
+                .map(|i| {
+                    let (x, y) = (a.get(i), b.get(i));
+                    if y == 0 {
+                        invalidate(&mut validity, n, i);
+                        0
+                    } else {
+                        x.wrapping_div(y)
                     }
-                }
-            })
-            .collect();
+                })
+                .collect()
+        } else {
+            binary_map(a, b, n, int_arith_fn(op))
+        };
         return ColumnarEval {
             values: ColumnarValues::Column(Cow::Owned(Column::Int(ints))),
             validity,
@@ -843,24 +1130,23 @@ fn arith_columnar(
     let (Some(a), Some(b)) = (num_operand(&l.values), num_operand(&r.values)) else {
         return ColumnarEval::all_invalid();
     };
-    let floats: Vec<f64> = (0..n)
-        .map(|i| {
-            let (x, y) = (a.get(i), b.get(i));
-            match op {
-                ArithOp::Add => x + y,
-                ArithOp::Sub => x - y,
-                ArithOp::Mul => x * y,
-                ArithOp::Div => {
-                    if y == 0.0 {
-                        invalidate(&mut validity, n, i);
-                        0.0
-                    } else {
-                        x / y
-                    }
+    let (x, _) = FloatSide::of(a, n);
+    let (y, _) = FloatSide::of(b, n);
+    let floats: Vec<f64> = if matches!(op, ArithOp::Div) {
+        (0..n)
+            .map(|i| {
+                let d = y.get(i);
+                if d == 0.0 {
+                    invalidate(&mut validity, n, i);
+                    0.0
+                } else {
+                    x.get(i) / d
                 }
-            }
-        })
-        .collect();
+            })
+            .collect()
+    } else {
+        binary_map(x.as_operand(), y.as_operand(), n, float_arith_fn(op))
+    };
     ColumnarEval {
         values: ColumnarValues::Column(Cow::Owned(Column::Float(floats))),
         validity,
@@ -870,14 +1156,14 @@ fn arith_columnar(
 /// Columnar `AND`/`OR` kernel, reproducing the per-row short-circuit
 /// semantics exactly: the right side's failure (or value) only matters on
 /// rows where the left side did not already decide the outcome.
-fn logical_columnar(
+fn logical_columnar<'a>(
     is_and: bool,
     l: &Expr,
     r: &Expr,
-    batch: &TupleBatch,
-    sel: Option<&[u32]>,
+    batch: &'a TupleBatch,
+    sel: Option<&'a [u32]>,
     n: usize,
-) -> ColumnarEval<'static> {
+) -> ColumnarEval<'a> {
     let lhs = l.eval_columnar(batch, sel);
     if matches!(lhs.validity, Validity::NoneValid) {
         return ColumnarEval::all_invalid();
@@ -902,10 +1188,7 @@ fn logical_columnar(
             return ColumnarEval::all_invalid();
         }
         return ColumnarEval {
-            values: match rhs.values {
-                ColumnarValues::Column(c) => ColumnarValues::Column(Cow::Owned(c.into_owned())),
-                ColumnarValues::Scalar(v) => ColumnarValues::Scalar(v),
-            },
+            values: rhs.values,
             validity: rhs.validity,
         };
     }
@@ -1022,12 +1305,8 @@ mod tests {
             crate::types::TupleBatch::from_rows(std::sync::Arc::new(quote_schema()), vec![row]);
         let ev = e.eval_columnar(&batch, None);
         assert!(matches!(ev.validity, Validity::AllValid));
-        match ev.values {
-            ColumnarValues::Column(c) => {
-                assert_eq!(c.as_ints(), Some(&[i64::MIN][..]));
-            }
-            ColumnarValues::Scalar(v) => assert_eq!(v, Value::Int(i64::MIN)),
-        }
+        let col = ev.values.into_column(1);
+        assert_eq!(col.as_ints(), Some(&[i64::MIN][..]));
     }
 
     #[test]
@@ -1091,5 +1370,211 @@ mod tests {
         assert_eq!(e.eval(&quote("A", 0.0, 0)), Ok(Value::Bool(false)));
         let e = Expr::lit(Value::Bool(true)).or(Expr::col(9).eq(Expr::lit(Value::Int(1))));
         assert_eq!(e.eval(&quote("A", 0.0, 0)), Ok(Value::Bool(true)));
+    }
+
+    fn sym_batch(syms: &[&str], vols: &[i64]) -> TupleBatch {
+        let schema = Schema::new(vec![
+            Field::new("symbol", DataType::Str),
+            Field::new("volume", DataType::Int),
+        ]);
+        let rows = syms
+            .iter()
+            .zip(vols)
+            .map(|(s, &v)| Tuple::new(0, vec![Value::str(*s), Value::Int(v)]))
+            .collect();
+        TupleBatch::from_rows(std::sync::Arc::new(schema), rows)
+    }
+
+    /// The row-path survivors of `pred` — the oracle every columnar filter
+    /// result must equal.
+    fn row_survivors(pred: &Expr, batch: &TupleBatch) -> Vec<u32> {
+        (0..batch.len())
+            .filter(|&i| pred.matches(&batch.row(i)))
+            .map(|i| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn int_compare_is_exact_past_2_pow_53() {
+        // 2^53 and 2^53 + 1 round to the same f64 — a compare path that
+        // widens Int×Int through `as_f64` calls them equal. Both the row
+        // path and the columnar kernels must compare i64 exactly.
+        let big = 1i64 << 53;
+        assert_eq!(
+            compare(CmpOp::Eq, &Value::Int(big), &Value::Int(big + 1)),
+            Ok(false)
+        );
+        assert_eq!(
+            compare(CmpOp::Gt, &Value::Int(big + 1), &Value::Int(big)),
+            Ok(true)
+        );
+        let batch = sym_batch(&["A", "B", "C"], &[big, big + 1, big - 1]);
+        // col > 2^53: only the 2^53 + 1 row (under f64 widening, none).
+        let gt = Expr::col(1).gt(Expr::lit(Value::Int(big)));
+        assert_eq!(gt.filter_indices(&batch, None), vec![1]);
+        assert_eq!(row_survivors(&gt, &batch), vec![1]);
+        // col = 2^53 + 1: exactly one row (under f64 widening, two).
+        let eq = Expr::col(1).eq(Expr::lit(Value::Int(big + 1)));
+        assert_eq!(eq.filter_indices(&batch, None), vec![1]);
+        assert_eq!(row_survivors(&eq, &batch), vec![1]);
+        // The same exactness must hold through a selection view and with
+        // the SIMD lane loops disabled.
+        let sel: Vec<u32> = vec![0, 1, 2];
+        assert_eq!(gt.filter_indices(&batch, Some(&sel)), vec![1]);
+        crate::ops::with_simd_kernels(false, || {
+            assert_eq!(gt.filter_indices(&batch, None), vec![1]);
+            assert_eq!(eq.filter_indices(&batch, None), vec![1]);
+        });
+    }
+
+    #[test]
+    fn mixed_int_float_still_widens() {
+        // Genuinely mixed operands keep the f64 widening semantics.
+        let batch = sym_batch(&["A", "B"], &[10, 11]);
+        let pred = Expr::col(1).gt(Expr::lit(Value::Float(10.5)));
+        assert_eq!(pred.filter_indices(&batch, None), vec![1]);
+        assert_eq!(row_survivors(&pred, &batch), vec![1]);
+    }
+
+    #[test]
+    fn dict_equality_compares_codes_not_bytes() {
+        // `from_rows` dictionary-encodes the symbol column; an equality
+        // predicate against a constant must run on u32 codes — zero
+        // per-row string compares.
+        let batch = sym_batch(&["IBM", "AAPL", "IBM", "MSFT", "IBM"], &[1, 2, 3, 4, 5]);
+        assert!(
+            batch.column(0).as_dict().is_some(),
+            "ingestion dict-encodes"
+        );
+        let pred = Expr::col(0).eq(Expr::lit(Value::str("IBM")));
+        let expect = row_survivors(&pred, &batch);
+        work::reset();
+        let got = pred.filter_indices(&batch, None);
+        let snap = work::snapshot();
+        assert_eq!(got, expect);
+        assert_eq!(got, vec![0, 2, 4]);
+        assert_eq!(snap.dict_code_cmps, 5, "one code lookup per row");
+        assert_eq!(snap.str_cmps, 0, "no per-row string bytes touched");
+        // Ordering operators ride the same per-dictionary-entry verdict
+        // table.
+        let ord = Expr::col(0).cmp(CmpOp::Lt, Expr::lit(Value::str("IBM")));
+        let expect = row_survivors(&ord, &batch);
+        work::reset();
+        let got = ord.filter_indices(&batch, None);
+        let snap = work::snapshot();
+        assert_eq!(got, expect);
+        assert_eq!(snap.str_cmps, 0);
+        assert_eq!(snap.dict_code_cmps, 5);
+    }
+
+    #[test]
+    fn dict_vs_dict_and_plain_agree() {
+        let schema = std::sync::Arc::new(Schema::new(vec![
+            Field::new("a", DataType::Str),
+            Field::new("b", DataType::Str),
+        ]));
+        let rows: Vec<Tuple> = [("x", "x"), ("y", "z"), ("z", "z"), ("w", "x")]
+            .iter()
+            .map(|(a, b)| Tuple::new(0, vec![Value::str(*a), Value::str(*b)]))
+            .collect();
+        let dict_batch = TupleBatch::from_rows(schema.clone(), rows.clone());
+        assert!(dict_batch.column(0).as_dict().is_some());
+        let pred = Expr::col(0).eq(Expr::col(1));
+        let expect = row_survivors(&pred, &dict_batch);
+        work::reset();
+        let got = pred.filter_indices(&dict_batch, None);
+        let snap = work::snapshot();
+        assert_eq!(got, expect);
+        assert_eq!(got, vec![0, 2]);
+        assert_eq!(snap.dict_code_cmps, 4, "dict×dict equality compares codes");
+        assert_eq!(snap.str_cmps, 0);
+        // The same predicate over plain `Str` columns produces the same
+        // rows through the byte-compare fallback.
+        let strs = |idx: usize| {
+            Column::Str(
+                rows.iter()
+                    .map(|r| match &r.values[idx] {
+                        Value::Str(s) => s.clone(),
+                        _ => unreachable!("string schema"),
+                    })
+                    .collect(),
+            )
+        };
+        let plain_batch =
+            TupleBatch::from_columns(schema, vec![0; rows.len()], vec![strs(0), strs(1)]);
+        work::reset();
+        let got = pred.filter_indices(&plain_batch, None);
+        let snap = work::snapshot();
+        assert_eq!(got, expect);
+        assert_eq!(snap.dict_code_cmps, 0);
+        assert_eq!(snap.str_cmps, 4, "plain columns byte-compare per row");
+    }
+
+    #[test]
+    fn nan_rows_drop_identically_on_all_paths() {
+        let schema = std::sync::Arc::new(quote_schema());
+        let rows = vec![
+            quote("A", 1.0, 10),
+            quote("B", f64::NAN, 11),
+            quote("C", 3.0, 12),
+            quote("D", f64::NAN, 13),
+        ];
+        let batch = TupleBatch::from_rows(schema, rows);
+        // Mixed Int/Float compare with NaN rows: the row path errors (and
+        // drops the row); the columnar kernels must invalidate exactly
+        // those rows — with lanes on, off, and through a selection.
+        let pred = Expr::col(1).cmp(CmpOp::Le, Expr::col(2));
+        let expect = row_survivors(&pred, &batch);
+        assert_eq!(expect, vec![0, 2]);
+        assert_eq!(pred.filter_indices(&batch, None), expect);
+        let sel: Vec<u32> = vec![0, 1, 2, 3];
+        assert_eq!(pred.filter_indices(&batch, Some(&sel)), expect);
+        crate::ops::with_simd_kernels(false, || {
+            assert_eq!(pred.filter_indices(&batch, None), expect);
+        });
+        // A NaN constant invalidates every row.
+        let none = Expr::col(1).ge(Expr::lit(Value::Float(f64::NAN)));
+        assert_eq!(none.filter_indices(&batch, None), Vec::<u32>::new());
+        assert_eq!(row_survivors(&none, &batch), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn simd_kill_switch_is_bit_identical_and_uncounted() {
+        let vols: Vec<i64> = (0..100).collect();
+        let syms: Vec<&str> = (0..100)
+            .map(|i| if i % 2 == 0 { "E" } else { "O" })
+            .collect();
+        let batch = sym_batch(&syms, &vols);
+        let pred = Expr::col(1)
+            .ge(Expr::lit(Value::Int(25)))
+            .and(Expr::col(1).lt(Expr::lit(Value::Int(75))));
+        work::reset();
+        let on = pred.filter_indices(&batch, None);
+        let lanes_on = work::snapshot().simd_lanes;
+        let off = crate::ops::with_simd_kernels(false, || {
+            work::reset();
+            let off = pred.filter_indices(&batch, None);
+            assert_eq!(work::snapshot().simd_lanes, 0, "switch off counts no lanes");
+            off
+        });
+        assert_eq!(on, off, "lane loops are bit-identical to scalar");
+        assert!(lanes_on > 0, "contiguous compares run the lane loops");
+    }
+
+    #[test]
+    fn selected_column_stays_a_lazy_view() {
+        let batch = sym_batch(&["A", "B", "C", "D"], &[1, 2, 3, 4]);
+        let sel: Vec<u32> = vec![3, 1];
+        let ev = Expr::col(1).eval_columnar(&batch, Some(&sel));
+        assert!(
+            matches!(ev.values, ColumnarValues::ColumnSel(..)),
+            "a selected column reference must not gather eagerly"
+        );
+        let col = ev.values.into_column(2);
+        assert_eq!(col.as_ints(), Some(&[4, 2][..]));
+        // Kernels read through the view: refining the selection agrees
+        // with the row oracle.
+        let pred = Expr::col(1).gt(Expr::lit(Value::Int(1)));
+        assert_eq!(pred.filter_indices(&batch, Some(&sel)), vec![3, 1]);
     }
 }

@@ -34,8 +34,10 @@
 //! The engine's unit of work is the [`types::TupleBatch`]: a shared schema
 //! (`Arc<Schema>`), one event-timestamp vector, and one typed
 //! [`types::Column`] per field (`Vec<bool>` / `Vec<i64>` / `Vec<f64>` /
-//! `Vec<Arc<str>>`). Ingestion groups consecutive same-stream tuples into
-//! batches capped at the engine's **batch-size knob**
+//! `Vec<Arc<str>>`, with string columns normally carried
+//! **dictionary-encoded** — see below). Ingestion groups consecutive
+//! same-stream tuples into batches capped at the engine's **batch-size
+//! knob**
 //! ([`engine::DsmsEngine::set_max_batch_size`], default
 //! [`types::TupleBatch::DEFAULT_MAX_BATCH`]), converting rows to columns at
 //! the boundary; node queues, operator calls, watermark propagation, and
@@ -52,24 +54,77 @@
 //! execution (the engine benchmark sweeps 1 vs 64 vs 1024 to track the
 //! batching win).
 //!
-//! **Vectorized kernels.** Stateless operators never touch rows: a filter
-//! evaluates its predicate as a typed column kernel
+//! **Vectorized, selection-aware kernels.** Stateless operators never
+//! touch rows: a filter evaluates its predicate as a typed column kernel
 //! ([`expr::Expr::filter_indices`]) producing a selection vector, then
 //! either forwards the batch untouched (all-pass fast path) or gathers the
 //! selected rows column-wise; a projection evaluates each expression as a
 //! column kernel straight into output columns; a fused chain threads one
 //! selection vector through its staged kernels and materializes once at
-//! the end. Row-level evaluation errors (division by zero, NaN
-//! comparisons) travel as a validity mask ([`expr::Validity`]) so the
-//! drop-the-row semantics of per-row execution are preserved bit for bit.
-//! Joins read their keys straight off the typed key column and materialize
-//! a row only when it enters the join state; aggregates absorb from typed
-//! column slices without widening a [`types::Value`] per tuple. The
-//! row-at-a-time path survives behind a per-thread kill switch
+//! the end. The kernels are selection-aware end to end:
+//! [`expr::Expr::eval_columnar`] takes the `(batch, selection)` pair
+//! directly, a selected column leaf stays a **lazy view** (no gather)
+//! until an operator genuinely needs dense output, and a refining filter
+//! produces the composed selection without densifying in between.
+//! Row-level evaluation errors (division by zero, NaN comparisons) travel
+//! as a validity mask ([`expr::Validity`]) so the drop-the-row semantics
+//! of per-row execution are preserved bit for bit. Joins read their keys
+//! straight off the typed key column and materialize a row only when it
+//! enters the join state; aggregates absorb from typed column slices
+//! without widening a [`types::Value`] per tuple. The row-at-a-time path
+//! survives behind a per-thread kill switch
 //! ([`ops::set_columnar_kernels`]) as the reference implementation — the
 //! columnar-vs-row equivalence property in `tests/property_dsms.rs` pins
 //! strict output-sequence equality between the two across batch caps
 //! 1/7/64/1024.
+//!
+//! **SIMD-shaped lane loops.** The hot compare/arithmetic/selection
+//! kernels over contiguous `i64`/`f64`/`bool` slices run as unrolled
+//! fixed-width lane loops (eight lanes per trip, `chunks_exact` bodies
+//! with no bounds checks or data-dependent branches — the shape the
+//! vendored toolchain reliably auto-vectorizes; no SIMD crates or
+//! intrinsics). Gathered (selection-indexed) shapes and lane tails run a
+//! scalar loop. Full lanes are counted by
+//! [`types::work::WorkSnapshot::simd_lanes`], and a per-thread kill
+//! switch ([`ops::set_simd_kernels`], inherited by pool workers exactly
+//! like the columnar switch — including seats respawned after a worker
+//! death) swaps in a scalar reference loop that is **bit-identical** and
+//! counts zero lanes; CI matrixes `CQAC_SIMD=on|off` through the
+//! shard-invariance suites to keep both paths honest.
+//!
+//! **Exact integer comparisons.** `Int × Int` compares — row path and
+//! columnar — compare `i64` exactly; widening to `f64` happens only for
+//! genuinely mixed Int/Float operand pairs (where the float side decides
+//! NaN handling: a NaN row is dropped via the validity mask, never
+//! coerced). Values past 2^53, where `f64` loses integer precision, are
+//! pinned by regression tests in `expr.rs` — the same guarantee PR 2
+//! established for `Sum`'s i128 accumulator.
+//!
+//! **Dictionary-encoded strings.** String columns are interned at the
+//! ingestion and merge boundaries ([`types::TupleBatch::from_rows`],
+//! which every `push` path funnels through) into
+//! [`types::Column::Dict`] — `u32` codes plus a first-appearance
+//! dictionary of distinct `Arc<str>` values — whenever a batch stays
+//! within [`types::Column::DICT_MAX_CARDINALITY`] distinct strings; wider columns
+//! (and any append/merge that would overflow the cap) decay transparently
+//! to plain `Column::Str`. The representation is invisible to semantics:
+//! `value_at`/`gather`/`split_off`/`append`/`interleave_tagged` and
+//! column equality are bit-identical across encodings, schema inference
+//! still sees [`types::DataType::Str`], and hash partitioning hashes the
+//! decoded bytes. What changes is the work: equality and ordering
+//! predicates against a constant byte-compare **once per dictionary
+//! entry** and then look up one `u32` verdict per row, dict×dict equality
+//! remaps the right dictionary into the left code space once, and joins
+//! and group-bys read keys through a per-code memo ([`ops`]' internal
+//! `KeyReader`) that hashes each distinct string once per batch. Per-row code
+//! comparisons are counted by
+//! [`types::work::WorkSnapshot::dict_code_cmps`]; residual per-row byte
+//! compares (plain columns, dict-vs-column ordering) by
+//! [`types::work::WorkSnapshot::str_cmps`] — the `columnar_kernels`
+//! bench asserts the shared string-predicate workload runs with
+//! `str_cmps == 0`. Broadcast string constants
+//! ([`types::Column::from_value`]) are a single dictionary entry with
+//! zeroed codes — O(1) in the row count, not one `Arc` clone per row.
 //!
 //! **Zero-copy fan-out, copy-on-write columns.** A produced batch is
 //! wrapped in one `Arc` and every downstream target receives a pointer

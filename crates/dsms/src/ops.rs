@@ -33,6 +33,14 @@ thread_local! {
     /// the per-row fallback. Thread-local because the engine is
     /// single-threaded by design and parallel tests must not interfere.
     static COLUMNAR: Cell<bool> = const { Cell::new(true) };
+
+    /// Whether the columnar kernels run their unrolled fixed-width lane
+    /// loops (default) or the scalar reference loops. Independent of the
+    /// columnar switch: `COLUMNAR` selects row vs columnar evaluation,
+    /// `SIMD` selects how the columnar kernels traverse contiguous slices.
+    /// Off produces bit-identical results with `work::simd_lanes` pinned
+    /// to zero — the kill switch the `CQAC_SIMD` CI axis drives.
+    static SIMD: Cell<bool> = const { Cell::new(true) };
 }
 
 /// Enables or disables the columnar filter/project kernels on this thread.
@@ -58,6 +66,32 @@ pub fn with_columnar_kernels<R>(enabled: bool, f: impl FnOnce() -> R) -> R {
     }
     let _restore = Restore(columnar_kernels_enabled());
     set_columnar_kernels(enabled);
+    f()
+}
+
+/// Enables or disables the unrolled SIMD lane loops inside the columnar
+/// kernels on this thread. Off falls back to the scalar reference loops —
+/// bit-identical output, `work::simd_lanes` stays zero.
+pub fn set_simd_kernels(enabled: bool) {
+    SIMD.with(|c| c.set(enabled));
+}
+
+/// Whether the SIMD lane loops are enabled on this thread (default true).
+pub fn simd_kernels_enabled() -> bool {
+    SIMD.with(Cell::get)
+}
+
+/// Runs `f` with the SIMD lane loops forced on or off, restoring the
+/// previous setting afterwards (panic-safe).
+pub fn with_simd_kernels<R>(enabled: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_simd_kernels(self.0);
+        }
+    }
+    let _restore = Restore(simd_kernels_enabled());
+    set_simd_kernels(enabled);
     f()
 }
 
@@ -88,6 +122,11 @@ pub(crate) fn shard_of_cell(col: &Column, i: usize, shards: usize) -> usize {
         Column::Bool(v) => fnv1a(&[u8::from(v[i])]),
         Column::Int(v) => fnv1a(&v[i].to_le_bytes()),
         Column::Str(v) => fnv1a(v[i].as_bytes()),
+        // Hash the decoded dictionary entry's bytes so dictionary-encoded
+        // and plain string columns shard identically (the encoding is a
+        // layout choice, never a semantic one). Loops over key cells
+        // should prefer [`KeyReader`], which memoizes this per code.
+        Column::Dict { codes, dict } => fnv1a(dict[codes[i] as usize].as_bytes()),
         Column::Float(_) => {
             // `set_shard_key` rejects float columns before any run
             // (diagnostic NL014, `diag::Code::BadShardKey`), so this arm
@@ -129,6 +168,7 @@ impl Key {
             Column::Bool(v) => Some(Key::Bool(v[i])),
             Column::Int(v) => Some(Key::Int(v[i])),
             Column::Str(v) => Some(Key::Str(v[i].clone())),
+            Column::Dict { codes, dict } => Some(Key::Str(dict[codes[i] as usize].clone())),
             Column::Float(_) => None,
         }
     }
@@ -153,6 +193,88 @@ impl Key {
             Key::Str(s) => fnv1a(s.as_bytes()),
         };
         (h % shards as u64) as usize
+    }
+}
+
+/// A per-batch key-cell reader that hashes dictionary codes, not bytes.
+///
+/// `Key::from_column` / `shard_of_cell` decode and FNV-hash string bytes
+/// per row; over a dictionary-encoded column every row carrying the same
+/// code yields the same key and the same shard. `KeyReader` resolves the
+/// `(Key, hash)` pair once per distinct code and serves subsequent rows
+/// from a u32-indexed memo — byte hashing happens at dictionary
+/// granularity, the per-row work is one code lookup (counted by
+/// [`crate::types::work::WorkSnapshot::dict_code_cmps`]). Non-dictionary
+/// columns pass straight through to the per-row paths, so the reader is
+/// always safe to use in key loops.
+pub(crate) struct KeyReader<'a> {
+    col: &'a Column,
+    /// Lazily-filled per-code memo for `Column::Dict`: `(key, FNV hash)`.
+    memo: Vec<Option<(Key, u64)>>,
+}
+
+impl<'a> KeyReader<'a> {
+    pub(crate) fn new(col: &'a Column) -> KeyReader<'a> {
+        let codes = match col {
+            Column::Dict { dict, .. } => dict.len(),
+            _ => 0,
+        };
+        KeyReader {
+            col,
+            memo: vec![None; codes],
+        }
+    }
+
+    /// The memo slot for row `i` of a dictionary column (`None` when the
+    /// column isn't dictionary-encoded).
+    fn dict_entry(&mut self, i: usize) -> Option<&(Key, u64)> {
+        let Column::Dict { codes, dict } = self.col else {
+            return None;
+        };
+        crate::types::work::count_dict_code_cmps(1);
+        let c = codes[i] as usize;
+        if self.memo[c].is_none() {
+            let s = &dict[c];
+            self.memo[c] = Some((Key::Str(s.clone()), fnv1a(s.as_bytes())));
+        }
+        self.memo[c].as_ref()
+    }
+
+    /// The key at row `i`; `None` for unhashable (float) columns.
+    pub(crate) fn key(&mut self, i: usize) -> Option<Key> {
+        if matches!(self.col, Column::Dict { .. }) {
+            return self.dict_entry(i).map(|(k, _)| k.clone());
+        }
+        Key::from_column(self.col, i)
+    }
+
+    /// The key at row `i` together with its partition among `parts` — one
+    /// memo lookup for dictionary columns, so the counted per-row work is
+    /// the same whatever the partition count.
+    pub(crate) fn key_and_shard(&mut self, i: usize, parts: usize) -> Option<(Key, usize)> {
+        if matches!(self.col, Column::Dict { .. }) {
+            let &(ref k, h) = self.dict_entry(i)?;
+            let key = k.clone();
+            let p = if parts == 1 {
+                0
+            } else {
+                (h % parts as u64) as usize
+            };
+            return Some((key, p));
+        }
+        let key = Key::from_column(self.col, i)?;
+        let p = if parts == 1 { 0 } else { key.shard_of(parts) };
+        Some((key, p))
+    }
+
+    /// The shard of row `i` under hash partitioning (byte-encoding
+    /// identical to [`shard_of_cell`] / [`Key::shard_of`]).
+    pub(crate) fn shard(&mut self, i: usize, shards: usize) -> usize {
+        if matches!(self.col, Column::Dict { .. }) {
+            let &(_, h) = self.dict_entry(i).expect("dict column rows are hashable");
+            return (h % shards as u64) as usize;
+        }
+        shard_of_cell(self.col, i, shards)
     }
 }
 
@@ -978,8 +1100,9 @@ impl JoinOp {
         mut trace: Option<&mut Vec<u32>>,
     ) {
         let n_parts = parts.len();
+        let mut reader = KeyReader::new(key_col);
         for i in rows {
-            let Some(key) = Key::from_column(key_col, i) else {
+            let Some((key, p)) = reader.key_and_shard(i, n_parts) else {
                 // Plan validation rejects float join keys before any
                 // operator is built (diagnostic NL005,
                 // `diag::Code::UnhashableJoinKey`); reaching this means the
@@ -987,11 +1110,6 @@ impl JoinOp {
                 // release builds safe either way.
                 debug_assert!(false, "unhashable join key escaped plan validation");
                 continue;
-            };
-            let p = if n_parts == 1 {
-                0
-            } else {
-                key.shard_of(n_parts)
             };
             let emitted = parts[p].probe_insert(port, key, batch.row(i), window_ms, matches);
             if let Some(trace) = trace.as_deref_mut() {
@@ -1541,11 +1659,11 @@ impl AggregateOp {
             .map(|m| m.get_mut().expect("aggregate partition lock poisoned"))
             .collect();
         let n_parts = parts.len();
-        let group_col = group_by.map(|col| batch.column(col));
+        let mut reader = group_by.map(|col| KeyReader::new(batch.column(col)));
         for i in rows {
-            let group = match group_col {
-                Some(col) => match Key::from_column(col, i) {
-                    Some(k) => Some(k),
+            let (group, p) = match reader.as_mut() {
+                Some(reader) => match reader.key_and_shard(i, n_parts) {
+                    Some((k, p)) => (Some(k), p),
                     None => {
                         // Plan validation rejects float group keys
                         // (diagnostic NL011,
@@ -1555,11 +1673,7 @@ impl AggregateOp {
                         continue;
                     }
                 },
-                None => None,
-            };
-            let p = match group_col {
-                Some(col) if n_parts > 1 => shard_of_cell(col, i, n_parts),
-                _ => 0,
+                None => (None, 0),
             };
             Self::absorb_at(
                 parts[p],
@@ -1616,9 +1730,10 @@ impl AggregateOp {
         input: &AggColumn<'_>,
         rows: impl Iterator<Item = usize>,
     ) {
+        let mut reader = self.group_by.map(|col| KeyReader::new(batch.column(col)));
         for i in rows {
-            let group = match self.group_by {
-                Some(col) => match Key::from_column(batch.column(col), i) {
+            let group = match reader.as_mut() {
+                Some(reader) => match reader.key(i) {
                     Some(k) => Some(k),
                     None => {
                         // Plan validation rejects float group keys
@@ -2515,6 +2630,59 @@ mod tests {
         }
         assert_eq!(Key::Int(7).shard_of(1), 0);
         assert_eq!(Key::Bool(true).shard_of(3), Key::Bool(true).shard_of(3));
+    }
+
+    #[test]
+    fn simd_kernel_knob_is_scoped_and_restored() {
+        assert!(simd_kernels_enabled(), "defaults to on");
+        with_simd_kernels(false, || {
+            assert!(!simd_kernels_enabled());
+            with_simd_kernels(true, || assert!(simd_kernels_enabled()));
+            assert!(!simd_kernels_enabled());
+        });
+        assert!(simd_kernels_enabled());
+    }
+
+    #[test]
+    fn key_reader_agrees_with_per_row_paths_and_hashes_codes() {
+        // `from_rows` dictionary-encodes the symbol column, so this
+        // exercises the memoized dict path; the float column exercises the
+        // plain pass-through. The reader must agree with the per-row
+        // `Key::from_column` / `shard_of_cell` on every row while hashing
+        // string bytes only once per distinct code.
+        let batch = qbatch(vec![
+            quote(1, "IBM", 1.0),
+            quote(2, "AAPL", 2.0),
+            quote(3, "IBM", 3.0),
+            quote(4, "MSFT", 4.0),
+            quote(5, "AAPL", 5.0),
+        ]);
+        let col = batch.column(0);
+        assert!(col.as_dict().is_some());
+        crate::types::work::reset();
+        let mut reader = KeyReader::new(col);
+        for shards in [1usize, 3, 8] {
+            for i in 0..batch.len() {
+                assert_eq!(reader.key(i), Key::from_column(col, i));
+                assert_eq!(reader.shard(i, shards), shard_of_cell(col, i, shards));
+                let (k, p) = reader.key_and_shard(i, shards).unwrap();
+                assert_eq!(k, Key::from_column(col, i).unwrap());
+                assert_eq!(p, shard_of_cell(col, i, shards));
+            }
+        }
+        assert!(
+            crate::types::work::snapshot().dict_code_cmps > 0,
+            "dict key loops count code lookups"
+        );
+        // Plain (non-dict) columns pass through untouched and uncounted.
+        let plain = Column::Int(vec![10, 20, 30]);
+        crate::types::work::reset();
+        let mut reader = KeyReader::new(&plain);
+        for i in 0..3 {
+            assert_eq!(reader.key(i), Key::from_column(&plain, i));
+            assert_eq!(reader.shard(i, 4), shard_of_cell(&plain, i, 4));
+        }
+        assert_eq!(crate::types::work::snapshot().dict_code_cmps, 0);
     }
 
     #[test]

@@ -93,6 +93,10 @@ impl StockStream {
 
     /// Generates the next `count` quotes directly as a [`TupleBatch`]
     /// (ready for [`crate::engine::DsmsEngine::push_rows`]-style ingestion).
+    /// The symbol column comes back dictionary-encoded
+    /// ([`crate::types::Column::Dict`]): `from_rows` interns string columns
+    /// at the ingestion boundary, so downstream equality predicates and
+    /// key hashing run on u32 codes instead of string bytes.
     pub fn next_tuple_batch(&mut self, count: usize) -> TupleBatch {
         TupleBatch::from_rows(Arc::new(quote_schema()), self.next_batch(count))
     }
@@ -212,6 +216,31 @@ mod tests {
         let mut g = StockStream::new(&["X"], 1, 42);
         for t in g.next_batch(5000) {
             assert!(t.values[1].as_f64().unwrap() >= 1.0);
+        }
+    }
+
+    /// Ingestion-boundary encoding: both generators' `next_tuple_batch`
+    /// hand out dictionary-encoded string columns whose decoded rows match
+    /// the tuple feed bit for bit.
+    #[test]
+    fn tuple_batches_dictionary_encode_string_columns() {
+        let symbols = ["IBM", "AAPL", "MSFT"];
+        let quotes = StockStream::new(&symbols, 1, 11).next_tuple_batch(64);
+        match quotes.column(0) {
+            crate::types::Column::Dict { dict, .. } => {
+                assert!(dict.len() <= symbols.len(), "one entry per distinct symbol");
+            }
+            other => panic!("symbol column must be dict-encoded, got {other:?}"),
+        }
+        let mut reference = StockStream::new(&symbols, 1, 11);
+        assert_eq!(quotes.clone().into_rows(), reference.next_batch(64));
+
+        let news = NewsStream::new(&symbols, 1, 11).next_tuple_batch(64);
+        for col in [0, 1] {
+            assert!(
+                matches!(news.column(col), crate::types::Column::Dict { .. }),
+                "news column {col} must be dict-encoded"
+            );
         }
     }
 }

@@ -217,7 +217,14 @@ impl Tuple {
 ///
 /// Kernels match on the variant once per batch and then run over the typed
 /// slice — no per-row [`Value`] enum dispatch, no per-row allocation.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// String data has two physical layouts sharing one logical type
+/// ([`DataType::Str`]): the plain [`Column::Str`] vector and the
+/// dictionary-encoded [`Column::Dict`] form built at the ingestion and
+/// merge boundaries for low-cardinality columns. The two compare equal
+/// row-for-row ([`PartialEq`] is *logical*), so operators and tests may
+/// freely mix them.
+#[derive(Clone, Debug)]
 pub enum Column {
     /// Boolean column.
     Bool(Vec<bool>),
@@ -227,9 +234,29 @@ pub enum Column {
     Float(Vec<f64>),
     /// String column (shared `Arc<str>` payloads, cheap to gather).
     Str(Vec<Arc<str>>),
+    /// Dictionary-encoded string column: row `i` holds
+    /// `dict[codes[i]]`. Equality predicates compare the `u32` codes,
+    /// joins and group-bys hash each distinct code once instead of
+    /// hashing bytes per row, and gathers move codes instead of `Arc`
+    /// refcounts. Built by [`Column::dict_encode`] when the distinct
+    /// count stays within [`Column::DICT_MAX_CARDINALITY`]; columns that
+    /// outgrow the dictionary fall back to [`Column::Str`] transparently.
+    ///
+    /// Invariants: every code indexes into `dict`, and `dict` entries are
+    /// distinct (so equal codes ⇔ equal strings).
+    Dict {
+        /// Per-row indexes into `dict`.
+        codes: Vec<u32>,
+        /// Distinct string payloads, in first-appearance order.
+        dict: Vec<Arc<str>>,
+    },
 }
 
 impl Column {
+    /// Cardinality bound for dictionary encoding: a string column whose
+    /// distinct count exceeds this stays (or becomes) [`Column::Str`] —
+    /// past it, per-row code indirection stops paying for itself.
+    pub const DICT_MAX_CARDINALITY: usize = 256;
     /// An empty column of the given type with reserved capacity.
     pub fn with_capacity(data_type: DataType, capacity: usize) -> Column {
         match data_type {
@@ -241,12 +268,19 @@ impl Column {
     }
 
     /// A column holding `n` copies of one value (scalar broadcast).
+    ///
+    /// A string broadcast is O(1) in the value: it becomes a dictionary
+    /// column with a single entry and zeroed codes instead of `n` `Arc`
+    /// refcount bumps.
     pub fn from_value(v: &Value, n: usize) -> Column {
         match v {
             Value::Bool(b) => Column::Bool(vec![*b; n]),
             Value::Int(i) => Column::Int(vec![*i; n]),
             Value::Float(f) => Column::Float(vec![*f; n]),
-            Value::Str(s) => Column::Str(vec![s.clone(); n]),
+            Value::Str(s) => Column::Dict {
+                codes: vec![0; n],
+                dict: vec![s.clone()],
+            },
         }
     }
 
@@ -256,7 +290,7 @@ impl Column {
             Column::Bool(_) => DataType::Bool,
             Column::Int(_) => DataType::Int,
             Column::Float(_) => DataType::Float,
-            Column::Str(_) => DataType::Str,
+            Column::Str(_) | Column::Dict { .. } => DataType::Str,
         }
     }
 
@@ -267,6 +301,7 @@ impl Column {
             Column::Int(v) => v.len(),
             Column::Float(v) => v.len(),
             Column::Str(v) => v.len(),
+            Column::Dict { codes, .. } => codes.len(),
         }
     }
 
@@ -282,6 +317,29 @@ impl Column {
     /// store cannot hold a mistyped cell, so this is a hard error rather
     /// than the row layout's debug-only check.
     pub fn push(&mut self, v: Value) {
+        if let Column::Dict { codes, dict } = self {
+            if let Value::Str(s) = v {
+                // Intern: dictionaries stay small (bounded below), so a
+                // linear probe beats hashing. A value that would push the
+                // dictionary past its cardinality bound decodes the
+                // column back to the plain layout first.
+                if let Some(code) = dict.iter().position(|d| **d == *s) {
+                    codes.push(code as u32);
+                } else if dict.len() < Self::DICT_MAX_CARDINALITY {
+                    dict.push(s);
+                    codes.push((dict.len() - 1) as u32);
+                } else {
+                    *self = self.decode_to_str();
+                    self.push(Value::Str(s));
+                }
+                return;
+            }
+            panic!(
+                "cannot push {:?} value into {:?} column",
+                v.data_type(),
+                DataType::Str
+            );
+        }
         match (self, v) {
             (Column::Bool(col), Value::Bool(b)) => col.push(b),
             (Column::Int(col), Value::Int(i)) => col.push(i),
@@ -303,6 +361,7 @@ impl Column {
             Column::Int(v) => Value::Int(v[i]),
             Column::Float(v) => Value::Float(v[i]),
             Column::Str(v) => Value::Str(v[i].clone()),
+            Column::Dict { codes, dict } => Value::Str(dict[codes[i] as usize].clone()),
         }
     }
 
@@ -330,7 +389,9 @@ impl Column {
         }
     }
 
-    /// The rows as an `Arc<str>` slice, if this is a string column.
+    /// The rows as an `Arc<str>` slice, if this is a **plain** string
+    /// column ([`Column::Dict`] returns `None` — use [`Column::str_at`]
+    /// or [`Column::as_dict`] for layout-agnostic access).
     pub fn as_strs(&self) -> Option<&[Arc<str>]> {
         match self {
             Column::Str(v) => Some(v),
@@ -338,30 +399,149 @@ impl Column {
         }
     }
 
+    /// The codes and dictionary, if this is a dictionary-encoded column.
+    pub fn as_dict(&self) -> Option<(&[u32], &[Arc<str>])> {
+        match self {
+            Column::Dict { codes, dict } => Some((codes, dict)),
+            _ => None,
+        }
+    }
+
+    /// The string payload at row `i` under either string layout; `None`
+    /// for non-string columns.
+    pub fn str_at(&self, i: usize) -> Option<&Arc<str>> {
+        match self {
+            Column::Str(v) => Some(&v[i]),
+            Column::Dict { codes, dict } => Some(&dict[codes[i] as usize]),
+            _ => None,
+        }
+    }
+
+    /// Dictionary-encodes a string column when its distinct count fits
+    /// [`Column::DICT_MAX_CARDINALITY`]; any other column (or a
+    /// high-cardinality string column) is returned unchanged. Dictionary
+    /// order is first appearance, so the encoding is deterministic. This
+    /// is the ingestion-boundary builder — all per-row byte hashing
+    /// happens here, once, instead of inside every downstream predicate.
+    pub fn dict_encode(self) -> Column {
+        let Column::Str(v) = self else { return self };
+        let mut by_payload: std::collections::HashMap<Arc<str>, u32> =
+            std::collections::HashMap::new();
+        let mut dict: Vec<Arc<str>> = Vec::new();
+        let mut codes: Vec<u32> = Vec::with_capacity(v.len());
+        for s in &v {
+            match by_payload.get(s) {
+                Some(&code) => codes.push(code),
+                None => {
+                    if dict.len() >= Self::DICT_MAX_CARDINALITY {
+                        return Column::Str(v); // too many distincts: stay plain
+                    }
+                    let code = dict.len() as u32;
+                    by_payload.insert(s.clone(), code);
+                    dict.push(s.clone());
+                    codes.push(code);
+                }
+            }
+        }
+        Column::Dict { codes, dict }
+    }
+
+    /// Decodes a dictionary column back to the plain layout (cells stay
+    /// `Arc`-shared with the dictionary — no byte copies). Non-dictionary
+    /// columns are cloned as-is.
+    fn decode_to_str(&self) -> Column {
+        match self {
+            Column::Dict { codes, dict } => {
+                Column::Str(codes.iter().map(|&c| dict[c as usize].clone()).collect())
+            }
+            other => other.clone(),
+        }
+    }
+
     /// Gathers the rows at the given indices into a new column (the
-    /// selection-vector materialization kernel).
+    /// selection-vector materialization kernel). Dictionary columns
+    /// gather codes (4-byte moves) and share the dictionary.
     pub fn take(&self, sel: &[u32]) -> Column {
         match self {
             Column::Bool(v) => Column::Bool(sel.iter().map(|&i| v[i as usize]).collect()),
             Column::Int(v) => Column::Int(sel.iter().map(|&i| v[i as usize]).collect()),
             Column::Float(v) => Column::Float(sel.iter().map(|&i| v[i as usize]).collect()),
             Column::Str(v) => Column::Str(sel.iter().map(|&i| v[i as usize].clone()).collect()),
+            Column::Dict { codes, dict } => Column::Dict {
+                codes: sel.iter().map(|&i| codes[i as usize]).collect(),
+                dict: dict.clone(),
+            },
         }
     }
 
     /// Splits off the rows from index `at` onward (mirrors
-    /// [`Vec::split_off`]).
+    /// [`Vec::split_off`]). Both halves of a dictionary column keep the
+    /// full dictionary.
     pub fn split_off(&mut self, at: usize) -> Column {
         match self {
             Column::Bool(v) => Column::Bool(v.split_off(at)),
             Column::Int(v) => Column::Int(v.split_off(at)),
             Column::Float(v) => Column::Float(v.split_off(at)),
             Column::Str(v) => Column::Str(v.split_off(at)),
+            Column::Dict { codes, dict } => Column::Dict {
+                codes: codes.split_off(at),
+                dict: dict.clone(),
+            },
         }
     }
 
-    /// Appends all rows of `other` (must have the same type).
+    /// Appends all rows of `other` (must have the same logical type).
+    /// String layouts mix freely: appending a dictionary column to
+    /// another remaps codes through a dictionary union (byte comparisons
+    /// at dictionary granularity only), and a union that outgrows the
+    /// cardinality bound falls back to the plain layout.
     pub fn append(&mut self, mut other: Column) {
+        // Mixed or dictionary string layouts first (logical type Str).
+        match (&mut *self, &mut other) {
+            (
+                Column::Dict { codes, dict },
+                Column::Dict {
+                    codes: ocodes,
+                    dict: odict,
+                },
+            ) => {
+                if dict == odict {
+                    codes.append(ocodes);
+                    return;
+                }
+                // Dictionary union: remap `other`'s codes into ours.
+                let mut remap: Vec<u32> = Vec::with_capacity(odict.len());
+                for s in odict.iter() {
+                    match dict.iter().position(|d| d == s) {
+                        Some(code) => remap.push(code as u32),
+                        None => {
+                            if dict.len() >= Self::DICT_MAX_CARDINALITY {
+                                // Union too wide: fall back to plain.
+                                let mut plain = self.decode_to_str();
+                                plain.append(other.decode_to_str());
+                                *self = plain;
+                                return;
+                            }
+                            dict.push(s.clone());
+                            remap.push((dict.len() - 1) as u32);
+                        }
+                    }
+                }
+                codes.extend(ocodes.iter().map(|&c| remap[c as usize]));
+                return;
+            }
+            (Column::Dict { .. }, Column::Str(b)) => {
+                for s in b.drain(..) {
+                    self.push(Value::Str(s));
+                }
+                return;
+            }
+            (Column::Str(a), Column::Dict { codes, dict }) => {
+                a.extend(codes.iter().map(|&c| dict[c as usize].clone()));
+                return;
+            }
+            _ => {}
+        }
         match (self, &mut other) {
             (Column::Bool(a), Column::Bool(b)) => a.append(b),
             (Column::Int(a), Column::Int(b)) => a.append(b),
@@ -372,6 +552,37 @@ impl Column {
                 b.data_type(),
                 a.data_type()
             ),
+        }
+    }
+}
+
+/// Logical row equality: the two string layouts ([`Column::Str`] and
+/// [`Column::Dict`]) compare equal when they hold the same rows, so batch
+/// equality is representation-independent. Same-layout columns compare
+/// their vectors directly; dictionary pairs sharing an equal dictionary
+/// compare codes.
+impl PartialEq for Column {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Column::Bool(a), Column::Bool(b)) => a == b,
+            (Column::Int(a), Column::Int(b)) => a == b,
+            (Column::Float(a), Column::Float(b)) => a == b,
+            (Column::Str(a), Column::Str(b)) => a == b,
+            (
+                Column::Dict { codes, dict },
+                Column::Dict {
+                    codes: ocodes,
+                    dict: odict,
+                },
+            ) if dict == odict => codes == ocodes,
+            (
+                a @ (Column::Str(_) | Column::Dict { .. }),
+                b @ (Column::Str(_) | Column::Dict { .. }),
+            ) => {
+                a.len() == b.len()
+                    && (0..a.len()).all(|i| a.str_at(i).unwrap() == b.str_at(i).unwrap())
+            }
+            _ => false,
         }
     }
 }
@@ -460,6 +671,15 @@ impl TupleBatch {
         let mut batch = Self::with_capacity(schema, rows.len());
         for t in rows {
             batch.push(t);
+        }
+        // Ingestion boundary: dictionary-encode low-cardinality string
+        // columns once, so every downstream predicate compares u32 codes
+        // and every key extraction hashes each distinct payload once.
+        for col in batch.columns_mut() {
+            if matches!(col, Column::Str(_)) {
+                let plain = std::mem::replace(col, Column::Str(Vec::new()));
+                *col = plain.dict_encode();
+            }
         }
         batch
     }
@@ -604,6 +824,11 @@ impl TupleBatch {
                 Column::Str(v) => {
                     for (row, s) in rows.iter_mut().zip(v) {
                         row.values.push(Value::Str(s));
+                    }
+                }
+                Column::Dict { codes, dict } => {
+                    for (row, c) in rows.iter_mut().zip(codes) {
+                        row.values.push(Value::Str(dict[c as usize].clone()));
                     }
                 }
             }
@@ -866,18 +1091,51 @@ impl TupleBatch {
                             v.push(parts[p as usize].columns[c].as_floats().unwrap()[i as usize]);
                         }
                     }
-                    Column::Str(v) => {
-                        for &(p, i) in order {
-                            v.push(
-                                parts[p as usize].columns[c].as_strs().unwrap()[i as usize].clone(),
-                            );
-                        }
-                    }
+                    Column::Str(_) => return Self::gather_str_parts(parts, order, c),
+                    Column::Dict { .. } => unreachable!("with_capacity builds plain layouts"),
                 }
                 col
             })
             .collect();
         TupleBatch::from_columns(schema, ts, columns)
+    }
+
+    /// Gathers one string column across parts (the merge boundary). When
+    /// every part carries the same dictionary — the common case, since
+    /// shards split one ingestion batch — the merge moves codes and
+    /// shares the dictionary; any layout mix falls back to gathering
+    /// `Arc` payloads.
+    fn gather_str_parts(parts: &[TupleBatch], order: &[(u32, u32)], c: usize) -> Column {
+        let first_dict = parts
+            .iter()
+            .find(|b| !b.is_empty())
+            .and_then(|b| b.columns[c].as_dict().map(|(_, d)| d));
+        if let Some(dict) = first_dict {
+            let shared = parts
+                .iter()
+                .all(|b| b.is_empty() || b.columns[c].as_dict().is_some_and(|(_, d)| d == dict));
+            if shared {
+                let codes: Vec<u32> = order
+                    .iter()
+                    .map(|&(p, i)| parts[p as usize].columns[c].as_dict().unwrap().0[i as usize])
+                    .collect();
+                return Column::Dict {
+                    codes,
+                    dict: dict.to_vec(),
+                };
+            }
+        }
+        Column::Str(
+            order
+                .iter()
+                .map(|&(p, i)| {
+                    parts[p as usize].columns[c]
+                        .str_at(i as usize)
+                        .expect("type-checked string column")
+                        .clone()
+                })
+                .collect(),
+        )
     }
 }
 
@@ -964,6 +1222,9 @@ pub mod work {
         static ROWS_SHED: Cell<u64> = const { Cell::new(0) };
         static QUARANTINES: Cell<u64> = const { Cell::new(0) };
         static OVERLOAD_FLUSHES: Cell<u64> = const { Cell::new(0) };
+        static SIMD_LANES: Cell<u64> = const { Cell::new(0) };
+        static DICT_CODE_CMPS: Cell<u64> = const { Cell::new(0) };
+        static STR_CMPS: Cell<u64> = const { Cell::new(0) };
     }
 
     /// A snapshot of the current thread's work counters.
@@ -1028,6 +1289,23 @@ pub mod work {
         /// Flushes in which the overload guardrail shed at least one
         /// batch.
         pub overload_flushes: u64,
+        /// Full fixed-width lanes processed by the unrolled compare/arith
+        /// kernels (one per [`crate::expr`] lane of contiguous rows; tail
+        /// rows and gather-indexed rows run scalar and are not counted).
+        /// Zero when the SIMD kill switch
+        /// ([`crate::ops::set_simd_kernels`]) is off.
+        pub simd_lanes: u64,
+        /// Per-row `u32` dictionary-code comparisons (string equality over
+        /// [`super::Column::Dict`] columns) and per-row code-memo key
+        /// lookups (joins/group-bys keyed off a dictionary column) — the
+        /// work that *replaces* per-row string byte comparisons.
+        pub dict_code_cmps: u64,
+        /// Per-row string byte comparisons performed by the columnar
+        /// kernels (plain [`super::Column::Str`] predicates, ordering
+        /// comparisons on dictionary columns). The dictionary fast path
+        /// keeps this at zero: byte comparisons happen only while
+        /// building or remapping a dictionary, never per row.
+        pub str_cmps: u64,
     }
 
     /// Resets this thread's counters to zero.
@@ -1048,6 +1326,9 @@ pub mod work {
         ROWS_SHED.with(|c| c.set(0));
         QUARANTINES.with(|c| c.set(0));
         OVERLOAD_FLUSHES.with(|c| c.set(0));
+        SIMD_LANES.with(|c| c.set(0));
+        DICT_CODE_CMPS.with(|c| c.set(0));
+        STR_CMPS.with(|c| c.set(0));
     }
 
     /// Reads this thread's counters.
@@ -1069,6 +1350,9 @@ pub mod work {
             rows_shed: ROWS_SHED.with(Cell::get),
             quarantines: QUARANTINES.with(Cell::get),
             overload_flushes: OVERLOAD_FLUSHES.with(Cell::get),
+            simd_lanes: SIMD_LANES.with(Cell::get),
+            dict_code_cmps: DICT_CODE_CMPS.with(Cell::get),
+            str_cmps: STR_CMPS.with(Cell::get),
         }
     }
 
@@ -1093,6 +1377,9 @@ pub mod work {
         ROWS_SHED.with(|c| c.set(c.get() + other.rows_shed));
         QUARANTINES.with(|c| c.set(c.get() + other.quarantines));
         OVERLOAD_FLUSHES.with(|c| c.set(c.get() + other.overload_flushes));
+        SIMD_LANES.with(|c| c.set(c.get() + other.simd_lanes));
+        DICT_CODE_CMPS.with(|c| c.set(c.get() + other.dict_code_cmps));
+        STR_CMPS.with(|c| c.set(c.get() + other.str_cmps));
     }
 
     #[inline]
@@ -1173,6 +1460,21 @@ pub mod work {
     #[inline]
     pub(crate) fn count_overload_flush() {
         OVERLOAD_FLUSHES.with(|c| c.set(c.get() + 1));
+    }
+
+    #[inline]
+    pub(crate) fn count_simd_lanes(n: u64) {
+        SIMD_LANES.with(|c| c.set(c.get() + n));
+    }
+
+    #[inline]
+    pub(crate) fn count_dict_code_cmps(n: u64) {
+        DICT_CODE_CMPS.with(|c| c.set(c.get() + n));
+    }
+
+    #[inline]
+    pub(crate) fn count_str_cmps(n: u64) {
+        STR_CMPS.with(|c| c.set(c.get() + n));
     }
 }
 
@@ -1435,6 +1737,9 @@ mod tests {
             rows_shed: 43,
             quarantines: 47,
             overload_flushes: 53,
+            simd_lanes: 59,
+            dict_code_cmps: 61,
+            str_cmps: 67,
         };
         work::absorb(&foreign);
         work::absorb(&foreign);
@@ -1452,6 +1757,9 @@ mod tests {
         assert_eq!(snap.rows_shed, 86);
         assert_eq!(snap.quarantines, 94);
         assert_eq!(snap.overload_flushes, 106);
+        assert_eq!(snap.simd_lanes, 118);
+        assert_eq!(snap.dict_code_cmps, 122);
+        assert_eq!(snap.str_cmps, 134);
         work::reset();
     }
 
@@ -1465,5 +1773,154 @@ mod tests {
         assert_eq!(work::snapshot().rows_materialized, 9);
         work::reset();
         assert_eq!(work::snapshot(), work::WorkSnapshot::default());
+    }
+
+    fn str_col(vals: &[&str]) -> Column {
+        Column::Str(vals.iter().map(|s| Arc::from(*s)).collect())
+    }
+
+    #[test]
+    fn dict_encode_round_trips_and_respects_cardinality_cap() {
+        let col = str_col(&["a", "b", "a", "c", "b", "a"]).dict_encode();
+        let (codes, dict) = col.as_dict().expect("low cardinality encodes");
+        assert_eq!(codes, &[0, 1, 0, 2, 1, 0], "first-appearance code order");
+        assert_eq!(dict.len(), 3);
+        for (i, want) in ["a", "b", "a", "c", "b", "a"].iter().enumerate() {
+            assert_eq!(col.value(i), Value::str(*want));
+            assert_eq!(col.str_at(i).map(AsRef::as_ref), Some(*want));
+        }
+        // More distinct values than the cap: stays a plain column.
+        let many: Vec<String> = (0..Column::DICT_MAX_CARDINALITY + 1)
+            .map(|i| format!("s{i}"))
+            .collect();
+        let many_refs: Vec<&str> = many.iter().map(String::as_str).collect();
+        let plain = str_col(&many_refs).dict_encode();
+        assert!(plain.as_dict().is_none(), "high cardinality stays plain");
+        assert_eq!(plain.len(), Column::DICT_MAX_CARDINALITY + 1);
+    }
+
+    #[test]
+    fn dict_column_equals_plain_column_with_same_rows() {
+        // `PartialEq` is logical, not representational: the encoding is a
+        // layout choice and must never affect equality-pinned tests.
+        let plain = str_col(&["x", "y", "x"]);
+        let dict = str_col(&["x", "y", "x"]).dict_encode();
+        assert!(dict.as_dict().is_some());
+        assert_eq!(dict, plain);
+        assert_eq!(plain, dict);
+        assert_ne!(dict, str_col(&["x", "y", "z"]));
+        // Two dicts with different layouts but equal rows compare equal.
+        let mut other = Column::Dict {
+            codes: Vec::new(),
+            dict: Vec::new(),
+        };
+        for s in ["x", "y", "x"] {
+            other.push(Value::str(s));
+        }
+        assert_eq!(dict, other);
+    }
+
+    #[test]
+    fn dict_push_interns_and_overflows_to_plain() {
+        let mut col = str_col(&["a"]).dict_encode();
+        col.push(Value::str("b"));
+        col.push(Value::str("a"));
+        let (codes, dict) = col.as_dict().expect("still dictionary");
+        assert_eq!(codes, &[0, 1, 0]);
+        assert_eq!(dict.len(), 2);
+        // Pushing past the cardinality cap decays to a plain column with
+        // identical rows.
+        for i in 0..Column::DICT_MAX_CARDINALITY {
+            col.push(Value::str(&format!("overflow{i}")));
+        }
+        assert!(col.as_dict().is_none(), "overflow decays to plain");
+        assert_eq!(col.value(0), Value::str("a"));
+        assert_eq!(col.value(2), Value::str("a"));
+        assert_eq!(col.len(), 3 + Column::DICT_MAX_CARDINALITY);
+    }
+
+    #[test]
+    fn dict_take_split_append_preserve_rows() {
+        let dict = str_col(&["a", "b", "c", "a", "b"]).dict_encode();
+        // take: gathers codes, shares the dictionary.
+        let taken = dict.take(&[4, 0, 2]);
+        assert_eq!(taken, str_col(&["b", "a", "c"]));
+        assert!(taken.as_dict().is_some());
+        // split_off: both halves stay dictionary-encoded.
+        let mut head = dict.clone();
+        let tail = head.split_off(2);
+        assert_eq!(head, str_col(&["a", "b"]));
+        assert_eq!(tail, str_col(&["c", "a", "b"]));
+        assert!(head.as_dict().is_some() && tail.as_dict().is_some());
+        // append dict + dict with different dictionaries: remaps codes.
+        let mut left = str_col(&["a", "b"]).dict_encode();
+        let right = str_col(&["c", "b"]).dict_encode();
+        left.append(right);
+        assert_eq!(left, str_col(&["a", "b", "c", "b"]));
+        assert!(left.as_dict().is_some(), "union stays encoded");
+        // append dict + plain interns the plain cells.
+        let mut mixed = str_col(&["a"]).dict_encode();
+        mixed.append(str_col(&["b", "a"]));
+        assert_eq!(mixed, str_col(&["a", "b", "a"]));
+        // append plain + dict decodes the dictionary cells.
+        let mut plain = str_col(&["a"]);
+        plain.append(str_col(&["b"]).dict_encode());
+        assert_eq!(plain, str_col(&["a", "b"]));
+    }
+
+    #[test]
+    fn from_value_broadcasts_strings_through_one_dict_entry() {
+        // A broadcast string column is one dictionary entry + zeroed
+        // codes — O(1) `Arc` clones however many rows it spans.
+        let col = Column::from_value(&Value::str("const"), 1000);
+        let (codes, dict) = col.as_dict().expect("broadcast strings encode");
+        assert_eq!(dict.len(), 1);
+        assert!(codes.iter().all(|&c| c == 0));
+        assert_eq!(col.value(999), Value::str("const"));
+    }
+
+    #[test]
+    fn from_rows_dict_encodes_string_columns_at_ingestion() {
+        let batch = quote_batch(4);
+        assert!(
+            batch.column(0).as_dict().is_some(),
+            "ingestion dictionary-encodes string columns"
+        );
+        assert_eq!(batch.column(0).data_type(), DataType::Str);
+        assert_eq!(batch.row(1).values[0], Value::str("IBM"));
+    }
+
+    #[test]
+    fn interleave_merges_dict_parts_without_decoding() {
+        // Two parts carved off the same encoded batch share a dictionary:
+        // the merge gathers codes. The merged column must be bit-identical
+        // to the source rows.
+        let batch = quote_batch(6);
+        let even: Vec<u32> = vec![0, 2, 4];
+        let odd: Vec<u32> = vec![1, 3, 5];
+        let parts = vec![
+            (batch.take(&even), even.clone()),
+            (batch.take(&odd), odd.clone()),
+        ];
+        let merged = TupleBatch::interleave(parts).unwrap();
+        assert_eq!(merged.ts(), batch.ts());
+        assert_eq!(merged.columns(), batch.columns());
+        assert!(
+            merged.column(0).as_dict().is_some(),
+            "shared-dictionary parts merge as codes"
+        );
+        // Parts with disjoint dictionaries still merge to identical rows,
+        // falling back to a plain column.
+        let a = TupleBatch::from_rows(
+            batch.schema().clone(),
+            vec![Tuple::new(0, vec![Value::str("AAA"), Value::Float(0.0)])],
+        );
+        let b = TupleBatch::from_rows(
+            batch.schema().clone(),
+            vec![Tuple::new(1, vec![Value::str("BBB"), Value::Float(1.0)])],
+        );
+        let merged = TupleBatch::interleave(vec![(a, vec![0]), (b, vec![1])]).unwrap();
+        assert_eq!(merged.row(0).values[0], Value::str("AAA"));
+        assert_eq!(merged.row(1).values[0], Value::str("BBB"));
     }
 }

@@ -411,6 +411,64 @@ fn worker_death_recovers_inline_and_respawns_the_seat() {
     }
 }
 
+/// A seat respawned after a worker death re-seeds the control thread's
+/// kernel kill switches on its next job. With the columnar and SIMD
+/// switches both off, every row must take the scalar row path — so
+/// `row_evals` matches the shards=1 run exactly and `simd_lanes` stays
+/// zero even when a shards=4 worker dies mid-flush and is replaced. A
+/// respawned seat that silently reverted to the defaults would push its
+/// share of rows through the columnar/SIMD kernels and skew both
+/// counters.
+#[test]
+fn respawned_worker_inherits_kernel_kill_switches() {
+    use cqac_dsms::ops::{with_columnar_kernels, with_simd_kernels};
+    if !fault_modes().contains(&"death") {
+        return;
+    }
+    let death = || Some(Arc::new(FaultPlan::new().with_worker_death(1, 1)));
+    let run = |shards: usize, fault: Option<Arc<FaultPlan>>| {
+        with_columnar_kernels(false, || {
+            with_simd_kernels(false, || {
+                let out = run_kind("fused", shards, 4, true, fault);
+                let snap = work::snapshot();
+                (out, snap.row_evals, snap.simd_lanes)
+            })
+        })
+    };
+    let (clean, clean_rows, clean_lanes) = run(1, None);
+    assert!(clean_rows > 0, "columnar off must force the row path");
+    assert_eq!(clean_lanes, 0, "SIMD off must count zero lanes");
+    let (hurt, hurt_rows, hurt_lanes) = run(4, death());
+    assert!(
+        hurt.runtime_report.has_code(Code::WorkerDeath),
+        "death did not land"
+    );
+    assert_eq!(
+        hurt_rows, clean_rows,
+        "respawned seat must inherit the columnar kill switch"
+    );
+    assert_eq!(
+        hurt_lanes, 0,
+        "respawned seat must inherit the SIMD kill switch"
+    );
+    assert_eq!(hurt.victim_out, clean.victim_out);
+    assert_eq!(hurt.survivor_out, clean.survivor_out);
+
+    // The converse: at the default settings the same faulted run counts
+    // SIMD lanes and zero row evals — the re-seed forwards the live
+    // switch values, it does not pin a stale 'off'.
+    let on = run_kind("fused", 4, 4, true, death());
+    let snap = work::snapshot();
+    assert!(on.runtime_report.has_code(Code::WorkerDeath));
+    assert!(snap.simd_lanes > 0, "default-on run must count SIMD lanes");
+    assert_eq!(snap.row_evals, 0, "columnar kernels must handle every row");
+    assert_eq!(
+        on.victim_out, clean.victim_out,
+        "switches must not change outputs"
+    );
+    assert_eq!(on.survivor_out, clean.survivor_out);
+}
+
 /// Overload shedding under a flash-crowd flood: whole batches are shed
 /// from the lowest-priority stream only, the same rows at every shard
 /// count, and the high-priority stream's query sees every one of its rows

@@ -558,9 +558,10 @@ proptest! {
     /// stateless chains), an engine running the columnar filter/project
     /// kernels produces outputs **sequence-identical** to the same engine
     /// running the per-row fallback kernels, across batch-size caps
-    /// 1/7/64/1024. Both runs chunk the feed identically, so even the
-    /// multi-port operators (join, union) must agree row for row — no
-    /// canonicalization.
+    /// 1/7/64/1024 — and, per [`simd_modes`], with the unrolled SIMD lane
+    /// loops both on and off. Both runs chunk the feed identically, so
+    /// even the multi-port operators (join, union) must agree row for
+    /// row — no canonicalization.
     #[test]
     fn columnar_kernels_equal_row_kernels(
         quotes in quote_stream(60),
@@ -583,18 +584,22 @@ proptest! {
         feed.sort_by_key(|(_, t)| t.ts);
 
         for &cap in &[1usize, 7, 64, 1024] {
-            let (col_q1, col_q2) = cqac_dsms::ops::with_columnar_kernels(true, || {
-                run_chunked(&plan, &feed, feed.len(), cap)
-            });
             let (row_q1, row_q2) = cqac_dsms::ops::with_columnar_kernels(false, || {
                 run_chunked(&plan, &feed, feed.len(), cap)
             });
-            prop_assert_eq!(&col_q1, &col_q2, "columnar sharing at cap {}", cap);
             prop_assert_eq!(&row_q1, &row_q2, "row sharing at cap {}", cap);
-            prop_assert_eq!(
-                &col_q1, &row_q1,
-                "columnar ≠ row kernels at cap {}", cap
-            );
+            for simd in simd_modes() {
+                let (col_q1, col_q2) = cqac_dsms::ops::with_columnar_kernels(true, || {
+                    cqac_dsms::ops::with_simd_kernels(simd, || {
+                        run_chunked(&plan, &feed, feed.len(), cap)
+                    })
+                });
+                prop_assert_eq!(&col_q1, &col_q2, "columnar sharing at cap {}", cap);
+                prop_assert_eq!(
+                    &col_q1, &row_q1,
+                    "columnar (simd {}) ≠ row kernels at cap {}", simd, cap
+                );
+            }
         }
     }
 
@@ -623,6 +628,174 @@ proptest! {
                 run_chunked(&plan, &feed, feed.len(), cap)
             });
             prop_assert_eq!(&col, &row, "fused columnar ≠ row at cap {}", cap);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// **NaN-ordering equivalence** — mixed Int×Float compares over a feed
+    /// whose float column carries NaN rows: every comparison path (the
+    /// per-row interpreter, the columnar kernels with the SIMD lane loops,
+    /// and the columnar kernels with SIMD off) drops NaN rows identically,
+    /// across batch caps 1/7/64/1024 and shards × morsel grains ×
+    /// stealing. Both mixed operand orders (Int op Float, Float op Int)
+    /// and all six comparison operators are covered.
+    #[test]
+    fn nan_rows_drop_identically_everywhere(
+        raw in proptest::collection::vec((0u64..500, 0usize..3, 1u32..30_000, 0u8..5), 1..60),
+        op in 0usize..6,
+        flip in 0usize..2,
+    ) {
+        use cqac_dsms::expr::CmpOp;
+        let flip = flip == 1;
+        let ops = [CmpOp::Gt, CmpOp::Ge, CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ne];
+        let mut feed: Vec<Tuple> = raw
+            .into_iter()
+            .map(|(ts, s, p, nan)| {
+                Tuple::new(
+                    ts,
+                    vec![
+                        Value::str(SYMS[s % SYMS.len()]),
+                        Value::Int(i64::from(p) - 15_000),
+                        // Roughly one row in five carries NaN; the rest
+                        // straddle the Int payload's range so every
+                        // operator selects a nontrivial subset.
+                        if nan == 0 {
+                            Value::Float(f64::NAN)
+                        } else {
+                            Value::Float(f64::from(p) - 15_000.5)
+                        },
+                    ],
+                )
+            })
+            .collect();
+        feed.sort_by_key(|t| t.ts);
+        // Int op Float one way, Float op Int the other: both mixed
+        // operand orders widen, and both must invalidate the NaN rows.
+        let (l, r) = if flip { (2, 1) } else { (1, 2) };
+        let plan = LogicalPlan::source("ticks").filter(Expr::col(l).cmp(ops[op], Expr::col(r)));
+
+        for &cap in &[1usize, 7, 64, 1024] {
+            let reference = cqac_dsms::ops::with_columnar_kernels(false, || {
+                run_ticks_sharded(&plan, &feed, cap, 1, 1, true)
+            });
+            for simd in simd_modes() {
+                let col = cqac_dsms::ops::with_columnar_kernels(true, || {
+                    cqac_dsms::ops::with_simd_kernels(simd, || {
+                        run_ticks_sharded(&plan, &feed, cap, 1, 1, true)
+                    })
+                });
+                prop_assert_eq!(
+                    &col, &reference,
+                    "NaN rows: columnar (simd {}) ≠ row at cap {}", simd, cap
+                );
+            }
+            for &shards in &shard_counts() {
+                if shards == 1 {
+                    continue;
+                }
+                for (morsel, stealing) in morsel_axes() {
+                    let got = run_ticks_sharded(&plan, &feed, cap, shards, morsel, stealing);
+                    prop_assert_eq!(
+                        &got, &reference,
+                        "NaN rows diverged at shards {} (morsel {}, stealing {}) cap {}",
+                        shards, morsel, stealing, cap
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// **Dict-vs-Str equivalence** — string equality filters, symbol
+    /// joins, and symbol group-bys over a narrow symbol universe
+    /// (dictionary-encoded at ingestion: predicates compare u32 codes,
+    /// keys hash through the per-code memo) and a wide universe past
+    /// `DICT_MAX_CARDINALITY` (decayed back to plain `Str` columns): the
+    /// columnar and row kernels agree across batch caps and SIMD modes,
+    /// and the sharded engine replays the single-threaded run across
+    /// shards × partition modes × morsel grains × stealing with identical
+    /// `tuples_processed` — the encoding is a representation choice, never
+    /// an observable one.
+    #[test]
+    fn dict_and_plain_string_columns_are_equivalent(
+        raw_quotes in proptest::collection::vec((0u64..500, 0usize..1000, 1u32..30_000), 1..60),
+        raw_news in proptest::collection::vec((0u64..500, 0usize..1000, 0u8..4), 1..30),
+        wide in 0usize..2,
+        kind in 0usize..3,
+        window in 1u64..100,
+    ) {
+        let wide = wide == 1;
+        let universe = if wide { 300 } else { 8 };
+        let sym = |i: usize| format!("s{:03}", i % universe);
+        let mut feed: Vec<(String, Tuple)> = raw_quotes
+            .iter()
+            .map(|&(ts, s, p)| {
+                (
+                    "quotes".to_string(),
+                    Tuple::new(
+                        ts,
+                        vec![Value::str(sym(s)), Value::Float(f64::from(p) / 100.0)],
+                    ),
+                )
+            })
+            .chain(raw_news.iter().map(|&(ts, s, t)| {
+                (
+                    "news".to_string(),
+                    Tuple::new(ts, vec![Value::str(sym(s)), Value::str(format!("h{t}"))]),
+                )
+            }))
+            .collect();
+        feed.sort_by_key(|(_, t)| t.ts);
+        let quotes = LogicalPlan::source("quotes");
+        let plan = match kind {
+            0 => quotes.filter(Expr::col(0).eq(Expr::lit(Value::str(sym(3))))),
+            1 => quotes.join(LogicalPlan::source("news"), 0, 0, window),
+            _ => quotes.aggregate(Some(0), AggFunc::Count, 0, window),
+        };
+
+        for &cap in &[1usize, 7, 64, 1024] {
+            let (row, _) = cqac_dsms::ops::with_columnar_kernels(false, || {
+                run_chunked(&plan, &feed, feed.len(), cap)
+            });
+            for simd in simd_modes() {
+                let (col, _) = cqac_dsms::ops::with_columnar_kernels(true, || {
+                    cqac_dsms::ops::with_simd_kernels(simd, || {
+                        run_chunked(&plan, &feed, feed.len(), cap)
+                    })
+                });
+                prop_assert_eq!(
+                    &col, &row,
+                    "dict/str columnar (simd {}) ≠ row at cap {} (wide {})", simd, cap, wide
+                );
+            }
+        }
+        // Shard invariance at a mid-size cap: hash partitioning hashes
+        // the decoded bytes whatever the representation, so placement
+        // (and therefore outputs) cannot depend on the encoding.
+        let (reference, ref_work) = run_sharded(&plan, &feed, 7, 1, false);
+        for &shards in &shard_counts() {
+            if shards == 1 {
+                continue;
+            }
+            for hash_key in partition_modes() {
+                for (morsel, stealing) in morsel_axes() {
+                    let (got, work) =
+                        run_sharded_morsel(&plan, &feed, 7, shards, hash_key, morsel, stealing);
+                    prop_assert_eq!(
+                        &got, &reference,
+                        "dict/str plan kind {} diverged at shards {} \
+                         (hash_key {}, morsel {}, stealing {}, wide {})",
+                        kind, shards, hash_key, morsel, stealing, wide
+                    );
+                    prop_assert_eq!(work, ref_work);
+                }
+            }
         }
     }
 }
@@ -688,6 +861,21 @@ fn morsel_axes() -> Vec<(usize, bool)> {
         .into_iter()
         .flat_map(|grain| [(grain, false), (grain, true)])
         .collect()
+}
+
+/// SIMD kernel modes exercised by the kernel-equivalence and
+/// shard-invariance suites (the `ops::set_simd_kernels` kill switch).
+/// `CQAC_SIMD` — `on`, `off`, or `both` (default) — selects the axis so
+/// CI can matrix the unrolled lane loops against the scalar reference
+/// loops without recompiling. Outputs must be bit-identical either way;
+/// `off` additionally pins `work::simd_lanes` to zero.
+fn simd_modes() -> Vec<bool> {
+    match std::env::var("CQAC_SIMD").as_deref() {
+        Ok("on") => vec![true],
+        Ok("off") => vec![false],
+        Ok("both") | Err(_) => vec![true, false],
+        Ok(other) => panic!("CQAC_SIMD must be on|off|both, got '{other}'"),
+    }
 }
 
 /// Runs `plan` (registered twice, so sharing is exercised) over `feed` on
@@ -777,18 +965,23 @@ proptest! {
                 }
                 for hash_key in partition_modes() {
                     for (morsel, stealing) in morsel_axes() {
-                        let (got, work) = run_sharded_morsel(
-                            &plan, &feed, cap, shards, hash_key, morsel, stealing,
-                        );
-                        prop_assert_eq!(
-                            &got, &reference,
-                            "shards {} (hash_key {}, morsel {}, stealing {}) diverged at cap {}",
-                            shards, hash_key, morsel, stealing, cap
-                        );
-                        prop_assert_eq!(
-                            work, ref_work,
-                            "per-row work must be shard-count invariant (shards {})", shards
-                        );
+                        for simd in simd_modes() {
+                            let (got, work) = cqac_dsms::ops::with_simd_kernels(simd, || {
+                                run_sharded_morsel(
+                                    &plan, &feed, cap, shards, hash_key, morsel, stealing,
+                                )
+                            });
+                            prop_assert_eq!(
+                                &got, &reference,
+                                "shards {} (hash_key {}, morsel {}, stealing {}, simd {}) \
+                                 diverged at cap {}",
+                                shards, hash_key, morsel, stealing, simd, cap
+                            );
+                            prop_assert_eq!(
+                                work, ref_work,
+                                "per-row work must be shard-count invariant (shards {})", shards
+                            );
+                        }
                     }
                 }
             }
@@ -873,16 +1066,20 @@ proptest! {
                 }
                 for hash_key in partition_modes() {
                     for (morsel, stealing) in morsel_axes() {
-                        let (got, work) = run_sharded_morsel(
-                            &plan, &feed, cap, shards, hash_key, morsel, stealing,
-                        );
-                        prop_assert_eq!(
-                            &got, &reference,
-                            "keyed stateful plan kind {} diverged at shards {} \
-                             (hash_key {}, morsel {}, stealing {}) cap {}",
-                            kind, shards, hash_key, morsel, stealing, cap
-                        );
-                        prop_assert_eq!(work, ref_work);
+                        for simd in simd_modes() {
+                            let (got, work) = cqac_dsms::ops::with_simd_kernels(simd, || {
+                                run_sharded_morsel(
+                                    &plan, &feed, cap, shards, hash_key, morsel, stealing,
+                                )
+                            });
+                            prop_assert_eq!(
+                                &got, &reference,
+                                "keyed stateful plan kind {} diverged at shards {} \
+                                 (hash_key {}, morsel {}, stealing {}, simd {}) cap {}",
+                                kind, shards, hash_key, morsel, stealing, simd, cap
+                            );
+                            prop_assert_eq!(work, ref_work);
+                        }
                     }
                 }
             }
