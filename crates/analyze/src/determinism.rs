@@ -11,14 +11,17 @@
 //! This pass **re-derives the same classification from the logical
 //! plans** — partition-key flow through filters, projections, and fused
 //! chains; join-key and group-key compatibility; exact-combine
-//! eligibility of ungrouped partial aggregates — and cross-checks the
-//! physical [`KeyedPlan`] node by node. A divergence means one side's
-//! reasoning is wrong, and the sharded run could silently reorder state
-//! mutations: diagnostic NL020 ([`Code::KeyedClassificationDivergence`]).
-//! A stateful member whose claimed commutativity contradicts the logical
-//! derivation, or a partial member with in-plan consumers, would let the
-//! scheduler steal morsels across an order-sensitive operator: diagnostic
-//! NL021 ([`Code::StatefulOrderUnsafe`]).
+//! eligibility of partial aggregates (ungrouped, or grouped at a
+//! shard-incompatible group key) — and cross-checks the physical
+//! [`KeyedPlan`] node by node. A divergence means one side's reasoning
+//! is wrong, and the sharded run could silently reorder state mutations:
+//! diagnostic NL020 ([`Code::KeyedClassificationDivergence`]). A
+//! stateful member whose claimed commutativity contradicts the logical
+//! derivation, a partial member with in-plan consumers, or a partial
+//! member whose logical combine is order-sensitive (inexact — per-worker
+//! partials would merge in a worker-dependent order) would let the
+//! scheduler steal morsels across an order-sensitive operator:
+//! diagnostic NL021 ([`Code::StatefulOrderUnsafe`]).
 //!
 //! Shard keys themselves are validated first (NL014, [`Code::BadShardKey`])
 //! — an invalid key would otherwise reach `ops::shard_of_cell`'s
@@ -45,6 +48,12 @@ struct Expectation {
     /// For stateful operators: is absorption order-free (commutative)?
     /// `None` for stateless nodes, where the question does not arise.
     commutative: Option<bool>,
+    /// The logical exact-combine derivation, recorded for every operator
+    /// that *could* hold partitioned state — member or not — so a
+    /// physical partial can be checked for order sensitivity even when
+    /// the membership itself diverges. `None` where combining never
+    /// happens (stateless operators, unions).
+    exact: Option<bool>,
 }
 
 /// The result of classifying one logical sub-plan.
@@ -134,6 +143,23 @@ pub fn audit(network: &QueryNetwork, shard_keys: &HashMap<String, usize>) -> Rep
             continue;
         };
         let actual = physical.get(&id);
+        // NL021 first: a physical partial member whose logical combine is
+        // order-sensitive would merge per-worker partials in a
+        // worker-dependent order. Named before the membership
+        // cross-check — such a node usually also diverges on membership,
+        // but the order-safety violation is the operative risk.
+        if actual.is_some_and(|&(_, partial)| partial) && expect.exact == Some(false) {
+            report.push(Diagnostic::new(
+                Code::StatefulOrderUnsafe,
+                Span::Node(id.0),
+                format!(
+                    "n{} ({}) is classified a partial-aggregation member but its \
+                     logical combine is inexact (order-sensitive); per-worker \
+                     partials would combine in a worker-dependent order",
+                    id.0, node.kind
+                ),
+            ));
+        }
         if expect.member != actual.is_some() {
             report.push(Diagnostic::new(
                 Code::KeyedClassificationDivergence,
@@ -268,6 +294,7 @@ fn derive(
                     stateful: false,
                     partial: false,
                     commutative: None,
+                    exact: None,
                 },
             );
             Derived {
@@ -291,6 +318,7 @@ fn derive(
                     stateful: false,
                     partial: false,
                     commutative: None,
+                    exact: None,
                 },
             );
             Derived {
@@ -324,6 +352,7 @@ fn derive(
                     // probe outputs whose order is observable: never
                     // order-free.
                     commutative: member.then_some(false),
+                    exact: Some(false),
                 },
             );
             Derived {
@@ -350,24 +379,31 @@ fn derive(
             let exact = combine_exact(*func, input_type);
             match group_by {
                 Some(g) => {
-                    // Grouped: a member exactly when the partition key IS
-                    // the group key (equal groups share a home shard).
-                    let member = d.covered && d.key == Some(*g);
+                    // Grouped: a *full* member exactly when the partition
+                    // key IS the group key (equal groups share a home
+                    // shard). At any other key the groups span shards, so
+                    // the node joins only as a grouped *partial* member —
+                    // per-worker hash partials, merge-barrier output —
+                    // and only when its combine is exact.
+                    let full = d.covered && d.key == Some(*g);
+                    let partial = d.covered && !full && exact;
+                    let member = full || partial;
                     record(
                         out,
                         Expectation {
                             member,
                             stateful: member,
-                            partial: false,
+                            partial,
                             commutative: member.then_some(exact),
+                            exact: Some(exact),
                         },
                     );
                     Derived {
                         schema: plan_schema_of(plan, catalog),
-                        covered: member,
+                        covered: full,
                         // Output layout: (window_end, group, value) — the
                         // group key lands at column 1.
-                        key: member.then_some(1),
+                        key: full.then_some(1),
                     }
                 }
                 None => {
@@ -383,6 +419,7 @@ fn derive(
                             stateful: member,
                             partial: member,
                             commutative: member.then_some(exact),
+                            exact: Some(exact),
                         },
                     );
                     Derived {
@@ -405,6 +442,7 @@ fn derive(
                     stateful: false,
                     partial: false,
                     commutative: None,
+                    exact: None,
                 },
             );
             Derived {

@@ -172,6 +172,7 @@ fn dict_encoded_columns_are_invisible_to_schema_inference() {
     let dict = Column::Dict {
         codes: vec![0, 1, 0],
         dict: vec!["IBM".into(), "AAPL".into()],
+        extremes: (1, 0),
     };
     assert_eq!(dict.data_type(), DataType::Str);
 

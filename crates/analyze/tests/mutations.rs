@@ -190,6 +190,50 @@ proptest! {
         serve(&mut e);
     }
 
+    /// NL020/NL021 — a physical node marked grouped-partial whose logical
+    /// plan is order-sensitive: grafting an inexact grouped aggregate's
+    /// signature onto a legitimate grouped-partial member makes the
+    /// logical derivation prove the combine order-sensitive, so the audit
+    /// must flag the order hazard (NL021) on top of the membership
+    /// divergence (NL020) — before any `debug_assert` could trip at run
+    /// time.
+    #[test]
+    fn grouped_partial_with_order_sensitive_logic_is_flagged(base in valid_plan(), w in 1u64..1_000) {
+        use cqac_dsms::network::QueryNetwork;
+        use std::collections::HashMap;
+        let mut n = QueryNetwork::new();
+        n.register_stream("quotes", quote_schema());
+        // A grouped exact Count at a shard-incompatible group key
+        // (volume, col 2 — the shard key is symbol, col 0) is a
+        // legitimate grouped-partial member…
+        let partial_plan = LogicalPlan::source("quotes").aggregate(Some(2), AggFunc::Count, 0, w);
+        n.add_query(partial_plan.clone()).unwrap();
+        // …while a float Avg grouped the same way is order-sensitive and
+        // must stay a merge barrier.
+        let sensitive = LogicalPlan::source("quotes").aggregate(Some(2), AggFunc::Avg, 1, w);
+        n.add_query(sensitive.clone()).unwrap();
+        let keys: HashMap<String, usize> = [("quotes".to_string(), 0)].into();
+        prop_assert!(cqac_analyze::determinism::audit(&n, &keys).is_clean());
+
+        // Mutation: graft the order-sensitive plan's signature onto the
+        // partial member's physical node.
+        let partial_node = n
+            .node_ids()
+            .into_iter()
+            .find(|&id| n.node(id).unwrap().signature == partial_plan.signature())
+            .expect("the grouped Count has a physical node");
+        n.node_mut(partial_node).unwrap().signature = sensitive.signature();
+        let report = cqac_analyze::determinism::audit(&n, &keys);
+        prop_assert!(report.has_code(Code::StatefulOrderUnsafe), "{report}");
+        prop_assert!(report.has_code(Code::KeyedClassificationDivergence), "{report}");
+
+        // The corruption lives in the standalone network; a real engine
+        // still admits and serves valid plans untouched.
+        let mut e = engine();
+        e.add_query(base).ok();
+        serve(&mut e);
+    }
+
     /// Accumulation: a plan with several independent corruptions reports
     /// them all in one pass.
     #[test]

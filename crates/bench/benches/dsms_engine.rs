@@ -36,7 +36,11 @@
 //! shard while the *executing*-worker rows stay near-balanced — the
 //! morsel scheduler's idle workers steal the hot shard's backlog
 //! (`morsels_stolen > 0`); under uniform load the counters show workers
-//! park after one failed steal sweep instead of spinning.
+//! park after one failed steal sweep instead of spinning. A
+//! `grouped_partials` cell runs a commutative grouped aggregate at a
+//! shard-incompatible group key — per-worker hash partials replace the
+//! chain-morsel fallback (`chain_morsels == 0`) — with the adaptive
+//! morsel controller swept off vs on.
 //!
 //! The `fault_recovery` group prices the robustness layer: an inert
 //! fault plan vs none (per-invocation injection-hook overhead), a
@@ -403,6 +407,75 @@ fn bench_hot_key_skew(c: &mut Criterion) {
                 },
             );
         }
+    }
+    // Grouped partial aggregation: a commutative grouped Sum at a
+    // shard-incompatible group key (the Int payload, col 1 — the shard key
+    // is col 0) runs as per-worker hash partials combined on the control
+    // thread instead of falling back to serialized chain morsels behind
+    // the merge barrier. Swept with the adaptive morsel controller off vs
+    // on; under the controller the configured grain is only a ceiling.
+    let params = HotKeyParams::skewed(20_000);
+    let base = hot_key_rows(&params);
+    let span = params.rows as u64;
+    for adaptive in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new(
+                "grouped_partials",
+                if adaptive { "adaptive" } else { "static" },
+            ),
+            &adaptive,
+            |b, &adaptive| {
+                let mut e = DsmsEngine::new()
+                    .with_max_batch_size(64)
+                    .with_shards(4)
+                    .with_shard_key("events", 0)
+                    .with_morsel_batches(8)
+                    .with_stealing(true)
+                    .with_adaptive_morsels(adaptive);
+                e.register_stream("events", event_schema());
+                e.add_query(LogicalPlan::source("events").aggregate(Some(1), AggFunc::Sum, 1, 500))
+                    .expect("valid plan");
+                let mut epoch = 0u64;
+                let mut feed = |e: &mut DsmsEngine| {
+                    let off = epoch * span;
+                    epoch += 1;
+                    // Fold the ramp payload down to eight groups so every
+                    // group spans many rows, home shards, and therefore
+                    // worker partitions — each window close must combine
+                    // per-partition partial runs.
+                    let rows = base
+                        .iter()
+                        .map(|r| {
+                            Tuple::new(
+                                r.ts + off,
+                                vec![Value::Int(r.key as i64), Value::Int(r.value % 8)],
+                            )
+                        })
+                        .collect();
+                    e.push_rows("events", rows);
+                };
+                // Warmup flush spawns the pool; count from a clean slate.
+                feed(&mut e);
+                cqac_dsms::types::work::reset();
+                b.iter(|| {
+                    feed(&mut e);
+                    black_box(e.tuples_processed())
+                });
+                let snap = cqac_dsms::types::work::snapshot();
+                assert!(
+                    snap.grouped_partial_rows > 0,
+                    "grouped rows must accumulate in per-worker partials"
+                );
+                assert!(
+                    snap.partial_groups_combined > 0,
+                    "the watermark pass must combine per-group partial runs"
+                );
+                assert_eq!(
+                    snap.chain_morsels, 0,
+                    "a commutative grouped workload needs no chain-morsel fallback"
+                );
+            },
+        );
     }
     group.finish();
 }

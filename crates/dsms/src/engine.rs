@@ -252,6 +252,13 @@ pub struct DsmsEngine {
     morsel_batches: usize,
     /// Whether idle workers steal morsels from busy workers' deque tails.
     stealing: bool,
+    /// Whether the adaptive morsel controller drives the effective grain
+    /// (`morsel_batches` is then its ceiling). Off by default.
+    adaptive_morsels: bool,
+    /// The adaptive controller's cost statistics (per keyless stream +
+    /// one class for the keyed plan), fed by per-morsel
+    /// [`work::WorkSnapshot::cost_units`] deltas.
+    adaptive: AdaptiveState,
     /// The fault-injection plan driving soak tests and benches (`None` —
     /// inert — outside them).
     fault: Option<Arc<FaultPlan>>,
@@ -307,6 +314,8 @@ impl DsmsEngine {
             pool: WorkerPool::default(),
             morsel_batches: 1,
             stealing: true,
+            adaptive_morsels: false,
+            adaptive: AdaptiveState::default(),
             fault: None,
             pending_panics: Vec::new(),
             quarantine_log: Vec::new(),
@@ -502,6 +511,37 @@ impl DsmsEngine {
     /// Whether work stealing is enabled.
     pub fn stealing(&self) -> bool {
         self.stealing
+    }
+
+    /// Enables adaptive morsel sizing (builder form; see
+    /// [`DsmsEngine::set_adaptive_morsels`]).
+    pub fn with_adaptive_morsels(mut self, enabled: bool) -> Self {
+        self.set_adaptive_morsels(enabled);
+        self
+    }
+
+    /// Enables or disables the adaptive morsel controller. Off by
+    /// default: every flush then cuts morsels at exactly
+    /// [`DsmsEngine::morsel_batches`] units, bit-for-bit today's static
+    /// behavior. When on, that knob becomes the **ceiling** of a
+    /// controller that tracks per-morsel execution cost (deterministic
+    /// [`work::WorkSnapshot::cost_units`], not wall clock) in a
+    /// per-stream EWMA + spread estimate: a high spread across a flush's
+    /// morsels (skew) shrinks the effective grain toward 1 so stealing
+    /// rebalances at fine granularity, a uniform cost profile grows it
+    /// back toward the ceiling to amortize deque traffic. Grain changes
+    /// are counted ([`work::WorkSnapshot::adaptive_resizes`]); the grain
+    /// for a flush is computed only from *prior* flushes' statistics, so
+    /// the morsel cutting — and therefore the whole resize trace — is a
+    /// deterministic function of the input. Outputs are bit-identical
+    /// either way.
+    pub fn set_adaptive_morsels(&mut self, enabled: bool) {
+        self.adaptive_morsels = enabled;
+    }
+
+    /// Whether adaptive morsel sizing is enabled.
+    pub fn adaptive_morsels(&self) -> bool {
+        self.adaptive_morsels
     }
 
     /// Enables or disables per-batch operator timing. On by default (the
@@ -1085,6 +1125,7 @@ impl DsmsEngine {
                     record: !kn.exits.is_empty(),
                     advance: adv,
                     partial: kn.partial,
+                    grouped: kn.partial && op.keyed_partial_grouped(),
                 }
             })
             .collect();
@@ -1106,7 +1147,21 @@ impl DsmsEngine {
                     .node(kn.id)
                     .is_some_and(|n| !n.op.keyed_commutative())
         });
-        let morsel_units = self.morsel_batches;
+        // Effective morsel grain: the static knob, or — adaptive mode —
+        // the controller's pick from *prior* flushes' per-morsel cost
+        // statistics (never this flush's, so the cutting is a
+        // deterministic function of the input). The first adaptive flush
+        // has no statistics and cuts at the ceiling, i.e. exactly the
+        // static behavior.
+        let adaptive = self.adaptive_morsels;
+        let cap = self.morsel_batches;
+        let morsel_units = if adaptive {
+            let have_keyed = keyed_units.iter().any(|u| !u.is_empty());
+            self.adaptive
+                .grain(cap, plan_of_stream.keys().map(String::as_str), have_keyed)
+        } else {
+            cap
+        };
         let mut deques: Vec<VecDeque<Morsel>> = (0..shards).map(|_| VecDeque::new()).collect();
         let mut dispatched = 0usize;
         for (s, units) in rr_units.into_iter().enumerate() {
@@ -1118,6 +1173,10 @@ impl DsmsEngine {
         for (s, units) in keyed_units.into_iter().enumerate() {
             if ordered {
                 if !units.is_empty() || run_advance {
+                    // Chain fallbacks are the cost of order sensitivity:
+                    // the counter lets benches assert commutative grouped
+                    // plans stopped paying it.
+                    work::count_chain_morsel();
                     deques[s].push_back(Morsel::Chain { home: s, units });
                     dispatched += 1;
                 }
@@ -1181,6 +1240,19 @@ impl DsmsEngine {
                         if stolen {
                             work::count_morsel_stolen();
                         }
+                        // Adaptive mode: attribute this morsel's cost to a
+                        // controller class — the first unit's stream for
+                        // round-robin chunks (a chunk can mix streams;
+                        // first-unit attribution keeps it deterministic),
+                        // one shared class for the keyed plan. The cost is
+                        // the morsel's `cost_units` delta: deterministic
+                        // row/eval counts, so the sample multiset does not
+                        // depend on which worker ran what.
+                        let class = adaptive.then(|| match &morsel {
+                            Morsel::Rr(units) => units[0].plan as u32,
+                            Morsel::Keyed { .. } | Morsel::Chain { .. } => u32::MAX,
+                        });
+                        let before = class.map(|_| work::snapshot().cost_units());
                         // Kernel panics are caught per invocation *inside*
                         // the worker bodies (recover-and-continue); this
                         // outer net only catches genuine executor bugs,
@@ -1214,6 +1286,10 @@ impl DsmsEngine {
                                 &mut report,
                             ),
                         }));
+                        if let (Some(class), Some(before)) = (class, before) {
+                            let cost = work::snapshot().cost_units().saturating_sub(before);
+                            report.morsel_costs.push((class, cost));
+                        }
                         sched.pending.fetch_sub(1, Ordering::AcqRel);
                         if let Err(payload) = done {
                             // Unblock the other workers' barriers before
@@ -1384,8 +1460,10 @@ impl DsmsEngine {
 
         // -- 3. Deterministic merge --------------------------------------
         let mut merged: BTreeMap<(u32, Vec<u32>), Parts> = BTreeMap::new();
+        let mut morsel_costs: Vec<(u32, u64)> = Vec::new();
         for (s, report) in reports {
             work::absorb(&report.work);
+            morsel_costs.extend(report.morsel_costs);
             self.processed += report.rows;
             self.batches += report.batches;
             debug_assert!(
@@ -1412,6 +1490,18 @@ impl DsmsEngine {
             for (node, entry, batch, tags) in report.outputs {
                 merged.entry((node, entry)).or_default().push((batch, tags));
             }
+        }
+        if !morsel_costs.is_empty() {
+            // Fold this flush's cost samples into the controller's EWMAs
+            // for the *next* flush. Which worker reported a sample is
+            // racy; the per-class sample multiset is not, and `observe`
+            // sorts before folding, so the EWMA trajectory — and with it
+            // the resize trace — is deterministic.
+            let mut class_streams = vec![String::new(); rr_plans.len()];
+            for (stream, &idx) in &plan_of_stream {
+                class_streams[idx] = stream.clone();
+            }
+            self.adaptive.observe(&class_streams, morsel_costs);
         }
         // BTreeMap order = ascending (node id, entry path): exactly the
         // order the single-threaded node loop dispatches these outputs.
@@ -2003,6 +2093,128 @@ enum Morsel {
     Chain { home: usize, units: Vec<KeyedUnit> },
 }
 
+/// The adaptive morsel controller's persistent statistics: one cost EWMA
+/// per round-robin stream plus one for the keyed plan (whose morsels all
+/// walk the same plan). Samples are per-morsel
+/// [`work::WorkSnapshot::cost_units`] deltas — deterministic row/eval
+/// counts, never wall clock — so the whole controller is a deterministic
+/// function of the input stream, reproducible across runs and shard
+/// schedules.
+#[derive(Debug, Default)]
+struct AdaptiveState {
+    /// Per-keyless-stream statistics (keyed by stream name — round-robin
+    /// plan indices are flush-scoped).
+    streams: HashMap<String, ClassEwma>,
+    /// The keyed plan's statistics.
+    keyed: ClassEwma,
+    /// The previous flush's effective grain (resize detection).
+    last_grain: Option<usize>,
+}
+
+/// One controller class's running estimate: mean per-morsel cost and the
+/// spread (max − min) across each flush's morsels, both as Q8
+/// fixed-point EWMAs (α = 1/4). Integer arithmetic throughout — floats
+/// would reintroduce platform-dependent rounding into the resize trace.
+#[derive(Debug, Default)]
+struct ClassEwma {
+    cost: u64,
+    spread: u64,
+    seeded: bool,
+}
+
+impl ClassEwma {
+    fn update(&mut self, mean: u64, spread: u64) {
+        let m = mean.saturating_mul(256);
+        let s = spread.saturating_mul(256);
+        if self.seeded {
+            self.cost = (self.cost.saturating_mul(3).saturating_add(m)) / 4;
+            self.spread = (self.spread.saturating_mul(3).saturating_add(s)) / 4;
+        } else {
+            self.cost = m;
+            self.spread = s;
+            self.seeded = true;
+        }
+    }
+
+    /// The class's preferred grain: skew — spread as a fraction of the
+    /// mean, saturated at 1 (= 256 in Q8) — interpolates linearly from
+    /// the ceiling (uniform costs, amortize deque traffic) down to 1
+    /// (heavy skew, maximize stealable parallelism). Unseeded classes
+    /// vote for the ceiling, today's static behavior.
+    fn grain(&self, cap: usize) -> usize {
+        if !self.seeded {
+            return cap;
+        }
+        let skew = self
+            .spread
+            .saturating_mul(256)
+            .checked_div(self.cost.max(1))
+            .unwrap_or(0)
+            .min(256) as usize;
+        1 + (cap - 1) * (256 - skew) / 256
+    }
+}
+
+impl AdaptiveState {
+    /// The effective grain for a flush whose round-robin streams are
+    /// `rr_streams` (plus the keyed plan when `have_keyed`): the minimum
+    /// of every contributing class's preference — one skewed stream is
+    /// enough to need fine-grained rebalancing. Counts a resize whenever
+    /// the pick differs from the previous flush's.
+    fn grain<'a>(
+        &mut self,
+        cap: usize,
+        rr_streams: impl Iterator<Item = &'a str>,
+        have_keyed: bool,
+    ) -> usize {
+        let mut g = cap;
+        for stream in rr_streams {
+            if let Some(e) = self.streams.get(stream) {
+                g = g.min(e.grain(cap));
+            }
+        }
+        if have_keyed {
+            g = g.min(self.keyed.grain(cap));
+        }
+        if self.last_grain.is_some_and(|prev| prev != g) {
+            work::count_adaptive_resize();
+        }
+        self.last_grain = Some(g);
+        g
+    }
+
+    /// Folds one flush's cost samples into the class EWMAs. Samples are
+    /// sorted first: worker-to-morsel assignment is racy, but the
+    /// per-class multiset is deterministic, so sorting makes the fold —
+    /// and every later grain pick — independent of the schedule.
+    fn observe(&mut self, class_streams: &[String], mut samples: Vec<(u32, u64)>) {
+        samples.sort_unstable();
+        let mut i = 0;
+        while i < samples.len() {
+            let class = samples[i].0;
+            let mut j = i;
+            while j < samples.len() && samples[j].0 == class {
+                j += 1;
+            }
+            let run = &samples[i..j];
+            let n = run.len() as u64;
+            let sum: u64 = run.iter().fold(0u64, |a, &(_, c)| a.saturating_add(c));
+            let mean = sum / n;
+            // Sorted by (class, cost): the run's ends are min and max.
+            let spread = run[run.len() - 1].1 - run[0].1;
+            let stat = if class == u32::MAX {
+                &mut self.keyed
+            } else {
+                self.streams
+                    .entry(class_streams[class as usize].clone())
+                    .or_default()
+            };
+            stat.update(mean, spread);
+            i = j;
+        }
+    }
+}
+
 /// The flush-scoped morsel scheduler: one deque per worker, seeded with
 /// the worker's home-shard morsels. The owner pops from the head; when a
 /// worker's own deque runs dry (and stealing is enabled) it pops from the
@@ -2041,8 +2253,7 @@ impl MorselScheduler {
             return None;
         }
         let n = self.deques.len();
-        for off in 1..n {
-            let victim = (me + off) % n;
+        for victim in Self::victims(me, n) {
             match lock_deque(&self.deques[victim]).pop_back() {
                 Some(m) => return Some((m, true)),
                 None => work::count_steal_miss(),
@@ -2050,7 +2261,55 @@ impl MorselScheduler {
         }
         None
     }
+
+    /// Steal-victim visit order for worker `me` of `n`: ascending offset.
+    #[cfg(not(feature = "core_pinning"))]
+    fn victims(me: usize, n: usize) -> impl Iterator<Item = usize> {
+        (1..n).map(move |off| (me + off) % n)
+    }
+
+    /// Steal-victim visit order for worker `me` of `n`, by seat distance:
+    /// `+1, -1, +2, -2, …`. With pinned workers (seat = core), adjacent
+    /// seats share cache, so the nearest backlog is the cheapest steal.
+    /// Outputs are order-independent (the deterministic merge), so the
+    /// visit order is free to differ from the default build's.
+    #[cfg(feature = "core_pinning")]
+    fn victims(me: usize, n: usize) -> impl Iterator<Item = usize> {
+        (1..n).map(move |k| {
+            let d = k.div_ceil(2);
+            if k % 2 == 1 {
+                (me + d) % n
+            } else {
+                (me + n - d) % n
+            }
+        })
+    }
 }
+
+/// Pins the calling pool worker to core `seat mod available cores` via
+/// `sched_setaffinity(2)` — declared directly (std already links libc on
+/// Linux; no new dependency). Best effort: a container or cgroup that
+/// denies the call leaves the default mask, which is always correct.
+#[cfg(all(feature = "core_pinning", target_os = "linux"))]
+fn pin_worker(seat: usize) {
+    /// `cpu_set_t`: a 1024-bit mask (glibc's fixed default size).
+    #[repr(C)]
+    struct CpuSet([u64; 16]);
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const CpuSet) -> i32;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let core = seat % cores;
+    let mut set = CpuSet([0; 16]);
+    set.0[core / 64] |= 1u64 << (core % 64);
+    // SAFETY: pid 0 = the calling thread; the mask outlives the call.
+    unsafe {
+        sched_setaffinity(0, std::mem::size_of::<CpuSet>(), &set);
+    }
+}
+
+#[cfg(not(all(feature = "core_pinning", target_os = "linux")))]
+fn pin_worker(_seat: usize) {}
 
 /// Rides over mutex poisoning: every lock in the engine guards data whose
 /// invariants hold between operations (a deque of whole morsels, a slot
@@ -2176,6 +2435,11 @@ struct ShardReport {
     /// Kernel panics caught during this shard's morsels: `(node id, panic
     /// message)`. Resolved into quarantines by the control thread.
     panics: Vec<(u32, String)>,
+    /// Adaptive-mode cost samples: `(controller class, cost_units delta)`
+    /// per executed morsel (empty with the controller off, so the static
+    /// path's reports are byte-identical to before). The class is a
+    /// round-robin plan index or `u32::MAX` for the keyed plan.
+    morsel_costs: Vec<(u32, u64)>,
     /// Whether this worker's advance-phase duty ran (always `true` when
     /// the flush has no second phase). A deserted flush leaves it `false`
     /// on workers that skipped their advance; the control thread makes
@@ -2209,6 +2473,11 @@ struct ResolvedKeyedNode<'a> {
     /// **executing worker's** partition instead of the home shard's (see
     /// [`crate::network::KeyedNode::partial`]).
     partial: bool,
+    /// Whether the node is a *grouped* partial member (per-worker hash
+    /// partials over a shard-incompatible group key); counts
+    /// [`work::WorkSnapshot::grouped_partial_rows`]. Implies `partial` —
+    /// key-compatible grouped aggregates are full members, not partials.
+    grouped: bool,
 }
 
 /// The body of the round-robin half of one shard job: runs whole source
@@ -2437,6 +2706,11 @@ fn keyed_worker(
                             // rows were never gathered into a dense batch.
                             work::count_pushdown_rows(in_rows);
                         }
+                        if node.grouped {
+                            // Grouped rows absorbed past the merge barrier
+                            // into per-worker hash partials.
+                            work::count_grouped_partial_rows(in_rows);
+                        }
                         let shard = if node.partial {
                             partial_shard
                         } else {
@@ -2621,7 +2895,8 @@ fn lock_slot(slot: &WorkerSlot) -> std::sync::MutexGuard<'_, SlotState> {
     ride_poison(slot.state.lock())
 }
 
-fn pool_worker_main(slot: Arc<WorkerSlot>) {
+fn pool_worker_main(seat: usize, slot: Arc<WorkerSlot>) {
+    pin_worker(seat);
     let mut state = lock_slot(&slot);
     loop {
         match std::mem::replace(&mut *state, SlotState::Idle) {
@@ -2662,10 +2937,11 @@ impl WorkerPool {
                 state: Mutex::new(SlotState::Idle),
                 cv: Condvar::new(),
             });
+            let seat = self.workers.len();
             let thread_slot = slot.clone();
             let handle = std::thread::Builder::new()
-                .name(format!("cqac-shard-{}", self.workers.len()))
-                .spawn(move || pool_worker_main(thread_slot))
+                .name(format!("cqac-shard-{seat}"))
+                .spawn(move || pool_worker_main(seat, thread_slot))
                 .expect("spawn pool worker");
             self.workers.push(PoolWorker {
                 slot,
@@ -2741,7 +3017,7 @@ impl WorkerPool {
         let thread_slot = w.slot.clone();
         let handle = std::thread::Builder::new()
             .name(format!("cqac-shard-{i}"))
-            .spawn(move || pool_worker_main(thread_slot))
+            .spawn(move || pool_worker_main(i, thread_slot))
             .expect("spawn pool worker");
         w.handle = Some(handle);
     }

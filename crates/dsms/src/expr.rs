@@ -709,6 +709,9 @@ enum StrSide<'a> {
         codes: &'a [u32],
         dict: &'a [std::sync::Arc<str>],
         sel: Option<&'a [u32]>,
+        /// Codes of the lexicographically smallest/largest entries
+        /// (`None` for an empty dictionary) — min/max pruning metadata.
+        extremes: Option<(u32, u32)>,
     },
     /// A broadcast constant.
     Const(&'a str),
@@ -724,7 +727,12 @@ impl<'a> StrSide<'a> {
         };
         match col {
             Column::Str(s) => Some(StrSide::Plain(s, sel)),
-            Column::Dict { codes, dict } => Some(StrSide::Dict { codes, dict, sel }),
+            Column::Dict { codes, dict, .. } => Some(StrSide::Dict {
+                codes,
+                dict,
+                sel,
+                extremes: col.dict_extreme_codes(),
+            }),
             _ => None,
         }
     }
@@ -734,7 +742,9 @@ impl<'a> StrSide<'a> {
     fn get(&self, k: usize) -> &str {
         match self {
             StrSide::Plain(s, sel) => &s[row_at(*sel, k)],
-            StrSide::Dict { codes, dict, sel } => &dict[codes[row_at(*sel, k)] as usize],
+            StrSide::Dict {
+                codes, dict, sel, ..
+            } => &dict[codes[row_at(*sel, k)] as usize],
             StrSide::Const(c) => c,
         }
     }
@@ -838,6 +848,35 @@ fn dict_lookup(codes: &[u32], sel: Option<&[u32]>, pass: &[bool], n: usize) -> V
     }
 }
 
+/// Min/max pruning for a dictionary-vs-constant compare: decides the
+/// whole batch's verdict from the dictionary's lexicographic extremes
+/// alone, when they prove it.
+///
+/// `ord_of(d)` is the ordering fed to `test` for entry `d` (operand order
+/// matters for the flipped const-vs-dict arm). Because `d.cmp(c)` is
+/// monotone in `d` (and `c.cmp(d)` antitone), every entry's ordering lies
+/// in the inclusive interval spanned by the two extreme entries'
+/// orderings; when `test` is constant over that interval the whole batch
+/// shares one verdict — no per-entry table, no per-row scan. Returns
+/// `None` when the extremes don't decide (or the dictionary is empty).
+fn dict_extremes_prune(
+    extremes: Option<(u32, u32)>,
+    dict: &[std::sync::Arc<str>],
+    test: fn(Ordering) -> bool,
+    ord_of: impl Fn(&str) -> Ordering,
+) -> Option<bool> {
+    let (lo, hi) = extremes?;
+    let olo = ord_of(dict[lo as usize].as_ref());
+    let ohi = ord_of(dict[hi as usize].as_ref());
+    let span = if olo <= ohi { olo..=ohi } else { ohi..=olo };
+    let mut verdicts = [Ordering::Less, Ordering::Equal, Ordering::Greater]
+        .into_iter()
+        .filter(|o| span.contains(o))
+        .map(test);
+    let first = verdicts.next()?;
+    verdicts.all(|v| v == first).then_some(first)
+}
+
 /// Columnar string compare. Dictionary fast paths compare u32 codes per
 /// row ([`work::WorkSnapshot::dict_code_cmps`]), touching string bytes
 /// only at dictionary granularity; every other shape decodes and
@@ -845,14 +884,45 @@ fn dict_lookup(codes: &[u32], sel: Option<&[u32]>, pass: &[bool], n: usize) -> V
 fn str_cmp_columnar(op: CmpOp, a: &StrSide<'_>, b: &StrSide<'_>, n: usize) -> Vec<bool> {
     let test = cmp_test(op);
     match (a, b) {
-        // Dict vs constant: one byte-compare verdict per dictionary entry,
-        // then a per-row code lookup — this covers the ordering operators
-        // too, not just equality.
-        (StrSide::Dict { codes, dict, sel }, StrSide::Const(c)) => {
+        // Dict vs constant: min/max pruning first — a range predicate the
+        // extremes already decide settles the batch with two byte
+        // compares ([`work::WorkSnapshot::dict_batches_pruned`] counts
+        // the all-false case). Otherwise one byte-compare verdict per
+        // dictionary entry, then a per-row code lookup — this covers the
+        // ordering operators too, not just equality.
+        (
+            StrSide::Dict {
+                codes,
+                dict,
+                sel,
+                extremes,
+            },
+            StrSide::Const(c),
+        ) => {
+            if let Some(all) = dict_extremes_prune(*extremes, dict, test, |d| d.cmp(*c)) {
+                if !all {
+                    work::count_dict_batch_pruned();
+                }
+                return vec![all; n];
+            }
             let pass: Vec<bool> = dict.iter().map(|d| test(d.as_ref().cmp(*c))).collect();
             dict_lookup(codes, *sel, &pass, n)
         }
-        (StrSide::Const(c), StrSide::Dict { codes, dict, sel }) => {
+        (
+            StrSide::Const(c),
+            StrSide::Dict {
+                codes,
+                dict,
+                sel,
+                extremes,
+            },
+        ) => {
+            if let Some(all) = dict_extremes_prune(*extremes, dict, test, |d| (*c).cmp(d)) {
+                if !all {
+                    work::count_dict_batch_pruned();
+                }
+                return vec![all; n];
+            }
             let pass: Vec<bool> = dict.iter().map(|d| test((*c).cmp(d.as_ref()))).collect();
             dict_lookup(codes, *sel, &pass, n)
         }
@@ -865,11 +935,13 @@ fn str_cmp_columnar(op: CmpOp, a: &StrSide<'_>, b: &StrSide<'_>, n: usize) -> Ve
                 codes: ca,
                 dict: da,
                 sel: sa,
+                ..
             },
             StrSide::Dict {
                 codes: cb,
                 dict: db,
                 sel: sb,
+                ..
             },
         ) if matches!(op, CmpOp::Eq | CmpOp::Ne) => {
             let eq = matches!(op, CmpOp::Eq);

@@ -209,7 +209,8 @@
 //!    batches at flush time, exactly like the single-threaded engine.
 //! 2. **Morsel-driven execution on the pool.** The flush's work units are
 //!    cut into **morsels** — batch-sized, sequence-tagged work items of at
-//!    most [`engine::DsmsEngine::set_morsel_batches`] units each — and
+//!    most [`engine::DsmsEngine::set_morsel_batches`] units each (a
+//!    *ceiling* once the adaptive controller below is enabled) — and
 //!    dealt onto **per-worker deques**: worker `w`'s deque holds the
 //!    morsels whose rows hash-partitioned to home shard `w` (plus its
 //!    round-robin share). One job per worker runs on a **persistent
@@ -267,18 +268,55 @@
 //! in-line advances, still stealable as a whole, so skew still rebalances
 //! at shard granularity.
 //!
-//! **Partial aggregation of ungrouped aggregates.** An ungrouped
-//! aggregate normally blocks sharding (its single group spans every
-//! shard) — but when its combine is **exact** (integer inputs via the
+//! **Partial aggregation.** An ungrouped aggregate normally blocks
+//! sharding (its single group spans every shard), and so does a grouped
+//! aggregate whose group key is *shard-incompatible* (grouping by a
+//! column other than the partition key, so one group's rows land on many
+//! shards) — but when the combine is **exact** (integer inputs via the
 //! i128 accumulator; Count/Min/Max over anything —
-//! [`ops::AggregateOp`]'s `combine_exact`), it joins the keyed plan as a
-//! **partial member**: each worker absorbs its morsels' rows into its
-//! *own* partial accumulator, and the control thread's watermark
-//! pass folds the per-worker partials **in deterministic partition
-//! order** at every window close. Float Sum/Avg stay behind the merge
-//! barrier (float addition does not associate). The `hot_key_skew` bench
-//! group and the ungrouped-aggregate equivalence property pin both
-//! halves.
+//! [`ops::AggregateOp`]'s `combine_exact`), either shape joins the keyed
+//! plan as a **partial member**: each worker absorbs its morsels' rows
+//! into its *own* partial accumulator — grouped members hash-accumulate
+//! per group key within the worker's partition (counted by
+//! [`types::work::WorkSnapshot::grouped_partial_rows`]) — and the
+//! control thread's watermark pass folds the per-worker partials **in
+//! deterministic partition order** at every window close, run-folding
+//! equal group keys left-to-right
+//! ([`types::work::WorkSnapshot::partial_groups_combined`]). Float
+//! Sum/Avg stay behind the merge barrier (float addition does not
+//! associate) — the determinism audit's `NL021` names any physical node
+//! that claims partial membership with an order-sensitive combine. The
+//! `hot_key_skew` bench's `grouped_partials` cell pins that a
+//! commutative grouped workload cuts **zero chain morsels**
+//! ([`types::work::WorkSnapshot::chain_morsels`]); the
+//! grouped/ungrouped equivalence properties pin both halves.
+//!
+//! **Adaptive morsel sizing.** With
+//! [`engine::DsmsEngine::set_adaptive_morsels`] on, the configured grain
+//! becomes a ceiling and the engine picks each flush's effective grain
+//! from **execution-cost feedback**: every morsel's cost is measured in
+//! the deterministic [`types::work`] units (never wall clock), workers
+//! report `(class, cost)` samples per flush (class = the round-robin
+//! plan index, or the keyed plan), and the control thread folds each
+//! class's sorted samples into integer Q8 EWMAs of mean cost and spread
+//! (max − min). High spread — skewed per-morsel cost — shrinks the grain
+//! toward 1 so stealing can rebalance; uniform cost grows it back toward
+//! the ceiling to amortize scheduling overhead. The grain for a flush is
+//! computed from *prior* flushes only and unseeded classes vote the
+//! ceiling, so morsel cutting stays a deterministic function of the
+//! input history: the resize trace
+//! ([`types::work::WorkSnapshot::adaptive_resizes`]) is reproducible
+//! run-to-run, outputs stay bit-identical to the static grain, and the
+//! knob off (the default) reproduces the static scheduler exactly —
+//! pinned by the `adaptive_controller_is_deterministic` property.
+//!
+//! **Core pinning (`core_pinning` feature).** An off-by-default cargo
+//! feature makes worker seats topology-aware: each pool worker pins
+//! itself to a core via `sched_setaffinity(2)` (best-effort, Linux only)
+//! and steal victims are swept in **seat-distance order** (±1, ±2, …)
+//! so rebalancing prefers nearby cores. Outputs are merge-order
+//! independent, so the steal order cannot affect results; the portable
+//! default build compiles the whole path out.
 //!
 //! **Determinism argument.** Hash partitioning sends every pair of rows a
 //! keyed stateful operator must combine (equal join keys, equal group
@@ -293,14 +331,15 @@
 //! `(window start, group)` emission comparator therefore reassemble the
 //! exact single-threaded output sequences. Output sequences are hence
 //! **bit-identical to the single-threaded engine regardless of shard
-//! count, morsel size, or stealing** — pinned by the
-//! `shard_count_invariance`, `keyed_stateful_shard_invariance`, and
-//! `ungrouped_aggregate_partials_match_single_threaded` properties
-//! (stateless, keyed-stateful, and partial-aggregate plan shapes × batch
-//! caps 1/7/64/1024 × shard counts 1/2/4/8 × both partition modes ×
-//! morsel grains 1/4/16 × stealing on/off, strict sequence equality), a
-//! 100-seed concurrency soak, and a skewed-key soak in
-//! `tests/shard_exec.rs`.
+//! count, morsel size, stealing, or the adaptive controller** — pinned
+//! by the `shard_count_invariance`, `keyed_stateful_shard_invariance`,
+//! `ungrouped_aggregate_partials_match_single_threaded`, and
+//! `grouped_partials_match_single_threaded` properties (stateless,
+//! keyed-stateful, and grouped/ungrouped partial-aggregate plan shapes ×
+//! batch caps 1/7/64/1024 × shard counts 1/2/4/8 × both partition modes
+//! × morsel grains 1/4/16 × stealing on/off × adaptive on/off, strict
+//! sequence equality), a 100-seed concurrency soak, and a skewed-key
+//! soak in `tests/shard_exec.rs`.
 //!
 //! Per-worker load is observable ([`engine::DsmsEngine::shard_stats`] —
 //! executing-worker attribution, near-balanced under stealing;

@@ -174,12 +174,14 @@ pub struct KeyedNode {
     /// running with per-shard state partitions; stateless plan members run
     /// their ordinary shard kernels.
     pub stateful: bool,
-    /// Whether the node is a **partial-aggregation** member (an ungrouped
-    /// aggregate with an exact combine): workers absorb rows into
-    /// per-*worker* partial accumulators instead of key-homed partitions,
-    /// and the control thread's watermark pass combines the partials in
-    /// partition order when windows close. Downstream consumers still see
-    /// the node as a merge barrier (its output is produced on the control
+    /// Whether the node is a **partial-aggregation** member (an exact
+    /// aggregate whose single group — or shard-incompatible group key —
+    /// spans shards): workers absorb rows into per-*worker* partial
+    /// accumulators instead of key-homed partitions, and the control
+    /// thread's watermark pass combines the partials in partition order
+    /// when windows close. Grouped members hash-accumulate per group key
+    /// within each worker partition. Downstream consumers still see the
+    /// node as a merge barrier (its output is produced on the control
     /// thread), so a partial node's `internal` is always empty.
     pub partial: bool,
     /// Downstream consumers *inside* the plan, as
@@ -925,11 +927,12 @@ impl QueryNetwork {
                 // Partial-aggregation member: absorbs rows inside the
                 // shards (per-worker partials, no key needed — every row
                 // folds into whichever worker ran its morsel, legal
-                // because the combine is exact), but its *output* is
-                // produced by the control thread's watermark pass, which
-                // combines the partials. Downstream nodes therefore see a
-                // merge barrier: the node joins `order` but not
-                // `members`.
+                // because the combine is exact; grouped aggregates at a
+                // shard-incompatible key accumulate per group *within*
+                // each worker partition), but its *output* is produced by
+                // the control thread's watermark pass, which combines the
+                // partials. Downstream nodes therefore see a merge
+                // barrier: the node joins `order` but not `members`.
                 partials.insert(id);
                 order.push(id);
             }
@@ -1482,7 +1485,9 @@ mod tests {
         );
 
         // A projection that *drops* the key severs the keyed chain for a
-        // *grouped* aggregate (its groups then span shards)...
+        // *grouped* aggregate (its groups then span shards) — but an
+        // exact combine lets it rejoin as a grouped *partial* member:
+        // per-worker hash partials, combined behind the merge barrier.
         let mut n2 = QueryNetwork::new();
         n2.register_stream(
             "trades",
@@ -1498,10 +1503,33 @@ mod tests {
         )
         .unwrap();
         let plan2 = n2.keyed_plan(&keys(&[("trades", 0)]));
-        assert!(!plan2.has_stateful, "dropped key keeps the merge barrier");
+        assert!(plan2.has_stateful, "exact grouped aggregate re-enters");
+        let agg2 = plan2.nodes.last().unwrap();
+        assert!(agg2.partial, "…as a grouped partial member");
+        assert!(agg2.internal.is_empty());
 
-        // ...but an *ungrouped* exact aggregate doesn't need the key at
-        // all: it still joins the plan as a partial member.
+        // An *inexact* grouped aggregate (float Avg) at a
+        // shard-incompatible group key cannot combine partials exactly:
+        // it keeps the merge barrier.
+        let mut n2b = QueryNetwork::new();
+        n2b.register_stream(
+            "ticks",
+            Schema::new(vec![
+                Field::new("symbol", DataType::Str),
+                Field::new("price", DataType::Float),
+                Field::new("venue", DataType::Str),
+            ]),
+        );
+        n2b.add_query(LogicalPlan::source("ticks").aggregate(Some(2), AggFunc::Avg, 1, 100))
+            .unwrap();
+        let plan2b = n2b.keyed_plan(&keys(&[("ticks", 0)]));
+        assert!(
+            !plan2b.has_stateful,
+            "inexact grouped aggregate keeps the merge barrier"
+        );
+
+        // An *ungrouped* exact aggregate doesn't need the key at all: it
+        // also joins the plan as a partial member.
         let mut n3 = network_with_quotes();
         n3.add_query(
             LogicalPlan::source("quotes")

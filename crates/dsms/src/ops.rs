@@ -28,6 +28,10 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// Lane width of the SIMD-shaped aggregate-absorb fast path (matches the
+/// compare/arith kernels in [`crate::expr`]).
+const LANES: usize = 8;
+
 thread_local! {
     /// Whether stateless operators use the columnar kernels (default) or
     /// the per-row fallback. Thread-local because the engine is
@@ -126,7 +130,7 @@ pub(crate) fn shard_of_cell(col: &Column, i: usize, shards: usize) -> usize {
         // and plain string columns shard identically (the encoding is a
         // layout choice, never a semantic one). Loops over key cells
         // should prefer [`KeyReader`], which memoizes this per code.
-        Column::Dict { codes, dict } => fnv1a(dict[codes[i] as usize].as_bytes()),
+        Column::Dict { codes, dict, .. } => fnv1a(dict[codes[i] as usize].as_bytes()),
         Column::Float(_) => {
             // `set_shard_key` rejects float columns before any run
             // (diagnostic NL014, `diag::Code::BadShardKey`), so this arm
@@ -168,7 +172,7 @@ impl Key {
             Column::Bool(v) => Some(Key::Bool(v[i])),
             Column::Int(v) => Some(Key::Int(v[i])),
             Column::Str(v) => Some(Key::Str(v[i].clone())),
-            Column::Dict { codes, dict } => Some(Key::Str(dict[codes[i] as usize].clone())),
+            Column::Dict { codes, dict, .. } => Some(Key::Str(dict[codes[i] as usize].clone())),
             Column::Float(_) => None,
         }
     }
@@ -228,7 +232,7 @@ impl<'a> KeyReader<'a> {
     /// The memo slot for row `i` of a dictionary column (`None` when the
     /// column isn't dictionary-encoded).
     fn dict_entry(&mut self, i: usize) -> Option<&(Key, u64)> {
-        let Column::Dict { codes, dict } = self.col else {
+        let Column::Dict { codes, dict, .. } = self.col else {
             return None;
         };
         crate::types::work::count_dict_code_cmps(1);
@@ -366,10 +370,25 @@ pub trait Operator: std::fmt::Debug + Send {
     /// partial accumulators ([`KeyedKernel::process_keyed`] with the
     /// *worker* index as the partition) and a deterministic
     /// partition-order combine merges the partials when windows close.
-    /// Only ungrouped aggregates with exact combines qualify — grouped
-    /// aggregates already shard by group key, and inexact float sums
-    /// would pick up schedule-dependent rounding.
+    /// Exact combines qualify, grouped or not: ungrouped aggregates keep
+    /// one accumulator per worker, grouped aggregates at
+    /// **shard-incompatible** group keys keep a per-worker hash-partial
+    /// map (a group's rows may land on any worker; the exact combine
+    /// makes the split schedule-invariant). Inexact float sums would pick
+    /// up schedule-dependent rounding, so they never qualify. The keyed
+    /// planner consults this only when [`Operator::keyed_out`] already
+    /// failed — a group key that *is* the partition key runs as a full
+    /// member with sharded state instead.
     fn keyed_partial(&self) -> bool {
+        false
+    }
+
+    /// Whether this partial member folds **grouped** hash partials
+    /// (`false` for ungrouped partials and non-partial operators) — the
+    /// engine attributes per-worker absorbs to
+    /// [`crate::types::work::WorkSnapshot::grouped_partial_rows`] by this
+    /// flag.
+    fn keyed_partial_grouped(&self) -> bool {
         false
     }
 
@@ -1526,9 +1545,12 @@ impl AggState {
 }
 
 /// One shard partition of an [`AggregateOp`]'s windowed state:
-/// `(window_start, group) → running accumulator`. A group's windows always
-/// live in one partition ([`Key::shard_of`]; ungrouped aggregates keep
-/// everything in partition 0 and never shard).
+/// `(window_start, group) → running accumulator`. When the aggregate runs
+/// as a **full** keyed member, a group's windows live in exactly one
+/// partition ([`Key::shard_of`]); as a **partial** member (ungrouped, or
+/// grouped at a shard-incompatible key) each worker owns one partition of
+/// per-worker partials and a window's state spans however many workers
+/// absorbed its rows until the watermark combine folds them.
 type AggPart = HashMap<(u64, Option<Key>), AggState>;
 
 /// Windowed aggregate, optionally grouped by one column.
@@ -1638,6 +1660,163 @@ impl AggregateOp {
         self.int_input || matches!(self.func, AggFunc::Count | AggFunc::Min | AggFunc::Max)
     }
 
+    /// Selection-aware absorb for **ungrouped tumbling** aggregates:
+    /// walks the row set as maximal dense runs, splits each run at window
+    /// boundaries, and folds every window-homogeneous segment into its
+    /// accumulator with one state lookup and a fixed-trip-count
+    /// eight-lane loop (counted by
+    /// [`crate::types::work::WorkSnapshot::simd_lanes`]) instead of a
+    /// per-row lookup and enum dispatch. Updates apply in row order, so
+    /// the result is bit-identical to the scalar reference loop — float
+    /// sums included. Sliding windows and grouped aggregates keep the
+    /// scalar path; the SIMD kill switch ([`set_simd_kernels`]) disables
+    /// this path entirely.
+    fn absorb_dense_runs(
+        window_ms: u64,
+        part: &mut AggPart,
+        ts: &[u64],
+        input: &AggColumn<'_>,
+        rows: impl Iterator<Item = usize>,
+    ) {
+        let mut run: Option<(usize, usize)> = None; // current dense [lo, hi)
+        for i in rows {
+            run = match run {
+                Some((lo, hi)) if i == hi => Some((lo, hi + 1)),
+                Some((lo, hi)) => {
+                    Self::absorb_window_segments(window_ms, part, ts, input, lo, hi);
+                    Some((i, i + 1))
+                }
+                None => Some((i, i + 1)),
+            };
+        }
+        if let Some((lo, hi)) = run {
+            Self::absorb_window_segments(window_ms, part, ts, input, lo, hi);
+        }
+    }
+
+    /// Splits a dense run `[lo, hi)` at tumbling-window boundaries and
+    /// folds each window's segment into its accumulator.
+    fn absorb_window_segments(
+        window_ms: u64,
+        part: &mut AggPart,
+        ts: &[u64],
+        input: &AggColumn<'_>,
+        lo: usize,
+        hi: usize,
+    ) {
+        let mut a = lo;
+        while a < hi {
+            let start = ts[a] - ts[a] % window_ms;
+            let mut b = a + 1;
+            while b < hi && ts[b] - ts[b] % window_ms == start {
+                b += 1;
+            }
+            match part.entry((start, None)) {
+                Entry::Occupied(mut e) => Self::fold_segment(e.get_mut(), input, a, b),
+                Entry::Vacant(e) => {
+                    let state = e.insert(AggState::seeded(input.get(a)));
+                    Self::fold_segment(state, input, a + 1, b);
+                }
+            }
+            a = b;
+        }
+    }
+
+    /// Folds rows `[lo, hi)` of the aggregated column into `state` in row
+    /// order — eight-lane chunks with a scalar tail, the same SIMD shape
+    /// as the [`crate::expr`] kernels.
+    fn fold_segment(state: &mut AggState, input: &AggColumn<'_>, lo: usize, hi: usize) {
+        if lo >= hi {
+            return;
+        }
+        let n = (hi - lo) as u64;
+        match (state, input) {
+            // `Count` never reads the column: a whole run is one add.
+            (AggState::Int { count, .. }, AggColumn::CountOnly) => *count += n,
+            (
+                AggState::Int {
+                    count,
+                    sum,
+                    min,
+                    max,
+                },
+                AggColumn::Ints(xs),
+            ) => {
+                *count += n;
+                let xs = &xs[lo..hi];
+                crate::types::work::count_simd_lanes((xs.len() / LANES) as u64);
+                let mut chunks = xs.chunks_exact(LANES);
+                for c in &mut chunks {
+                    for &v in c {
+                        *sum += i128::from(v);
+                        *min = (*min).min(v);
+                        *max = (*max).max(v);
+                    }
+                }
+                for &v in chunks.remainder() {
+                    *sum += i128::from(v);
+                    *min = (*min).min(v);
+                    *max = (*max).max(v);
+                }
+            }
+            (
+                AggState::Float {
+                    count,
+                    sum,
+                    min,
+                    max,
+                },
+                AggColumn::Floats(xs),
+            ) => {
+                *count += n;
+                let xs = &xs[lo..hi];
+                crate::types::work::count_simd_lanes((xs.len() / LANES) as u64);
+                let mut chunks = xs.chunks_exact(LANES);
+                for c in &mut chunks {
+                    for &v in c {
+                        *sum += v;
+                        *min = min.min(v);
+                        *max = max.max(v);
+                    }
+                }
+                for &v in chunks.remainder() {
+                    *sum += v;
+                    *min = min.min(v);
+                    *max = max.max(v);
+                }
+            }
+            (
+                AggState::Float {
+                    count,
+                    sum,
+                    min,
+                    max,
+                },
+                AggColumn::WidenInts(xs),
+            ) => {
+                *count += n;
+                let xs = &xs[lo..hi];
+                crate::types::work::count_simd_lanes((xs.len() / LANES) as u64);
+                let mut chunks = xs.chunks_exact(LANES);
+                for c in &mut chunks {
+                    for &i in c {
+                        let v = i as f64;
+                        *sum += v;
+                        *min = min.min(v);
+                        *max = max.max(v);
+                    }
+                }
+                for &i in chunks.remainder() {
+                    let v = i as f64;
+                    *sum += v;
+                    *min = min.min(v);
+                    *max = max.max(v);
+                }
+            }
+            _ => debug_assert!(false, "aggregate input type drifted mid-window"),
+        }
+    }
+
     /// Absorbs `rows` (batch-row indices) of one batch, routing each row
     /// to the partition its group key hashes to — the shared body of
     /// [`Operator::process_batch`] and [`Operator::process_selected`].
@@ -1650,6 +1829,16 @@ impl AggregateOp {
         let Some(input) = self.agg_column(batch) else {
             return;
         };
+        // Ungrouped tumbling aggregates absorb the row set as dense runs
+        // through the eight-lane fast path (with no group key to hash,
+        // every row routes to partition 0).
+        if self.group_by.is_none() && self.slide_ms == self.window_ms && simd_kernels_enabled() {
+            let window_ms = self.window_ms;
+            let part = self.parts[0]
+                .get_mut()
+                .expect("aggregate partition lock poisoned");
+            return Self::absorb_dense_runs(window_ms, part, batch.ts(), &input, rows);
+        }
         let (slide_ms, window_ms, group_by) = (self.slide_ms, self.window_ms, self.group_by);
         // `&mut self` owns the locks: borrow every partition once per
         // batch instead of locking per row.
@@ -1730,6 +1919,9 @@ impl AggregateOp {
         input: &AggColumn<'_>,
         rows: impl Iterator<Item = usize>,
     ) {
+        if self.group_by.is_none() && self.slide_ms == self.window_ms && simd_kernels_enabled() {
+            return Self::absorb_dense_runs(self.window_ms, part, batch.ts(), input, rows);
+        }
         let mut reader = self.group_by.map(|col| KeyReader::new(batch.column(col)));
         for i in rows {
             let group = match reader.as_mut() {
@@ -1813,17 +2005,30 @@ impl AggregateOp {
         // Deterministic emission order: by window start, then group key
         // (one rendered key per element, not two per comparison).
         ready.sort_by_cached_key(|(key, _)| (key.0, format!("{:?}", key.1)));
-        // Combine runs of equal keys: an ungrouped window absorbed as
-        // per-worker partials lives in several partitions at once. The
-        // stable sort keeps equal keys in partition order, so the
-        // left-to-right fold *is* the deterministic partition-order
-        // combine. Grouped keys are unique per partition — a no-op.
+        // Combine runs of equal keys: a window absorbed as per-worker
+        // partials — ungrouped, or grouped at a shard-incompatible group
+        // key — lives in several partitions at once. The stable sort
+        // keeps equal keys in partition order, so the left-to-right fold
+        // *is* the deterministic partition-order combine (exact for every
+        // partial-eligible aggregate, so the fold order cannot shift the
+        // value anyway). Grouped combines are counted
+        // ([`work::WorkSnapshot::partial_groups_combined`]): each one is
+        // a group that crossed the merge barrier as partials.
         let mut merged: Vec<((u64, Option<Key>), AggState)> = Vec::with_capacity(ready.len());
+        let mut grouped_combines = 0u64;
         for (key, state) in ready {
             match merged.last_mut() {
-                Some((prev, acc)) if *prev == key => acc.combine(&state),
+                Some((prev, acc)) if *prev == key => {
+                    if key.1.is_some() {
+                        grouped_combines += 1;
+                    }
+                    acc.combine(&state);
+                }
                 _ => merged.push((key, state)),
             }
+        }
+        if grouped_combines > 0 {
+            crate::types::work::count_partial_groups_combined(grouped_combines);
         }
         let mut closed = TupleBatch::with_capacity(self.schema.clone(), merged.len());
         for (key, state) in merged {
@@ -1893,7 +2098,11 @@ impl Operator for AggregateOp {
     }
 
     fn keyed_partial(&self) -> bool {
-        self.group_by.is_none() && self.combine_exact()
+        self.combine_exact()
+    }
+
+    fn keyed_partial_grouped(&self) -> bool {
+        self.group_by.is_some()
     }
 
     fn set_partitions(&mut self, n: usize) {
@@ -1916,15 +2125,15 @@ impl Operator for AggregateOp {
                     _ => 0,
                 };
                 match parts[p].entry((start, group)) {
-                    // Per-worker partials of one ungrouped window merge
-                    // when partitions collapse — iterating `old` in
-                    // partition order keeps the combine deterministic.
-                    // Grouped keys live in exactly one partition.
+                    // Per-worker partials of one window merge when
+                    // partitions collapse — iterating `old` in partition
+                    // order keeps the combine deterministic. This covers
+                    // grouped keys too: under grouped partial aggregation
+                    // (shard-incompatible group key, exact combine) one
+                    // group's mid-window state legitimately spans
+                    // partitions, and the exact combine re-homes it
+                    // without schedule-dependent drift.
                     Entry::Occupied(mut e) => {
-                        debug_assert!(
-                            e.key().1.is_none(),
-                            "grouped window state may live in only one partition"
-                        );
                         e.get_mut().combine(&state);
                     }
                     Entry::Vacant(e) => {

@@ -249,7 +249,30 @@ pub enum Column {
         codes: Vec<u32>,
         /// Distinct string payloads, in first-appearance order.
         dict: Vec<Arc<str>>,
+        /// Codes of the lexicographically smallest and largest dictionary
+        /// entries — range-predicate pruning metadata maintained by every
+        /// dictionary builder (`(0, 0)` for an empty dictionary). A range
+        /// predicate that rejects both extremes rejects every row of the
+        /// batch without a per-row scan
+        /// ([`work::WorkSnapshot::dict_batches_pruned`] counts those
+        /// short-circuits).
+        extremes: (u32, u32),
     },
+}
+
+/// Codes of the lexicographically smallest and largest entries of a
+/// dictionary (`(0, 0)` when empty).
+fn dict_extremes(dict: &[Arc<str>]) -> (u32, u32) {
+    let (mut lo, mut hi) = (0u32, 0u32);
+    for (i, s) in dict.iter().enumerate() {
+        if **s < *dict[lo as usize] {
+            lo = i as u32;
+        }
+        if **s > *dict[hi as usize] {
+            hi = i as u32;
+        }
+    }
+    (lo, hi)
 }
 
 impl Column {
@@ -280,6 +303,7 @@ impl Column {
             Value::Str(s) => Column::Dict {
                 codes: vec![0; n],
                 dict: vec![s.clone()],
+                extremes: (0, 0),
             },
         }
     }
@@ -317,7 +341,12 @@ impl Column {
     /// store cannot hold a mistyped cell, so this is a hard error rather
     /// than the row layout's debug-only check.
     pub fn push(&mut self, v: Value) {
-        if let Column::Dict { codes, dict } = self {
+        if let Column::Dict {
+            codes,
+            dict,
+            extremes,
+        } = self
+        {
             if let Value::Str(s) = v {
                 // Intern: dictionaries stay small (bounded below), so a
                 // linear probe beats hashing. A value that would push the
@@ -326,8 +355,15 @@ impl Column {
                 if let Some(code) = dict.iter().position(|d| **d == *s) {
                     codes.push(code as u32);
                 } else if dict.len() < Self::DICT_MAX_CARDINALITY {
+                    let code = dict.len() as u32;
+                    if dict.is_empty() || *s < *dict[extremes.0 as usize] {
+                        extremes.0 = code;
+                    }
+                    if dict.is_empty() || *s > *dict[extremes.1 as usize] {
+                        extremes.1 = code;
+                    }
                     dict.push(s);
-                    codes.push((dict.len() - 1) as u32);
+                    codes.push(code);
                 } else {
                     *self = self.decode_to_str();
                     self.push(Value::Str(s));
@@ -361,7 +397,7 @@ impl Column {
             Column::Int(v) => Value::Int(v[i]),
             Column::Float(v) => Value::Float(v[i]),
             Column::Str(v) => Value::Str(v[i].clone()),
-            Column::Dict { codes, dict } => Value::Str(dict[codes[i] as usize].clone()),
+            Column::Dict { codes, dict, .. } => Value::Str(dict[codes[i] as usize].clone()),
         }
     }
 
@@ -402,7 +438,16 @@ impl Column {
     /// The codes and dictionary, if this is a dictionary-encoded column.
     pub fn as_dict(&self) -> Option<(&[u32], &[Arc<str>])> {
         match self {
-            Column::Dict { codes, dict } => Some((codes, dict)),
+            Column::Dict { codes, dict, .. } => Some((codes, dict)),
+            _ => None,
+        }
+    }
+
+    /// Codes of the lexicographically smallest and largest dictionary
+    /// entries, if this is a (non-empty) dictionary-encoded column.
+    pub fn dict_extreme_codes(&self) -> Option<(u32, u32)> {
+        match self {
+            Column::Dict { dict, extremes, .. } if !dict.is_empty() => Some(*extremes),
             _ => None,
         }
     }
@@ -412,7 +457,7 @@ impl Column {
     pub fn str_at(&self, i: usize) -> Option<&Arc<str>> {
         match self {
             Column::Str(v) => Some(&v[i]),
-            Column::Dict { codes, dict } => Some(&dict[codes[i] as usize]),
+            Column::Dict { codes, dict, .. } => Some(&dict[codes[i] as usize]),
             _ => None,
         }
     }
@@ -443,7 +488,12 @@ impl Column {
                 }
             }
         }
-        Column::Dict { codes, dict }
+        let extremes = dict_extremes(&dict);
+        Column::Dict {
+            codes,
+            dict,
+            extremes,
+        }
     }
 
     /// Decodes a dictionary column back to the plain layout (cells stay
@@ -451,7 +501,7 @@ impl Column {
     /// columns are cloned as-is.
     fn decode_to_str(&self) -> Column {
         match self {
-            Column::Dict { codes, dict } => {
+            Column::Dict { codes, dict, .. } => {
                 Column::Str(codes.iter().map(|&c| dict[c as usize].clone()).collect())
             }
             other => other.clone(),
@@ -467,9 +517,14 @@ impl Column {
             Column::Int(v) => Column::Int(sel.iter().map(|&i| v[i as usize]).collect()),
             Column::Float(v) => Column::Float(sel.iter().map(|&i| v[i as usize]).collect()),
             Column::Str(v) => Column::Str(sel.iter().map(|&i| v[i as usize].clone()).collect()),
-            Column::Dict { codes, dict } => Column::Dict {
+            Column::Dict {
+                codes,
+                dict,
+                extremes,
+            } => Column::Dict {
                 codes: sel.iter().map(|&i| codes[i as usize]).collect(),
                 dict: dict.clone(),
+                extremes: *extremes,
             },
         }
     }
@@ -483,9 +538,14 @@ impl Column {
             Column::Int(v) => Column::Int(v.split_off(at)),
             Column::Float(v) => Column::Float(v.split_off(at)),
             Column::Str(v) => Column::Str(v.split_off(at)),
-            Column::Dict { codes, dict } => Column::Dict {
+            Column::Dict {
+                codes,
+                dict,
+                extremes,
+            } => Column::Dict {
                 codes: codes.split_off(at),
                 dict: dict.clone(),
+                extremes: *extremes,
             },
         }
     }
@@ -499,10 +559,15 @@ impl Column {
         // Mixed or dictionary string layouts first (logical type Str).
         match (&mut *self, &mut other) {
             (
-                Column::Dict { codes, dict },
+                Column::Dict {
+                    codes,
+                    dict,
+                    extremes,
+                },
                 Column::Dict {
                     codes: ocodes,
                     dict: odict,
+                    ..
                 },
             ) => {
                 if dict == odict {
@@ -522,8 +587,15 @@ impl Column {
                                 *self = plain;
                                 return;
                             }
+                            let code = dict.len() as u32;
+                            if dict.is_empty() || **s < *dict[extremes.0 as usize] {
+                                extremes.0 = code;
+                            }
+                            if dict.is_empty() || **s > *dict[extremes.1 as usize] {
+                                extremes.1 = code;
+                            }
                             dict.push(s.clone());
-                            remap.push((dict.len() - 1) as u32);
+                            remap.push(code);
                         }
                     }
                 }
@@ -536,7 +608,7 @@ impl Column {
                 }
                 return;
             }
-            (Column::Str(a), Column::Dict { codes, dict }) => {
+            (Column::Str(a), Column::Dict { codes, dict, .. }) => {
                 a.extend(codes.iter().map(|&c| dict[c as usize].clone()));
                 return;
             }
@@ -569,10 +641,11 @@ impl PartialEq for Column {
             (Column::Float(a), Column::Float(b)) => a == b,
             (Column::Str(a), Column::Str(b)) => a == b,
             (
-                Column::Dict { codes, dict },
+                Column::Dict { codes, dict, .. },
                 Column::Dict {
                     codes: ocodes,
                     dict: odict,
+                    ..
                 },
             ) if dict == odict => codes == ocodes,
             (
@@ -826,7 +899,7 @@ impl TupleBatch {
                         row.values.push(Value::Str(s));
                     }
                 }
-                Column::Dict { codes, dict } => {
+                Column::Dict { codes, dict, .. } => {
                     for (row, c) in rows.iter_mut().zip(codes) {
                         row.values.push(Value::Str(dict[c as usize].clone()));
                     }
@@ -1122,6 +1195,7 @@ impl TupleBatch {
                 return Column::Dict {
                     codes,
                     dict: dict.to_vec(),
+                    extremes: dict_extremes(dict),
                 };
             }
         }
@@ -1225,6 +1299,11 @@ pub mod work {
         static SIMD_LANES: Cell<u64> = const { Cell::new(0) };
         static DICT_CODE_CMPS: Cell<u64> = const { Cell::new(0) };
         static STR_CMPS: Cell<u64> = const { Cell::new(0) };
+        static ADAPTIVE_RESIZES: Cell<u64> = const { Cell::new(0) };
+        static CHAIN_MORSELS: Cell<u64> = const { Cell::new(0) };
+        static GROUPED_PARTIAL_ROWS: Cell<u64> = const { Cell::new(0) };
+        static PARTIAL_GROUPS_COMBINED: Cell<u64> = const { Cell::new(0) };
+        static DICT_BATCHES_PRUNED: Cell<u64> = const { Cell::new(0) };
     }
 
     /// A snapshot of the current thread's work counters.
@@ -1306,6 +1385,49 @@ pub mod work {
         /// keeps this at zero: byte comparisons happen only while
         /// building or remapping a dictionary, never per row.
         pub str_cmps: u64,
+        /// Flushes in which the adaptive morsel controller changed the
+        /// effective morsel grain of at least one stream (0 with
+        /// [`set_adaptive_morsels`](crate::engine::DsmsEngine::set_adaptive_morsels)
+        /// off). Counted on the control thread, so the resize trace is
+        /// deterministic for a fixed input regardless of which workers
+        /// executed which morsels.
+        pub adaptive_resizes: u64,
+        /// Chain morsels scheduled for order-sensitive keyed plans — the
+        /// serialized fallback that keeps non-commutative stateful
+        /// operators ordered. A fully commutative plan (including grouped
+        /// exact partials) keeps this at zero.
+        pub chain_morsels: u64,
+        /// Rows absorbed into per-worker **grouped** hash partials of
+        /// shard-incompatible exact aggregates — grouped work that used to
+        /// serialize behind the merge barrier.
+        pub grouped_partial_rows: u64,
+        /// Grouped per-worker partial accumulators combined by the control
+        /// thread's watermark pass (one per absorbed duplicate of a group
+        /// key across partitions; ungrouped partial combines are not
+        /// counted).
+        pub partial_groups_combined: u64,
+        /// Batches whose dictionary min/max metadata proved a range
+        /// predicate matches no row, skipping the per-row scan entirely.
+        pub dict_batches_pruned: u64,
+    }
+
+    impl WorkSnapshot {
+        /// Deterministic scalar cost of this snapshot in abstract work
+        /// units — the adaptive morsel controller's clock. A weighted sum
+        /// of the per-row/per-batch counters that dominate morsel
+        /// execution, so equal inputs always measure equal cost on any
+        /// machine (unlike wall time).
+        pub fn cost_units(&self) -> u64 {
+            self.rows_materialized
+                + self.row_evals
+                + self.kernel_ops
+                + self.keyed_shard_rows
+                + self.selection_pushdown_rows
+                + 8 * self.simd_lanes
+                + self.dict_code_cmps
+                + self.str_cmps
+                + self.grouped_partial_rows
+        }
     }
 
     /// Resets this thread's counters to zero.
@@ -1329,6 +1451,11 @@ pub mod work {
         SIMD_LANES.with(|c| c.set(0));
         DICT_CODE_CMPS.with(|c| c.set(0));
         STR_CMPS.with(|c| c.set(0));
+        ADAPTIVE_RESIZES.with(|c| c.set(0));
+        CHAIN_MORSELS.with(|c| c.set(0));
+        GROUPED_PARTIAL_ROWS.with(|c| c.set(0));
+        PARTIAL_GROUPS_COMBINED.with(|c| c.set(0));
+        DICT_BATCHES_PRUNED.with(|c| c.set(0));
     }
 
     /// Reads this thread's counters.
@@ -1353,6 +1480,11 @@ pub mod work {
             simd_lanes: SIMD_LANES.with(Cell::get),
             dict_code_cmps: DICT_CODE_CMPS.with(Cell::get),
             str_cmps: STR_CMPS.with(Cell::get),
+            adaptive_resizes: ADAPTIVE_RESIZES.with(Cell::get),
+            chain_morsels: CHAIN_MORSELS.with(Cell::get),
+            grouped_partial_rows: GROUPED_PARTIAL_ROWS.with(Cell::get),
+            partial_groups_combined: PARTIAL_GROUPS_COMBINED.with(Cell::get),
+            dict_batches_pruned: DICT_BATCHES_PRUNED.with(Cell::get),
         }
     }
 
@@ -1380,6 +1512,11 @@ pub mod work {
         SIMD_LANES.with(|c| c.set(c.get() + other.simd_lanes));
         DICT_CODE_CMPS.with(|c| c.set(c.get() + other.dict_code_cmps));
         STR_CMPS.with(|c| c.set(c.get() + other.str_cmps));
+        ADAPTIVE_RESIZES.with(|c| c.set(c.get() + other.adaptive_resizes));
+        CHAIN_MORSELS.with(|c| c.set(c.get() + other.chain_morsels));
+        GROUPED_PARTIAL_ROWS.with(|c| c.set(c.get() + other.grouped_partial_rows));
+        PARTIAL_GROUPS_COMBINED.with(|c| c.set(c.get() + other.partial_groups_combined));
+        DICT_BATCHES_PRUNED.with(|c| c.set(c.get() + other.dict_batches_pruned));
     }
 
     #[inline]
@@ -1475,6 +1612,31 @@ pub mod work {
     #[inline]
     pub(crate) fn count_str_cmps(n: u64) {
         STR_CMPS.with(|c| c.set(c.get() + n));
+    }
+
+    #[inline]
+    pub(crate) fn count_adaptive_resize() {
+        ADAPTIVE_RESIZES.with(|c| c.set(c.get() + 1));
+    }
+
+    #[inline]
+    pub(crate) fn count_chain_morsel() {
+        CHAIN_MORSELS.with(|c| c.set(c.get() + 1));
+    }
+
+    #[inline]
+    pub(crate) fn count_grouped_partial_rows(n: u64) {
+        GROUPED_PARTIAL_ROWS.with(|c| c.set(c.get() + n));
+    }
+
+    #[inline]
+    pub(crate) fn count_partial_groups_combined(n: u64) {
+        PARTIAL_GROUPS_COMBINED.with(|c| c.set(c.get() + n));
+    }
+
+    #[inline]
+    pub(crate) fn count_dict_batch_pruned() {
+        DICT_BATCHES_PRUNED.with(|c| c.set(c.get() + 1));
     }
 }
 
@@ -1740,6 +1902,11 @@ mod tests {
             simd_lanes: 59,
             dict_code_cmps: 61,
             str_cmps: 67,
+            adaptive_resizes: 71,
+            chain_morsels: 73,
+            grouped_partial_rows: 79,
+            partial_groups_combined: 83,
+            dict_batches_pruned: 89,
         };
         work::absorb(&foreign);
         work::absorb(&foreign);
@@ -1760,6 +1927,11 @@ mod tests {
         assert_eq!(snap.simd_lanes, 118);
         assert_eq!(snap.dict_code_cmps, 122);
         assert_eq!(snap.str_cmps, 134);
+        assert_eq!(snap.adaptive_resizes, 142);
+        assert_eq!(snap.chain_morsels, 146);
+        assert_eq!(snap.grouped_partial_rows, 158);
+        assert_eq!(snap.partial_groups_combined, 166);
+        assert_eq!(snap.dict_batches_pruned, 178);
         work::reset();
     }
 
@@ -1813,6 +1985,7 @@ mod tests {
         let mut other = Column::Dict {
             codes: Vec::new(),
             dict: Vec::new(),
+            extremes: (0, 0),
         };
         for s in ["x", "y", "x"] {
             other.push(Value::str(s));
@@ -1831,7 +2004,7 @@ mod tests {
         // Pushing past the cardinality cap decays to a plain column with
         // identical rows.
         for i in 0..Column::DICT_MAX_CARDINALITY {
-            col.push(Value::str(&format!("overflow{i}")));
+            col.push(Value::str(format!("overflow{i}")));
         }
         assert!(col.as_dict().is_none(), "overflow decays to plain");
         assert_eq!(col.value(0), Value::str("a"));

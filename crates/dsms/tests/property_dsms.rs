@@ -878,6 +878,21 @@ fn simd_modes() -> Vec<bool> {
     }
 }
 
+/// Adaptive-morsel-controller modes exercised by the shard-invariance
+/// suites (`DsmsEngine::set_adaptive_morsels`). `CQAC_ADAPTIVE` — `on`,
+/// `off`, or `both` (default) — selects the axis so CI can matrix the
+/// adaptive controller against the static grain without recompiling.
+/// Outputs must be bit-identical either way; `off` additionally pins
+/// `work::adaptive_resizes` to zero.
+fn adaptive_modes() -> Vec<bool> {
+    match std::env::var("CQAC_ADAPTIVE").as_deref() {
+        Ok("on") => vec![true],
+        Ok("off") => vec![false],
+        Ok("both") | Err(_) => vec![false, true],
+        Ok(other) => panic!("CQAC_ADAPTIVE must be on|off|both, got '{other}'"),
+    }
+}
+
 /// Runs `plan` (registered twice, so sharing is exercised) over `feed` on
 /// an engine with the given shard count, optionally hash-partitioning both
 /// streams on the symbol column, at the given morsel granularity with
@@ -1134,8 +1149,9 @@ fn tick_schema() -> Schema {
     ])
 }
 
-/// Runs an ungrouped-aggregate plan over the ticks stream, hash-keyed on
-/// the symbol column so exact aggregates run as partial-aggregation
+/// Runs an aggregate plan over the ticks stream, hash-keyed on the
+/// symbol column so exact aggregates at shard-incompatible group keys
+/// (including the ungrouped single group) run as partial-aggregation
 /// members on the shards (inexact ones stay behind the merge barrier).
 fn run_ticks_sharded(
     plan: &LogicalPlan,
@@ -1145,12 +1161,27 @@ fn run_ticks_sharded(
     morsel: usize,
     stealing: bool,
 ) -> Vec<Tuple> {
+    run_ticks_adaptive(plan, feed, max_batch, shards, morsel, stealing, false)
+}
+
+/// [`run_ticks_sharded`] with the adaptive morsel controller on or off.
+#[allow(clippy::too_many_arguments)]
+fn run_ticks_adaptive(
+    plan: &LogicalPlan,
+    feed: &[Tuple],
+    max_batch: usize,
+    shards: usize,
+    morsel: usize,
+    stealing: bool,
+    adaptive: bool,
+) -> Vec<Tuple> {
     let mut e = DsmsEngine::new();
     e.register_stream("ticks", tick_schema());
     e.set_max_batch_size(max_batch);
     e.set_shards(shards);
     e.set_morsel_batches(morsel);
     e.set_stealing(stealing);
+    e.set_adaptive_morsels(adaptive);
     e.set_shard_key("ticks", 0).unwrap();
     let cq = e.add_query(plan.clone()).unwrap();
     for chunk in feed.chunks(max_batch.max(1) * 2) {
@@ -1221,6 +1252,133 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// **Grouped-partial/combine equivalence** — grouped aggregates whose
+    /// group key (col 1) is *not* the shard key (col 0), so groups span
+    /// shards: exact combines (Count/Sum/Avg/Min/Max over Int;
+    /// Count/Min/Max over Float) run as grouped partial-aggregation
+    /// members — per-worker hash partials folded per group in
+    /// deterministic partition order on the control thread — while float
+    /// Sum/Avg stay behind the merge barrier. Either path must produce a
+    /// **strictly equal output sequence** to the single-threaded engine
+    /// (same rows, same order, same windows closing empty along sparse
+    /// stretches) across group-key cardinalities 1/8/1000 × aggregate
+    /// kinds × shard counts × morsel grains × stealing × adaptive
+    /// controller on/off.
+    #[test]
+    fn grouped_partials_match_single_threaded(
+        raw in proptest::collection::vec((0u64..400, 0usize..1000, 1u32..30_000), 1..60),
+        card in 0usize..3,
+        func in 0usize..5,
+        col in 1usize..3,
+        window in 1u64..60,
+    ) {
+        let card = [1usize, 8, 1000][card];
+        let funcs = [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
+        let mut feed: Vec<Tuple> = raw
+            .into_iter()
+            .map(|(ts, g, p)| {
+                Tuple::new(
+                    ts,
+                    vec![
+                        // The shard key mixes independently of the group.
+                        Value::str(SYMS[p as usize % SYMS.len()]),
+                        // Signed group ids: FNV hashing and EmitKey
+                        // ordering both see negatives.
+                        Value::Int((g % card) as i64 - 3),
+                        Value::Float(f64::from(p) / 100.0),
+                    ],
+                )
+            })
+            .collect();
+        feed.sort_by_key(|t| t.ts);
+        let plan = LogicalPlan::source("ticks").aggregate(Some(1), funcs[func], col, window);
+
+        for &cap in &[1usize, 7, 64] {
+            let reference = run_ticks_sharded(&plan, &feed, cap, 1, 1, true);
+            for &shards in &shard_counts() {
+                if shards == 1 {
+                    continue;
+                }
+                for (morsel, stealing) in morsel_axes() {
+                    for adaptive in adaptive_modes() {
+                        let got = run_ticks_adaptive(
+                            &plan, &feed, cap, shards, morsel, stealing, adaptive,
+                        );
+                        prop_assert_eq!(
+                            &got, &reference,
+                            "grouped {:?} over col {} (card {}) diverged at shards {} \
+                             (morsel {}, stealing {}, adaptive {}) cap {}",
+                            funcs[func], col, card, shards, morsel, stealing, adaptive, cap
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// **Adaptive-controller determinism** — the controller's inputs are
+    /// deterministic `work` cost units, never wall clock, so for a fixed
+    /// input the whole resize trace is reproducible: two identical
+    /// adaptive runs agree on `adaptive_resizes` (and on outputs), the
+    /// controller off pins the counter to zero while producing the same
+    /// output sequence, and with stealing disabled the *entire*
+    /// work-counter snapshot — every row, eval, lane, and resize count —
+    /// is byte-identical between repeated adaptive runs.
+    #[test]
+    fn adaptive_controller_is_deterministic(
+        raw in proptest::collection::vec((0u64..400, 0usize..1000, 1u32..30_000), 20..80),
+        window in 1u64..60,
+    ) {
+        use cqac_dsms::types::work;
+        let mut feed: Vec<Tuple> = raw
+            .into_iter()
+            .map(|(ts, g, p)| {
+                Tuple::new(
+                    ts,
+                    vec![
+                        // Zipf-ish hot key: most rows land on one home
+                        // shard, so per-morsel costs spread and the
+                        // controller has something to react to.
+                        Value::str(SYMS[if g % 5 == 0 { g % SYMS.len() } else { 0 }]),
+                        Value::Int((g % 8) as i64),
+                        Value::Float(f64::from(p) / 100.0),
+                    ],
+                )
+            })
+            .collect();
+        feed.sort_by_key(|t| t.ts);
+        let plan = LogicalPlan::source("ticks").aggregate(Some(1), AggFunc::Sum, 1, window);
+
+        let run = |stealing: bool, adaptive: bool| {
+            work::reset();
+            let out = run_ticks_adaptive(&plan, &feed, 8, 4, 8, stealing, adaptive);
+            (out, work::snapshot())
+        };
+        let (out_a, snap_a) = run(true, true);
+        let (out_b, snap_b) = run(true, true);
+        prop_assert_eq!(&out_a, &out_b);
+        prop_assert_eq!(
+            snap_a.adaptive_resizes, snap_b.adaptive_resizes,
+            "the resize trace must not depend on the schedule"
+        );
+        let (out_off, snap_off) = run(true, false);
+        prop_assert_eq!(snap_off.adaptive_resizes, 0, "off means static grain");
+        prop_assert_eq!(&out_off, &out_a, "the controller must not change outputs");
+        // Without stealing the schedule itself is deterministic, so the
+        // full counter trace must replay exactly.
+        let (_, pinned_a) = run(false, true);
+        let (_, pinned_b) = run(false, true);
+        prop_assert_eq!(pinned_a, pinned_b);
     }
 }
 
